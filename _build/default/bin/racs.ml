@@ -1,0 +1,277 @@
+(* racs — room acoustics code-generation studio.
+
+   Command-line front end over the library:
+     racs kernels      dump the generated OpenCL (and hand-written
+                       baselines) for every kernel
+     racs simulate     run an impulse-response simulation on a box/dome
+     racs experiments  regenerate any of the paper's tables/figures
+     racs host-demo    show the compiled host program of paper Listing 5 *)
+
+open Cmdliner
+open Acoustics
+
+let precision_conv =
+  let parse = function
+    | "single" -> Ok Kernel_ast.Cast.Single
+    | "double" -> Ok Kernel_ast.Cast.Double
+    | s -> Error (`Msg (Printf.sprintf "unknown precision %s" s))
+  in
+  let print ppf p =
+    Fmt.string ppf (match p with Kernel_ast.Cast.Single -> "single" | Double -> "double")
+  in
+  Arg.conv (parse, print)
+
+let shape_conv =
+  let parse = function
+    | "box" -> Ok Geometry.Box
+    | "dome" -> Ok Geometry.Dome
+    | "l-shape" -> Ok Geometry.L_shape
+    | s -> Error (`Msg (Printf.sprintf "unknown shape %s" s))
+  in
+  Arg.conv (parse, fun ppf s -> Fmt.string ppf (Geometry.shape_label s))
+
+(* ------------------------------------------------------------------ *)
+(* racs kernels *)
+
+let all_kernels precision =
+  let betas = (Material.tables ~n_branches:3 Material.defaults).Material.t_beta in
+  let lift name prog = (Lift_acoustics.Programs.compile ~name ~precision prog).Lift.Codegen.kernel in
+  [
+    ("hand-written", Hand_kernels.fused_fi ~precision);
+    ("hand-written", Hand_kernels.volume ~precision);
+    ("hand-written", Hand_kernels.boundary_fi ~precision);
+    ("hand-written", Hand_kernels.boundary_fi_mm ~precision ~betas);
+    ("hand-written", Hand_kernels.boundary_fd_mm ~precision ~mb:3);
+    ("lift-generated", lift "lift_fused_fi" (Lift_acoustics.Programs.fused_fi ()));
+    ("lift-generated", lift "lift_volume" (Lift_acoustics.Programs.volume ()));
+    ("lift-generated", lift "lift_boundary_fi" (Lift_acoustics.Programs.boundary_fi ()));
+    ("lift-generated", lift "lift_boundary_fi_mm" (Lift_acoustics.Programs.boundary_fi_mm ()));
+    ("lift-generated", lift "lift_boundary_fd_mm" (Lift_acoustics.Programs.boundary_fd_mm ~mb:3 ()));
+    ("lift-generated (slide3/pad3 composition)",
+      lift "lift_fused_fi_3d" (Lift_acoustics.Programs.fused_fi_3d ()));
+  ]
+
+let cmd_kernels precision =
+  List.iter
+    (fun (origin, k) ->
+      Printf.printf "/* %s, %s precision */\n%s\n" origin
+        (match k.Kernel_ast.Cast.precision with Single -> "single" | Double -> "double")
+        (Kernel_ast.Print.kernel_to_string k))
+    (all_kernels precision)
+
+(* ------------------------------------------------------------------ *)
+(* racs simulate *)
+
+let cmd_simulate shape nx ny nz scheme steps backend =
+  let params = Params.default in
+  let dims = Geometry.dims ~nx ~ny ~nz in
+  let n_materials = Array.length Material.defaults in
+  let room = Geometry.build ~n_materials shape dims in
+  let precision = Kernel_ast.Cast.Double in
+  let betas = (Material.tables ~n_branches:3 Material.defaults).Material.t_beta in
+  let lift name prog = (Lift_acoustics.Programs.compile ~name ~precision prog).Lift.Codegen.kernel in
+  let kernels =
+    match (scheme, backend) with
+    | "fi", `Hand ->
+        [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fi ~precision ]
+    | "fi", `Lift ->
+        [ lift "volume" (Lift_acoustics.Programs.volume ());
+          lift "boundary_fi" (Lift_acoustics.Programs.boundary_fi ()) ]
+    | "fi-mm", `Hand ->
+        [ Hand_kernels.volume ~precision;
+          Hand_kernels.boundary_fi_mm ~precision ~betas ]
+    | "fi-mm", `Lift ->
+        [ lift "volume" (Lift_acoustics.Programs.volume ());
+          lift "boundary_fi_mm" (Lift_acoustics.Programs.boundary_fi_mm ()) ]
+    | "fd-mm", `Hand ->
+        [ Hand_kernels.volume ~precision;
+          Hand_kernels.boundary_fd_mm ~precision ~mb:3 ]
+    | "fd-mm", `Lift ->
+        [ lift "volume" (Lift_acoustics.Programs.volume ());
+          lift "boundary_fd_mm" (Lift_acoustics.Programs.boundary_fd_mm ~mb:3 ()) ]
+    | s, _ -> failwith (Printf.sprintf "unknown scheme %s (fi | fi-mm | fd-mm)" s)
+  in
+  let sim = Gpu_sim.create ~engine:`Jit ~fi_beta:0.1 ~n_branches:3 params room in
+  let cx, cy, cz = State.centre sim.Gpu_sim.state in
+  State.add_impulse sim.Gpu_sim.state ~x:cx ~y:cy ~z:cz;
+  let rx = cx + ((nx - 2) / 4) in
+  let response = Gpu_sim.run sim kernels ~steps ~receiver:(rx, cy, cz) in
+  Printf.printf "room %s %dx%dx%d, %d boundary points, %d steps (%s kernels)\n"
+    (Geometry.shape_label shape) nx ny nz (Geometry.n_boundary room) steps
+    (match backend with `Hand -> "hand-written" | `Lift -> "lift-generated");
+  Printf.printf "receiver at (%d,%d,%d); first samples:\n " rx cy cz;
+  Array.iteri (fun i v -> if i < 12 then Printf.printf " %+.5f" v) response;
+  let e = Energy.kinetic_energy sim.Gpu_sim.state in
+  Printf.printf "\nfinal kinetic energy %.6g, dc offset %.6g, peak |u| %.4f\n" e
+    (Energy.dc_offset sim.Gpu_sim.state)
+    (Energy.max_abs sim.Gpu_sim.state.State.curr)
+
+(* ------------------------------------------------------------------ *)
+(* racs experiments *)
+
+let cmd_experiments which =
+  match which with
+  | "table2" -> Harness.Experiments.table2 ()
+  | "table3" -> Harness.Experiments.table3 ()
+  | "fig2" -> ignore (Harness.Experiments.fig2 ())
+  | "fig4" | "table4" -> ignore (Harness.Experiments.fig4 ())
+  | "fig5" | "table5" -> ignore (Harness.Experiments.fig5 ())
+  | "fig6" | "table6" -> ignore (Harness.Experiments.fig6 ())
+  | "all" -> ignore (Harness.Experiments.all ())
+  | s -> failwith (Printf.sprintf "unknown experiment %s" s)
+
+(* ------------------------------------------------------------------ *)
+(* racs host-demo / emit-c *)
+
+let listing5_compiled () =
+  let dims = Geometry.dims ~nx:64 ~ny:48 ~nz:40 in
+  let room = Geometry.build ~n_materials:4 Geometry.Box dims in
+  let tables = Material.tables ~n_branches:3 Material.defaults in
+  let params = Params.default in
+  let p name ty = Lift.Ast.named_param name ty in
+  let open Lift.Host in
+  let open Lift_acoustics.Programs in
+  let next_g_p = p "next_g" grid_ty in
+  let program =
+    H_let
+      ( next_g_p,
+        ocl_kernel ~name:"volume" (volume ())
+          [
+            to_gpu (input (p "nbrs" nbrs_ty));
+            to_gpu (input (p "prev" grid_ty));
+            to_gpu (input (p "curr" grid_ty));
+            to_gpu (input (p "next" grid_ty));
+            H_int dims.Geometry.nx;
+            H_int (dims.Geometry.nx * dims.Geometry.ny);
+            H_real (Params.l2 params);
+          ],
+        to_host
+          (write_to (input next_g_p)
+             (ocl_kernel ~name:"boundary_fi_mm" (boundary_fi_mm ())
+                [
+                  to_gpu (input (p "bidx" bidx_ty));
+                  input (p "nbrs" nbrs_ty);
+                  to_gpu (input (p "material" material_ty));
+                  to_gpu (input (p "beta" beta_ty));
+                  input (p "prev" grid_ty);
+                  input next_g_p;
+                  H_real (Params.l params);
+                ])) )
+  in
+  let sizes = function
+    | "N" -> Some (Geometry.n_points dims)
+    | "nB" -> Some (Geometry.n_boundary room)
+    | "NM" -> Some (Array.length tables.Material.t_beta)
+    | _ -> None
+  in
+  Lift.Host.compile ~precision:Kernel_ast.Cast.Double ~sizes program
+
+let cmd_host_demo () =
+  let compiled = listing5_compiled () in
+  Printf.printf "/* host program (paper Listing 5) */\n%s\n" compiled.Lift.Host.source;
+  List.iter
+    (fun (c : Lift.Codegen.compiled) ->
+      Printf.printf "%s\n" (Kernel_ast.Print.kernel_to_string c.Lift.Codegen.kernel))
+    compiled.Lift.Host.kernels
+
+(* Emit a complete, compilable OpenCL .c program for the Listing 5
+   pipeline (cc prog.c -lOpenCL). *)
+let cmd_emit_c () = print_string (Lift.Emit_c.host_program (listing5_compiled ()))
+
+(* ------------------------------------------------------------------ *)
+(* racs tune: the paper's §VI protocol on any kernel/room/device *)
+
+let cmd_tune shape scheme =
+  let precision = Kernel_ast.Cast.Double in
+  let betas = (Material.tables ~n_branches:3 Material.defaults).Material.t_beta in
+  let kernel, kind =
+    match scheme with
+    | "fi" -> (Hand_kernels.fused_fi ~precision, Harness.Workloads.Fused)
+    | "fi-mm" -> (Hand_kernels.boundary_fi_mm ~precision ~betas, Harness.Workloads.Boundary 0)
+    | "fd-mm" -> (Hand_kernels.boundary_fd_mm ~precision ~mb:3, Harness.Workloads.Boundary 3)
+    | "volume" -> (Hand_kernels.volume ~precision, Harness.Workloads.Volume)
+    | s -> failwith (Printf.sprintf "unknown scheme %s (fi | volume | fi-mm | fd-mm)" s)
+  in
+  Printf.printf "work-group tuning, %s kernel, %s rooms (model)
+
+" scheme
+    (Geometry.shape_label shape);
+  Printf.printf "%-12s %-6s" "device" "size";
+  List.iter (fun ls -> Printf.printf " %9s" (Printf.sprintf "ws=%d" ls)) Harness.Tuner.candidate_sizes;
+  Printf.printf " %6s
+" "best";
+  List.iter
+    (fun device ->
+      List.iter
+        (fun dims ->
+          let w = Harness.Workloads.workload kind shape dims in
+          let r = Harness.Tuner.tune ~device kernel w in
+          Printf.printf "%-12s %-6s" device.Vgpu.Device.name (Geometry.size_label dims);
+          List.iter (fun (_, t) -> Printf.printf " %8.3fms" (t *. 1e3)) r.Harness.Tuner.sweep;
+          Printf.printf " %6d
+" r.Harness.Tuner.best_size)
+        Geometry.paper_sizes)
+    Vgpu.Device.all
+
+(* ------------------------------------------------------------------ *)
+
+let precision_arg =
+  Arg.(value & opt precision_conv Kernel_ast.Cast.Double & info [ "precision" ] ~doc:"single or double")
+
+let kernels_cmd =
+  Cmd.v (Cmd.info "kernels" ~doc:"Dump generated and hand-written OpenCL kernels")
+    Term.(const cmd_kernels $ precision_arg)
+
+let simulate_cmd =
+  let shape = Arg.(value & opt shape_conv Geometry.Box & info [ "shape" ] ~doc:"box, dome or l-shape") in
+  let nx = Arg.(value & opt int 40 & info [ "nx" ]) in
+  let ny = Arg.(value & opt int 32 & info [ "ny" ]) in
+  let nz = Arg.(value & opt int 24 & info [ "nz" ]) in
+  let scheme = Arg.(value & opt string "fd-mm" & info [ "scheme" ] ~doc:"fi | fi-mm | fd-mm") in
+  let steps = Arg.(value & opt int 200 & info [ "steps" ]) in
+  let backend_conv =
+    Arg.conv
+      ( (function
+        | "hand" -> Ok `Hand
+        | "lift" -> Ok `Lift
+        | s -> Error (`Msg (Printf.sprintf "unknown backend %s" s))),
+        fun ppf b -> Fmt.string ppf (match b with `Hand -> "hand" | `Lift -> "lift") )
+  in
+  let backend =
+    Arg.(value & opt backend_conv `Lift & info [ "backend" ] ~doc:"hand or lift")
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run an impulse-response simulation")
+    Term.(const cmd_simulate $ shape $ nx $ ny $ nz $ scheme $ steps $ backend)
+
+let experiments_cmd =
+  let which = Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT") in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Regenerate paper tables/figures (table2 table3 fig2 fig4 fig5 fig6 all)")
+    Term.(const cmd_experiments $ which)
+
+let host_demo_cmd =
+  Cmd.v (Cmd.info "host-demo" ~doc:"Show the compiled host program of paper Listing 5")
+    Term.(const cmd_host_demo $ const ())
+
+let tune_cmd =
+  let shape = Arg.(value & opt shape_conv Geometry.Box & info [ "shape" ] ~doc:"box, dome or l-shape") in
+  let scheme = Arg.(value & opt string "fd-mm" & info [ "scheme" ] ~doc:"fi | volume | fi-mm | fd-mm") in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Sweep work-group sizes per device and room (paper §VI protocol)")
+    Term.(const cmd_tune $ shape $ scheme)
+
+let emit_c_cmd =
+  Cmd.v
+    (Cmd.info "emit-c"
+       ~doc:"Emit a complete OpenCL .c program for the Listing 5 pipeline")
+    Term.(const cmd_emit_c $ const ())
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "racs" ~version:"1.0.0"
+             ~doc:"Room acoustics simulations with complex boundary conditions via Lift-style code generation")
+          [ kernels_cmd; simulate_cmd; experiments_cmd; host_demo_cmd; emit_c_cmd; tune_cmd ]))

@@ -1,0 +1,1 @@
+examples/codegen_tour.ml: Acoustics Hand_kernels Kernel_ast Lift Lift_acoustics List Material Printf String

@@ -1,0 +1,1 @@
+examples/dome_materials.ml: Acoustics Array Energy Geometry Gpu_sim Kernel_ast Lift Lift_acoustics List Material Params Printf State

@@ -1,0 +1,1 @@
+examples/dome_materials.mli:

@@ -1,0 +1,1 @@
+examples/explore_tour.ml: Ast Explore Harness Kernel_ast Lift List Printf Rewrite Size String Ty Vgpu

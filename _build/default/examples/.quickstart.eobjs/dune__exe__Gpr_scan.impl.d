@@ -1,0 +1,1 @@
+examples/gpr_scan.ml: Array Em Float Printf

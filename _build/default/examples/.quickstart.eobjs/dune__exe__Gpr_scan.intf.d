@@ -1,0 +1,1 @@
+examples/gpr_scan.mli:

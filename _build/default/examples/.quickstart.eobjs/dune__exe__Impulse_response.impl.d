@@ -1,0 +1,1 @@
+examples/impulse_response.ml: Acoustics Array Audio Complex Float Geometry Gpu_sim Kernel_ast Lift Lift_acoustics List Material Params Printf State

@@ -1,0 +1,1 @@
+examples/impulse_response.mli:

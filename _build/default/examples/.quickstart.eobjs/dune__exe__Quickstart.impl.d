@@ -1,0 +1,1 @@
+examples/quickstart.ml: Acoustics Array Energy Geometry Gpu_sim Kernel_ast Lift Lift_acoustics Params Printf State

@@ -1,0 +1,68 @@
+(* Rewrite-space exploration (the Lift optimisation workflow, paper
+   §III): one high-level program, many semantically equal variants,
+   ranked by the GPU performance model; then the paper's §VI tuning
+   protocol applied to the winner's work-group size.
+
+     dune exec examples/explore_tour.exe *)
+
+open Lift
+
+let n = Size.var "N"
+let vec = Ty.array Ty.real n
+
+(* A deliberately naive smoothing pipeline: two passes and some
+   split/join plumbing left for the rewriter to clean up. *)
+let program () =
+  let a = Ast.named_param "a" vec in
+  let smooth =
+    Ast.map
+      (Ast.lam1 (Ty.array_n Ty.real 3) (fun w ->
+           let at i = Ast.Array_access (w, Ast.int i) in
+           Ast.((at 0 +! at 1 +! at 2) *! real (1. /. 3.))))
+      (Ast.Slide (3, 1, Ast.Pad (1, 1, Ast.real 0., Ast.Param a)))
+  in
+  let body =
+    Ast.map
+      (Ast.lam1 Ty.real (fun x -> Ast.(x *! x)))
+      (Ast.map
+         (Ast.lam1 Ty.real (fun x -> Ast.(x +! real 1.)))
+         (Ast.Join (Ast.Split (Size.const 4, smooth))))
+  in
+  { Ast.l_params = [ a ]; l_body = body }
+
+let () =
+  let prog = program () in
+  Printf.printf "source program:\n%s\n\n" (Ast.to_string prog.Ast.l_body);
+  let vs = Explore.variants ~depth:4 prog in
+  Printf.printf "rewrite closure: %d distinct variants\n\n" (List.length vs);
+  let device = Vgpu.Device.gtx780 in
+  let workload =
+    Vgpu.Perf_model.workload ~active_points:1e7
+      ~buffer_elems:[ ("a", 10_000_000); ("out", 10_000_000) ]
+      ()
+  in
+  let lowered =
+    List.map (fun v -> { v with Explore.v_program = Rewrite.lower_outer_map_to_glb v.Explore.v_program }) vs
+  in
+  let ranked = Explore.rank ~device ~workload lowered in
+  Printf.printf "%-40s %12s %8s\n" "rewrites applied" "model ms" "loads/pt";
+  List.iter
+    (fun (r : Explore.ranked) ->
+      let c = Kernel_ast.Analysis.kernel_counts r.Explore.r_kernel in
+      Printf.printf "%-40s %12.3f %8.1f\n"
+        (match r.Explore.r_variant.Explore.v_trace with
+        | [] -> "(original)"
+        | t -> String.concat " ; " t)
+        (r.Explore.r_time_s *. 1e3)
+        (Kernel_ast.Analysis.total_loads c))
+    ranked;
+  (match ranked with
+  | best :: _ ->
+      Printf.printf "\nwinning kernel:\n%s\n"
+        (Kernel_ast.Print.kernel_to_string best.Explore.r_kernel);
+      (* the paper's protocol: hand-tune the work-group size last *)
+      let t = Harness.Tuner.tune ~device best.Explore.r_kernel workload in
+      Printf.printf "work-group sweep:";
+      List.iter (fun (ls, s) -> Printf.printf "  ws=%d: %.3f ms" ls (s *. 1e3)) t.Harness.Tuner.sweep;
+      Printf.printf "\nbest work-group size: %d\n" t.Harness.Tuner.best_size
+  | [] -> print_endline "no variant compiled")

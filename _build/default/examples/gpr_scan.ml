@@ -1,0 +1,75 @@
+(* Ground-penetrating radar (paper §VIII): the same Lift machinery that
+   generates the acoustics kernels generates a 2D electromagnetic FDTD
+   whose volume kernel updates several field arrays in place.
+
+   Scene: air over two soil layers with a buried metal target.  A radar
+   pulse is emitted at the surface; the received trace shows the direct
+   wave, the layer interface reflection, and — when present — the target
+   reflection.  Running with and without the target shows the difference
+   signal a GPR survey looks for.
+
+     dune exec examples/gpr_scan.exe *)
+
+let nx = 120
+let ny = 100
+let surface = 30 (* soil starts at this row *)
+let steps = 260
+
+let build ~with_target =
+  let g = Em.Em_grid.create ~nx ~ny in
+  (* two soil layers *)
+  Em.Em_grid.fill_material g ~x0:0 ~y0:surface ~x1:(nx - 1) ~y1:(ny - 1) Em.Em_grid.dry_soil;
+  Em.Em_grid.fill_material g ~x0:0 ~y0:(surface + 40) ~x1:(nx - 1) ~y1:(ny - 1)
+    Em.Em_grid.wet_soil;
+  if with_target then
+    Em.Em_grid.fill_material g ~x0:((nx / 2) - 5) ~y0:(surface + 18) ~x1:((nx / 2) + 5)
+      ~y1:(surface + 22) Em.Em_grid.metal;
+  g
+
+let run ~with_target =
+  let g = build ~with_target in
+  let c = Em.Em_lift.compile () in
+  let tx = nx / 2 and rx = (nx / 2) + 8 in
+  let trace = Array.make steps 0. in
+  for step = 0 to steps - 1 do
+    Em.Em_grid.inject g ~i:tx ~j:(surface - 2) (Em.Em_grid.pulse ~t0:20. ~spread:6. step);
+    Em.Em_lift.step c g;
+    trace.(step) <- Em.Em_grid.read_ez g ~i:rx ~j:(surface - 2)
+  done;
+  trace
+
+let ascii_plot label trace =
+  Printf.printf "\n%s\n" label;
+  let cols = 64 in
+  let bucket = (steps + cols - 1) / cols in
+  let peak = Array.fold_left (fun m v -> Float.max m (Float.abs v)) 1e-30 trace in
+  for row = 3 downto -3 do
+    for cstart = 0 to cols - 1 do
+      let lo = cstart * bucket and hi = min steps ((cstart + 1) * bucket) in
+      let v = ref 0. in
+      for k = lo to hi - 1 do
+        if Float.abs trace.(k) > Float.abs !v then v := trace.(k)
+      done;
+      let level = int_of_float (Float.round (!v /. peak *. 3.)) in
+      print_char
+        (if row = 0 then '-'
+         else if (row > 0 && level >= row) || (row < 0 && level <= row) then '#'
+         else ' ')
+    done;
+    print_newline ()
+  done
+
+let () =
+  Printf.printf "GPR scan over layered soil, Lift-generated EM kernels (%dx%d grid)\n" nx ny;
+  let with_t = run ~with_target:true in
+  let without_t = run ~with_target:false in
+  ascii_plot "received trace (target buried at depth 20):" with_t;
+  let diff = Array.map2 (fun a b -> a -. b) with_t without_t in
+  ascii_plot "difference vs empty ground (the target's echo):" diff;
+  let peak_at a =
+    let best = ref 0 in
+    Array.iteri (fun i v -> if Float.abs v > Float.abs a.(!best) then best := i) a;
+    !best
+  in
+  Printf.printf "\ntarget echo peaks at step %d (two-way travel through the soil)\n"
+    (peak_at diff)

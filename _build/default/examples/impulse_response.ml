@@ -1,0 +1,81 @@
+(* Auralization: record a room impulse response with frequency-dependent
+   boundaries, write it as a WAV file, and show the octave-band spectrum
+   — the end product a room-acoustics simulation exists for (paper §I).
+
+   Compares concrete walls against curtains: the FD-MM branches absorb
+   different bands differently, which shows up directly in the spectrum
+   of the response tail.
+
+     dune exec examples/impulse_response.exe *)
+
+open Acoustics
+
+let steps = 1024
+
+let record ~materials =
+  let params = Params.default in
+  let dims = Geometry.dims ~nx:52 ~ny:40 ~nz:30 in
+  let room = Geometry.build ~n_materials:(Array.length materials) Geometry.Box dims in
+  let precision = Kernel_ast.Cast.Double in
+  let compile name prog =
+    (Lift_acoustics.Programs.compile ~name ~precision prog).Lift.Codegen.kernel
+  in
+  let kernels =
+    [
+      compile "volume" (Lift_acoustics.Programs.volume ());
+      compile "boundary_fd_mm" (Lift_acoustics.Programs.boundary_fd_mm ~mb:3 ());
+    ]
+  in
+  let sim = Gpu_sim.create ~engine:`Jit ~materials ~n_branches:3 params room in
+  let cx, cy, cz = State.centre sim.Gpu_sim.state in
+  State.add_impulse sim.Gpu_sim.state ~x:(cx - 8) ~y:cy ~z:cz;
+  Gpu_sim.run sim kernels ~steps ~receiver:(cx + 10, cy + 6, cz)
+
+let spectrum_row label response =
+  let params = Params.default in
+  (* analyse the tail: after the direct sound, the boundary colours it *)
+  let tail = Array.sub response (steps / 4) (steps - (steps / 4)) in
+  let bands = Audio.octave_band_energies ~sample_rate:params.Params.sample_rate tail in
+  Printf.printf "%-12s" label;
+  List.iter (fun (_, e) -> Printf.printf " %7.1f" (Audio.db e)) bands;
+  print_newline ();
+  bands
+
+let () =
+  print_endline "Impulse responses under FD-MM boundaries (Lift-generated kernels)\n";
+  let concrete = record ~materials:(Array.make 4 Material.concrete) in
+  let curtains = record ~materials:(Array.make 4 Material.curtain) in
+  let params = Params.default in
+  let sr = int_of_float params.Params.sample_rate in
+  Audio.write_wav "ir_concrete.wav" ~sample_rate:sr (Audio.normalise concrete);
+  Audio.write_wav "ir_curtains.wav" ~sample_rate:sr (Audio.normalise curtains);
+  Printf.printf "wrote ir_concrete.wav and ir_curtains.wav (%d samples at %d Hz)\n\n" steps sr;
+  Printf.printf "octave-band energy of the response tail (dB):\n";
+  Printf.printf "%-12s" "band (Hz)";
+  List.iter (fun fc -> Printf.printf " %7.0f" fc) Audio.octave_bands;
+  print_newline ();
+  let b1 = spectrum_row "concrete" concrete in
+  let b2 = spectrum_row "curtains" curtains in
+  let diff =
+    List.map2 (fun (fc, e1) (_, e2) -> (fc, Audio.db e1 -. Audio.db e2)) b1 b2
+  in
+  Printf.printf "%-12s" "difference";
+  List.iter (fun (_, d) -> Printf.printf " %7.1f" d) diff;
+  print_newline ();
+  (* the closed-form admittance predicts the tilt *)
+  Printf.printf "\npredicted absorption Re Y(w) from the branch model:\n%-12s" "";
+  List.iter (fun fc -> Printf.printf " %7.0f" fc) Audio.octave_bands;
+  print_newline ();
+  List.iter
+    (fun (label, m) ->
+      Printf.printf "%-12s" label;
+      List.iter
+        (fun fc ->
+          let omega = 2. *. Float.pi *. fc /. params.Params.sample_rate in
+          Printf.printf " %7.3f" (Material.admittance m ~omega).Complex.re)
+        Audio.octave_bands;
+      print_newline ())
+    [ ("concrete", Material.concrete); ("curtains", Material.curtain) ];
+  print_endline "\nCurtains remove more energy overall, and not uniformly across";
+  print_endline "bands: that spectral tilt is what the FD-MM branch state models."
+

@@ -1,0 +1,1 @@
+lib/acoustics/audio.ml: Array Buffer Char Float List

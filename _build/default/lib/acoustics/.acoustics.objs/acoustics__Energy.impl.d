@@ -1,0 +1,1 @@
+lib/acoustics/energy.ml: Array Float Geometry State

@@ -1,0 +1,1 @@
+lib/acoustics/energy.mli: State

@@ -1,0 +1,1 @@
+lib/acoustics/geometry.ml: Array Bytes Char List

@@ -1,0 +1,1 @@
+lib/acoustics/gpu_sim.ml: Array Geometry Hashtbl Kernel_ast List Material Params Printf State Vgpu

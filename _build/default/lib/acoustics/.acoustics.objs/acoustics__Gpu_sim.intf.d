@@ -1,0 +1,1 @@
+lib/acoustics/gpu_sim.mli: Geometry Hashtbl Kernel_ast Material Params State Vgpu

@@ -1,0 +1,1 @@
+lib/acoustics/hand_kernels.ml: Array Kernel_ast List

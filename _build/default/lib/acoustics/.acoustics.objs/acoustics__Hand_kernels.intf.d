@@ -1,0 +1,1 @@
+lib/acoustics/hand_kernels.mli: Kernel_ast

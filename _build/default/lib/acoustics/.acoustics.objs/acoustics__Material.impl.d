@@ -1,0 +1,1 @@
+lib/acoustics/material.ml: Array Complex List

@@ -1,0 +1,1 @@
+lib/acoustics/params.ml:

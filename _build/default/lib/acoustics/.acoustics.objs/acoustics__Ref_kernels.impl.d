@@ -1,0 +1,1 @@
+lib/acoustics/ref_kernels.ml: Array Geometry Params State

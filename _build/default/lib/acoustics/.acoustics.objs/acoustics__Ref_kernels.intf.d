@@ -1,0 +1,1 @@
+lib/acoustics/ref_kernels.mli: Geometry Params State

@@ -1,0 +1,1 @@
+lib/acoustics/state.ml: Array Geometry

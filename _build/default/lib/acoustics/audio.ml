@@ -1,0 +1,105 @@
+(* Audio utilities: impulse responses as WAV files and simple spectral
+   analysis.
+
+   Room impulse responses are the product a room-acoustics simulation
+   exists to produce (auralization, paper §I); this module writes
+   mono 16-bit PCM WAV files and provides a small DFT for inspecting how
+   frequency-dependent boundaries shape the spectrum. *)
+
+let clamp v lo hi = if v < lo then lo else if v > hi then hi else v
+
+(* Normalise to peak [level] (default -1 dBFS-ish). *)
+let normalise ?(level = 0.89) samples =
+  let peak = Array.fold_left (fun m v -> Float.max m (Float.abs v)) 0. samples in
+  if peak = 0. then Array.copy samples
+  else Array.map (fun v -> v /. peak *. level) samples
+
+let write_u32 b v =
+  Buffer.add_char b (Char.chr (v land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff))
+
+let write_u16 b v =
+  Buffer.add_char b (Char.chr (v land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff))
+
+(* Serialise to a mono 16-bit PCM WAV byte string. *)
+let wav_bytes ~sample_rate (samples : float array) : string =
+  let n = Array.length samples in
+  let data_bytes = n * 2 in
+  let b = Buffer.create (44 + data_bytes) in
+  Buffer.add_string b "RIFF";
+  write_u32 b (36 + data_bytes);
+  Buffer.add_string b "WAVE";
+  Buffer.add_string b "fmt ";
+  write_u32 b 16;
+  write_u16 b 1 (* PCM *);
+  write_u16 b 1 (* mono *);
+  write_u32 b sample_rate;
+  write_u32 b (sample_rate * 2) (* byte rate *);
+  write_u16 b 2 (* block align *);
+  write_u16 b 16 (* bits *);
+  Buffer.add_string b "data";
+  write_u32 b data_bytes;
+  Array.iter
+    (fun v ->
+      let s = int_of_float (Float.round (clamp v (-1.) 1. *. 32767.)) in
+      let s = if s < 0 then s + 65536 else s in
+      write_u16 b s)
+    samples;
+  Buffer.contents b
+
+let write_wav path ~sample_rate samples =
+  let oc = open_out_bin path in
+  output_string oc (wav_bytes ~sample_rate samples);
+  close_out oc
+
+(* Magnitude of the DFT at [bins] equally spaced frequencies up to
+   Nyquist (naive O(n*bins); impulse responses are short). *)
+let dft_magnitudes ?(bins = 64) (samples : float array) : float array =
+  let n = Array.length samples in
+  Array.init bins (fun k ->
+      (* bin k covers normalised frequency (k+1)/(2*bins) *)
+      let w = Float.pi *. float_of_int (k + 1) /. float_of_int bins /. 2. *. 2. in
+      let re = ref 0. and im = ref 0. in
+      for t = 0 to n - 1 do
+        let ph = w *. float_of_int t in
+        re := !re +. (samples.(t) *. cos ph);
+        im := !im -. (samples.(t) *. sin ph)
+      done;
+      sqrt ((!re *. !re) +. (!im *. !im)) /. float_of_int n)
+
+(* Energy in octave bands centred at 125..8000 Hz. *)
+let octave_bands = [ 125.; 250.; 500.; 1000.; 2000.; 4000.; 8000. ]
+
+let octave_band_energies ~sample_rate (samples : float array) : (float * float) list =
+  let n = Array.length samples in
+  let goertzel f =
+    (* power at one frequency via the Goertzel recurrence *)
+    let w = 2. *. Float.pi *. f /. sample_rate in
+    let coeff = 2. *. cos w in
+    let s0 = ref 0. and s1 = ref 0. and s2 = ref 0. in
+    for t = 0 to n - 1 do
+      s0 := samples.(t) +. (coeff *. !s1) -. !s2;
+      s2 := !s1;
+      s1 := !s0
+    done;
+    (!s1 *. !s1) +. (!s2 *. !s2) -. (coeff *. !s1 *. !s2)
+  in
+  List.filter_map
+    (fun fc ->
+      if fc *. sqrt 2. >= sample_rate /. 2. then None
+      else begin
+        (* sample 5 frequencies across the band and average *)
+        let lo = fc /. sqrt 2. and hi = fc *. sqrt 2. in
+        let acc = ref 0. in
+        for i = 0 to 4 do
+          let f = lo *. ((hi /. lo) ** (float_of_int i /. 4.)) in
+          acc := !acc +. goertzel f
+        done;
+        Some (fc, !acc /. 5.)
+      end)
+    octave_bands
+
+let db x = if x <= 0. then -120. else Float.max (-120.) (10. *. log10 x)

@@ -1,0 +1,22 @@
+(** Audio utilities: impulse responses as WAV files and simple spectral
+    analysis (auralization is the paper's motivating application). *)
+
+val normalise : ?level:float -> float array -> float array
+(** Scale to the given peak level (default 0.89). *)
+
+val wav_bytes : sample_rate:int -> float array -> string
+(** Mono 16-bit PCM WAV serialisation (samples clamped to [-1, 1]). *)
+
+val write_wav : string -> sample_rate:int -> float array -> unit
+
+val dft_magnitudes : ?bins:int -> float array -> float array
+(** DFT magnitude at [bins] frequencies up to Nyquist. *)
+
+val octave_bands : float list
+(** Band centres: 125 .. 8000 Hz. *)
+
+val octave_band_energies : sample_rate:float -> float array -> (float * float) list
+(** (band centre, energy) via Goertzel, bands below Nyquist only. *)
+
+val db : float -> float
+(** 10*log10 with a -120 dB floor. *)

@@ -1,0 +1,62 @@
+(* Energy accounting used by stability and passivity tests.
+
+   The SLF scheme at the Courant limit with rigid walls is marginally
+   stable: the field stays bounded forever.  Any boundary loss (beta > 0
+   or dissipative ODE branches) must make the field energy decay.  These
+   are the invariants the test suite checks; they hold for the continuous
+   physics and for any faithful discretisation, so they also catch
+   miscompiled kernels that remain numerically plausible. *)
+
+let sum_squares (a : float array) =
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. a.(i))
+  done;
+  !acc
+
+let max_abs (a : float array) =
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    let v = Float.abs a.(i) in
+    if v > !acc then acc := v
+  done;
+  !acc
+
+(* Leapfrog field energy proxy at the current step: mean of the squared
+   field over the two live time levels.
+
+   Caveat: this counts the DC (spatially constant) component of the
+   field, which every boundary loss term is blind to — the losses act on
+   du/dt and on spatial differences, both zero for a constant field.  An
+   impulse has nonzero mean, so part of it settles into a persistent DC
+   offset; use [kinetic_energy] (DC-free) to observe dissipation. *)
+let field_energy (st : State.t) = 0.5 *. (sum_squares st.curr +. sum_squares st.prev)
+
+(* DC-free energy proxy: squared discrete time derivative of the field.
+   Decays to zero for any dissipative configuration and stays bounded for
+   rigid walls. *)
+let kinetic_energy (st : State.t) =
+  let acc = ref 0. in
+  let curr = st.curr and prev = st.prev in
+  for i = 0 to Array.length curr - 1 do
+    let d = curr.(i) -. prev.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  0.5 *. !acc
+
+(* Mean field value over inside points: the DC component. *)
+let dc_offset (st : State.t) =
+  let nbrs = st.room.Geometry.nbrs in
+  let acc = ref 0. and n = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if nbrs.(i) > 0 then begin
+        acc := !acc +. v;
+        incr n
+      end)
+    st.curr;
+  if !n = 0 then 0. else !acc /. float_of_int !n
+
+(* Energy stored in the boundary branch state (FD-MM only). *)
+let branch_energy (st : State.t) =
+  0.5 *. (sum_squares st.g1 +. sum_squares st.vel_prev)

@@ -1,0 +1,25 @@
+(** Energy accounting for stability and passivity tests.
+
+    The SLF scheme at the Courant limit with rigid walls is marginally
+    stable (bounded field); any boundary loss must make the energy
+    decay.  Note that every loss term acts on du/dt and spatial
+    differences, so the DC (spatially constant) component of the field
+    is invisible to them: use {!kinetic_energy} (DC-free) to observe
+    dissipation. *)
+
+val sum_squares : float array -> float
+val max_abs : float array -> float
+
+val field_energy : State.t -> float
+(** Squared-field proxy over the two live time levels; includes the DC
+    component. *)
+
+val kinetic_energy : State.t -> float
+(** DC-free proxy: squared discrete time derivative.  Decays to zero for
+    any dissipative configuration, stays bounded for rigid walls. *)
+
+val dc_offset : State.t -> float
+(** Mean field value over inside points. *)
+
+val branch_energy : State.t -> float
+(** Energy stored in the FD boundary branch state. *)

@@ -1,0 +1,179 @@
+(* Room geometries and their boundary data structures.
+
+   A room is discretised into an Nx*Ny*Nz voxel grid (dimensions include
+   the zero halo, as in the paper's Table II).  For every voxel the
+   [nbrs] array stores how many of its six face neighbours lie inside the
+   room — 6 strictly inside, 1..5 at the boundary, 0 outside (never
+   updated).  Complex shapes additionally need the explicit
+   [boundary_indices] array listing the linear indices of boundary voxels
+   and a per-boundary-point [material] index (paper §II-B..II-D).
+
+   Three shapes are provided:
+   - [Box]: the full cuboid interior (the paper's box);
+   - [Dome]: the upper half of an ellipsoid whose semi-axes fill the
+     grid ((Nx-2)/2, (Ny-2)/2, Nz-2) standing on the floor plane — the
+     paper's non-cuboid room, with boundary-point counts in the same
+     regime as Table II;
+   - [L_shape]: a box with one quadrant removed — a re-entrant corner,
+     the canonical case where the implicit Boolean boundary formulas of
+     Listing 1 break down.
+
+   Geometry at the paper's full sizes (up to 73M voxels) is needed only
+   in aggregate by the performance model, so [stats] streams over the
+   grid with three rolling bit-planes instead of materialising arrays;
+   [build] materialises everything for simulation-sized rooms. *)
+
+type shape =
+  | Box
+  | Dome
+  | L_shape
+
+type dims = { nx : int; ny : int; nz : int }
+
+let dims ~nx ~ny ~nz =
+  if nx < 3 || ny < 3 || nz < 3 then invalid_arg "Geometry.dims: need at least 3^3";
+  { nx; ny; nz }
+
+let n_points { nx; ny; nz } = nx * ny * nz
+
+(* The paper's three room sizes (Table II), largest first. *)
+let paper_sizes =
+  [ dims ~nx:602 ~ny:402 ~nz:302; dims ~nx:336 ~ny:336 ~nz:336; dims ~nx:302 ~ny:202 ~nz:152 ]
+
+let size_label d = string_of_int d.nx
+
+let inside shape { nx; ny; nz } x y z =
+  match shape with
+  | Box -> x >= 1 && x <= nx - 2 && y >= 1 && y <= ny - 2 && z >= 1 && z <= nz - 2
+  | L_shape ->
+      (* a box with the far x/y quadrant removed at every height: the
+         simplest room with a re-entrant corner, where the implicit
+         Boolean-formula boundary of Listing 1 breaks down and the
+         explicit nbrs/boundaryIndices data structures are required *)
+      x >= 1 && x <= nx - 2 && y >= 1 && y <= ny - 2 && z >= 1 && z <= nz - 2
+      && not (x > nx / 2 && y > ny / 2)
+  | Dome ->
+      if z < 1 || z > nz - 2 || x < 1 || x > nx - 2 || y < 1 || y > ny - 2 then false
+      else begin
+        let ax = float_of_int (nx - 2) /. 2. in
+        let ay = float_of_int (ny - 2) /. 2. in
+        let az = float_of_int (nz - 2) in
+        let cx = float_of_int (nx - 1) /. 2. in
+        let cy = float_of_int (ny - 1) /. 2. in
+        let dx = (float_of_int x -. cx) /. ax in
+        let dy = (float_of_int y -. cy) /. ay in
+        let dz = float_of_int (z - 1) /. az in
+        (dx *. dx) +. (dy *. dy) +. (dz *. dz) <= 1.
+      end
+
+(* Iterate over every voxel in linear-index order calling
+   [f ~x ~y ~z ~idx ~nbr], with [nbr] the inside-neighbour count (0 for
+   outside voxels).  Uses three rolling planes of insideness so the cost
+   is one [inside] evaluation per voxel. *)
+let iter_voxels shape d ~f =
+  let { nx; ny; nz } = d in
+  let plane_sz = nx * ny in
+  let fill_plane p z =
+    if z < 0 || z >= nz then Bytes.fill p 0 plane_sz '\000'
+    else
+      for y = 0 to ny - 1 do
+        for x = 0 to nx - 1 do
+          Bytes.unsafe_set p ((y * nx) + x) (if inside shape d x y z then '\001' else '\000')
+        done
+      done
+  in
+  let below = ref (Bytes.create plane_sz) in
+  let cur = ref (Bytes.create plane_sz) in
+  let above = ref (Bytes.create plane_sz) in
+  fill_plane !below (-1);
+  fill_plane !cur 0;
+  fill_plane !above 1;
+  for z = 0 to nz - 1 do
+    let b = !below and c = !cur and a = !above in
+    let at p x y = if x < 0 || x >= nx || y < 0 || y >= ny then 0 else Char.code (Bytes.unsafe_get p ((y * nx) + x)) in
+    for y = 0 to ny - 1 do
+      for x = 0 to nx - 1 do
+        let idx = (z * plane_sz) + (y * nx) + x in
+        let nbr =
+          if at c x y = 0 then 0
+          else at c (x - 1) y + at c (x + 1) y + at c x (y - 1) + at c x (y + 1) + at b x y + at a x y
+        in
+        f ~x ~y ~z ~idx ~nbr
+      done
+    done;
+    (* rotate planes: below <- cur, cur <- above, above <- fresh(z+2) *)
+    let tmp = !below in
+    below := !cur;
+    cur := !above;
+    above := tmp;
+    fill_plane !above (z + 2)
+  done
+
+type stats = {
+  s_points : int;       (* total voxels incl. halo *)
+  s_inside : int;       (* voxels with nbr > 0 (updated by the volume kernel) *)
+  s_boundary : int;     (* voxels with 0 < nbr < 6 *)
+  s_contiguity : float; (* fraction of consecutive boundary indices that are adjacent *)
+}
+
+let stats shape d =
+  let inside_n = ref 0 and boundary = ref 0 and contiguous = ref 0 in
+  let last_b = ref min_int in
+  iter_voxels shape d ~f:(fun ~x:_ ~y:_ ~z:_ ~idx ~nbr ->
+      if nbr > 0 then begin
+        incr inside_n;
+        if nbr < 6 then begin
+          incr boundary;
+          if idx = !last_b + 1 then incr contiguous;
+          last_b := idx
+        end
+      end);
+  let s_contiguity =
+    if !boundary <= 1 then 1.
+    else float_of_int !contiguous /. float_of_int (!boundary - 1)
+  in
+  { s_points = n_points d; s_inside = !inside_n; s_boundary = !boundary; s_contiguity }
+
+type room = {
+  shape : shape;
+  dims : dims;
+  nbrs : int array;              (* per voxel, length nx*ny*nz *)
+  boundary_indices : int array;  (* linear indices of boundary voxels, ascending *)
+  material : int array;          (* per boundary point, same length *)
+  n_inside : int;
+}
+
+(* Deterministic material assignment: horizontal bands, floor first.
+   With [n_materials = 1] every boundary point uses material 0. *)
+let material_of_voxel ~n_materials ~nz z =
+  if n_materials <= 1 then 0
+  else begin
+    let band = z * n_materials / nz in
+    if band < 0 then 0 else if band >= n_materials then n_materials - 1 else band
+  end
+
+let build ?(n_materials = 1) shape d =
+  let n = n_points d in
+  let nbrs = Array.make n 0 in
+  let boundary_rev = ref [] in
+  let n_boundary = ref 0 in
+  let n_inside = ref 0 in
+  iter_voxels shape d ~f:(fun ~x:_ ~y:_ ~z ~idx ~nbr ->
+      nbrs.(idx) <- nbr;
+      if nbr > 0 then begin
+        incr n_inside;
+        if nbr < 6 then begin
+          incr n_boundary;
+          boundary_rev := (idx, z) :: !boundary_rev
+        end
+      end);
+  let pairs = Array.of_list (List.rev !boundary_rev) in
+  let boundary_indices = Array.map fst pairs in
+  let material =
+    Array.map (fun (_, z) -> material_of_voxel ~n_materials ~nz:d.nz z) pairs
+  in
+  { shape; dims = d; nbrs; boundary_indices; material; n_inside = !n_inside }
+
+let n_boundary room = Array.length room.boundary_indices
+
+let shape_label = function Box -> "box" | Dome -> "dome" | L_shape -> "l-shape"

@@ -1,0 +1,130 @@
+(* Drive a room-acoustics simulation through the virtual GPU.
+
+   Kernel arguments are resolved *by parameter name* against the live
+   simulation state, so the same driver runs the hand-written kernels and
+   the Lift-generated kernels (both follow the paper's naming convention:
+   prev/curr/next grids, bidx/nbrs/material boundary data, beta/bi/d/f/di
+   coefficient tables, g1/v1/v2 branch state).
+
+   The per-step kernel sequence is the paper's two-kernel structure:
+   volume handling first, boundary handling second, then buffer rotation
+   on the host. *)
+
+open Kernel_ast.Cast
+
+type t = {
+  params : Params.t;
+  state : State.t;
+  tables : Material.tables;
+  fi_beta : float;  (* single-material admittance for the FI kernels *)
+  engine : [ `Interp | `Jit ];
+  jit_cache : (string, Vgpu.Jit.compiled) Hashtbl.t;
+  mutable launches : int;
+}
+
+let create ?(engine = `Jit) ?(fi_beta = 0.1) ?(materials = Material.defaults)
+    ?(n_branches = 3) params room =
+  {
+    params;
+    state = State.create ~n_branches room;
+    tables = Material.tables ~n_branches materials;
+    fi_beta;
+    engine;
+    jit_cache = Hashtbl.create 8;
+    launches = 0;
+  }
+
+let scalar_int t name : Vgpu.Args.t =
+  let { Geometry.nx; ny; nz } = t.state.room.Geometry.dims in
+  match name with
+  | "Nx" -> Int_arg nx
+  | "Ny" -> Int_arg ny
+  | "Nz" -> Int_arg nz
+  | "NxNy" -> Int_arg (nx * ny)
+  | "N" -> Int_arg (nx * ny * nz)
+  | "nB" -> Int_arg (Geometry.n_boundary t.state.room)
+  | "MB" -> Int_arg t.state.n_branches
+  | "NM" -> Int_arg (Array.length t.tables.Material.t_beta)
+  | _ -> failwith (Printf.sprintf "gpu_sim: unknown int scalar %s" name)
+
+let scalar_real t name : Vgpu.Args.t =
+  match name with
+  | "l" -> Real_arg (Params.l t.params)
+  | "l2" -> Real_arg (Params.l2 t.params)
+  | "beta" -> Real_arg t.fi_beta
+  | _ -> failwith (Printf.sprintf "gpu_sim: unknown real scalar %s" name)
+
+let buffer t name : Vgpu.Args.t =
+  let st = t.state in
+  let room = st.room in
+  match name with
+  | "prev" -> Buf (Vgpu.Buffer.F st.prev)
+  | "curr" -> Buf (Vgpu.Buffer.F st.curr)
+  | "next" -> Buf (Vgpu.Buffer.F st.next)
+  | "nbrs" -> Buf (Vgpu.Buffer.I room.Geometry.nbrs)
+  | "bidx" -> Buf (Vgpu.Buffer.I room.Geometry.boundary_indices)
+  | "material" -> Buf (Vgpu.Buffer.I room.Geometry.material)
+  | "beta" -> Buf (Vgpu.Buffer.F t.tables.Material.t_beta)
+  | "beta_fd" -> Buf (Vgpu.Buffer.F t.tables.Material.t_beta_fd)
+  | "bi" -> Buf (Vgpu.Buffer.F t.tables.Material.t_bi)
+  | "d" -> Buf (Vgpu.Buffer.F t.tables.Material.t_d)
+  | "f" -> Buf (Vgpu.Buffer.F t.tables.Material.t_f)
+  | "di" -> Buf (Vgpu.Buffer.F t.tables.Material.t_di)
+  | "g1" -> Buf (Vgpu.Buffer.F st.g1)
+  | "v2" -> Buf (Vgpu.Buffer.F st.vel_prev)
+  | "v1" -> Buf (Vgpu.Buffer.F st.vel_next)
+  | _ -> failwith (Printf.sprintf "gpu_sim: unknown buffer %s" name)
+
+let args_for t (k : kernel) =
+  List.map
+    (fun p ->
+      match (p.p_kind, p.p_ty) with
+      | Global_buf, _ -> buffer t p.p_name
+      | Scalar_param, Int -> scalar_int t p.p_name
+      | Scalar_param, Real -> scalar_real t p.p_name)
+    k.params
+
+(* Resolve the kernel's symbolic global size against the scalar
+   environment. *)
+let global_size t (k : kernel) =
+  List.map
+    (fun e ->
+      match e with
+      | Int_lit n -> n
+      | Var name -> (
+          match scalar_int t name with
+          | Int_arg n -> n
+          | _ -> failwith "gpu_sim: non-int global size")
+      | _ -> failwith "gpu_sim: unsupported global size expression")
+    k.global_size
+
+let launch t (k : kernel) =
+  let args = args_for t k in
+  let global = global_size t k in
+  t.launches <- t.launches + 1;
+  match t.engine with
+  | `Interp -> Vgpu.Exec.launch k ~args ~global
+  | `Jit ->
+      let compiled =
+        match Hashtbl.find_opt t.jit_cache k.name with
+        | Some c when c.Vgpu.Jit.kernel == k -> c
+        | _ ->
+            let c = Vgpu.Jit.compile k in
+            Hashtbl.replace t.jit_cache k.name c;
+            c
+      in
+      Vgpu.Jit.launch compiled ~args ~global
+
+(* One time step: run each kernel in order, then rotate the buffers. *)
+let step t (kernels : kernel list) =
+  List.iter (launch t) kernels;
+  State.rotate t.state
+
+(* Run [steps] steps recording the field at the receiver after each. *)
+let run t (kernels : kernel list) ~steps ~receiver:(rx, ry, rz) =
+  let out = Array.make steps 0. in
+  for n = 0 to steps - 1 do
+    step t kernels;
+    out.(n) <- State.read t.state ~x:rx ~y:ry ~z:rz
+  done;
+  out

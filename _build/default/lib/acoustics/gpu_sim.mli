@@ -1,0 +1,38 @@
+(** Drive a room-acoustics simulation through the virtual GPU.
+
+    Kernel arguments are resolved by parameter name against the live
+    simulation state, so the same driver runs the hand-written kernels
+    and the Lift-generated kernels (both follow the paper's naming
+    convention: prev/curr/next grids, bidx/nbrs/material boundary data,
+    beta/beta_fd/bi/d/f/di coefficient tables, g1/v1/v2 branch state,
+    and the scalars Nx/Ny/Nz/NxNy/N/nB/NM/MB/l/l2/beta). *)
+
+type t = {
+  params : Params.t;
+  state : State.t;
+  tables : Material.tables;
+  fi_beta : float;  (** single-material admittance for the FI kernels *)
+  engine : [ `Interp | `Jit ];
+  jit_cache : (string, Vgpu.Jit.compiled) Hashtbl.t;
+  mutable launches : int;
+}
+
+val create :
+  ?engine:[ `Interp | `Jit ] ->
+  ?fi_beta:float ->
+  ?materials:Material.t array ->
+  ?n_branches:int ->
+  Params.t ->
+  Geometry.room ->
+  t
+
+val launch : t -> Kernel_ast.Cast.kernel -> unit
+(** Launch one kernel against the current state (JIT-cached by kernel
+    name).  @raise Failure on unknown parameter names. *)
+
+val step : t -> Kernel_ast.Cast.kernel list -> unit
+(** One time step: run the kernels in order, then rotate the buffers. *)
+
+val run :
+  t -> Kernel_ast.Cast.kernel list -> steps:int -> receiver:int * int * int -> float array
+(** Run [steps] steps recording the field at the receiver after each. *)

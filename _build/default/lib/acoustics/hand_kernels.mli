@@ -1,0 +1,29 @@
+(** Hand-written GPU kernels, as kernel ASTs.
+
+    These mirror the paper's tuned OpenCL baselines (ports of Webb's and
+    Hamilton et al.'s CUDA kernels, paper §VI) and are the "OpenCL" side
+    of every benchmark comparison, executed and timed exactly like the
+    Lift-generated kernels.
+
+    One deliberate difference, reported by the paper in §VII-B1: the
+    hand-written FI-MM kernel keeps the per-material [beta] table in
+    private memory, where the Lift version receives it as a global
+    buffer. *)
+
+val fused_fi : precision:Kernel_ast.Cast.precision -> Kernel_ast.Cast.kernel
+(** Listing 1: fused volume + boundary, implicit box, 3D NDRange. *)
+
+val volume : precision:Kernel_ast.Cast.precision -> Kernel_ast.Cast.kernel
+(** Listing 2, kernel 1: the volume kernel, 1D NDRange over the grid. *)
+
+val boundary_fi : precision:Kernel_ast.Cast.precision -> Kernel_ast.Cast.kernel
+(** Listing 2, kernel 2. *)
+
+val boundary_fi_mm :
+  precision:Kernel_ast.Cast.precision -> betas:float array -> Kernel_ast.Cast.kernel
+(** Listing 3, with [betas] baked into private memory. *)
+
+val boundary_fd_mm :
+  precision:Kernel_ast.Cast.precision -> mb:int -> Kernel_ast.Cast.kernel
+(** Listing 4, with [mb] ODE branches and private staging of the branch
+    state. *)

@@ -1,0 +1,87 @@
+(** Boundary materials.
+
+    Frequency-independent (FI) absorption is a single specific-admittance
+    coefficient [beta] per material (paper §II-D).  Frequency-dependent
+    (FD) absorption adds a bank of second-order ODE branches modelling
+    internal resonances (paper §II-E; Bilbao et al. 2016); each branch is
+    a passive mass-resistance-stiffness impedance with per-boundary-point
+    state (a velocity and a displacement).
+
+    The kernels consume derived coefficient tables BI, D, F, DI (plus
+    beta), reconstructed here from a trapezoidal discretisation of the
+    branch ODE [m v' + r v + k g = u', g' = v]; see the implementation
+    for the derivation.  Non-negative m, r, k make every branch passive,
+    so the discrete scheme dissipates energy (verified by the tests). *)
+
+type branch = {
+  mass : float;        (** dimensionless inertance (>= 0) *)
+  resistance : float;  (** dimensionless resistance (>= 0) *)
+  stiffness : float;   (** dimensionless stiffness (>= 0) *)
+}
+
+type t = {
+  name : string;
+  beta : float;  (** specific admittance of the resistive FI path *)
+  branches : branch list;
+}
+
+val branch : mass:float -> resistance:float -> stiffness:float -> branch
+(** @raise Invalid_argument on negative parameters. *)
+
+val create : name:string -> beta:float -> branch list -> t
+(** @raise Invalid_argument on negative [beta]. *)
+
+type coeffs = {
+  c_beta : float;
+  c_bi : float array;
+  c_d : float array;
+  c_f : float array;
+  c_di : float array;
+}
+
+val branch_coeffs : branch -> float * float * float * float
+(** [(BI, D, F, DI)] of one branch. *)
+
+val coeffs : n_branches:int -> t -> coeffs
+(** Coefficient tables padded/truncated to [n_branches] (missing
+    branches are inert). *)
+
+val branch_admittance : branch -> omega:float -> Complex.t
+(** Closed-form frequency response of the discrete branch recurrence at
+    [omega] radians/sample: the transfer from the pressure difference
+    du to the midpoint branch velocity.  Discrete passivity is
+    [Re >= 0] for all frequencies (verified by the tests). *)
+
+val admittance : t -> omega:float -> Complex.t
+(** Flat beta path plus all branches; frequency-dependent materials have
+    a non-constant real part — the property FD-MM exists to model. *)
+
+(** {1 Presets} *)
+
+val concrete : t
+val painted_brick : t
+val wood_panel : t
+val carpet : t
+val curtain : t
+val rigid : t
+val defaults : t array
+(** concrete, painted brick, wood panel, carpet — ordered by
+    increasing absorption. *)
+
+(** {1 Kernel tables} *)
+
+type tables = {
+  t_beta : float array;     (** static admittance, for the FI kernels *)
+  t_beta_fd : float array;
+      (** effective admittance [beta + sum_b BI_b] for the FD kernel:
+          folding the implicit branch contribution into the kernel's
+          [(1 + cf)] denominator is what makes the paper's Listing 4
+          scheme dissipative *)
+  t_bi : float array;
+  t_d : float array;
+  t_f : float array;
+  t_di : float array;
+}
+
+val tables : n_branches:int -> t array -> tables
+(** Flat row-major [mi * n_branches + b] tables for a material set. *)

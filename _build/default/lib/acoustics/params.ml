@@ -1,0 +1,34 @@
+(* Simulation parameters for the 3D FDTD wave equation on a rectilinear
+   grid (the SLF — standard leapfrog — scheme used by the paper's
+   kernels).
+
+   The scheme updates
+     next = (2 - l2*nbr)*curr + l2*sum_of_neighbours - prev
+   with [l] the Courant number c*dt/h.  Stability of the 7-point SLF
+   scheme requires l <= 1/sqrt(3); the customary choice, used by Webb and
+   Hamilton's codes and taken as the default here, is equality, which
+   maximises the usable bandwidth per sample rate. *)
+
+type t = {
+  lambda : float;  (* Courant number l = c * dt / h *)
+  c : float;       (* speed of sound, m/s *)
+  sample_rate : float;  (* temporal sample rate 1/dt, Hz *)
+}
+
+let courant_limit = 1. /. sqrt 3.
+
+let default = { lambda = courant_limit; c = 344.; sample_rate = 44100. }
+
+let create ?(lambda = courant_limit) ?(c = 344.) ?(sample_rate = 44100.) () =
+  if lambda <= 0. || lambda > courant_limit +. 1e-12 then
+    invalid_arg "Params.create: Courant number must be in (0, 1/sqrt 3]";
+  { lambda; c; sample_rate }
+
+let l t = t.lambda
+let l2 t = t.lambda *. t.lambda
+
+(* Grid spacing implied by the stability condition and sample rate. *)
+let grid_spacing t = t.c /. (t.sample_rate *. t.lambda)
+
+(* Time step. *)
+let dt t = 1. /. t.sample_rate

@@ -1,0 +1,29 @@
+(** Simulation parameters for the 3D FDTD wave equation (the SLF —
+    standard leapfrog — scheme of the paper's kernels).
+
+    Stability of the 7-point SLF scheme requires a Courant number
+    [l = c*dt/h <= 1/sqrt 3]; the customary choice, used by the paper's
+    source codes and taken as the default, is equality. *)
+
+type t = {
+  lambda : float;       (** Courant number l = c*dt/h *)
+  c : float;            (** speed of sound, m/s *)
+  sample_rate : float;  (** temporal sample rate 1/dt, Hz *)
+}
+
+val courant_limit : float
+(** 1/sqrt 3. *)
+
+val default : t
+(** Courant limit, c = 344 m/s, 44.1 kHz. *)
+
+val create : ?lambda:float -> ?c:float -> ?sample_rate:float -> unit -> t
+(** @raise Invalid_argument if [lambda] is outside (0, 1/sqrt 3]. *)
+
+val l : t -> float
+val l2 : t -> float
+
+val grid_spacing : t -> float
+(** Spacing implied by the stability condition and sample rate, m. *)
+
+val dt : t -> float

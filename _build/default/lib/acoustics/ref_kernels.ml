@@ -1,0 +1,165 @@
+(* Pure-OCaml reference implementations of the paper's kernels.
+
+   These are direct ports of the paper's C listings and serve as the
+   numerical ground truth against which both the hand-written kernel ASTs
+   and the Lift-generated kernels are validated:
+
+   - [fused_fi_box]     — Listing 1: fused stencil + boundary, implicit
+                          box shape, neighbour count computed inline;
+   - [volume_step]      — Listing 2 kernel 1: stencil over inside/boundary
+                          points identified by the nbrs array;
+   - [boundary_fi]      — Listing 2 kernel 2: simple in-place boundary
+                          absorption, single material;
+   - [boundary_fi_mm]   — Listing 3: frequency-independent multi-material;
+   - [boundary_fd_mm]   — Listing 4: frequency-dependent multi-material
+                          with per-point ODE-branch state. *)
+
+let lambda_coeffs (p : Params.t) =
+  let l = Params.l p in
+  (l, l *. l)
+
+(* Listing 1.  Updates [next] from [curr]/[prev] over the whole grid of a
+   box room; [beta] is the single wall admittance. *)
+let fused_fi_box (p : Params.t) ~(dims : Geometry.dims) ~beta ~prev ~curr ~next =
+  let { Geometry.nx; ny; nz } = dims in
+  let l, l2 = lambda_coeffs p in
+  for z = 0 to nz - 1 do
+    for y = 0 to ny - 1 do
+      for x = 0 to nx - 1 do
+        let idx = (z * nx * ny) + (y * nx) + x in
+        let nbr =
+          (if x = 1 then 0 else 1)
+          + (if y = 1 then 0 else 1)
+          + (if z = 1 then 0 else 1)
+          + (if x = nx - 2 then 0 else 1)
+          + (if y = ny - 2 then 0 else 1)
+          + if z = nz - 2 then 0 else 1
+        in
+        let nbr =
+          if x = 0 || y = 0 || z = 0 || x = nx - 1 || y = ny - 1 || z = nz - 1 then 0
+          else nbr
+        in
+        if nbr > 0 then begin
+          let s =
+            curr.(idx - 1) +. curr.(idx + 1) +. curr.(idx - nx) +. curr.(idx + nx)
+            +. curr.(idx - (nx * ny))
+            +. curr.(idx + (nx * ny))
+          in
+          let fnbr = float_of_int nbr in
+          if nbr < 6 then begin
+            let cf = 0.5 *. l *. float_of_int (6 - nbr) *. beta in
+            next.(idx) <-
+              (((2.0 -. (l2 *. fnbr)) *. curr.(idx)) +. (l2 *. s) +. ((cf -. 1.0) *. prev.(idx)))
+              /. (1.0 +. cf)
+          end
+          else next.(idx) <- ((2.0 -. (l2 *. fnbr)) *. curr.(idx)) +. (l2 *. s) -. prev.(idx)
+        end
+      done
+    done
+  done
+
+(* Listing 2, kernel 1.  Stencil over points with nbr > 0; the boundary
+   absorption is deferred to a separate boundary kernel. *)
+let volume_step (p : Params.t) ~(dims : Geometry.dims) ~nbrs ~prev ~curr ~next =
+  let { Geometry.nx; ny; nz } = dims in
+  let _, l2 = lambda_coeffs p in
+  let plane = nx * ny in
+  let n = plane * nz in
+  for idx = 0 to n - 1 do
+    let nbr = nbrs.(idx) in
+    if nbr > 0 then begin
+      let s =
+        curr.(idx - 1) +. curr.(idx + 1) +. curr.(idx - nx) +. curr.(idx + nx)
+        +. curr.(idx - plane) +. curr.(idx + plane)
+      in
+      next.(idx) <-
+        ((2.0 -. (l2 *. float_of_int nbr)) *. curr.(idx)) +. (l2 *. s) -. prev.(idx)
+    end
+  done
+
+(* Listing 2, kernel 2.  Simple single-material boundary handling,
+   updating [next] in place at the boundary indices. *)
+let boundary_fi (p : Params.t) ~boundary_indices ~nbrs ~beta ~prev ~next =
+  let l, _ = lambda_coeffs p in
+  Array.iter
+    (fun idx ->
+      let nbr = nbrs.(idx) in
+      let cf = 0.5 *. l *. float_of_int (6 - nbr) *. beta in
+      next.(idx) <- (next.(idx) +. (cf *. prev.(idx))) /. (1.0 +. cf))
+    boundary_indices
+
+(* Listing 3.  Frequency-independent, multi-material boundary handling. *)
+let boundary_fi_mm (p : Params.t) ~boundary_indices ~nbrs ~material ~beta ~prev ~next =
+  let l, _ = lambda_coeffs p in
+  Array.iteri
+    (fun i idx ->
+      let nbr = nbrs.(idx) in
+      let mi = material.(i) in
+      let cf = 0.5 *. l *. float_of_int (6 - nbr) *. beta.(mi) in
+      next.(idx) <- (next.(idx) +. (cf *. prev.(idx))) /. (1.0 +. cf))
+    boundary_indices
+
+(* Listing 4.  Frequency-dependent, multi-material boundary handling with
+   [mb] ODE branches.  Coefficient tables are flat [mi * mb + b] arrays;
+   branch state arrays are branch-major (ci = b * numBoundaryPoints + i).
+   Reads [g1]/[v2 = vel_prev]; writes [next], [g1] and [v1 = vel_next]. *)
+let boundary_fd_mm (p : Params.t) ~mb ~boundary_indices ~nbrs ~material ~beta ~bi ~d ~f ~di
+    ~prev ~next ~g1 ~vel_prev ~vel_next =
+  let l, _ = lambda_coeffs p in
+  let nb = Array.length boundary_indices in
+  let tg1 = Array.make (max 1 mb) 0. in
+  let tv2 = Array.make (max 1 mb) 0. in
+  for i = 0 to nb - 1 do
+    let idx = boundary_indices.(i) in
+    let nbr = nbrs.(idx) in
+    let mi = material.(i) in
+    let cf1 = l *. float_of_int (6 - nbr) in
+    let cf = 0.5 *. cf1 *. beta.(mi) in
+    let nv = ref next.(idx) in
+    let pv = prev.(idx) in
+    for b = 0 to mb - 1 do
+      let ci = (b * nb) + i in
+      tg1.(b) <- g1.(ci);
+      tv2.(b) <- vel_prev.(ci);
+      let mb_i = (mi * mb) + b in
+      nv := !nv -. (cf1 *. bi.(mb_i) *. ((2.0 *. d.(mb_i) *. tv2.(b)) -. (f.(mb_i) *. tg1.(b))))
+    done;
+    let nv = (!nv +. (cf *. pv)) /. (1.0 +. cf) in
+    next.(idx) <- nv;
+    for b = 0 to mb - 1 do
+      let ci = (b * nb) + i in
+      let mb_i = (mi * mb) + b in
+      let v1 =
+        bi.(mb_i) *. (nv -. pv +. (di.(mb_i) *. tv2.(b)) -. (2.0 *. f.(mb_i) *. tg1.(b)))
+      in
+      g1.(ci) <- tg1.(b) +. (0.5 *. (v1 +. tv2.(b)));
+      vel_next.(ci) <- v1
+    done
+  done
+
+(* Convenience drivers: run one full time step (volume + boundary) on a
+   [State.t] and rotate. *)
+
+let step_fi p (st : State.t) ~beta =
+  volume_step p ~dims:st.room.Geometry.dims ~nbrs:st.room.Geometry.nbrs ~prev:st.prev
+    ~curr:st.curr ~next:st.next;
+  boundary_fi p ~boundary_indices:st.room.Geometry.boundary_indices
+    ~nbrs:st.room.Geometry.nbrs ~beta ~prev:st.prev ~next:st.next;
+  State.rotate st
+
+let step_fi_mm p (st : State.t) ~beta =
+  volume_step p ~dims:st.room.Geometry.dims ~nbrs:st.room.Geometry.nbrs ~prev:st.prev
+    ~curr:st.curr ~next:st.next;
+  boundary_fi_mm p ~boundary_indices:st.room.Geometry.boundary_indices
+    ~nbrs:st.room.Geometry.nbrs ~material:st.room.Geometry.material ~beta ~prev:st.prev
+    ~next:st.next;
+  State.rotate st
+
+let step_fd_mm p (st : State.t) ~beta ~bi ~d ~f ~di =
+  let mb = st.n_branches in
+  volume_step p ~dims:st.room.Geometry.dims ~nbrs:st.room.Geometry.nbrs ~prev:st.prev
+    ~curr:st.curr ~next:st.next;
+  boundary_fd_mm p ~mb ~boundary_indices:st.room.Geometry.boundary_indices
+    ~nbrs:st.room.Geometry.nbrs ~material:st.room.Geometry.material ~beta ~bi ~d ~f ~di
+    ~prev:st.prev ~next:st.next ~g1:st.g1 ~vel_prev:st.vel_prev ~vel_next:st.vel_next;
+  State.rotate st

@@ -1,0 +1,81 @@
+(** Pure-OCaml reference implementations of the paper's kernels —
+    direct ports of Listings 1-4, the numerical ground truth for both
+    the hand-written kernel ASTs and the Lift-generated kernels. *)
+
+val fused_fi_box :
+  Params.t ->
+  dims:Geometry.dims ->
+  beta:float ->
+  prev:float array ->
+  curr:float array ->
+  next:float array ->
+  unit
+(** Listing 1: fused stencil + boundary, implicit box shape. *)
+
+val volume_step :
+  Params.t ->
+  dims:Geometry.dims ->
+  nbrs:int array ->
+  prev:float array ->
+  curr:float array ->
+  next:float array ->
+  unit
+(** Listing 2, kernel 1: stencil over points with nbr > 0. *)
+
+val boundary_fi :
+  Params.t ->
+  boundary_indices:int array ->
+  nbrs:int array ->
+  beta:float ->
+  prev:float array ->
+  next:float array ->
+  unit
+(** Listing 2, kernel 2: single-material in-place boundary update. *)
+
+val boundary_fi_mm :
+  Params.t ->
+  boundary_indices:int array ->
+  nbrs:int array ->
+  material:int array ->
+  beta:float array ->
+  prev:float array ->
+  next:float array ->
+  unit
+(** Listing 3: frequency-independent multi-material. *)
+
+val boundary_fd_mm :
+  Params.t ->
+  mb:int ->
+  boundary_indices:int array ->
+  nbrs:int array ->
+  material:int array ->
+  beta:float array ->
+  bi:float array ->
+  d:float array ->
+  f:float array ->
+  di:float array ->
+  prev:float array ->
+  next:float array ->
+  g1:float array ->
+  vel_prev:float array ->
+  vel_next:float array ->
+  unit
+(** Listing 4: frequency-dependent with [mb] ODE branches.  Coefficient
+    tables are flat [mi*mb + b]; state arrays branch-major
+    [b*nB + i].  [beta] must be the effective FD admittance
+    ({!Material.tables}). *)
+
+(** {1 Full-step drivers (volume + boundary + rotate)} *)
+
+val step_fi : Params.t -> State.t -> beta:float -> unit
+val step_fi_mm : Params.t -> State.t -> beta:float array -> unit
+
+val step_fd_mm :
+  Params.t ->
+  State.t ->
+  beta:float array ->
+  bi:float array ->
+  d:float array ->
+  f:float array ->
+  di:float array ->
+  unit

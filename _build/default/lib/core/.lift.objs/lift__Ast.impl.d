@@ -1,0 +1,1 @@
+lib/core/ast.ml: Fmt Kernel_ast List Option Printf Size Ty

@@ -1,0 +1,1 @@
+lib/core/ast.mli: Format Kernel_ast Size Ty

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Ast Cast Kernel_ast List Option Printf Size String Ty Typecheck View

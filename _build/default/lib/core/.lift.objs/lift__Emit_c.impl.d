@@ -1,0 +1,1 @@
+lib/core/emit_c.ml: Buffer Cast Codegen Hashtbl Host Kernel_ast List Print Printf String Vgpu

@@ -1,0 +1,1 @@
+lib/core/emit_c.mli: Host Kernel_ast

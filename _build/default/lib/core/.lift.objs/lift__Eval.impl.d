@@ -1,0 +1,1 @@
+lib/core/eval.ml: Array Ast Fmt Hashtbl List Printf Size Vgpu

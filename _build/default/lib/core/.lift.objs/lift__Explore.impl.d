@@ -1,0 +1,1 @@
+lib/core/explore.ml: Ast Buffer Codegen Hashtbl Kernel_ast List Rewrite String Vgpu

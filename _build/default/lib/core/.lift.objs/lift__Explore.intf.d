@@ -1,0 +1,1 @@
+lib/core/explore.mli: Ast Kernel_ast Rewrite Vgpu

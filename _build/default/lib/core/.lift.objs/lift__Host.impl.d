@@ -1,0 +1,1 @@
+lib/core/host.ml: Ast Cast Codegen Hashtbl Kernel_ast List Print Printf Size String Ty Vgpu

@@ -1,0 +1,1 @@
+lib/core/host.mli: Ast Codegen Kernel_ast Ty Vgpu

@@ -1,0 +1,1 @@
+lib/core/macros.ml: Ast Size Ty

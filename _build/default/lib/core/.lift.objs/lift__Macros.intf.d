@@ -1,0 +1,1 @@
+lib/core/macros.mli: Ast Size Ty

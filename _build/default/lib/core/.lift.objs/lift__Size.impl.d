@@ -1,0 +1,1 @@
+lib/core/size.ml: Fmt Int Kernel_ast List Map Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/typecheck.ml: Ast List Printf Size Ty

@@ -1,0 +1,1 @@
+lib/core/view.ml: Cast Kernel_ast List Printf Size Ty

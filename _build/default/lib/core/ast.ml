@@ -1,0 +1,289 @@
+(* The Lift intermediate representation.
+
+   The classic pattern language (map, reduce, zip, slide, pad, split,
+   join) plus the extensions this paper contributes for complex boundary
+   conditions (paper §IV, Table I):
+
+   - [Write_to]   — redirect the output view of an expression to an
+                    existing buffer, enabling in-place updates;
+   - [Concat]     — concatenate arrays; gives each argument an offset
+                    output view;
+   - [Skip]       — a no-op array of a given length, used inside Concat
+                    to position writes;
+   - [Array_cons] — an n-element array built from one repeated value.
+
+   Scalar computation is embedded directly (literals, binops, select,
+   math builtins) rather than through opaque user functions: this keeps
+   the interpreter, type checker and code generator total over the
+   language.  Parameters carry unique ids so substitution is
+   capture-avoiding by construction. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop =
+  | Neg
+  | Not
+  | To_real
+  | To_int
+
+type mode =
+  | Seq        (* sequential loop *)
+  | Glb of int (* one work-item per element along NDRange dimension d *)
+
+type param = {
+  p_id : int;
+  p_name : string;
+  p_ty : Ty.t;
+}
+
+type expr =
+  | Param of param
+  | Int_lit of int
+  | Real_lit of float
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Select of expr * expr * expr          (* scalar conditional *)
+  | Call of Kernel_ast.Cast.builtin * expr list
+  | Tuple of expr list
+  | Get of expr * int                     (* tuple projection *)
+  | Let of param * expr * expr
+  | Map of mode * lam * expr
+  | Reduce of lam * expr * expr           (* f, init, array *)
+  | Zip of expr list
+  | Slide of int * int * expr             (* window size, step *)
+  | Pad of int * int * expr * expr        (* left, right, constant, array *)
+  | Split of Size.t * expr
+  | Join of expr
+  | Iota of Size.t                        (* [0; 1; ...; n-1] *)
+  | Size_val of Size.t                    (* the integer value of a size *)
+  | Array_access of expr * expr           (* array, index *)
+  | Concat of expr list
+  (* Skip carries a symbolic length for the type checker and, when the
+     length is value-dependent (the paper's Skip(Float, idx)), the runtime
+     expression computing it.  The symbolic length then uses an opaque
+     size variable that cancels in the surrounding Concat. *)
+  | Skip of Ty.t * Size.t * expr option
+  | Array_cons of expr * int
+  | Write_to of expr * expr               (* target, value *)
+  | To_private of expr                    (* stage a small array in private memory *)
+  | Build of Size.t * lam                 (* array built lazily from an index function *)
+  | Transpose of expr                     (* swap the outer two dimensions *)
+
+and lam = {
+  l_params : param list;
+  l_body : expr;
+}
+
+let counter = ref 0
+
+let fresh_param ?(name = "x") ty =
+  incr counter;
+  { p_id = !counter; p_name = Printf.sprintf "%s_%d" name !counter; p_ty = ty }
+
+(* A parameter whose generated-code name is exactly [name]; used for
+   kernel arguments, where the paper's naming convention matters. *)
+let named_param name ty =
+  incr counter;
+  { p_id = !counter; p_name = name; p_ty = ty }
+
+let lam1 ?name ty f =
+  let p = fresh_param ?name ty in
+  { l_params = [ p ]; l_body = f (Param p) }
+
+let lam2 ?(name1 = "a") ?(name2 = "b") ty1 ty2 f =
+  let p1 = fresh_param ~name:name1 ty1 in
+  let p2 = fresh_param ~name:name2 ty2 in
+  { l_params = [ p1; p2 ]; l_body = f (Param p1) (Param p2) }
+
+(* Convenience operators for scalar code in the IR. *)
+let ( +! ) a b = Binop (Add, a, b)
+let ( -! ) a b = Binop (Sub, a, b)
+let ( *! ) a b = Binop (Mul, a, b)
+let ( /! ) a b = Binop (Div, a, b)
+let ( %! ) a b = Binop (Mod, a, b)
+let ( <! ) a b = Binop (Lt, a, b)
+let ( <=! ) a b = Binop (Le, a, b)
+let ( >! ) a b = Binop (Gt, a, b)
+let ( >=! ) a b = Binop (Ge, a, b)
+let ( =! ) a b = Binop (Eq, a, b)
+let ( <>! ) a b = Binop (Ne, a, b)
+let ( &&! ) a b = Binop (And, a, b)
+let ( ||! ) a b = Binop (Or, a, b)
+let int n = Int_lit n
+let real r = Real_lit r
+let to_real e = Unop (To_real, e)
+
+let let_ ?name ty value body =
+  let p = fresh_param ?name ty in
+  Let (p, value, body (Param p))
+
+let map ?(mode = Seq) f arg = Map (mode, f, arg)
+let map_glb ?(dim = 0) f arg = Map (Glb dim, f, arg)
+
+let build ?name n f =
+  let p = fresh_param ?name Ty.int in
+  Build (n, { l_params = [ p ]; l_body = f (Param p) })
+
+let skip ty n = Skip (ty, n, None)
+
+(* A value-dependent skip: [sym] is the opaque symbolic length used by
+   the type checker (it must cancel in the surrounding Concat); [len]
+   computes the actual offset at run time. *)
+let skip_dyn ty ~sym len = Skip (ty, sym, Some len)
+
+(* The paper's in-place scatter idiom (§IV-B2):
+
+     Concat(Skip(idx), value-of-one-element, Skip(N - 1 - idx))
+
+   writes [value] at position [index] of an array of symbolic length [n],
+   leaving every other element untouched.  [sym] names the opaque
+   symbolic skip length, which cancels against the trailing skip so the
+   row types as an array of length [n]. *)
+let scatter_row ~elt_ty ~n ~sym ~index value =
+  let s = Size.var sym in
+  Concat
+    [
+      skip_dyn elt_ty ~sym:s index;
+      Array_cons (value, 1);
+      skip_dyn elt_ty
+        ~sym:(Size.sub (Size.sub n s) (Size.const 1))
+        (Binop (Sub, Binop (Sub, Size_val n, index), Int_lit 1));
+    ]
+
+(* Substitute parameters by expressions (capture-avoiding thanks to
+   globally unique parameter ids). *)
+let rec subst (s : (int * expr) list) (e : expr) : expr =
+  match e with
+  | Param p -> ( match List.assoc_opt p.p_id s with Some e' -> e' | None -> e)
+  | Int_lit _ | Real_lit _ | Iota _ | Size_val _ -> e
+  | Skip (t, n, len) -> Skip (t, n, Option.map (subst s) len)
+  | Binop (op, a, b) -> Binop (op, subst s a, subst s b)
+  | Unop (op, a) -> Unop (op, subst s a)
+  | Select (c, a, b) -> Select (subst s c, subst s a, subst s b)
+  | Call (f, args) -> Call (f, List.map (subst s) args)
+  | Tuple es -> Tuple (List.map (subst s) es)
+  | Get (a, i) -> Get (subst s a, i)
+  | Let (p, v, b) -> Let (p, subst s v, subst s b)
+  | Map (m, f, a) -> Map (m, subst_lam s f, subst s a)
+  | Reduce (f, init, a) -> Reduce (subst_lam s f, subst s init, subst s a)
+  | Zip es -> Zip (List.map (subst s) es)
+  | Slide (sz, st, a) -> Slide (sz, st, subst s a)
+  | Pad (l, r, c, a) -> Pad (l, r, subst s c, subst s a)
+  | Split (n, a) -> Split (n, subst s a)
+  | Join a -> Join (subst s a)
+  | Array_access (a, i) -> Array_access (subst s a, subst s i)
+  | Concat es -> Concat (List.map (subst s) es)
+  | Array_cons (a, n) -> Array_cons (subst s a, n)
+  | Write_to (t, v) -> Write_to (subst s t, subst s v)
+  | To_private a -> To_private (subst s a)
+  | Build (n, f) -> Build (n, subst_lam s f)
+  | Transpose a -> Transpose (subst s a)
+
+and subst_lam s f =
+  let s = List.filter (fun (id, _) -> not (List.exists (fun p -> p.p_id = id) f.l_params)) s in
+  { f with l_body = subst s f.l_body }
+
+(* Apply a unary lambda by substitution (beta reduction). *)
+let apply1 f arg =
+  match f.l_params with
+  | [ p ] -> subst [ (p.p_id, arg) ] f.l_body
+  | _ -> invalid_arg "Ast.apply1: lambda is not unary"
+
+let apply2 f a b =
+  match f.l_params with
+  | [ p; q ] -> subst [ (p.p_id, a); (q.p_id, b) ] f.l_body
+  | _ -> invalid_arg "Ast.apply2: lambda is not binary"
+
+(* Compose unary lambdas: (compose f g) x = f (g x). *)
+let compose f g =
+  match g.l_params with
+  | [ p ] -> { l_params = [ p ]; l_body = apply1 f g.l_body }
+  | _ -> invalid_arg "Ast.compose: lambdas must be unary"
+
+(* Structural size of an expression; used to bound rewriting. *)
+let rec size = function
+  | Param _ | Int_lit _ | Real_lit _ | Iota _ | Skip _ | Size_val _ -> 1
+  | Unop (_, a) | Get (a, _) | Join a | Array_cons (a, _) -> 1 + size a
+  | Split (_, a) | Slide (_, _, a) -> 1 + size a
+  | Binop (_, a, b) | Array_access (a, b) | Write_to (a, b) -> 1 + size a + size b
+  | Select (a, b, c) -> 1 + size a + size b + size c
+  | Pad (_, _, b, c) -> 1 + size b + size c
+  | Call (_, es) | Tuple es | Zip es | Concat es -> List.fold_left (fun n e -> n + size e) 1 es
+  | Let (_, v, b) -> 1 + size v + size b
+  | To_private a -> 1 + size a
+  | Build (_, f) -> 1 + size f.l_body
+  | Transpose a -> 1 + size a
+  | Map (_, f, a) -> 1 + size f.l_body + size a
+  | Reduce (f, i, a) -> 1 + size f.l_body + size i + size a
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let mode_name = function Seq -> "mapSeq" | Glb d -> Printf.sprintf "mapGlb(%d)" d
+
+let rec pp ppf (e : expr) =
+  match e with
+  | Param p -> Fmt.string ppf p.p_name
+  | Int_lit n -> Fmt.int ppf n
+  | Real_lit r -> Fmt.float ppf r
+  | Binop (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp a (binop_name op) pp b
+  | Unop (Neg, a) -> Fmt.pf ppf "(-%a)" pp a
+  | Unop (Not, a) -> Fmt.pf ppf "(!%a)" pp a
+  | Unop (To_real, a) -> Fmt.pf ppf "real(%a)" pp a
+  | Unop (To_int, a) -> Fmt.pf ppf "int(%a)" pp a
+  | Select (c, a, b) -> Fmt.pf ppf "select(%a, %a, %a)" pp c pp a pp b
+  | Call (f, args) ->
+      Fmt.pf ppf "%s(%a)" (Kernel_ast.Print.builtin_name f) Fmt.(list ~sep:comma pp) args
+  | Tuple es -> Fmt.pf ppf "Tuple(%a)" Fmt.(list ~sep:comma pp) es
+  | Get (a, i) -> Fmt.pf ppf "Get(%a, %d)" pp a i
+  | Let (p, v, b) -> Fmt.pf ppf "@[<v>let %s = %a in@,%a@]" p.p_name pp v pp b
+  | Map (m, f, a) -> Fmt.pf ppf "@[<hov 2>%s(%a,@ %a)@]" (mode_name m) pp_lam f pp a
+  | Reduce (f, i, a) -> Fmt.pf ppf "@[<hov 2>reduce(%a,@ %a,@ %a)@]" pp_lam f pp i pp a
+  | Zip es -> Fmt.pf ppf "zip(%a)" Fmt.(list ~sep:comma pp) es
+  | Slide (sz, st, a) -> Fmt.pf ppf "slide(%d, %d, %a)" sz st pp a
+  | Pad (l, r, c, a) -> Fmt.pf ppf "pad(%d, %d, %a, %a)" l r pp c pp a
+  | Split (n, a) -> Fmt.pf ppf "split(%a, %a)" Size.pp n pp a
+  | Join a -> Fmt.pf ppf "join(%a)" pp a
+  | Iota n -> Fmt.pf ppf "iota(%a)" Size.pp n
+  | Size_val n -> Fmt.pf ppf "sizeVal(%a)" Size.pp n
+  | Array_access (a, i) -> Fmt.pf ppf "%a[%a]" pp a pp i
+  | Concat es -> Fmt.pf ppf "@[<hov 2>concat(%a)@]" Fmt.(list ~sep:comma pp) es
+  | Skip (t, n, None) -> Fmt.pf ppf "skip<%a>(%a)" Ty.pp t Size.pp n
+  | Skip (t, _, Some len) -> Fmt.pf ppf "skip<%a>(%a)" Ty.pp t pp len
+  | Array_cons (a, n) -> Fmt.pf ppf "arrayCons(%a, %d)" pp a n
+  | Write_to (t, v) -> Fmt.pf ppf "@[<hov 2>writeTo(%a,@ %a)@]" pp t pp v
+  | To_private a -> Fmt.pf ppf "toPrivate(%a)" pp a
+  | Build (n, f) -> Fmt.pf ppf "build(%a, %a)" Size.pp n pp_lam f
+  | Transpose a -> Fmt.pf ppf "transpose(%a)" pp a
+
+and pp_lam ppf f =
+  Fmt.pf ppf "@[<hov 2>fun(%a) =>@ %a@]"
+    Fmt.(list ~sep:comma (fun ppf p -> Fmt.pf ppf "%s: %a" p.p_name Ty.pp p.p_ty))
+    f.l_params pp f.l_body
+
+let to_string = Fmt.to_to_string pp

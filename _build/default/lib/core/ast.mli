@@ -1,0 +1,155 @@
+(** The Lift intermediate representation.
+
+    The classic pattern language (map, reduce, zip, slide, pad, split,
+    join) plus the extensions this paper contributes for complex
+    boundary conditions (paper §IV, Table I): {!constructor:Write_to},
+    {!constructor:Concat}, {!constructor:Skip} and
+    {!constructor:Array_cons}, which together express in-place,
+    scatter-indexed updates, and {!constructor:To_private} for staging
+    small arrays in registers.
+
+    Parameters carry globally unique ids, so substitution is
+    capture-avoiding by construction. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop =
+  | Neg
+  | Not
+  | To_real
+  | To_int
+
+(** Execution mode of a map. *)
+type mode =
+  | Seq        (** sequential loop *)
+  | Glb of int (** one work-item per element along NDRange dimension d *)
+
+type param = {
+  p_id : int;
+  p_name : string;
+  p_ty : Ty.t;
+}
+
+type expr =
+  | Param of param
+  | Int_lit of int
+  | Real_lit of float
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Select of expr * expr * expr
+      (** scalar conditional; compiles to a guarded branch when its arms
+          perform memory accesses *)
+  | Call of Kernel_ast.Cast.builtin * expr list
+  | Tuple of expr list
+  | Get of expr * int
+  | Let of param * expr * expr
+  | Map of mode * lam * expr
+  | Reduce of lam * expr * expr  (** f, init, array *)
+  | Zip of expr list
+  | Slide of int * int * expr    (** window size, step *)
+  | Pad of int * int * expr * expr  (** left, right, constant, array *)
+  | Split of Size.t * expr
+  | Join of expr
+  | Iota of Size.t               (** [[0; 1; ...; n-1]] *)
+  | Size_val of Size.t           (** the integer value of a size *)
+  | Array_access of expr * expr
+  | Concat of expr list
+  | Skip of Ty.t * Size.t * expr option
+      (** a no-op array that only positions subsequent Concat writes;
+          carries a symbolic length for the type checker and, for the
+          paper's value-dependent [Skip(Float, idx)], the runtime
+          expression computing it *)
+  | Array_cons of expr * int     (** n copies of one value *)
+  | Write_to of expr * expr      (** target, value: redirect output *)
+  | To_private of expr           (** stage a small array in registers *)
+  | Build of Size.t * lam
+      (** array built lazily from an index function (generalises Iota;
+          the paper's [array3(m,n,o,f)] generator); no memory is
+          materialised *)
+  | Transpose of expr            (** swap the outer two dimensions *)
+
+and lam = {
+  l_params : param list;
+  l_body : expr;
+}
+
+(** {1 Construction} *)
+
+val fresh_param : ?name:string -> Ty.t -> param
+(** A parameter with a fresh id and a uniquified name. *)
+
+val named_param : string -> Ty.t -> param
+(** A parameter whose generated-code name is exactly [name]; used for
+    kernel arguments, where the paper's naming convention matters. *)
+
+val lam1 : ?name:string -> Ty.t -> (expr -> expr) -> lam
+val lam2 : ?name1:string -> ?name2:string -> Ty.t -> Ty.t -> (expr -> expr -> expr) -> lam
+
+val ( +! ) : expr -> expr -> expr
+val ( -! ) : expr -> expr -> expr
+val ( *! ) : expr -> expr -> expr
+val ( /! ) : expr -> expr -> expr
+val ( %! ) : expr -> expr -> expr
+val ( <! ) : expr -> expr -> expr
+val ( <=! ) : expr -> expr -> expr
+val ( >! ) : expr -> expr -> expr
+val ( >=! ) : expr -> expr -> expr
+val ( =! ) : expr -> expr -> expr
+val ( <>! ) : expr -> expr -> expr
+val ( &&! ) : expr -> expr -> expr
+val ( ||! ) : expr -> expr -> expr
+
+val int : int -> expr
+val real : float -> expr
+val to_real : expr -> expr
+
+val let_ : ?name:string -> Ty.t -> expr -> (expr -> expr) -> expr
+val map : ?mode:mode -> lam -> expr -> expr
+val map_glb : ?dim:int -> lam -> expr -> expr
+
+val build : ?name:string -> Size.t -> (expr -> expr) -> expr
+(** [build n f] is the lazy array [[f 0; ...; f (n-1)]]. *)
+
+val skip : Ty.t -> Size.t -> expr
+val skip_dyn : Ty.t -> sym:Size.t -> expr -> expr
+
+val scatter_row :
+  elt_ty:Ty.t -> n:Size.t -> sym:string -> index:expr -> expr -> expr
+(** The paper's in-place scatter idiom (§IV-B2):
+    [Concat(Skip(idx), ArrayCons(value,1), Skip(n-1-idx))] — writes
+    [value] at position [index] of an array of length [n], leaving every
+    other element untouched.  [sym] names the opaque symbolic skip
+    length, which cancels so the row types as an array of length [n]. *)
+
+(** {1 Substitution} *)
+
+val subst : (int * expr) list -> expr -> expr
+val apply1 : lam -> expr -> expr
+val apply2 : lam -> expr -> expr -> expr
+
+val compose : lam -> lam -> lam
+(** [(compose f g) x = f (g x)]; used by map fusion. *)
+
+(** {1 Miscellany} *)
+
+val size : expr -> int
+(** Structural size, used to bound rewriting. *)
+
+val binop_name : binop -> string
+val mode_name : mode -> string
+val pp : Format.formatter -> expr -> unit
+val pp_lam : Format.formatter -> lam -> unit
+val to_string : expr -> string

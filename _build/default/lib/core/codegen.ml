@@ -1,0 +1,553 @@
+(* Lift code generation: lower a typed IR program to a kernel AST.
+
+   Follows the paper's pipeline (§III-A): memory allocation (temporary
+   buffers, or aliasing onto inputs under WriteTo), view construction,
+   then statement emission.  The new primitives lower as described in
+   §IV-B:
+
+   - [Write_to (t, v)] compiles [v] with its output view set to [t]'s
+     input view, so stores land in the existing buffer;
+   - [Concat] compiles each argument against an offset output view
+     (ViewOffset); [Skip] contributes only its length, emitting no code;
+   - [Array_cons (e, 1)] under a Concat materialises exactly one store —
+     together these produce the in-place scatter loop of §IV-B2;
+   - a [Map] whose body produces *rows typed like the forced output view*
+     writes each row through the whole view (the paper's "behaves as if
+     writing the entire array at each iteration").
+
+   [Map (Glb d)] becomes a guarded NDRange work-item along dimension [d];
+   [Map Seq] and [Reduce] become sequential loops. *)
+
+open Kernel_ast
+
+exception Codegen_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Codegen_error s)) fmt
+
+type ctx = {
+  precision : Cast.precision;
+  mutable block : Cast.stmt list; (* reversed *)
+  mutable fresh_id : int;
+  mutable temps : (string * Ty.t) list; (* temporary buffers, outermost first *)
+  mutable glb_dims : (int * Cast.expr) list; (* NDRange extent per dimension *)
+}
+
+let create_ctx ~precision =
+  { precision; block = []; fresh_id = 0; temps = []; glb_dims = [] }
+
+let emit ctx s = ctx.block <- s :: ctx.block
+
+let fresh ctx base =
+  ctx.fresh_id <- ctx.fresh_id + 1;
+  Printf.sprintf "%s_%d" base ctx.fresh_id
+
+(* Compile [f ()] into a fresh statement block and return it. *)
+let in_block ctx f =
+  let saved = ctx.block in
+  ctx.block <- [];
+  f ();
+  let stmts = List.rev ctx.block in
+  ctx.block <- saved;
+  stmts
+
+let cast_binop : Ast.binop -> Cast.binop = function
+  | Add -> Add
+  | Sub -> Sub
+  | Mul -> Mul
+  | Div -> Div
+  | Mod -> Mod
+  | Eq -> Eq
+  | Ne -> Ne
+  | Lt -> Lt
+  | Le -> Le
+  | Gt -> Gt
+  | Ge -> Ge
+  | And -> And
+  | Or -> Or
+
+let cast_scalar_ty (t : Ty.t) =
+  match t with
+  | Ty.Scalar s -> Ty.to_cast_scalar s
+  | _ -> err "expected scalar type, got %s" (Ty.to_string t)
+
+type venv = (int * View.t) list
+type tenv = (int * Ty.t) list
+
+let alloc_temp ctx (ty : Ty.t) : View.t =
+  let name = fresh ctx "tmp" in
+  ctx.temps <- (name, ty) :: ctx.temps;
+  View.mem name ty
+
+(* Force an output view to exist, allocating a temporary buffer when the
+   producer has nowhere to write. *)
+let force_out ctx (out : View.t option) (ty : Ty.t) : View.t =
+  match out with Some v -> v | None -> alloc_temp ctx ty
+
+let scalar_of ctx venv tenv compile (e : Ast.expr) : Cast.expr =
+  View.read (compile ctx venv tenv None e)
+
+let rec compile ctx (venv : venv) (tenv : tenv) (out : View.t option) (e : Ast.expr) :
+    View.t =
+  let infer e = Typecheck.infer tenv e in
+  let scalar e = scalar_of ctx venv tenv compile e in
+  match e with
+  | Ast.Param p -> (
+      match List.assoc_opt p.p_id venv with
+      | Some v -> v
+      | None -> err "unbound parameter %s" p.p_name)
+  | Ast.Int_lit n -> View.scalar (Cast.Int_lit n)
+  | Ast.Real_lit r -> View.scalar (Cast.Real_lit r)
+  | Ast.Binop (op, a, b) -> View.scalar (Cast.Binop (cast_binop op, scalar a, scalar b))
+  | Ast.Unop (op, a) ->
+      let ca = scalar a in
+      let op' : Cast.unop =
+        match op with Neg -> Neg | Not -> Not | To_real -> To_real | To_int -> To_int
+      in
+      View.scalar (Cast.Unop (op', ca))
+  | Ast.Select (c, a, b) ->
+      (* Branches that emit statements (lets, loads under a guard) must be
+         compiled into a conditional block, not a ternary: on the device
+         the guard predicates the memory accesses — exactly the
+         [if (nbr > 0)] structure of the paper's kernels. *)
+      let cc = scalar c in
+      let then_view = ref (View.scalar (Cast.Int_lit 0)) in
+      let else_view = ref (View.scalar (Cast.Int_lit 0)) in
+      let then_block = in_block ctx (fun () -> then_view := compile ctx venv tenv None a) in
+      let else_block = in_block ctx (fun () -> else_view := compile ctx venv tenv None b) in
+      let ca = View.read !then_view and cb = View.read !else_view in
+      if then_block = [] && else_block = [] then View.scalar (Cast.Ternary (cc, ca, cb))
+      else begin
+        let ty = cast_scalar_ty (infer a) in
+        let r = fresh ctx "sel" in
+        emit ctx (Cast.Decl (ty, r, None));
+        emit ctx
+          (Cast.If
+             ( cc,
+               then_block @ [ Cast.Assign (r, ca) ],
+               else_block @ [ Cast.Assign (r, cb) ] ));
+        View.scalar (Cast.Var r)
+      end
+  | Ast.Call (f, args) -> View.scalar (Cast.Call (f, List.map scalar args))
+  | Ast.Tuple es ->
+      (* Multi-output: each component manages its own writes. *)
+      View.Tuple_v (List.map (fun e -> compile ctx venv tenv None e) es)
+  | Ast.Get (a, i) -> View.tuple_get (compile ctx venv tenv None a) i
+  | Ast.Let (p, v, b) ->
+      let tv = infer v in
+      let view =
+        if Ty.is_scalar tv then begin
+          let cv = scalar v in
+          match cv with
+          | Cast.Var _ | Cast.Int_lit _ | Cast.Real_lit _ ->
+              View.scalar cv (* no point naming an atom *)
+          | _ ->
+              let name = fresh ctx p.Ast.p_name in
+              emit ctx (Cast.Decl (cast_scalar_ty tv, name, Some cv));
+              View.scalar (Cast.Var name)
+        end
+        else compile ctx venv tenv None v
+      in
+      compile ctx ((p.Ast.p_id, view) :: venv) ((p.Ast.p_id, tv) :: tenv) out b
+  | Ast.Map (mode, f, arg) -> compile_map ctx venv tenv out ~mode ~f ~arg
+  | Ast.Reduce (f, init, arg) -> compile_reduce ctx venv tenv ~f ~init ~arg
+  | Ast.Zip es -> View.Zip_v (List.map (fun e -> compile ctx venv tenv None e) es)
+  | Ast.Slide (sz, st, a) -> View.Slide_v (sz, st, compile ctx venv tenv None a)
+  | Ast.Pad (l, _r, c, a) -> (
+      let va = compile ctx venv tenv None a in
+      let cc = scalar c in
+      match infer a with
+      | Ty.Array (_, n) -> View.pad_v ~left:l ~len:n ~const:cc va
+      | t -> err "pad of non-array %s" (Ty.to_string t))
+  | Ast.Split (m, a) -> View.Split_v (m, compile ctx venv tenv None a)
+  | Ast.Join a -> (
+      match infer a with
+      | Ty.Array (Ty.Array (_, m), _) -> View.Join_v (m, compile ctx venv tenv None a)
+      | t -> err "join of %s" (Ty.to_string t))
+  | Ast.Iota _ -> View.Gen_v (fun i -> View.scalar i)
+  | Ast.Build (_, f) -> (
+      match f.Ast.l_params with
+      | [ p ] ->
+          (* a lazy generator: no memory, the element view is built on
+             access with the index substituted in *)
+          View.Gen_v
+            (fun i ->
+              compile ctx
+                ((p.Ast.p_id, View.scalar i) :: venv)
+                ((p.Ast.p_id, Ty.int) :: tenv)
+                None f.Ast.l_body)
+      | _ -> err "build function must be unary")
+  | Ast.Transpose a -> View.Transpose_v (compile ctx venv tenv None a)
+  | Ast.Size_val n -> View.scalar (Size.to_cexpr n)
+  | Ast.Array_access (a, i) ->
+      let va = compile ctx venv tenv None a in
+      View.access va (scalar i)
+  | Ast.Concat es -> compile_concat ctx venv tenv out es
+  | Ast.Skip _ ->
+      (* Standalone Skip emits nothing and denotes nothing readable. *)
+      View.Gen_v (fun _ -> err "reading an element of Skip")
+  | Ast.Array_cons (e, n) ->
+      let ty = infer e in
+      let o = force_out ctx out (Ty.Array (ty, Size.const n)) in
+      let v = scalar e in
+      for j = 0 to n - 1 do
+        emit ctx (View.write (View.access o (Cast.Int_lit j)) v)
+      done;
+      o
+  | Ast.Write_to (target, value) -> compile_write_to ctx venv tenv ~target ~value
+  | Ast.To_private a -> (
+      (* Stage a statically sized array of scalars into a private
+         (register) array: emitted as a fill loop; later reads hit the
+         private array instead of global memory. *)
+      let ty = infer a in
+      match ty with
+      | Ty.Array ((Ty.Scalar s as elt), n) -> (
+          match Size.to_int_opt n with
+          | Some len ->
+              let name = fresh ctx "priv" in
+              emit ctx (Cast.Decl_arr (Ty.to_cast_scalar s, name, len));
+              let priv = View.mem name (Ty.Array (elt, n)) in
+              (* The producer writes straight into the private array. *)
+              ignore (compile ctx venv tenv (Some priv) a);
+              priv
+          | None -> err "toPrivate requires a static length")
+      | t -> err "toPrivate of %s" (Ty.to_string t))
+
+and compile_write_to ctx venv tenv ~target ~value =
+  let tt = Typecheck.infer tenv target in
+  let vt = compile ctx venv tenv None target in
+  if Ty.is_scalar tt then begin
+    (* Scalar location: a single in-place store. *)
+    let v = scalar_of ctx venv tenv compile value in
+    emit ctx (View.write vt v);
+    vt
+  end
+  else begin
+    ignore (compile ctx venv tenv (Some vt) value);
+    vt
+  end
+
+and compile_concat ctx venv tenv out es =
+  let tys = List.map (Typecheck.infer tenv) es in
+  let total_ty =
+    match tys with
+    | Ty.Array (elt, n0) :: rest ->
+        let n =
+          List.fold_left
+            (fun acc t -> Size.add acc (Ty.length t))
+            n0 rest
+        in
+        Ty.Array (elt, n)
+    | _ -> err "concat of non-arrays"
+  in
+  let o = force_out ctx out total_ty in
+  (* Offsets are runtime expressions so that value-dependent skips
+     (Skip(Float, idx)) position subsequent writes dynamically. *)
+  let offset = ref (Cast.Int_lit 0) in
+  List.iter2
+    (fun e ty ->
+      match e with
+      | Ast.Skip (_, n, len) ->
+          (* no code: only shifts subsequent writes *)
+          let l =
+            match len with
+            | Some l -> scalar_of ctx venv tenv compile l
+            | None -> Size.to_cexpr n
+          in
+          offset := Cast.(simplify (!offset +: l))
+      | _ ->
+          let shifted = View.Shift_v (!offset, o) in
+          ignore (compile ctx venv tenv (Some shifted) e);
+          offset := Cast.(simplify (!offset +: Size.to_cexpr (Ty.length ty))))
+    es tys;
+  o
+
+and compile_reduce ctx venv tenv ~f ~init ~arg =
+  let t_arr = Typecheck.infer tenv arg in
+  let elt, n =
+    match t_arr with
+    | Ty.Array (elt, n) -> (elt, n)
+    | t -> err "reduce over %s" (Ty.to_string t)
+  in
+  let t_init = Typecheck.infer tenv init in
+  let va = compile ctx venv tenv None arg in
+  let init_c = scalar_of ctx venv tenv compile init in
+  let acc = fresh ctx "acc" in
+  emit ctx (Cast.Decl (cast_scalar_ty t_init, acc, Some init_c));
+  let i = fresh ctx "i" in
+  let pacc, px =
+    match f.Ast.l_params with
+    | [ a; b ] -> (a, b)
+    | _ -> err "reduce function must be binary"
+  in
+  let body =
+    in_block ctx (fun () ->
+        let elem = View.access va (Cast.Var i) in
+        let venv' = (pacc.Ast.p_id, View.scalar (Cast.Var acc)) :: (px.Ast.p_id, elem) :: venv in
+        let tenv' = (pacc.Ast.p_id, t_init) :: (px.Ast.p_id, elt) :: tenv in
+        let v = scalar_of ctx venv' tenv' compile f.Ast.l_body in
+        emit ctx (Cast.Assign (acc, v)))
+  in
+  emit ctx
+    (Cast.For
+       { var = i; init = Cast.Int_lit 0; bound = Size.to_cexpr n; step = Cast.Int_lit 1; body });
+  View.scalar (Cast.Var acc)
+
+(* A body is "view-pure" when compiling it emits no statements: only
+   pattern wrappers and pure scalar expressions.  Such maps in input
+   position compile to lazy generator views instead of materialising a
+   temporary buffer — this is what makes the slide2/slide3/pad3 macro
+   compositions allocation-free. *)
+and view_pure (e : Ast.expr) : bool =
+  match e with
+  | Ast.Param _ | Ast.Int_lit _ | Ast.Real_lit _ | Ast.Iota _ | Ast.Size_val _ -> true
+  | Ast.Binop (_, a, b) | Ast.Array_access (a, b) -> view_pure a && view_pure b
+  | Ast.Unop (_, a) | Ast.Get (a, _) | Ast.Join a | Ast.Transpose a ->
+      view_pure a
+  | Ast.Slide (_, _, a) | Ast.Split (_, a) -> view_pure a
+  | Ast.Pad (_, _, c, a) -> view_pure c && view_pure a
+  | Ast.Call (_, es) | Ast.Zip es | Ast.Tuple es -> List.for_all view_pure es
+  | Ast.Map (Ast.Seq, f, a) -> view_pure f.Ast.l_body && view_pure a
+  | Ast.Build (_, f) -> view_pure f.Ast.l_body
+  | Ast.Select _ | Ast.Let _ | Ast.Map _ | Ast.Reduce _ | Ast.Concat _ | Ast.Skip _
+  | Ast.Array_cons _ | Ast.Write_to _ | Ast.To_private _ ->
+      false
+
+and compile_map ctx venv tenv out ~mode ~f ~arg =
+  let t_arr = Typecheck.infer tenv arg in
+  let elt, n =
+    match t_arr with
+    | Ty.Array (elt, n) -> (elt, n)
+    | t -> err "map over %s" (Ty.to_string t)
+  in
+  let p =
+    match f.Ast.l_params with [ p ] -> p | _ -> err "map function must be unary"
+  in
+  let t_body = Typecheck.infer ((p.Ast.p_id, elt) :: tenv) f.Ast.l_body in
+  let va = compile ctx venv tenv None arg in
+  if out = None && mode = Ast.Seq && view_pure f.Ast.l_body then
+    (* input-position map with a view-only body: stay lazy *)
+    View.Gen_v
+      (fun i ->
+        let elem = View.access va i in
+        compile ctx ((p.Ast.p_id, elem) :: venv) ((p.Ast.p_id, elt) :: tenv) None f.Ast.l_body)
+  else begin
+  (* Decide where each iteration's result goes. *)
+  let self_writing = match t_body with Ty.Tuple _ -> true | _ -> false in
+  let out_view =
+    if self_writing then None
+    else Some (force_out ctx out (Ty.Array (t_body, n)))
+  in
+  (* The scatter idiom: the body produces whole rows typed like the
+     forced output; every iteration writes through the entire view. *)
+  let row_scatter =
+    match out with
+    | Some o -> (
+        match (o, t_body) with
+        | View.Mem m, Ty.Array _ -> Ty.equal m.View.m_ty t_body
+        | _ -> false)
+    | None -> false
+  in
+  let compile_iteration i =
+    let elem = View.access va (Cast.Var i) in
+    (* Scalar elements are staged in a register, as in the paper's
+       generated code (float tmp1 = A[i]), so repeated uses of the lambda
+       parameter repeat neither the load nor — after fusion, where the
+       element is a whole fused expression — the computation. *)
+    let elem =
+      match (elt, elem) with
+      | Ty.Scalar _, View.Scalar e
+        when (match e with
+             | Cast.Var _ | Cast.Int_lit _ | Cast.Real_lit _ | Cast.Global_id _ -> false
+             | _ -> true) ->
+          let name = fresh ctx p.Ast.p_name in
+          emit ctx (Cast.Decl (cast_scalar_ty elt, name, Some (Cast.simplify e)));
+          View.scalar (Cast.Var name)
+      | _ -> elem
+    in
+    let venv' = (p.Ast.p_id, elem) :: venv in
+    let tenv' = (p.Ast.p_id, elt) :: tenv in
+    if self_writing then ignore (compile ctx venv' tenv' None f.Ast.l_body)
+    else begin
+      let o = Option.get out_view in
+      let target = if row_scatter then o else View.access o (Cast.Var i) in
+      if Ty.is_scalar t_body then begin
+        let v = scalar_of ctx venv' tenv' compile f.Ast.l_body in
+        emit ctx (View.write target v)
+      end
+      else ignore (compile ctx venv' tenv' (Some target) f.Ast.l_body)
+    end
+  in
+  (match mode with
+  | Ast.Seq ->
+      let i = fresh ctx "i" in
+      let body = in_block ctx (fun () -> compile_iteration i) in
+      emit ctx
+        (Cast.For
+           {
+             var = i;
+             init = Cast.Int_lit 0;
+             bound = Size.to_cexpr n;
+             step = Cast.Int_lit 1;
+             body;
+           })
+  | Ast.Glb d ->
+      let i = fresh ctx (Printf.sprintf "gid%d" d) in
+      let extent = Cast.simplify (Size.to_cexpr n) in
+      if not (List.mem_assoc d ctx.glb_dims) then ctx.glb_dims <- (d, extent) :: ctx.glb_dims;
+      emit ctx (Cast.Decl (Cast.Int, i, Some (Cast.Global_id d)));
+      let body = in_block ctx (fun () -> compile_iteration i) in
+      emit ctx (Cast.If (Cast.(Var i <: extent), body, [])));
+    match out_view with
+    | Some o -> o
+    | None -> View.Gen_v (fun _ -> err "result of a self-writing map is not readable")
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Whole-kernel compilation *)
+
+type compiled = {
+  kernel : Cast.kernel;
+  result_ty : Ty.t;
+  out_param : string option; (* fresh output buffer appended to params, if needed *)
+  temp_params : (string * Ty.t) list;
+  written_params : string list; (* parameters updated in place by WriteTo *)
+}
+
+(* Parameters a program writes in place (WriteTo targets), in source
+   order. *)
+let written_params_of (f : Ast.lam) : string list =
+  let rec target_param (e : Ast.expr) =
+    match e with
+    | Ast.Param p -> [ p.Ast.p_name ]
+    | Ast.Array_access (a, _) -> target_param a
+    | _ -> []
+  in
+  let rec go (e : Ast.expr) =
+    match e with
+    | Ast.Write_to (t, v) -> target_param t @ go v
+    | Ast.Tuple es | Ast.Concat es -> List.concat_map go es
+    | Ast.Let (_, v, b) -> go v @ go b
+    | Ast.Map (_, f, a) -> go f.Ast.l_body @ go a
+    | _ -> []
+  in
+  List.sort_uniq String.compare (go f.Ast.l_body)
+
+(* Size variables mentioned anywhere in a program: they become int scalar
+   kernel parameters. *)
+let size_vars_of_program (f : Ast.lam) : string list =
+  let acc = ref [] in
+  let add_size s = acc := Size.vars s @ !acc in
+  let add_ty t = acc := Ty.size_vars t @ !acc in
+  let rec go (e : Ast.expr) =
+    match e with
+    | Param p -> add_ty p.p_ty
+    | Int_lit _ | Real_lit _ -> ()
+    | Binop (_, a, b) | Array_access (a, b) | Write_to (a, b) -> go a; go b
+    | Unop (_, a) | Get (a, _) | Join a | Array_cons (a, _) -> go a
+    | Select (a, b, c) -> go a; go b; go c
+    | Call (_, es) | Tuple es | Zip es | Concat es -> List.iter go es
+    | Let (_, v, b) -> go v; go b
+    | Map (_, f, a) -> go f.Ast.l_body; go a
+    | Reduce (f, i, a) -> go f.Ast.l_body; go i; go a
+    | Slide (_, _, a) -> go a
+    | Pad (_, _, c, a) -> go c; go a
+    | Split (n, a) -> add_size n; go a
+    | Iota n -> add_size n
+    | Skip (t, n, len) -> (
+        add_ty t;
+        match len with Some l -> go l | None -> add_size n)
+    | Size_val n -> add_size n
+    | To_private a -> go a
+    | Build (n, f) -> add_size n; go f.Ast.l_body
+    | Transpose a -> go a
+  in
+  List.iter (fun p -> add_ty p.Ast.p_ty) f.Ast.l_params;
+  go f.Ast.l_body;
+  List.sort_uniq String.compare !acc
+
+let buffer_param_of (p : Ast.param) : Cast.param =
+  match Ty.leaf_scalar p.p_ty with
+  | Some s -> Cast.param p.p_name (Ty.to_cast_scalar s)
+  | None -> err "parameter %s has unstorable type %s" p.p_name (Ty.to_string p.p_ty)
+
+(* Compile a closed program into a kernel.
+
+   Array parameters become global buffers named after the parameter;
+   scalar parameters and all size variables become scalar kernel
+   parameters.  If the program's result is not already written in place
+   (via WriteTo), a fresh [out] buffer parameter is appended. *)
+let compile_kernel ?(name = "kernel") ~precision (f : Ast.lam) : compiled =
+  List.iter
+    (fun (p : Ast.param) ->
+      if (not (Ty.is_scalar p.p_ty)) && Ty.leaf_scalar p.p_ty = None then
+        err "parameter %s has unstorable type %s" p.p_name (Ty.to_string p.p_ty))
+    f.Ast.l_params;
+  let ctx = create_ctx ~precision in
+  let result_ty = Typecheck.infer_program f in
+  let tenv = List.map (fun p -> (p.Ast.p_id, p.Ast.p_ty)) f.Ast.l_params in
+  let venv =
+    List.map
+      (fun (p : Ast.param) ->
+        if Ty.is_scalar p.p_ty then (p.p_id, View.scalar (Cast.Var p.p_name))
+        else (p.p_id, View.mem p.p_name p.p_ty))
+      f.Ast.l_params
+  in
+  (* Does the program write its own outputs? *)
+  let rec self_writing (e : Ast.expr) =
+    match e with
+    | Ast.Write_to _ -> true
+    | Ast.Tuple es -> List.for_all self_writing es
+    | Ast.Let (_, _, b) -> self_writing b
+    | Ast.Map (_, f, _) -> self_writing f.Ast.l_body
+    | _ -> false
+  in
+  let needs_out = not (self_writing f.Ast.l_body) in
+  let out_view = if needs_out then Some (View.mem "out" result_ty) else None in
+  ignore (compile ctx venv tenv out_view f.Ast.l_body);
+  let body = List.rev ctx.block in
+  let array_params, scalar_params =
+    List.partition (fun (p : Ast.param) -> not (Ty.is_scalar p.p_ty)) f.Ast.l_params
+  in
+  let params =
+    List.map buffer_param_of array_params
+    @ (if needs_out then
+         match Ty.leaf_scalar result_ty with
+         | Some s -> [ Cast.param "out" (Ty.to_cast_scalar s) ]
+         | None -> err "program result type %s is not storable" (Ty.to_string result_ty)
+       else [])
+    @ List.map
+        (fun (name, ty) ->
+          match Ty.leaf_scalar ty with
+          | Some s -> Cast.param name (Ty.to_cast_scalar s)
+          | None -> err "temporary of unstorable type")
+        ctx.temps
+    @ List.map
+        (fun (p : Ast.param) -> Cast.param ~kind:Cast.Scalar_param p.p_name (cast_scalar_ty p.p_ty))
+        scalar_params
+    @ List.map
+        (fun v -> Cast.param ~kind:Cast.Scalar_param v Cast.Int)
+        (List.filter
+           (fun v -> not (List.exists (fun (p : Ast.param) -> p.Ast.p_name = v) scalar_params))
+           (size_vars_of_program f))
+  in
+  let global_size =
+    let dims = List.sort compare (List.map fst ctx.glb_dims) in
+    match dims with
+    | [] -> [ Cast.Int_lit 1 ]
+    | _ ->
+        let maxd = List.fold_left max 0 dims in
+        List.init (maxd + 1) (fun d ->
+            match List.assoc_opt d ctx.glb_dims with
+            | Some e -> e
+            | None -> Cast.Int_lit 1)
+  in
+  let kernel =
+    Cast.simplify_kernel { Cast.name; precision; params; body; global_size }
+  in
+  {
+    kernel;
+    result_ty;
+    out_param = (if needs_out then Some "out" else None);
+    temp_params = List.rev ctx.temps;
+    written_params = written_params_of f;
+  }

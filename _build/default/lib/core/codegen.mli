@@ -1,0 +1,41 @@
+(** Lift code generation: lower a typed IR program to a kernel AST.
+
+    Follows the paper's pipeline (§III-A): memory allocation (temporary
+    buffers, or aliasing onto inputs under WriteTo), view construction,
+    then statement emission.  The new primitives lower as described in
+    §IV-B: WriteTo redirects output views; Concat compiles each argument
+    against an offset output view; Skip contributes only its (possibly
+    dynamic) length; a Map whose body produces rows typed like the
+    forced output view writes each row through the whole view — the
+    in-place scatter.
+
+    [Map (Glb d)] becomes a guarded NDRange work-item along dimension
+    [d]; [Map Seq] and [Reduce] become sequential loops; [Select]
+    compiles to a guarded branch when its arms perform memory
+    accesses. *)
+
+exception Codegen_error of string
+
+type compiled = {
+  kernel : Kernel_ast.Cast.kernel;
+  result_ty : Ty.t;
+  out_param : string option;
+      (** fresh output buffer appended to the parameters, or [None] for
+          self-writing (WriteTo) programs *)
+  temp_params : (string * Ty.t) list;
+      (** temporary buffers the host must allocate *)
+  written_params : string list;
+      (** parameters the program updates in place *)
+}
+
+val written_params_of : Ast.lam -> string list
+
+val compile_kernel :
+  ?name:string -> precision:Kernel_ast.Cast.precision -> Ast.lam -> compiled
+(** Compile a closed program into a kernel.  Array parameters become
+    global buffers named after the parameter; scalar parameters and all
+    size variables become scalar kernel parameters; the NDRange extent
+    is derived from the lengths of the [Glb] maps.
+
+    @raise Codegen_error on unsupported shapes.
+    @raise Typecheck.Type_error on ill-typed programs. *)

@@ -1,0 +1,7 @@
+(** Emission of a complete, compilable OpenCL host program ([.c]) for a
+    compiled host plan: kernel sources embedded as string literals,
+    buffer creation, argument setup, profiled NDRange launches and
+    read-back.  Buildable with [cc prog.c -lOpenCL]; host data arrays
+    are zero-initialised with marked hooks. *)
+
+val host_program : ?precision:Kernel_ast.Cast.precision -> Host.compiled_host -> string

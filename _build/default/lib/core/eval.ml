@@ -1,0 +1,238 @@
+(* Reference interpreter for the Lift IR.
+
+   Gives the IR a semantics independent of the code generator; the test
+   suite checks that compiling a program and running it on the virtual
+   GPU produces the same values as evaluating it here.
+
+   In-place updates: array values are mutable OCaml arrays shared with
+   the caller, and [Write_to] assigns *through* them, so callers observe
+   mutation of their inputs exactly as OpenCL host code observes buffer
+   updates.  [Skip] evaluates to an array of [VSkip] sentinels; writing a
+   row containing [VSkip] leaves those positions of the target untouched,
+   which is precisely the paper's Concat/Skip scatter semantics. *)
+
+exception Eval_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+type value =
+  | VInt of int
+  | VReal of float
+  | VArr of value array
+  | VTup of value list
+  | VSkip
+
+let rec pp_value ppf = function
+  | VInt n -> Fmt.int ppf n
+  | VReal r -> Fmt.float ppf r
+  | VArr a ->
+      Fmt.pf ppf "[|%a|]" Fmt.(array ~sep:(any "; ") pp_value) (Array.sub a 0 (min 8 (Array.length a)));
+      if Array.length a > 8 then Fmt.pf ppf "(+%d)" (Array.length a - 8)
+  | VTup vs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:comma pp_value) vs
+  | VSkip -> Fmt.string ppf "_"
+
+let as_int = function
+  | VInt n -> n
+  | VReal r -> int_of_float r
+  | v -> err "expected int, got %a" (fun () -> Fmt.to_to_string pp_value) v
+
+let as_real = function
+  | VReal r -> r
+  | VInt n -> float_of_int n
+  | v -> err "expected real, got %s" (Fmt.to_to_string pp_value v)
+
+let as_arr = function
+  | VArr a -> a
+  | v -> err "expected array, got %s" (Fmt.to_to_string pp_value v)
+
+(* Size variables are resolved through [sizes]. *)
+type env = {
+  vars : (int, value) Hashtbl.t;
+  sizes : string -> int option;
+}
+
+let create_env ?(sizes = fun _ -> None) () = { vars = Hashtbl.create 16; sizes }
+
+let size_value env s = Size.eval env.sizes s
+
+let eval_binop (op : Ast.binop) va vb =
+  let arith fi fr =
+    match (va, vb) with
+    | VInt x, VInt y -> VInt (fi x y)
+    | _ -> VReal (fr (as_real va) (as_real vb))
+  in
+  let cmp f = VInt (if f (compare (as_real va) (as_real vb)) 0 then 1 else 0) in
+  match op with
+  | Ast.Add -> arith ( + ) ( +. )
+  | Ast.Sub -> arith ( - ) ( -. )
+  | Ast.Mul -> arith ( * ) ( *. )
+  | Ast.Div -> arith ( / ) ( /. )
+  | Ast.Mod -> VInt (as_int va mod as_int vb)
+  | Ast.Eq -> cmp ( = )
+  | Ast.Ne -> cmp ( <> )
+  | Ast.Lt -> cmp ( < )
+  | Ast.Le -> cmp ( <= )
+  | Ast.Gt -> cmp ( > )
+  | Ast.Ge -> cmp ( >= )
+  | Ast.And -> VInt (if as_int va <> 0 && as_int vb <> 0 then 1 else 0)
+  | Ast.Or -> VInt (if as_int va <> 0 || as_int vb <> 0 then 1 else 0)
+
+let rec eval (env : env) (e : Ast.expr) : value =
+  match e with
+  | Param p -> (
+      match Hashtbl.find_opt env.vars p.p_id with
+      | Some v -> v
+      | None -> err "unbound parameter %s" p.p_name)
+  | Int_lit n -> VInt n
+  | Real_lit r -> VReal r
+  | Binop (op, a, b) -> eval_binop op (eval env a) (eval env b)
+  | Unop (op, a) -> (
+      let v = eval env a in
+      match op with
+      | Ast.Neg -> ( match v with VInt n -> VInt (-n) | _ -> VReal (-.as_real v))
+      | Ast.Not -> VInt (if as_int v = 0 then 1 else 0)
+      | Ast.To_real -> VReal (as_real v)
+      | Ast.To_int -> VInt (as_int v))
+  | Select (c, a, b) -> if as_int (eval env c) <> 0 then eval env a else eval env b
+  | Call (f, args) ->
+      VReal (Vgpu.Exec.builtin_eval f (List.map (fun a -> as_real (eval env a)) args))
+  | Tuple es -> VTup (List.map (eval env) es)
+  | Get (a, i) -> (
+      match eval env a with
+      | VTup vs when i < List.length vs -> List.nth vs i
+      | v -> err "get %d from %s" i (Fmt.to_to_string pp_value v))
+  | Let (p, v, b) ->
+      Hashtbl.replace env.vars p.p_id (eval env v);
+      eval env b
+  | Map (_, f, a) -> (
+      let arr = as_arr (eval env a) in
+      match f.Ast.l_params with
+      | [ p ] ->
+          VArr
+            (Array.map
+               (fun x ->
+                 Hashtbl.replace env.vars p.Ast.p_id x;
+                 eval env f.Ast.l_body)
+               arr)
+      | _ -> err "map function must be unary")
+  | Reduce (f, init, a) -> (
+      let arr = as_arr (eval env a) in
+      match f.Ast.l_params with
+      | [ pacc; px ] ->
+          Array.fold_left
+            (fun acc x ->
+              Hashtbl.replace env.vars pacc.Ast.p_id acc;
+              Hashtbl.replace env.vars px.Ast.p_id x;
+              eval env f.Ast.l_body)
+            (eval env init) arr
+      | _ -> err "reduce function must be binary")
+  | Zip es ->
+      let arrs = List.map (fun e -> as_arr (eval env e)) es in
+      let n = match arrs with a :: _ -> Array.length a | [] -> 0 in
+      List.iter
+        (fun a -> if Array.length a <> n then err "zip arrays of different lengths")
+        arrs;
+      VArr (Array.init n (fun i -> VTup (List.map (fun a -> a.(i)) arrs)))
+  | Slide (sz, st, a) ->
+      let arr = as_arr (eval env a) in
+      let n = Array.length arr in
+      let wins = ((n - sz) / st) + 1 in
+      VArr (Array.init wins (fun i -> VArr (Array.sub arr (i * st) sz)))
+  | Pad (l, r, c, a) ->
+      let arr = as_arr (eval env a) in
+      let cv = eval env c in
+      (* a scalar constant uniformly fills array-shaped elements *)
+      let rec fill_like template v =
+        match (template, v) with
+        | VArr t, (VInt _ | VReal _) -> VArr (Array.map (fun x -> fill_like x v) t)
+        | _ -> v
+      in
+      let cv = if Array.length arr > 0 then fill_like arr.(0) cv else cv in
+      let n = Array.length arr in
+      VArr (Array.init (l + n + r) (fun i -> if i < l || i >= l + n then cv else arr.(i - l)))
+  | Split (m, a) ->
+      let arr = as_arr (eval env a) in
+      let m = size_value env m in
+      let n = Array.length arr in
+      if m <= 0 || n mod m <> 0 then err "split %d of array of length %d" m n;
+      VArr (Array.init (n / m) (fun i -> VArr (Array.sub arr (i * m) m)))
+  | Join a ->
+      let outer = as_arr (eval env a) in
+      VArr (Array.concat (Array.to_list (Array.map as_arr outer)))
+  | Iota n -> VArr (Array.init (size_value env n) (fun i -> VInt i))
+  | Size_val n -> VInt (size_value env n)
+  | Array_access (a, i) ->
+      let arr = as_arr (eval env a) in
+      let i = as_int (eval env i) in
+      if i < 0 || i >= Array.length arr then err "index %d out of bounds %d" i (Array.length arr);
+      arr.(i)
+  | Concat es ->
+      let arrs = List.map (fun e -> as_arr (eval env e)) es in
+      VArr (Array.concat arrs)
+  | Skip (_, n, len) ->
+      let n = match len with Some l -> as_int (eval env l) | None -> size_value env n in
+      VArr (Array.make n VSkip)
+  | Array_cons (a, n) ->
+      let v = eval env a in
+      VArr (Array.make n v)
+  | To_private a -> VArr (Array.copy (as_arr (eval env a)))
+  | Build (n, f) -> (
+      match f.Ast.l_params with
+      | [ p ] ->
+          VArr
+            (Array.init (size_value env n) (fun i ->
+                 Hashtbl.replace env.vars p.Ast.p_id (VInt i);
+                 eval env f.Ast.l_body))
+      | _ -> err "build function must be unary")
+  | Transpose a -> (
+      let outer = as_arr (eval env a) in
+      match Array.length outer with
+      | 0 -> VArr [||]
+      | n ->
+          let inner = as_arr outer.(0) in
+          let m = Array.length inner in
+          VArr (Array.init m (fun j -> VArr (Array.init n (fun i -> (as_arr outer.(i)).(j))))))
+  | Write_to (Array_access (arr_e, idx_e), value) ->
+      (* Scalar-location target: write one element in place. *)
+      let arr = as_arr (eval env arr_e) in
+      let i = as_int (eval env idx_e) in
+      let vv = eval env value in
+      arr.(i) <- vv;
+      vv
+  | Write_to (target, value) ->
+      let tv = eval env target in
+      let vv = eval env value in
+      write_into tv vv;
+      tv
+
+(* Merge [vv] into the mutable structure [tv].  VSkip leaves cells
+   untouched.  A row-of-rows value (the scatter idiom) is applied row by
+   row. *)
+and write_into tv vv =
+  match (tv, vv) with
+  | _, VSkip -> ()
+  | VArr t, VArr v when Array.length t = Array.length v ->
+      Array.iteri
+        (fun i x ->
+          match (t.(i), x) with
+          | VArr _, _ -> write_into t.(i) x
+          | _, VSkip -> ()
+          | _, x -> t.(i) <- x)
+        v
+  | VArr _, VArr rows -> Array.iter (fun row -> write_into tv row) rows
+  | _, _ -> err "writeTo shape mismatch"
+
+(* Run a program: bind each lambda parameter to the given value and
+   evaluate the body.  Array arguments are shared, so in-place writes are
+   visible to the caller afterwards. *)
+let run ?sizes (f : Ast.lam) (args : value list) : value =
+  if List.length f.Ast.l_params <> List.length args then err "program arity mismatch";
+  let env = create_env ?sizes () in
+  List.iter2 (fun p v -> Hashtbl.replace env.vars p.Ast.p_id v) f.Ast.l_params args;
+  eval env f.Ast.l_body
+
+(* Conversions between OCaml arrays and interpreter values. *)
+let of_float_array a = VArr (Array.map (fun x -> VReal x) a)
+let of_int_array a = VArr (Array.map (fun x -> VInt x) a)
+let to_float_array v = Array.map as_real (as_arr v)
+let to_int_array v = Array.map as_int (as_arr v)

@@ -1,0 +1,43 @@
+(** Reference interpreter for the Lift IR.
+
+    Gives the IR a semantics independent of the code generator; the test
+    suite checks that compiling a program and running it on the virtual
+    GPU produces the same values as evaluating it here.
+
+    Array values are mutable OCaml structures shared with the caller;
+    {!constructor:Ast.Write_to} assigns through them, so in-place
+    updates are observable exactly as OpenCL buffer updates are.
+    {!constructor:Ast.Skip} evaluates to [VSkip] sentinels; writing a
+    row containing [VSkip] leaves those target cells untouched — the
+    paper's Concat/Skip scatter semantics. *)
+
+exception Eval_error of string
+
+type value =
+  | VInt of int
+  | VReal of float
+  | VArr of value array
+  | VTup of value list
+  | VSkip
+
+val pp_value : Format.formatter -> value -> unit
+
+val as_int : value -> int
+val as_real : value -> float
+val as_arr : value -> value array
+
+val run : ?sizes:(string -> int option) -> Ast.lam -> value list -> value
+(** Bind each lambda parameter to the corresponding value and evaluate
+    the body.  Array arguments are shared: in-place writes are visible
+    to the caller afterwards.  [sizes] resolves size variables
+    (Iota/Split/Skip lengths).
+
+    @raise Eval_error on runtime errors (unbound names, out-of-bounds
+    accesses, shape mismatches). *)
+
+(** {1 Conversions} *)
+
+val of_float_array : float array -> value
+val of_int_array : int array -> value
+val to_float_array : value -> float array
+val to_int_array : value -> int array

@@ -1,0 +1,98 @@
+(* Multi-dimensional pattern macros.
+
+   Lift expresses 2D/3D stencil neighbourhoods as compositions of the 1D
+   primitives (paper §III-B uses slide3/pad3): sliding along each
+   dimension in turn and transposing the window dimensions into place.
+
+     slide2 n s = map transpose . slide n s . map (slide n s)
+     slide3 n s = map (map transpose . transpose)
+                . slide n s
+                . map (slide2 n s)          -- with one more transpose step
+
+   Because transposes and slides only build views, none of this moves
+   data: a [slide3] neighbourhood access collapses to a single linear
+   index expression in the generated code.
+
+   Every macro needs the argument's (array) type to build the
+   intermediate lambdas, passed explicitly as [ty]. *)
+
+let map_with ty f a =
+  (* map over an array of element type [ty] *)
+  Ast.map (Ast.lam1 ty f) a
+
+(* Type transformers mirroring the value-level combinators. *)
+let slide_ty sz st (t : Ty.t) =
+  match t with
+  | Ty.Array (elt, n) ->
+      let wins = Size.add (Size.div (Size.sub n (Size.const sz)) (Size.const st)) (Size.const 1) in
+      Ty.Array (Ty.Array (elt, Size.const sz), wins)
+  | _ -> invalid_arg "Macros.slide_ty"
+
+let transpose_ty (t : Ty.t) =
+  match t with
+  | Ty.Array (Ty.Array (elt, m), n) -> Ty.Array (Ty.Array (elt, n), m)
+  | _ -> invalid_arg "Macros.transpose_ty"
+
+let pad_ty l r (t : Ty.t) =
+  match t with
+  | Ty.Array (elt, n) -> Ty.Array (elt, Size.add n (Size.const (l + r)))
+  | _ -> invalid_arg "Macros.pad_ty"
+
+let elt_ty (t : Ty.t) = Ty.element t
+
+(* slide2 over [n][m]t: [nw][mw][sz][sz]t *)
+let slide2 sz st ~ty a =
+  let row_ty = elt_ty ty in
+  (* s1 : [n][mw][sz] *)
+  let s1 = map_with row_ty (fun row -> Ast.Slide (sz, st, row)) a in
+  let s1_elt = slide_ty sz st row_ty in
+  (* s2 : [nw][sz][mw][sz] *)
+  let s2 = Ast.Slide (sz, st, s1) in
+  ignore s1_elt;
+  (* transpose each outer window: [nw][mw][sz][sz] *)
+  let win_ty = Ty.Array (slide_ty sz st row_ty, Size.const sz) in
+  map_with win_ty (fun w -> Ast.Transpose w) s2
+
+let windows sz st n =
+  Size.add (Size.div (Size.sub n (Size.const sz)) (Size.const st)) (Size.const 1)
+
+(* type of slide2 applied to a 2D array: [n][m]t -> [nw][mw][sz][sz]t *)
+let slide2_ty sz st (t : Ty.t) =
+  match t with
+  | Ty.Array ((Ty.Array (cell, m) as _row), n) ->
+      let win2 = Ty.array_n (Ty.array_n cell sz) sz in
+      Ty.array (Ty.array win2 (windows sz st m)) (windows sz st n)
+  | _ -> invalid_arg "Macros.slide2_ty"
+
+(* slide3 over [p][n][m]t: [pw][nw][mw][sz][sz][sz]t *)
+let slide3 sz st ~ty a =
+  let slice_ty = elt_ty ty in
+  (* per z-slice 2D windows: [p][nw][mw][sz][sz] *)
+  let s1 = map_with slice_ty (fun slice -> slide2 sz st ~ty:slice_ty slice) a in
+  let slice2_ty = slide2_ty sz st slice_ty in
+  (* slide on z: [pw][sz][nw][mw][sz][sz] *)
+  let s2 = Ast.Slide (sz, st, s1) in
+  (* move the z-window dimension inward:
+     transpose (sz, nw): [pw][nw][sz][mw][sz][sz]
+     then per row transpose (sz, mw): [pw][nw][mw][sz][sz][sz] *)
+  let outer_win_ty = Ty.Array (slice2_ty, Size.const sz) in
+  map_with outer_win_ty
+    (fun w ->
+      let t1 = Ast.Transpose w (* [nw][sz][mw]... *) in
+      let row_of_t1 =
+        match transpose_ty outer_win_ty with
+        | Ty.Array (r, _) -> r
+        | _ -> assert false
+      in
+      map_with row_of_t1 (fun r -> Ast.Transpose r) t1)
+    s2
+
+(* pad2/pad3: zero-style uniform fill [c] on every side of every
+   dimension (scalar constants fill array elements uniformly). *)
+let pad2 l r c ~ty a =
+  let row_ty = elt_ty ty in
+  Ast.Pad (l, r, c, map_with row_ty (fun row -> Ast.Pad (l, r, c, row)) a)
+
+let pad3 l r c ~ty a =
+  let slice_ty = elt_ty ty in
+  Ast.Pad (l, r, c, map_with slice_ty (fun s -> pad2 l r c ~ty:slice_ty s) a)

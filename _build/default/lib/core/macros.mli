@@ -1,0 +1,31 @@
+(** Multi-dimensional pattern macros.
+
+    Lift expresses 2D/3D stencil neighbourhoods as compositions of the
+    1D primitives (the paper's §III-B uses slide3/pad3): sliding along
+    each dimension and transposing window dimensions into place.
+    Because slides, pads and transposes only build views — and maps with
+    view-pure bodies stay lazy — none of this moves data: a slide3
+    neighbourhood access collapses to one linear index expression.
+
+    Each macro takes the argument's array type explicitly ([ty]) to
+    construct the intermediate lambdas. *)
+
+val windows : int -> int -> Size.t -> Size.t
+(** Number of windows of a slide over a length. *)
+
+val slide_ty : int -> int -> Ty.t -> Ty.t
+val transpose_ty : Ty.t -> Ty.t
+val pad_ty : int -> int -> Ty.t -> Ty.t
+val slide2_ty : int -> int -> Ty.t -> Ty.t
+
+val slide2 : int -> int -> ty:Ty.t -> Ast.expr -> Ast.expr
+(** [[n][m]t -> [nw][mw][sz][sz]t] with
+    [W(i,j)[dy][dx] = a[i*st+dy][j*st+dx]]. *)
+
+val slide3 : int -> int -> ty:Ty.t -> Ast.expr -> Ast.expr
+(** [[p][n][m]t -> [pw][nw][mw][sz][sz][sz]t]. *)
+
+val pad2 : int -> int -> Ast.expr -> ty:Ty.t -> Ast.expr -> Ast.expr
+(** Uniform scalar fill on every side of both dimensions. *)
+
+val pad3 : int -> int -> Ast.expr -> ty:Ty.t -> Ast.expr -> Ast.expr

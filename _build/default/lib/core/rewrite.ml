@@ -1,0 +1,140 @@
+(* Semantic-preserving rewrite rules.
+
+   Lift optimises by rewriting a single high-level program into different
+   low-level forms (paper §III).  This module provides the rule engine
+   and the rules used by the acoustics pipelines:
+
+   - [fuse_map_map]      map f (map g x)  ~>  map (f . g) x
+   - [split_join_id]     join (split n x) ~>  x
+   - [join_split_id]     split n (join x) ~>  x        (when inner size is n)
+   - [concat_single]     concat [x]       ~>  x
+   - [pad_zero]          pad 0 0 c x      ~>  x
+   - [map_glb_lowering]  outermost mapSeq ~>  mapGlb   (parallelisation)
+
+   Every rule is checked against the interpreter by the test suite on
+   randomly generated programs. *)
+
+type rule = {
+  r_name : string;
+  r_apply : Ast.expr -> Ast.expr option;
+}
+
+let rule r_name r_apply = { r_name; r_apply }
+
+let fuse_map_map =
+  rule "fuse-map-map" (function
+    | Ast.Map (m_out, f, Ast.Map (m_in, g, x)) when m_out = m_in || m_in = Ast.Seq ->
+        Some (Ast.Map (m_out, Ast.compose f g, x))
+    | _ -> None)
+
+let split_join_id =
+  rule "split-join-id" (function
+    | Ast.Join (Ast.Split (_, x)) -> Some x
+    | _ -> None)
+
+let join_split_id =
+  rule "join-split-id" (function
+    | Ast.Split (_, Ast.Join x) -> Some x
+    | _ -> None)
+
+let concat_single =
+  rule "concat-single" (function Ast.Concat [ x ] -> Some x | _ -> None)
+
+let pad_zero =
+  rule "pad-zero" (function Ast.Pad (0, 0, _, x) -> Some x | _ -> None)
+
+let transpose_transpose_id =
+  rule "transpose-transpose-id" (function
+    | Ast.Transpose (Ast.Transpose x) -> Some x
+    | _ -> None)
+
+let select_same =
+  rule "select-same" (function
+    | Ast.Select (_, a, b) when a = b -> Some a
+    | _ -> None)
+
+let default_rules =
+  [
+    fuse_map_map;
+    split_join_id;
+    join_split_id;
+    concat_single;
+    pad_zero;
+    select_same;
+    transpose_transpose_id;
+  ]
+
+(* Apply [rule] at every node, bottom-up, once.  Returns the rewritten
+   expression and whether anything fired. *)
+let apply_everywhere (r : rule) (e : Ast.expr) : Ast.expr * bool =
+  let fired = ref false in
+  let rec go (e : Ast.expr) : Ast.expr =
+    let e =
+      match e with
+      | Ast.Param _ | Ast.Int_lit _ | Ast.Real_lit _ | Ast.Iota _ | Ast.Size_val _ -> e
+      | Ast.Binop (op, a, b) -> Ast.Binop (op, go a, go b)
+      | Ast.Unop (op, a) -> Ast.Unop (op, go a)
+      | Ast.Select (c, a, b) -> Ast.Select (go c, go a, go b)
+      | Ast.Call (f, args) -> Ast.Call (f, List.map go args)
+      | Ast.Tuple es -> Ast.Tuple (List.map go es)
+      | Ast.Get (a, i) -> Ast.Get (go a, i)
+      | Ast.Let (p, v, b) -> Ast.Let (p, go v, go b)
+      | Ast.Map (m, f, a) -> Ast.Map (m, go_lam f, go a)
+      | Ast.Reduce (f, i, a) -> Ast.Reduce (go_lam f, go i, go a)
+      | Ast.Zip es -> Ast.Zip (List.map go es)
+      | Ast.Slide (sz, st, a) -> Ast.Slide (sz, st, go a)
+      | Ast.Pad (l, r', c, a) -> Ast.Pad (l, r', go c, go a)
+      | Ast.Split (n, a) -> Ast.Split (n, go a)
+      | Ast.Join a -> Ast.Join (go a)
+      | Ast.Array_access (a, i) -> Ast.Array_access (go a, go i)
+      | Ast.Concat es -> Ast.Concat (List.map go es)
+      | Ast.Skip (t, n, len) -> Ast.Skip (t, n, Option.map go len)
+      | Ast.Array_cons (a, n) -> Ast.Array_cons (go a, n)
+      | Ast.Write_to (t, v) -> Ast.Write_to (go t, go v)
+      | Ast.To_private a -> Ast.To_private (go a)
+      | Ast.Build (n, f) -> Ast.Build (n, go_lam f)
+      | Ast.Transpose a -> Ast.Transpose (go a)
+    in
+    match r.r_apply e with
+    | Some e' ->
+        fired := true;
+        e'
+    | None -> e
+  and go_lam f = { f with Ast.l_body = go f.Ast.l_body } in
+  let e' = go e in
+  (e', !fired)
+
+(* Apply a rule set to a fixpoint (bounded by [fuel] sweeps). *)
+let normalize ?(rules = default_rules) ?(fuel = 32) (e : Ast.expr) : Ast.expr =
+  let rec loop fuel e =
+    if fuel = 0 then e
+    else begin
+      let e', fired =
+        List.fold_left
+          (fun (e, fired) r ->
+            let e', f = apply_everywhere r e in
+            (e', fired || f))
+          (e, false) rules
+      in
+      if fired then loop (fuel - 1) e' else e'
+    end
+  in
+  loop fuel e
+
+let normalize_lam ?rules ?fuel (f : Ast.lam) : Ast.lam =
+  { f with Ast.l_body = normalize ?rules ?fuel f.Ast.l_body }
+
+(* Lowering: parallelise the outermost sequential map of a program onto
+   NDRange dimension [dim].  This is the rewrite that turns a high-level
+   program into a GPU kernel. *)
+let lower_outer_map_to_glb ?(dim = 0) (f : Ast.lam) : Ast.lam =
+  let rec go (e : Ast.expr) : Ast.expr =
+    match e with
+    | Ast.Map (Ast.Seq, g, a) -> Ast.Map (Ast.Glb dim, g, a)
+    | Ast.Map (Ast.Glb _, _, _) -> e
+    | Ast.Let (p, v, b) -> Ast.Let (p, v, go b)
+    | Ast.Write_to (t, v) -> Ast.Write_to (t, go v)
+    | Ast.Tuple es -> Ast.Tuple (List.map go es)
+    | e -> e
+  in
+  { f with Ast.l_body = go f.Ast.l_body }

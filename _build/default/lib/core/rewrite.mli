@@ -1,0 +1,43 @@
+(** Semantic-preserving rewrite rules.
+
+    Lift optimises by rewriting a single high-level program into
+    different low-level forms (paper §III).  Every rule is checked
+    against the interpreter by the test suite, including on random
+    pipelines. *)
+
+type rule = {
+  r_name : string;
+  r_apply : Ast.expr -> Ast.expr option;
+}
+
+val rule : string -> (Ast.expr -> Ast.expr option) -> rule
+
+val fuse_map_map : rule
+(** [map f (map g x) ~> map (f . g) x] *)
+
+val split_join_id : rule
+(** [join (split n x) ~> x] *)
+
+val join_split_id : rule
+(** [split n (join x) ~> x] *)
+
+val concat_single : rule
+val transpose_transpose_id : rule
+val pad_zero : rule
+val select_same : rule
+
+val default_rules : rule list
+
+val apply_everywhere : rule -> Ast.expr -> Ast.expr * bool
+(** Apply at every node, bottom-up, once; reports whether anything
+    fired. *)
+
+val normalize : ?rules:rule list -> ?fuel:int -> Ast.expr -> Ast.expr
+(** Apply a rule set to a fixpoint (bounded by [fuel] sweeps). *)
+
+val normalize_lam : ?rules:rule list -> ?fuel:int -> Ast.lam -> Ast.lam
+
+val lower_outer_map_to_glb : ?dim:int -> Ast.lam -> Ast.lam
+(** Parallelise the outermost sequential map onto NDRange dimension
+    [dim]: the rewrite that turns a high-level program into a GPU
+    kernel. *)

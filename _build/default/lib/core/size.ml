@@ -1,0 +1,148 @@
+(* Symbolic array lengths.
+
+   Lift array types carry their length as an arithmetic expression over
+   named size variables (N, Nx, nB, ...).  Equality of sizes — needed by
+   the type checker for zip, concat and write-to — is decided by
+   normalising to a sum-of-products polynomial form.  Division is only
+   simplified when exact; otherwise it is kept as an opaque term. *)
+
+type t =
+  | Const of int
+  | Var of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+
+let const n = Const n
+let var v = Var v
+
+let rec pp ppf = function
+  | Const n -> Fmt.int ppf n
+  | Var v -> Fmt.string ppf v
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp a pp b
+  | Div (a, b) -> Fmt.pf ppf "(%a / %a)" pp a pp b
+
+let to_string = Fmt.to_to_string pp
+
+(* Polynomial normal form: a map from a sorted multiset of atomic factors
+   (variables and opaque divisions) to an integer coefficient.  Keys are
+   compared structurally; the empty key is the constant term. *)
+module Poly = struct
+  module Key = struct
+    type term = t
+
+    type t = term list (* sorted *)
+
+    let compare = Stdlib.compare
+  end
+
+  module M = Map.Make (Key)
+
+  type poly = int M.t
+
+  let add_term key coeff p =
+    let c = match M.find_opt key p with Some c -> c | None -> 0 in
+    let c = c + coeff in
+    if c = 0 then M.remove key p else M.add key c p
+
+  let zero : poly = M.empty
+  let constant n = if n = 0 then zero else M.singleton [] n
+  let add = M.fold add_term
+  let neg p = M.map (fun c -> -c) p
+
+  let mul p q =
+    M.fold
+      (fun k1 c1 acc ->
+        M.fold
+          (fun k2 c2 acc -> add_term (List.sort Stdlib.compare (k1 @ k2)) (c1 * c2) acc)
+          q acc)
+      p zero
+
+  let is_const p =
+    if M.is_empty p then Some 0
+    else
+      match M.bindings p with
+      | [ ([], c) ] -> Some c
+      | _ -> None
+end
+
+let rec to_poly (s : t) : Poly.poly =
+  match s with
+  | Const n -> Poly.constant n
+  | Var v -> Poly.M.singleton [ Var v ] 1
+  | Add (a, b) -> Poly.add (to_poly a) (to_poly b)
+  | Sub (a, b) -> Poly.add (to_poly a) (Poly.neg (to_poly b))
+  | Mul (a, b) -> Poly.mul (to_poly a) (to_poly b)
+  | Div (a, b) -> (
+      let pa = to_poly a and pb = to_poly b in
+      match (Poly.is_const pa, Poly.is_const pb) with
+      | Some x, Some y when y <> 0 && x mod y = 0 -> Poly.constant (x / y)
+      | _, Some 1 -> pa
+      | _ ->
+          (* Opaque: keep the simplified operands as an atomic factor. *)
+          Poly.M.singleton [ Div (of_poly pa, of_poly pb) ] 1)
+
+and of_poly (p : Poly.poly) : t =
+  let term (factors, coeff) =
+    let base =
+      match factors with
+      | [] -> Const (abs coeff)
+      | f :: fs ->
+          let prod = List.fold_left (fun acc f -> Mul (acc, f)) f fs in
+          if abs coeff = 1 then prod else Mul (Const (abs coeff), prod)
+    in
+    (base, coeff >= 0)
+  in
+  match Poly.M.bindings p with
+  | [] -> Const 0
+  | b :: bs ->
+      let first, first_pos = term b in
+      let first = if first_pos then first else Sub (Const 0, first) in
+      List.fold_left
+        (fun acc b ->
+          let t, pos = term b in
+          if pos then Add (acc, t) else Sub (acc, t))
+        first bs
+
+let simplify s = of_poly (to_poly s)
+
+let equal a b = Poly.M.equal Int.equal (to_poly a) (to_poly b)
+
+let add a b = simplify (Add (a, b))
+let sub a b = simplify (Sub (a, b))
+let mul a b = simplify (Mul (a, b))
+let div a b = simplify (Div (a, b))
+
+(* Evaluate under a size-variable environment. *)
+let rec eval env = function
+  | Const n -> n
+  | Var v -> (
+      match env v with
+      | Some n -> n
+      | None -> failwith (Printf.sprintf "Size.eval: unbound size variable %s" v))
+  | Add (a, b) -> eval env a + eval env b
+  | Sub (a, b) -> eval env a - eval env b
+  | Mul (a, b) -> eval env a * eval env b
+  | Div (a, b) -> eval env a / eval env b
+
+let to_int_opt s = Poly.is_const (to_poly s)
+
+(* Size variables occurring in [s]. *)
+let rec vars = function
+  | Const _ -> []
+  | Var v -> [ v ]
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+      List.sort_uniq String.compare (vars a @ vars b)
+
+(* Lower to a kernel-AST index expression; size variables become scalar
+   kernel parameters of the same name. *)
+let rec to_cexpr : t -> Kernel_ast.Cast.expr = function
+  | Const n -> Int_lit n
+  | Var v -> Var v
+  | Add (a, b) -> Binop (Add, to_cexpr a, to_cexpr b)
+  | Sub (a, b) -> Binop (Sub, to_cexpr a, to_cexpr b)
+  | Mul (a, b) -> Binop (Mul, to_cexpr a, to_cexpr b)
+  | Div (a, b) -> Binop (Div, to_cexpr a, to_cexpr b)

@@ -1,0 +1,49 @@
+(** Symbolic array lengths.
+
+    Lift array types carry their length as an arithmetic expression over
+    named size variables (N, Nx, nB, ...).  Equality — needed by the
+    type checker for zip, concat and writeTo — is decided by normalising
+    to a sum-of-products polynomial, so e.g.
+    [idx + 1 + (N - idx - 1) = N] holds definitionally, which is what
+    makes the paper's Concat/Skip scatter rows type-check. *)
+
+type t =
+  | Const of int
+  | Var of string
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t  (** simplified only when exact; otherwise opaque *)
+
+val const : int -> t
+val var : string -> t
+
+(** Smart constructors returning simplified results. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+
+val simplify : t -> t
+(** Polynomial normal form (sound w.r.t. {!eval}; property-tested). *)
+
+val equal : t -> t -> bool
+(** Equality modulo polynomial normalisation. *)
+
+val eval : (string -> int option) -> t -> int
+(** Evaluate under a size-variable environment.
+    @raise Failure on unbound variables. *)
+
+val to_int_opt : t -> int option
+(** [Some n] iff the size is a constant. *)
+
+val vars : t -> string list
+(** Size variables occurring in the expression, sorted, unique. *)
+
+val to_cexpr : t -> Kernel_ast.Cast.expr
+(** Lower to a kernel-AST index expression; size variables become scalar
+    kernel parameters of the same name. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,70 @@
+(* Types of the Lift IR: scalars, arrays with symbolic lengths, and
+   tuples.  Function types appear only implicitly (lambdas are a separate
+   syntactic class), as in the original Lift IR. *)
+
+type scalar =
+  | Int
+  | Real
+
+type t =
+  | Scalar of scalar
+  | Array of t * Size.t
+  | Tuple of t list
+
+let int = Scalar Int
+let real = Scalar Real
+let array elt n = Array (elt, n)
+let array_n elt n = Array (elt, Size.Const n)
+let tuple ts = Tuple ts
+
+let rec equal a b =
+  match (a, b) with
+  | Scalar x, Scalar y -> x = y
+  | Array (ea, na), Array (eb, nb) -> equal ea eb && Size.equal na nb
+  | Tuple xs, Tuple ys -> List.length xs = List.length ys && List.for_all2 equal xs ys
+  | (Scalar _ | Array _ | Tuple _), _ -> false
+
+let rec pp ppf = function
+  | Scalar Int -> Fmt.string ppf "int"
+  | Scalar Real -> Fmt.string ppf "real"
+  | Array (elt, n) -> Fmt.pf ppf "[%a]%a" pp elt Size.pp n
+  | Tuple ts -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp) ts
+
+let to_string = Fmt.to_to_string pp
+
+let element = function
+  | Array (elt, _) -> elt
+  | t -> invalid_arg (Printf.sprintf "Ty.element: %s is not an array" (to_string t))
+
+let length = function
+  | Array (_, n) -> n
+  | t -> invalid_arg (Printf.sprintf "Ty.length: %s is not an array" (to_string t))
+
+let is_array = function Array _ -> true | Scalar _ | Tuple _ -> false
+let is_scalar = function Scalar _ -> true | Array _ | Tuple _ -> false
+
+(* The scalar leaf type of a (possibly nested) array; memory buffers are
+   linear arrays of this type. *)
+let rec leaf_scalar = function
+  | Scalar s -> Some s
+  | Array (elt, _) -> leaf_scalar elt
+  | Tuple _ -> None
+
+(* Number of scalar cells occupied by one value of this type when stored
+   linearised in memory.  Tuples are not storable. *)
+let rec scalar_count = function
+  | Scalar _ -> Size.Const 1
+  | Array (elt, n) -> Size.mul n (scalar_count elt)
+  | Tuple _ -> invalid_arg "Ty.scalar_count: tuples are not storable in buffers"
+
+(* Total length after flattening all array dimensions. *)
+let flat_length t = scalar_count t
+
+let rec size_vars = function
+  | Scalar _ -> []
+  | Array (elt, n) -> List.sort_uniq String.compare (Size.vars n @ size_vars elt)
+  | Tuple ts -> List.sort_uniq String.compare (List.concat_map size_vars ts)
+
+let to_cast_scalar = function
+  | Int -> Kernel_ast.Cast.Int
+  | Real -> Kernel_ast.Cast.Real

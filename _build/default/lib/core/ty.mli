@@ -1,0 +1,44 @@
+(** Types of the Lift IR: scalars, arrays with symbolic lengths, and
+    tuples. *)
+
+type scalar =
+  | Int
+  | Real
+
+type t =
+  | Scalar of scalar
+  | Array of t * Size.t
+  | Tuple of t list
+
+val int : t
+val real : t
+val array : t -> Size.t -> t
+val array_n : t -> int -> t
+val tuple : t list -> t
+
+val equal : t -> t -> bool
+(** Structural equality with {!Size.equal} on lengths. *)
+
+val element : t -> t
+(** @raise Invalid_argument on non-arrays. *)
+
+val length : t -> Size.t
+(** @raise Invalid_argument on non-arrays. *)
+
+val is_array : t -> bool
+val is_scalar : t -> bool
+
+val leaf_scalar : t -> scalar option
+(** The scalar leaf of a (possibly nested) array; [None] for tuples.
+    Memory buffers are linear arrays of this type. *)
+
+val scalar_count : t -> Size.t
+(** Number of scalar cells one value occupies when stored linearised.
+    @raise Invalid_argument for tuples (not storable). *)
+
+val flat_length : t -> Size.t
+val size_vars : t -> string list
+val to_cast_scalar : scalar -> Kernel_ast.Cast.ty
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,203 @@
+(* Size-aware type checking of Lift IR expressions.
+
+   Types are synthesised bottom-up; array lengths are symbolic
+   ([Size.t]) and compared by polynomial normalisation, so e.g.
+   concat(skip(i), cons, skip(N-1-i)) checks against length N.
+
+   [Write_to] accepts two shapes (paper §IV-B2):
+   - plain aliasing: value type equals target type;
+   - the scatter idiom: the value is an *array of rows*, each row typed
+     like the target — produced by mapping a Concat/Skip body over an
+     index array.  The code generator writes each row in place, so the
+     whole expression has the target's type. *)
+
+exception Type_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+type env = (int * Ty.t) list
+
+let rec infer (env : env) (e : Ast.expr) : Ty.t =
+  match e with
+  | Param p -> (
+      match List.assoc_opt p.p_id env with
+      | Some t -> t
+      | None -> p.p_ty (* free parameters carry their own type *))
+  | Int_lit _ -> Ty.int
+  | Real_lit _ -> Ty.real
+  | Binop (op, a, b) -> (
+      let ta = infer env a and tb = infer env b in
+      match (ta, tb) with
+      | Ty.Scalar sa, Ty.Scalar sb -> (
+          match op with
+          | Add | Sub | Mul | Div | Mod ->
+              if sa = Ty.Real || sb = Ty.Real then Ty.real else Ty.int
+          | Eq | Ne | Lt | Le | Gt | Ge | And | Or -> Ty.int)
+      | _ ->
+          err "binop %s applied to non-scalars %s and %s" (Ast.binop_name op)
+            (Ty.to_string ta) (Ty.to_string tb))
+  | Unop (op, a) -> (
+      let ta = infer env a in
+      if not (Ty.is_scalar ta) then err "unop applied to non-scalar %s" (Ty.to_string ta);
+      match op with
+      | Ast.Neg -> ta
+      | Ast.Not | Ast.To_int -> Ty.int
+      | Ast.To_real -> Ty.real)
+  | Select (c, a, b) ->
+      let tc = infer env c and ta = infer env a and tb = infer env b in
+      if not (Ty.equal tc Ty.int) then err "select condition must be int";
+      if not (Ty.equal ta tb) then
+        err "select branches differ: %s vs %s" (Ty.to_string ta) (Ty.to_string tb);
+      ta
+  | Call (_, args) ->
+      List.iter
+        (fun a ->
+          let t = infer env a in
+          if not (Ty.is_scalar t) then err "builtin argument must be scalar")
+        args;
+      Ty.real
+  | Tuple es -> Ty.Tuple (List.map (infer env) es)
+  | Get (a, i) -> (
+      match infer env a with
+      | Ty.Tuple ts when i >= 0 && i < List.length ts -> List.nth ts i
+      | t -> err "get %d from non-tuple %s" i (Ty.to_string t))
+  | Let (p, v, b) ->
+      let tv = infer env v in
+      infer ((p.p_id, tv) :: env) b
+  | Map (_, f, a) -> (
+      match (infer env a, f.Ast.l_params) with
+      | Ty.Array (elt, n), [ p ] ->
+          let tb = infer ((p.p_id, elt) :: env) f.Ast.l_body in
+          Ty.Array (tb, n)
+      | Ty.Array _, ps -> err "map function must be unary, got %d params" (List.length ps)
+      | t, _ -> err "map over non-array %s" (Ty.to_string t))
+  | Reduce (f, init, a) -> (
+      match (infer env a, f.Ast.l_params) with
+      | Ty.Array (elt, _), [ pacc; px ] ->
+          let tinit = infer env init in
+          let tb = infer ((pacc.p_id, tinit) :: (px.p_id, elt) :: env) f.Ast.l_body in
+          if not (Ty.equal tb tinit) then
+            err "reduce function returns %s but accumulator is %s" (Ty.to_string tb)
+              (Ty.to_string tinit);
+          tinit
+      | Ty.Array _, ps -> err "reduce function must be binary, got %d params" (List.length ps)
+      | t, _ -> err "reduce over non-array %s" (Ty.to_string t))
+  | Zip es -> (
+      let ts = List.map (infer env) es in
+      match ts with
+      | [] -> err "zip of nothing"
+      | Ty.Array (_, n) :: _ ->
+          let elts =
+            List.map
+              (function
+                | Ty.Array (elt, m) ->
+                    if not (Size.equal m n) then
+                      err "zip length mismatch: %s vs %s" (Size.to_string m)
+                        (Size.to_string n);
+                    elt
+                | t -> err "zip of non-array %s" (Ty.to_string t))
+              ts
+          in
+          Ty.Array (Ty.Tuple elts, n)
+      | t :: _ -> err "zip of non-array %s" (Ty.to_string t))
+  | Slide (sz, st, a) -> (
+      match infer env a with
+      | Ty.Array (elt, n) ->
+          (* number of windows: (n - sz) / st + 1 *)
+          let wins = Size.add (Size.div (Size.sub n (Size.const sz)) (Size.const st)) (Size.const 1) in
+          Ty.Array (Ty.Array (elt, Size.const sz), wins)
+      | t -> err "slide over non-array %s" (Ty.to_string t))
+  | Pad (l, r, c, a) -> (
+      match infer env a with
+      | Ty.Array (elt, n) ->
+          let tc = infer env c in
+          (* a scalar constant is accepted as a uniform fill even for
+             array elements (zero halos of multi-dimensional pads) *)
+          let uniform_fill = Ty.is_scalar tc && Ty.leaf_scalar elt = Ty.leaf_scalar tc in
+          if not (Ty.equal tc elt || uniform_fill) then
+            err "pad constant %s does not match element %s" (Ty.to_string tc)
+              (Ty.to_string elt);
+          Ty.Array (elt, Size.add n (Size.const (l + r)))
+      | t -> err "pad over non-array %s" (Ty.to_string t))
+  | Split (m, a) -> (
+      match infer env a with
+      | Ty.Array (elt, n) -> Ty.Array (Ty.Array (elt, m), Size.div n m)
+      | t -> err "split of non-array %s" (Ty.to_string t))
+  | Join a -> (
+      match infer env a with
+      | Ty.Array (Ty.Array (elt, m), n) -> Ty.Array (elt, Size.mul n m)
+      | t -> err "join of non-nested-array %s" (Ty.to_string t))
+  | Iota n -> Ty.Array (Ty.int, n)
+  | Size_val _ -> Ty.int
+  | Array_access (a, i) -> (
+      let ti = infer env i in
+      if not (Ty.equal ti Ty.int) then err "array index must be int, got %s" (Ty.to_string ti);
+      match infer env a with
+      | Ty.Array (elt, _) -> elt
+      | t -> err "indexing non-array %s" (Ty.to_string t))
+  | Concat es -> (
+      let ts = List.map (infer env) es in
+      match ts with
+      | [] -> err "concat of nothing"
+      | Ty.Array (elt, n0) :: rest ->
+          let total =
+            List.fold_left
+              (fun acc t ->
+                match t with
+                | Ty.Array (e, n) ->
+                    if not (Ty.equal e elt) then
+                      err "concat element mismatch: %s vs %s" (Ty.to_string e)
+                        (Ty.to_string elt);
+                    Size.add acc n
+                | t -> err "concat of non-array %s" (Ty.to_string t))
+              n0 rest
+          in
+          Ty.Array (elt, total)
+      | t :: _ -> err "concat of non-array %s" (Ty.to_string t))
+  | Skip (t, n, len) ->
+      (match len with
+      | Some l ->
+          let tl = infer env l in
+          if not (Ty.equal tl Ty.int) then err "dynamic skip length must be int"
+      | None -> ());
+      Ty.Array (t, n)
+  | Array_cons (a, n) -> Ty.Array (infer env a, Size.const n)
+  | Build (n, f) -> (
+      match f.Ast.l_params with
+      | [ p ] -> Ty.Array (infer ((p.Ast.p_id, Ty.int) :: env) f.Ast.l_body, n)
+      | _ -> err "build function must be unary")
+  | Transpose a -> (
+      match infer env a with
+      | Ty.Array (Ty.Array (t, m), n) -> Ty.Array (Ty.Array (t, n), m)
+      | t -> err "transpose of non-2D %s" (Ty.to_string t))
+  | To_private a -> (
+      match infer env a with
+      | Ty.Array (Ty.Scalar _, n) as t ->
+          (match Size.to_int_opt n with
+          | Some _ -> t
+          | None -> err "toPrivate requires a statically sized array")
+      | t -> err "toPrivate of %s (need an array of scalars)" (Ty.to_string t))
+  | Write_to (target, value) -> (
+      let tt = infer env target and tv = infer env value in
+      if Ty.equal tt tv then tt
+      else
+        match tv with
+        | Ty.Array (row, _) when Ty.equal row tt -> tt (* scatter idiom *)
+        | _ ->
+            err "writeTo target %s incompatible with value %s" (Ty.to_string tt)
+              (Ty.to_string tv))
+
+(* Check a lambda against explicit argument types and return its result
+   type. *)
+let infer_lam ?(env = []) (f : Ast.lam) (arg_tys : Ty.t list) : Ty.t =
+  if List.length f.Ast.l_params <> List.length arg_tys then
+    err "lambda arity mismatch: %d params, %d arguments" (List.length f.Ast.l_params)
+      (List.length arg_tys);
+  let env =
+    List.fold_left2 (fun env p t -> (p.Ast.p_id, t) :: env) env f.Ast.l_params arg_tys
+  in
+  infer env f.Ast.l_body
+
+(* Type of a closed lambda using the parameters' declared types. *)
+let infer_program (f : Ast.lam) : Ty.t =
+  infer_lam f (List.map (fun p -> p.Ast.p_ty) f.Ast.l_params)

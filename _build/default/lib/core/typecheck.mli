@@ -1,0 +1,23 @@
+(** Size-aware type checking of Lift IR expressions.
+
+    Types are synthesised bottom-up; array lengths are symbolic and
+    compared by polynomial normalisation, so
+    [concat(skip(i), cons, skip(N-1-i))] checks against length [N].
+
+    {!constructor:Ast.Write_to} accepts two shapes (paper §IV-B2): plain
+    aliasing (value type equals target type) and the scatter idiom (the
+    value is an array of rows, each row typed like the target). *)
+
+exception Type_error of string
+
+type env = (int * Ty.t) list
+(** Parameter id -> type. *)
+
+val infer : env -> Ast.expr -> Ty.t
+(** @raise Type_error on ill-typed expressions. *)
+
+val infer_lam : ?env:env -> Ast.lam -> Ty.t list -> Ty.t
+(** Check a lambda against explicit argument types. *)
+
+val infer_program : Ast.lam -> Ty.t
+(** Type of a closed program, using the parameters' declared types. *)

@@ -1,0 +1,131 @@
+(* The Lift view system.
+
+   Views are the compiler-intermediate data structures that capture where
+   data lives and how index expressions are derived from pattern
+   composition (paper §III-A).  An input view describes where an
+   expression's value is read from; an output view describes where a
+   value must be written.  Patterns like zip, slide, pad, split never
+   move data — they only wrap views; indices are materialised when a
+   scalar is finally read or written.
+
+   The extensions of the paper surface here as:
+   - [Shift] (produced by Concat and by Skip's offsets and by slide
+     windows): adds an offset to subsequent accesses — the paper's
+     ViewOffset;
+   - writing *through* a view onto an existing buffer implements
+     [WriteTo]. *)
+
+open Kernel_ast
+
+exception View_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (View_error s)) fmt
+
+type t =
+  | Scalar of Cast.expr               (* a computed scalar value *)
+  | Mem of mem                        (* (part of) a linear memory buffer *)
+  | Tuple_v of t list                 (* tuple of views *)
+  | Zip_v of t list                   (* array of tuples, element-wise *)
+  | Slide_v of int * int * t          (* window size, step *)
+  | Pad_v of pad                      (* constant-padded array *)
+  | Split_v of Size.t * t             (* [n/m][m] nesting *)
+  | Join_v of Size.t * t              (* flattened nested array; m = inner size *)
+  | Shift_v of Cast.expr * t          (* element i of this = element (i + off) of inner *)
+  | Guard_v of Cast.expr * Cast.expr * t (* if cond then constant else inner *)
+  | Gen_v of (Cast.expr -> t)         (* generated array: element i = f i *)
+  | Transpose_v of t                  (* swap the outer two dimensions *)
+  | Transpose_col_v of t * Cast.expr  (* column i of a transposed view *)
+
+and mem = {
+  m_buf : string;
+  m_ty : Ty.t;          (* type of the value this view denotes *)
+  m_off : Cast.expr;    (* linear offset (in scalar elements) into the buffer *)
+}
+
+and pad = {
+  p_left : int;
+  p_const : Cast.expr;   (* scalar padding constant *)
+  p_len : Size.t;        (* inner array length *)
+  p_inner : t;
+}
+
+let mem ?(off = Cast.Int_lit 0) buf ty = Mem { m_buf = buf; m_ty = ty; m_off = off }
+
+let scalar e = Scalar e
+
+(* Access element [i] of an array view, producing the element's view. *)
+let rec access (v : t) (i : Cast.expr) : t =
+  match v with
+  | Scalar _ -> err "access into scalar view"
+  | Mem m -> (
+      match m.m_ty with
+      | Ty.Array (elt, _) -> (
+          let stride = Size.to_cexpr (Ty.scalar_count elt) in
+          let off = Cast.(m.m_off +: (i *: stride)) in
+          match elt with
+          | Ty.Scalar _ -> Scalar (Cast.Load (m.m_buf, Cast.simplify off))
+          | _ -> Mem { m with m_ty = elt; m_off = off })
+      | t -> err "access into memory view of non-array type %s" (Ty.to_string t))
+  | Tuple_v _ -> err "access into tuple view"
+  | Zip_v vs -> Tuple_v (List.map (fun v -> access v i) vs)
+  | Slide_v (_, step, inner) -> Shift_v (Cast.(i *: Cast.Int_lit step), inner)
+  | Pad_v p ->
+      let n = Size.to_cexpr p.p_len in
+      let cond = Cast.((i <: Int_lit p.p_left) ||: (i >=: (Int_lit p.p_left +: n))) in
+      let inner_elt () = access p.p_inner Cast.(i -: Int_lit p.p_left) in
+      guard cond p.p_const (inner_elt ())
+  | Split_v (m, inner) -> Shift_v (Cast.(i *: Size.to_cexpr m), inner)
+  | Join_v (m, inner) ->
+      let mc = Size.to_cexpr m in
+      access (access inner Cast.(i /: mc)) Cast.(i %: mc)
+  | Shift_v (off, inner) -> access inner (Cast.simplify Cast.(off +: i))
+  | Guard_v (cond, c, inner) -> guard cond c (access inner i)
+  | Gen_v f -> f i
+  | Transpose_v inner -> Transpose_col_v (inner, i)
+  | Transpose_col_v (inner, col) -> access (access inner i) col
+
+and guard cond c inner =
+  match inner with
+  | Scalar e -> Scalar (Cast.Ternary (cond, c, e))
+  | _ -> Guard_v (cond, c, inner)
+
+let pad_v ~left ~len ~const inner = Pad_v { p_left = left; p_const = const; p_len = len; p_inner = inner }
+
+let tuple_get (v : t) (i : int) : t =
+  match v with
+  | Tuple_v vs when i < List.length vs -> List.nth vs i
+  | _ -> err "tuple projection %d from non-tuple view" i
+
+(* Read the scalar value a fully collapsed view denotes. *)
+let read (v : t) : Cast.expr =
+  match v with
+  | Scalar e -> Cast.simplify e
+  | Mem { m_ty = Ty.Scalar _; m_buf; m_off } ->
+      (* a memory view can denote a single scalar cell *)
+      Cast.Load (m_buf, Cast.simplify m_off)
+  | _ -> err "view does not denote a scalar"
+
+(* Write [e] through a fully collapsed output view.  Output views are
+   built only from memory, accesses and offsets, so they always collapse
+   to a buffer location. *)
+let write (v : t) (e : Cast.expr) : Cast.stmt =
+  match v with
+  | Scalar (Cast.Load (buf, idx)) -> Cast.Store (buf, Cast.simplify idx, e)
+  | Mem { m_ty = Ty.Scalar _; m_buf; m_off } -> Cast.Store (m_buf, Cast.simplify m_off, e)
+  | _ -> err "output view does not denote a writable location"
+
+(* The buffer a memory view ultimately lives in, if any; used by WriteTo
+   to alias outputs onto inputs. *)
+let rec base_buffer = function
+  | Mem m -> Some m.m_buf
+  | Shift_v (_, v)
+  | Guard_v (_, _, v)
+  | Slide_v (_, _, v)
+  | Split_v (_, v)
+  | Join_v (_, v)
+  | Transpose_v v
+  | Transpose_col_v (v, _) ->
+      base_buffer v
+  | Pad_v p -> base_buffer p.p_inner
+  | Scalar (Cast.Load (b, _)) -> Some b
+  | _ -> None

@@ -1,0 +1,65 @@
+(** The Lift view system.
+
+    Views are the compiler-intermediate data structures that capture
+    where data lives and how index expressions are derived from pattern
+    composition (paper §III-A).  Patterns like zip, slide, pad, split
+    never move data — they only wrap views; indices are materialised
+    when a scalar is finally read or written.
+
+    The paper's extensions surface as {!constructor:Shift_v} (the
+    ViewOffset produced by Concat and Skip) and as writing {e through} a
+    view onto an existing buffer (WriteTo). *)
+
+open Kernel_ast
+
+exception View_error of string
+
+type t =
+  | Scalar of Cast.expr                (** a computed scalar value *)
+  | Mem of mem                         (** (part of) a linear buffer *)
+  | Tuple_v of t list
+  | Zip_v of t list                    (** array of tuples, element-wise *)
+  | Slide_v of int * int * t           (** window size, step *)
+  | Pad_v of pad
+  | Split_v of Size.t * t
+  | Join_v of Size.t * t               (** m = inner size *)
+  | Shift_v of Cast.expr * t           (** element i = inner element (i + off) *)
+  | Guard_v of Cast.expr * Cast.expr * t  (** cond ? constant : inner *)
+  | Gen_v of (Cast.expr -> t)          (** generated array (Iota, Build) *)
+  | Transpose_v of t                   (** swap the outer two dimensions *)
+  | Transpose_col_v of t * Cast.expr   (** column i of a transposed view *)
+
+and mem = {
+  m_buf : string;
+  m_ty : Ty.t;        (** type of the value this view denotes *)
+  m_off : Cast.expr;  (** linear offset into the buffer, in elements *)
+}
+
+and pad = {
+  p_left : int;
+  p_const : Cast.expr;
+  p_len : Size.t;
+  p_inner : t;
+}
+
+val mem : ?off:Cast.expr -> string -> Ty.t -> t
+val scalar : Cast.expr -> t
+val pad_v : left:int -> len:Size.t -> const:Cast.expr -> t -> t
+
+val access : t -> Cast.expr -> t
+(** Element [i] of an array view.  For memory views this linearises the
+    index using the element type's scalar count; for pattern views it
+    pushes the access through the pattern. *)
+
+val tuple_get : t -> int -> t
+
+val read : t -> Cast.expr
+(** The scalar a fully collapsed view denotes.
+    @raise View_error if the view is not scalar. *)
+
+val write : t -> Cast.expr -> Cast.stmt
+(** Store through a fully collapsed output view.
+    @raise View_error if the view is not a buffer location. *)
+
+val base_buffer : t -> string option
+(** The buffer a memory view ultimately lives in, if any. *)

@@ -1,0 +1,1 @@
+lib/em/em_grid.mli:

@@ -1,0 +1,1 @@
+lib/em/em_lift.ml: Ast Codegen Em_grid Kernel_ast Lift List Printf Rewrite Size Ty Vgpu

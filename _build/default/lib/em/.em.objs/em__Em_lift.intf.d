@@ -1,0 +1,1 @@
+lib/em/em_lift.mli: Em_grid Kernel_ast Lift Vgpu

@@ -1,0 +1,111 @@
+(* 2D electromagnetic FDTD substrate (paper §VIII).
+
+   The paper argues that the Lift extensions developed for acoustics
+   boundary handling carry directly to other FDTD wave models —
+   reverse-time migration and ground-penetrating radar — whose *volume*
+   kernels update several field arrays in place.  This module provides
+   that substrate: a 2D TMz Yee grid (fields Ez, Hx, Hy) over a material
+   map with per-cell permittivity and conductivity, i.e. a miniature
+   gprMax-style simulator.
+
+   Update equations (normalised units, Courant number S):
+
+     Hx(i,j) -= S * (Ez(i,j+1) - Ez(i,j))
+     Hy(i,j) += S * (Ez(i+1,j) - Ez(i,j))
+     Ez(i,j)  = ca(i,j)*Ez(i,j)
+              + cb(i,j) * ((Hy(i,j) - Hy(i-1,j)) - (Hx(i,j) - Hx(i,j-1)))
+
+   with ca = (1 - s)/(1 + s), cb = S/eps_r/(1 + s), s = sigma*dt/(2 eps):
+   lossy dielectric cells absorb, vacuum cells propagate.  The outermost
+   ring of Ez cells is never updated (perfect electric conductor), the
+   2D analogue of the acoustic zero halo. *)
+
+type t = {
+  nx : int;
+  ny : int;
+  ez : float array;   (* nx * ny *)
+  hx : float array;
+  hy : float array;
+  ca : float array;   (* per-cell update coefficients *)
+  cb : float array;
+}
+
+let courant = 1. /. sqrt 2.
+
+let n_cells g = g.nx * g.ny
+
+let idx g i j = (j * g.nx) + i
+
+(* A material region: relative permittivity and normalised conductivity. *)
+type material = { eps_r : float; sigma : float }
+
+let vacuum = { eps_r = 1.; sigma = 0. }
+let dry_soil = { eps_r = 4.; sigma = 0.01 }
+let wet_soil = { eps_r = 12.; sigma = 0.08 }
+let metal = { eps_r = 1.; sigma = 10. }
+
+let coeffs m =
+  let s = m.sigma /. 2. in
+  ((1. -. s) /. (1. +. s), courant /. m.eps_r /. (1. +. s))
+
+let create ~nx ~ny =
+  if nx < 3 || ny < 3 then invalid_arg "Em_grid.create: need at least 3x3";
+  let n = nx * ny in
+  let ca0, cb0 = coeffs vacuum in
+  {
+    nx;
+    ny;
+    ez = Array.make n 0.;
+    hx = Array.make n 0.;
+    hy = Array.make n 0.;
+    ca = Array.make n ca0;
+    cb = Array.make n cb0;
+  }
+
+(* Fill a rectangle of cells with a material. *)
+let fill_material g ~x0 ~y0 ~x1 ~y1 (m : material) =
+  let ca, cb = coeffs m in
+  for j = max 0 y0 to min (g.ny - 1) y1 do
+    for i = max 0 x0 to min (g.nx - 1) x1 do
+      g.ca.(idx g i j) <- ca;
+      g.cb.(idx g i j) <- cb
+    done
+  done
+
+(* Differentiated Gaussian source pulse injected into Ez. *)
+let pulse ~t0 ~spread n =
+  let a = (float_of_int n -. t0) /. spread in
+  -2. *. a *. exp (-.(a *. a))
+
+let inject g ~i ~j v = g.ez.(idx g i j) <- g.ez.(idx g i j) +. v
+
+let read_ez g ~i ~j = g.ez.(idx g i j)
+
+(* Reference (ground truth) update step, plain OCaml. *)
+let step_reference g =
+  let nx = g.nx and ny = g.ny in
+  (* H update: all cells except the top/right edge *)
+  for j = 0 to ny - 2 do
+    for i = 0 to nx - 2 do
+      let k = idx g i j in
+      g.hx.(k) <- g.hx.(k) -. (courant *. (g.ez.(k + nx) -. g.ez.(k)));
+      g.hy.(k) <- g.hy.(k) +. (courant *. (g.ez.(k + 1) -. g.ez.(k)))
+    done
+  done;
+  (* E update: interior cells only (PEC ring) *)
+  for j = 1 to ny - 2 do
+    for i = 1 to nx - 2 do
+      let k = idx g i j in
+      g.ez.(k) <-
+        (g.ca.(k) *. g.ez.(k))
+        +. (g.cb.(k) *. (g.hy.(k) -. g.hy.(k - 1) -. (g.hx.(k) -. g.hx.(k - nx))))
+    done
+  done
+
+let field_energy g =
+  let acc = ref 0. in
+  let add a = Array.iter (fun v -> acc := !acc +. (v *. v)) a in
+  add g.ez;
+  add g.hx;
+  add g.hy;
+  0.5 *. !acc

@@ -1,0 +1,47 @@
+(** 2D electromagnetic FDTD substrate (paper §VIII): a TMz Yee grid
+    (fields Ez, Hx, Hy) over a material map with per-cell permittivity
+    and conductivity — a miniature gprMax-style simulator.  The
+    outermost ring of Ez cells is never updated (perfect electric
+    conductor), the 2D analogue of the acoustic zero halo. *)
+
+type t = {
+  nx : int;
+  ny : int;
+  ez : float array;
+  hx : float array;
+  hy : float array;
+  ca : float array;  (** per-cell Ez update coefficients *)
+  cb : float array;
+}
+
+val courant : float
+(** 2D stability limit, 1/sqrt 2. *)
+
+val n_cells : t -> int
+val idx : t -> int -> int -> int
+
+type material = { eps_r : float; sigma : float }
+
+val vacuum : material
+val dry_soil : material
+val wet_soil : material
+val metal : material
+
+val coeffs : material -> float * float
+(** (ca, cb) update coefficients of a material. *)
+
+val create : nx:int -> ny:int -> t
+(** Vacuum-filled grid.  @raise Invalid_argument below 3x3. *)
+
+val fill_material : t -> x0:int -> y0:int -> x1:int -> y1:int -> material -> unit
+
+val pulse : t0:float -> spread:float -> int -> float
+(** Differentiated Gaussian source sample at step [n]. *)
+
+val inject : t -> i:int -> j:int -> float -> unit
+val read_ez : t -> i:int -> j:int -> float
+
+val step_reference : t -> unit
+(** Ground-truth update step, plain OCaml. *)
+
+val field_energy : t -> float

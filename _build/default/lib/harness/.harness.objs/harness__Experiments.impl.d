@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Acoustics Float Geometry Hand_kernels Hashtbl Kernel_ast Lift Lift_acoustics List Material Option Paper_data Printf Report Tuner Vgpu Workloads

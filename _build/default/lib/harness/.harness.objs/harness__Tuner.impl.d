@@ -1,0 +1,1 @@
+lib/harness/tuner.ml: Kernel_ast List Vgpu

@@ -1,0 +1,1 @@
+lib/harness/tuner.mli: Kernel_ast Vgpu

@@ -1,0 +1,1 @@
+lib/harness/workloads.ml: Acoustics Array Geometry Hashtbl Material Vgpu

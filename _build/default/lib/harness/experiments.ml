@@ -1,0 +1,315 @@
+(* One generator per table/figure of the paper's evaluation (§VI-VII).
+
+   Every experiment compares the Lift-generated kernel against the
+   hand-written kernel on the four GPUs of Table III, across the three
+   room sizes of Table II, in single and double precision, through the
+   analytic performance model fed by static analysis of the actual
+   kernel ASTs.  Where the paper reports numbers (appendix tables) they
+   are printed side by side and a shape-agreement summary is computed. *)
+
+open Acoustics
+
+type version =
+  | Hand
+  | Lift_gen
+
+let version_label = function Hand -> "OpenCL" | Lift_gen -> "LIFT"
+
+type result_row = {
+  platform : string;
+  version : version;
+  size : int;
+  shape : Geometry.shape;
+  precision : Kernel_ast.Cast.precision;
+  model_s : float;       (* predicted kernel time, seconds *)
+  paper_ms : float option;
+  throughput : float;    (* updates per second *)
+}
+
+let precision_label : Kernel_ast.Cast.precision -> string = function
+  | Single -> "single"
+  | Double -> "double"
+
+let devices = Vgpu.Device.all
+let sizes = Geometry.paper_sizes
+let precisions = [ Kernel_ast.Cast.Single; Kernel_ast.Cast.Double ]
+
+let betas_default = (Material.tables ~n_branches:3 Material.defaults).Material.t_beta
+
+(* Kernel selection per experiment and version. *)
+let fused_kernel version precision =
+  match version with
+  | Hand -> Hand_kernels.fused_fi ~precision
+  | Lift_gen ->
+      (Lift_acoustics.Programs.compile ~name:"fused_fi" ~precision
+         (Lift_acoustics.Programs.fused_fi ()))
+        .Lift.Codegen.kernel
+
+let fi_mm_kernel version precision =
+  match version with
+  | Hand -> Hand_kernels.boundary_fi_mm ~precision ~betas:betas_default
+  | Lift_gen ->
+      (Lift_acoustics.Programs.compile ~name:"boundary_fi_mm" ~precision
+         (Lift_acoustics.Programs.boundary_fi_mm ()))
+        .Lift.Codegen.kernel
+
+let fd_mm_kernel ~mb version precision =
+  match version with
+  | Hand -> Hand_kernels.boundary_fd_mm ~precision ~mb
+  | Lift_gen ->
+      (Lift_acoustics.Programs.compile ~name:"boundary_fd_mm" ~precision
+         (Lift_acoustics.Programs.boundary_fd_mm ~mb ()))
+        .Lift.Codegen.kernel
+
+
+let paper_version = function Hand -> Paper_data.OpenCL | Lift_gen -> Paper_data.Lift
+
+let lookup_paper table ~platform ~version ~size ~shape ~precision =
+  match Paper_data.find table ~platform ~version:(paper_version version) ~size
+          ~shape:(Geometry.shape_label shape)
+  with
+  | Some r -> Some (match precision with Kernel_ast.Cast.Single -> r.Paper_data.single_ms | Double -> r.double_ms)
+  | None -> None
+
+(* Evaluate one (kernel-kind, kernel-builder) over the full matrix. *)
+let matrix ?(shapes = [ Geometry.Box; Geometry.Dome ]) ~kind ~kernel_of ~paper_table () :
+    result_row list =
+  List.concat_map
+    (fun (device : Vgpu.Device.t) ->
+      List.concat_map
+        (fun shape ->
+          List.concat_map
+            (fun dims ->
+              List.concat_map
+                (fun precision ->
+                  List.map
+                    (fun version ->
+                      let kernel = kernel_of version precision in
+                      let w = Workloads.workload kind shape dims in
+                      (* the paper hand-tunes each cell by workgroup size *)
+                      let model_s = Tuner.tuned_time ~device kernel w in
+                      let updates = Workloads.updates kind shape dims in
+                      {
+                        platform = device.Vgpu.Device.name;
+                        version;
+                        size = dims.Geometry.nx;
+                        shape;
+                        precision;
+                        model_s;
+                        paper_ms =
+                          Option.bind paper_table (fun t ->
+                              lookup_paper t ~platform:device.Vgpu.Device.name ~version
+                                ~size:dims.Geometry.nx ~shape ~precision);
+                        throughput = updates /. model_s;
+                      })
+                    [ Hand; Lift_gen ])
+                precisions)
+            sizes)
+        shapes)
+    devices
+
+let print_rows ~title rows =
+  let headers =
+    [ "platform"; "version"; "size"; "shape"; "prec"; "model ms"; "paper ms"; "Gupd/s" ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        [
+          r.platform;
+          version_label r.version;
+          string_of_int r.size;
+          Geometry.shape_label r.shape;
+          precision_label r.precision;
+          Report.ms r.model_s;
+          Report.opt_ms r.paper_ms;
+          Report.gups r.throughput;
+        ])
+      rows
+  in
+  Report.print_table ~title ~headers body
+
+(* Shape agreement: over (platform, size, shape, precision) cells where
+   the paper reports both versions, does the model agree on who wins
+   (within a 3% tie band)?  Also reports the median |log-ratio| between
+   model and paper times. *)
+let agreement rows =
+  let cells = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let key = (r.platform, r.size, r.shape, r.precision) in
+      let prev = try Hashtbl.find cells key with Not_found -> [] in
+      Hashtbl.replace cells key (r :: prev))
+    rows;
+  let wins_agree = ref 0 and wins_total = ref 0 in
+  let log_ratios = ref [] in
+  Hashtbl.iter
+    (fun _ rs ->
+      match rs with
+      | [ a; b ] -> (
+          let hand, lift = if a.version = Hand then (a, b) else (b, a) in
+          (match (hand.paper_ms, lift.paper_ms) with
+          | Some ph, Some pl ->
+              let tie_band = 0.03 in
+              let paper_ratio = pl /. ph and model_ratio = lift.model_s /. hand.model_s in
+              let sign r = if r > 1. +. tie_band then 1 else if r < 1. -. tie_band then -1 else 0 in
+              incr wins_total;
+              if sign paper_ratio = sign model_ratio || sign paper_ratio = 0 || sign model_ratio = 0
+              then incr wins_agree
+          | _ -> ());
+          List.iter
+            (fun r ->
+              match r.paper_ms with
+              | Some p when p > 0. ->
+                  log_ratios := Float.abs (log (r.model_s *. 1e3 /. p)) :: !log_ratios
+              | _ -> ())
+            [ hand; lift ])
+      | _ -> ())
+    cells;
+  let median l =
+    match List.sort compare l with
+    | [] -> nan
+    | l -> List.nth l (List.length l / 2)
+  in
+  (!wins_agree, !wins_total, median !log_ratios)
+
+let print_agreement ~label rows =
+  let agree, total, med = agreement rows in
+  if total > 0 then
+    Printf.printf
+      "%s: who-wins agreement (|tie|<=3%%) %d/%d cells; median |log(model/paper)| = %.2f (x%.2f)\n"
+      label agree total med (exp med)
+
+(* ------------------------------------------------------------------ *)
+(* The experiments *)
+
+(* Table II: room sizes and boundary points. *)
+let table2 () =
+  let rows =
+    List.concat_map
+      (fun (dims : Geometry.dims) ->
+        let paper =
+          List.find_opt
+            (fun (r : Paper_data.room_row) ->
+              let x, y, z = r.Paper_data.dims in
+              x = dims.Geometry.nx && y = dims.ny && z = dims.nz)
+            Paper_data.table2
+        in
+        List.map
+          (fun shape ->
+            let s = Workloads.stats shape dims in
+            let paper_pts =
+              match (paper, shape) with
+              | Some p, Geometry.Dome -> string_of_int p.Paper_data.dome_pts
+              | Some p, Geometry.Box -> string_of_int p.Paper_data.box_pts
+              | Some _, Geometry.L_shape | None, _ -> "-"
+            in
+            [
+              Printf.sprintf "%dx%dx%d" dims.Geometry.nx dims.ny dims.nz;
+              Geometry.shape_label shape;
+              string_of_int s.Geometry.s_inside;
+              string_of_int s.Geometry.s_boundary;
+              paper_pts;
+              Printf.sprintf "%.3f" s.Geometry.s_contiguity;
+            ])
+          [ Geometry.Dome; Geometry.Box ])
+      sizes
+  in
+  Report.print_table ~title:"Table II: rooms (ours vs paper boundary points)"
+    ~headers:[ "dims"; "shape"; "inside"; "boundary"; "paper b.pts"; "contiguity" ]
+    rows
+
+(* Table III: platforms. *)
+let table3 () =
+  let rows =
+    List.map
+      (fun (d : Vgpu.Device.t) ->
+        [
+          d.name;
+          (match d.vendor with Vgpu.Device.Nvidia -> "NVIDIA" | Amd -> "AMD");
+          Printf.sprintf "%.0f" d.mem_bw_gb_s;
+          Printf.sprintf "%.0f" d.sp_gflops;
+          Printf.sprintf "%.0f" (d.sp_gflops *. d.dp_ratio);
+        ])
+      devices
+  in
+  Report.print_table ~title:"Table III: platforms"
+    ~headers:[ "platform"; "vendor"; "GB/s"; "SP GFLOPS"; "DP GFLOPS" ]
+    rows
+
+(* Figure 4 / Table IV: naive FI, box rooms only, full stencil kernel. *)
+let fig4 () =
+  let rows =
+    matrix ~shapes:[ Geometry.Box ] ~kind:Workloads.Fused ~kernel_of:fused_kernel
+      ~paper_table:(Some Paper_data.table4) ()
+  in
+  print_rows ~title:"Figure 4 / Table IV: FI (fused stencil+boundary), box" rows;
+  print_agreement ~label:"fig4" rows;
+  rows
+
+(* Figure 5 / Table V: FI-MM boundary handling kernel. *)
+let fig5 () =
+  let rows =
+    matrix ~kind:(Workloads.Boundary 0) ~kernel_of:fi_mm_kernel
+      ~paper_table:(Some Paper_data.table5) ()
+  in
+  print_rows ~title:"Figure 5 / Table V: FI-MM boundary handling" rows;
+  print_agreement ~label:"fig5" rows;
+  rows
+
+(* Figure 6 / Table VI: FD-MM boundary handling kernel, 3 branches. *)
+let fig6 () =
+  let rows =
+    matrix ~kind:(Workloads.Boundary 3) ~kernel_of:(fd_mm_kernel ~mb:3)
+      ~paper_table:(Some Paper_data.table6) ()
+  in
+  print_rows ~title:"Figure 6 / Table VI: FD-MM boundary handling (MB=3)" rows;
+  print_agreement ~label:"fig6" rows;
+  rows
+
+(* Figure 2: fraction of a full simulation step spent in the boundary
+   kernel, hand-written kernels on the GTX 780. *)
+let fig2 () =
+  let device = Vgpu.Device.gtx780 in
+  let precision = Kernel_ast.Cast.Double in
+  let volume_k = Hand_kernels.volume ~precision in
+  let rows =
+    List.concat_map
+      (fun shape ->
+        List.concat_map
+          (fun (algo, mb, kernel) ->
+            List.map
+              (fun dims ->
+                let wv = Workloads.workload Workloads.Volume shape dims in
+                let wb = Workloads.workload (Workloads.Boundary mb) shape dims in
+                let tv = Tuner.tuned_time ~device volume_k wv in
+                let tb = Tuner.tuned_time ~device kernel wb in
+                [
+                  Geometry.shape_label shape;
+                  algo;
+                  Geometry.size_label dims;
+                  Report.ms tv;
+                  Report.ms tb;
+                  Report.pct (tb /. (tv +. tb));
+                ])
+              sizes)
+          [
+            ("FI-MM", 0, Hand_kernels.boundary_fi_mm ~precision ~betas:betas_default);
+            ("FD-MM", 3, Hand_kernels.boundary_fd_mm ~precision ~mb:3);
+          ])
+      [ Geometry.Box; Geometry.Dome ]
+  in
+  Report.print_table
+    ~title:"Figure 2: boundary handling share of step time (GTX780, hand-written)"
+    ~headers:[ "shape"; "algo"; "size"; "volume ms"; "boundary ms"; "% boundary" ]
+    rows;
+  rows
+
+let all () =
+  table2 ();
+  table3 ();
+  let r4 = fig4 () in
+  let r5 = fig5 () in
+  let r6 = fig6 () in
+  let _ = fig2 () in
+  (r4, r5, r6)

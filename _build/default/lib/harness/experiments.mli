@@ -1,0 +1,49 @@
+(** One generator per table/figure of the paper's evaluation (§VI-VII).
+
+    Each experiment compares the Lift-generated kernel against the
+    hand-written one on the four GPUs of Table III, across the three
+    rooms of Table II, in both precisions, through the analytic
+    performance model — printed next to the paper's reported numbers
+    with a shape-agreement summary. *)
+
+type version =
+  | Hand
+  | Lift_gen
+
+val version_label : version -> string
+
+type result_row = {
+  platform : string;
+  version : version;
+  size : int;
+  shape : Acoustics.Geometry.shape;
+  precision : Kernel_ast.Cast.precision;
+  model_s : float;
+  paper_ms : float option;
+  throughput : float;  (** updates per second *)
+}
+
+val agreement : result_row list -> int * int * float
+(** (who-wins agreements, comparable cells, median |log(model/paper)|). *)
+
+val table2 : unit -> unit
+(** Table II: room sizes and boundary points, ours vs paper. *)
+
+val table3 : unit -> unit
+(** Table III: platform metrics. *)
+
+val fig2 : unit -> string list list
+(** Figure 2: boundary-handling share of a step (hand-written kernels,
+    GTX 780). *)
+
+val fig4 : unit -> result_row list
+(** Figure 4 / Table IV: FI fused kernel, box rooms. *)
+
+val fig5 : unit -> result_row list
+(** Figure 5 / Table V: FI-MM boundary kernel. *)
+
+val fig6 : unit -> result_row list
+(** Figure 6 / Table VI: FD-MM boundary kernel (3 branches). *)
+
+val all : unit -> result_row list * result_row list * result_row list
+(** Run and print everything; returns the fig4/fig5/fig6 rows. *)

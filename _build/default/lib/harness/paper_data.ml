@@ -1,0 +1,172 @@
+(* The paper's reported measurements, transcribed from the appendix
+   (Tables II, IV, V, VI) and Table III.  Used to print side-by-side
+   paper-vs-model comparisons and to score shape agreement (who wins,
+   single/double gaps, size ordering). *)
+
+type version =
+  | OpenCL (* hand-written *)
+  | Lift
+
+let version_label = function OpenCL -> "OpenCL" | Lift -> "LIFT"
+
+type row = {
+  platform : string;
+  version : version;
+  size : int;       (* leading dimension: 602, 336 or 302 *)
+  shape : string;   (* "box" or "dome"; FI rows are box-only *)
+  single_ms : float;
+  double_ms : float;
+}
+
+let row platform version size shape single_ms double_ms =
+  { platform; version; size; shape; single_ms; double_ms }
+
+(* Table II: room sizes and boundary-point counts. *)
+type room_row = { dims : int * int * int; dome_pts : int; box_pts : int }
+
+let table2 =
+  [
+    { dims = (602, 402, 302); dome_pts = 690_624; box_pts = 1_085_208 };
+    { dims = (336, 336, 336); dome_pts = 376_808; box_pts = 673_352 };
+    { dims = (302, 202, 152); dome_pts = 172_256; box_pts = 272_608 };
+  ]
+
+(* Table IV: naive frequency-independent (FI), box rooms, times in ms. *)
+let table4 =
+  [
+    row "Titan Black" OpenCL 602 "box" 8.19 11.33;
+    row "Titan Black" Lift 602 "box" 6.93 11.55;
+    row "Titan Black" OpenCL 336 "box" 4.01 5.16;
+    row "Titan Black" Lift 336 "box" 3.51 5.91;
+    row "Titan Black" OpenCL 302 "box" 0.97 1.37;
+    row "Titan Black" Lift 302 "box" 0.84 1.45;
+    row "AMD7970" OpenCL 602 "box" 5.05 10.66;
+    row "AMD7970" Lift 602 "box" 4.97 10.31;
+    row "AMD7970" OpenCL 336 "box" 2.70 5.68;
+    row "AMD7970" Lift 336 "box" 2.70 5.70;
+    row "AMD7970" OpenCL 302 "box" 0.66 1.41;
+    row "AMD7970" Lift 302 "box" 0.64 1.31;
+    row "RadeonR9" OpenCL 602 "box" 4.89 10.10;
+    row "RadeonR9" Lift 602 "box" 5.05 9.18;
+    row "RadeonR9" OpenCL 336 "box" 2.93 4.91;
+    row "RadeonR9" Lift 336 "box" 2.96 5.09;
+    row "RadeonR9" OpenCL 302 "box" 0.60 1.19;
+    row "RadeonR9" Lift 302 "box" 0.69 1.16;
+    row "GTX780" OpenCL 602 "box" 9.21 12.30;
+    row "GTX780" Lift 602 "box" 7.59 13.24;
+    row "GTX780" OpenCL 336 "box" 4.57 5.65;
+    row "GTX780" Lift 336 "box" 3.85 6.79;
+    row "GTX780" OpenCL 302 "box" 1.23 1.52;
+    row "GTX780" Lift 302 "box" 1.04 1.69;
+  ]
+
+(* Table V: FI-MM boundary-handling kernel, times in ms. *)
+let table5 =
+  [
+    row "RadeonR9" OpenCL 602 "box" 0.28 0.51;
+    row "RadeonR9" Lift 602 "box" 0.28 0.35;
+    row "RadeonR9" OpenCL 302 "box" 0.07 0.13;
+    row "RadeonR9" Lift 302 "box" 0.07 0.09;
+    row "RadeonR9" OpenCL 336 "box" 0.32 0.60;
+    row "RadeonR9" Lift 336 "box" 0.33 0.37;
+    row "AMD7970" OpenCL 602 "box" 0.27 0.34;
+    row "AMD7970" Lift 602 "box" 0.27 0.34;
+    row "AMD7970" OpenCL 302 "box" 0.07 0.08;
+    row "AMD7970" Lift 302 "box" 0.07 0.08;
+    row "AMD7970" OpenCL 336 "box" 0.29 0.33;
+    row "AMD7970" Lift 336 "box" 0.29 0.33;
+    row "GTX780" OpenCL 602 "box" 0.27 0.33;
+    row "GTX780" Lift 602 "box" 0.27 0.34;
+    row "GTX780" OpenCL 302 "box" 0.06 0.08;
+    row "GTX780" Lift 302 "box" 0.06 0.08;
+    row "GTX780" OpenCL 336 "box" 0.25 0.34;
+    row "GTX780" Lift 336 "box" 0.25 0.34;
+    row "Titan Black" OpenCL 602 "box" 0.29 0.31;
+    row "Titan Black" Lift 602 "box" 0.28 0.36;
+    row "Titan Black" OpenCL 302 "box" 0.06 0.07;
+    row "Titan Black" Lift 302 "box" 0.06 0.09;
+    row "Titan Black" OpenCL 336 "box" 0.30 0.29;
+    row "Titan Black" Lift 336 "box" 0.28 0.40;
+    row "RadeonR9" OpenCL 602 "dome" 0.34 0.48;
+    row "RadeonR9" Lift 602 "dome" 0.34 0.37;
+    row "RadeonR9" OpenCL 302 "dome" 0.08 0.11;
+    row "RadeonR9" Lift 302 "dome" 0.08 0.08;
+    row "RadeonR9" OpenCL 336 "dome" 0.28 0.33;
+    row "RadeonR9" Lift 336 "dome" 0.28 0.27;
+    row "AMD7970" OpenCL 602 "dome" 0.32 0.38;
+    row "AMD7970" Lift 602 "dome" 0.31 0.38;
+    row "AMD7970" OpenCL 302 "dome" 0.08 0.09;
+    row "AMD7970" Lift 302 "dome" 0.08 0.09;
+    row "AMD7970" OpenCL 336 "dome" 0.25 0.28;
+    row "AMD7970" Lift 336 "dome" 0.25 0.28;
+    row "GTX780" OpenCL 602 "dome" 0.28 0.38;
+    row "GTX780" Lift 602 "dome" 0.29 0.38;
+    row "GTX780" OpenCL 302 "dome" 0.06 0.09;
+    row "GTX780" Lift 302 "dome" 0.06 0.09;
+    row "GTX780" OpenCL 336 "dome" 0.19 0.30;
+    row "GTX780" Lift 336 "dome" 0.21 0.30;
+    row "Titan Black" OpenCL 602 "dome" 0.30 0.32;
+    row "Titan Black" Lift 602 "dome" 0.29 0.37;
+    row "Titan Black" OpenCL 302 "dome" 0.06 0.07;
+    row "Titan Black" Lift 302 "dome" 0.06 0.08;
+    row "Titan Black" OpenCL 336 "dome" 0.24 0.25;
+    row "Titan Black" Lift 336 "dome" 0.20 0.25;
+  ]
+
+(* Table VI: FD-MM boundary-handling kernel (3 ODE branches), ms. *)
+let table6 =
+  [
+    row "RadeonR9" OpenCL 602 "box" 0.52 1.05;
+    row "RadeonR9" Lift 602 "box" 0.47 0.94;
+    row "RadeonR9" OpenCL 302 "box" 0.12 0.26;
+    row "RadeonR9" Lift 302 "box" 0.12 0.23;
+    row "RadeonR9" OpenCL 336 "box" 0.49 0.69;
+    row "RadeonR9" Lift 336 "box" 0.44 0.64;
+    row "AMD7970" OpenCL 602 "box" 0.57 0.93;
+    row "AMD7970" Lift 602 "box" 0.54 0.85;
+    row "AMD7970" OpenCL 302 "box" 0.13 0.22;
+    row "AMD7970" Lift 302 "box" 0.13 0.21;
+    row "AMD7970" OpenCL 336 "box" 0.50 0.71;
+    row "AMD7970" Lift 336 "box" 0.47 0.69;
+    row "GTX780" OpenCL 602 "box" 0.48 0.78;
+    row "GTX780" Lift 602 "box" 0.52 0.76;
+    row "GTX780" OpenCL 302 "box" 0.11 0.18;
+    row "GTX780" Lift 302 "box" 0.12 0.18;
+    row "GTX780" OpenCL 336 "box" 0.36 0.61;
+    row "GTX780" Lift 336 "box" 0.38 0.59;
+    row "Titan Black" OpenCL 602 "box" 0.49 0.83;
+    row "Titan Black" Lift 602 "box" 0.50 0.87;
+    row "Titan Black" OpenCL 302 "box" 0.11 0.20;
+    row "Titan Black" Lift 302 "box" 0.12 0.21;
+    row "Titan Black" OpenCL 336 "box" 0.40 0.55;
+    row "Titan Black" Lift 336 "box" 0.40 0.60;
+    row "RadeonR9" OpenCL 602 "dome" 0.45 0.66;
+    row "RadeonR9" Lift 602 "dome" 0.46 0.68;
+    row "RadeonR9" OpenCL 302 "dome" 0.11 0.17;
+    row "RadeonR9" Lift 302 "dome" 0.11 0.17;
+    row "RadeonR9" OpenCL 336 "dome" 0.37 0.41;
+    row "RadeonR9" Lift 336 "dome" 0.35 0.42;
+    row "AMD7970" OpenCL 602 "dome" 0.48 0.70;
+    row "AMD7970" Lift 602 "dome" 0.48 0.70;
+    row "AMD7970" OpenCL 302 "dome" 0.12 0.17;
+    row "AMD7970" Lift 302 "dome" 0.12 0.17;
+    row "AMD7970" OpenCL 336 "dome" 0.36 0.47;
+    row "AMD7970" Lift 336 "dome" 0.36 0.47;
+    row "GTX780" OpenCL 602 "dome" 0.41 0.60;
+    row "GTX780" Lift 602 "dome" 0.44 0.63;
+    row "GTX780" OpenCL 302 "dome" 0.09 0.15;
+    row "GTX780" Lift 302 "dome" 0.10 0.16;
+    row "GTX780" OpenCL 336 "dome" 0.29 0.45;
+    row "GTX780" Lift 336 "dome" 0.29 0.44;
+    row "Titan Black" OpenCL 602 "dome" 0.42 0.56;
+    row "Titan Black" Lift 602 "dome" 0.43 0.65;
+    row "Titan Black" OpenCL 302 "dome" 0.10 0.14;
+    row "Titan Black" Lift 302 "dome" 0.10 0.16;
+    row "Titan Black" OpenCL 336 "dome" 0.30 0.36;
+    row "Titan Black" Lift 336 "dome" 0.30 0.42;
+  ]
+
+let find table ~platform ~version ~size ~shape =
+  List.find_opt
+    (fun r -> r.platform = platform && r.version = version && r.size = size && r.shape = shape)
+    table

@@ -1,0 +1,25 @@
+(* Plain-text table rendering for experiment reports. *)
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let print_table ?(out = stdout) ~title ~headers rows =
+  let all = headers :: rows in
+  let ncols = List.length headers in
+  let widths =
+    List.init ncols (fun c ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all)
+  in
+  let line row =
+    String.concat "  " (List.map2 (fun w cell -> pad w cell) widths row)
+  in
+  Printf.fprintf out "\n== %s ==\n" title;
+  Printf.fprintf out "%s\n" (line headers);
+  Printf.fprintf out "%s\n" (String.make (String.length (line headers)) '-');
+  List.iter (fun row -> Printf.fprintf out "%s\n" (line row)) rows
+
+let ms v = Printf.sprintf "%.3f" (v *. 1e3)
+let gups v = Printf.sprintf "%.2f" (v /. 1e9)
+let pct v = Printf.sprintf "%.1f%%" (v *. 100.)
+let opt_ms = function Some v -> Printf.sprintf "%.2f" v | None -> "-"

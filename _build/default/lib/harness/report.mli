@@ -1,0 +1,13 @@
+(** Plain-text table rendering for experiment reports. *)
+
+val print_table :
+  ?out:out_channel -> title:string -> headers:string list -> string list list -> unit
+
+val ms : float -> string
+(** Seconds rendered as milliseconds, 3 decimals. *)
+
+val gups : float -> string
+(** Updates/s rendered as gigaupdates/s. *)
+
+val pct : float -> string
+val opt_ms : float option -> string

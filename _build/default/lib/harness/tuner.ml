@@ -1,0 +1,32 @@
+(* Work-group size tuning.
+
+   Paper §VI: "All benchmarks have been hand-tuned by workgroup size and
+   the best result is reported."  The tuner emulates that protocol: each
+   (kernel, workload, device) cell is evaluated at every candidate
+   work-group size and the fastest configuration is reported. *)
+
+let candidate_sizes = [ 32; 64; 128; 256 ]
+
+type result = {
+  best_size : int;
+  best_time_s : float;
+  sweep : (int * float) list;  (* all candidates, in candidate order *)
+}
+
+let tune ~(device : Vgpu.Device.t) (kernel : Kernel_ast.Cast.kernel)
+    (w : Vgpu.Perf_model.workload) : result =
+  let sweep =
+    List.map
+      (fun ls ->
+        (ls, Vgpu.Perf_model.predict device kernel { w with Vgpu.Perf_model.local_size = ls }))
+      candidate_sizes
+  in
+  let best_size, best_time_s =
+    List.fold_left
+      (fun (bs, bt) (ls, t) -> if t < bt then (ls, t) else (bs, bt))
+      (List.hd sweep) (List.tl sweep)
+  in
+  { best_size; best_time_s; sweep }
+
+(* The tuned time: what the paper reports per cell. *)
+let tuned_time ~device kernel w = (tune ~device kernel w).best_time_s

@@ -1,0 +1,17 @@
+(** Work-group size tuning, emulating the paper's protocol (§VI: "All
+    benchmarks have been hand-tuned by workgroup size and the best
+    result is reported"). *)
+
+val candidate_sizes : int list
+
+type result = {
+  best_size : int;
+  best_time_s : float;
+  sweep : (int * float) list;
+}
+
+val tune :
+  device:Vgpu.Device.t -> Kernel_ast.Cast.kernel -> Vgpu.Perf_model.workload -> result
+
+val tuned_time :
+  device:Vgpu.Device.t -> Kernel_ast.Cast.kernel -> Vgpu.Perf_model.workload -> float

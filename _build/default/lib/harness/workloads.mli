@@ -1,0 +1,24 @@
+(** Performance-model workloads for the paper's rooms.  Geometry
+    statistics at full paper sizes are computed by the streaming voxel
+    iterator and cached. *)
+
+val n_materials : int
+
+val stats : Acoustics.Geometry.shape -> Acoustics.Geometry.dims -> Acoustics.Geometry.stats
+(** Cached {!Acoustics.Geometry.stats}. *)
+
+(** What a kernel iterates over. *)
+type kind =
+  | Volume          (** stencil over the grid *)
+  | Fused           (** stencil + naive boundary in one kernel *)
+  | Boundary of int (** boundary handling with [mb] ODE branches (0 = FI) *)
+
+val buffer_elems :
+  dims:Acoustics.Geometry.dims -> n_boundary:int -> mb:int -> (string * int) list
+
+val workload :
+  kind -> Acoustics.Geometry.shape -> Acoustics.Geometry.dims -> Vgpu.Perf_model.workload
+
+val updates : kind -> Acoustics.Geometry.shape -> Acoustics.Geometry.dims -> float
+(** The paper's throughput denominator (§VI): grid points for full-grid
+    kernels, boundary points for boundary kernels. *)

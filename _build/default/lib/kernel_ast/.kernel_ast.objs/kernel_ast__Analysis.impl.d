@@ -1,0 +1,1 @@
+lib/kernel_ast/analysis.ml: Cast Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/kernel_ast/analysis.mli: Cast Format Hashtbl

@@ -1,0 +1,1 @@
+lib/kernel_ast/print.mli: Cast

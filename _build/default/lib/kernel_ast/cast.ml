@@ -1,0 +1,203 @@
+(* C-like abstract syntax for GPU kernels.
+
+   This is the target of the Lift code generator and the program
+   representation executed by the virtual GPU.  It covers the subset of
+   OpenCL C needed by FDTD room-acoustics kernels: scalar int/real
+   arithmetic, global-memory buffers, private (register) arrays, sequential
+   [for] loops, conditionals and NDRange work-item identifiers. *)
+
+type ty =
+  | Int
+  | Real
+
+(* A kernel is generated once per floating-point precision; [Real] stands
+   for [float] or [double] depending on [kernel.precision]. *)
+type precision =
+  | Single
+  | Double
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop =
+  | Neg
+  | Not
+  | To_real (* int -> real conversion *)
+  | To_int  (* real -> int truncation *)
+
+(* Math builtins kept abstract so the interpreter, the JIT and the printer
+   agree on the supported set. *)
+type builtin =
+  | Sqrt
+  | Fabs
+  | Exp
+  | Log
+  | Sin
+  | Cos
+  | Floor
+  | Fmin
+  | Fmax
+
+type expr =
+  | Int_lit of int
+  | Real_lit of float
+  | Var of string
+  | Load of string * expr          (* name[idx]; global buffer or private array *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Ternary of expr * expr * expr  (* cond ? a : b *)
+  | Call of builtin * expr list
+  | Global_id of int               (* get_global_id(d) *)
+  | Global_size of int             (* get_global_size(d) *)
+
+type stmt =
+  | Decl of ty * string * expr option
+  | Decl_arr of ty * string * int         (* private array of static length *)
+  | Assign of string * expr
+  | Store of string * expr * expr         (* name[idx] = value *)
+  | If of expr * stmt list * stmt list
+  | For of for_loop
+  | Comment of string
+
+and for_loop = {
+  var : string;
+  init : expr;
+  bound : expr;   (* loop while var < bound *)
+  step : expr;
+  body : stmt list;
+}
+
+type param_kind =
+  | Global_buf   (* __global pointer *)
+  | Scalar_param
+
+type param = {
+  p_name : string;
+  p_ty : ty;
+  p_kind : param_kind;
+}
+
+type kernel = {
+  name : string;
+  params : param list;
+  body : stmt list;
+  precision : precision;
+  (* Global work size per dimension, as expressions over scalar params.
+     Dimension list may be shorter than 3. *)
+  global_size : expr list;
+}
+
+let int_lit n = Int_lit n
+let real_lit r = Real_lit r
+let var v = Var v
+let load buf idx = Load (buf, idx)
+
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( *: ) a b = Binop (Mul, a, b)
+let ( /: ) a b = Binop (Div, a, b)
+let ( %: ) a b = Binop (Mod, a, b)
+let ( <: ) a b = Binop (Lt, a, b)
+let ( <=: ) a b = Binop (Le, a, b)
+let ( >: ) a b = Binop (Gt, a, b)
+let ( >=: ) a b = Binop (Ge, a, b)
+let ( =: ) a b = Binop (Eq, a, b)
+let ( <>: ) a b = Binop (Ne, a, b)
+let ( &&: ) a b = Binop (And, a, b)
+let ( ||: ) a b = Binop (Or, a, b)
+
+let for_ var ~from ~below ?(step = Int_lit 1) body =
+  For { var; init = from; bound = below; step; body }
+
+let param ?(kind = Global_buf) name ty = { p_name = name; p_ty = ty; p_kind = kind }
+
+(* Constant folding and light algebraic simplification.  The code
+   generator produces index expressions with many [x + 0] / [x * 1]
+   patterns; folding them keeps the emitted OpenCL readable and speeds up
+   the interpreter. *)
+let rec simplify e =
+  match e with
+  | Int_lit _ | Real_lit _ | Var _ | Global_id _ | Global_size _ -> e
+  | Load (b, i) -> Load (b, simplify i)
+  | Unop (op, a) -> (
+      let a = simplify a in
+      match (op, a) with
+      | Neg, Int_lit n -> Int_lit (-n)
+      | Neg, Real_lit r -> Real_lit (-.r)
+      | To_real, Int_lit n -> Real_lit (float_of_int n)
+      | To_int, Real_lit r -> Int_lit (int_of_float r)
+      | Not, Int_lit n -> Int_lit (if n = 0 then 1 else 0)
+      | _ -> Unop (op, a))
+  | Ternary (c, a, b) -> (
+      let c = simplify c in
+      match c with
+      | Int_lit 0 -> simplify b
+      | Int_lit _ -> simplify a
+      | _ -> Ternary (c, simplify a, simplify b))
+  | Call (f, args) -> Call (f, List.map simplify args)
+  | Binop (op, a, b) -> (
+      let a = simplify a and b = simplify b in
+      match (op, a, b) with
+      | Add, Int_lit x, Int_lit y -> Int_lit (x + y)
+      | Sub, Int_lit x, Int_lit y -> Int_lit (x - y)
+      | Mul, Int_lit x, Int_lit y -> Int_lit (x * y)
+      | Div, Int_lit x, Int_lit y when y <> 0 -> Int_lit (x / y)
+      | Mod, Int_lit x, Int_lit y when y <> 0 -> Int_lit (x mod y)
+      | Add, Real_lit x, Real_lit y -> Real_lit (x +. y)
+      | Sub, Real_lit x, Real_lit y -> Real_lit (x -. y)
+      | Mul, Real_lit x, Real_lit y -> Real_lit (x *. y)
+      | Add, Int_lit 0, e | Add, e, Int_lit 0 -> e
+      | Sub, e, Int_lit 0 -> e
+      | Mul, Int_lit 1, e | Mul, e, Int_lit 1 -> e
+      | Mul, Int_lit 0, _ | Mul, _, Int_lit 0 -> Int_lit 0
+      | Div, e, Int_lit 1 -> e
+      | Add, Binop (Add, e, Int_lit x), Int_lit y -> simplify (Binop (Add, e, Int_lit (x + y)))
+      | Lt, Int_lit x, Int_lit y -> Int_lit (if x < y then 1 else 0)
+      | Le, Int_lit x, Int_lit y -> Int_lit (if x <= y then 1 else 0)
+      | Gt, Int_lit x, Int_lit y -> Int_lit (if x > y then 1 else 0)
+      | Ge, Int_lit x, Int_lit y -> Int_lit (if x >= y then 1 else 0)
+      | Eq, Int_lit x, Int_lit y -> Int_lit (if x = y then 1 else 0)
+      | Ne, Int_lit x, Int_lit y -> Int_lit (if x <> y then 1 else 0)
+      | And, Int_lit 0, _ | And, _, Int_lit 0 -> Int_lit 0
+      | And, Int_lit _, e | And, e, Int_lit _ -> e
+      | Or, Int_lit 0, e | Or, e, Int_lit 0 -> e
+      | _ -> Binop (op, a, b))
+
+let rec simplify_stmt s =
+  match s with
+  | Decl (t, v, e) -> Decl (t, v, Option.map simplify e)
+  | Decl_arr _ | Comment _ -> s
+  | Assign (v, e) -> Assign (v, simplify e)
+  | Store (b, i, e) -> Store (b, simplify i, simplify e)
+  | If (c, t, f) -> (
+      match simplify c with
+      | Int_lit 0 -> If (Int_lit 0, [], List.map simplify_stmt f)
+      | c -> If (c, List.map simplify_stmt t, List.map simplify_stmt f))
+  | For l ->
+      For
+        {
+          l with
+          init = simplify l.init;
+          bound = simplify l.bound;
+          step = simplify l.step;
+          body = List.map simplify_stmt l.body;
+        }
+
+let simplify_kernel k =
+  {
+    k with
+    body = List.map simplify_stmt k.body;
+    global_size = List.map simplify k.global_size;
+  }

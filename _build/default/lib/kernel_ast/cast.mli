@@ -1,0 +1,141 @@
+(** C-like abstract syntax for GPU kernels.
+
+    This is the target language of the Lift code generator and the
+    program representation executed by the virtual GPU ({!module:Vgpu}).
+    It covers the subset of OpenCL C needed by FDTD kernels: scalar
+    int/real arithmetic, global-memory buffers, private (register)
+    arrays, sequential loops, conditionals and NDRange work-item
+    identifiers. *)
+
+(** Scalar types.  [Real] stands for [float] or [double] depending on
+    the kernel's {!type:precision}. *)
+type ty =
+  | Int
+  | Real
+
+(** Floating-point width of a kernel; a kernel is generated once per
+    precision. *)
+type precision =
+  | Single
+  | Double
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop =
+  | Neg
+  | Not
+  | To_real  (** int -> real conversion *)
+  | To_int   (** real -> int truncation *)
+
+(** Math builtins, kept abstract so the interpreter, the JIT and the
+    printer agree on the supported set. *)
+type builtin =
+  | Sqrt
+  | Fabs
+  | Exp
+  | Log
+  | Sin
+  | Cos
+  | Floor
+  | Fmin
+  | Fmax
+
+type expr =
+  | Int_lit of int
+  | Real_lit of float
+  | Var of string
+  | Load of string * expr  (** [name[idx]]: global buffer or private array *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Ternary of expr * expr * expr  (** [cond ? a : b] *)
+  | Call of builtin * expr list
+  | Global_id of int    (** [get_global_id(d)] *)
+  | Global_size of int  (** [get_global_size(d)] *)
+
+type stmt =
+  | Decl of ty * string * expr option
+  | Decl_arr of ty * string * int  (** private array of static length *)
+  | Assign of string * expr
+  | Store of string * expr * expr  (** [name[idx] = value] *)
+  | If of expr * stmt list * stmt list
+  | For of for_loop
+  | Comment of string
+
+and for_loop = {
+  var : string;
+  init : expr;
+  bound : expr;  (** loop while [var < bound] *)
+  step : expr;
+  body : stmt list;
+}
+
+type param_kind =
+  | Global_buf    (** [__global] pointer *)
+  | Scalar_param
+
+type param = {
+  p_name : string;
+  p_ty : ty;
+  p_kind : param_kind;
+}
+
+type kernel = {
+  name : string;
+  params : param list;
+  body : stmt list;
+  precision : precision;
+  global_size : expr list;
+      (** NDRange extent per dimension, as expressions over scalar
+          parameters; may have fewer than 3 entries. *)
+}
+
+(** {1 Construction helpers} *)
+
+val int_lit : int -> expr
+val real_lit : float -> expr
+val var : string -> expr
+val load : string -> expr -> expr
+
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+val ( %: ) : expr -> expr -> expr
+val ( <: ) : expr -> expr -> expr
+val ( <=: ) : expr -> expr -> expr
+val ( >: ) : expr -> expr -> expr
+val ( >=: ) : expr -> expr -> expr
+val ( =: ) : expr -> expr -> expr
+val ( <>: ) : expr -> expr -> expr
+val ( &&: ) : expr -> expr -> expr
+val ( ||: ) : expr -> expr -> expr
+
+(** [for_ v ~from ~below ?step body] builds a counted loop. *)
+val for_ : string -> from:expr -> below:expr -> ?step:expr -> stmt list -> stmt
+
+(** [param ?kind name ty] builds a kernel parameter (a global buffer by
+    default). *)
+val param : ?kind:param_kind -> string -> ty -> param
+
+(** {1 Simplification}
+
+    Constant folding and light algebraic identities ([x+0], [x*1],
+    constant conditionals); keeps generated index expressions readable
+    and fast to interpret.  Semantics-preserving (property-tested). *)
+
+val simplify : expr -> expr
+val simplify_stmt : stmt -> stmt
+val simplify_kernel : kernel -> kernel

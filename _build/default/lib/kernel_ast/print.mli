@@ -1,0 +1,16 @@
+(** Emission of kernel ASTs as OpenCL C source.
+
+    The printed source is the artifact the paper's compiler produces;
+    [Real] resolves to [float] or [double] per the kernel's precision
+    (with [f]-suffixed literals in single precision). *)
+
+val ty_name : Cast.precision -> Cast.ty -> string
+(** C type name of a scalar type under a precision. *)
+
+val builtin_name : Cast.builtin -> string
+
+val expr_to_string : ?precision:Cast.precision -> Cast.expr -> string
+(** Render one expression (default precision: double). *)
+
+val kernel_to_string : Cast.kernel -> string
+(** Render a kernel as a self-contained [__kernel] function. *)

@@ -1,0 +1,1 @@
+lib/lift_acoustics/programs.ml: Ast Codegen Lift Macros Rewrite Size Ty

@@ -1,0 +1,1 @@
+lib/lift_acoustics/programs.mli: Ast Codegen Kernel_ast Lift Size Ty

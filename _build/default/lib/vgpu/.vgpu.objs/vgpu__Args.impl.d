@@ -1,0 +1,1 @@
+lib/vgpu/args.ml: Buffer Fmt

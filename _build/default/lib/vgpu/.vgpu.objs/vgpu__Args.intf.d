@@ -1,0 +1,1 @@
+lib/vgpu/args.mli: Buffer Format

@@ -1,0 +1,1 @@
+lib/vgpu/buffer.ml: Array Int32 Kernel_ast

@@ -1,0 +1,1 @@
+lib/vgpu/buffer.mli: Kernel_ast

@@ -1,0 +1,1 @@
+lib/vgpu/device.ml: Kernel_ast List

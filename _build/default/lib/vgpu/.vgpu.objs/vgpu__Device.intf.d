@@ -1,0 +1,1 @@
+lib/vgpu/device.mli: Kernel_ast

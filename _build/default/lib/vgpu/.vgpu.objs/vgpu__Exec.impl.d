@@ -1,0 +1,1 @@
+lib/vgpu/exec.ml: Args Array Buffer Float Hashtbl Kernel_ast List Printf Stdlib

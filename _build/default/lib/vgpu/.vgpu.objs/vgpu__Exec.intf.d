@@ -1,0 +1,1 @@
+lib/vgpu/exec.mli: Args Kernel_ast

@@ -1,0 +1,1 @@
+lib/vgpu/jit.ml: Args Array Buffer Float Hashtbl Kernel_ast List Printf

@@ -1,0 +1,1 @@
+lib/vgpu/jit.mli: Args Kernel_ast

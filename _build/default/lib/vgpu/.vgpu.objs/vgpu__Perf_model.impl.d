@@ -1,0 +1,1 @@
+lib/vgpu/perf_model.ml: Analysis Cast Device Float Fmt Kernel_ast List

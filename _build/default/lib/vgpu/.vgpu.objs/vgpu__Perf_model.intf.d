@@ -1,0 +1,1 @@
+lib/vgpu/perf_model.mli: Device Format Kernel_ast

@@ -1,0 +1,1 @@
+lib/vgpu/runtime.ml: Args Array Buffer Cast Exec Hashtbl Jit Kernel_ast List Printf

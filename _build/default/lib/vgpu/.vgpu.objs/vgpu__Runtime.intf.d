@@ -1,0 +1,1 @@
+lib/vgpu/runtime.mli: Buffer Hashtbl Jit Kernel_ast

@@ -1,0 +1,11 @@
+(* Kernel launch arguments, matched positionally against kernel params. *)
+
+type t =
+  | Buf of Buffer.t
+  | Int_arg of int
+  | Real_arg of float
+
+let pp ppf = function
+  | Buf b -> Fmt.pf ppf "buf[%d]" (Buffer.length b)
+  | Int_arg i -> Fmt.pf ppf "%d" i
+  | Real_arg r -> Fmt.pf ppf "%g" r

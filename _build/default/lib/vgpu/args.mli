@@ -1,0 +1,9 @@
+(** Kernel launch arguments, matched positionally against kernel
+    parameters. *)
+
+type t =
+  | Buf of Buffer.t
+  | Int_arg of int
+  | Real_arg of float
+
+val pp : Format.formatter -> t -> unit

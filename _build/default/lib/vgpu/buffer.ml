@@ -1,0 +1,60 @@
+(* Device global-memory buffers.
+
+   Numeric execution is IEEE double internally; single-precision kernels
+   round on store (see [Exec] and [Jit]) so that float and double runs
+   produce genuinely different numerics, as on real hardware. *)
+
+type t =
+  | F of float array
+  | I of int array
+
+let create_real n = F (Array.make n 0.)
+let create_int n = I (Array.make n 0)
+
+let create (ty : Kernel_ast.Cast.ty) n =
+  match ty with Real -> create_real n | Int -> create_int n
+
+let of_float_array a = F a
+let of_int_array a = I a
+
+let length = function F a -> Array.length a | I a -> Array.length a
+
+let ty = function
+  | F _ -> Kernel_ast.Cast.Real
+  | I _ -> Kernel_ast.Cast.Int
+
+let get_real t i =
+  match t with
+  | F a -> a.(i)
+  | I a -> float_of_int a.(i)
+
+let get_int t i =
+  match t with
+  | I a -> a.(i)
+  | F a -> int_of_float a.(i)
+
+let set_real t i v =
+  match t with
+  | F a -> a.(i) <- v
+  | I a -> a.(i) <- int_of_float v
+
+let set_int t i v =
+  match t with
+  | I a -> a.(i) <- v
+  | F a -> a.(i) <- float_of_int v
+
+let to_float_array = function
+  | F a -> Array.copy a
+  | I a -> Array.map float_of_int a
+
+let to_int_array = function
+  | I a -> Array.copy a
+  | F a -> Array.map int_of_float a
+
+let copy = function F a -> F (Array.copy a) | I a -> I (Array.copy a)
+
+let fill_real t v = match t with F a -> Array.fill a 0 (Array.length a) v | I _ -> invalid_arg "fill_real"
+
+(* Round a double to the nearest representable float32, used to emulate
+   single-precision stores. *)
+let round32 (x : float) = Int32.float_of_bits (Int32.bits_of_float x)

@@ -1,0 +1,38 @@
+(** Device global-memory buffers.
+
+    Numeric execution is IEEE double internally; single-precision kernels
+    round on store (see {!module:Exec} and {!module:Jit}) so float and
+    double runs produce genuinely different numerics, as on real
+    hardware. *)
+
+type t =
+  | F of float array
+  | I of int array
+
+val create_real : int -> t
+val create_int : int -> t
+val create : Kernel_ast.Cast.ty -> int -> t
+
+val of_float_array : float array -> t
+(** Shares the array: kernel stores are visible to the caller. *)
+
+val of_int_array : int array -> t
+
+val length : t -> int
+val ty : t -> Kernel_ast.Cast.ty
+
+val get_real : t -> int -> float
+val get_int : t -> int -> int
+val set_real : t -> int -> float -> unit
+val set_int : t -> int -> int -> unit
+
+val to_float_array : t -> float array
+(** Copies. *)
+
+val to_int_array : t -> int array
+val copy : t -> t
+val fill_real : t -> float -> unit
+
+val round32 : float -> float
+(** Round a double to the nearest representable float32; used to emulate
+    single-precision stores. *)

@@ -1,0 +1,22 @@
+(** Reference interpreter for kernel ASTs.
+
+    Executes a kernel over an NDRange exactly as an OpenCL device would,
+    one work-item at a time (row-major order).  The kernels in this
+    project never communicate through local memory, so sequential
+    execution is observationally equivalent to any parallel schedule as
+    long as distinct work-items write distinct locations — which the
+    generated kernels guarantee.
+
+    This is the slow, obviously-correct engine used to cross-validate
+    the JIT and the Lift code generator; benchmarks use {!module:Jit}. *)
+
+val builtin_eval : Kernel_ast.Cast.builtin -> float list -> float
+(** Evaluate a math builtin (shared with the Lift IR interpreter). *)
+
+val launch : Kernel_ast.Cast.kernel -> args:Args.t list -> global:int list -> unit
+(** Run the kernel over [global] work-items per dimension.  [args] are
+    matched positionally against the kernel's parameters; buffer
+    arguments are mutated in place.
+
+    @raise Invalid_argument on arity or argument-kind mismatch.
+    @raise Failure on unbound names (malformed kernels). *)

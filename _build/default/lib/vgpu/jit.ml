@@ -1,0 +1,447 @@
+(* Closure-compiling JIT for kernel ASTs.
+
+   Plays the role of the OpenCL driver compiler in this reproduction:
+   a kernel AST is compiled once into OCaml closures with all name
+   resolution done at compile time (variables become slots in flat
+   register arrays, buffers become positions in per-kind buffer tables),
+   then launched many times.  Cross-validated against the reference
+   interpreter [Exec] by the test suite.
+
+   Compilation is type-directed: every expression is classified as [Int]
+   or [Real] (C promotion rules) and compiled to an [rt -> int] or
+   [rt -> float] closure, so the hot loop performs no tagging or
+   dispatch. *)
+
+open Kernel_ast.Cast
+
+type rt = {
+  gid : int array;
+  gsize : int array;
+  ir : int array;              (* int registers *)
+  fr : float array;            (* real registers *)
+  iarr : int array array;      (* private int arrays *)
+  farr : float array array;    (* private real arrays *)
+  mutable ibuf : int array array;   (* global int buffers, by slot *)
+  mutable fbuf : float array array; (* global real buffers, by slot *)
+}
+
+type slot =
+  | Int_reg of int
+  | Real_reg of int
+  | Int_parr of int * int   (* slot, length *)
+  | Real_parr of int * int
+  | Int_gbuf of int
+  | Real_gbuf of int
+
+type cenv = {
+  slots : (string, slot) Hashtbl.t;
+  mutable n_ir : int;
+  mutable n_fr : int;
+  mutable n_iarr : int;
+  mutable n_farr : int;
+  mutable parr_lens_i : int list; (* reversed *)
+  mutable parr_lens_f : int list;
+}
+
+let fresh_cenv () =
+  {
+    slots = Hashtbl.create 32;
+    n_ir = 0;
+    n_fr = 0;
+    n_iarr = 0;
+    n_farr = 0;
+    parr_lens_i = [];
+    parr_lens_f = [];
+  }
+
+let scalar_slot cenv name (ty : ty) =
+  match Hashtbl.find_opt cenv.slots name with
+  | Some (Int_reg _ as s) when ty = Int -> s
+  | Some (Real_reg _ as s) when ty = Real -> s
+  | Some _ -> failwith (Printf.sprintf "jit: %s redeclared with a different type" name)
+  | None ->
+      let s =
+        match ty with
+        | Int ->
+            let s = Int_reg cenv.n_ir in
+            cenv.n_ir <- cenv.n_ir + 1;
+            s
+        | Real ->
+            let s = Real_reg cenv.n_fr in
+            cenv.n_fr <- cenv.n_fr + 1;
+            s
+      in
+      Hashtbl.replace cenv.slots name s;
+      s
+
+let parr_slot cenv name (ty : ty) len =
+  match Hashtbl.find_opt cenv.slots name with
+  | Some ((Int_parr _ | Real_parr _) as s) -> s
+  | Some _ -> failwith (Printf.sprintf "jit: %s redeclared as private array" name)
+  | None ->
+      let s =
+        match ty with
+        | Int ->
+            let s = Int_parr (cenv.n_iarr, len) in
+            cenv.n_iarr <- cenv.n_iarr + 1;
+            cenv.parr_lens_i <- len :: cenv.parr_lens_i;
+            s
+        | Real ->
+            let s = Real_parr (cenv.n_farr, len) in
+            cenv.n_farr <- cenv.n_farr + 1;
+            cenv.parr_lens_f <- len :: cenv.parr_lens_f;
+            s
+      in
+      Hashtbl.replace cenv.slots name s;
+      s
+
+(* Pre-scan: declare every local so that type queries during expression
+   compilation always succeed (C requires declaration before use, and the
+   code generator respects that, but the pre-scan keeps the compiler
+   single-pass per expression). *)
+let rec scan_stmt cenv = function
+  | Comment _ | Assign _ | Store _ -> ()
+  | Decl (ty, v, _) -> ignore (scalar_slot cenv v ty)
+  | Decl_arr (ty, v, n) -> ignore (parr_slot cenv v ty n)
+  | If (_, t, f) ->
+      List.iter (scan_stmt cenv) t;
+      List.iter (scan_stmt cenv) f
+  | For l ->
+      ignore (scalar_slot cenv l.var Int);
+      List.iter (scan_stmt cenv) l.body
+
+let type_of cenv (e : expr) : ty =
+  let rec go = function
+    | Int_lit _ | Global_id _ | Global_size _ -> Int
+    | Real_lit _ -> Real
+    | Var v -> (
+        match Hashtbl.find_opt cenv.slots v with
+        | Some (Int_reg _) -> Int
+        | Some (Real_reg _) -> Real
+        | Some _ -> failwith (Printf.sprintf "jit: %s is not a scalar" v)
+        | None -> failwith (Printf.sprintf "jit: unbound variable %s" v))
+    | Load (b, _) -> (
+        match Hashtbl.find_opt cenv.slots b with
+        | Some (Int_gbuf _ | Int_parr _) -> Int
+        | Some (Real_gbuf _ | Real_parr _) -> Real
+        | Some _ -> failwith (Printf.sprintf "jit: %s is not an array" b)
+        | None -> failwith (Printf.sprintf "jit: unbound buffer %s" b))
+    | Unop (To_real, _) -> Real
+    | Unop (To_int, _) -> Int
+    | Unop (Not, _) -> Int
+    | Unop (Neg, a) -> go a
+    | Ternary (_, a, b) -> ( match (go a, go b) with Int, Int -> Int | _ -> Real)
+    | Call (_, _) -> Real
+    | Binop ((Add | Sub | Mul | Div | Mod), a, b) -> (
+        match (go a, go b) with Int, Int -> Int | _ -> Real)
+    | Binop (_, _, _) -> Int
+  in
+  go e
+
+type compiled_expr =
+  | CI of (rt -> int)
+  | CR of (rt -> float)
+
+let rec compile_expr cenv (e : expr) : compiled_expr =
+  match type_of cenv e with
+  | Int -> CI (compile_int cenv e)
+  | Real -> CR (compile_real cenv e)
+
+and as_int cenv e : rt -> int =
+  match compile_expr cenv e with
+  | CI f -> f
+  | CR f -> fun rt -> int_of_float (f rt)
+
+and as_real cenv e : rt -> float =
+  match compile_expr cenv e with
+  | CR f -> f
+  | CI f -> fun rt -> float_of_int (f rt)
+
+and compile_int cenv (e : expr) : rt -> int =
+  match e with
+  | Int_lit n -> fun _ -> n
+  | Real_lit _ -> failwith "jit: real literal in int context"
+  | Global_id d -> fun rt -> rt.gid.(d)
+  | Global_size d -> fun rt -> rt.gsize.(d)
+  | Var v -> (
+      match Hashtbl.find cenv.slots v with
+      | Int_reg s -> fun rt -> rt.ir.(s)
+      | _ -> failwith (Printf.sprintf "jit: %s not an int scalar" v))
+  | Load (b, i) -> (
+      let fi = as_int cenv i in
+      match Hashtbl.find cenv.slots b with
+      | Int_gbuf s -> fun rt -> rt.ibuf.(s).(fi rt)
+      | Int_parr (s, _) -> fun rt -> rt.iarr.(s).(fi rt)
+      | _ -> failwith (Printf.sprintf "jit: %s not an int array" b))
+  | Unop (Neg, a) ->
+      let fa = compile_int cenv a in
+      fun rt -> -fa rt
+  | Unop (Not, a) ->
+      let fa = as_int cenv a in
+      fun rt -> if fa rt = 0 then 1 else 0
+  | Unop (To_int, a) ->
+      let fa = as_real cenv a in
+      fun rt -> int_of_float (fa rt)
+  | Unop (To_real, _) -> failwith "jit: to_real in int context"
+  | Ternary (c, a, b) ->
+      let fc = as_int cenv c and fa = compile_int cenv a and fb = compile_int cenv b in
+      fun rt -> if fc rt <> 0 then fa rt else fb rt
+  | Call _ -> failwith "jit: builtin call in int context"
+  | Binop (op, a, b) -> (
+      match op with
+      | Add | Sub | Mul | Div | Mod ->
+          let fa = compile_int cenv a and fb = compile_int cenv b in
+          let g =
+            match op with
+            | Add -> ( + )
+            | Sub -> ( - )
+            | Mul -> ( * )
+            | Div -> ( / )
+            | _ -> fun x y -> x mod y
+          in
+          fun rt -> g (fa rt) (fb rt)
+      | And ->
+          let fa = as_int cenv a and fb = as_int cenv b in
+          fun rt -> if fa rt <> 0 && fb rt <> 0 then 1 else 0
+      | Or ->
+          let fa = as_int cenv a and fb = as_int cenv b in
+          fun rt -> if fa rt <> 0 || fb rt <> 0 then 1 else 0
+      | Eq | Ne | Lt | Le | Gt | Ge -> (
+          let cmp_int g =
+            let fa = as_int cenv a and fb = as_int cenv b in
+            fun rt -> if g (fa rt) (fb rt) then 1 else 0
+          and cmp_real g =
+            let fa = as_real cenv a and fb = as_real cenv b in
+            fun rt -> if g (fa rt) (fb rt) then 1 else 0
+          in
+          let both_int = type_of cenv a = Int && type_of cenv b = Int in
+          match (op, both_int) with
+          | Eq, true -> cmp_int ( = )
+          | Ne, true -> cmp_int ( <> )
+          | Lt, true -> cmp_int ( < )
+          | Le, true -> cmp_int ( <= )
+          | Gt, true -> cmp_int ( > )
+          | Ge, true -> cmp_int ( >= )
+          | Eq, false -> cmp_real ( = )
+          | Ne, false -> cmp_real ( <> )
+          | Lt, false -> cmp_real ( < )
+          | Le, false -> cmp_real ( <= )
+          | Gt, false -> cmp_real ( > )
+          | Ge, false -> cmp_real ( >= )
+          | _ -> assert false))
+
+and compile_real cenv (e : expr) : rt -> float =
+  match e with
+  | Real_lit r -> fun _ -> r
+  | Var v -> (
+      match Hashtbl.find cenv.slots v with
+      | Real_reg s -> fun rt -> rt.fr.(s)
+      | _ -> failwith (Printf.sprintf "jit: %s not a real scalar" v))
+  | Load (b, i) -> (
+      let fi = as_int cenv i in
+      match Hashtbl.find cenv.slots b with
+      | Real_gbuf s -> fun rt -> rt.fbuf.(s).(fi rt)
+      | Real_parr (s, _) -> fun rt -> rt.farr.(s).(fi rt)
+      | _ -> failwith (Printf.sprintf "jit: %s not a real array" b))
+  | Unop (Neg, a) ->
+      let fa = compile_real cenv a in
+      fun rt -> -.(fa rt)
+  | Unop (To_real, a) ->
+      let fa = as_real cenv a in
+      fa
+  | Ternary (c, a, b) ->
+      let fc = as_int cenv c and fa = as_real cenv a and fb = as_real cenv b in
+      fun rt -> if fc rt <> 0 then fa rt else fb rt
+  | Call (f, args) -> (
+      let fargs = List.map (as_real cenv) args in
+      match (f, fargs) with
+      | Sqrt, [ a ] -> fun rt -> sqrt (a rt)
+      | Fabs, [ a ] -> fun rt -> Float.abs (a rt)
+      | Exp, [ a ] -> fun rt -> exp (a rt)
+      | Log, [ a ] -> fun rt -> log (a rt)
+      | Sin, [ a ] -> fun rt -> sin (a rt)
+      | Cos, [ a ] -> fun rt -> cos (a rt)
+      | Floor, [ a ] -> fun rt -> Float.floor (a rt)
+      | Fmin, [ a; b ] -> fun rt -> Float.min (a rt) (b rt)
+      | Fmax, [ a; b ] -> fun rt -> Float.max (a rt) (b rt)
+      | _ -> failwith "jit: bad builtin arity")
+  | Binop (op, a, b) -> (
+      let fa = as_real cenv a and fb = as_real cenv b in
+      match op with
+      | Add -> fun rt -> fa rt +. fb rt
+      | Sub -> fun rt -> fa rt -. fb rt
+      | Mul -> fun rt -> fa rt *. fb rt
+      | Div -> fun rt -> fa rt /. fb rt
+      | _ -> failwith "jit: non-arithmetic real binop")
+  | Int_lit _ | Global_id _ | Global_size _ | Unop ((Not | To_int), _) ->
+      failwith "jit: int expression in real context"
+
+let rec compile_stmt cenv ~round_store (s : stmt) : rt -> unit =
+  match s with
+  | Comment _ -> fun _ -> ()
+  | Decl (ty, v, init) -> (
+      let slot = scalar_slot cenv v ty in
+      match (slot, init) with
+      | _, None -> fun _ -> ()
+      | Int_reg s, Some e ->
+          let f = as_int cenv e in
+          fun rt -> rt.ir.(s) <- f rt
+      | Real_reg s, Some e ->
+          let f = as_real cenv e in
+          fun rt -> rt.fr.(s) <- f rt
+      | _ -> assert false)
+  | Decl_arr (ty, v, n) ->
+      ignore (parr_slot cenv v ty n);
+      fun _ -> ()
+  | Assign (v, e) -> (
+      match Hashtbl.find_opt cenv.slots v with
+      | Some (Int_reg s) ->
+          let f = as_int cenv e in
+          fun rt -> rt.ir.(s) <- f rt
+      | Some (Real_reg s) ->
+          let f = as_real cenv e in
+          fun rt -> rt.fr.(s) <- f rt
+      | _ -> failwith (Printf.sprintf "jit: assign to unbound %s" v))
+  | Store (b, i, e) -> (
+      let fi = as_int cenv i in
+      match Hashtbl.find_opt cenv.slots b with
+      | Some (Int_gbuf s) ->
+          let f = as_int cenv e in
+          fun rt -> rt.ibuf.(s).(fi rt) <- f rt
+      | Some (Int_parr (s, _)) ->
+          let f = as_int cenv e in
+          fun rt -> rt.iarr.(s).(fi rt) <- f rt
+      | Some (Real_gbuf s) ->
+          let f = as_real cenv e in
+          if round_store then fun rt -> rt.fbuf.(s).(fi rt) <- Buffer.round32 (f rt)
+          else fun rt -> rt.fbuf.(s).(fi rt) <- f rt
+      | Some (Real_parr (s, _)) ->
+          let f = as_real cenv e in
+          fun rt -> rt.farr.(s).(fi rt) <- f rt
+      | _ -> failwith (Printf.sprintf "jit: store to unbound %s" b))
+  | If (c, t, f) ->
+      let fc = as_int cenv c in
+      let ft = compile_body cenv ~round_store t in
+      let ff = compile_body cenv ~round_store f in
+      fun rt -> if fc rt <> 0 then ft rt else ff rt
+  | For l ->
+      let slot =
+        match scalar_slot cenv l.var Int with
+        | Int_reg s -> s
+        | _ -> assert false
+      in
+      let finit = as_int cenv l.init in
+      let fbound = as_int cenv l.bound in
+      let fstep = as_int cenv l.step in
+      let fbody = compile_body cenv ~round_store l.body in
+      fun rt ->
+        let i = ref (finit rt) in
+        while !i < fbound rt do
+          rt.ir.(slot) <- !i;
+          fbody rt;
+          i := !i + fstep rt
+        done
+
+and compile_body cenv ~round_store body =
+  match List.map (compile_stmt cenv ~round_store) body with
+  | [] -> fun _ -> ()
+  | [ f ] -> f
+  | fs -> fun rt -> List.iter (fun f -> f rt) fs
+
+type param_binding =
+  | Bind_ibuf of int
+  | Bind_fbuf of int
+  | Bind_ireg of int
+  | Bind_freg of int
+
+type compiled = {
+  kernel : kernel;
+  bindings : param_binding list;
+  n_ibuf : int;
+  n_fbuf : int;
+  make_rt : unit -> rt;
+  body : rt -> unit;
+}
+
+(* Compile a kernel once; the result can be launched many times. *)
+let compile (k : kernel) : compiled =
+  let cenv = fresh_cenv () in
+  let n_ibuf = ref 0 and n_fbuf = ref 0 in
+  let bindings =
+    List.map
+      (fun p ->
+        match (p.p_kind, p.p_ty) with
+        | Global_buf, Int ->
+            let s = !n_ibuf in
+            incr n_ibuf;
+            Hashtbl.replace cenv.slots p.p_name (Int_gbuf s);
+            Bind_ibuf s
+        | Global_buf, Real ->
+            let s = !n_fbuf in
+            incr n_fbuf;
+            Hashtbl.replace cenv.slots p.p_name (Real_gbuf s);
+            Bind_fbuf s
+        | Scalar_param, Int -> (
+            match scalar_slot cenv p.p_name Int with
+            | Int_reg s -> Bind_ireg s
+            | _ -> assert false)
+        | Scalar_param, Real -> (
+            match scalar_slot cenv p.p_name Real with
+            | Real_reg s -> Bind_freg s
+            | _ -> assert false))
+      k.params
+  in
+  List.iter (scan_stmt cenv) k.body;
+  let round_store = k.precision = Single in
+  let body = compile_body cenv ~round_store k.body in
+  let parr_i = Array.of_list (List.rev cenv.parr_lens_i) in
+  let parr_f = Array.of_list (List.rev cenv.parr_lens_f) in
+  let make_rt () =
+    {
+      gid = Array.make 3 0;
+      gsize = Array.make 3 1;
+      ir = Array.make (max 1 cenv.n_ir) 0;
+      fr = Array.make (max 1 cenv.n_fr) 0.;
+      iarr = Array.map (fun n -> Array.make n 0) parr_i;
+      farr = Array.map (fun n -> Array.make n 0.) parr_f;
+      ibuf = [||];
+      fbuf = [||];
+    }
+  in
+  { kernel = k; bindings; n_ibuf = !n_ibuf; n_fbuf = !n_fbuf; make_rt; body }
+
+(* Launch a compiled kernel.  Buffers are shared with the caller (stores
+   are visible after the launch); scalars are copied into registers. *)
+let launch (c : compiled) ~(args : Args.t list) ~(global : int list) =
+  if List.length args <> List.length c.kernel.params then
+    invalid_arg
+      (Printf.sprintf "vgpu jit: kernel %s expects %d args, got %d" c.kernel.name
+         (List.length c.kernel.params) (List.length args));
+  let rt = c.make_rt () in
+  rt.ibuf <- Array.make (max 1 c.n_ibuf) [||];
+  rt.fbuf <- Array.make (max 1 c.n_fbuf) [||];
+  List.iteri (fun d n -> rt.gsize.(d) <- n) global;
+  List.iter2
+    (fun binding (a : Args.t) ->
+      match (binding, a) with
+      | Bind_ibuf s, Buf (Buffer.I arr) -> rt.ibuf.(s) <- arr
+      | Bind_fbuf s, Buf (Buffer.F arr) -> rt.fbuf.(s) <- arr
+      | Bind_ireg s, Int_arg v -> rt.ir.(s) <- v
+      | Bind_freg s, Real_arg v -> rt.fr.(s) <- v
+      | Bind_ireg s, Real_arg v -> rt.ir.(s) <- int_of_float v
+      | Bind_freg s, Int_arg v -> rt.fr.(s) <- float_of_int v
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "vgpu jit: kernel %s: argument kind mismatch" c.kernel.name))
+    c.bindings args;
+  let gx = rt.gsize.(0) and gy = rt.gsize.(1) and gz = rt.gsize.(2) in
+  for z = 0 to gz - 1 do
+    for y = 0 to gy - 1 do
+      for x = 0 to gx - 1 do
+        rt.gid.(0) <- x;
+        rt.gid.(1) <- y;
+        rt.gid.(2) <- z;
+        c.body rt
+      done
+    done
+  done

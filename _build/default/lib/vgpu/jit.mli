@@ -1,0 +1,35 @@
+(** Closure-compiling JIT for kernel ASTs.
+
+    Plays the role of the OpenCL driver compiler in this reproduction: a
+    kernel AST is compiled once into OCaml closures with all name
+    resolution done at compile time, then launched many times.
+    Cross-validated against {!module:Exec} by the test suite.
+
+    Compilation is type-directed: every expression is classified as int
+    or real (C promotion rules) and compiled to an unboxed closure, so
+    the hot loop performs no tagging or dispatch.  Single-precision
+    kernels round real stores to float32. *)
+
+type compiled = private {
+  kernel : Kernel_ast.Cast.kernel;
+  bindings : param_binding list;
+  n_ibuf : int;
+  n_fbuf : int;
+  make_rt : unit -> rt;
+  body : rt -> unit;
+}
+
+and param_binding
+
+and rt
+(** Per-launch runtime state (registers, buffer tables, work-item ids). *)
+
+val compile : Kernel_ast.Cast.kernel -> compiled
+(** Compile once; launch many times. *)
+
+val launch : compiled -> args:Args.t list -> global:int list -> unit
+(** Launch a compiled kernel.  Buffers are shared with the caller
+    (stores are visible after the launch); scalars are copied into
+    registers.
+
+    @raise Invalid_argument on arity or argument-kind mismatch. *)

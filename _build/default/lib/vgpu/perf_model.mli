@@ -1,0 +1,62 @@
+(** Roofline-style analytic timing model for kernels on the paper's
+    GPUs.
+
+    Predicted kernel time =
+    launch overhead + max(effective traffic / bandwidth, flops / peak).
+
+    Effective traffic is computed per buffer from the static analysis of
+    the actual kernel AST:
+    - small coefficient tables are cache-resident (free on GCN, an
+      L2-bandwidth cost on Kepler — the mechanism behind the paper's
+      §VII-B1 beta-in-global-memory observation);
+    - indirect (gathered/scattered) accesses are derated by a coalescing
+      efficiency computed from the measured contiguity of the boundary
+      index array (runs of consecutive boundary voxels);
+    - repeated affine loads of the same buffer (stencil neighbourhoods)
+      mostly hit cache. *)
+
+type workload = {
+  active_points : float;
+      (** work-items that execute the guarded fast path *)
+  buffer_elems : (string * int) list;
+      (** element count per buffer argument (for cache residency) *)
+  contiguity : float;
+      (** fraction of consecutive work-items hitting consecutive
+          addresses, for indirect accesses *)
+  param_values : (string * int) list;
+      (** scalar parameters that bound loops *)
+  local_size : int;
+      (** work-group size (the paper hand-tunes this per kernel);
+          affects lane utilisation, launch tails and occupancy *)
+}
+
+val workload :
+  ?buffer_elems:(string * int) list ->
+  ?contiguity:float ->
+  ?param_values:(string * int) list ->
+  ?local_size:int ->
+  active_points:float ->
+  unit ->
+  workload
+
+val group_efficiency : workload -> flops:float -> float
+(** Utilisation factor in (0, 1] from the work-group size. *)
+
+type breakdown = {
+  bytes_per_point : float;
+  flops_per_point : float;
+  mem_time_s : float;
+  flop_time_s : float;
+  launch_s : float;
+  total_s : float;
+}
+
+val predict_breakdown : Device.t -> Kernel_ast.Cast.kernel -> workload -> breakdown
+
+val predict : Device.t -> Kernel_ast.Cast.kernel -> workload -> float
+(** Predicted runtime of one launch, in seconds. *)
+
+val updates_per_second : points:float -> time_s:float -> float
+(** The paper's throughput metric (§VI). *)
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

@@ -1,0 +1,94 @@
+(* Host-side runtime: executes the operation plans produced by the Lift
+   host code generator (kernel launches, host<->device transfers).
+
+   Device memory is simulated as unified memory, so a transfer is a
+   bookkeeping event (bytes counted for the transfer statistics) rather
+   than a copy; kernel launches dispatch to either the reference
+   interpreter or the JIT. *)
+
+open Kernel_ast
+
+type arg =
+  | A_buf of string
+  | A_int of int
+  | A_real of float
+
+type op =
+  | Alloc of { name : string; ty : Cast.ty; elems : int }
+  | Copy_to_gpu of string
+  | Copy_to_host of string
+  | Launch of { kernel : Cast.kernel; args : arg list; global : int list }
+  | Swap of string * string
+      (* exchange two buffer bindings: the host-side pointer rotation
+         between time steps *)
+
+type plan = op list
+
+type engine =
+  | Interp
+  | Jit
+
+type t = {
+  buffers : (string, Buffer.t) Hashtbl.t;
+  jit_cache : (string, Jit.compiled) Hashtbl.t;
+  engine : engine;
+  mutable launches : int;
+  mutable h2d_bytes : int;
+  mutable d2h_bytes : int;
+}
+
+let create ?(engine = Jit) () =
+  {
+    buffers = Hashtbl.create 16;
+    jit_cache = Hashtbl.create 8;
+    engine;
+    launches = 0;
+    h2d_bytes = 0;
+    d2h_bytes = 0;
+  }
+
+let bind t name buf = Hashtbl.replace t.buffers name buf
+
+let buffer t name =
+  match Hashtbl.find_opt t.buffers name with
+  | Some b -> b
+  | None -> failwith (Printf.sprintf "vgpu runtime: unknown buffer %s" name)
+
+let buffer_opt t name = Hashtbl.find_opt t.buffers name
+
+let resolve_arg t = function
+  | A_buf name -> Args.Buf (buffer t name)
+  | A_int i -> Args.Int_arg i
+  | A_real r -> Args.Real_arg r
+
+let transfer_bytes buf =
+  match buf with
+  | Buffer.F a -> 8 * Array.length a
+  | Buffer.I a -> 4 * Array.length a
+
+let run_op t = function
+  | Swap (a, b) ->
+      let ba = buffer t a and bb = buffer t b in
+      bind t a bb;
+      bind t b ba
+  | Alloc { name; ty; elems } ->
+      if not (Hashtbl.mem t.buffers name) then bind t name (Buffer.create ty elems)
+  | Copy_to_gpu name -> t.h2d_bytes <- t.h2d_bytes + transfer_bytes (buffer t name)
+  | Copy_to_host name -> t.d2h_bytes <- t.d2h_bytes + transfer_bytes (buffer t name)
+  | Launch { kernel; args; global } -> (
+      t.launches <- t.launches + 1;
+      let args = List.map (resolve_arg t) args in
+      match t.engine with
+      | Interp -> Exec.launch kernel ~args ~global
+      | Jit ->
+          let compiled =
+            match Hashtbl.find_opt t.jit_cache kernel.name with
+            | Some c when c.Jit.kernel == kernel -> c
+            | _ ->
+                let c = Jit.compile kernel in
+                Hashtbl.replace t.jit_cache kernel.name c;
+                c
+          in
+          Jit.launch compiled ~args ~global)
+
+let run t (plan : plan) = List.iter (run_op t) plan

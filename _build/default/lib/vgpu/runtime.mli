@@ -1,0 +1,48 @@
+(** Host-side runtime: executes the operation plans produced by the Lift
+    host code generator (kernel launches, host<->device transfers).
+
+    Device memory is simulated as unified memory, so a transfer is a
+    bookkeeping event (bytes counted) rather than a copy; launches
+    dispatch to the interpreter or the JIT. *)
+
+type arg =
+  | A_buf of string  (** resolved against the runtime's buffer table *)
+  | A_int of int
+  | A_real of float
+
+type op =
+  | Alloc of { name : string; ty : Kernel_ast.Cast.ty; elems : int }
+  | Copy_to_gpu of string
+  | Copy_to_host of string
+  | Launch of { kernel : Kernel_ast.Cast.kernel; args : arg list; global : int list }
+  | Swap of string * string
+      (** exchange two buffer bindings (host pointer rotation between
+          time steps) *)
+
+type plan = op list
+
+type engine =
+  | Interp
+  | Jit
+
+type t = {
+  buffers : (string, Buffer.t) Hashtbl.t;
+  jit_cache : (string, Jit.compiled) Hashtbl.t;
+  engine : engine;
+  mutable launches : int;
+  mutable h2d_bytes : int;
+  mutable d2h_bytes : int;
+}
+
+val create : ?engine:engine -> unit -> t
+
+val bind : t -> string -> Buffer.t -> unit
+(** Bind an input buffer by name before running a plan. *)
+
+val buffer : t -> string -> Buffer.t
+(** @raise Failure if the name is unbound. *)
+
+val buffer_opt : t -> string -> Buffer.t option
+
+val run_op : t -> op -> unit
+val run : t -> plan -> unit

@@ -1,0 +1,1 @@
+test/test_acoustics.ml: Acoustics Alcotest Array Energy Float Geometry Gpu_sim Hand_kernels Kernel_ast Lift Lift_acoustics List Material Params Printf Ref_kernels State

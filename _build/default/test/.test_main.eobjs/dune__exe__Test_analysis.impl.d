@@ -1,0 +1,1 @@
+test/test_analysis.ml: Acoustics Alcotest Analysis Cast Hashtbl Kernel_ast Lift Lift_acoustics Printf

@@ -1,0 +1,1 @@
+test/test_audio.ml: Acoustics Alcotest Array Audio Char Float List String

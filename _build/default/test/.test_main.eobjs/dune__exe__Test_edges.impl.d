@@ -1,0 +1,1 @@
+test/test_edges.ml: Acoustics Alcotest Array Ast Codegen Kernel_ast Lift List Option Size Ty Typecheck Vgpu

@@ -1,0 +1,1 @@
+test/test_em.ml: Alcotest Array Astring_contains Em Float Kernel_ast Lift Printf

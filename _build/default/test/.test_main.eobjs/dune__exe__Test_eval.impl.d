@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Ast Eval Fmt Lift Size Ty

@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Array Ast Eval Explore Float Kernel_ast Lift List Printf Size String Ty Vgpu

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Acoustics Alcotest Array Gen Geometry Hashtbl List Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Buffer Kernel_ast Lift Lift_acoustics List String

@@ -1,0 +1,1 @@
+test/test_host.ml: Acoustics Alcotest Array Astring_contains Float Geometry Kernel_ast Lift Lift_acoustics List Material Params Ref_kernels State Vgpu

@@ -1,0 +1,1 @@
+test/test_jit.ml: Alcotest Array Float Kernel_ast List Printf QCheck QCheck_alcotest Vgpu

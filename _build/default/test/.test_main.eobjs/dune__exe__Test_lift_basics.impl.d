@@ -1,0 +1,1 @@
+test/test_lift_basics.ml: Alcotest Array Ast Codegen Eval Kernel_ast Lift List Size Ty Vgpu

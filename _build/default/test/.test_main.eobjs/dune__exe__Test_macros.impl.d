@@ -1,0 +1,1 @@
+test/test_macros.ml: Acoustics Alcotest Array Ast Codegen Eval Float Geometry Kernel_ast Lift Lift_acoustics List Macros Params Printf Ref_kernels Size State Ty Typecheck Vgpu

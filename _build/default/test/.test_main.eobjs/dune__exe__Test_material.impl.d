@@ -1,0 +1,1 @@
+test/test_material.ml: Acoustics Alcotest Array Complex Energy Float Gen Geometry List Material Params Printf QCheck QCheck_alcotest Ref_kernels State Test

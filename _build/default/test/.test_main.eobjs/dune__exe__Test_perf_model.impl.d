@@ -1,0 +1,1 @@
+test/test_perf_model.ml: Acoustics Alcotest Float Hand_kernels Harness Kernel_ast Lift Lift_acoustics List Material Vgpu

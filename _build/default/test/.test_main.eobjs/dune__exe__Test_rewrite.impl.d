@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Array Ast Astring_contains Codegen Eval Float Gen Kernel_ast Lift List QCheck QCheck_alcotest Rewrite Size Test Ty Vgpu

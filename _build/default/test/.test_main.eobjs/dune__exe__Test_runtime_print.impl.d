@@ -1,0 +1,1 @@
+test/test_runtime_print.ml: Acoustics Alcotest Array Astring_contains Cast Harness Kernel_ast Lift Lift_acoustics List Print String Vgpu

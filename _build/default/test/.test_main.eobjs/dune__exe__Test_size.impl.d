@@ -1,0 +1,1 @@
+test/test_size.ml: Alcotest Astring_contains Kernel_ast Lift QCheck QCheck_alcotest Size

@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Ast Kernel_ast Lift Lift_acoustics List Size Ty Typecheck

@@ -1,0 +1,1 @@
+test/test_views_q.ml: Array Ast Codegen Eval Float Kernel_ast Lift List Printf QCheck QCheck_alcotest Size Ty Vgpu

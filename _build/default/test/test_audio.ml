@@ -1,0 +1,64 @@
+(* WAV serialisation and spectral analysis. *)
+
+open Acoustics
+
+let test_wav_structure () =
+  let samples = [| 0.0; 0.5; -0.5; 1.0; -1.0; 2.0 (* clamped *) |] in
+  let bytes = Audio.wav_bytes ~sample_rate:44100 samples in
+  Alcotest.(check int) "length = 44 header + 2n" (44 + (2 * 6)) (String.length bytes);
+  Alcotest.(check string) "RIFF" "RIFF" (String.sub bytes 0 4);
+  Alcotest.(check string) "WAVE" "WAVE" (String.sub bytes 8 4);
+  Alcotest.(check string) "fmt " "fmt " (String.sub bytes 12 4);
+  Alcotest.(check string) "data" "data" (String.sub bytes 36 4);
+  let u16 off = Char.code bytes.[off] lor (Char.code bytes.[off + 1] lsl 8) in
+  let u32 off = u16 off lor (u16 (off + 2) lsl 16) in
+  Alcotest.(check int) "PCM" 1 (u16 20);
+  Alcotest.(check int) "mono" 1 (u16 22);
+  Alcotest.(check int) "rate" 44100 (u32 24);
+  Alcotest.(check int) "16 bit" 16 (u16 34);
+  Alcotest.(check int) "data bytes" 12 (u32 40);
+  (* sample encoding: 0.5 -> 16384-ish; -1 -> 0x8001; clamp at 32767 *)
+  Alcotest.(check int) "zero" 0 (u16 44);
+  Alcotest.(check int) "half" 16384 (u16 46);
+  Alcotest.(check int) "minus half" (65536 - 16384) (u16 48);
+  Alcotest.(check int) "full" 32767 (u16 50);
+  Alcotest.(check int) "clamped" 32767 (u16 54)
+
+let test_normalise () =
+  let n = Audio.normalise ~level:0.5 [| 0.1; -0.2; 0.05 |] in
+  Alcotest.(check (float 1e-12)) "peak scaled" 0.5
+    (Array.fold_left (fun m v -> Float.max m (Float.abs v)) 0. n);
+  let z = Audio.normalise [| 0.; 0. |] in
+  Alcotest.(check (float 0.)) "silence unchanged" 0. z.(0)
+
+let test_dft_peak () =
+  (* a pure sinusoid's DFT peaks at its own frequency *)
+  let n = 256 and bins = 32 in
+  let k_true = 8 in
+  let f_norm = float_of_int k_true /. float_of_int bins /. 2. in
+  let samples =
+    Array.init n (fun t -> sin (2. *. Float.pi *. f_norm *. float_of_int t))
+  in
+  let mags = Audio.dft_magnitudes ~bins samples in
+  let peak = ref 0 in
+  Array.iteri (fun i m -> if m > mags.(!peak) then peak := i) mags;
+  (* bin k covers frequency (k+1)/(2 bins) *)
+  Alcotest.(check int) "peak bin" (k_true - 1) !peak
+
+let test_octave_bands () =
+  let sr = 44100. in
+  (* a 1 kHz tone concentrates energy in the 1 kHz band *)
+  let samples = Array.init 2048 (fun t -> sin (2. *. Float.pi *. 1000. *. float_of_int t /. sr)) in
+  let bands = Audio.octave_band_energies ~sample_rate:sr samples in
+  let best = List.fold_left (fun (bf, be) (f, e) -> if e > be then (f, e) else (bf, be)) (0., 0.) bands in
+  Alcotest.(check (float 0.)) "strongest band" 1000. (fst best);
+  (* all bands below Nyquist are present *)
+  Alcotest.(check int) "band count" 7 (List.length bands)
+
+let suite =
+  [
+    Alcotest.test_case "wav structure" `Quick test_wav_structure;
+    Alcotest.test_case "normalise" `Quick test_normalise;
+    Alcotest.test_case "dft peak" `Quick test_dft_peak;
+    Alcotest.test_case "octave bands" `Quick test_octave_bands;
+  ]

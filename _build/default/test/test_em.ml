@@ -1,0 +1,78 @@
+(* Electromagnetic extension (paper §VIII): the Lift-generated 2D FDTD
+   kernels against the reference implementation, plus physics checks. *)
+
+let approx msg a b =
+  Array.iteri
+    (fun i x ->
+      if Float.abs (x -. b.(i)) > 1e-12 *. (1. +. Float.abs x) then
+        Alcotest.failf "%s: index %d differs: %.17g vs %.17g" msg i x b.(i))
+    a
+
+let make_scene () =
+  let g = Em.Em_grid.create ~nx:30 ~ny:24 in
+  Em.Em_grid.fill_material g ~x0:0 ~y0:14 ~x1:29 ~y1:23 Em.Em_grid.dry_soil;
+  Em.Em_grid.fill_material g ~x0:12 ~y0:18 ~x1:17 ~y1:20 Em.Em_grid.metal;
+  g
+
+let test_lift_matches_reference () =
+  let g_ref = make_scene () and g_lift = make_scene () in
+  let c = Em.Em_lift.compile () in
+  for step = 0 to 39 do
+    let v = Em.Em_grid.pulse ~t0:10. ~spread:3. step in
+    Em.Em_grid.inject g_ref ~i:15 ~j:5 v;
+    Em.Em_grid.inject g_lift ~i:15 ~j:5 v;
+    Em.Em_grid.step_reference g_ref;
+    Em.Em_lift.step c g_lift
+  done;
+  approx "ez" g_ref.Em.Em_grid.ez g_lift.Em.Em_grid.ez;
+  approx "hx" g_ref.Em.Em_grid.hx g_lift.Em.Em_grid.hx;
+  approx "hy" g_ref.Em.Em_grid.hy g_lift.Em.Em_grid.hy
+
+let test_wave_propagates () =
+  let g = Em.Em_grid.create ~nx:40 ~ny:40 in
+  let c = Em.Em_lift.compile () in
+  for step = 0 to 29 do
+    Em.Em_grid.inject g ~i:20 ~j:20 (Em.Em_grid.pulse ~t0:8. ~spread:2.5 step);
+    Em.Em_lift.step c g
+  done;
+  (* energy reached a ring away from the source but not the far corner *)
+  let at i j = Float.abs (Em.Em_grid.read_ez g ~i ~j) in
+  Alcotest.(check bool) "field reached radius 10" true (at 30 20 > 1e-8 || at 20 30 > 1e-8);
+  Alcotest.(check bool) "corner still quiet" true (at 2 2 < 1e-8)
+
+let test_conductive_ground_absorbs () =
+  let run sigma =
+    let g = Em.Em_grid.create ~nx:30 ~ny:30 in
+    Em.Em_grid.fill_material g ~x0:0 ~y0:0 ~x1:29 ~y1:29
+      { Em.Em_grid.eps_r = 1.; sigma };
+    let c = Em.Em_lift.compile () in
+    for step = 0 to 120 do
+      if step < 25 then
+        Em.Em_grid.inject g ~i:15 ~j:15 (Em.Em_grid.pulse ~t0:8. ~spread:2.5 step);
+      Em.Em_lift.step c g
+    done;
+    Em.Em_grid.field_energy g
+  in
+  let lossless = run 0.0 and lossy = run 0.2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "conductivity dissipates (%.3g vs %.3g)" lossless lossy)
+    true (lossy < lossless /. 2.)
+
+let test_generated_kernels_update_in_place () =
+  (* the H kernel must write two arrays in place and allocate no output *)
+  let prog = Em.Em_lift.update_h () in
+  let c = Lift.Codegen.compile_kernel ~name:"h" ~precision:Kernel_ast.Cast.Double prog in
+  Alcotest.(check (option string)) "no out buffer" None c.Lift.Codegen.out_param;
+  Alcotest.(check (list string)) "writes hx and hy" [ "hx"; "hy" ] c.Lift.Codegen.written_params;
+  let src = Kernel_ast.Print.kernel_to_string c.Lift.Codegen.kernel in
+  Alcotest.(check bool) "stores to hx" true (Astring_contains.contains src "hx[");
+  Alcotest.(check bool) "stores to hy" true (Astring_contains.contains src "hy[")
+
+let suite =
+  [
+    Alcotest.test_case "lift kernels == reference" `Quick test_lift_matches_reference;
+    Alcotest.test_case "wave propagates" `Quick test_wave_propagates;
+    Alcotest.test_case "conductive ground absorbs" `Quick test_conductive_ground_absorbs;
+    Alcotest.test_case "multi-array in-place volume kernel" `Quick
+      test_generated_kernels_update_in_place;
+  ]

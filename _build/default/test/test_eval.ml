@@ -1,0 +1,164 @@
+(* The IR interpreter: semantics of every pattern on concrete data. *)
+
+open Lift
+
+let n = Size.var "N"
+let sizes k = function "N" -> Some k | _ -> None
+
+let farr = Eval.of_float_array
+let iarr = Eval.of_int_array
+
+let run1 ?(k = 0) prog arg = Eval.run ~sizes:(sizes k) prog [ arg ]
+
+let check msg expected v =
+  Alcotest.(check (list (float 1e-12))) msg (Array.to_list expected)
+    (Array.to_list (Eval.to_float_array v))
+
+let vec = Ty.array Ty.real n
+
+let prog1 ty f =
+  let p = Ast.named_param "a" ty in
+  { Ast.l_params = [ p ]; l_body = f (Ast.Param p) }
+
+let test_map () =
+  let p = prog1 vec (fun a -> Ast.map (Ast.lam1 Ty.real (fun x -> Ast.(x *! x))) a) in
+  check "map square" [| 1.; 4.; 9. |] (run1 ~k:3 p (farr [| 1.; 2.; 3. |]))
+
+let test_reduce () =
+  let p =
+    prog1 vec (fun a ->
+        Ast.Reduce (Ast.lam2 Ty.real Ty.real (fun acc x -> Ast.(acc +! x)), Ast.real 0., a))
+  in
+  match run1 ~k:4 p (farr [| 1.; 2.; 3.; 4. |]) with
+  | Eval.VReal r -> Alcotest.(check (float 1e-12)) "sum" 10. r
+  | v -> Alcotest.failf "expected scalar, got %s" (Fmt.to_to_string Eval.pp_value v)
+
+let test_zip_get () =
+  let tup = Ty.tuple [ Ty.real; Ty.real ] in
+  let p =
+    let a = Ast.named_param "a" vec and b = Ast.named_param "b" vec in
+    {
+      Ast.l_params = [ a; b ];
+      l_body =
+        Ast.map
+          (Ast.lam1 tup (fun t -> Ast.(Get (t, 0) -! Get (t, 1))))
+          (Ast.Zip [ Ast.Param a; Ast.Param b ]);
+    }
+  in
+  let v = Eval.run ~sizes:(sizes 3) p [ farr [| 5.; 6.; 7. |]; farr [| 1.; 2.; 3. |] ] in
+  check "zip sub" [| 4.; 4.; 4. |] v
+
+let test_slide_pad () =
+  let p = prog1 vec (fun a -> Ast.Slide (2, 1, a)) in
+  (match run1 ~k:3 p (farr [| 1.; 2.; 3. |]) with
+  | Eval.VArr [| Eval.VArr w0; Eval.VArr w1 |] ->
+      Alcotest.(check int) "window size" 2 (Array.length w0);
+      Alcotest.(check (float 0.)) "w0[0]" 1. (Eval.as_real w0.(0));
+      Alcotest.(check (float 0.)) "w1[1]" 3. (Eval.as_real w1.(1))
+  | v -> Alcotest.failf "unexpected %s" (Fmt.to_to_string Eval.pp_value v));
+  let p = prog1 vec (fun a -> Ast.Pad (2, 1, Ast.real 9., a)) in
+  check "pad" [| 9.; 9.; 1.; 2.; 9. |] (run1 ~k:2 p (farr [| 1.; 2. |]))
+
+let test_split_join () =
+  let p = prog1 vec (fun a -> Ast.Join (Ast.Split (Size.const 2, a))) in
+  check "join o split = id" [| 1.; 2.; 3.; 4. |] (run1 ~k:4 p (farr [| 1.; 2.; 3.; 4. |]))
+
+let test_slide_step () =
+  let p = prog1 vec (fun a -> Ast.map (Ast.lam1 (Ty.array_n Ty.real 2)
+    (fun w -> Ast.Array_access (w, Ast.int 0))) (Ast.Slide (2, 2, a))) in
+  check "slide step 2 heads" [| 1.; 3. |] (run1 ~k:4 p (farr [| 1.; 2.; 3.; 4. |]))
+
+let test_iota_size_val () =
+  let p = { Ast.l_params = []; l_body = Ast.map (Ast.lam1 Ty.int (fun i -> Ast.(i *! Size_val n))) (Ast.Iota n) } in
+  let v = Eval.run ~sizes:(sizes 3) p [] in
+  Alcotest.(check (list int)) "iota * N" [ 0; 3; 6 ] (Array.to_list (Eval.to_int_array v))
+
+let test_select_laziness () =
+  (* the guarded branch must not be evaluated: out-of-bounds access *)
+  let p =
+    prog1 vec (fun a ->
+        Ast.map
+          (Ast.lam1 Ty.int (fun i ->
+               Ast.Select
+                 ( Ast.(i <! int 2),
+                   Ast.Array_access (a, i),
+                   Ast.real 0.0 )))
+          (Ast.Iota (Size.var "M")))
+  in
+  let v =
+    Eval.run
+      ~sizes:(function "N" -> Some 2 | "M" -> Some 4 | _ -> None)
+      p
+      [ farr [| 5.; 6. |] ]
+  in
+  check "guard prevents OOB" [| 5.; 6.; 0.; 0. |] v
+
+let test_concat_skip_semantics () =
+  let p =
+    prog1 vec (fun a ->
+        Ast.Write_to
+          ( a,
+            Ast.Concat
+              [
+                Ast.skip Ty.real (Size.const 1);
+                Ast.Array_cons (Ast.real 42., 2);
+                Ast.skip Ty.real (Size.sub n (Size.const 3));
+              ] ))
+  in
+  let vin = farr [| 0.; 1.; 2.; 3.; 4. |] in
+  let _ = Eval.run ~sizes:(sizes 5) p [ vin ] in
+  check "skip leaves, cons writes" [| 0.; 42.; 42.; 3.; 4. |] vin
+
+let test_write_to_aliasing () =
+  (* writeTo(a, map f a) updates a in place *)
+  let p =
+    prog1 vec (fun a ->
+        Ast.Write_to (a, Ast.map (Ast.lam1 Ty.real (fun x -> Ast.(x +! real 1.))) a))
+  in
+  let vin = farr [| 1.; 2. |] in
+  let _ = Eval.run ~sizes:(sizes 2) p [ vin ] in
+  check "in-place increment" [| 2.; 3. |] vin
+
+let test_errors () =
+  let p = prog1 vec (fun a -> Ast.Array_access (a, Ast.int 99)) in
+  (match run1 ~k:2 p (farr [| 1.; 2. |]) with
+  | exception Eval.Eval_error _ -> ()
+  | _ -> Alcotest.fail "expected out-of-bounds error");
+  let q = { Ast.l_params = []; l_body = Ast.Param (Ast.named_param "ghost" Ty.real) } in
+  match Eval.run q [] with
+  | exception Eval.Eval_error _ -> ()
+  | _ -> Alcotest.fail "expected unbound parameter error"
+
+(* substitution / beta reduction used by the rewriter *)
+let test_subst () =
+  let f = Ast.lam1 Ty.real (fun x -> Ast.(x +! x)) in
+  let e = Ast.apply1 f (Ast.real 3.) in
+  (match Eval.run { Ast.l_params = []; l_body = e } [] with
+  | Eval.VReal r -> Alcotest.(check (float 0.)) "beta" 6. r
+  | _ -> Alcotest.fail "not a scalar");
+  let g = Ast.compose f (Ast.lam1 Ty.real (fun x -> Ast.(x *! real 10.))) in
+  match Eval.run { Ast.l_params = []; l_body = Ast.apply1 g (Ast.real 2.) } [] with
+  | Eval.VReal r -> Alcotest.(check (float 0.)) "compose" 40. r
+  | _ -> Alcotest.fail "not a scalar"
+
+let test_int_arrays () =
+  let p = prog1 (Ty.array Ty.int n) (fun a -> Ast.map (Ast.lam1 Ty.int (fun x -> Ast.(x +! int 1))) a) in
+  let v = run1 ~k:3 p (iarr [| 1; 2; 3 |]) in
+  Alcotest.(check (list int)) "int map" [ 2; 3; 4 ] (Array.to_list (Eval.to_int_array v))
+
+let suite =
+  [
+    Alcotest.test_case "map" `Quick test_map;
+    Alcotest.test_case "reduce" `Quick test_reduce;
+    Alcotest.test_case "zip/get" `Quick test_zip_get;
+    Alcotest.test_case "slide/pad" `Quick test_slide_pad;
+    Alcotest.test_case "split/join" `Quick test_split_join;
+    Alcotest.test_case "slide with step" `Quick test_slide_step;
+    Alcotest.test_case "iota and size values" `Quick test_iota_size_val;
+    Alcotest.test_case "select is lazy" `Quick test_select_laziness;
+    Alcotest.test_case "concat/skip semantics" `Quick test_concat_skip_semantics;
+    Alcotest.test_case "writeTo aliasing" `Quick test_write_to_aliasing;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "substitution" `Quick test_subst;
+    Alcotest.test_case "int arrays" `Quick test_int_arrays;
+  ]

@@ -1,0 +1,161 @@
+(* Geometry: property tests against brute-force recomputation, plus
+   material-band assignment and the paper-size statistics regime. *)
+
+open Acoustics
+
+(* Brute-force nbr computation straight from the inside predicate. *)
+let brute_nbrs shape (dims : Geometry.dims) =
+  let { Geometry.nx; ny; nz } = dims in
+  let inside x y z = Geometry.inside shape dims x y z in
+  let nbrs = Array.make (nx * ny * nz) 0 in
+  for z = 0 to nz - 1 do
+    for y = 0 to ny - 1 do
+      for x = 0 to nx - 1 do
+        let idx = (z * nx * ny) + (y * nx) + x in
+        if inside x y z then
+          nbrs.(idx) <-
+            (if inside (x - 1) y z then 1 else 0)
+            + (if inside (x + 1) y z then 1 else 0)
+            + (if inside x (y - 1) z then 1 else 0)
+            + (if inside x (y + 1) z then 1 else 0)
+            + (if inside x y (z - 1) then 1 else 0)
+            + if inside x y (z + 1) then 1 else 0
+      done
+    done
+  done;
+  nbrs
+
+let qcheck_build_matches_bruteforce =
+  let open QCheck in
+  let gen =
+    Gen.(
+      triple (int_range 3 14) (int_range 3 14) (int_range 3 14) >>= fun (nx, ny, nz) ->
+      oneofl [ Geometry.Box; Geometry.Dome; Geometry.L_shape ] >|= fun shape -> (shape, nx, ny, nz))
+  in
+  let arb =
+    make
+      ~print:(fun (s, x, y, z) -> Printf.sprintf "%s %dx%dx%d" (Geometry.shape_label s) x y z)
+      gen
+  in
+  Test.make ~name:"build matches brute force" ~count:60 arb (fun (shape, nx, ny, nz) ->
+      let dims = Geometry.dims ~nx ~ny ~nz in
+      let room = Geometry.build shape dims in
+      let brute = brute_nbrs shape dims in
+      room.Geometry.nbrs = brute)
+
+let qcheck_stats_match_build =
+  let open QCheck in
+  let gen =
+    Gen.(
+      triple (int_range 3 16) (int_range 3 16) (int_range 3 16) >>= fun (nx, ny, nz) ->
+      oneofl [ Geometry.Box; Geometry.Dome; Geometry.L_shape ] >|= fun shape -> (shape, nx, ny, nz))
+  in
+  let arb =
+    make
+      ~print:(fun (s, x, y, z) -> Printf.sprintf "%s %dx%dx%d" (Geometry.shape_label s) x y z)
+      gen
+  in
+  Test.make ~name:"streaming stats match materialisation" ~count:60 arb
+    (fun (shape, nx, ny, nz) ->
+      let dims = Geometry.dims ~nx ~ny ~nz in
+      let room = Geometry.build shape dims in
+      let s = Geometry.stats shape dims in
+      let inside_count = Array.fold_left (fun acc n -> if n > 0 then acc + 1 else acc) 0 room.Geometry.nbrs in
+      s.Geometry.s_inside = inside_count
+      && s.Geometry.s_boundary = Geometry.n_boundary room
+      && s.Geometry.s_contiguity >= 0.
+      && s.Geometry.s_contiguity <= 1.)
+
+let test_boundary_properties () =
+  let dims = Geometry.dims ~nx:15 ~ny:13 ~nz:11 in
+  List.iter
+    (fun shape ->
+      let room = Geometry.build shape dims in
+      let b = room.Geometry.boundary_indices in
+      Array.iteri
+        (fun i idx ->
+          (* strictly ascending, all boundary points have 1..5 neighbours *)
+          if i > 0 then assert (idx > b.(i - 1));
+          let nbr = room.Geometry.nbrs.(idx) in
+          assert (nbr >= 1 && nbr <= 5))
+        b;
+      (* every interior point not listed has 0 or 6 neighbours *)
+      let in_boundary = Hashtbl.create 64 in
+      Array.iter (fun idx -> Hashtbl.replace in_boundary idx ()) b;
+      Array.iteri
+        (fun idx nbr ->
+          if not (Hashtbl.mem in_boundary idx) then assert (nbr = 0 || nbr = 6))
+        room.Geometry.nbrs)
+    [ Geometry.Box; Geometry.Dome ]
+
+let test_l_shape () =
+  let dims = Geometry.dims ~nx:17 ~ny:15 ~nz:9 in
+  let l = Geometry.build Geometry.L_shape dims in
+  let box = Geometry.build Geometry.Box dims in
+  Alcotest.(check bool) "smaller than the box" true
+    (l.Geometry.n_inside < box.Geometry.n_inside);
+  (* the re-entrant corner creates boundary points strictly inside the
+     bounding box: some boundary voxel is interior in the plain box *)
+  let has_reentrant =
+    Array.exists (fun idx -> box.Geometry.nbrs.(idx) = 6) l.Geometry.boundary_indices
+  in
+  Alcotest.(check bool) "re-entrant boundary exists" true has_reentrant
+
+let test_dome_inside_box () =
+  let dims = Geometry.dims ~nx:21 ~ny:17 ~nz:11 in
+  let box = Geometry.build Geometry.Box dims in
+  let dome = Geometry.build Geometry.Dome dims in
+  Alcotest.(check bool) "dome smaller than box" true
+    (dome.Geometry.n_inside < box.Geometry.n_inside);
+  Array.iteri
+    (fun idx nbr -> if nbr > 0 then assert (box.Geometry.nbrs.(idx) > 0))
+    dome.Geometry.nbrs
+
+let test_material_bands () =
+  let dims = Geometry.dims ~nx:12 ~ny:12 ~nz:20 in
+  let room = Geometry.build ~n_materials:4 Geometry.Box dims in
+  let mats = room.Geometry.material in
+  Array.iter (fun m -> assert (m >= 0 && m < 4)) mats;
+  (* all four bands are used on a tall room *)
+  let used = Array.make 4 false in
+  Array.iter (fun m -> used.(m) <- true) mats;
+  Alcotest.(check bool) "all bands used" true (Array.for_all (fun b -> b) used);
+  (* single-material rooms assign 0 *)
+  let room1 = Geometry.build ~n_materials:1 Geometry.Box dims in
+  Array.iter (fun m -> assert (m = 0)) room1.Geometry.material
+
+let test_paper_sizes_regime () =
+  (* only the smallest paper size is materialised here (fast); the
+     box formula is exact *)
+  let dims = Geometry.dims ~nx:302 ~ny:202 ~nz:152 in
+  let s = Geometry.stats Geometry.Box dims in
+  Alcotest.(check int) "box inside" (300 * 200 * 150) s.Geometry.s_inside;
+  Alcotest.(check int) "box boundary" ((300 * 200 * 150) - (298 * 198 * 148)) s.Geometry.s_boundary;
+  (* paper Table II reports 272,608 boundary points for this box *)
+  let paper = 272_608 in
+  let ratio = float_of_int s.Geometry.s_boundary /. float_of_int paper in
+  Alcotest.(check bool) "within 5% of Table II" true (ratio > 0.95 && ratio < 1.05);
+  let sd = Geometry.stats Geometry.Dome dims in
+  let paper_dome = 172_256 in
+  let ratio_d = float_of_int sd.Geometry.s_boundary /. float_of_int paper_dome in
+  Alcotest.(check bool)
+    (Printf.sprintf "dome within 25%% of Table II (%d vs %d)" sd.Geometry.s_boundary paper_dome)
+    true
+    (ratio_d > 0.75 && ratio_d < 1.25)
+
+let test_degenerate_dims () =
+  match Geometry.dims ~nx:2 ~ny:5 ~nz:5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted degenerate dims"
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_build_matches_bruteforce;
+    QCheck_alcotest.to_alcotest qcheck_stats_match_build;
+    Alcotest.test_case "boundary properties" `Quick test_boundary_properties;
+    Alcotest.test_case "dome inside box" `Quick test_dome_inside_box;
+    Alcotest.test_case "l-shaped room" `Quick test_l_shape;
+    Alcotest.test_case "material bands" `Quick test_material_bands;
+    Alcotest.test_case "paper sizes regime" `Quick test_paper_sizes_regime;
+    Alcotest.test_case "degenerate dims rejected" `Quick test_degenerate_dims;
+  ]

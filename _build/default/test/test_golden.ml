@@ -1,0 +1,105 @@
+(* Golden tests: the generated OpenCL for the paper's kernels, compared
+   against committed snapshots with uniquifying digits stripped (fresh
+   name counters depend on construction order).  These pin down the
+   code generator's output shape: any structural regression — a lost
+   guard, a duplicated load, a changed index expression — fails here
+   with a readable diff. *)
+
+let strip s =
+  let b = Buffer.create (String.length s) in
+  String.iter (fun c -> if not ('0' <= c && c <= '9') then Buffer.add_char b c) s;
+  Buffer.contents b
+
+let check_golden name expected actual =
+  let e = strip expected and a = strip actual in
+  if e <> a then
+    Alcotest.failf "%s: generated kernel changed.\n--- expected (digits stripped)\n%s\n--- got\n%s"
+      name e a
+
+let test_boundary_fi_mm_golden () =
+  let c =
+    Lift_acoustics.Programs.compile ~name:"boundary_fi_mm" ~precision:Kernel_ast.Cast.Double
+      (Lift_acoustics.Programs.boundary_fi_mm ())
+  in
+  check_golden "boundary_fi_mm"
+    {|__kernel void boundary_fi_mm(__global int* restrict bidx, __global int* restrict nbrs, __global int* restrict material, __global double* restrict beta, __global double* restrict prev, __global double* restrict next, const double l, const int N, const int NM, const int nB) {
+  int gid0_1 = get_global_id(0);
+  if (gid0_1 < nB) {
+    int idx_9_2 = bidx[gid0_1];
+    int mi_10_3 = material[gid0_1];
+    int nbr_11_4 = nbrs[idx_9_2];
+    double betaVal_12_5 = beta[mi_10_3];
+    double cf_13_6 = 0.5 * l * (double)(6 - nbr_11_4) * betaVal_12_5;
+    next[idx_9_2] = (next[idx_9_2] + cf_13_6 * prev[idx_9_2]) / (1.0 + cf_13_6);
+  }
+}
+|}
+    (Kernel_ast.Print.kernel_to_string c.Lift.Codegen.kernel)
+
+let test_volume_golden () =
+  let c =
+    Lift_acoustics.Programs.compile ~name:"volume" ~precision:Kernel_ast.Cast.Double
+      (Lift_acoustics.Programs.volume ())
+  in
+  check_golden "volume"
+    {|__kernel void volume(__global int* restrict nbrs, __global double* restrict prev, __global double* restrict curr, __global double* restrict next, const int Nx, const int NxNy, const double l2, const int N) {
+  int gid0_1 = get_global_id(0);
+  if (gid0_1 < N) {
+    int nbr_32_2 = nbrs[gid0_1];
+    double sel_4;
+    if (nbr_32_2 > 0) {
+      double s_33_3 = curr[gid0_1 - 1] + curr[gid0_1 + 1] + curr[gid0_1 - Nx] + curr[gid0_1 + Nx] + curr[gid0_1 - NxNy] + curr[gid0_1 + NxNy];
+      sel_4 = (2.0 - l2 * (double)(nbr_32_2)) * curr[gid0_1] + l2 * s_33_3 - prev[gid0_1];
+    } else {
+      sel_4 = 0.0;
+    }
+    next[gid0_1] = sel_4;
+  }
+}
+|}
+    (Kernel_ast.Print.kernel_to_string c.Lift.Codegen.kernel)
+
+(* Structural invariants that must hold for every generated acoustics
+   kernel, whatever the names: a single NDRange guard, no unguarded
+   global store, every loop bound a constant or scalar parameter. *)
+let test_structural_invariants () =
+  let kernels =
+    [
+      Lift_acoustics.Programs.compile ~name:"k1" ~precision:Kernel_ast.Cast.Double
+        (Lift_acoustics.Programs.volume ());
+      Lift_acoustics.Programs.compile ~name:"k2" ~precision:Kernel_ast.Cast.Double
+        (Lift_acoustics.Programs.boundary_fi_mm ());
+      Lift_acoustics.Programs.compile ~name:"k3" ~precision:Kernel_ast.Cast.Double
+        (Lift_acoustics.Programs.boundary_fd_mm ~mb:3 ());
+      Lift_acoustics.Programs.compile ~name:"k4" ~precision:Kernel_ast.Cast.Double
+        (Lift_acoustics.Programs.fused_fi ());
+    ]
+  in
+  List.iter
+    (fun (c : Lift.Codegen.compiled) ->
+      let k = c.Lift.Codegen.kernel in
+      (* top level: declarations followed by a single guarded If *)
+      let rec top = function
+        | [] -> Alcotest.failf "%s: no NDRange guard" k.Kernel_ast.Cast.name
+        | Kernel_ast.Cast.If (_, _, []) :: rest when rest = [] -> ()
+        | (Kernel_ast.Cast.Decl _ | Kernel_ast.Cast.Decl_arr _ | Kernel_ast.Cast.Comment _) :: rest ->
+            top rest
+        | s :: _ ->
+            Alcotest.failf "%s: unguarded top-level statement %s" k.Kernel_ast.Cast.name
+              (match s with
+              | Kernel_ast.Cast.Store _ -> "store"
+              | Kernel_ast.Cast.For _ -> "for"
+              | _ -> "other")
+      in
+      top k.Kernel_ast.Cast.body;
+      (* in-place kernels take no out parameter *)
+      if c.Lift.Codegen.out_param <> None && k.Kernel_ast.Cast.name <> "k_none" then
+        Alcotest.failf "%s: unexpected out buffer" k.Kernel_ast.Cast.name)
+    kernels
+
+let suite =
+  [
+    Alcotest.test_case "golden: boundary_fi_mm" `Quick test_boundary_fi_mm_golden;
+    Alcotest.test_case "golden: volume" `Quick test_volume_golden;
+    Alcotest.test_case "structural invariants" `Quick test_structural_invariants;
+  ]

@@ -1,0 +1,153 @@
+(* Host-side Lift: compile and execute the paper's Listing 5 —
+   two kernels per time step (volume handling then in-place boundary
+   handling) orchestrated by host primitives — and check it against the
+   reference step.  Also checks the emitted host pseudo-C and the
+   transfer bookkeeping. *)
+
+open Acoustics
+
+let params = Params.default
+let dims = Geometry.dims ~nx:12 ~ny:10 ~nz:9
+
+let build_host_program () =
+  let p name ty = Lift.Ast.named_param name ty in
+  let open Lift.Host in
+  let open Lift_acoustics.Programs in
+  let volume = Lift_acoustics.Programs.volume () in
+  let boundary = Lift_acoustics.Programs.boundary_fi_mm () in
+  let nbrs_h = p "nbrs" nbrs_ty in
+  let prev_h = p "prev" grid_ty in
+  let curr_h = p "curr" grid_ty in
+  let next_h = p "next" grid_ty in
+  let bidx_h = p "bidx" bidx_ty in
+  let material_h = p "material" material_ty in
+  let beta_h = p "beta" beta_ty in
+  let l = Params.l params and l2 = Params.l2 params in
+  (* val next_g = OclKernel(volume, ...) then
+     ToHost(WriteTo(next_g, OclKernel(boundary, ...))) *)
+  (* val next_g = OclKernel(volume, ...): H_let shares the kernel result
+     so the volume kernel is launched exactly once. *)
+  let next_g_p = p "next_g" grid_ty in
+  H_let
+    ( next_g_p,
+      ocl_kernel ~name:"volume" volume
+        [
+          to_gpu (input nbrs_h);
+          to_gpu (input prev_h);
+          to_gpu (input curr_h);
+          to_gpu (input next_h);
+          H_int dims.Geometry.nx;
+          H_int (dims.Geometry.nx * dims.Geometry.ny);
+          H_real l2;
+        ],
+      to_host
+        (write_to (input next_g_p)
+           (ocl_kernel ~name:"boundary_fi_mm" boundary
+              [
+                to_gpu (input bidx_h);
+                input nbrs_h;
+                to_gpu (input material_h);
+                to_gpu (input beta_h);
+                input prev_h;
+                input next_g_p;
+                H_real l;
+              ])) )
+
+let test_listing5 () =
+  let room = Geometry.build ~n_materials:4 Geometry.Box dims in
+  let tables = Material.tables ~n_branches:3 Material.defaults in
+  let n = Geometry.n_points dims in
+  let nb = Geometry.n_boundary room in
+  let sizes = function
+    | "N" -> Some n
+    | "nB" -> Some nb
+    | "NM" -> Some (Array.length tables.Material.t_beta)
+    | _ -> None
+  in
+  let compiled = Lift.Host.compile ~precision:Kernel_ast.Cast.Double ~sizes (build_host_program ()) in
+  (* the emitted host source mentions the OpenCL API calls of Table I *)
+  List.iter
+    (fun needle ->
+      if not (Astring_contains.contains compiled.Lift.Host.source needle) then
+        Alcotest.failf "host source missing %s:\n%s" needle compiled.Lift.Host.source)
+    [ "enqueueWriteBuffer"; "enqueueReadBuffer"; "enqueueNDRangeKernel"; "clSetKernelArg" ];
+  (* reference step *)
+  let st_ref = State.create room in
+  let cx, cy, cz = State.centre st_ref in
+  State.add_impulse st_ref ~x:cx ~y:cy ~z:cz;
+  Ref_kernels.volume_step params ~dims ~nbrs:room.Geometry.nbrs ~prev:st_ref.prev
+    ~curr:st_ref.curr ~next:st_ref.next;
+  Ref_kernels.boundary_fi_mm params ~boundary_indices:room.Geometry.boundary_indices
+    ~nbrs:room.Geometry.nbrs ~material:room.Geometry.material
+    ~beta:tables.Material.t_beta ~prev:st_ref.prev ~next:st_ref.next;
+  (* host-program execution *)
+  let st = State.create room in
+  State.add_impulse st ~x:cx ~y:cy ~z:cz;
+  let rt = Vgpu.Runtime.create ~engine:Vgpu.Runtime.Jit () in
+  Vgpu.Runtime.bind rt "nbrs" (Vgpu.Buffer.I room.Geometry.nbrs);
+  Vgpu.Runtime.bind rt "prev" (Vgpu.Buffer.F st.prev);
+  Vgpu.Runtime.bind rt "curr" (Vgpu.Buffer.F st.curr);
+  Vgpu.Runtime.bind rt "next" (Vgpu.Buffer.F st.next);
+  Vgpu.Runtime.bind rt "bidx" (Vgpu.Buffer.I room.Geometry.boundary_indices);
+  Vgpu.Runtime.bind rt "material" (Vgpu.Buffer.I room.Geometry.material);
+  Vgpu.Runtime.bind rt "beta" (Vgpu.Buffer.F tables.Material.t_beta);
+  Lift.Host.run compiled rt;
+  Alcotest.(check int) "two kernel launches" 2 rt.Vgpu.Runtime.launches;
+  if rt.Vgpu.Runtime.h2d_bytes = 0 then Alcotest.fail "no host->device transfers recorded";
+  if rt.Vgpu.Runtime.d2h_bytes = 0 then Alcotest.fail "no device->host transfers recorded";
+  Array.iteri
+    (fun i x ->
+      if Float.abs (x -. st.next.(i)) > 1e-12 then
+        Alcotest.failf "host pipeline differs at %d: %.17g vs %.17g" i x st.next.(i))
+    st_ref.next
+
+(* Iterated host execution with buffer rotation (paper §V-A): the plan
+   repeated N times with prev/curr/next rotation must match the
+   simulation driver stepping N times. *)
+let test_iterate () =
+  let room = Geometry.build ~n_materials:4 Geometry.Box dims in
+  let tables = Material.tables ~n_branches:3 Material.defaults in
+  let n = Geometry.n_points dims in
+  let nb = Geometry.n_boundary room in
+  let sizes = function
+    | "N" -> Some n
+    | "nB" -> Some nb
+    | "NM" -> Some (Array.length tables.Material.t_beta)
+    | _ -> None
+  in
+  let compiled = Lift.Host.compile ~precision:Kernel_ast.Cast.Double ~sizes (build_host_program ()) in
+  let steps = 10 in
+  let plan = Lift.Host.iterate ~times:steps ~rotate:[ [ "prev"; "curr"; "next" ] ] compiled in
+  (* reference: the simulation driver *)
+  let st_ref = State.create room in
+  let cx, cy, cz = State.centre st_ref in
+  State.add_impulse st_ref ~x:cx ~y:cy ~z:cz;
+  for _ = 1 to steps do
+    Ref_kernels.step_fi_mm params st_ref ~beta:tables.Material.t_beta
+  done;
+  (* host plan execution *)
+  let st = State.create room in
+  State.add_impulse st ~x:cx ~y:cy ~z:cz;
+  let rt = Vgpu.Runtime.create ~engine:Vgpu.Runtime.Jit () in
+  Vgpu.Runtime.bind rt "nbrs" (Vgpu.Buffer.I room.Geometry.nbrs);
+  Vgpu.Runtime.bind rt "prev" (Vgpu.Buffer.F st.prev);
+  Vgpu.Runtime.bind rt "curr" (Vgpu.Buffer.F st.curr);
+  Vgpu.Runtime.bind rt "next" (Vgpu.Buffer.F st.next);
+  Vgpu.Runtime.bind rt "bidx" (Vgpu.Buffer.I room.Geometry.boundary_indices);
+  Vgpu.Runtime.bind rt "material" (Vgpu.Buffer.I room.Geometry.material);
+  Vgpu.Runtime.bind rt "beta" (Vgpu.Buffer.F tables.Material.t_beta);
+  Vgpu.Runtime.run rt plan;
+  Alcotest.(check int) "2 launches per step" (2 * steps) rt.Vgpu.Runtime.launches;
+  (* after rotation, the binding named "curr" holds the latest field *)
+  let final = Vgpu.Buffer.to_float_array (Vgpu.Runtime.buffer rt "curr") in
+  Array.iteri
+    (fun i x ->
+      if Float.abs (x -. st_ref.curr.(i)) > 1e-11 *. (1. +. Float.abs x) then
+        Alcotest.failf "iterated host differs at %d: %.17g vs %.17g" i x st_ref.curr.(i))
+    final
+
+let suite =
+  [
+    Alcotest.test_case "listing 5 host pipeline" `Quick test_listing5;
+    Alcotest.test_case "iterated stepping with rotation" `Quick test_iterate;
+  ]

@@ -1,0 +1,241 @@
+(* The JIT against the reference interpreter on randomly generated
+   kernels: same buffers in, same buffers out.  The generator produces
+   well-formed kernels by construction (declared-before-use, in-bounds
+   indices via modulo). *)
+
+open Kernel_ast.Cast
+
+let n_elems = 8
+
+(* Generator state: names of declared scalars per type. *)
+type genv = { ints : string list; reals : string list; mutable fresh : int }
+
+let fresh g base =
+  g.fresh <- g.fresh + 1;
+  Printf.sprintf "%s%d" base g.fresh
+
+let gen_int_expr (g : genv) : expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      ([ map (fun n -> Int_lit n) (int_range 0 7); return (Global_id 0) ]
+      @ List.map (fun v -> return (Var v)) g.ints)
+  in
+  (* indices are kept in bounds with a mod *)
+  let bounded e =
+    Binop (Mod, Binop (Add, Binop (Mod, e, Int_lit n_elems), Int_lit n_elems), Int_lit n_elems)
+  in
+  sized @@ QCheck.Gen.fix (fun self k ->
+      if k <= 0 then leaf
+      else
+        oneof
+          [
+            leaf;
+            map2 (fun a b -> Binop (Add, a, b)) (self (k / 2)) (self (k / 2));
+            map2 (fun a b -> Binop (Sub, a, b)) (self (k / 2)) (self (k / 2));
+            map2 (fun a b -> Binop (Mul, a, b)) (self (k / 2)) (self (k / 2));
+            map2 (fun a b -> Binop (Lt, a, b)) (self (k / 2)) (self (k / 2));
+            map (fun e -> Load ("idx", bounded e)) (self (k - 1));
+            map3 (fun c a b -> Ternary (c, a, b)) (self (k / 3)) (self (k / 3)) (self (k / 3));
+          ])
+
+let gen_real_expr (g : genv) : expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let bounded e =
+    Binop (Mod, Binop (Add, Binop (Mod, e, Int_lit n_elems), Int_lit n_elems), Int_lit n_elems)
+  in
+  let leaf =
+    oneof
+      ([ map (fun r -> Real_lit (float_of_int r /. 4.)) (int_range (-8) 8) ]
+      @ List.map (fun v -> return (Var v)) g.reals)
+  in
+  sized @@ QCheck.Gen.fix (fun self k ->
+      if k <= 0 then leaf
+      else
+        oneof
+          [
+            leaf;
+            map2 (fun a b -> Binop (Add, a, b)) (self (k / 2)) (self (k / 2));
+            map2 (fun a b -> Binop (Sub, a, b)) (self (k / 2)) (self (k / 2));
+            map2 (fun a b -> Binop (Mul, a, b)) (self (k / 2)) (self (k / 2));
+            (gen_int_expr g >|= fun e -> Load ("a", bounded e));
+            (gen_int_expr g >|= fun e -> Unop (To_real, e));
+            map (fun a -> Call (Fabs, [ a ])) (self (k - 1));
+          ])
+
+let rec gen_stmts (g : genv) (depth : int) : stmt list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let bounded e =
+    Binop (Mod, Binop (Add, Binop (Mod, e, Int_lit n_elems), Int_lit n_elems), Int_lit n_elems)
+  in
+  if depth <= 0 then return []
+  else
+    let gen_one =
+      frequency
+        [
+          ( 3,
+            gen_int_expr g >|= fun e ->
+            let v = fresh g "iv" in
+            ([ Decl (Int, v, Some e) ], { g with ints = v :: g.ints }) );
+          ( 3,
+            gen_real_expr g >|= fun e ->
+            let v = fresh g "rv" in
+            ([ Decl (Real, v, Some e) ], { g with reals = v :: g.reals }) );
+          ( 2,
+            pair (gen_int_expr g) (gen_real_expr g) >|= fun (i, e) ->
+            ([ Store ("out", bounded i, e) ], g) );
+          ( 1,
+            pair (gen_int_expr g) (gen_real_expr g) >|= fun (c, e) ->
+            let v = fresh g "sv" in
+            ( [ Decl (Real, v, None); If (c, [ Assign (v, e) ], [ Assign (v, Real_lit 0.) ]) ],
+              { g with reals = v :: g.reals } ) );
+        ]
+    in
+    gen_one >>= fun (stmts, g') ->
+    gen_stmts g' (depth - 1) >|= fun rest -> stmts @ rest
+
+let gen_kernel : kernel QCheck.Gen.t =
+  let open QCheck.Gen in
+  let g = { ints = [ "gid" ]; reals = []; fresh = 0 } in
+  int_range 2 6 >>= fun depth ->
+  gen_stmts g depth >|= fun body ->
+  {
+    name = "qk";
+    precision = Double;
+    params = [ param "a" Real; param "out" Real; param "idx" Int ];
+    global_size = [ Int_lit n_elems ];
+    body = Decl (Int, "gid", Some (Global_id 0)) :: body;
+  }
+
+let pp_kernel k = Kernel_ast.Print.kernel_to_string k
+
+let arb_kernel = QCheck.make ~print:pp_kernel gen_kernel
+
+let run_both k =
+  let mk () =
+    ( Array.init n_elems (fun i -> float_of_int i /. 2.),
+      Array.make n_elems 0.,
+      Array.init n_elems (fun i -> (i * 3) mod n_elems) )
+  in
+  let a1, o1, i1 = mk () in
+  Vgpu.Exec.launch k
+    ~args:[ Buf (Vgpu.Buffer.F a1); Buf (Vgpu.Buffer.F o1); Buf (Vgpu.Buffer.I i1) ]
+    ~global:[ n_elems ];
+  let a2, o2, i2 = mk () in
+  Vgpu.Jit.launch (Vgpu.Jit.compile k)
+    ~args:[ Buf (Vgpu.Buffer.F a2); Buf (Vgpu.Buffer.F o2); Buf (Vgpu.Buffer.I i2) ]
+    ~global:[ n_elems ];
+  (o1, o2)
+
+let qcheck_jit_matches_interp =
+  QCheck.Test.make ~name:"jit == interpreter on random kernels" ~count:400 arb_kernel
+    (fun k ->
+      let o1, o2 = run_both k in
+      Array.for_all2
+        (fun a b ->
+          (Float.is_nan a && Float.is_nan b) || Float.abs (a -. b) <= 1e-12 *. (1. +. Float.abs a))
+        o1 o2)
+
+(* Simplification must not change kernel results either. *)
+let qcheck_simplify_kernel =
+  QCheck.Test.make ~name:"simplify_kernel preserves results" ~count:200 arb_kernel (fun k ->
+      let o1, _ = run_both k in
+      let o1', _ = run_both (simplify_kernel k) in
+      Array.for_all2
+        (fun a b -> (Float.is_nan a && Float.is_nan b) || Float.abs (a -. b) <= 1e-12)
+        o1 o1')
+
+(* Unit tests for specific JIT behaviours. *)
+
+let test_loop_and_private_array () =
+  let k =
+    {
+      name = "loop";
+      precision = Double;
+      params = [ param "out" Real; param ~kind:Scalar_param "n" Int ];
+      global_size = [ Int_lit 1 ];
+      body =
+        [
+          Decl_arr (Real, "tmp", 4);
+          for_ "i" ~from:(Int_lit 0) ~below:(Var "n")
+            [ Store ("tmp", Var "i", Unop (To_real, Binop (Mul, Var "i", Var "i"))) ];
+          Decl (Real, "acc", Some (Real_lit 0.));
+          for_ "j" ~from:(Int_lit 0) ~below:(Var "n")
+            [ Assign ("acc", Binop (Add, Var "acc", Load ("tmp", Var "j"))) ];
+          Store ("out", Int_lit 0, Var "acc");
+        ];
+    }
+  in
+  List.iter
+    (fun launch ->
+      let out = Array.make 1 0. in
+      launch k [ Vgpu.Args.Buf (Vgpu.Buffer.F out); Vgpu.Args.Int_arg 4 ];
+      Alcotest.(check (float 1e-12)) "sum of squares" 14. out.(0))
+    [
+      (fun k args -> Vgpu.Exec.launch k ~args ~global:[ 1 ]);
+      (fun k args -> Vgpu.Jit.launch (Vgpu.Jit.compile k) ~args ~global:[ 1 ]);
+    ]
+
+let test_scalar_args_and_3d () =
+  let k =
+    {
+      name = "threed";
+      precision = Double;
+      params = [ param "out" Real; param ~kind:Scalar_param "scale" Real ];
+      global_size = [ Int_lit 2; Int_lit 3; Int_lit 2 ];
+      body =
+        [
+          Decl
+            ( Int,
+              "lin",
+              Some
+                (Binop
+                   ( Add,
+                     Binop (Add, Global_id 0, Binop (Mul, Global_id 1, Int_lit 2)),
+                     Binop (Mul, Global_id 2, Int_lit 6) )) );
+          Store ("out", Var "lin", Binop (Mul, Unop (To_real, Var "lin"), Var "scale"));
+        ];
+    }
+  in
+  let out = Array.make 12 (-1.) in
+  Vgpu.Jit.launch (Vgpu.Jit.compile k)
+    ~args:[ Buf (Vgpu.Buffer.F out); Real_arg 2.0 ]
+    ~global:[ 2; 3; 2 ];
+  Array.iteri (fun i v -> Alcotest.(check (float 0.)) "3d" (float_of_int i *. 2.) v) out
+
+let test_arity_mismatch () =
+  let k =
+    { name = "k"; precision = Double; params = [ param "a" Real ]; global_size = [ Int_lit 1 ]; body = [] }
+  in
+  (match Vgpu.Jit.launch (Vgpu.Jit.compile k) ~args:[] ~global:[ 1 ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected arity error");
+  match Vgpu.Exec.launch k ~args:[ Vgpu.Args.Int_arg 1 ] ~global:[ 1 ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected kind mismatch error"
+
+let test_single_precision_store_rounding () =
+  let k precision =
+    {
+      name = "round";
+      precision;
+      params = [ param "out" Real ];
+      global_size = [ Int_lit 1 ];
+      body = [ Store ("out", Int_lit 0, Binop (Div, Real_lit 1., Real_lit 3.)) ];
+    }
+  in
+  let out_d = Array.make 1 0. and out_s = Array.make 1 0. in
+  Vgpu.Jit.launch (Vgpu.Jit.compile (k Double)) ~args:[ Buf (Vgpu.Buffer.F out_d) ] ~global:[ 1 ];
+  Vgpu.Jit.launch (Vgpu.Jit.compile (k Single)) ~args:[ Buf (Vgpu.Buffer.F out_s) ] ~global:[ 1 ];
+  Alcotest.(check bool) "single differs from double" true (out_d.(0) <> out_s.(0));
+  Alcotest.(check (float 1e-7)) "single close to double" out_d.(0) out_s.(0)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_jit_matches_interp;
+    QCheck_alcotest.to_alcotest qcheck_simplify_kernel;
+    Alcotest.test_case "loops and private arrays" `Quick test_loop_and_private_array;
+    Alcotest.test_case "scalar args and 3d ndrange" `Quick test_scalar_args_and_3d;
+    Alcotest.test_case "arity and kind mismatches" `Quick test_arity_mismatch;
+    Alcotest.test_case "single-precision store rounding" `Quick test_single_precision_store_rounding;
+  ]

@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "lift-room-acoustics"
+    [
+      ("size", Test_size.suite);
+      ("typecheck", Test_typecheck.suite);
+      ("eval", Test_eval.suite);
+      ("rewrite", Test_rewrite.suite);
+      ("macros", Test_macros.suite);
+      ("explore", Test_explore.suite);
+      ("views (property)", Test_views_q.suite);
+      ("golden kernels", Test_golden.suite);
+      ("edges", Test_edges.suite);
+      ("jit", Test_jit.suite);
+      ("analysis", Test_analysis.suite);
+      ("perf model", Test_perf_model.suite);
+      ("material", Test_material.suite);
+      ("geometry", Test_geometry.suite);
+      ("lift basics", Test_lift_basics.suite);
+      ("acoustics", Test_acoustics.suite);
+      ("host", Test_host.suite);
+      ("em extension", Test_em.suite);
+      ("runtime & printing", Test_runtime_print.suite);
+      ("audio", Test_audio.suite);
+    ]

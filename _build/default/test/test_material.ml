@@ -1,0 +1,159 @@
+(* Materials: coefficient derivation identities and discrete passivity of
+   randomly generated (passive) branch banks. *)
+
+open Acoustics
+
+let test_coefficient_identities () =
+  let b = Material.branch ~mass:2.0 ~resistance:0.8 ~stiffness:0.6 in
+  let bi, d, f, di = Material.branch_coeffs b in
+  (* F = k/2 *)
+  Alcotest.(check (float 1e-12)) "F = k/2" 0.3 f;
+  (* D = m/2 *)
+  Alcotest.(check (float 1e-12)) "D = m/2" 1.0 d;
+  (* BI = 1/(m + r/2 + F/2) *)
+  Alcotest.(check (float 1e-12)) "BI" (1. /. (2.0 +. 0.4 +. 0.15)) bi;
+  (* DI = m - r/2 - F/2 and the identity DI + 1/BI = 2m *)
+  Alcotest.(check (float 1e-12)) "DI" (2.0 -. 0.4 -. 0.15) di;
+  Alcotest.(check (float 1e-12)) "DI + den = 2m" 4.0 (di +. (1. /. bi))
+
+let test_invalid_branch () =
+  match Material.branch ~mass:(-1.) ~resistance:0. ~stiffness:0. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative mass accepted"
+
+let test_tables_layout () =
+  let mats = [| Material.concrete; Material.carpet |] in
+  let t = Material.tables ~n_branches:3 mats in
+  Alcotest.(check int) "beta length" 2 (Array.length t.Material.t_beta);
+  Alcotest.(check int) "bi length" 6 (Array.length t.Material.t_bi);
+  (* concrete has one branch: entries 1 and 2 are inert *)
+  Alcotest.(check (float 0.)) "padding branch is inert" 0. t.Material.t_bi.(1);
+  Alcotest.(check bool) "carpet branch 2 live" true (t.Material.t_bi.(3 + 2) > 0.);
+  (* beta_fd = beta + sum BI *)
+  let sum_bi = t.Material.t_bi.(0) +. t.Material.t_bi.(1) +. t.Material.t_bi.(2) in
+  Alcotest.(check (float 1e-12)) "beta_fd identity"
+    (t.Material.t_beta.(0) +. sum_bi)
+    t.Material.t_beta_fd.(0)
+
+(* Any bank of passive branches (non-negative m, r, k; positive
+   denominator) must yield a stable, dissipative simulation. *)
+let qcheck_random_materials_stable =
+  let open QCheck in
+  let branch_gen =
+    Gen.(
+      map3
+        (fun m r k -> Material.branch ~mass:m ~resistance:r ~stiffness:k)
+        (Gen.float_range 0.05 8.) (Gen.float_range 0.0 3.) (Gen.float_range 0.0 2.))
+  in
+  let mat_gen =
+    Gen.(
+      pair (Gen.float_range 0.0 1.5) (list_size (int_range 1 3) branch_gen)
+      >|= fun (beta, branches) -> Material.create ~name:"rand" ~beta branches)
+  in
+  let arb =
+    make
+      ~print:(fun m ->
+        Printf.sprintf "%s beta=%g (%d branches)" m.Material.name m.Material.beta
+          (List.length m.Material.branches))
+      mat_gen
+  in
+  Test.make ~name:"random passive materials are stable" ~count:25 arb (fun m ->
+      let params = Params.default in
+      let dims = Geometry.dims ~nx:10 ~ny:9 ~nz:8 in
+      let room = Geometry.build ~n_materials:1 Geometry.Box dims in
+      let t = Material.tables ~n_branches:3 [| m |] in
+      let st = State.create ~n_branches:3 room in
+      let cx, cy, cz = State.centre st in
+      State.add_impulse st ~x:cx ~y:cy ~z:cz;
+      for _ = 1 to 500 do
+        Ref_kernels.step_fd_mm params st ~beta:t.Material.t_beta_fd ~bi:t.Material.t_bi
+          ~d:t.Material.t_d ~f:t.Material.t_f ~di:t.Material.t_di
+      done;
+      (* bounded field, and some energy dissipated if anything is lossy *)
+      Energy.max_abs st.State.curr < 10.)
+
+let test_defaults_ordering () =
+  (* the default materials are ordered from reflective to absorptive *)
+  let betas = Array.map (fun m -> m.Material.beta) Material.defaults in
+  Array.iteri (fun i b -> if i > 0 then Alcotest.(check bool) "increasing beta" true (b > betas.(i - 1))) betas
+
+let suite =
+  [
+    Alcotest.test_case "coefficient identities" `Quick test_coefficient_identities;
+    Alcotest.test_case "invalid branch rejected" `Quick test_invalid_branch;
+    Alcotest.test_case "table layout" `Quick test_tables_layout;
+    QCheck_alcotest.to_alcotest qcheck_random_materials_stable;
+    Alcotest.test_case "defaults ordering" `Quick test_defaults_ordering;
+  ]
+
+(* Frequency response of the discrete branches (closed form).  The
+   paper's FD-MM exists to model frequency-dependent absorption:
+   Re Y(w) must be non-negative at every frequency (discrete passivity)
+   and genuinely vary over frequency for resonant materials. *)
+let omegas = [ 0.05; 0.2; 0.5; 1.0; 1.8; 2.6; 3.0 ]
+
+let test_frequency_passivity () =
+  List.iter
+    (fun m ->
+      List.iter
+        (fun omega ->
+          let y = Material.admittance m ~omega in
+          if y.Complex.re < -1e-9 then
+            Alcotest.failf "%s: active at w=%.2f (Re Y = %g)" m.Material.name omega
+              y.Complex.re)
+        omegas)
+    [ Material.concrete; Material.painted_brick; Material.wood_panel;
+      Material.carpet; Material.curtain; Material.rigid ]
+
+let test_frequency_dependence () =
+  let spread m =
+    let res = List.map (fun omega -> (Material.admittance m ~omega).Complex.re) omegas in
+    let mx = List.fold_left Float.max neg_infinity res in
+    let mn = List.fold_left Float.min infinity res in
+    mx -. mn
+  in
+  (* a pure-beta material is flat by construction *)
+  Alcotest.(check (float 1e-12)) "rigid is flat" 0. (spread Material.rigid);
+  let flat = Material.create ~name:"flat" ~beta:0.4 [] in
+  Alcotest.(check (float 1e-12)) "beta-only is flat" 0. (spread flat);
+  (* resonant materials vary substantially across the band *)
+  Alcotest.(check bool) "curtain varies" true (spread Material.curtain > 0.05);
+  Alcotest.(check bool) "carpet varies" true (spread Material.carpet > 0.05)
+
+let test_admittance_matches_time_domain () =
+  (* drive the kernel's branch recurrence with a sinusoid and compare the
+     steady-state midpoint velocity against the closed form *)
+  let b = Material.branch ~mass:1.2 ~resistance:0.8 ~stiffness:0.6 in
+  let bi, _, f, di = Material.branch_coeffs b in
+  let omega = 0.7 in
+  let steps = 4000 in
+  let v2 = ref 0. and g = ref 0. in
+  let acc_re = ref 0. and acc_im = ref 0. and norm = ref 0. in
+  for n = 0 to steps - 1 do
+    let t = float_of_int n in
+    let du = cos (omega *. (t +. 1.)) -. cos (omega *. (t -. 1.)) in
+    let v1 = bi *. (du +. (di *. !v2) -. (2. *. f *. !g)) in
+    let vmid = 0.5 *. (v1 +. !v2) in
+    g := !g +. vmid;
+    v2 := v1;
+    (* correlate against the drive after the transient *)
+    if n > steps / 2 then begin
+      acc_re := !acc_re +. (vmid *. du);
+      acc_im := !acc_im +. (vmid *. (sin (omega *. (t +. 1.)) -. sin (omega *. (t -. 1.))));
+      norm := !norm +. (du *. du)
+    end
+  done;
+  let y = Material.branch_admittance b ~omega in
+  Alcotest.(check bool)
+    (Printf.sprintf "time-domain Re Y ~ closed form (%.4f vs %.4f)" (!acc_re /. !norm)
+       y.Complex.re)
+    true
+    (Float.abs ((!acc_re /. !norm) -. y.Complex.re) < 0.02)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "frequency-domain passivity" `Quick test_frequency_passivity;
+      Alcotest.test_case "frequency dependence (FD vs flat)" `Quick test_frequency_dependence;
+      Alcotest.test_case "admittance matches time domain" `Quick test_admittance_matches_time_domain;
+    ]

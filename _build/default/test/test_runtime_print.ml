@@ -1,0 +1,203 @@
+(* The host runtime, the OpenCL printer and the standalone C emitter. *)
+
+open Kernel_ast
+
+let double_kernel =
+  let open Cast in
+  {
+    name = "scale";
+    precision = Double;
+    params = [ param "a" Real; param ~kind:Scalar_param "k" Real; param ~kind:Scalar_param "n" Int ];
+    global_size = [ Var "n" ];
+    body =
+      [
+        Decl (Int, "i", Some (Global_id 0));
+        If
+          ( Binop (Lt, Var "i", Var "n"),
+            [ Store ("a", Var "i", Binop (Mul, Load ("a", Var "i"), Var "k")) ],
+            [] );
+      ];
+  }
+
+let test_runtime_plan () =
+  let rt = Vgpu.Runtime.create ~engine:Vgpu.Runtime.Jit () in
+  let data = [| 1.; 2.; 3.; 4. |] in
+  Vgpu.Runtime.bind rt "a" (Vgpu.Buffer.F data);
+  let plan : Vgpu.Runtime.plan =
+    [
+      Vgpu.Runtime.Copy_to_gpu "a";
+      Vgpu.Runtime.Alloc { name = "scratch"; ty = Cast.Real; elems = 8 };
+      Vgpu.Runtime.Launch
+        {
+          kernel = double_kernel;
+          args = [ Vgpu.Runtime.A_buf "a"; Vgpu.Runtime.A_real 10.; Vgpu.Runtime.A_int 4 ];
+          global = [ 4 ];
+        };
+      Vgpu.Runtime.Copy_to_host "a";
+    ]
+  in
+  Vgpu.Runtime.run rt plan;
+  Alcotest.(check (list (float 0.))) "kernel ran" [ 10.; 20.; 30.; 40. ] (Array.to_list data);
+  Alcotest.(check int) "one launch" 1 rt.Vgpu.Runtime.launches;
+  Alcotest.(check int) "h2d bytes" (8 * 4) rt.Vgpu.Runtime.h2d_bytes;
+  Alcotest.(check int) "d2h bytes" (8 * 4) rt.Vgpu.Runtime.d2h_bytes;
+  Alcotest.(check int) "scratch allocated" 8 (Vgpu.Buffer.length (Vgpu.Runtime.buffer rt "scratch"));
+  (* unknown buffer is an error *)
+  (match Vgpu.Runtime.run rt [ Vgpu.Runtime.Copy_to_gpu "ghost" ] with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "unknown buffer accepted");
+  (* both engines execute the same plan *)
+  let rt2 = Vgpu.Runtime.create ~engine:Vgpu.Runtime.Interp () in
+  let data2 = [| 1.; 2. |] in
+  Vgpu.Runtime.bind rt2 "a" (Vgpu.Buffer.F data2);
+  Vgpu.Runtime.run rt2
+    [ Vgpu.Runtime.Launch
+        { kernel = double_kernel;
+          args = [ Vgpu.Runtime.A_buf "a"; Vgpu.Runtime.A_real 3.; Vgpu.Runtime.A_int 2 ];
+          global = [ 2 ] } ];
+  Alcotest.(check (list (float 0.))) "interp engine" [ 3.; 6. ] (Array.to_list data2)
+
+let test_printer () =
+  let src = Print.kernel_to_string double_kernel in
+  List.iter
+    (fun needle ->
+      if not (Astring_contains.contains src needle) then
+        Alcotest.failf "missing %S in:\n%s" needle src)
+    [
+      "__kernel void scale";
+      "__global double* restrict a";
+      "const double k";
+      "get_global_id(0)";
+      "a[i] = a[i] * k;";
+      "if (i < n) {";
+    ];
+  (* single precision renders float with f-suffixed literals *)
+  let ks = { double_kernel with Cast.precision = Cast.Single } in
+  let ks = { ks with Cast.body = Cast.Store ("a", Cast.Int_lit 0, Cast.Real_lit 0.5) :: ks.Cast.body } in
+  let ssrc = Print.kernel_to_string ks in
+  Alcotest.(check bool) "float type" true (Astring_contains.contains ssrc "__global float*");
+  Alcotest.(check bool) "f suffix" true (Astring_contains.contains ssrc "0.5f");
+  (* precedence: no spurious parentheses, required ones kept *)
+  let e = Cast.(Binop (Mul, Binop (Add, Var "a", Var "b"), Var "c")) in
+  Alcotest.(check string) "parens" "(a + b) * c" (Print.expr_to_string e);
+  let e2 = Cast.(Binop (Add, Var "a", Binop (Mul, Var "b", Var "c"))) in
+  Alcotest.(check string) "no parens" "a + b * c" (Print.expr_to_string e2)
+
+let test_simplify_examples () =
+  let open Cast in
+  let s e = Print.expr_to_string (simplify e) in
+  Alcotest.(check string) "x+0" "x" (s (Binop (Add, Var "x", Int_lit 0)));
+  Alcotest.(check string) "1*x" "x" (s (Binop (Mul, Int_lit 1, Var "x")));
+  Alcotest.(check string) "0*x" "0" (s (Binop (Mul, Int_lit 0, Var "x")));
+  Alcotest.(check string) "fold" "7" (s (Binop (Add, Int_lit 3, Int_lit 4)));
+  Alcotest.(check string) "nested adds" "x + 5"
+    (s (Binop (Add, Binop (Add, Var "x", Int_lit 2), Int_lit 3)));
+  Alcotest.(check string) "true ternary" "a" (s (Ternary (Int_lit 1, Var "a", Var "b")));
+  Alcotest.(check string) "and short circuit" "0" (s (Binop (And, Int_lit 0, Var "x")))
+
+(* The standalone C emitter: structural invariants on the Listing 5
+   program (the syntax was also checked against a compiler). *)
+let test_emit_c () =
+  let dims = Acoustics.Geometry.dims ~nx:12 ~ny:10 ~nz:8 in
+  let room = Acoustics.Geometry.build ~n_materials:4 Acoustics.Geometry.Box dims in
+  let tables = Acoustics.Material.tables ~n_branches:3 Acoustics.Material.defaults in
+  let p name ty = Lift.Ast.named_param name ty in
+  let open Lift.Host in
+  let open Lift_acoustics.Programs in
+  let program =
+    write_to
+      (input (p "next" grid_ty))
+      (ocl_kernel ~name:"boundary_fi_mm" (boundary_fi_mm ())
+         [
+           to_gpu (input (p "bidx" bidx_ty));
+           to_gpu (input (p "nbrs" nbrs_ty));
+           to_gpu (input (p "material" material_ty));
+           to_gpu (input (p "beta" beta_ty));
+           to_gpu (input (p "prev" grid_ty));
+           to_gpu (input (p "next" grid_ty));
+           H_real 0.57;
+         ])
+  in
+  let sizes = function
+    | "N" -> Some (Acoustics.Geometry.n_points dims)
+    | "nB" -> Some (Acoustics.Geometry.n_boundary room)
+    | "NM" -> Some (Array.length tables.Acoustics.Material.t_beta)
+    | _ -> None
+  in
+  let compiled = Lift.Host.compile ~sizes program in
+  let c = Lift.Emit_c.host_program compiled in
+  List.iter
+    (fun needle ->
+      if not (Astring_contains.contains c needle) then
+        Alcotest.failf "emitted C missing %S" needle)
+    [
+      "#include <CL/cl.h>";
+      "clBuildProgram";
+      "clCreateKernel(prog_0, \"boundary_fi_mm\"";
+      "clEnqueueNDRangeKernel";
+      "CL_PROFILING_COMMAND_END";
+      "__kernel void boundary_fi_mm";
+      "int main(void)";
+    ];
+  (* braces balance *)
+  let count s ch = String.fold_left (fun acc c -> if c = ch then acc + 1 else acc) 0 s in
+  Alcotest.(check int) "balanced braces" (count c '{') (count c '}');
+  (* an iterated plan emits pointer swaps for the buffer rotation *)
+  let plan2 = Lift.Host.iterate ~times:2 ~rotate:[ [ "prev"; "next" ] ] compiled in
+  let c2 = Lift.Emit_c.host_program { compiled with Lift.Host.plan = plan2 } in
+  Alcotest.(check bool) "swap emitted" true
+    (Astring_contains.contains c2 "{ cl_mem t = d_prev; d_prev = d_next; d_next = t; }");
+  Alcotest.(check int) "iterated braces balance" (count c2 '{') (count c2 '}')
+
+let test_host_errors () =
+  let open Lift.Host in
+  let p = Lift.Ast.named_param "a" (Lift.Ty.array Lift.Ty.real (Lift.Size.var "N")) in
+  (* kernel arity mismatch *)
+  let f = { Lift.Ast.l_params = [ p ]; l_body = Lift.Ast.Param p } in
+  (match compile ~sizes:(fun _ -> Some 4) (ocl_kernel ~name:"k" f []) with
+  | exception Host_error _ -> ()
+  | _ -> Alcotest.fail "arity mismatch accepted");
+  (* unbound size variable *)
+  let g =
+    {
+      Lift.Ast.l_params = [ p ];
+      l_body =
+        Lift.Ast.map_glb (Lift.Ast.lam1 Lift.Ty.real (fun x -> x)) (Lift.Ast.Param p);
+    }
+  in
+  match compile ~sizes:(fun _ -> None) (ocl_kernel ~name:"k" g [ input p ]) with
+  | exception Host_error _ -> ()
+  | _ -> Alcotest.fail "unbound size accepted"
+
+let test_harness_agreement () =
+  let open Harness.Experiments in
+  let row version model_s paper_ms =
+    {
+      platform = "X";
+      version;
+      size = 602;
+      shape = Acoustics.Geometry.Box;
+      precision = Kernel_ast.Cast.Double;
+      model_s;
+      paper_ms = Some paper_ms;
+      throughput = 1.;
+    }
+  in
+  (* model and paper agree that lift is slower: 1 agreement out of 1 *)
+  let rows = [ row Hand 1e-3 1.0; row Lift_gen 1.5e-3 1.4 ] in
+  let agree, total, _ = agreement rows in
+  Alcotest.(check (pair int int)) "agrees" (1, 1) (agree, total);
+  (* disagreement: model says lift faster, paper says slower *)
+  let rows = [ row Hand 1e-3 1.0; row Lift_gen 0.5e-3 1.4 ] in
+  let agree, total, _ = agreement rows in
+  Alcotest.(check (pair int int)) "disagrees" (0, 1) (agree, total)
+
+let suite =
+  [
+    Alcotest.test_case "runtime plan execution" `Quick test_runtime_plan;
+    Alcotest.test_case "OpenCL printer" `Quick test_printer;
+    Alcotest.test_case "expression simplifier" `Quick test_simplify_examples;
+    Alcotest.test_case "standalone C emitter" `Quick test_emit_c;
+    Alcotest.test_case "host error handling" `Quick test_host_errors;
+    Alcotest.test_case "harness agreement metric" `Quick test_harness_agreement;
+  ]

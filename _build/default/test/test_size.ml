@@ -1,0 +1,109 @@
+(* Symbolic size arithmetic: normalisation, equality, evaluation. *)
+
+open Lift
+
+let n = Size.var "N"
+let m = Size.var "M"
+let c = Size.const
+
+let check_eq msg a b = Alcotest.(check bool) msg true (Size.equal a b)
+let check_ne msg a b = Alcotest.(check bool) msg false (Size.equal a b)
+
+let test_constant_folding () =
+  check_eq "2+3=5" (Size.add (c 2) (c 3)) (c 5);
+  check_eq "2*3=6" (Size.mul (c 2) (c 3)) (c 6);
+  check_eq "7-4=3" (Size.sub (c 7) (c 4)) (c 3);
+  check_eq "8/2=4" (Size.div (c 8) (c 2)) (c 4);
+  Alcotest.(check (option int)) "to_int" (Some 6) (Size.to_int_opt (Size.mul (c 2) (c 3)))
+
+let test_commutativity () =
+  check_eq "N+M = M+N" (Size.add n m) (Size.add m n);
+  check_eq "N*M = M*N" (Size.mul n m) (Size.mul m n);
+  check_eq "N+1+M = M+N+1" (Size.add (Size.add n (c 1)) m) (Size.add m (Size.add n (c 1)))
+
+let test_cancellation () =
+  (* the scatter row type: idx + 1 + (N - idx - 1) = N *)
+  let idx = Size.var "idx" in
+  let total = Size.add (Size.add idx (c 1)) (Size.sub (Size.sub n idx) (c 1)) in
+  check_eq "skip arithmetic cancels" total n;
+  check_eq "N-N = 0" (Size.sub n n) (c 0);
+  check_eq "2N - N = N" (Size.sub (Size.mul (c 2) n) n) n
+
+let test_distribution () =
+  check_eq "(N+1)*2 = 2N+2"
+    (Size.mul (Size.add n (c 1)) (c 2))
+    (Size.add (Size.mul (c 2) n) (c 2));
+  check_eq "N*(M+1) = NM+N" (Size.mul n (Size.add m (c 1))) (Size.add (Size.mul n m) n)
+
+let test_division () =
+  check_eq "N/1 = N" (Size.div n (c 1)) n;
+  check_eq "(6N)/2... stays opaque but equal to itself"
+    (Size.div (Size.mul (c 6) n) (c 2))
+    (Size.div (Size.mul (c 6) n) (c 2));
+  check_ne "N/2 <> N" (Size.div n (c 2)) n
+
+let test_inequality () =
+  check_ne "N <> M" n m;
+  check_ne "N <> N+1" n (Size.add n (c 1));
+  check_ne "N*M <> N+M" (Size.mul n m) (Size.add n m)
+
+let test_eval () =
+  let env = function "N" -> Some 10 | "M" -> Some 3 | _ -> None in
+  Alcotest.(check int) "eval N*M+2" 32 (Size.eval env (Size.add (Size.mul n m) (c 2)));
+  Alcotest.(check int) "eval N-M" 7 (Size.eval env (Size.sub n m));
+  (match Size.eval env (Size.var "Q") with
+  | exception Failure _ -> ()
+  | v -> Alcotest.failf "unbound size evaluated to %d" v)
+
+let test_vars () =
+  Alcotest.(check (list string)) "vars" [ "M"; "N" ] (Size.vars (Size.mul n m));
+  Alcotest.(check (list string)) "const has no vars" [] (Size.vars (c 5))
+
+let test_to_cexpr () =
+  let e = Size.to_cexpr (Size.add (Size.mul n (c 2)) (c 1)) in
+  let s = Kernel_ast.Print.expr_to_string (Kernel_ast.Cast.simplify e) in
+  Alcotest.(check bool) "mentions N" true (Astring_contains.contains s "N")
+
+(* Property: simplify is sound w.r.t. evaluation. *)
+let qcheck_simplify_sound =
+  let gen =
+    QCheck.Gen.(
+      sized @@ fix (fun self k ->
+          if k <= 0 then oneof [ map Size.const (int_range 0 9); return (Size.var "N"); return (Size.var "M") ]
+          else
+            oneof
+              [
+                map Size.const (int_range 0 9);
+                return (Size.var "N");
+                map2 (fun a b -> Size.Add (a, b)) (self (k / 2)) (self (k / 2));
+                map2 (fun a b -> Size.Sub (a, b)) (self (k / 2)) (self (k / 2));
+                map2 (fun a b -> Size.Mul (a, b)) (self (k / 2)) (self (k / 2));
+              ]))
+  in
+  let arb = QCheck.make ~print:Size.to_string gen in
+  QCheck.Test.make ~name:"simplify preserves value" ~count:300 arb (fun s ->
+      let env = function "N" -> Some 7 | "M" -> Some 4 | _ -> None in
+      Size.eval env (Size.simplify s) = Size.eval env s)
+
+let qcheck_equal_reflexive =
+  let arb = QCheck.make ~print:Size.to_string
+      QCheck.Gen.(map2 (fun a b -> Size.Add (Size.Mul (Size.var "N", Size.const a), Size.const b))
+                    (int_range 0 5) (int_range 0 5))
+  in
+  QCheck.Test.make ~name:"equal is reflexive under simplify" ~count:100 arb (fun s ->
+      Size.equal s (Size.simplify s))
+
+let suite =
+  [
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "commutativity" `Quick test_commutativity;
+    Alcotest.test_case "cancellation" `Quick test_cancellation;
+    Alcotest.test_case "distribution" `Quick test_distribution;
+    Alcotest.test_case "division" `Quick test_division;
+    Alcotest.test_case "inequality" `Quick test_inequality;
+    Alcotest.test_case "evaluation" `Quick test_eval;
+    Alcotest.test_case "variables" `Quick test_vars;
+    Alcotest.test_case "lowering to index expressions" `Quick test_to_cexpr;
+    QCheck_alcotest.to_alcotest qcheck_simplify_sound;
+    QCheck_alcotest.to_alcotest qcheck_equal_reflexive;
+  ]

@@ -1,0 +1,134 @@
+(* Type checking: positive cases for every pattern, negative cases for
+   the errors users actually hit, and the paper-specific rules (Concat
+   length arithmetic, the WriteTo scatter idiom). *)
+
+open Lift
+
+let n = Size.var "N"
+let nb = Size.var "nB"
+let vec = Ty.array Ty.real n
+let ivec = Ty.array Ty.int n
+
+let infer e = Typecheck.infer [] e
+
+let check_ty msg expected e = Alcotest.(check bool) msg true (Ty.equal expected (infer e))
+
+let expect_error msg e =
+  match infer e with
+  | exception Typecheck.Type_error _ -> ()
+  | t -> Alcotest.failf "%s: expected type error, got %s" msg (Ty.to_string t)
+
+let p name ty = Ast.Param (Ast.named_param name ty)
+
+let test_scalars () =
+  check_ty "int lit" Ty.int (Ast.int 3);
+  check_ty "real lit" Ty.real (Ast.real 3.5);
+  check_ty "int+int" Ty.int Ast.(int 1 +! int 2);
+  check_ty "int+real promotes" Ty.real Ast.(int 1 +! real 2.0);
+  check_ty "comparison is int" Ty.int Ast.(real 1.0 <! real 2.0);
+  check_ty "to_real" Ty.real (Ast.to_real (Ast.int 3));
+  check_ty "call" Ty.real (Ast.Call (Kernel_ast.Cast.Sqrt, [ Ast.real 2.0 ]));
+  expect_error "binop on array" Ast.(p "a" vec +! int 1)
+
+let test_tuples () =
+  check_ty "tuple" (Ty.tuple [ Ty.int; Ty.real ]) (Ast.Tuple [ Ast.int 1; Ast.real 2. ]);
+  check_ty "get" Ty.real (Ast.Get (Ast.Tuple [ Ast.int 1; Ast.real 2. ], 1));
+  expect_error "get out of range" (Ast.Get (Ast.Tuple [ Ast.int 1 ], 3));
+  expect_error "get from scalar" (Ast.Get (Ast.int 1, 0))
+
+let test_map_reduce () =
+  check_ty "map real->real" vec
+    (Ast.map (Ast.lam1 Ty.real (fun x -> Ast.(x *! real 2.))) (p "a" vec));
+  check_ty "map changes element type" ivec
+    (Ast.map (Ast.lam1 Ty.real (fun x -> Ast.(x >! real 0.))) (p "a" vec));
+  check_ty "reduce" Ty.real
+    (Ast.Reduce (Ast.lam2 Ty.real Ty.real (fun a x -> Ast.(a +! x)), Ast.real 0., p "a" vec));
+  expect_error "map over scalar" (Ast.map (Ast.lam1 Ty.real (fun x -> x)) (Ast.real 1.));
+  expect_error "reduce type mismatch"
+    (Ast.Reduce (Ast.lam2 Ty.real Ty.real (fun _ x -> Ast.(x >! real 0.)), Ast.real 0., p "a" vec))
+
+let test_zip () =
+  check_ty "zip"
+    (Ty.array (Ty.tuple [ Ty.real; Ty.int ]) n)
+    (Ast.Zip [ p "a" vec; p "b" ivec ]);
+  expect_error "zip length mismatch" (Ast.Zip [ p "a" vec; p "b" (Ty.array Ty.int nb) ]);
+  expect_error "zip of scalar" (Ast.Zip [ Ast.int 1 ])
+
+let test_shape_patterns () =
+  check_ty "slide windows"
+    (Ty.array (Ty.array_n Ty.real 3) (Size.add (Size.sub n (Size.const 3)) (Size.const 1)))
+    (Ast.Slide (3, 1, p "a" vec));
+  check_ty "pad grows" (Ty.array Ty.real (Size.add n (Size.const 3)))
+    (Ast.Pad (1, 2, Ast.real 0., p "a" vec));
+  expect_error "pad constant mismatch" (Ast.Pad (1, 1, Ast.int 0, p "a" vec));
+  check_ty "split" (Ty.array (Ty.array Ty.real (Size.const 4)) (Size.div n (Size.const 4)))
+    (Ast.Split (Size.const 4, p "a" vec));
+  (* symbolically, (N/4)*4 is not provably N; with concrete lengths the
+     round trip types exactly *)
+  let vec8 = Ty.array_n Ty.real 8 in
+  check_ty "join inverts split (concrete)" vec8
+    (Ast.Join (Ast.Split (Size.const 4, p "a8" vec8)));
+  check_ty "iota" (Ty.array Ty.int n) (Ast.Iota n)
+
+let test_concat_skip () =
+  (* concat of skip + cons + skip types as the full array *)
+  let idx = Ast.named_param "idx" Ty.int in
+  let row =
+    Ast.scatter_row ~elt_ty:Ty.real ~n ~sym:"_s" ~index:(Ast.Param idx) (Ast.real 1.0)
+  in
+  let t = Typecheck.infer [ (idx.Ast.p_id, Ty.int) ] row in
+  Alcotest.(check bool) "scatter row has length N" true (Ty.equal t vec);
+  check_ty "concat adds lengths"
+    (Ty.array Ty.real (Size.add n n))
+    (Ast.Concat [ p "a" vec; p "b" vec ]);
+  expect_error "concat element mismatch" (Ast.Concat [ p "a" vec; p "b" ivec ])
+
+let test_write_to () =
+  check_ty "write_to same type" vec
+    (Ast.Write_to (p "a" vec, Ast.map (Ast.lam1 Ty.real (fun x -> x)) (p "a" vec)));
+  (* scatter idiom: rows typed like the target *)
+  let rows =
+    Ast.map
+      (Ast.lam1 ~name:"i" Ty.int (fun i ->
+           Ast.scatter_row ~elt_ty:Ty.real ~n ~sym:"_t" ~index:i (Ast.real 0.)))
+      (p "idx" (Ty.array Ty.int nb))
+  in
+  check_ty "write_to scatter idiom" vec (Ast.Write_to (p "a" vec, rows));
+  expect_error "write_to wrong type" (Ast.Write_to (p "a" vec, p "b" ivec));
+  check_ty "write_to scalar location" Ty.real
+    (Ast.Write_to (Ast.Array_access (p "a" vec, Ast.int 0), Ast.real 1.))
+
+let test_let_to_private () =
+  check_ty "let binds type" Ty.real
+    (Ast.let_ Ty.real (Ast.real 1.) (fun x -> Ast.(x +! real 1.)));
+  check_ty "to_private keeps type" (Ty.array_n Ty.real 3)
+    (Ast.To_private (Ast.map (Ast.lam1 Ty.int Ast.to_real) (Ast.Iota (Size.const 3))));
+  expect_error "to_private needs static size" (Ast.To_private (p "a" vec))
+
+let test_programs_check () =
+  (* every shipped acoustics program type-checks *)
+  List.iter
+    (fun (name, prog) ->
+      match Typecheck.infer_program prog with
+      | _ -> ()
+      | exception Typecheck.Type_error m -> Alcotest.failf "%s: %s" name m)
+    [
+      ("volume", Lift_acoustics.Programs.volume ());
+      ("boundary_fi", Lift_acoustics.Programs.boundary_fi ());
+      ("boundary_fi_mm", Lift_acoustics.Programs.boundary_fi_mm ());
+      ("boundary_fd_mm", Lift_acoustics.Programs.boundary_fd_mm ~mb:3 ());
+      ("fused_fi", Lift_acoustics.Programs.fused_fi ());
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "scalars" `Quick test_scalars;
+    Alcotest.test_case "tuples" `Quick test_tuples;
+    Alcotest.test_case "map and reduce" `Quick test_map_reduce;
+    Alcotest.test_case "zip" `Quick test_zip;
+    Alcotest.test_case "slide/pad/split/join/iota" `Quick test_shape_patterns;
+    Alcotest.test_case "concat and skip" `Quick test_concat_skip;
+    Alcotest.test_case "writeTo" `Quick test_write_to;
+    Alcotest.test_case "let and toPrivate" `Quick test_let_to_private;
+    Alcotest.test_case "acoustics programs type-check" `Quick test_programs_check;
+  ]
