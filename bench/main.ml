@@ -213,6 +213,58 @@ let run_ablations () =
   Printf.printf "measured JIT: private %.3f ms, global re-reads %.3f ms (x%.2f)\n" (tp *. 1e3)
     (tg *. 1e3) (tg /. tp)
 
+(* The parallel virtual GPU: sequential JIT vs the domain-pool backend
+   on an FD-MM-sized NDRange (full step: volume + FD-MM boundary).
+   Verifies bit-identical grids, then reports wall-clock speedup and the
+   runtime's per-kernel launch statistics. *)
+let run_parallel_speedup () =
+  Printf.printf "\n== Parallel virtual GPU: sequential JIT vs domain pool ==\n";
+  let dims = Geometry.dims ~nx:96 ~ny:80 ~nz:64 in
+  let kernels = [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fd_mm ~precision ~mb:3 ] in
+  let make engine =
+    let room = Geometry.build ~n_materials:4 Geometry.Box dims in
+    let sim = Gpu_sim.create ~engine ~fi_beta:0.1 ~n_branches:3 params room in
+    let cx, cy, cz = State.centre sim.Gpu_sim.state in
+    State.add_impulse sim.Gpu_sim.state ~x:cx ~y:cy ~z:cz;
+    Gpu_sim.step sim kernels;
+    (* warm-up: JIT compile + pool spawn *)
+    sim
+  in
+  let reps = 5 in
+  let measure sim =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      Gpu_sim.step sim kernels
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let seq_sim = make `Jit in
+  let t_seq = measure seq_sim in
+  Printf.printf "room %dx%dx%d, %d reps; host has %d core(s)\n" dims.Geometry.nx
+    dims.Geometry.ny dims.Geometry.nz reps
+    (Domain.recommended_domain_count ());
+  Printf.printf "%-24s %10.3f ms/step\n" "jit (sequential)" (t_seq *. 1e3);
+  let last_par = ref None in
+  List.iter
+    (fun d ->
+      let sim = make (`Jit_parallel d) in
+      let t = measure sim in
+      last_par := Some sim;
+      Printf.printf "%-24s %10.3f ms/step   speedup x%.2f\n"
+        (Printf.sprintf "jit-parallel, %d domains" d)
+        (t *. 1e3) (t_seq /. t))
+    [ 1; 2; 4 ];
+  (match !last_par with
+  | Some par_sim ->
+      let same =
+        Array.for_all2
+          (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+          seq_sim.Gpu_sim.state.State.curr par_sim.Gpu_sim.state.State.curr
+      in
+      Printf.printf "parallel grid bit-identical to sequential: %b\n" same;
+      Fmt.pr "@.%a" Vgpu.Runtime.pp_stats (Gpu_sim.stats par_sim)
+  | None -> ())
+
 (* Work-group size tuning, as the paper's protocol requires (§VI). *)
 let run_tuning_table () =
   Printf.printf
@@ -251,5 +303,6 @@ let () =
   Printf.printf "room %dx%dx%d box, double precision\n" bench_dims.Geometry.nx
     bench_dims.Geometry.ny bench_dims.Geometry.nz;
   run_benchmarks ();
+  run_parallel_speedup ();
   run_ablations ();
   run_tuning_table ()

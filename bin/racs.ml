@@ -62,7 +62,7 @@ let cmd_kernels precision =
 (* ------------------------------------------------------------------ *)
 (* racs simulate *)
 
-let cmd_simulate shape nx ny nz scheme steps backend =
+let cmd_simulate shape nx ny nz scheme steps backend engine domains show_stats =
   let params = Params.default in
   let dims = Geometry.dims ~nx ~ny ~nz in
   let n_materials = Array.length Material.defaults in
@@ -91,20 +91,31 @@ let cmd_simulate shape nx ny nz scheme steps backend =
           lift "boundary_fd_mm" (Lift_acoustics.Programs.boundary_fd_mm ~mb:3 ()) ]
     | s, _ -> failwith (Printf.sprintf "unknown scheme %s (fi | fi-mm | fd-mm)" s)
   in
-  let sim = Gpu_sim.create ~engine:`Jit ~fi_beta:0.1 ~n_branches:3 params room in
+  let engine : Gpu_sim.engine =
+    match engine with
+    | `Interp -> `Interp
+    | `Jit -> `Jit
+    | `Jit_parallel -> `Jit_parallel domains
+  in
+  let sim = Gpu_sim.create ~engine ~fi_beta:0.1 ~n_branches:3 params room in
   let cx, cy, cz = State.centre sim.Gpu_sim.state in
   State.add_impulse sim.Gpu_sim.state ~x:cx ~y:cy ~z:cz;
   let rx = cx + ((nx - 2) / 4) in
   let response = Gpu_sim.run sim kernels ~steps ~receiver:(rx, cy, cz) in
-  Printf.printf "room %s %dx%dx%d, %d boundary points, %d steps (%s kernels)\n"
+  Printf.printf "room %s %dx%dx%d, %d boundary points, %d steps (%s kernels, %s engine)\n"
     (Geometry.shape_label shape) nx ny nz (Geometry.n_boundary room) steps
-    (match backend with `Hand -> "hand-written" | `Lift -> "lift-generated");
+    (match backend with `Hand -> "hand-written" | `Lift -> "lift-generated")
+    (match engine with
+    | `Interp -> "interp"
+    | `Jit -> "jit"
+    | `Jit_parallel d -> Printf.sprintf "jit-parallel[%d]" d);
   Printf.printf "receiver at (%d,%d,%d); first samples:\n " rx cy cz;
   Array.iteri (fun i v -> if i < 12 then Printf.printf " %+.5f" v) response;
   let e = Energy.kinetic_energy sim.Gpu_sim.state in
   Printf.printf "\nfinal kinetic energy %.6g, dc offset %.6g, peak |u| %.4f\n" e
     (Energy.dc_offset sim.Gpu_sim.state)
-    (Energy.max_abs sim.Gpu_sim.state.State.curr)
+    (Energy.max_abs sim.Gpu_sim.state.State.curr);
+  if show_stats then Fmt.pr "\n%a" Vgpu.Runtime.pp_stats (Gpu_sim.stats sim)
 
 (* ------------------------------------------------------------------ *)
 (* racs experiments *)
@@ -240,8 +251,38 @@ let simulate_cmd =
   let backend =
     Arg.(value & opt backend_conv `Lift & info [ "backend" ] ~doc:"hand or lift")
   in
+  let engine_conv =
+    Arg.conv
+      ( (function
+        | "interp" -> Ok `Interp
+        | "jit" -> Ok `Jit
+        | "jit-parallel" -> Ok `Jit_parallel
+        | s -> Error (`Msg (Printf.sprintf "unknown engine %s" s))),
+        fun ppf e ->
+          Fmt.string ppf
+            (match e with
+            | `Interp -> "interp"
+            | `Jit -> "jit"
+            | `Jit_parallel -> "jit-parallel") )
+  in
+  let engine =
+    Arg.(
+      value & opt engine_conv `Jit
+      & info [ "engine" ] ~doc:"virtual-GPU engine: interp, jit or jit-parallel")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt int (Domain.recommended_domain_count ())
+      & info [ "domains" ] ~doc:"domains for --engine jit-parallel")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"print per-kernel launch statistics")
+  in
   Cmd.v (Cmd.info "simulate" ~doc:"Run an impulse-response simulation")
-    Term.(const cmd_simulate $ shape $ nx $ ny $ nz $ scheme $ steps $ backend)
+    Term.(
+      const cmd_simulate $ shape $ nx $ ny $ nz $ scheme $ steps $ backend $ engine
+      $ domains $ stats)
 
 let experiments_cmd =
   let which = Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT") in

@@ -6,21 +6,35 @@
    prev/curr/next grids, bidx/nbrs/material boundary data, beta/bi/d/f/di
    coefficient tables, g1/v1/v2 branch state).
 
+   Launches go through a [Vgpu.Runtime] so the engine choice (reference
+   interpreter, sequential JIT, domain-parallel JIT), the JIT cache and
+   the per-kernel launch statistics are shared with host-program plans.
+
    The per-step kernel sequence is the paper's two-kernel structure:
    volume handling first, boundary handling second, then buffer rotation
    on the host. *)
 
 open Kernel_ast.Cast
 
+type engine =
+  [ `Interp  (** reference interpreter *)
+  | `Jit  (** sequential JIT *)
+  | `Jit_parallel of int  (** JIT over this many OCaml domains *) ]
+
 type t = {
   params : Params.t;
   state : State.t;
   tables : Material.tables;
   fi_beta : float;  (* single-material admittance for the FI kernels *)
-  engine : [ `Interp | `Jit ];
-  jit_cache : (string, Vgpu.Jit.compiled) Hashtbl.t;
+  engine : engine;
+  rt : Vgpu.Runtime.t;
   mutable launches : int;
 }
+
+let runtime_engine : engine -> Vgpu.Runtime.engine = function
+  | `Interp -> Vgpu.Runtime.Interp
+  | `Jit -> Vgpu.Runtime.Jit
+  | `Jit_parallel domains -> Vgpu.Runtime.Jit_parallel { domains }
 
 let create ?(engine = `Jit) ?(fi_beta = 0.1) ?(materials = Material.defaults)
     ?(n_branches = 3) params room =
@@ -30,58 +44,62 @@ let create ?(engine = `Jit) ?(fi_beta = 0.1) ?(materials = Material.defaults)
     tables = Material.tables ~n_branches materials;
     fi_beta;
     engine;
-    jit_cache = Hashtbl.create 8;
+    rt = Vgpu.Runtime.create ~engine:(runtime_engine engine) ();
     launches = 0;
   }
 
-let scalar_int t name : Vgpu.Args.t =
+let scalar_int t name =
   let { Geometry.nx; ny; nz } = t.state.room.Geometry.dims in
   match name with
-  | "Nx" -> Int_arg nx
-  | "Ny" -> Int_arg ny
-  | "Nz" -> Int_arg nz
-  | "NxNy" -> Int_arg (nx * ny)
-  | "N" -> Int_arg (nx * ny * nz)
-  | "nB" -> Int_arg (Geometry.n_boundary t.state.room)
-  | "MB" -> Int_arg t.state.n_branches
-  | "NM" -> Int_arg (Array.length t.tables.Material.t_beta)
+  | "Nx" -> nx
+  | "Ny" -> ny
+  | "Nz" -> nz
+  | "NxNy" -> nx * ny
+  | "N" -> nx * ny * nz
+  | "nB" -> Geometry.n_boundary t.state.room
+  | "MB" -> t.state.n_branches
+  | "NM" -> Array.length t.tables.Material.t_beta
   | _ -> failwith (Printf.sprintf "gpu_sim: unknown int scalar %s" name)
 
-let scalar_real t name : Vgpu.Args.t =
+let scalar_real t name =
   match name with
-  | "l" -> Real_arg (Params.l t.params)
-  | "l2" -> Real_arg (Params.l2 t.params)
-  | "beta" -> Real_arg t.fi_beta
+  | "l" -> Params.l t.params
+  | "l2" -> Params.l2 t.params
+  | "beta" -> t.fi_beta
   | _ -> failwith (Printf.sprintf "gpu_sim: unknown real scalar %s" name)
 
-let buffer t name : Vgpu.Args.t =
+let buffer t name : Vgpu.Buffer.t =
   let st = t.state in
   let room = st.room in
   match name with
-  | "prev" -> Buf (Vgpu.Buffer.F st.prev)
-  | "curr" -> Buf (Vgpu.Buffer.F st.curr)
-  | "next" -> Buf (Vgpu.Buffer.F st.next)
-  | "nbrs" -> Buf (Vgpu.Buffer.I room.Geometry.nbrs)
-  | "bidx" -> Buf (Vgpu.Buffer.I room.Geometry.boundary_indices)
-  | "material" -> Buf (Vgpu.Buffer.I room.Geometry.material)
-  | "beta" -> Buf (Vgpu.Buffer.F t.tables.Material.t_beta)
-  | "beta_fd" -> Buf (Vgpu.Buffer.F t.tables.Material.t_beta_fd)
-  | "bi" -> Buf (Vgpu.Buffer.F t.tables.Material.t_bi)
-  | "d" -> Buf (Vgpu.Buffer.F t.tables.Material.t_d)
-  | "f" -> Buf (Vgpu.Buffer.F t.tables.Material.t_f)
-  | "di" -> Buf (Vgpu.Buffer.F t.tables.Material.t_di)
-  | "g1" -> Buf (Vgpu.Buffer.F st.g1)
-  | "v2" -> Buf (Vgpu.Buffer.F st.vel_prev)
-  | "v1" -> Buf (Vgpu.Buffer.F st.vel_next)
+  | "prev" -> Vgpu.Buffer.F st.prev
+  | "curr" -> Vgpu.Buffer.F st.curr
+  | "next" -> Vgpu.Buffer.F st.next
+  | "nbrs" -> Vgpu.Buffer.I room.Geometry.nbrs
+  | "bidx" -> Vgpu.Buffer.I room.Geometry.boundary_indices
+  | "material" -> Vgpu.Buffer.I room.Geometry.material
+  | "beta" -> Vgpu.Buffer.F t.tables.Material.t_beta
+  | "beta_fd" -> Vgpu.Buffer.F t.tables.Material.t_beta_fd
+  | "bi" -> Vgpu.Buffer.F t.tables.Material.t_bi
+  | "d" -> Vgpu.Buffer.F t.tables.Material.t_d
+  | "f" -> Vgpu.Buffer.F t.tables.Material.t_f
+  | "di" -> Vgpu.Buffer.F t.tables.Material.t_di
+  | "g1" -> Vgpu.Buffer.F st.g1
+  | "v2" -> Vgpu.Buffer.F st.vel_prev
+  | "v1" -> Vgpu.Buffer.F st.vel_next
   | _ -> failwith (Printf.sprintf "gpu_sim: unknown buffer %s" name)
 
+(* Bind buffer params into the runtime (the state arrays rotate between
+   steps, so bindings refresh on every launch) and resolve scalars. *)
 let args_for t (k : kernel) =
   List.map
     (fun p ->
       match (p.p_kind, p.p_ty) with
-      | Global_buf, _ -> buffer t p.p_name
-      | Scalar_param, Int -> scalar_int t p.p_name
-      | Scalar_param, Real -> scalar_real t p.p_name)
+      | Global_buf, _ ->
+          Vgpu.Runtime.bind t.rt p.p_name (buffer t p.p_name);
+          Vgpu.Runtime.A_buf p.p_name
+      | Scalar_param, Int -> Vgpu.Runtime.A_int (scalar_int t p.p_name)
+      | Scalar_param, Real -> Vgpu.Runtime.A_real (scalar_real t p.p_name))
     k.params
 
 (* Resolve the kernel's symbolic global size against the scalar
@@ -91,10 +109,7 @@ let global_size t (k : kernel) =
     (fun e ->
       match e with
       | Int_lit n -> n
-      | Var name -> (
-          match scalar_int t name with
-          | Int_arg n -> n
-          | _ -> failwith "gpu_sim: non-int global size")
+      | Var name -> scalar_int t name
       | _ -> failwith "gpu_sim: unsupported global size expression")
     k.global_size
 
@@ -102,18 +117,9 @@ let launch t (k : kernel) =
   let args = args_for t k in
   let global = global_size t k in
   t.launches <- t.launches + 1;
-  match t.engine with
-  | `Interp -> Vgpu.Exec.launch k ~args ~global
-  | `Jit ->
-      let compiled =
-        match Hashtbl.find_opt t.jit_cache k.name with
-        | Some c when c.Vgpu.Jit.kernel == k -> c
-        | _ ->
-            let c = Vgpu.Jit.compile k in
-            Hashtbl.replace t.jit_cache k.name c;
-            c
-      in
-      Vgpu.Jit.launch compiled ~args ~global
+  Vgpu.Runtime.run_op t.rt (Vgpu.Runtime.Launch { kernel = k; args; global })
+
+let stats t = Vgpu.Runtime.stats t.rt
 
 (* One time step: run each kernel in order, then rotate the buffers. *)
 let step t (kernels : kernel list) =

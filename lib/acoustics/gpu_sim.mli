@@ -5,20 +5,28 @@
     and the Lift-generated kernels (both follow the paper's naming
     convention: prev/curr/next grids, bidx/nbrs/material boundary data,
     beta/beta_fd/bi/d/f/di coefficient tables, g1/v1/v2 branch state,
-    and the scalars Nx/Ny/Nz/NxNy/N/nB/NM/MB/l/l2/beta). *)
+    and the scalars Nx/Ny/Nz/NxNy/N/nB/NM/MB/l/l2/beta).
+
+    Launches go through a {!Vgpu.Runtime}, which provides the engine
+    choice, the JIT cache and per-kernel launch statistics. *)
+
+type engine =
+  [ `Interp  (** reference interpreter *)
+  | `Jit  (** sequential JIT *)
+  | `Jit_parallel of int  (** JIT over this many OCaml domains *) ]
 
 type t = {
   params : Params.t;
   state : State.t;
   tables : Material.tables;
   fi_beta : float;  (** single-material admittance for the FI kernels *)
-  engine : [ `Interp | `Jit ];
-  jit_cache : (string, Vgpu.Jit.compiled) Hashtbl.t;
+  engine : engine;
+  rt : Vgpu.Runtime.t;
   mutable launches : int;
 }
 
 val create :
-  ?engine:[ `Interp | `Jit ] ->
+  ?engine:engine ->
   ?fi_beta:float ->
   ?materials:Material.t array ->
   ?n_branches:int ->
@@ -27,8 +35,12 @@ val create :
   t
 
 val launch : t -> Kernel_ast.Cast.kernel -> unit
-(** Launch one kernel against the current state (JIT-cached by kernel
-    name).  @raise Failure on unknown parameter names. *)
+(** Launch one kernel against the current state (JIT-cached per kernel).
+    @raise Failure on unknown parameter names. *)
+
+val stats : t -> Vgpu.Runtime.stats
+(** Per-kernel launch statistics accumulated so far (see
+    {!Vgpu.Runtime.pp_stats}). *)
 
 val step : t -> Kernel_ast.Cast.kernel list -> unit
 (** One time step: run the kernels in order, then rotate the buffers. *)

@@ -98,7 +98,7 @@ and binop op va vb =
   | Sub -> arith ( - ) ( -. )
   | Mul -> arith ( * ) ( *. )
   | Div -> arith ( / ) ( /. )
-  | Mod -> Vi (as_int va mod as_int vb)
+  | Mod -> arith (fun x y -> x mod y) Float.rem (* C %, fmod on reals *)
   | Eq -> compare ( = )
   | Ne -> compare ( <> )
   | Lt -> compare ( < )

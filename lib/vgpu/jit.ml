@@ -272,6 +272,7 @@ and compile_real cenv (e : expr) : rt -> float =
       | Sub -> fun rt -> fa rt -. fb rt
       | Mul -> fun rt -> fa rt *. fb rt
       | Div -> fun rt -> fa rt /. fb rt
+      | Mod -> fun rt -> Float.rem (fa rt) (fb rt) (* C fmod *)
       | _ -> failwith "jit: non-arithmetic real binop")
   | Int_lit _ | Global_id _ | Global_size _ | Unop ((Not | To_int), _) ->
       failwith "jit: int expression in real context"
@@ -410,9 +411,10 @@ let compile (k : kernel) : compiled =
   in
   { kernel = k; bindings; n_ibuf = !n_ibuf; n_fbuf = !n_fbuf; make_rt; body }
 
-(* Launch a compiled kernel.  Buffers are shared with the caller (stores
-   are visible after the launch); scalars are copied into registers. *)
-let launch (c : compiled) ~(args : Args.t list) ~(global : int list) =
+(* Bind launch arguments into a fresh rt.  Buffers are shared with the
+   caller (stores are visible after the launch); scalars are copied into
+   registers. *)
+let bind (c : compiled) ~(args : Args.t list) ~(global : int list) : rt =
   if List.length args <> List.length c.kernel.params then
     invalid_arg
       (Printf.sprintf "vgpu jit: kernel %s expects %d args, got %d" c.kernel.name
@@ -434,10 +436,32 @@ let launch (c : compiled) ~(args : Args.t list) ~(global : int list) =
           invalid_arg
             (Printf.sprintf "vgpu jit: kernel %s: argument kind mismatch" c.kernel.name))
     c.bindings args;
+  rt
+
+(* A private copy of a bound rt for another domain: registers (scalar
+   arguments) are copied, global buffers are shared (safe because
+   generated kernels write disjoint locations — see [Exec]), private
+   arrays are fresh per domain as they are per work-item scratch. *)
+let clone_rt (c : compiled) (src : rt) : rt =
+  let rt = c.make_rt () in
+  Array.blit src.ir 0 rt.ir 0 (Array.length src.ir);
+  Array.blit src.fr 0 rt.fr 0 (Array.length src.fr);
+  Array.blit src.gsize 0 rt.gsize 0 3;
+  rt.ibuf <- Array.copy src.ibuf;
+  rt.fbuf <- Array.copy src.fbuf;
+  rt
+
+(* Run the kernel body over the NDRange with dimension [dim] restricted
+   to the half-open range [lo, hi); the other dimensions run in full.
+   The full global size stays visible through get_global_size. *)
+let run_range (c : compiled) (rt : rt) ~dim ~lo ~hi =
   let gx = rt.gsize.(0) and gy = rt.gsize.(1) and gz = rt.gsize.(2) in
-  for z = 0 to gz - 1 do
-    for y = 0 to gy - 1 do
-      for x = 0 to gx - 1 do
+  let x0, x1 = if dim = 0 then (lo, hi) else (0, gx) in
+  let y0, y1 = if dim = 1 then (lo, hi) else (0, gy) in
+  let z0, z1 = if dim = 2 then (lo, hi) else (0, gz) in
+  for z = z0 to z1 - 1 do
+    for y = y0 to y1 - 1 do
+      for x = x0 to x1 - 1 do
         rt.gid.(0) <- x;
         rt.gid.(1) <- y;
         rt.gid.(2) <- z;
@@ -445,3 +469,8 @@ let launch (c : compiled) ~(args : Args.t list) ~(global : int list) =
       done
     done
   done
+
+(* Launch a compiled kernel over the full NDRange, sequentially. *)
+let launch (c : compiled) ~(args : Args.t list) ~(global : int list) =
+  let rt = bind c ~args ~global in
+  run_range c rt ~dim:2 ~lo:0 ~hi:rt.gsize.(2)

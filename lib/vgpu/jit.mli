@@ -33,3 +33,24 @@ val launch : compiled -> args:Args.t list -> global:int list -> unit
     registers.
 
     @raise Invalid_argument on arity or argument-kind mismatch. *)
+
+(** {2 Partitioned execution}
+
+    Building blocks for parallel NDRange execution (see {!module:Pool}):
+    bind the launch arguments once, clone the bound state per domain,
+    then run disjoint chunks of one dimension from each clone. *)
+
+val bind : compiled -> args:Args.t list -> global:int list -> rt
+(** Resolve launch arguments into a fresh runtime state without
+    executing anything.
+
+    @raise Invalid_argument on arity or argument-kind mismatch. *)
+
+val clone_rt : compiled -> rt -> rt
+(** A private copy of a bound rt for another domain: scalar registers
+    are copied, global buffers stay shared (generated kernels write
+    disjoint locations), private arrays are fresh. *)
+
+val run_range : compiled -> rt -> dim:int -> lo:int -> hi:int -> unit
+(** Run the kernel body with NDRange dimension [dim] restricted to
+    [lo, hi) (half-open); other dimensions run in full. *)

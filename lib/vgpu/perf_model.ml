@@ -57,7 +57,7 @@ let group_efficiency (w : workload) ~flops =
   let ls = float_of_int (max 1 w.local_size) in
   let wave = 64. in
   let lane_eff = if ls >= wave then 1.0 else ls /. wave in
-  let groups = Float.max 1. (Float.round (w.active_points /. ls +. 0.5)) in
+  let groups = Float.max 1. (Float.ceil (w.active_points /. ls)) in
   let tail_eff = w.active_points /. (groups *. ls) in
   let pressure_eff =
     if ls > 128. && flops > 50. then 1. -. (0.1 *. (ls /. 256.)) else 1.0

@@ -1,0 +1,170 @@
+(* Persistent OCaml 5 domain pool for the virtual GPU.
+
+   Parallel NDRange execution in the KernelAbstractions shape: the
+   iteration space is partitioned along its outermost dimension into one
+   contiguous chunk per domain, and each domain runs the compiled kernel
+   body with its own [Jit.rt] instance (private registers and scratch
+   arrays), sharing only the global buffers.  That is safe because the
+   generated kernels write disjoint locations — the invariant documented
+   in [Exec] — so any schedule is observationally equivalent to the
+   sequential one, bit for bit.
+
+   Workers are spawned once and parked on a condition variable between
+   launches; kernel launches are millisecond-scale, so spawning a domain
+   per launch would dominate the runtime.  The pool grows on demand and
+   is shut down from at_exit so test binaries terminate cleanly. *)
+
+type worker = {
+  mutable dom : unit Domain.t option;
+  m : Mutex.t;
+  arrive : Condition.t; (* signals a job (or stop) to the worker *)
+  finish : Condition.t; (* signals completion to the submitter *)
+  mutable job : (unit -> unit) option;
+  mutable busy : bool;
+  mutable err : exn option;
+  mutable stop : bool;
+}
+
+type t = {
+  mutable workers : worker array;
+  grow : Mutex.t; (* guards pool growth and shutdown *)
+  use : Mutex.t;  (* serialises scatter/gather launch cycles *)
+}
+
+let worker_loop (w : worker) =
+  let rec loop () =
+    Mutex.lock w.m;
+    while w.job = None && not w.stop do
+      Condition.wait w.arrive w.m
+    done;
+    match w.job with
+    | None -> Mutex.unlock w.m (* stop requested *)
+    | Some f ->
+        Mutex.unlock w.m;
+        let err = try f (); None with e -> Some e in
+        Mutex.lock w.m;
+        w.job <- None;
+        w.err <- err;
+        w.busy <- false;
+        Condition.signal w.finish;
+        Mutex.unlock w.m;
+        loop ()
+  in
+  loop ()
+
+let spawn_worker () =
+  let w =
+    {
+      dom = None;
+      m = Mutex.create ();
+      arrive = Condition.create ();
+      finish = Condition.create ();
+      job = None;
+      busy = false;
+      err = None;
+      stop = false;
+    }
+  in
+  w.dom <- Some (Domain.spawn (fun () -> worker_loop w));
+  w
+
+let submit (w : worker) f =
+  Mutex.lock w.m;
+  w.busy <- true;
+  w.err <- None;
+  w.job <- Some f;
+  Condition.signal w.arrive;
+  Mutex.unlock w.m
+
+(* Wait for the worker's current job; return the exception it raised,
+   if any. *)
+let await (w : worker) =
+  Mutex.lock w.m;
+  while w.busy do
+    Condition.wait w.finish w.m
+  done;
+  let e = w.err in
+  w.err <- None;
+  Mutex.unlock w.m;
+  e
+
+let create () = { workers = [||]; grow = Mutex.create (); use = Mutex.create () }
+
+let size t = Array.length t.workers + 1 (* the caller is a worker too *)
+
+(* Grow the pool to at least [n] spawned workers. *)
+let ensure t n =
+  Mutex.lock t.grow;
+  let have = Array.length t.workers in
+  if have < n then
+    t.workers <- Array.append t.workers (Array.init (n - have) (fun _ -> spawn_worker ()));
+  Mutex.unlock t.grow
+
+let shutdown t =
+  Mutex.lock t.grow;
+  let ws = t.workers in
+  t.workers <- [||];
+  Mutex.unlock t.grow;
+  Array.iter
+    (fun w ->
+      Mutex.lock w.m;
+      w.stop <- true;
+      Condition.signal w.arrive;
+      Mutex.unlock w.m)
+    ws;
+  Array.iter (fun w -> Option.iter Domain.join w.dom) ws
+
+(* Run [f 0 .. f (n-1)] in parallel, [f 0] on the calling domain, and
+   wait for all of them.  Re-raises the first failure after every task
+   has completed, so buffers are never left mid-write by an early exit. *)
+let run t ~n f =
+  if n <= 1 then f 0
+  else begin
+    ensure t (n - 1);
+    Mutex.lock t.use;
+    let finally () = Mutex.unlock t.use in
+    (try
+       for i = 1 to n - 1 do
+         submit t.workers.(i - 1) (fun () -> f i)
+       done
+     with e -> finally (); raise e);
+    let err0 = try f 0; None with e -> Some e in
+    let errs = List.init (n - 1) (fun i -> await t.workers.(i)) in
+    finally ();
+    match List.filter_map Fun.id (err0 :: errs) with
+    | [] -> ()
+    | e :: _ -> raise e
+  end
+
+(* The shared pool used by [Runtime]'s [Jit_parallel] engine.  One pool
+   per process: domains are heavyweight, runtimes are not. *)
+let global = create ()
+
+let () = at_exit (fun () -> shutdown global)
+
+(* Partition dimension: the outermost NDRange dimension actually used —
+   the highest dimension with more than one work-item (the z loop runs
+   outermost in [Jit.run_range]); 1-D launches split dimension 0. *)
+let outer_dim (global_size : int list) =
+  let dims = Array.of_list global_size in
+  let d = ref 0 in
+  Array.iteri (fun i n -> if n > 1 then d := i) dims;
+  !d
+
+(* Launch a compiled kernel over [global] work-items using up to
+   [domains] domains from [pool] (default: the process-wide pool). *)
+let launch ?(pool = global) ~domains (c : Jit.compiled) ~(args : Args.t list)
+    ~(global : int list) =
+  let domains = max 1 domains in
+  if domains = 1 then Jit.launch c ~args ~global
+  else begin
+    let rt0 = Jit.bind c ~args ~global in
+    let dim = outer_dim global in
+    let extent = List.nth global dim in
+    let chunks = min domains extent in
+    if chunks <= 1 then Jit.run_range c rt0 ~dim ~lo:0 ~hi:extent
+    else
+      run pool ~n:chunks (fun i ->
+          let rt = if i = 0 then rt0 else Jit.clone_rt c rt0 in
+          Jit.run_range c rt ~dim ~lo:(i * extent / chunks) ~hi:((i + 1) * extent / chunks))
+  end

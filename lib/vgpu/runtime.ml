@@ -3,8 +3,9 @@
 
    Device memory is simulated as unified memory, so a transfer is a
    bookkeeping event (bytes counted for the transfer statistics) rather
-   than a copy; kernel launches dispatch to either the reference
-   interpreter or the JIT. *)
+   than a copy; kernel launches dispatch to the reference interpreter,
+   the JIT, or the domain-parallel JIT, and are timed per kernel for the
+   stats report. *)
 
 open Kernel_ast
 
@@ -27,21 +28,34 @@ type plan = op list
 type engine =
   | Interp
   | Jit
+  | Jit_parallel of { domains : int }
+
+type kernel_stats = {
+  mutable k_launches : int;
+  mutable total_s : float;
+  mutable min_s : float;
+  mutable max_s : float;
+  mutable arg_bytes : int;  (* buffer bytes bound across launches *)
+}
 
 type t = {
   buffers : (string, Buffer.t) Hashtbl.t;
-  jit_cache : (string, Jit.compiled) Hashtbl.t;
+  jit_cache : (string, Jit.compiled list) Hashtbl.t;
+  kstats : (string, kernel_stats) Hashtbl.t;
   engine : engine;
+  precision : Cast.precision;  (* element width of real transfers *)
   mutable launches : int;
   mutable h2d_bytes : int;
   mutable d2h_bytes : int;
 }
 
-let create ?(engine = Jit) () =
+let create ?(engine = Jit) ?(precision = Cast.Double) () =
   {
     buffers = Hashtbl.create 16;
     jit_cache = Hashtbl.create 8;
+    kstats = Hashtbl.create 8;
     engine;
+    precision;
     launches = 0;
     h2d_bytes = 0;
     d2h_bytes = 0;
@@ -61,34 +75,129 @@ let resolve_arg t = function
   | A_int i -> Args.Int_arg i
   | A_real r -> Args.Real_arg r
 
-let transfer_bytes buf =
+let real_bytes = function Cast.Single -> 4 | Cast.Double -> 8
+
+let transfer_bytes ~precision buf =
   match buf with
-  | Buffer.F a -> 8 * Array.length a
+  | Buffer.F a -> real_bytes precision * Array.length a
   | Buffer.I a -> 4 * Array.length a
+
+let ty_label = function Cast.Int -> "int" | Cast.Real -> "real"
+
+(* Find (or compile and cache) the JIT code for [kernel].  The cache is
+   keyed by name but keeps every distinct kernel value seen under that
+   name, so two kernels sharing a name do not evict each other on every
+   launch; lookup tries physical equality first, then structural. *)
+let jit_compiled t (kernel : Cast.kernel) =
+  let cached = Option.value ~default:[] (Hashtbl.find_opt t.jit_cache kernel.name) in
+  let hit =
+    match List.find_opt (fun c -> c.Jit.kernel == kernel) cached with
+    | Some _ as c -> c
+    | None -> List.find_opt (fun c -> c.Jit.kernel = kernel) cached
+  in
+  match hit with
+  | Some c -> c
+  | None ->
+      let c = Jit.compile kernel in
+      Hashtbl.replace t.jit_cache kernel.name (c :: cached);
+      c
+
+let kstat t name =
+  match Hashtbl.find_opt t.kstats name with
+  | Some s -> s
+  | None ->
+      let s =
+        { k_launches = 0; total_s = 0.; min_s = infinity; max_s = 0.; arg_bytes = 0 }
+      in
+      Hashtbl.replace t.kstats name s;
+      s
 
 let run_op t = function
   | Swap (a, b) ->
       let ba = buffer t a and bb = buffer t b in
       bind t a bb;
       bind t b ba
-  | Alloc { name; ty; elems } ->
-      if not (Hashtbl.mem t.buffers name) then bind t name (Buffer.create ty elems)
-  | Copy_to_gpu name -> t.h2d_bytes <- t.h2d_bytes + transfer_bytes (buffer t name)
-  | Copy_to_host name -> t.d2h_bytes <- t.d2h_bytes + transfer_bytes (buffer t name)
-  | Launch { kernel; args; global } -> (
+  | Alloc { name; ty; elems } -> (
+      match Hashtbl.find_opt t.buffers name with
+      | None -> bind t name (Buffer.create ty elems)
+      | Some b ->
+          (* Reusing a binding is the normal pattern across time steps,
+             but only if it matches the plan's allocation exactly —
+             anything else masks a plan bug. *)
+          if Buffer.ty b <> ty || Buffer.length b <> elems then
+            failwith
+              (Printf.sprintf
+                 "vgpu runtime: alloc %s: bound buffer is %d %s elements, plan wants %d %s"
+                 name (Buffer.length b)
+                 (ty_label (Buffer.ty b))
+                 elems (ty_label ty)))
+  | Copy_to_gpu name ->
+      t.h2d_bytes <- t.h2d_bytes + transfer_bytes ~precision:t.precision (buffer t name)
+  | Copy_to_host name ->
+      t.d2h_bytes <- t.d2h_bytes + transfer_bytes ~precision:t.precision (buffer t name)
+  | Launch { kernel; args; global } ->
       t.launches <- t.launches + 1;
       let args = List.map (resolve_arg t) args in
-      match t.engine with
+      let bytes =
+        List.fold_left
+          (fun acc -> function
+            | Args.Buf b -> acc + transfer_bytes ~precision:kernel.precision b
+            | Args.Int_arg _ | Args.Real_arg _ -> acc)
+          0 args
+      in
+      let t0 = Unix.gettimeofday () in
+      (match t.engine with
       | Interp -> Exec.launch kernel ~args ~global
-      | Jit ->
-          let compiled =
-            match Hashtbl.find_opt t.jit_cache kernel.name with
-            | Some c when c.Jit.kernel == kernel -> c
-            | _ ->
-                let c = Jit.compile kernel in
-                Hashtbl.replace t.jit_cache kernel.name c;
-                c
-          in
-          Jit.launch compiled ~args ~global)
+      | Jit -> Jit.launch (jit_compiled t kernel) ~args ~global
+      | Jit_parallel { domains } ->
+          Pool.launch ~domains (jit_compiled t kernel) ~args ~global);
+      let dt = Unix.gettimeofday () -. t0 in
+      let s = kstat t kernel.name in
+      s.k_launches <- s.k_launches + 1;
+      s.total_s <- s.total_s +. dt;
+      s.min_s <- Float.min s.min_s dt;
+      s.max_s <- Float.max s.max_s dt;
+      s.arg_bytes <- s.arg_bytes + bytes
 
 let run t (plan : plan) = List.iter (run_op t) plan
+
+(* -- Launch-level observability ------------------------------------- *)
+
+type stats = {
+  s_launches : int;
+  s_h2d_bytes : int;
+  s_d2h_bytes : int;
+  per_kernel : (string * kernel_stats) list;  (* sorted by kernel name *)
+}
+
+let stats t =
+  let per_kernel =
+    Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.kstats []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    s_launches = t.launches;
+    s_h2d_bytes = t.h2d_bytes;
+    s_d2h_bytes = t.d2h_bytes;
+    per_kernel;
+  }
+
+let reset_stats t =
+  Hashtbl.reset t.kstats;
+  t.launches <- 0;
+  t.h2d_bytes <- 0;
+  t.d2h_bytes <- 0
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf "launches %d, h2d %d B, d2h %d B@." s.s_launches s.s_h2d_bytes s.s_d2h_bytes;
+  Fmt.pf ppf "%-28s %8s %10s %10s %10s %10s %12s@." "kernel" "launches" "total ms"
+    "min ms" "mean ms" "max ms" "MB bound";
+  List.iter
+    (fun (name, k) ->
+      let mean = if k.k_launches = 0 then 0. else k.total_s /. float_of_int k.k_launches in
+      Fmt.pf ppf "%-28s %8d %10.3f %10.3f %10.3f %10.3f %12.2f@." name k.k_launches
+        (k.total_s *. 1e3)
+        ((if k.min_s = infinity then 0. else k.min_s) *. 1e3)
+        (mean *. 1e3) (k.max_s *. 1e3)
+        (float_of_int k.arg_bytes /. 1e6))
+    s.per_kernel

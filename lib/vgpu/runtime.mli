@@ -3,7 +3,8 @@
 
     Device memory is simulated as unified memory, so a transfer is a
     bookkeeping event (bytes counted) rather than a copy; launches
-    dispatch to the interpreter or the JIT. *)
+    dispatch to the interpreter, the JIT, or the domain-parallel JIT
+    ({!module:Pool}), and are timed per kernel ({!stats}). *)
 
 type arg =
   | A_buf of string  (** resolved against the runtime's buffer table *)
@@ -22,19 +23,38 @@ type op =
 type plan = op list
 
 type engine =
-  | Interp
-  | Jit
+  | Interp  (** reference interpreter *)
+  | Jit  (** closure-compiling JIT, sequential *)
+  | Jit_parallel of { domains : int }
+      (** JIT with the NDRange partitioned over [domains] OCaml domains
+          from {!Pool.global} *)
+
+type kernel_stats = {
+  mutable k_launches : int;
+  mutable total_s : float;
+  mutable min_s : float;
+  mutable max_s : float;
+  mutable arg_bytes : int;
+      (** bytes of buffer arguments bound across launches, at the
+          kernel's precision *)
+}
 
 type t = {
   buffers : (string, Buffer.t) Hashtbl.t;
-  jit_cache : (string, Jit.compiled) Hashtbl.t;
+  jit_cache : (string, Jit.compiled list) Hashtbl.t;
+  kstats : (string, kernel_stats) Hashtbl.t;
   engine : engine;
+  precision : Kernel_ast.Cast.precision;
+      (** element width used for real-buffer transfer accounting *)
   mutable launches : int;
   mutable h2d_bytes : int;
   mutable d2h_bytes : int;
 }
 
-val create : ?engine:engine -> unit -> t
+val create : ?engine:engine -> ?precision:Kernel_ast.Cast.precision -> unit -> t
+(** [precision] (default [Double]) sets how many bytes a real element
+    counts for in the transfer statistics: 4 in single precision, 8 in
+    double, matching the paper's traffic model. *)
 
 val bind : t -> string -> Buffer.t -> unit
 (** Bind an input buffer by name before running a plan. *)
@@ -45,4 +65,25 @@ val buffer : t -> string -> Buffer.t
 val buffer_opt : t -> string -> Buffer.t option
 
 val run_op : t -> op -> unit
+(** @raise Failure if an [Alloc] reuses a binding whose element count or
+    type differs from the plan's allocation. *)
+
 val run : t -> plan -> unit
+
+(** {2 Launch-level observability} *)
+
+type stats = {
+  s_launches : int;
+  s_h2d_bytes : int;
+  s_d2h_bytes : int;
+  per_kernel : (string * kernel_stats) list;  (** sorted by kernel name *)
+}
+
+val stats : t -> stats
+(** Snapshot of the counters: total launches, transfer bytes, and
+    per-kernel launch count / wall time (total, min, mean via total,
+    max) / buffer bytes bound. *)
+
+val reset_stats : t -> unit
+
+val pp_stats : Format.formatter -> stats -> unit

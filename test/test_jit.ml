@@ -214,6 +214,47 @@ let test_arity_mismatch () =
   | exception Invalid_argument _ -> ()
   | () -> Alcotest.fail "expected kind mismatch error"
 
+(* Regression: real-typed Mod.  The interpreter used to truncate both
+   operands to int; the JIT compiled real operands through the float
+   path.  Both now agree on C fmod semantics (truncated division,
+   result carries the sign of the dividend), and int Mod still matches
+   C's %. *)
+let test_real_mod_semantics () =
+  let k ty a b =
+    let lit x = if ty = Real then Real_lit x else Int_lit (int_of_float x) in
+    {
+      name = "modk";
+      precision = Double;
+      params = [ param "out" Real ];
+      global_size = [ Int_lit 1 ];
+      body =
+        [ Store ("out", Int_lit 0,
+                 (if ty = Real then Binop (Mod, lit a, lit b)
+                  else Unop (To_real, Binop (Mod, lit a, lit b)))) ];
+    }
+  in
+  let run launch kernel =
+    let out = Array.make 1 nan in
+    launch kernel [ Vgpu.Args.Buf (Vgpu.Buffer.F out) ];
+    out.(0)
+  in
+  let interp k = run (fun k args -> Vgpu.Exec.launch k ~args ~global:[ 1 ]) k in
+  let jit k = run (fun k args -> Vgpu.Jit.launch (Vgpu.Jit.compile k) ~args ~global:[ 1 ]) k in
+  (* fmod reference cases, incl. sign of dividend and fractional operands *)
+  List.iter
+    (fun (a, b, expect) ->
+      let kr = k Real a b in
+      Alcotest.(check (float 1e-15)) (Printf.sprintf "interp fmod(%g,%g)" a b) expect (interp kr);
+      Alcotest.(check (float 1e-15)) (Printf.sprintf "jit fmod(%g,%g)" a b) expect (jit kr))
+    [ (7.5, 2., 1.5); (-7.5, 2., -1.5); (7.5, -2., 1.5); (5.25, 1.5, 0.75); (6., 3., 0.) ];
+  (* int Mod keeps C % semantics in both engines *)
+  List.iter
+    (fun (a, b, expect) ->
+      let ki = k Int a b in
+      Alcotest.(check (float 0.)) (Printf.sprintf "interp %g %% %g" a b) expect (interp ki);
+      Alcotest.(check (float 0.)) (Printf.sprintf "jit %g %% %g" a b) expect (jit ki))
+    [ (7., 2., 1.); (-7., 2., -1.); (7., -2., 1.) ]
+
 let test_single_precision_store_rounding () =
   let k precision =
     {
@@ -237,5 +278,6 @@ let suite =
     Alcotest.test_case "loops and private arrays" `Quick test_loop_and_private_array;
     Alcotest.test_case "scalar args and 3d ndrange" `Quick test_scalar_args_and_3d;
     Alcotest.test_case "arity and kind mismatches" `Quick test_arity_mismatch;
+    Alcotest.test_case "real Mod is C fmod in both engines" `Quick test_real_mod_semantics;
     Alcotest.test_case "single-precision store rounding" `Quick test_single_precision_store_rounding;
   ]

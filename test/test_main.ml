@@ -11,6 +11,7 @@ let () =
       ("golden kernels", Test_golden.suite);
       ("edges", Test_edges.suite);
       ("jit", Test_jit.suite);
+      ("parallel engines", Test_parallel.suite);
       ("analysis", Test_analysis.suite);
       ("perf model", Test_perf_model.suite);
       ("material", Test_material.suite);

@@ -1,0 +1,165 @@
+(* Cross-validation of the domain-parallel JIT backend.
+
+   The three paper workloads (FI, FI-MM, FD-MM) run through the
+   reference interpreter, the sequential JIT and the parallel JIT with
+   1/2/4 domains, in both precisions, and every engine must produce
+   bit-for-bit identical buffers — the invariant that makes the pool's
+   schedule unobservable.  A property-style test does the same on random
+   kernels whose stores are forced to the work-item's own slot (the
+   disjoint-writes invariant parallel execution relies on). *)
+
+open Kernel_ast.Cast
+open Acoustics
+
+let params = Params.default
+let dims = Geometry.dims ~nx:14 ~ny:12 ~nz:10
+
+let engines : (string * Gpu_sim.engine) list =
+  [
+    ("interp", `Interp);
+    ("jit", `Jit);
+    ("jit-parallel-1", `Jit_parallel 1);
+    ("jit-parallel-2", `Jit_parallel 2);
+    ("jit-parallel-4", `Jit_parallel 4);
+  ]
+
+let betas = (Material.tables ~n_branches:3 Material.defaults).Material.t_beta
+
+let kernels_of scheme precision =
+  match scheme with
+  | `Fi -> [ Hand_kernels.fused_fi ~precision ]
+  | `Fi_mm ->
+      [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fi_mm ~precision ~betas ]
+  | `Fd_mm ->
+      [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fd_mm ~precision ~mb:3 ]
+
+let run_engine ~engine ~kernels =
+  let room = Geometry.build ~n_materials:4 Geometry.Box dims in
+  let sim = Gpu_sim.create ~engine ~fi_beta:0.2 ~n_branches:3 params room in
+  let cx, cy, cz = State.centre sim.Gpu_sim.state in
+  State.add_impulse sim.Gpu_sim.state ~x:cx ~y:cy ~z:cz;
+  for _ = 1 to 6 do
+    Gpu_sim.step sim kernels
+  done;
+  sim.Gpu_sim.state
+
+let check_bits msg (a : float array) (b : float array) =
+  Alcotest.(check int) (msg ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if not (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float b.(i))) then
+        Alcotest.failf "%s: index %d differs bit-for-bit: %.17g vs %.17g" msg i x b.(i))
+    a
+
+let test_engines_bit_identical () =
+  List.iter
+    (fun (scheme_label, scheme) ->
+      List.iter
+        (fun precision ->
+          let kernels = kernels_of scheme precision in
+          let reference = run_engine ~engine:`Interp ~kernels in
+          List.iter
+            (fun (engine_label, engine) ->
+              let st = run_engine ~engine ~kernels in
+              let msg p =
+                Printf.sprintf "%s %s %s vs interp (%s)" scheme_label
+                  (match precision with Single -> "single" | Double -> "double")
+                  engine_label p
+              in
+              check_bits (msg "curr") reference.State.curr st.State.curr;
+              check_bits (msg "prev") reference.State.prev st.State.prev;
+              check_bits (msg "g1") reference.State.g1 st.State.g1;
+              check_bits (msg "vel") reference.State.vel_prev st.State.vel_prev)
+            engines)
+        [ Double; Single ])
+    [ ("fi", `Fi); ("fi-mm", `Fi_mm); ("fd-mm", `Fd_mm) ]
+
+(* Random kernels: reuse the test_jit generator but redirect every store
+   to out[gid], so work-items write disjoint locations and any parallel
+   schedule must agree with the sequential JIT bit-for-bit. *)
+let rec disjoint_stmt (s : stmt) =
+  match s with
+  | Store ("out", _, e) -> Store ("out", Var "gid", e)
+  | If (c, t, f) -> If (c, List.map disjoint_stmt t, List.map disjoint_stmt f)
+  | For l -> For { l with body = List.map disjoint_stmt l.body }
+  | Comment _ | Assign _ | Store _ | Decl _ | Decl_arr _ -> s
+
+let arb_disjoint_kernel =
+  QCheck.map
+    (fun k -> { k with body = List.map disjoint_stmt k.body })
+    Test_jit.arb_kernel
+
+let n_elems = 8
+
+let run_one launch k =
+  let a = Array.init n_elems (fun i -> float_of_int i /. 2.) in
+  let out = Array.make n_elems 0. in
+  let idx = Array.init n_elems (fun i -> i * 3 mod n_elems) in
+  launch k
+    [ Vgpu.Args.Buf (Vgpu.Buffer.F a); Buf (Vgpu.Buffer.F out); Buf (Vgpu.Buffer.I idx) ];
+  out
+
+let qcheck_parallel_matches_jit =
+  QCheck.Test.make ~name:"parallel jit == sequential jit on random kernels" ~count:300
+    arb_disjoint_kernel (fun k ->
+      let seq =
+        run_one (fun k args -> Vgpu.Jit.launch (Vgpu.Jit.compile k) ~args ~global:[ n_elems ]) k
+      in
+      List.for_all
+        (fun domains ->
+          let par =
+            run_one
+              (fun k args ->
+                Vgpu.Pool.launch ~domains (Vgpu.Jit.compile k) ~args ~global:[ n_elems ])
+              k
+          in
+          Array.for_all2
+            (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+            seq par)
+        [ 2; 3 ])
+
+(* The pool partitions the *outermost* used dimension and must cover the
+   NDRange exactly once, including when domains exceed its extent. *)
+let test_partition_covers_ndrange () =
+  let k =
+    {
+      name = "count";
+      precision = Double;
+      params = [ param "out" Real ];
+      global_size = [ Int_lit 4; Int_lit 3; Int_lit 5 ];
+      body =
+        [
+          Decl
+            ( Int,
+              "lin",
+              Some
+                (Binop
+                   ( Add,
+                     Binop (Add, Global_id 0, Binop (Mul, Global_id 1, Int_lit 4)),
+                     Binop (Mul, Global_id 2, Int_lit 12) )) );
+          Store
+            ("out", Var "lin", Binop (Add, Load ("out", Var "lin"), Real_lit 1.));
+        ];
+    }
+  in
+  List.iter
+    (fun domains ->
+      let out = Array.make 60 0. in
+      Vgpu.Pool.launch ~domains (Vgpu.Jit.compile k)
+        ~args:[ Buf (Vgpu.Buffer.F out) ]
+        ~global:[ 4; 3; 5 ];
+      Array.iteri
+        (fun i v ->
+          if v <> 1. then
+            Alcotest.failf "domains=%d: point %d visited %.0f times" domains i v)
+        out)
+    [ 1; 2; 4; 7; 16 ]
+
+let suite =
+  [
+    Alcotest.test_case "FI/FI-MM/FD-MM bit-identical across engines" `Slow
+      test_engines_bit_identical;
+    QCheck_alcotest.to_alcotest qcheck_parallel_matches_jit;
+    Alcotest.test_case "partition covers the NDRange exactly once" `Quick
+      test_partition_covers_ndrange;
+  ]

@@ -133,6 +133,25 @@ let suite =
     Alcotest.test_case "compute-bound switch" `Quick test_compute_bound_switch;
   ]
 
+(* Regression: exact-multiple launches have no tail group.  The old
+   [round (x +. 0.5)] charged a phantom empty group for
+   active_points = k * local_size (128/128 -> round 1.5 -> 2 groups),
+   halving the efficiency. *)
+let test_group_efficiency_exact_multiple () =
+  List.iter
+    (fun (active, ls) ->
+      let w = Vgpu.Perf_model.workload ~local_size:ls ~active_points:active () in
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "active=%g ls=%d has no tail" active ls)
+        1.0
+        (Vgpu.Perf_model.group_efficiency w ~flops:10.))
+    [ (128., 128); (256., 128); (64., 64); (1024., 256); (12800., 128) ];
+  (* one extra point spills into a real tail group *)
+  let w = Vgpu.Perf_model.workload ~local_size:128 ~active_points:129. () in
+  Alcotest.(check (float 1e-12))
+    "129/128 pays a second group" (129. /. 256.)
+    (Vgpu.Perf_model.group_efficiency w ~flops:10.)
+
 (* Work-group size effects and the tuning protocol (paper §VI). *)
 let test_group_size_effects () =
   let w ls active = Vgpu.Perf_model.workload ~local_size:ls ~active_points:active () in
@@ -166,6 +185,8 @@ let test_tuner () =
 let suite =
   suite
   @ [
+      Alcotest.test_case "no phantom tail group on exact multiples" `Quick
+        test_group_efficiency_exact_multiple;
       Alcotest.test_case "work-group size effects" `Quick test_group_size_effects;
       Alcotest.test_case "tuning protocol" `Quick test_tuner;
     ]

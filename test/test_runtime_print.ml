@@ -57,6 +57,75 @@ let test_runtime_plan () =
           global = [ 2 ] } ];
   Alcotest.(check (list (float 0.))) "interp engine" [ 3.; 6. ] (Array.to_list data2)
 
+(* Alloc reuse must be validated: rebinding a name is fine only when the
+   existing buffer matches the plan's element type and count. *)
+let test_alloc_validation () =
+  let rt = Vgpu.Runtime.create () in
+  let alloc ?(name = "s") ty elems = Vgpu.Runtime.Alloc { name; ty; elems } in
+  (* first alloc, then an identical one reusing the binding *)
+  Vgpu.Runtime.run rt [ alloc Cast.Real 8; alloc Cast.Real 8 ];
+  let b = Vgpu.Runtime.buffer rt "s" in
+  Vgpu.Runtime.run rt [ alloc Cast.Real 8 ];
+  Alcotest.(check bool) "matching alloc reuses the buffer" true (b == Vgpu.Runtime.buffer rt "s");
+  (* size mismatch rejected *)
+  (match Vgpu.Runtime.run rt [ alloc Cast.Real 16 ] with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "size-mismatched alloc reuse accepted");
+  (* type mismatch rejected *)
+  match Vgpu.Runtime.run rt [ alloc Cast.Int 8 ] with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "type-mismatched alloc reuse accepted"
+
+(* Transfers are costed at the runtime's precision: a single-precision
+   GPU moves 4 bytes per real element, not 8. *)
+let test_transfer_precision () =
+  let count precision =
+    let rt = Vgpu.Runtime.create ~precision () in
+    Vgpu.Runtime.bind rt "a" (Vgpu.Buffer.F (Array.make 6 0.));
+    Vgpu.Runtime.bind rt "i" (Vgpu.Buffer.I (Array.make 6 0));
+    Vgpu.Runtime.run rt
+      [ Vgpu.Runtime.Copy_to_gpu "a"; Vgpu.Runtime.Copy_to_gpu "i";
+        Vgpu.Runtime.Copy_to_host "a" ];
+    (rt.Vgpu.Runtime.h2d_bytes, rt.Vgpu.Runtime.d2h_bytes)
+  in
+  Alcotest.(check (pair int int)) "double: 8B reals + 4B ints"
+    ((6 * 8) + (6 * 4), 6 * 8)
+    (count Cast.Double);
+  Alcotest.(check (pair int int)) "single: 4B reals + 4B ints"
+    ((6 * 4) + (6 * 4), 6 * 4)
+    (count Cast.Single)
+
+(* Per-kernel launch stats accumulate and reset. *)
+let test_launch_stats () =
+  let rt = Vgpu.Runtime.create () in
+  let data = Array.make 4 1. in
+  Vgpu.Runtime.bind rt "a" (Vgpu.Buffer.F data);
+  let launch =
+    Vgpu.Runtime.Launch
+      {
+        kernel = double_kernel;
+        args = [ Vgpu.Runtime.A_buf "a"; Vgpu.Runtime.A_real 2.; Vgpu.Runtime.A_int 4 ];
+        global = [ 4 ];
+      }
+  in
+  Vgpu.Runtime.run rt [ launch; launch; launch ];
+  let s = Vgpu.Runtime.stats rt in
+  Alcotest.(check int) "total launches" 3 s.Vgpu.Runtime.s_launches;
+  (match s.Vgpu.Runtime.per_kernel with
+  | [ (name, ks) ] ->
+      Alcotest.(check string) "kernel name" "scale" name;
+      Alcotest.(check int) "per-kernel launches" 3 ks.Vgpu.Runtime.k_launches;
+      Alcotest.(check int) "bytes bound (double)" (3 * 4 * 8) ks.Vgpu.Runtime.arg_bytes;
+      Alcotest.(check bool) "min <= max" true (ks.Vgpu.Runtime.min_s <= ks.Vgpu.Runtime.max_s);
+      Alcotest.(check bool) "total >= max" true (ks.Vgpu.Runtime.total_s >= ks.Vgpu.Runtime.max_s)
+  | l -> Alcotest.failf "expected one kernel entry, got %d" (List.length l));
+  (* pp_stats renders without raising *)
+  ignore (Fmt.str "%a" Vgpu.Runtime.pp_stats s);
+  Vgpu.Runtime.reset_stats rt;
+  let s = Vgpu.Runtime.stats rt in
+  Alcotest.(check int) "reset clears launches" 0 s.Vgpu.Runtime.s_launches;
+  Alcotest.(check int) "reset clears kernels" 0 (List.length s.Vgpu.Runtime.per_kernel)
+
 let test_printer () =
   let src = Print.kernel_to_string double_kernel in
   List.iter
@@ -195,6 +264,9 @@ let test_harness_agreement () =
 let suite =
   [
     Alcotest.test_case "runtime plan execution" `Quick test_runtime_plan;
+    Alcotest.test_case "alloc reuse validation" `Quick test_alloc_validation;
+    Alcotest.test_case "precision-aware transfer accounting" `Quick test_transfer_precision;
+    Alcotest.test_case "per-kernel launch stats" `Quick test_launch_stats;
     Alcotest.test_case "OpenCL printer" `Quick test_printer;
     Alcotest.test_case "expression simplifier" `Quick test_simplify_examples;
     Alcotest.test_case "standalone C emitter" `Quick test_emit_c;
