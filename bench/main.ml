@@ -265,6 +265,69 @@ let run_parallel_speedup () =
       Fmt.pr "@.%a" Vgpu.Runtime.pp_stats (Gpu_sim.stats par_sim)
   | None -> ())
 
+(* Z-sharded multi-device execution: the grid cut into slabs along Z,
+   one virtual device per slab, ghost planes exchanged every step.
+   Verifies the sharded grid is bit-identical to the single-device JIT
+   after the same number of steps, then reports wall-clock per step,
+   total halo traffic, and the analytic model's view of the split. *)
+let run_shard_scaling () =
+  Printf.printf "\n== Z-sharded multi-device execution (virtual) ==\n";
+  let dims = Geometry.dims ~nx:96 ~ny:80 ~nz:64 in
+  let kernels =
+    [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fd_mm ~precision ~mb:3 ]
+  in
+  let steps = 5 in
+  let make ?shards () =
+    let room = Geometry.build ~n_materials:4 Geometry.Box dims in
+    let sim = Gpu_sim.create ~engine:`Jit ?shards ~fi_beta:0.1 ~n_branches:3 params room in
+    let cx, cy, cz = State.centre sim.Gpu_sim.state in
+    State.add_impulse sim.Gpu_sim.state ~x:cx ~y:cy ~z:cz;
+    Gpu_sim.step sim kernels;
+    (* warm-up: JIT compile + scatter *)
+    sim
+  in
+  let measure sim =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to steps do
+      Gpu_sim.step sim kernels
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int steps
+  in
+  let base = make () in
+  let t_base = measure base in
+  Printf.printf "room %dx%dx%d, fd-mm step, %d reps\n" dims.Geometry.nx dims.Geometry.ny
+    dims.Geometry.nz steps;
+  Printf.printf "%-24s %10.3f ms/step\n" "jit, single device" (t_base *. 1e3);
+  List.iter
+    (fun shards ->
+      let sim = make ~shards () in
+      let t = measure sim in
+      Gpu_sim.sync sim;
+      let same =
+        Array.for_all2
+          (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+          base.Gpu_sim.state.State.curr sim.Gpu_sim.state.State.curr
+      in
+      let s = Gpu_sim.stats sim in
+      Printf.printf
+        "%-24s %10.3f ms/step   speedup x%.2f   halo %6.2f MB   bit-identical %b\n"
+        (Printf.sprintf "jit, %d shards" shards)
+        (t *. 1e3) (t_base /. t)
+        (float_of_int s.Vgpu.Runtime.s_d2d_bytes /. 1e6)
+        same)
+    [ 1; 2; 4 ];
+  (* the analytic model's view of the same split (volume kernel) *)
+  let w = Harness.Workloads.workload Harness.Workloads.Volume Geometry.Box dims in
+  let k = Hand_kernels.volume ~precision in
+  List.iter
+    (fun shards ->
+      Printf.printf "model (volume, gtx780): %d shard(s) %8.3f ms/step\n" shards
+        (Vgpu.Perf_model.predict_sharded Vgpu.Device.gtx780 k w
+           ~plane_elems:(dims.Geometry.nx * dims.Geometry.ny)
+           ~shards
+        *. 1e3))
+    [ 1; 2; 4 ]
+
 (* Work-group size tuning, as the paper's protocol requires (§VI). *)
 let run_tuning_table () =
   Printf.printf
@@ -304,5 +367,6 @@ let () =
     bench_dims.Geometry.ny bench_dims.Geometry.nz;
   run_benchmarks ();
   run_parallel_speedup ();
+  run_shard_scaling ();
   run_ablations ();
   run_tuning_table ()

@@ -62,7 +62,7 @@ let cmd_kernels precision =
 (* ------------------------------------------------------------------ *)
 (* racs simulate *)
 
-let cmd_simulate shape nx ny nz scheme steps backend engine domains show_stats =
+let cmd_simulate shape nx ny nz scheme steps backend engine domains shards show_stats =
   let params = Params.default in
   let dims = Geometry.dims ~nx ~ny ~nz in
   let n_materials = Array.length Material.defaults in
@@ -97,25 +97,30 @@ let cmd_simulate shape nx ny nz scheme steps backend engine domains show_stats =
     | `Jit -> `Jit
     | `Jit_parallel -> `Jit_parallel domains
   in
-  let sim = Gpu_sim.create ~engine ~fi_beta:0.1 ~n_branches:3 params room in
+  let shards = if shards > 0 then Some shards else None in
+  let sim = Gpu_sim.create ~engine ?shards ~fi_beta:0.1 ~n_branches:3 params room in
   let cx, cy, cz = State.centre sim.Gpu_sim.state in
   State.add_impulse sim.Gpu_sim.state ~x:cx ~y:cy ~z:cz;
   let rx = cx + ((nx - 2) / 4) in
   let response = Gpu_sim.run sim kernels ~steps ~receiver:(rx, cy, cz) in
-  Printf.printf "room %s %dx%dx%d, %d boundary points, %d steps (%s kernels, %s engine)\n"
+  Gpu_sim.sync sim;
+  Printf.printf "room %s %dx%dx%d, %d boundary points, %d steps (%s kernels, %s engine%s)\n"
     (Geometry.shape_label shape) nx ny nz (Geometry.n_boundary room) steps
     (match backend with `Hand -> "hand-written" | `Lift -> "lift-generated")
     (match engine with
     | `Interp -> "interp"
     | `Jit -> "jit"
-    | `Jit_parallel d -> Printf.sprintf "jit-parallel[%d]" d);
+    | `Jit_parallel d -> Printf.sprintf "jit-parallel[%d]" d)
+    (match shards with
+    | None -> ""
+    | Some _ -> Printf.sprintf ", %d Z-shards" (Gpu_sim.n_shards sim));
   Printf.printf "receiver at (%d,%d,%d); first samples:\n " rx cy cz;
   Array.iteri (fun i v -> if i < 12 then Printf.printf " %+.5f" v) response;
   let e = Energy.kinetic_energy sim.Gpu_sim.state in
   Printf.printf "\nfinal kinetic energy %.6g, dc offset %.6g, peak |u| %.4f\n" e
     (Energy.dc_offset sim.Gpu_sim.state)
     (Energy.max_abs sim.Gpu_sim.state.State.curr);
-  if show_stats then Fmt.pr "\n%a" Vgpu.Runtime.pp_stats (Gpu_sim.stats sim)
+  if show_stats then Fmt.pr "\n%a" Gpu_sim.pp_stats sim
 
 (* ------------------------------------------------------------------ *)
 (* racs experiments *)
@@ -177,9 +182,32 @@ let listing5_compiled () =
   in
   Lift.Host.compile ~precision:Kernel_ast.Cast.Double ~sizes program
 
-let cmd_host_demo () =
-  let compiled = listing5_compiled () in
-  Printf.printf "/* host program (paper Listing 5) */\n%s\n" compiled.Lift.Host.source;
+(* Listing 5 extended to two virtual devices: per-shard kernel launches
+   plus the halo exchange of the freshly written next ghost planes. *)
+let sharded_host_compiled () =
+  let dims = Geometry.dims ~nx:64 ~ny:48 ~nz:40 in
+  let room = Geometry.build ~n_materials:4 Geometry.Box dims in
+  let plan = Shard.plan ~shards:2 room in
+  let sh0 = plan.Shard.shards.(0) in
+  let params = Params.default in
+  let prog =
+    Lift_acoustics.Programs.sharded_fi_step_host ~nx:dims.Geometry.nx
+      ~ny:dims.Geometry.ny
+      ~slab_planes:(sh0.Shard.z1 - sh0.Shard.z0)
+      ~l:(Params.l params) ~l2:(Params.l2 params) ~beta:0.1 ()
+  in
+  let sizes = function
+    | "N" -> Some sh0.Shard.local_n
+    | "nB" -> Some sh0.Shard.n_b
+    | _ -> None
+  in
+  Lift.Host.compile ~precision:Kernel_ast.Cast.Double ~sizes prog
+
+let cmd_host_demo sharded =
+  let compiled = if sharded then sharded_host_compiled () else listing5_compiled () in
+  Printf.printf "/* host program (%s) */\n%s\n"
+    (if sharded then "Z-sharded two-device FI step" else "paper Listing 5")
+    compiled.Lift.Host.source;
   List.iter
     (fun (c : Lift.Codegen.compiled) ->
       Printf.printf "%s\n" (Kernel_ast.Print.kernel_to_string c.Lift.Codegen.kernel))
@@ -276,13 +304,19 @@ let simulate_cmd =
       & opt int (Domain.recommended_domain_count ())
       & info [ "domains" ] ~doc:"domains for --engine jit-parallel")
   in
+  let shards =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ]
+          ~doc:"Z-shard the grid over this many virtual devices (0 = single device)")
+  in
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"print per-kernel launch statistics")
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run an impulse-response simulation")
     Term.(
       const cmd_simulate $ shape $ nx $ ny $ nz $ scheme $ steps $ backend $ engine
-      $ domains $ stats)
+      $ domains $ shards $ stats)
 
 let experiments_cmd =
   let which = Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT") in
@@ -292,8 +326,13 @@ let experiments_cmd =
     Term.(const cmd_experiments $ which)
 
 let host_demo_cmd =
+  let sharded =
+    Arg.(
+      value & flag
+      & info [ "sharded" ] ~doc:"show the Z-sharded two-device step instead")
+  in
   Cmd.v (Cmd.info "host-demo" ~doc:"Show the compiled host program of paper Listing 5")
-    Term.(const cmd_host_demo $ const ())
+    Term.(const cmd_host_demo $ sharded)
 
 let tune_cmd =
   let shape = Arg.(value & opt shape_conv Geometry.Box & info [ "shape" ] ~doc:"box, dome or l-shape") in

@@ -12,7 +12,29 @@
 
    The per-step kernel sequence is the paper's two-kernel structure:
    volume handling first, boundary handling second, then buffer rotation
-   on the host. *)
+   on the host.
+
+   Two backends:
+
+   - [Single]: one virtual device holding the global arrays — the
+     original driver.
+   - [Sharded] ([create ~shards:n]): the grid is cut into Z slabs
+     ({!Shard.plan}), each slab running on its own device of a
+     {!Vgpu.Multi}.  Scalars re-resolve per shard (N, Nz, nB become the
+     local extents) and the grid/boundary buffers come from the
+     shard-local state; after the kernels of a step, adjacent shards
+     exchange the freshly written ghost planes of [next], then each
+     shard rotates locally.  Shards step concurrently through
+     {!Vgpu.Pool} — except under the [`Jit_parallel] engine, which
+     already occupies the pool inside each launch (its launch cycle is
+     exclusive, so nesting would deadlock).  The results are bit-for-bit
+     identical to the single-device run; [sync] gathers the slabs back
+     into [state].
+
+   The schemes that shard are the nbrs-driven ones (volume +
+   boundary_fi / boundary_fi_mm / boundary_fd_mm).  The fused Listing-1
+   kernel derives its boundary mask from global coordinates and is only
+   correct on the full grid. *)
 
 open Kernel_ast.Cast
 
@@ -21,13 +43,23 @@ type engine =
   | `Jit  (** sequential JIT *)
   | `Jit_parallel of int  (** JIT over this many OCaml domains *) ]
 
+type backend =
+  | Single of Vgpu.Runtime.t
+  | Sharded of {
+      multi : Vgpu.Multi.t;
+      plan : Shard.plan;
+      sstates : Shard.shard_state array;
+      concurrent : bool;  (* step the shards through the domain pool *)
+      mutable scattered : bool;  (* state has been distributed to the shards *)
+    }
+
 type t = {
   params : Params.t;
   state : State.t;
   tables : Material.tables;
   fi_beta : float;  (* single-material admittance for the FI kernels *)
   engine : engine;
-  rt : Vgpu.Runtime.t;
+  backend : backend;
   mutable launches : int;
 }
 
@@ -37,16 +69,35 @@ let runtime_engine : engine -> Vgpu.Runtime.engine = function
   | `Jit_parallel domains -> Vgpu.Runtime.Jit_parallel { domains }
 
 let create ?(engine = `Jit) ?(fi_beta = 0.1) ?(materials = Material.defaults)
-    ?(n_branches = 3) params room =
+    ?(n_branches = 3) ?shards ?(precision = Double) params room =
+  let re = runtime_engine engine in
+  let backend =
+    match shards with
+    | None -> Single (Vgpu.Runtime.create ~engine:re ~precision ())
+    | Some n ->
+        let plan = Shard.plan ~n_branches ~shards:n room in
+        let devices = Shard.n_shards plan in
+        Sharded
+          {
+            multi = Vgpu.Multi.create ~engine:re ~precision ~devices ();
+            plan;
+            sstates = Shard.create_states plan;
+            concurrent = (match engine with `Jit_parallel _ -> false | _ -> true);
+            scattered = false;
+          }
+  in
   {
     params;
     state = State.create ~n_branches room;
     tables = Material.tables ~n_branches materials;
     fi_beta;
     engine;
-    rt = Vgpu.Runtime.create ~engine:(runtime_engine engine) ();
+    backend;
     launches = 0;
   }
+
+let n_shards t =
+  match t.backend with Single _ -> 1 | Sharded s -> Shard.n_shards s.plan
 
 let scalar_int t name =
   let { Geometry.nx; ny; nz } = t.state.room.Geometry.dims in
@@ -61,6 +112,16 @@ let scalar_int t name =
   | "NM" -> Array.length t.tables.Material.t_beta
   | _ -> failwith (Printf.sprintf "gpu_sim: unknown int scalar %s" name)
 
+(* Per-shard scalars: the grid extents become the local slab's (owned
+   planes + 2 ghosts), the boundary count becomes the shard's range. *)
+let scalar_int_shard t (sh : Shard.shard) name =
+  match name with
+  | "Nz" -> sh.Shard.planes
+  | "NxNy" -> sh.Shard.plane
+  | "N" -> sh.Shard.local_n
+  | "nB" -> sh.Shard.n_b
+  | _ -> scalar_int t name
+
 let scalar_real t name =
   match name with
   | "l" -> Params.l t.params
@@ -68,69 +129,180 @@ let scalar_real t name =
   | "beta" -> t.fi_beta
   | _ -> failwith (Printf.sprintf "gpu_sim: unknown real scalar %s" name)
 
+let table_buffer t name : Vgpu.Buffer.t option =
+  match name with
+  | "beta" -> Some (Vgpu.Buffer.F t.tables.Material.t_beta)
+  | "beta_fd" -> Some (Vgpu.Buffer.F t.tables.Material.t_beta_fd)
+  | "bi" -> Some (Vgpu.Buffer.F t.tables.Material.t_bi)
+  | "d" -> Some (Vgpu.Buffer.F t.tables.Material.t_d)
+  | "f" -> Some (Vgpu.Buffer.F t.tables.Material.t_f)
+  | "di" -> Some (Vgpu.Buffer.F t.tables.Material.t_di)
+  | _ -> None
+
 let buffer t name : Vgpu.Buffer.t =
   let st = t.state in
   let room = st.room in
-  match name with
-  | "prev" -> Vgpu.Buffer.F st.prev
-  | "curr" -> Vgpu.Buffer.F st.curr
-  | "next" -> Vgpu.Buffer.F st.next
-  | "nbrs" -> Vgpu.Buffer.I room.Geometry.nbrs
-  | "bidx" -> Vgpu.Buffer.I room.Geometry.boundary_indices
-  | "material" -> Vgpu.Buffer.I room.Geometry.material
-  | "beta" -> Vgpu.Buffer.F t.tables.Material.t_beta
-  | "beta_fd" -> Vgpu.Buffer.F t.tables.Material.t_beta_fd
-  | "bi" -> Vgpu.Buffer.F t.tables.Material.t_bi
-  | "d" -> Vgpu.Buffer.F t.tables.Material.t_d
-  | "f" -> Vgpu.Buffer.F t.tables.Material.t_f
-  | "di" -> Vgpu.Buffer.F t.tables.Material.t_di
-  | "g1" -> Vgpu.Buffer.F st.g1
-  | "v2" -> Vgpu.Buffer.F st.vel_prev
-  | "v1" -> Vgpu.Buffer.F st.vel_next
-  | _ -> failwith (Printf.sprintf "gpu_sim: unknown buffer %s" name)
+  match table_buffer t name with
+  | Some b -> b
+  | None -> (
+      match name with
+      | "prev" -> Vgpu.Buffer.F st.prev
+      | "curr" -> Vgpu.Buffer.F st.curr
+      | "next" -> Vgpu.Buffer.F st.next
+      | "nbrs" -> Vgpu.Buffer.I room.Geometry.nbrs
+      | "bidx" -> Vgpu.Buffer.I room.Geometry.boundary_indices
+      | "material" -> Vgpu.Buffer.I room.Geometry.material
+      | "g1" -> Vgpu.Buffer.F st.g1
+      | "v2" -> Vgpu.Buffer.F st.vel_prev
+      | "v1" -> Vgpu.Buffer.F st.vel_next
+      | _ -> failwith (Printf.sprintf "gpu_sim: unknown buffer %s" name))
 
-(* Bind buffer params into the runtime (the state arrays rotate between
+(* Shard-local buffer resolution: grids and branch state come from the
+   shard's state, boundary data from the shard plan; the coefficient
+   tables are read-only and shared across devices. *)
+let buffer_shard t (sh : Shard.shard) (ss : Shard.shard_state) name : Vgpu.Buffer.t =
+  match table_buffer t name with
+  | Some b -> b
+  | None -> (
+      match name with
+      | "prev" -> Vgpu.Buffer.F ss.Shard.prev
+      | "curr" -> Vgpu.Buffer.F ss.Shard.curr
+      | "next" -> Vgpu.Buffer.F ss.Shard.next
+      | "nbrs" -> Vgpu.Buffer.I sh.Shard.nbrs
+      | "bidx" -> Vgpu.Buffer.I sh.Shard.bidx
+      | "material" -> Vgpu.Buffer.I sh.Shard.material
+      | "g1" -> Vgpu.Buffer.F ss.Shard.g1
+      | "v2" -> Vgpu.Buffer.F ss.Shard.vel_prev
+      | "v1" -> Vgpu.Buffer.F ss.Shard.vel_next
+      | _ -> failwith (Printf.sprintf "gpu_sim: unknown buffer %s" name))
+
+(* Bind buffer params into a runtime (the state arrays rotate between
    steps, so bindings refresh on every launch) and resolve scalars. *)
-let args_for t (k : kernel) =
+let args_into rt ~int_scalar ~real_scalar ~buf (k : kernel) =
   List.map
     (fun p ->
       match (p.p_kind, p.p_ty) with
       | Global_buf, _ ->
-          Vgpu.Runtime.bind t.rt p.p_name (buffer t p.p_name);
+          Vgpu.Runtime.bind rt p.p_name (buf p.p_name);
           Vgpu.Runtime.A_buf p.p_name
-      | Scalar_param, Int -> Vgpu.Runtime.A_int (scalar_int t p.p_name)
-      | Scalar_param, Real -> Vgpu.Runtime.A_real (scalar_real t p.p_name))
+      | Scalar_param, Int -> Vgpu.Runtime.A_int (int_scalar p.p_name)
+      | Scalar_param, Real -> Vgpu.Runtime.A_real (real_scalar p.p_name))
     k.params
 
-(* Resolve the kernel's symbolic global size against the scalar
+(* Resolve the kernel's symbolic global size against a scalar
    environment. *)
-let global_size t (k : kernel) =
+let global_size ~int_scalar (k : kernel) =
   List.map
     (fun e ->
       match e with
       | Int_lit n -> n
-      | Var name -> scalar_int t name
+      | Var name -> int_scalar name
       | _ -> failwith "gpu_sim: unsupported global size expression")
     k.global_size
 
+let launch_on rt ~int_scalar ~real_scalar ~buf (k : kernel) =
+  let args = args_into rt ~int_scalar ~real_scalar ~buf k in
+  let global = global_size ~int_scalar k in
+  Vgpu.Runtime.run_op rt (Vgpu.Runtime.Launch { kernel = k; args; global })
+
+let launch_shard t s i (k : kernel) =
+  match s with
+  | Single _ -> invalid_arg "gpu_sim: launch_shard on a single-device backend"
+  | Sharded { multi; plan; sstates; _ } ->
+      let sh = plan.Shard.shards.(i) and ss = sstates.(i) in
+      launch_on
+        (Vgpu.Multi.device multi i)
+        ~int_scalar:(scalar_int_shard t sh) ~real_scalar:(scalar_real t)
+        ~buf:(buffer_shard t sh ss) k
+
+(* Distribute the global state to the shards on first use, so impulses
+   added through [State.add_impulse] before the first step are seen. *)
+let ensure_scattered t =
+  match t.backend with
+  | Single _ -> ()
+  | Sharded s ->
+      if not s.scattered then begin
+        Shard.scatter s.plan t.state s.sstates;
+        s.scattered <- true
+      end
+
+(* Launch one kernel (on every shard, when sharded) without stepping. *)
 let launch t (k : kernel) =
-  let args = args_for t k in
-  let global = global_size t k in
-  t.launches <- t.launches + 1;
-  Vgpu.Runtime.run_op t.rt (Vgpu.Runtime.Launch { kernel = k; args; global })
+  match t.backend with
+  | Single rt ->
+      t.launches <- t.launches + 1;
+      launch_on rt ~int_scalar:(scalar_int t) ~real_scalar:(scalar_real t)
+        ~buf:(buffer t) k
+  | Sharded _ ->
+      ensure_scattered t;
+      let n = n_shards t in
+      for i = 0 to n - 1 do
+        launch_shard t t.backend i k
+      done;
+      t.launches <- t.launches + n
 
-let stats t = Vgpu.Runtime.stats t.rt
-
-(* One time step: run each kernel in order, then rotate the buffers. *)
+(* One time step: run each kernel in order, then rotate the buffers.
+   Sharded: kernels per shard (concurrently when the engine allows),
+   halo-exchange the freshly written [next] planes, rotate each shard. *)
 let step t (kernels : kernel list) =
-  List.iter (launch t) kernels;
-  State.rotate t.state
+  match t.backend with
+  | Single _ ->
+      List.iter (launch t) kernels;
+      State.rotate t.state
+  | Sharded s ->
+      ensure_scattered t;
+      let n = Shard.n_shards s.plan in
+      let run_shard i = List.iter (launch_shard t t.backend i) kernels in
+      if s.concurrent && n > 1 then Vgpu.Pool.run Vgpu.Pool.global ~n run_shard
+      else
+        for i = 0 to n - 1 do
+          run_shard i
+        done;
+      t.launches <- t.launches + (n * List.length kernels);
+      Array.iteri
+        (fun i (ss : Shard.shard_state) ->
+          Vgpu.Multi.bind s.multi i "next" (Vgpu.Buffer.F ss.Shard.next))
+        s.sstates;
+      Vgpu.Multi.run s.multi (Shard.exchange_ops s.plan ~buffer:"next");
+      Array.iter Shard.rotate_state s.sstates
+
+(* Copy the sharded slabs back into the global [state] arrays (no-op on
+   a single device, where [state] is live). *)
+let sync t =
+  match t.backend with
+  | Single _ -> ()
+  | Sharded s -> if s.scattered then Shard.gather s.plan s.sstates t.state
+
+(* Read the current field at a grid point, wherever it lives. *)
+let read t ~x ~y ~z =
+  match t.backend with
+  | Sharded s when s.scattered ->
+      let sh = Shard.owner s.plan ~z in
+      let ss = s.sstates.(sh.Shard.index) in
+      ss.Shard.curr.(((z - sh.Shard.z0 + 1) * sh.Shard.plane)
+                     + (y * t.state.room.Geometry.dims.Geometry.nx) + x)
+  | Single _ | Sharded _ -> State.read t.state ~x ~y ~z
+
+let stats t =
+  match t.backend with
+  | Single rt -> Vgpu.Runtime.stats rt
+  | Sharded s -> Vgpu.Multi.stats s.multi
+
+let per_shard_stats t =
+  match t.backend with
+  | Single rt -> [ (0, Vgpu.Runtime.stats rt) ]
+  | Sharded s -> Vgpu.Multi.per_device_stats s.multi
+
+let pp_stats ppf t =
+  match t.backend with
+  | Single rt -> Vgpu.Runtime.pp_stats ppf (Vgpu.Runtime.stats rt)
+  | Sharded s -> Vgpu.Multi.pp_stats ppf s.multi
 
 (* Run [steps] steps recording the field at the receiver after each. *)
 let run t (kernels : kernel list) ~steps ~receiver:(rx, ry, rz) =
   let out = Array.make steps 0. in
   for n = 0 to steps - 1 do
     step t kernels;
-    out.(n) <- State.read t.state ~x:rx ~y:ry ~z:rz
+    out.(n) <- read t ~x:rx ~y:ry ~z:rz
   done;
   out

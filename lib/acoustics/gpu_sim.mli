@@ -8,12 +8,35 @@
     and the scalars Nx/Ny/Nz/NxNy/N/nB/NM/MB/l/l2/beta).
 
     Launches go through a {!Vgpu.Runtime}, which provides the engine
-    choice, the JIT cache and per-kernel launch statistics. *)
+    choice, the JIT cache and per-kernel launch statistics.
+
+    With [create ~shards:n] the driver runs Z-sharded instead: the grid
+    is cut into slabs ({!Shard.plan}), one {!Vgpu.Multi} device per
+    slab, with a ghost-plane halo exchange on [next] between the kernel
+    launches and the buffer rotation of every step.  Results are
+    bit-for-bit identical to the single-device engines; the global
+    [state] is re-assembled on {!sync}.  The sharded path applies to the
+    nbrs-driven kernels (volume + boundary_fi / boundary_fi_mm /
+    boundary_fd_mm); the fused Listing-1 kernel derives its boundary
+    mask from global coordinates and only runs unsharded. *)
 
 type engine =
   [ `Interp  (** reference interpreter *)
   | `Jit  (** sequential JIT *)
   | `Jit_parallel of int  (** JIT over this many OCaml domains *) ]
+
+type backend =
+  | Single of Vgpu.Runtime.t  (** one device holding the global arrays *)
+  | Sharded of {
+      multi : Vgpu.Multi.t;
+      plan : Shard.plan;
+      sstates : Shard.shard_state array;
+      concurrent : bool;
+          (** step the shards through {!Vgpu.Pool.global}; disabled under
+              [`Jit_parallel], whose launches already occupy the pool *)
+      mutable scattered : bool;
+          (** the global state has been distributed to the shards *)
+    }
 
 type t = {
   params : Params.t;
@@ -21,7 +44,7 @@ type t = {
   tables : Material.tables;
   fi_beta : float;  (** single-material admittance for the FI kernels *)
   engine : engine;
-  rt : Vgpu.Runtime.t;
+  backend : backend;
   mutable launches : int;
 }
 
@@ -30,20 +53,48 @@ val create :
   ?fi_beta:float ->
   ?materials:Material.t array ->
   ?n_branches:int ->
+  ?shards:int ->
+  ?precision:Kernel_ast.Cast.precision ->
   Params.t ->
   Geometry.room ->
   t
+(** [shards] selects the sharded backend ([~shards:1] exercises the
+    sharded machinery on a single slab; omitting it keeps the original
+    single-device path).  [precision] (default [Double]) sets the
+    transfer-accounting element width of the underlying runtimes. *)
+
+val n_shards : t -> int
+(** 1 on a single device, the (clamped) slab count when sharded. *)
 
 val launch : t -> Kernel_ast.Cast.kernel -> unit
-(** Launch one kernel against the current state (JIT-cached per kernel).
+(** Launch one kernel against the current state (JIT-cached per kernel);
+    on every shard, sequentially, when sharded.
     @raise Failure on unknown parameter names. *)
 
 val stats : t -> Vgpu.Runtime.stats
 (** Per-kernel launch statistics accumulated so far (see
-    {!Vgpu.Runtime.pp_stats}). *)
+    {!Vgpu.Runtime.pp_stats}); the cross-device aggregate when sharded,
+    including halo bytes in [s_d2d_bytes]. *)
+
+val per_shard_stats : t -> (int * Vgpu.Runtime.stats) list
+(** One entry per device; a single [(0, stats)] on a single device. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** The stats report: aggregate plus per-device blocks when sharded. *)
 
 val step : t -> Kernel_ast.Cast.kernel list -> unit
-(** One time step: run the kernels in order, then rotate the buffers. *)
+(** One time step: run the kernels in order, then rotate the buffers.
+    Sharded: kernels per shard (concurrent when the engine allows), halo
+    exchange of the freshly written [next] ghost planes, local
+    rotations. *)
+
+val sync : t -> unit
+(** Gather the sharded slabs back into [state] (no-op on a single
+    device, where [state] is live). *)
+
+val read : t -> x:int -> y:int -> z:int -> float
+(** The current field at a grid point, wherever it lives — the sharded
+    equivalent of {!State.read}. *)
 
 val run :
   t -> Kernel_ast.Cast.kernel list -> steps:int -> receiver:int * int * int -> float array

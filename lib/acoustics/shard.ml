@@ -1,0 +1,213 @@
+(* Z-axis domain decomposition of the acoustics grid across virtual
+   devices.
+
+   The Nx*Ny*Nz grid is cut into contiguous slabs of whole XY planes;
+   shard [i] owns global planes [z0, z1) and holds a local grid of
+   (z1-z0)+2 planes — its owned planes plus one ghost plane on each
+   side.  Ghost planes that fall outside the global grid stay zero (the
+   same zero halo the stencil relies on at the grid edge); interior
+   ghost planes are refreshed from the neighbouring shard's freshly
+   written plane by a halo exchange after the kernels of each time step.
+
+   Everything a kernel launch needs becomes shard-local at plan time:
+
+   - [nbrs] is the global array restricted to the owned planes, with the
+     ghost planes zeroed — so the volume kernel, which guards on
+     [nbr > 0], never updates a ghost point;
+   - the global [boundary_indices] array is ascending (built in linear
+     index order), so a shard's boundary points are one contiguous range
+     [b_off, b_off + n_b) of it; the indices re-base by subtracting the
+     local base offset, and the branch-major FD state (ci = b*nB + i)
+     re-bases per branch as contiguous slices;
+   - the per-boundary-point [material] ids are the matching sub-array.
+
+   Bit-for-bit equality with the single-device run follows: every owned
+   point is computed by exactly one shard, from inputs (owned planes
+   scattered from the global grid, ghost planes exact copies of the
+   neighbour's owned planes) identical to the unsharded arrays. *)
+
+type slab = { z0 : int; z1 : int }
+
+(* Cut [nz] planes into at most [shards] non-empty contiguous slabs. *)
+let partition ~nz ~shards =
+  let shards = max 1 (min shards nz) in
+  Array.init shards (fun i -> { z0 = i * nz / shards; z1 = (i + 1) * nz / shards })
+
+type shard = {
+  index : int;
+  z0 : int;  (* first owned global plane *)
+  z1 : int;  (* one past the last owned global plane *)
+  plane : int;  (* nx * ny *)
+  planes : int;  (* z1 - z0 + 2: owned planes plus two ghosts *)
+  base : int;  (* global linear index of local index 0, i.e. (z0-1)*plane *)
+  local_n : int;  (* planes * plane *)
+  nbrs : int array;  (* local neighbour counts, ghost planes zeroed *)
+  bidx : int array;  (* boundary indices re-based to local coordinates *)
+  material : int array;  (* material ids of this shard's boundary points *)
+  b_off : int;  (* offset of this shard's range in the global boundary array *)
+  n_b : int;  (* boundary points owned by this shard *)
+}
+
+type plan = {
+  room : Geometry.room;
+  n_branches : int;
+  shards : shard array;
+}
+
+(* First index in ascending [a] whose value is >= [v]. *)
+let lower_bound (a : int array) v =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let make_shard (room : Geometry.room) index (sl : slab) =
+  let z0 = sl.z0 and z1 = sl.z1 in
+  let { Geometry.nx; ny; _ } = room.Geometry.dims in
+  let plane = nx * ny in
+  let planes = z1 - z0 + 2 in
+  let base = (z0 - 1) * plane in
+  let local_n = planes * plane in
+  let nbrs = Array.make local_n 0 in
+  Array.blit room.Geometry.nbrs (z0 * plane) nbrs plane ((z1 - z0) * plane);
+  let gb = room.Geometry.boundary_indices in
+  let b_off = lower_bound gb (z0 * plane) in
+  let b_end = lower_bound gb (z1 * plane) in
+  let n_b = b_end - b_off in
+  let bidx = Array.init n_b (fun i -> gb.(b_off + i) - base) in
+  let material = Array.sub room.Geometry.material b_off n_b in
+  { index; z0; z1; plane; planes; base; local_n; nbrs; bidx; material; b_off; n_b }
+
+let plan ?(n_branches = 0) ~shards room =
+  let slabs = partition ~nz:room.Geometry.dims.Geometry.nz ~shards in
+  { room; n_branches; shards = Array.mapi (make_shard room) slabs }
+
+let n_shards p = Array.length p.shards
+
+(* The shard owning global plane [z]. *)
+let owner p ~z =
+  match Array.find_opt (fun s -> s.z0 <= z && z < s.z1) p.shards with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Shard.owner: plane %d outside the grid" z)
+
+(* -- Shard-local simulation state ----------------------------------- *)
+
+type shard_state = {
+  mutable prev : float array;
+  mutable curr : float array;
+  mutable next : float array;
+  mutable g1 : float array;
+  mutable vel_prev : float array;  (* v2 *)
+  mutable vel_next : float array;  (* v1 *)
+}
+
+let create_state p (s : shard) =
+  let grid () = Array.make s.local_n 0. in
+  let bstate () = Array.make (max 1 (p.n_branches * s.n_b)) 0. in
+  {
+    prev = grid ();
+    curr = grid ();
+    next = grid ();
+    g1 = bstate ();
+    vel_prev = bstate ();
+    vel_next = bstate ();
+  }
+
+let create_states p = Array.map (create_state p) p.shards
+
+(* Mirror of [State.rotate] on a shard's local arrays. *)
+let rotate_state ss =
+  let old_prev = ss.prev in
+  ss.prev <- ss.curr;
+  ss.curr <- ss.next;
+  ss.next <- old_prev;
+  let old_vel = ss.vel_prev in
+  ss.vel_prev <- ss.vel_next;
+  ss.vel_next <- old_vel
+
+(* Global grid -> shard-local slab, plane by plane: owned and interior
+   ghost planes copy from the global array, out-of-grid ghosts zero. *)
+let scatter_slab (s : shard) ~(src : float array) ~(dst : float array) =
+  let nz = Array.length src / s.plane in
+  for p = 0 to s.planes - 1 do
+    let z = s.z0 - 1 + p in
+    if z < 0 || z >= nz then Array.fill dst (p * s.plane) s.plane 0.
+    else Array.blit src (z * s.plane) dst (p * s.plane) s.plane
+  done
+
+(* Shard-local slab -> global grid: owned planes only. *)
+let gather_slab (s : shard) ~(src : float array) ~(dst : float array) =
+  Array.blit src s.plane dst (s.z0 * s.plane) ((s.z1 - s.z0) * s.plane)
+
+(* Branch-major boundary state: global ci = b*nB_global + (b_off + i)
+   maps to local ci = b*n_b + i, one contiguous slice per branch. *)
+let scatter_bstate p (s : shard) ~(src : float array) ~(dst : float array) =
+  let nb_global = Geometry.n_boundary p.room in
+  for b = 0 to p.n_branches - 1 do
+    Array.blit src ((b * nb_global) + s.b_off) dst (b * s.n_b) s.n_b
+  done
+
+let gather_bstate p (s : shard) ~(src : float array) ~(dst : float array) =
+  let nb_global = Geometry.n_boundary p.room in
+  for b = 0 to p.n_branches - 1 do
+    Array.blit src (b * s.n_b) dst ((b * nb_global) + s.b_off) s.n_b
+  done
+
+let scatter p (st : State.t) (sstates : shard_state array) =
+  Array.iteri
+    (fun i (s : shard) ->
+      let ss = sstates.(i) in
+      scatter_slab s ~src:st.State.prev ~dst:ss.prev;
+      scatter_slab s ~src:st.State.curr ~dst:ss.curr;
+      scatter_slab s ~src:st.State.next ~dst:ss.next;
+      scatter_bstate p s ~src:st.State.g1 ~dst:ss.g1;
+      scatter_bstate p s ~src:st.State.vel_prev ~dst:ss.vel_prev;
+      scatter_bstate p s ~src:st.State.vel_next ~dst:ss.vel_next)
+    p.shards
+
+let gather p (sstates : shard_state array) (st : State.t) =
+  Array.iteri
+    (fun i (s : shard) ->
+      let ss = sstates.(i) in
+      gather_slab s ~src:ss.prev ~dst:st.State.prev;
+      gather_slab s ~src:ss.curr ~dst:st.State.curr;
+      gather_slab s ~src:ss.next ~dst:st.State.next;
+      gather_bstate p s ~src:ss.g1 ~dst:st.State.g1;
+      gather_bstate p s ~src:ss.vel_prev ~dst:st.State.vel_prev;
+      gather_bstate p s ~src:ss.vel_next ~dst:st.State.vel_next)
+    p.shards
+
+(* Halo exchange over buffer [name]: across each interior cut, the lower
+   shard's top owned plane refreshes the upper shard's bottom ghost, and
+   the upper shard's bottom owned plane refreshes the lower shard's top
+   ghost. *)
+let exchange_ops p ~buffer : Vgpu.Multi.plan =
+  let ops = ref [] in
+  for i = Array.length p.shards - 2 downto 0 do
+    let lo = p.shards.(i) and hi = p.shards.(i + 1) in
+    ops :=
+      Vgpu.Multi.Exchange
+        {
+          src_dev = lo.index;
+          src = buffer;
+          src_off = (lo.planes - 2) * lo.plane;
+          dst_dev = hi.index;
+          dst = buffer;
+          dst_off = 0;
+          elems = lo.plane;
+        }
+      :: Vgpu.Multi.Exchange
+           {
+             src_dev = hi.index;
+             src = buffer;
+             src_off = hi.plane;
+             dst_dev = lo.index;
+             dst = buffer;
+             dst_off = (lo.planes - 1) * lo.plane;
+             elems = lo.plane;
+           }
+      :: !ops
+  done;
+  !ops

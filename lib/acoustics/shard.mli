@@ -1,0 +1,82 @@
+(** Z-axis domain decomposition of the acoustics grid across virtual
+    devices.
+
+    The grid is cut into contiguous slabs of whole XY planes; a shard
+    owns global planes [z0, z1) and holds (z1-z0)+2 local planes — the
+    owned planes plus one ghost plane each side.  Out-of-grid ghosts
+    stay zero (the grid-edge halo); interior ghosts are refreshed from
+    the neighbouring shard by a halo exchange after the kernels of each
+    time step.  Boundary data re-bases to shard-local coordinates at
+    plan time: the ascending global boundary-index array makes each
+    shard's boundary points one contiguous range, so the branch-major
+    FD state (ci = b*nB + i) re-bases per branch as contiguous slices.
+
+    Every owned point is computed by exactly one shard from inputs
+    identical to the unsharded arrays, so sharded runs are bit-for-bit
+    equal to single-device runs. *)
+
+type slab = { z0 : int; z1 : int }  (** owns global planes [z0, z1) *)
+
+val partition : nz:int -> shards:int -> slab array
+(** Cut [nz] planes into at most [shards] non-empty contiguous slabs
+    (clamped to [nz]; sizes differ by at most one plane). *)
+
+type shard = {
+  index : int;
+  z0 : int;  (** first owned global plane *)
+  z1 : int;  (** one past the last owned global plane *)
+  plane : int;  (** nx * ny *)
+  planes : int;  (** z1 - z0 + 2: owned planes plus two ghosts *)
+  base : int;  (** global linear index of local index 0: (z0-1)*plane *)
+  local_n : int;  (** planes * plane *)
+  nbrs : int array;  (** local neighbour counts, ghost planes zeroed *)
+  bidx : int array;  (** boundary indices re-based to local coordinates *)
+  material : int array;  (** material ids of this shard's boundary points *)
+  b_off : int;  (** offset of this shard's range in the global boundary array *)
+  n_b : int;  (** boundary points owned by this shard *)
+}
+
+type plan = {
+  room : Geometry.room;
+  n_branches : int;
+  shards : shard array;
+}
+
+val plan : ?n_branches:int -> shards:int -> Geometry.room -> plan
+
+val n_shards : plan -> int
+
+val owner : plan -> z:int -> shard
+(** The shard owning global plane [z].
+    @raise Invalid_argument outside the grid. *)
+
+(** {2 Shard-local simulation state} *)
+
+type shard_state = {
+  mutable prev : float array;
+  mutable curr : float array;
+  mutable next : float array;
+  mutable g1 : float array;
+  mutable vel_prev : float array;  (** v2 *)
+  mutable vel_next : float array;  (** v1 *)
+}
+
+val create_states : plan -> shard_state array
+
+val rotate_state : shard_state -> unit
+(** Mirror of {!State.rotate} on a shard's local arrays. *)
+
+val scatter : plan -> State.t -> shard_state array -> unit
+(** Distribute the global state to the shards (owned + ghost planes;
+    branch state by contiguous per-branch slices). *)
+
+val gather : plan -> shard_state array -> State.t -> unit
+(** Re-assemble the global state from the shards' owned planes. *)
+
+val scatter_slab : shard -> src:float array -> dst:float array -> unit
+val gather_slab : shard -> src:float array -> dst:float array -> unit
+
+val exchange_ops : plan -> buffer:string -> Vgpu.Multi.plan
+(** The halo exchange over [buffer]: across each interior cut, the lower
+    shard's top owned plane refreshes the upper shard's bottom ghost and
+    vice versa. *)

@@ -29,12 +29,44 @@ type hexpr =
   | H_write_to of hexpr * hexpr   (* target, value *)
   | H_let of Ast.param * hexpr * hexpr
   | H_tuple of hexpr list
+  | H_copy of { src : hexpr; src_off : int; dst : hexpr; dst_off : int; elems : int }
+      (* device-to-device sub-buffer copy (clEnqueueCopyBuffer): the
+         ghost-slab transfer of the sharded backend *)
 
 let input p = H_input p
 let to_gpu e = H_to_gpu e
 let to_host e = H_to_host e
 let ocl_kernel ~name f args = H_kernel { k_name = name; f; args }
 let write_to t v = H_write_to (t, v)
+
+let copy ~src ~src_off ~dst ~dst_off ~elems =
+  H_copy { src; src_off; dst; dst_off; elems }
+
+(* One halo exchange across a Z cut between the [lo] slab (owning planes
+   below the cut, [lo_planes] local planes including its two ghosts) and
+   the [hi] slab above it: lo's top owned plane refreshes hi's bottom
+   ghost, hi's bottom owned plane refreshes lo's top ghost.  [plane] is
+   the XY plane size in elements. *)
+let halo_exchange ~plane ~lo ~lo_planes ~hi =
+  H_tuple
+    [
+      H_copy
+        {
+          src = lo;
+          src_off = (lo_planes - 2) * plane;
+          dst = hi;
+          dst_off = 0;
+          elems = plane;
+        };
+      H_copy
+        {
+          src = hi;
+          src_off = plane;
+          dst = lo;
+          dst_off = (lo_planes - 1) * plane;
+          elems = plane;
+        };
+    ]
 
 (* What a host expression denotes after compilation. *)
 type denot =
@@ -130,6 +162,17 @@ let rec compile_hexpr st (e : hexpr) : denot =
       Hashtbl.replace st.venv p.Ast.p_id d;
       compile_hexpr st b
   | H_tuple es -> D_tuple (List.map (compile_hexpr st) es)
+  | H_copy { src; src_off; dst; dst_off; elems } -> (
+      match (compile_hexpr st src, compile_hexpr st dst) with
+      | D_buf (sname, sty), D_buf (dname, dty) ->
+          push_op st
+            (Vgpu.Runtime.Copy_buffer { src = sname; src_off; dst = dname; dst_off; elems });
+          let tyn = Print.ty_name st.precision (cast_ty_of sty) in
+          push_line st
+            "enqueueCopyBuffer(queue, %s_g, %s_g, sizeof(%s)*%d, sizeof(%s)*%d, sizeof(%s)*%d);"
+            sname dname tyn src_off tyn dst_off tyn elems;
+          D_buf (dname, dty)
+      | _ -> err "host: copy endpoints must be buffers")
   | H_write_to (t, v) -> (
       let dt = compile_hexpr st t in
       match (dt, v) with

@@ -20,12 +20,24 @@ type hexpr =
       (** share a result (e.g. a kernel output) without re-launching;
           the bound param is referenced with {!constructor:H_input} *)
   | H_tuple of hexpr list
+  | H_copy of { src : hexpr; src_off : int; dst : hexpr; dst_off : int; elems : int }
+      (** device-to-device sub-buffer copy ([clEnqueueCopyBuffer]): the
+          ghost-slab transfer of the sharded backend *)
 
 val input : Ast.param -> hexpr
 val to_gpu : hexpr -> hexpr
 val to_host : hexpr -> hexpr
 val ocl_kernel : name:string -> Ast.lam -> hexpr list -> hexpr
 val write_to : hexpr -> hexpr -> hexpr
+
+val copy : src:hexpr -> src_off:int -> dst:hexpr -> dst_off:int -> elems:int -> hexpr
+
+val halo_exchange : plane:int -> lo:hexpr -> lo_planes:int -> hi:hexpr -> hexpr
+(** One halo exchange across a Z cut between the [lo] slab (owning the
+    planes below the cut; [lo_planes] local planes including its two
+    ghost planes) and the [hi] slab above it: lo's top owned plane
+    refreshes hi's bottom ghost plane, hi's bottom owned plane refreshes
+    lo's top ghost plane.  [plane] is the XY plane size in elements. *)
 
 (** What a host expression denotes after compilation. *)
 type denot =

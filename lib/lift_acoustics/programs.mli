@@ -69,3 +69,20 @@ val fused_fi_3d : unit -> Ast.lam
 val compile :
   ?name:string -> precision:Kernel_ast.Cast.precision -> Ast.lam -> Codegen.compiled
 (** Rewrite-normalise and compile a program to a kernel. *)
+
+val sharded_fi_step_host :
+  nx:int ->
+  ny:int ->
+  slab_planes:int ->
+  l:float ->
+  l2:float ->
+  beta:float ->
+  unit ->
+  Host.hexpr
+(** Listing-5-style host program for a Z-sharded two-device FI time
+    step: per-shard volume + boundary_fi launches on slab-local buffers
+    (parameter suffix 0 / 1), then a {!Host.halo_exchange} of the fresh
+    [next] ghost planes across the cut, then read-back.  The two slabs
+    are equal ([slab_planes] owned planes each, one ghost plane on each
+    side), so both shards resolve the same size variables:
+    N = (slab_planes + 2) * nx * ny and nB = per-slab boundary count. *)

@@ -1,0 +1,113 @@
+(* Multi-device virtual GPU.
+
+   A [Multi.t] is an array of independent [Runtime.t] devices — each with
+   its own buffer table, JIT cache and launch statistics — plus one extra
+   plan primitive, [Exchange], that moves a sub-buffer slice from one
+   device's buffer to another's.  That is the halo-exchange step of the
+   Z-sharded acoustics backend: every other op addresses exactly one
+   device, so a multi-device plan is a single-device plan tagged with
+   device indices, interleaved with exchanges.
+
+   Exchange bytes are accounted once, on the *source* device, at its
+   transfer precision — the same convention a real driver would use for
+   a peer-to-peer copy — and surface as [Runtime.stats.s_d2d_bytes] both
+   per device and in the aggregate view. *)
+
+type t = { devices : Runtime.t array }
+
+let create ?(engine = Runtime.Jit) ?(precision = Kernel_ast.Cast.Double) ~devices () =
+  if devices < 1 then invalid_arg "Vgpu.Multi.create: need at least one device";
+  { devices = Array.init devices (fun _ -> Runtime.create ~engine ~precision ()) }
+
+let n_devices t = Array.length t.devices
+
+let device t i =
+  if i < 0 || i >= Array.length t.devices then
+    invalid_arg (Printf.sprintf "Vgpu.Multi.device: no device %d" i);
+  t.devices.(i)
+
+let bind t i name buf = Runtime.bind (device t i) name buf
+
+type op =
+  | Dev of int * Runtime.op
+  | Exchange of {
+      src_dev : int;
+      src : string;
+      src_off : int;
+      dst_dev : int;
+      dst : string;
+      dst_off : int;
+      elems : int;
+    }
+
+type plan = op list
+
+let run_op t = function
+  | Dev (i, op) -> Runtime.run_op (device t i) op
+  | Exchange { src_dev; src; src_off; dst_dev; dst; dst_off; elems } ->
+      let sdev = device t src_dev and ddev = device t dst_dev in
+      let sb = Runtime.buffer sdev src and db = Runtime.buffer ddev dst in
+      Runtime.blit_buffers ~src:sb ~src_off ~dst:db ~dst_off ~elems;
+      Runtime.account_d2d sdev (Runtime.slice_bytes ~precision:sdev.Runtime.precision sb elems)
+
+let run t (plan : plan) = List.iter (run_op t) plan
+
+(* -- Aggregated observability --------------------------------------- *)
+
+let per_device_stats t =
+  Array.to_list (Array.mapi (fun i d -> (i, Runtime.stats d)) t.devices)
+
+(* Merge the per-device stats into one [Runtime.stats]: counters and
+   bytes sum; per-kernel entries sharing a name merge (min of mins, max
+   of maxes). *)
+let stats t : Runtime.stats =
+  let merged : (string, Runtime.kernel_stats) Hashtbl.t = Hashtbl.create 8 in
+  let launches = ref 0 and h2d = ref 0 and d2h = ref 0 and d2d = ref 0 in
+  Array.iter
+    (fun d ->
+      let s = Runtime.stats d in
+      launches := !launches + s.Runtime.s_launches;
+      h2d := !h2d + s.Runtime.s_h2d_bytes;
+      d2h := !d2h + s.Runtime.s_d2h_bytes;
+      d2d := !d2d + s.Runtime.s_d2d_bytes;
+      List.iter
+        (fun (name, (k : Runtime.kernel_stats)) ->
+          match Hashtbl.find_opt merged name with
+          | None ->
+              Hashtbl.replace merged name
+                {
+                  Runtime.k_launches = k.Runtime.k_launches;
+                  total_s = k.Runtime.total_s;
+                  min_s = k.Runtime.min_s;
+                  max_s = k.Runtime.max_s;
+                  arg_bytes = k.Runtime.arg_bytes;
+                }
+          | Some m ->
+              m.Runtime.k_launches <- m.Runtime.k_launches + k.Runtime.k_launches;
+              m.Runtime.total_s <- m.Runtime.total_s +. k.Runtime.total_s;
+              m.Runtime.min_s <- Float.min m.Runtime.min_s k.Runtime.min_s;
+              m.Runtime.max_s <- Float.max m.Runtime.max_s k.Runtime.max_s;
+              m.Runtime.arg_bytes <- m.Runtime.arg_bytes + k.Runtime.arg_bytes)
+        s.Runtime.per_kernel)
+    t.devices;
+  let per_kernel =
+    Hashtbl.fold (fun name k acc -> (name, k) :: acc) merged []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    Runtime.s_launches = !launches;
+    s_h2d_bytes = !h2d;
+    s_d2h_bytes = !d2h;
+    s_d2d_bytes = !d2d;
+    per_kernel;
+  }
+
+let reset_stats t = Array.iter Runtime.reset_stats t.devices
+
+let pp_stats ppf t =
+  let n = n_devices t in
+  Fmt.pf ppf "aggregate over %d device(s): %a" n Runtime.pp_stats (stats t);
+  if n > 1 then
+    Array.iteri
+      (fun i d -> Fmt.pf ppf "@.device %d: %a" i Runtime.pp_stats (Runtime.stats d))
+      t.devices

@@ -1,0 +1,57 @@
+(** Multi-device virtual GPU: an array of independent {!Runtime.t}
+    devices plus an [Exchange] plan primitive that moves a sub-buffer
+    slice between two devices' buffers — the halo-exchange step of the
+    Z-sharded acoustics backend.
+
+    Exchange bytes are accounted once, on the source device, at its
+    transfer precision, and surface as {!Runtime.stats.s_d2d_bytes} both
+    per device and in the aggregate view. *)
+
+type t = { devices : Runtime.t array }
+
+val create :
+  ?engine:Runtime.engine ->
+  ?precision:Kernel_ast.Cast.precision ->
+  devices:int ->
+  unit ->
+  t
+(** @raise Invalid_argument if [devices < 1]. *)
+
+val n_devices : t -> int
+
+val device : t -> int -> Runtime.t
+(** @raise Invalid_argument on an out-of-range device index. *)
+
+val bind : t -> int -> string -> Buffer.t -> unit
+(** [bind t i name buf] binds [buf] in device [i]'s buffer table. *)
+
+type op =
+  | Dev of int * Runtime.op  (** a single-device op on the given device *)
+  | Exchange of {
+      src_dev : int;
+      src : string;
+      src_off : int;
+      dst_dev : int;
+      dst : string;
+      dst_off : int;
+      elems : int;
+    }  (** cross-device sub-buffer copy (peer-to-peer halo transfer) *)
+
+type plan = op list
+
+val run_op : t -> op -> unit
+val run : t -> plan -> unit
+
+(** {2 Aggregated observability} *)
+
+val per_device_stats : t -> (int * Runtime.stats) list
+
+val stats : t -> Runtime.stats
+(** Merge of the per-device stats: counters and bytes sum; per-kernel
+    entries sharing a name merge (launches/time/bytes sum, min of mins,
+    max of maxes). *)
+
+val reset_stats : t -> unit
+
+val pp_stats : Format.formatter -> t -> unit
+(** Aggregate block, then one block per device when there are several. *)

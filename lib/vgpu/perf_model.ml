@@ -141,6 +141,32 @@ let predict device kernel w = (predict_breakdown device kernel w).total_s
    second (shown as gigaelements/s in the figures when divided by 1000). *)
 let updates_per_second ~points ~time_s = points /. time_s
 
+(* -- Z-sharded execution -------------------------------------------- *)
+
+(* Bytes crossing device boundaries per time step when the grid is cut
+   into [shards] slabs along Z: each of the shards-1 interior cuts swaps
+   one XY plane in each direction. *)
+let halo_bytes_per_step ~(precision : Cast.precision) ~plane_elems ~shards =
+  let elem = match precision with Cast.Single -> 4 | Cast.Double -> 8 in
+  2 * (max 0 (shards - 1)) * plane_elems * elem
+
+(* Predicted per-step kernel time under Z-sharding: the slabs run
+   concurrently (each ~1/shards of the points, but still paying the full
+   launch overhead), then the halo planes cross the inter-device link.
+   [link_gb_s] defaults to a PCIe-3-class 12 GB/s. *)
+let predict_sharded ?(link_gb_s = 12.) (device : Device.t) (kernel : Cast.kernel)
+    (w : workload) ~plane_elems ~shards =
+  let shards = max 1 shards in
+  let per_shard =
+    { w with active_points = w.active_points /. float_of_int shards }
+  in
+  let compute_s = predict device kernel per_shard in
+  let halo_bytes =
+    halo_bytes_per_step ~precision:kernel.Cast.precision ~plane_elems ~shards
+  in
+  let halo_s = float_of_int halo_bytes /. (link_gb_s *. 1e9) in
+  compute_s +. halo_s
+
 let pp_breakdown ppf b =
   Fmt.pf ppf "bytes/pt=%.1f flops/pt=%.0f mem=%.3fms flop=%.3fms total=%.3fms"
     b.bytes_per_point b.flops_per_point (b.mem_time_s *. 1e3) (b.flop_time_s *. 1e3)

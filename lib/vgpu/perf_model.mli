@@ -59,4 +59,25 @@ val predict : Device.t -> Kernel_ast.Cast.kernel -> workload -> float
 val updates_per_second : points:float -> time_s:float -> float
 (** The paper's throughput metric (§VI). *)
 
+(** {2 Z-sharded execution} *)
+
+val halo_bytes_per_step :
+  precision:Kernel_ast.Cast.precision -> plane_elems:int -> shards:int -> int
+(** Bytes crossing device boundaries per time step when the grid is cut
+    into [shards] slabs along Z: each interior cut swaps one XY plane of
+    [plane_elems] elements in each direction. *)
+
+val predict_sharded :
+  ?link_gb_s:float ->
+  Device.t ->
+  Kernel_ast.Cast.kernel ->
+  workload ->
+  plane_elems:int ->
+  shards:int ->
+  float
+(** Predicted per-step time under Z-sharding: slabs run concurrently
+    (each [1/shards] of the points, full launch overhead) plus the halo
+    planes crossing the inter-device link ([link_gb_s], default a
+    PCIe-3-class 12 GB/s). *)
+
 val pp_breakdown : Format.formatter -> breakdown -> unit

@@ -22,6 +22,9 @@ type op =
   | Swap of string * string
       (* exchange two buffer bindings: the host-side pointer rotation
          between time steps *)
+  | Copy_buffer of { src : string; src_off : int; dst : string; dst_off : int; elems : int }
+      (* device-to-device sub-buffer copy (clEnqueueCopyBuffer): the
+         halo-exchange primitive of the sharded backend *)
 
 type plan = op list
 
@@ -47,6 +50,7 @@ type t = {
   mutable launches : int;
   mutable h2d_bytes : int;
   mutable d2h_bytes : int;
+  mutable d2d_bytes : int;  (* device-to-device copies: halo exchanges *)
 }
 
 let create ?(engine = Jit) ?(precision = Cast.Double) () =
@@ -59,6 +63,7 @@ let create ?(engine = Jit) ?(precision = Cast.Double) () =
     launches = 0;
     h2d_bytes = 0;
     d2h_bytes = 0;
+    d2d_bytes = 0;
   }
 
 let bind t name buf = Hashtbl.replace t.buffers name buf
@@ -81,6 +86,23 @@ let transfer_bytes ~precision buf =
   match buf with
   | Buffer.F a -> real_bytes precision * Array.length a
   | Buffer.I a -> 4 * Array.length a
+
+(* Bytes moved by a sub-buffer copy of [elems] elements, at the runtime's
+   transfer precision. *)
+let slice_bytes ~precision buf elems =
+  match buf with
+  | Buffer.F _ -> real_bytes precision * elems
+  | Buffer.I _ -> 4 * elems
+
+(* Raw sub-buffer copy between two device buffers; the element types must
+   agree, as they would for clEnqueueCopyBuffer. *)
+let blit_buffers ~(src : Buffer.t) ~src_off ~(dst : Buffer.t) ~dst_off ~elems =
+  match (src, dst) with
+  | Buffer.F a, Buffer.F b -> Array.blit a src_off b dst_off elems
+  | Buffer.I a, Buffer.I b -> Array.blit a src_off b dst_off elems
+  | _ -> failwith "vgpu runtime: buffer copy between int and real buffers"
+
+let account_d2d t bytes = t.d2d_bytes <- t.d2d_bytes + bytes
 
 let ty_label = function Cast.Int -> "int" | Cast.Real -> "real"
 
@@ -131,6 +153,10 @@ let run_op t = function
                  name (Buffer.length b)
                  (ty_label (Buffer.ty b))
                  elems (ty_label ty)))
+  | Copy_buffer { src; src_off; dst; dst_off; elems } ->
+      let sb = buffer t src and db = buffer t dst in
+      blit_buffers ~src:sb ~src_off ~dst:db ~dst_off ~elems;
+      account_d2d t (slice_bytes ~precision:t.precision sb elems)
   | Copy_to_gpu name ->
       t.h2d_bytes <- t.h2d_bytes + transfer_bytes ~precision:t.precision (buffer t name)
   | Copy_to_host name ->
@@ -167,6 +193,7 @@ type stats = {
   s_launches : int;
   s_h2d_bytes : int;
   s_d2h_bytes : int;
+  s_d2d_bytes : int;  (* halo-exchange / device-copy bytes *)
   per_kernel : (string * kernel_stats) list;  (* sorted by kernel name *)
 }
 
@@ -179,6 +206,7 @@ let stats t =
     s_launches = t.launches;
     s_h2d_bytes = t.h2d_bytes;
     s_d2h_bytes = t.d2h_bytes;
+    s_d2d_bytes = t.d2d_bytes;
     per_kernel;
   }
 
@@ -186,10 +214,12 @@ let reset_stats t =
   Hashtbl.reset t.kstats;
   t.launches <- 0;
   t.h2d_bytes <- 0;
-  t.d2h_bytes <- 0
+  t.d2h_bytes <- 0;
+  t.d2d_bytes <- 0
 
 let pp_stats ppf (s : stats) =
-  Fmt.pf ppf "launches %d, h2d %d B, d2h %d B@." s.s_launches s.s_h2d_bytes s.s_d2h_bytes;
+  Fmt.pf ppf "launches %d, h2d %d B, d2h %d B, d2d %d B@." s.s_launches s.s_h2d_bytes
+    s.s_d2h_bytes s.s_d2d_bytes;
   Fmt.pf ppf "%-28s %8s %10s %10s %10s %10s %12s@." "kernel" "launches" "total ms"
     "min ms" "mean ms" "max ms" "MB bound";
   List.iter

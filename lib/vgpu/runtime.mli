@@ -19,6 +19,9 @@ type op =
   | Swap of string * string
       (** exchange two buffer bindings (host pointer rotation between
           time steps) *)
+  | Copy_buffer of { src : string; src_off : int; dst : string; dst_off : int; elems : int }
+      (** device-to-device sub-buffer copy ([clEnqueueCopyBuffer]): the
+          halo-exchange primitive of the sharded backend *)
 
 type plan = op list
 
@@ -49,6 +52,7 @@ type t = {
   mutable launches : int;
   mutable h2d_bytes : int;
   mutable d2h_bytes : int;
+  mutable d2d_bytes : int;  (** device-to-device copies: halo exchanges *)
 }
 
 val create : ?engine:engine -> ?precision:Kernel_ast.Cast.precision -> unit -> t
@@ -64,6 +68,19 @@ val buffer : t -> string -> Buffer.t
 
 val buffer_opt : t -> string -> Buffer.t option
 
+val slice_bytes : precision:Kernel_ast.Cast.precision -> Buffer.t -> int -> int
+(** Bytes moved by a sub-buffer copy of [elems] elements of the given
+    buffer, at the runtime's transfer precision. *)
+
+val blit_buffers :
+  src:Buffer.t -> src_off:int -> dst:Buffer.t -> dst_off:int -> elems:int -> unit
+(** Raw sub-buffer copy between two device buffers.
+    @raise Failure if the element types disagree. *)
+
+val account_d2d : t -> int -> unit
+(** Charge [bytes] to the device-to-device transfer counter (used by
+    {!module:Multi} for cross-device exchanges). *)
+
 val run_op : t -> op -> unit
 (** @raise Failure if an [Alloc] reuses a binding whose element count or
     type differs from the plan's allocation. *)
@@ -76,6 +93,7 @@ type stats = {
   s_launches : int;
   s_h2d_bytes : int;
   s_d2h_bytes : int;
+  s_d2d_bytes : int;  (** halo-exchange / device-copy bytes *)
   per_kernel : (string * kernel_stats) list;  (** sorted by kernel name *)
 }
 

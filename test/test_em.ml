@@ -65,8 +65,8 @@ let test_generated_kernels_update_in_place () =
   Alcotest.(check (option string)) "no out buffer" None c.Lift.Codegen.out_param;
   Alcotest.(check (list string)) "writes hx and hy" [ "hx"; "hy" ] c.Lift.Codegen.written_params;
   let src = Kernel_ast.Print.kernel_to_string c.Lift.Codegen.kernel in
-  Alcotest.(check bool) "stores to hx" true (Astring_contains.contains src "hx[");
-  Alcotest.(check bool) "stores to hy" true (Astring_contains.contains src "hy[")
+  Alcotest.(check bool) "stores to hx" true (Test_util.contains src "hx[");
+  Alcotest.(check bool) "stores to hy" true (Test_util.contains src "hy[")
 
 let suite =
   [

@@ -12,6 +12,7 @@ let () =
       ("edges", Test_edges.suite);
       ("jit", Test_jit.suite);
       ("parallel engines", Test_parallel.suite);
+      ("sharding", Test_shard.suite);
       ("analysis", Test_analysis.suite);
       ("perf model", Test_perf_model.suite);
       ("material", Test_material.suite);

@@ -43,13 +43,7 @@ let run_engine ~engine ~kernels =
   done;
   sim.Gpu_sim.state
 
-let check_bits msg (a : float array) (b : float array) =
-  Alcotest.(check int) (msg ^ " length") (Array.length a) (Array.length b);
-  Array.iteri
-    (fun i x ->
-      if not (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float b.(i))) then
-        Alcotest.failf "%s: index %d differs bit-for-bit: %.17g vs %.17g" msg i x b.(i))
-    a
+let check_bits = Test_util.check_bits
 
 let test_engines_bit_identical () =
   List.iter

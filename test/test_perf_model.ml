@@ -182,6 +182,41 @@ let test_tuner () =
   (* the flop-heavy FD kernel should avoid 256-wide groups *)
   Alcotest.(check bool) "fd-mm avoids the largest group" true (r.Harness.Tuner.best_size < 256)
 
+(* Z-sharding in the model: halo bytes per step and the sharded
+   prediction — one shard is exactly the unsharded prediction, compute
+   shrinks with the shard count on a fast link, and a slow link lets the
+   halo term erase the win. *)
+let test_sharded_prediction () =
+  let open Vgpu.Perf_model in
+  (* a ~216^3 grid: plane_elems consistent with 1e7 active points *)
+  let plane = 216 * 216 in
+  Alcotest.(check int) "no halo on one shard" 0
+    (halo_bytes_per_step ~precision:Kernel_ast.Cast.Double ~plane_elems:plane ~shards:1);
+  Alcotest.(check int) "double halo, 4 shards"
+    (2 * 3 * plane * 8)
+    (halo_bytes_per_step ~precision:Kernel_ast.Cast.Double ~plane_elems:plane ~shards:4);
+  Alcotest.(check int) "single halo, 4 shards"
+    (2 * 3 * plane * 4)
+    (halo_bytes_per_step ~precision:Kernel_ast.Cast.Single ~plane_elems:plane ~shards:4);
+  let k = Hand_kernels.volume ~precision:Kernel_ast.Cast.Double in
+  let n = 10_000_000 in
+  let w =
+    workload ~active_points:(float_of_int n)
+      ~buffer_elems:[ ("prev", n); ("curr", n); ("next", n); ("nbrs", n) ]
+      ()
+  in
+  let t shards = predict_sharded Vgpu.Device.gtx780 k w ~plane_elems:plane ~shards in
+  Alcotest.(check (float 1e-15))
+    "one shard = unsharded"
+    (Vgpu.Perf_model.predict Vgpu.Device.gtx780 k w)
+    (t 1);
+  Alcotest.(check bool) "two shards beat one on a fast link" true (t 2 < t 1);
+  Alcotest.(check bool) "four shards beat two" true (t 4 < t 2);
+  let slow =
+    predict_sharded ~link_gb_s:0.001 Vgpu.Device.gtx780 k w ~plane_elems:plane ~shards:4
+  in
+  Alcotest.(check bool) "a slow link erases the win" true (slow > t 1)
+
 let suite =
   suite
   @ [
@@ -189,4 +224,6 @@ let suite =
         test_group_efficiency_exact_multiple;
       Alcotest.test_case "work-group size effects" `Quick test_group_size_effects;
       Alcotest.test_case "tuning protocol" `Quick test_tuner;
+      Alcotest.test_case "sharded prediction and halo bytes" `Quick
+        test_sharded_prediction;
     ]

@@ -69,7 +69,7 @@ let test_lowering () =
   (* lowering then compiling produces an NDRange kernel *)
   let c = Codegen.compile_kernel ~name:"low" ~precision:Kernel_ast.Cast.Double lowered in
   Alcotest.(check bool) "kernel uses global id" true
-    (Astring_contains.contains
+    (Test_util.contains
        (Kernel_ast.Print.kernel_to_string c.Codegen.kernel)
        "get_global_id(0)")
 

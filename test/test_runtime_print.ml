@@ -95,6 +95,92 @@ let test_transfer_precision () =
     ((6 * 4) + (6 * 4), 6 * 4)
     (count Cast.Single)
 
+(* Copy_buffer moves a sub-buffer slice device-side and accounts the
+   bytes at the runtime's precision. *)
+let test_copy_buffer () =
+  let run precision =
+    let rt = Vgpu.Runtime.create ~precision () in
+    Vgpu.Runtime.bind rt "src" (Vgpu.Buffer.F [| 0.; 1.; 2.; 3.; 4.; 5. |]);
+    Vgpu.Runtime.bind rt "dst" (Vgpu.Buffer.F (Array.make 6 9.));
+    Vgpu.Runtime.run rt
+      [ Vgpu.Runtime.Copy_buffer { src = "src"; src_off = 2; dst = "dst"; dst_off = 1; elems = 3 } ];
+    let dst =
+      match Vgpu.Runtime.buffer rt "dst" with
+      | Vgpu.Buffer.F a -> a
+      | _ -> Alcotest.fail "dst is not a real buffer"
+    in
+    (Array.to_list dst, rt.Vgpu.Runtime.d2d_bytes)
+  in
+  let dst, bytes = run Cast.Double in
+  Alcotest.(check (list (float 0.))) "slice copied" [ 9.; 2.; 3.; 4.; 9.; 9. ] dst;
+  Alcotest.(check int) "double d2d bytes" (3 * 8) bytes;
+  let _, bytes_s = run Cast.Single in
+  Alcotest.(check int) "single d2d bytes" (3 * 4) bytes_s;
+  (* int buffers move 4 bytes per element regardless of precision *)
+  let rt = Vgpu.Runtime.create () in
+  Vgpu.Runtime.bind rt "si" (Vgpu.Buffer.I [| 1; 2; 3; 4 |]);
+  Vgpu.Runtime.bind rt "di" (Vgpu.Buffer.I (Array.make 4 0));
+  Vgpu.Runtime.run rt
+    [ Vgpu.Runtime.Copy_buffer { src = "si"; src_off = 0; dst = "di"; dst_off = 0; elems = 4 } ];
+  Alcotest.(check int) "int d2d bytes" (4 * 4) rt.Vgpu.Runtime.d2d_bytes;
+  (* type-mismatched endpoints rejected, as by clEnqueueCopyBuffer *)
+  Vgpu.Runtime.bind rt "df" (Vgpu.Buffer.F (Array.make 4 0.));
+  match
+    Vgpu.Runtime.run rt
+      [ Vgpu.Runtime.Copy_buffer { src = "si"; src_off = 0; dst = "df"; dst_off = 0; elems = 4 } ]
+  with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "int->real copy accepted"
+
+(* Multi: per-device isolation, cross-device Exchange, stats merging. *)
+let test_multi_devices () =
+  let multi = Vgpu.Multi.create ~devices:2 () in
+  Alcotest.(check int) "device count" 2 (Vgpu.Multi.n_devices multi);
+  let a0 = [| 1.; 2.; 3.; 4. |] and a1 = [| 5.; 6.; 7.; 8. |] in
+  Vgpu.Multi.bind multi 0 "a" (Vgpu.Buffer.F a0);
+  Vgpu.Multi.bind multi 1 "a" (Vgpu.Buffer.F a1);
+  let launch dev k_scale =
+    Vgpu.Multi.Dev
+      ( dev,
+        Vgpu.Runtime.Launch
+          {
+            kernel = double_kernel;
+            args = [ Vgpu.Runtime.A_buf "a"; Vgpu.Runtime.A_real k_scale; Vgpu.Runtime.A_int 4 ];
+            global = [ 4 ];
+          } )
+  in
+  Vgpu.Multi.run multi
+    [
+      launch 0 10.;
+      launch 1 100.;
+      launch 1 100.;
+      (* device 1's last element -> device 0's first slot *)
+      Vgpu.Multi.Exchange
+        { src_dev = 1; src = "a"; src_off = 3; dst_dev = 0; dst = "a"; dst_off = 0; elems = 1 };
+    ];
+  Alcotest.(check (list (float 0.))) "device 0 scaled + ghost" [ 80000.; 20.; 30.; 40. ]
+    (Array.to_list a0);
+  Alcotest.(check (list (float 0.))) "device 1 scaled twice" [ 50000.; 60000.; 70000.; 80000. ]
+    (Array.to_list a1);
+  (* aggregate: launches sum, per-kernel entries merge by name, d2d on
+     the source device only *)
+  let s = Vgpu.Multi.stats multi in
+  Alcotest.(check int) "aggregate launches" 3 s.Vgpu.Runtime.s_launches;
+  Alcotest.(check int) "aggregate d2d bytes" 8 s.Vgpu.Runtime.s_d2d_bytes;
+  (match s.Vgpu.Runtime.per_kernel with
+  | [ ("scale", ks) ] -> Alcotest.(check int) "merged launches" 3 ks.Vgpu.Runtime.k_launches
+  | l -> Alcotest.failf "expected one merged kernel entry, got %d" (List.length l));
+  (match Vgpu.Multi.per_device_stats multi with
+  | [ (0, s0); (1, s1) ] ->
+      Alcotest.(check int) "device 0 launches" 1 s0.Vgpu.Runtime.s_launches;
+      Alcotest.(check int) "device 1 launches" 2 s1.Vgpu.Runtime.s_launches;
+      Alcotest.(check int) "d2d charged to source" 8 s1.Vgpu.Runtime.s_d2d_bytes;
+      Alcotest.(check int) "none on destination" 0 s0.Vgpu.Runtime.s_d2d_bytes
+  | _ -> Alcotest.fail "expected two per-device entries");
+  ignore (Fmt.str "%a" Vgpu.Multi.pp_stats multi);
+  Vgpu.Multi.reset_stats multi;
+  Alcotest.(check int) "reset" 0 (Vgpu.Multi.stats multi).Vgpu.Runtime.s_launches
+
 (* Per-kernel launch stats accumulate and reset. *)
 let test_launch_stats () =
   let rt = Vgpu.Runtime.create () in
@@ -130,7 +216,7 @@ let test_printer () =
   let src = Print.kernel_to_string double_kernel in
   List.iter
     (fun needle ->
-      if not (Astring_contains.contains src needle) then
+      if not (Test_util.contains src needle) then
         Alcotest.failf "missing %S in:\n%s" needle src)
     [
       "__kernel void scale";
@@ -144,8 +230,8 @@ let test_printer () =
   let ks = { double_kernel with Cast.precision = Cast.Single } in
   let ks = { ks with Cast.body = Cast.Store ("a", Cast.Int_lit 0, Cast.Real_lit 0.5) :: ks.Cast.body } in
   let ssrc = Print.kernel_to_string ks in
-  Alcotest.(check bool) "float type" true (Astring_contains.contains ssrc "__global float*");
-  Alcotest.(check bool) "f suffix" true (Astring_contains.contains ssrc "0.5f");
+  Alcotest.(check bool) "float type" true (Test_util.contains ssrc "__global float*");
+  Alcotest.(check bool) "f suffix" true (Test_util.contains ssrc "0.5f");
   (* precedence: no spurious parentheses, required ones kept *)
   let e = Cast.(Binop (Mul, Binop (Add, Var "a", Var "b"), Var "c")) in
   Alcotest.(check string) "parens" "(a + b) * c" (Print.expr_to_string e);
@@ -197,7 +283,7 @@ let test_emit_c () =
   let c = Lift.Emit_c.host_program compiled in
   List.iter
     (fun needle ->
-      if not (Astring_contains.contains c needle) then
+      if not (Test_util.contains c needle) then
         Alcotest.failf "emitted C missing %S" needle)
     [
       "#include <CL/cl.h>";
@@ -215,7 +301,7 @@ let test_emit_c () =
   let plan2 = Lift.Host.iterate ~times:2 ~rotate:[ [ "prev"; "next" ] ] compiled in
   let c2 = Lift.Emit_c.host_program { compiled with Lift.Host.plan = plan2 } in
   Alcotest.(check bool) "swap emitted" true
-    (Astring_contains.contains c2 "{ cl_mem t = d_prev; d_prev = d_next; d_next = t; }");
+    (Test_util.contains c2 "{ cl_mem t = d_prev; d_prev = d_next; d_next = t; }");
   Alcotest.(check int) "iterated braces balance" (count c2 '{') (count c2 '}')
 
 let test_host_errors () =
@@ -266,6 +352,8 @@ let suite =
     Alcotest.test_case "runtime plan execution" `Quick test_runtime_plan;
     Alcotest.test_case "alloc reuse validation" `Quick test_alloc_validation;
     Alcotest.test_case "precision-aware transfer accounting" `Quick test_transfer_precision;
+    Alcotest.test_case "device-to-device sub-buffer copies" `Quick test_copy_buffer;
+    Alcotest.test_case "multi-device plans and stats merging" `Quick test_multi_devices;
     Alcotest.test_case "per-kernel launch stats" `Quick test_launch_stats;
     Alcotest.test_case "OpenCL printer" `Quick test_printer;
     Alcotest.test_case "expression simplifier" `Quick test_simplify_examples;

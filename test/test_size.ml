@@ -62,7 +62,7 @@ let test_vars () =
 let test_to_cexpr () =
   let e = Size.to_cexpr (Size.add (Size.mul n (c 2)) (c 1)) in
   let s = Kernel_ast.Print.expr_to_string (Kernel_ast.Cast.simplify e) in
-  Alcotest.(check bool) "mentions N" true (Astring_contains.contains s "N")
+  Alcotest.(check bool) "mentions N" true (Test_util.contains s "N")
 
 (* Property: simplify is sound w.r.t. evaluation. *)
 let qcheck_simplify_sound =

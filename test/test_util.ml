@@ -1,0 +1,18 @@
+(* Shared helpers for the test suites. *)
+
+(* Substring search (no external string library in the dependency set). *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Assert two float arrays are bit-for-bit identical — the equality the
+   engine/backend cross-validation suites rely on (plain [=] would
+   conflate 0. with -0. and fail on NaN). *)
+let check_bits msg (a : float array) (b : float array) =
+  Alcotest.(check int) (msg ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if not (Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float b.(i))) then
+        Alcotest.failf "%s: index %d differs bit-for-bit: %.17g vs %.17g" msg i x b.(i))
+    a
