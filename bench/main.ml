@@ -328,6 +328,89 @@ let run_shard_scaling () =
         *. 1e3))
     [ 1; 2; 4 ]
 
+(* Optimizer trajectory: the same two-kernel time step measured with the
+   runtime's kernel-AST optimizer pipeline (Kernel_ast.Opt) off and on,
+   for every scheme and for single-device and 2-shard execution.  The
+   kernels are compiled with [~optimize:false] so the runtime performs
+   (and reports) the optimization itself, exactly as `racs simulate`
+   does.  With --json FILE the rows are written as JSON (schema in
+   EXPERIMENTS.md) so successive PRs can track the trajectory. *)
+let run_opt_trajectory ~json_file ~smoke () =
+  (* A boundary-heavy room: the optimizer's headline wins are in the
+     boundary kernels (unrolled FD branch loops, CSE'd index arithmetic),
+     which a large volume-dominated room would average away. *)
+  let dims = if smoke then Geometry.dims ~nx:12 ~ny:10 ~nz:8 else Geometry.dims ~nx:24 ~ny:24 ~nz:24 in
+  let reps = if smoke then 1 else 50 in
+  let lift_raw name prog =
+    (Lift_acoustics.Programs.compile ~name ~optimize:false ~precision prog).Lift.Codegen.kernel
+  in
+  let volume = lift_raw "lift_volume" (Lift_acoustics.Programs.volume ()) in
+  let schemes =
+    [
+      ("fi", [ volume; lift_raw "lift_boundary_fi" (Lift_acoustics.Programs.boundary_fi ()) ]);
+      ( "fi-mm",
+        [ volume; lift_raw "lift_boundary_fi_mm" (Lift_acoustics.Programs.boundary_fi_mm ()) ] );
+      ( "fd-mm",
+        [
+          volume;
+          lift_raw "lift_boundary_fd_mm" (Lift_acoustics.Programs.boundary_fd_mm ~mb:3 ());
+        ] );
+    ]
+  in
+  let measure ~optimize ~shards kernels =
+    let room = Geometry.build ~n_materials:4 Geometry.Box dims in
+    let shards = if shards > 0 then Some shards else None in
+    let sim =
+      Gpu_sim.create ~engine:`Jit ~optimize ?shards ~fi_beta:0.1 ~n_branches:3 params room
+    in
+    let cx, cy, cz = State.centre sim.Gpu_sim.state in
+    State.add_impulse sim.Gpu_sim.state ~x:cx ~y:cy ~z:cz;
+    Gpu_sim.step sim kernels;
+    (* warm-up: optimize + JIT compile *)
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      Gpu_sim.step sim kernels
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  Printf.printf "\n== Optimizer pipeline: ns/step with Kernel_ast.Opt off vs on ==\n";
+  Printf.printf "room %dx%dx%d box, jit engine, %d rep(s)\n" dims.Geometry.nx dims.Geometry.ny
+    dims.Geometry.nz reps;
+  Printf.printf "%-10s %7s %15s %15s %8s\n" "workload" "shards" "raw ns/step" "opt ns/step" "gain";
+  let rows =
+    List.concat_map
+      (fun (name, kernels) ->
+        List.map
+          (fun shards ->
+            let t_raw = measure ~optimize:false ~shards kernels in
+            let t_opt = measure ~optimize:true ~shards kernels in
+            let gain = (t_raw -. t_opt) /. t_raw *. 100. in
+            Printf.printf "%-10s %7d %15.0f %15.0f %+7.1f%%\n" name shards (t_raw *. 1e9)
+              (t_opt *. 1e9) gain;
+            (name, shards, t_raw *. 1e9, t_opt *. 1e9, gain))
+          [ 0; 2 ])
+      schemes
+  in
+  match json_file with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      Printf.fprintf oc "{\n  \"bench\": \"opt_trajectory\",\n";
+      Printf.fprintf oc "  \"room\": { \"nx\": %d, \"ny\": %d, \"nz\": %d },\n" dims.Geometry.nx
+        dims.Geometry.ny dims.Geometry.nz;
+      Printf.fprintf oc "  \"precision\": \"double\",\n  \"reps\": %d,\n  \"results\": [\n" reps;
+      List.iteri
+        (fun i (name, shards, raw_ns, opt_ns, gain) ->
+          Printf.fprintf oc
+            "    { \"workload\": %S, \"engine\": \"jit\", \"shards\": %d, \
+             \"ns_per_step_raw\": %.0f, \"ns_per_step_opt\": %.0f, \"gain_pct\": %.2f }%s\n"
+            name shards raw_ns opt_ns gain
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" file
+
 (* Work-group size tuning, as the paper's protocol requires (§VI). *)
 let run_tuning_table () =
   Printf.printf
@@ -359,14 +442,34 @@ let run_tuning_table () =
     cells
 
 let () =
-  print_endline "Room acoustics with complex boundary conditions: paper reproduction";
-  print_endline "Part 1: analytic GPU model vs the paper's reported numbers";
-  ignore (Harness.Experiments.all ());
-  print_endline "\nPart 2: measured kernels (Bechamel) on the virtual GPU JIT";
-  Printf.printf "room %dx%dx%d box, double precision\n" bench_dims.Geometry.nx
-    bench_dims.Geometry.ny bench_dims.Geometry.nz;
-  run_benchmarks ();
-  run_parallel_speedup ();
-  run_shard_scaling ();
-  run_ablations ();
-  run_tuning_table ()
+  let json_file = ref None and smoke = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest ->
+        json_file := Some file;
+        parse rest
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %s (expected --json FILE and/or --smoke)\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !smoke then
+    (* CI smoke: tiny room, one rep, opt-trajectory only. *)
+    run_opt_trajectory ~json_file:!json_file ~smoke:true ()
+  else begin
+    print_endline "Room acoustics with complex boundary conditions: paper reproduction";
+    print_endline "Part 1: analytic GPU model vs the paper's reported numbers";
+    ignore (Harness.Experiments.all ());
+    print_endline "\nPart 2: measured kernels (Bechamel) on the virtual GPU JIT";
+    Printf.printf "room %dx%dx%d box, double precision\n" bench_dims.Geometry.nx
+      bench_dims.Geometry.ny bench_dims.Geometry.nz;
+    run_benchmarks ();
+    run_parallel_speedup ();
+    run_shard_scaling ();
+    run_ablations ();
+    run_tuning_table ();
+    run_opt_trajectory ~json_file:!json_file ~smoke:false ()
+  end

@@ -33,9 +33,11 @@ let shape_conv =
 (* ------------------------------------------------------------------ *)
 (* racs kernels *)
 
-let all_kernels precision =
+let all_kernels ~optimize precision =
   let betas = (Material.tables ~n_branches:3 Material.defaults).Material.t_beta in
-  let lift name prog = (Lift_acoustics.Programs.compile ~name ~precision prog).Lift.Codegen.kernel in
+  let lift name prog =
+    (Lift_acoustics.Programs.compile ~name ~optimize ~precision prog).Lift.Codegen.kernel
+  in
   [
     ("hand-written", Hand_kernels.fused_fi ~precision);
     ("hand-written", Hand_kernels.volume ~precision);
@@ -51,25 +53,29 @@ let all_kernels precision =
       lift "lift_fused_fi_3d" (Lift_acoustics.Programs.fused_fi_3d ()));
   ]
 
-let cmd_kernels precision =
+let cmd_kernels precision no_opt =
   List.iter
     (fun (origin, k) ->
       Printf.printf "/* %s, %s precision */\n%s\n" origin
         (match k.Kernel_ast.Cast.precision with Single -> "single" | Double -> "double")
         (Kernel_ast.Print.kernel_to_string k))
-    (all_kernels precision)
+    (all_kernels ~optimize:(not no_opt) precision)
 
 (* ------------------------------------------------------------------ *)
 (* racs simulate *)
 
-let cmd_simulate shape nx ny nz scheme steps backend engine domains shards show_stats =
+let cmd_simulate shape nx ny nz scheme steps backend engine domains shards no_opt show_stats =
   let params = Params.default in
   let dims = Geometry.dims ~nx ~ny ~nz in
   let n_materials = Array.length Material.defaults in
   let room = Geometry.build ~n_materials shape dims in
   let precision = Kernel_ast.Cast.Double in
   let betas = (Material.tables ~n_branches:3 Material.defaults).Material.t_beta in
-  let lift name prog = (Lift_acoustics.Programs.compile ~name ~precision prog).Lift.Codegen.kernel in
+  (* Compile without optimizing: the runtime optimizes at dispatch, so the
+     per-kernel reports show up under --stats (and --no-opt disables it). *)
+  let lift name prog =
+    (Lift_acoustics.Programs.compile ~name ~optimize:false ~precision prog).Lift.Codegen.kernel
+  in
   let kernels =
     match (scheme, backend) with
     | "fi", `Hand ->
@@ -98,7 +104,9 @@ let cmd_simulate shape nx ny nz scheme steps backend engine domains shards show_
     | `Jit_parallel -> `Jit_parallel domains
   in
   let shards = if shards > 0 then Some shards else None in
-  let sim = Gpu_sim.create ~engine ?shards ~fi_beta:0.1 ~n_branches:3 params room in
+  let sim =
+    Gpu_sim.create ~engine ~optimize:(not no_opt) ?shards ~fi_beta:0.1 ~n_branches:3 params room
+  in
   let cx, cy, cz = State.centre sim.Gpu_sim.state in
   State.add_impulse sim.Gpu_sim.state ~x:cx ~y:cy ~z:cz;
   let rx = cx + ((nx - 2) / 4) in
@@ -257,9 +265,14 @@ let cmd_tune shape scheme =
 let precision_arg =
   Arg.(value & opt precision_conv Kernel_ast.Cast.Double & info [ "precision" ] ~doc:"single or double")
 
+let no_opt_arg =
+  Arg.(
+    value & flag
+    & info [ "no-opt" ] ~doc:"disable the kernel-AST optimizer pipeline (CSE, LICM, unrolling)")
+
 let kernels_cmd =
   Cmd.v (Cmd.info "kernels" ~doc:"Dump generated and hand-written OpenCL kernels")
-    Term.(const cmd_kernels $ precision_arg)
+    Term.(const cmd_kernels $ precision_arg $ no_opt_arg)
 
 let simulate_cmd =
   let shape = Arg.(value & opt shape_conv Geometry.Box & info [ "shape" ] ~doc:"box, dome or l-shape") in
@@ -316,7 +329,7 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Run an impulse-response simulation")
     Term.(
       const cmd_simulate $ shape $ nx $ ny $ nz $ scheme $ steps $ backend $ engine
-      $ domains $ shards $ stats)
+      $ domains $ shards $ no_opt_arg $ stats)
 
 let experiments_cmd =
   let which = Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT") in

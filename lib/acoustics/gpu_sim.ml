@@ -68,18 +68,19 @@ let runtime_engine : engine -> Vgpu.Runtime.engine = function
   | `Jit -> Vgpu.Runtime.Jit
   | `Jit_parallel domains -> Vgpu.Runtime.Jit_parallel { domains }
 
-let create ?(engine = `Jit) ?(fi_beta = 0.1) ?(materials = Material.defaults)
-    ?(n_branches = 3) ?shards ?(precision = Double) params room =
+let create ?(engine = `Jit) ?(optimize = true) ?(fi_beta = 0.1)
+    ?(materials = Material.defaults) ?(n_branches = 3) ?shards ?(precision = Double) params
+    room =
   let re = runtime_engine engine in
   let backend =
     match shards with
-    | None -> Single (Vgpu.Runtime.create ~engine:re ~precision ())
+    | None -> Single (Vgpu.Runtime.create ~engine:re ~optimize ~precision ())
     | Some n ->
         let plan = Shard.plan ~n_branches ~shards:n room in
         let devices = Shard.n_shards plan in
         Sharded
           {
-            multi = Vgpu.Multi.create ~engine:re ~precision ~devices ();
+            multi = Vgpu.Multi.create ~engine:re ~optimize ~precision ~devices ();
             plan;
             sstates = Shard.create_states plan;
             concurrent = (match engine with `Jit_parallel _ -> false | _ -> true);

@@ -50,6 +50,7 @@ type t = {
 
 val create :
   ?engine:engine ->
+  ?optimize:bool ->
   ?fi_beta:float ->
   ?materials:Material.t array ->
   ?n_branches:int ->
@@ -60,8 +61,11 @@ val create :
   t
 (** [shards] selects the sharded backend ([~shards:1] exercises the
     sharded machinery on a single slab; omitting it keeps the original
-    single-device path).  [precision] (default [Double]) sets the
-    transfer-accounting element width of the underlying runtimes. *)
+    single-device path).  [optimize] (default [true]) is forwarded to the
+    underlying runtimes: launched kernels pass through the
+    {!module:Kernel_ast.Opt} pipeline before dispatch.  [precision]
+    (default [Double]) sets the transfer-accounting element width of the
+    underlying runtimes. *)
 
 val n_shards : t -> int
 (** 1 on a single device, the (clamped) slab count when sharded. *)

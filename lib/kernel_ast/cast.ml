@@ -30,6 +30,8 @@ type binop =
   | Ge
   | And
   | Or
+  | Shr   (* arithmetic shift right; produced by strength reduction only *)
+  | BAnd  (* bitwise and; produced by strength reduction only *)
 
 type unop =
   | Neg
@@ -123,10 +125,46 @@ let for_ var ~from ~below ?(step = Int_lit 1) body =
 
 let param ?(kind = Global_buf) name ty = { p_name = name; p_ty = ty; p_kind = kind }
 
+(* Syntactic proof that an expression is a non-negative integer.  Only
+   shapes whose leaves are non-negative int literals, NDRange ids/sizes or
+   comparison results qualify, so a [true] answer also implies the
+   expression is int-typed.  This gates the [Div]/[Mod] by power-of-two
+   strength reductions: C truncating division disagrees with shifts and
+   masks on negative operands. *)
+let rec is_nonneg e =
+  match e with
+  | Int_lit n -> n >= 0
+  | Global_id _ | Global_size _ -> true
+  | Unop (Not, _) -> true
+  | Binop ((Eq | Ne | Lt | Le | Gt | Ge | And | Or), _, _) -> true
+  | Binop ((Add | Mul | Div | Mod), a, b) -> is_nonneg a && is_nonneg b
+  | Binop (Shr, a, Int_lit k) -> is_nonneg a && k >= 0
+  | Binop (BAnd, a, b) -> is_nonneg a || is_nonneg b
+  | Ternary (_, a, b) -> is_nonneg a && is_nonneg b
+  | _ -> false
+
+let is_pow2_int y = y > 1 && y land (y - 1) = 0
+
+let ilog2 y =
+  let rec go k n = if n <= 1 then k else go (k + 1) (n lsr 1) in
+  go 0 y
+
+(* [c] is an exact (finite, non-zero) power of two whose reciprocal is
+   also finite; dividing by such a constant and multiplying by its
+   reciprocal are both correctly rounded scalings by the same exact
+   value, hence bit-identical. *)
+let is_pow2_real c =
+  c <> 0. && Float.is_finite c
+  && Float.abs (fst (Float.frexp c)) = 0.5
+  && Float.is_finite (1. /. c)
+
 (* Constant folding and light algebraic simplification.  The code
    generator produces index expressions with many [x + 0] / [x * 1]
    patterns; folding them keeps the emitted OpenCL readable and speeds up
-   the interpreter. *)
+   the interpreter.  This is the algebraic-rule layer of the optimizer
+   pipeline ([Opt]); strength reductions that change the operator
+   ([Div]/[Mod] by powers of two, real division by an exact power of two)
+   live here too, gated so they stay bit-for-bit exact. *)
 let rec simplify e =
   match e with
   | Int_lit _ | Real_lit _ | Var _ | Global_id _ | Global_size _ -> e
@@ -158,12 +196,32 @@ let rec simplify e =
       | Add, Real_lit x, Real_lit y -> Real_lit (x +. y)
       | Sub, Real_lit x, Real_lit y -> Real_lit (x -. y)
       | Mul, Real_lit x, Real_lit y -> Real_lit (x *. y)
+      | Shr, Int_lit x, Int_lit y when y >= 0 && y < 62 -> Int_lit (x asr y)
+      | BAnd, Int_lit x, Int_lit y -> Int_lit (x land y)
       | Add, Int_lit 0, e | Add, e, Int_lit 0 -> e
       | Sub, e, Int_lit 0 -> e
       | Mul, Int_lit 1, e | Mul, e, Int_lit 1 -> e
       | Mul, Int_lit 0, _ | Mul, _, Int_lit 0 -> Int_lit 0
       | Div, e, Int_lit 1 -> e
       | Add, Binop (Add, e, Int_lit x), Int_lit y -> simplify (Binop (Add, e, Int_lit (x + y)))
+      (* Literal-chain reassociation over mixed +/- , int only
+         (reassociating real sums is not bit-exact); [is_nonneg] doubles
+         as the int-typed proof. *)
+      | Sub, Binop (Add, e, Int_lit x), Int_lit y when is_nonneg e ->
+          simplify (Binop (Add, e, Int_lit (x - y)))
+      | Add, Binop (Sub, e, Int_lit x), Int_lit y when is_nonneg e ->
+          simplify (Binop (Add, e, Int_lit (y - x)))
+      | Sub, Binop (Sub, e, Int_lit x), Int_lit y when is_nonneg e ->
+          simplify (Binop (Sub, e, Int_lit (x + y)))
+      (* Strength reduction; the [is_nonneg] proof keeps truncating
+         division/modulo semantics intact (see above) and implies the
+         operand is int-typed. *)
+      | Div, e, Int_lit y when is_pow2_int y && is_nonneg e ->
+          Binop (Shr, e, Int_lit (ilog2 y))
+      | Mod, e, Int_lit y when is_pow2_int y && is_nonneg e ->
+          Binop (BAnd, e, Int_lit (y - 1))
+      | Div, e, Real_lit c when is_pow2_real c && c <> 1. ->
+          Binop (Mul, e, Real_lit (1. /. c))
       | Lt, Int_lit x, Int_lit y -> Int_lit (if x < y then 1 else 0)
       | Le, Int_lit x, Int_lit y -> Int_lit (if x <= y then 1 else 0)
       | Gt, Int_lit x, Int_lit y -> Int_lit (if x > y then 1 else 0)

@@ -33,6 +33,8 @@ type binop =
   | Ge
   | And
   | Or
+  | Shr   (** arithmetic shift right; produced by strength reduction *)
+  | BAnd  (** bitwise and; produced by strength reduction *)
 
 type unop =
   | Neg
@@ -132,9 +134,18 @@ val param : ?kind:param_kind -> string -> ty -> param
 
 (** {1 Simplification}
 
-    Constant folding and light algebraic identities ([x+0], [x*1],
-    constant conditionals); keeps generated index expressions readable
-    and fast to interpret.  Semantics-preserving (property-tested). *)
+    Constant folding, light algebraic identities ([x+0], [x*1], constant
+    conditionals) and bit-exact strength reduction ([Div]/[Mod] by a
+    power of two on provably non-negative int operands, real division by
+    an exact power of two); keeps generated index expressions readable
+    and fast to interpret.  Semantics-preserving (property-tested).
+    This is the algebraic-rule layer of the {!module:Opt} pass
+    pipeline. *)
+
+val is_nonneg : expr -> bool
+(** Syntactic proof that an expression is a non-negative integer (and
+    hence int-typed); gates the truncating-division strength
+    reductions. *)
 
 val simplify : expr -> expr
 val simplify_stmt : stmt -> stmt

@@ -24,6 +24,8 @@ let binop_symbol = function
   | Ge -> ">="
   | And -> "&&"
   | Or -> "||"
+  | Shr -> ">>"
+  | BAnd -> "&"
 
 let builtin_name = function
   | Sqrt -> "sqrt"
@@ -40,10 +42,12 @@ let builtin_name = function
 let binop_prec = function
   | Mul | Div | Mod -> 10
   | Add | Sub -> 9
-  | Lt | Le | Gt | Ge -> 8
-  | Eq | Ne -> 7
-  | And -> 6
-  | Or -> 5
+  | Shr -> 8
+  | Lt | Le | Gt | Ge -> 7
+  | Eq | Ne -> 6
+  | BAnd -> 5
+  | And -> 4
+  | Or -> 3
 
 let rec expr_prec ?(precision = Double) ~prec buf e =
   let expr_prec ~prec buf e = expr_prec ~precision ~prec buf e in

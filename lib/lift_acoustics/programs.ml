@@ -422,10 +422,18 @@ let fused_fi_3d () : Ast.lam =
   { Ast.l_params = [ prev; curr; next; l; l2; beta ]; l_body = body }
 
 (* Compile any of the programs above into a kernel with a given
-   precision, after the standard rewrite normalisation. *)
-let compile ?(name = "lift_kernel") ~precision (prog : Ast.lam) =
+   precision, after the standard rewrite normalisation.  By default the
+   kernel then goes through the [Kernel_ast.Opt] pass pipeline, matching
+   what a production code generator would hand to the driver; pass
+   [~optimize:false] for the raw codegen output (golden tests, or when a
+   runtime with its own optimization stage will launch the kernel). *)
+let compile ?(name = "lift_kernel") ?(optimize = true) ~precision (prog : Ast.lam) =
   let prog = Rewrite.normalize_lam prog in
-  Codegen.compile_kernel ~name ~precision prog
+  let compiled = Codegen.compile_kernel ~name ~precision prog in
+  if optimize then
+    let kernel, _report = Kernel_ast.Opt.optimize compiled.Codegen.kernel in
+    { compiled with Codegen.kernel }
+  else compiled
 
 (* Listing-5-style host program for a Z-sharded two-device FI time step:
    each shard runs the volume and boundary kernels on its slab-local

@@ -67,8 +67,16 @@ val fused_fi_3d : unit -> Ast.lam
     no physical halo; pad3 virtualises it each step. *)
 
 val compile :
-  ?name:string -> precision:Kernel_ast.Cast.precision -> Ast.lam -> Codegen.compiled
-(** Rewrite-normalise and compile a program to a kernel. *)
+  ?name:string ->
+  ?optimize:bool ->
+  precision:Kernel_ast.Cast.precision ->
+  Ast.lam ->
+  Codegen.compiled
+(** Rewrite-normalise and compile a program to a kernel.  [optimize]
+    (default [true]) runs the result through the
+    {!module:Kernel_ast.Opt} pass pipeline; pass [false] for the raw
+    codegen output, e.g. when launching through a runtime that
+    optimizes at dispatch time. *)
 
 val sharded_fi_step_host :
   nx:int ->

@@ -107,6 +107,8 @@ and binop op va vb =
   | Ge -> compare ( >= )
   | And -> Vi (if as_int va <> 0 && as_int vb <> 0 then 1 else 0)
   | Or -> Vi (if as_int va <> 0 || as_int vb <> 0 then 1 else 0)
+  | Shr -> Vi (as_int va asr as_int vb)
+  | BAnd -> Vi (as_int va land as_int vb)
 
 let rec exec_stmt env (s : stmt) =
   match s with

@@ -206,6 +206,12 @@ and compile_int cenv (e : expr) : rt -> int =
       | Or ->
           let fa = as_int cenv a and fb = as_int cenv b in
           fun rt -> if fa rt <> 0 || fb rt <> 0 then 1 else 0
+      | Shr ->
+          let fa = as_int cenv a and fb = as_int cenv b in
+          fun rt -> fa rt asr fb rt
+      | BAnd ->
+          let fa = as_int cenv a and fb = as_int cenv b in
+          fun rt -> fa rt land fb rt
       | Eq | Ne | Lt | Le | Gt | Ge -> (
           let cmp_int g =
             let fa = as_int cenv a and fb = as_int cenv b in

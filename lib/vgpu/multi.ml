@@ -15,9 +15,10 @@
 
 type t = { devices : Runtime.t array }
 
-let create ?(engine = Runtime.Jit) ?(precision = Kernel_ast.Cast.Double) ~devices () =
+let create ?(engine = Runtime.Jit) ?(optimize = true) ?(precision = Kernel_ast.Cast.Double)
+    ~devices () =
   if devices < 1 then invalid_arg "Vgpu.Multi.create: need at least one device";
-  { devices = Array.init devices (fun _ -> Runtime.create ~engine ~precision ()) }
+  { devices = Array.init devices (fun _ -> Runtime.create ~engine ~optimize ~precision ()) }
 
 let n_devices t = Array.length t.devices
 
@@ -81,13 +82,16 @@ let stats t : Runtime.stats =
                   min_s = k.Runtime.min_s;
                   max_s = k.Runtime.max_s;
                   arg_bytes = k.Runtime.arg_bytes;
+                  k_opt = k.Runtime.k_opt;
                 }
           | Some m ->
               m.Runtime.k_launches <- m.Runtime.k_launches + k.Runtime.k_launches;
               m.Runtime.total_s <- m.Runtime.total_s +. k.Runtime.total_s;
               m.Runtime.min_s <- Float.min m.Runtime.min_s k.Runtime.min_s;
               m.Runtime.max_s <- Float.max m.Runtime.max_s k.Runtime.max_s;
-              m.Runtime.arg_bytes <- m.Runtime.arg_bytes + k.Runtime.arg_bytes)
+              m.Runtime.arg_bytes <- m.Runtime.arg_bytes + k.Runtime.arg_bytes;
+              (* every device optimizes the same kernel: keep the first *)
+              if m.Runtime.k_opt = None then m.Runtime.k_opt <- k.Runtime.k_opt)
         s.Runtime.per_kernel)
     t.devices;
   let per_kernel =

@@ -11,11 +11,14 @@ type t = { devices : Runtime.t array }
 
 val create :
   ?engine:Runtime.engine ->
+  ?optimize:bool ->
   ?precision:Kernel_ast.Cast.precision ->
   devices:int ->
   unit ->
   t
-(** @raise Invalid_argument if [devices < 1]. *)
+(** [optimize] (default [true]) is forwarded to every device's
+    {!Runtime.create}.
+    @raise Invalid_argument if [devices < 1]. *)
 
 val n_devices : t -> int
 

@@ -67,6 +67,8 @@ let group_efficiency (w : workload) ~flops =
 type breakdown = {
   bytes_per_point : float;
   flops_per_point : float;
+  raw_bytes_per_point : float;  (* same measures on the unoptimized AST *)
+  raw_flops_per_point : float;
   mem_time_s : float;
   flop_time_s : float;
   launch_s : float;
@@ -108,17 +110,27 @@ let buffer_bytes (device : Device.t) ~(precision : Cast.precision) ~(w : workloa
     in
     (eff_loads +. a.stores) *. elem_bytes
 
-(* Predict the runtime of one launch of [kernel] under [w] on [device]. *)
-let predict_breakdown (device : Device.t) (kernel : Cast.kernel) (w : workload) : breakdown =
+(* Static per-point work of [kernel] under [w]: (effective bytes, flops). *)
+let point_costs (device : Device.t) (kernel : Cast.kernel) (w : workload) =
   let param_value name = List.assoc_opt name w.param_values in
   let counts = Analysis.kernel_counts ~param_value kernel in
-  let bytes_per_point =
+  let bytes =
     Analysis.fold_buffers counts
       (fun acc name a -> acc +. buffer_bytes device ~precision:kernel.precision ~w name a)
       0.
   in
-  let flops_per_point = counts.flops in
-  let geff = group_efficiency w ~flops:counts.flops in
+  (bytes, counts.Analysis.flops)
+
+(* Predict the runtime of one launch of [kernel] under [w] on [device].
+   The prediction analyses the *optimized* AST — the runtime optimizes
+   kernels before dispatch, so that is the code whose operations actually
+   execute — while the raw counts are kept alongside so the model's view
+   of what optimization saved is inspectable. *)
+let predict_breakdown (device : Device.t) (kernel : Cast.kernel) (w : workload) : breakdown =
+  let raw_bytes_per_point, raw_flops_per_point = point_costs device kernel w in
+  let opt_kernel, _ = Opt.optimize kernel in
+  let bytes_per_point, flops_per_point = point_costs device opt_kernel w in
+  let geff = group_efficiency w ~flops:flops_per_point in
   let bw = device.mem_bw_gb_s *. 1e9 *. device.mem_efficiency *. geff in
   let mem_time_s = bytes_per_point *. w.active_points /. bw in
   let flop_time_s =
@@ -129,6 +141,8 @@ let predict_breakdown (device : Device.t) (kernel : Cast.kernel) (w : workload) 
   {
     bytes_per_point;
     flops_per_point;
+    raw_bytes_per_point;
+    raw_flops_per_point;
     mem_time_s;
     flop_time_s;
     launch_s;
@@ -170,4 +184,8 @@ let predict_sharded ?(link_gb_s = 12.) (device : Device.t) (kernel : Cast.kernel
 let pp_breakdown ppf b =
   Fmt.pf ppf "bytes/pt=%.1f flops/pt=%.0f mem=%.3fms flop=%.3fms total=%.3fms"
     b.bytes_per_point b.flops_per_point (b.mem_time_s *. 1e3) (b.flop_time_s *. 1e3)
-    (b.total_s *. 1e3)
+    (b.total_s *. 1e3);
+  if b.raw_flops_per_point <> b.flops_per_point || b.raw_bytes_per_point <> b.bytes_per_point
+  then
+    Fmt.pf ppf " (raw: bytes/pt=%.1f flops/pt=%.0f)" b.raw_bytes_per_point
+      b.raw_flops_per_point

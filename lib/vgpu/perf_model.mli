@@ -44,7 +44,12 @@ val group_efficiency : workload -> flops:float -> float
 
 type breakdown = {
   bytes_per_point : float;
-  flops_per_point : float;
+      (** effective traffic of the optimized AST, which is what the
+          runtime dispatches *)
+  flops_per_point : float;  (** flops of the optimized AST *)
+  raw_bytes_per_point : float;
+      (** same traffic measure on the unoptimized AST, for comparison *)
+  raw_flops_per_point : float;  (** flops of the unoptimized AST *)
   mem_time_s : float;
   flop_time_s : float;
   launch_s : float;
@@ -52,6 +57,10 @@ type breakdown = {
 }
 
 val predict_breakdown : Device.t -> Kernel_ast.Cast.kernel -> workload -> breakdown
+(** Predictions are computed from the kernel as the runtime executes it —
+    after the {!module:Kernel_ast.Opt} pipeline — with the raw AST's
+    counts exposed alongside in [raw_bytes_per_point] /
+    [raw_flops_per_point]. *)
 
 val predict : Device.t -> Kernel_ast.Cast.kernel -> workload -> float
 (** Predicted runtime of one launch, in seconds. *)

@@ -39,13 +39,17 @@ type kernel_stats = {
   mutable min_s : float;
   mutable max_s : float;
   mutable arg_bytes : int;  (* buffer bytes bound across launches *)
+  mutable k_opt : Opt.report option;  (* optimizer report, when it ran *)
 }
 
 type t = {
   buffers : (string, Buffer.t) Hashtbl.t;
   jit_cache : (string, Jit.compiled list) Hashtbl.t;
+  opt_cache : (string, (Cast.kernel * Cast.kernel * Opt.report) list) Hashtbl.t;
+      (* raw kernel -> optimized kernel + report, keyed like jit_cache *)
   kstats : (string, kernel_stats) Hashtbl.t;
   engine : engine;
+  optimize : bool;  (* run the Opt pipeline on kernels before dispatch *)
   precision : Cast.precision;  (* element width of real transfers *)
   mutable launches : int;
   mutable h2d_bytes : int;
@@ -53,12 +57,14 @@ type t = {
   mutable d2d_bytes : int;  (* device-to-device copies: halo exchanges *)
 }
 
-let create ?(engine = Jit) ?(precision = Cast.Double) () =
+let create ?(engine = Jit) ?(optimize = true) ?(precision = Cast.Double) () =
   {
     buffers = Hashtbl.create 16;
     jit_cache = Hashtbl.create 8;
+    opt_cache = Hashtbl.create 8;
     kstats = Hashtbl.create 8;
     engine;
+    optimize;
     precision;
     launches = 0;
     h2d_bytes = 0;
@@ -124,12 +130,35 @@ let jit_compiled t (kernel : Cast.kernel) =
       Hashtbl.replace t.jit_cache kernel.name (c :: cached);
       c
 
+(* Find (or run and cache) the optimizer output for [kernel], keyed like
+   the JIT cache so each distinct raw kernel is optimized exactly once. *)
+let optimized t (kernel : Cast.kernel) =
+  let cached = Option.value ~default:[] (Hashtbl.find_opt t.opt_cache kernel.name) in
+  let hit =
+    match List.find_opt (fun (raw, _, _) -> raw == kernel) cached with
+    | Some _ as c -> c
+    | None -> List.find_opt (fun (raw, _, _) -> raw = kernel) cached
+  in
+  match hit with
+  | Some (_, opt, report) -> (opt, report)
+  | None ->
+      let opt, report = Opt.optimize kernel in
+      Hashtbl.replace t.opt_cache kernel.name ((kernel, opt, report) :: cached);
+      (opt, report)
+
 let kstat t name =
   match Hashtbl.find_opt t.kstats name with
   | Some s -> s
   | None ->
       let s =
-        { k_launches = 0; total_s = 0.; min_s = infinity; max_s = 0.; arg_bytes = 0 }
+        {
+          k_launches = 0;
+          total_s = 0.;
+          min_s = infinity;
+          max_s = 0.;
+          arg_bytes = 0;
+          k_opt = None;
+        }
       in
       Hashtbl.replace t.kstats name s;
       s
@@ -163,6 +192,12 @@ let run_op t = function
       t.d2h_bytes <- t.d2h_bytes + transfer_bytes ~precision:t.precision (buffer t name)
   | Launch { kernel; args; global } ->
       t.launches <- t.launches + 1;
+      let kernel, report =
+        if t.optimize then
+          let opt, report = optimized t kernel in
+          (opt, Some report)
+        else (kernel, None)
+      in
       let args = List.map (resolve_arg t) args in
       let bytes =
         List.fold_left
@@ -179,6 +214,7 @@ let run_op t = function
           Pool.launch ~domains (jit_compiled t kernel) ~args ~global);
       let dt = Unix.gettimeofday () -. t0 in
       let s = kstat t kernel.name in
+      (match report with Some _ -> s.k_opt <- report | None -> ());
       s.k_launches <- s.k_launches + 1;
       s.total_s <- s.total_s +. dt;
       s.min_s <- Float.min s.min_s dt;
@@ -230,4 +266,10 @@ let pp_stats ppf (s : stats) =
         ((if k.min_s = infinity then 0. else k.min_s) *. 1e3)
         (mean *. 1e3) (k.max_s *. 1e3)
         (float_of_int k.arg_bytes /. 1e6))
+    s.per_kernel;
+  List.iter
+    (fun (name, k) ->
+      match k.k_opt with
+      | None -> ()
+      | Some r -> Fmt.pf ppf "%-28s opt: %a@." name Opt.pp_report r)
     s.per_kernel

@@ -40,13 +40,25 @@ type kernel_stats = {
   mutable arg_bytes : int;
       (** bytes of buffer arguments bound across launches, at the
           kernel's precision *)
+  mutable k_opt : Kernel_ast.Opt.report option;
+      (** report from the {!module:Kernel_ast.Opt} pipeline, when the
+          runtime optimized this kernel before dispatch *)
 }
 
 type t = {
   buffers : (string, Buffer.t) Hashtbl.t;
   jit_cache : (string, Jit.compiled list) Hashtbl.t;
+  opt_cache :
+    (string, (Kernel_ast.Cast.kernel * Kernel_ast.Cast.kernel * Kernel_ast.Opt.report) list)
+    Hashtbl.t;
+      (** raw kernel -> (optimized kernel, report), keyed like
+          [jit_cache] so each distinct raw kernel is optimized once *)
   kstats : (string, kernel_stats) Hashtbl.t;
   engine : engine;
+  optimize : bool;
+      (** when set (the default), launched kernels pass through the
+          {!module:Kernel_ast.Opt} pipeline before JIT compilation or
+          interpretation *)
   precision : Kernel_ast.Cast.precision;
       (** element width used for real-buffer transfer accounting *)
   mutable launches : int;
@@ -55,10 +67,14 @@ type t = {
   mutable d2d_bytes : int;  (** device-to-device copies: halo exchanges *)
 }
 
-val create : ?engine:engine -> ?precision:Kernel_ast.Cast.precision -> unit -> t
+val create :
+  ?engine:engine -> ?optimize:bool -> ?precision:Kernel_ast.Cast.precision -> unit -> t
 (** [precision] (default [Double]) sets how many bytes a real element
     counts for in the transfer statistics: 4 in single precision, 8 in
-    double, matching the paper's traffic model. *)
+    double, matching the paper's traffic model.  [optimize] (default
+    [true]) runs the {!module:Kernel_ast.Opt} pass pipeline on each
+    distinct kernel before dispatch; the per-kernel report appears in
+    {!stats}. *)
 
 val bind : t -> string -> Buffer.t -> unit
 (** Bind an input buffer by name before running a plan. *)

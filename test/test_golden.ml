@@ -16,6 +16,111 @@ let check_golden name expected actual =
     Alcotest.failf "%s: generated kernel changed.\n--- expected (digits stripped)\n%s\n--- got\n%s"
       name e a
 
+(* FI (fused), compiled through the default pipeline: the optimizer
+   hoists the repeated damping factor and the shared stencil sum scaling
+   into _cse temporaries.  Pins both the codegen shape and the
+   optimizer's choices on the paper's Listing 1 kernel. *)
+let test_fused_fi_opt_golden () =
+  let c =
+    Lift_acoustics.Programs.compile ~name:"fused_fi" ~precision:Kernel_ast.Cast.Double
+      (Lift_acoustics.Programs.fused_fi ())
+  in
+  check_golden "fused_fi (optimized)"
+    {|__kernel void fused_fi(__global double* restrict prev, __global double* restrict curr, __global double* restrict next, const int Nx, const int Ny, const int Nz, const int NxNy, const double l, const double l2, const double beta, const int N) {
+  int gid0_1 = get_global_id(0);
+  if (gid0_1 < N) {
+    int z_12_2 = gid0_1 / NxNy;
+    int rem_13_3 = gid0_1 % NxNy;
+    int y_14_4 = rem_13_3 / Nx;
+    int x_15_5 = rem_13_3 % Nx;
+    int nbr_16_6 = x_15_5 == 0 || y_14_4 == 0 || z_12_2 == 0 || x_15_5 == Nx - 1 || y_14_4 == Ny - 1 || z_12_2 == Nz - 1 ? 0 : (x_15_5 == 1 ? 0 : 1) + (y_14_4 == 1 ? 0 : 1) + (z_12_2 == 1 ? 0 : 1) + (x_15_5 == Nx - 2 ? 0 : 1) + (y_14_4 == Ny - 2 ? 0 : 1) + (z_12_2 == Nz - 2 ? 0 : 1);
+    double sel_10;
+    double _cse0 = 2.0 - l2 * (double)(nbr_16_6);
+    if (nbr_16_6 > 0) {
+      double s_17_7 = curr[gid0_1 - 1] + curr[gid0_1 + 1] + curr[gid0_1 - Nx] + curr[gid0_1 + Nx] + curr[gid0_1 - NxNy] + curr[gid0_1 + NxNy];
+      double sel_9;
+      double _cse1 = l2 * s_17_7;
+      if (nbr_16_6 < 6) {
+        double cf_18_8 = 0.5 * l * (double)(6 - nbr_16_6) * beta;
+        sel_9 = (_cse0 * curr[gid0_1] + _cse1 + (cf_18_8 - 1.0) * prev[gid0_1]) / (1.0 + cf_18_8);
+      } else {
+        sel_9 = _cse0 * curr[gid0_1] + _cse1 - prev[gid0_1];
+      }
+      sel_10 = sel_9;
+    } else {
+      sel_10 = 0.0;
+    }
+    next[gid0_1] = sel_10;
+  }
+}
+|}
+    (Kernel_ast.Print.kernel_to_string c.Lift.Codegen.kernel)
+
+(* FD-MM through the default pipeline: the three-branch ODE loops are
+   fully unrolled and the per-branch state indices (nB + gid, 2*nB +
+   gid, mi*3 + b) become _cse temporaries shared across the g1/v1/next
+   updates. *)
+let test_boundary_fd_mm_opt_golden () =
+  let c =
+    Lift_acoustics.Programs.compile ~name:"boundary_fd_mm" ~precision:Kernel_ast.Cast.Double
+      (Lift_acoustics.Programs.boundary_fd_mm ~mb:3 ())
+  in
+  check_golden "boundary_fd_mm (optimized)"
+    {|__kernel void boundary_fd_mm(__global int* restrict bidx, __global int* restrict nbrs, __global int* restrict material, __global double* restrict beta_fd, __global double* restrict bi, __global double* restrict d, __global double* restrict f, __global double* restrict di, __global double* restrict prev, __global double* restrict next, __global double* restrict g1, __global double* restrict v2, __global double* restrict v1, const double l, const int N, const int NM, const int nB) {
+  int gid0_1 = get_global_id(0);
+  int _cse0 = nB + gid0_1;
+  int _cse1 = 2 * nB + gid0_1;
+  if (gid0_1 < nB) {
+    int idx_47_2 = bidx[gid0_1];
+    int mi_48_3 = material[gid0_1];
+    int nbr_50_4 = nbrs[idx_47_2];
+    double cf1_51_5 = l * (double)(6 - nbr_50_4);
+    double cf_52_6 = 0.5 * cf1_51_5 * beta_fd[mi_48_3];
+    double pv_53_7 = prev[idx_47_2];
+    double priv_8[3];
+    priv_8[0] = g1[gid0_1];
+    priv_8[1] = g1[_cse0];
+    priv_8[2] = g1[_cse1];
+    double priv_10[3];
+    priv_10[0] = v2[gid0_1];
+    priv_10[1] = v2[_cse0];
+    priv_10[2] = v2[_cse1];
+    double acc_12 = next[idx_47_2];
+    int _cse5 = mi_48_3 * 3;
+    acc_12 = acc_12 - cf1_51_5 * bi[_cse5] * (2.0 * d[_cse5] * priv_10[0] - f[_cse5] * priv_8[0]);
+    int _cse4 = _cse5 + 1;
+    acc_12 = acc_12 - cf1_51_5 * bi[_cse4] * (2.0 * d[_cse4] * priv_10[1] - f[_cse4] * priv_8[1]);
+    int _cse3 = _cse5 + 2;
+    acc_12 = acc_12 - cf1_51_5 * bi[_cse3] * (2.0 * d[_cse3] * priv_10[2] - f[_cse3] * priv_8[2]);
+    double nvf_61_14 = (acc_12 + cf_52_6 * pv_53_7) / (1.0 + cf_52_6);
+    next[idx_47_2] = nvf_61_14;
+    double _cse2 = nvf_61_14 - pv_53_7;
+    g1[gid0_1] = priv_8[0] + 0.5 * (bi[_cse5] * (_cse2 + di[_cse5] * priv_10[0] - 2.0 * f[_cse5] * priv_8[0]) + priv_10[0]);
+    g1[_cse0] = priv_8[1] + 0.5 * (bi[_cse4] * (_cse2 + di[_cse4] * priv_10[1] - 2.0 * f[_cse4] * priv_8[1]) + priv_10[1]);
+    g1[_cse1] = priv_8[2] + 0.5 * (bi[_cse3] * (_cse2 + di[_cse3] * priv_10[2] - 2.0 * f[_cse3] * priv_8[2]) + priv_10[2]);
+    v1[gid0_1] = bi[_cse5] * (_cse2 + di[_cse5] * priv_10[0] - 2.0 * f[_cse5] * priv_8[0]);
+    v1[_cse0] = bi[_cse4] * (_cse2 + di[_cse4] * priv_10[1] - 2.0 * f[_cse4] * priv_8[1]);
+    v1[_cse1] = bi[_cse3] * (_cse2 + di[_cse3] * priv_10[2] - 2.0 * f[_cse3] * priv_8[2]);
+  }
+}
+|}
+    (Kernel_ast.Print.kernel_to_string c.Lift.Codegen.kernel)
+
+(* FI-MM through the default pipeline is the existing golden below: the
+   kernel is already minimal (every repeated value is a load, which the
+   optimizer must not hoist), so the optimized output equals the raw
+   one.  The explicit check pins that non-action. *)
+let test_boundary_fi_mm_opt_is_raw () =
+  let compile optimize =
+    (Lift_acoustics.Programs.compile ~name:"boundary_fi_mm" ~optimize
+       ~precision:Kernel_ast.Cast.Double
+       (Lift_acoustics.Programs.boundary_fi_mm ()))
+      .Lift.Codegen.kernel
+  in
+  check_golden "boundary_fi_mm optimized == raw"
+    (Kernel_ast.Print.kernel_to_string (compile false))
+    (Kernel_ast.Print.kernel_to_string (compile true))
+
 let test_boundary_fi_mm_golden () =
   let c =
     Lift_acoustics.Programs.compile ~name:"boundary_fi_mm" ~precision:Kernel_ast.Cast.Double
@@ -101,5 +206,10 @@ let suite =
   [
     Alcotest.test_case "golden: boundary_fi_mm" `Quick test_boundary_fi_mm_golden;
     Alcotest.test_case "golden: volume" `Quick test_volume_golden;
+    Alcotest.test_case "golden: fused_fi optimized" `Quick test_fused_fi_opt_golden;
+    Alcotest.test_case "golden: boundary_fd_mm optimized" `Quick
+      test_boundary_fd_mm_opt_golden;
+    Alcotest.test_case "golden: boundary_fi_mm optimizer is a no-op" `Quick
+      test_boundary_fi_mm_opt_is_raw;
     Alcotest.test_case "structural invariants" `Quick test_structural_invariants;
   ]

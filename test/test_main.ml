@@ -11,6 +11,7 @@ let () =
       ("golden kernels", Test_golden.suite);
       ("edges", Test_edges.suite);
       ("jit", Test_jit.suite);
+      ("optimizer", Test_opt.suite);
       ("parallel engines", Test_parallel.suite);
       ("sharding", Test_shard.suite);
       ("analysis", Test_analysis.suite);
