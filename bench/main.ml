@@ -441,6 +441,35 @@ let run_tuning_table () =
         [ Vgpu.Device.gtx780; Vgpu.Device.amd7970 ])
     cells
 
+(* Cost of checked execution: the shadow-memory sanitizer forces the
+   reference interpreter and hooks every access, so this bounds what a
+   `--sanitize` debugging run costs relative to the plain interpreter. *)
+let run_sanitizer_overhead () =
+  Printf.printf "\n== Sanitizer overhead: interpreter ns/step, plain vs checked ==\n";
+  let dims = Geometry.dims ~nx:12 ~ny:10 ~nz:8 in
+  let kernels =
+    [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fd_mm ~precision ~mb:3 ]
+  in
+  let measure ~sanitize =
+    let room = Geometry.build ~n_materials:4 Geometry.Box dims in
+    let sim = Gpu_sim.create ~engine:`Interp ~sanitize ~fi_beta:0.1 ~n_branches:3 params room in
+    let cx, cy, cz = State.centre sim.Gpu_sim.state in
+    State.add_impulse sim.Gpu_sim.state ~x:cx ~y:cy ~z:cz;
+    Gpu_sim.step sim kernels;
+    let reps = 5 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      Gpu_sim.step sim kernels
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let plain = measure ~sanitize:false and checked = measure ~sanitize:true in
+  Printf.printf "room %dx%dx%d box, fd-mm, interp engine\n" dims.Geometry.nx dims.Geometry.ny
+    dims.Geometry.nz;
+  Printf.printf "%-24s %15.0f\n" "plain interpreter" (plain *. 1e9);
+  Printf.printf "%-24s %15.0f  (%.1fx)\n" "sanitized interpreter" (checked *. 1e9)
+    (checked /. plain)
+
 let () =
   let json_file = ref None and smoke = ref false in
   let rec parse = function
@@ -471,5 +500,6 @@ let () =
     run_shard_scaling ();
     run_ablations ();
     run_tuning_table ();
+    run_sanitizer_overhead ();
     run_opt_trajectory ~json_file:!json_file ~smoke:false ()
   end

@@ -4,6 +4,8 @@
      racs kernels      dump the generated OpenCL (and hand-written
                        baselines) for every kernel
      racs simulate     run an impulse-response simulation on a box/dome
+     racs check        static race/bounds verdicts for every kernel
+                       (raw + optimized) plus host-plan lint
      racs experiments  regenerate any of the paper's tables/figures
      racs host-demo    show the compiled host program of paper Listing 5 *)
 
@@ -64,7 +66,8 @@ let cmd_kernels precision no_opt =
 (* ------------------------------------------------------------------ *)
 (* racs simulate *)
 
-let cmd_simulate shape nx ny nz scheme steps backend engine domains shards no_opt show_stats =
+let cmd_simulate shape nx ny nz scheme steps backend engine domains shards no_opt show_stats
+    sanitize verify =
   let params = Params.default in
   let dims = Geometry.dims ~nx ~ny ~nz in
   let n_materials = Array.length Material.defaults in
@@ -105,7 +108,9 @@ let cmd_simulate shape nx ny nz scheme steps backend engine domains shards no_op
   in
   let shards = if shards > 0 then Some shards else None in
   let sim =
-    Gpu_sim.create ~engine ~optimize:(not no_opt) ?shards ~fi_beta:0.1 ~n_branches:3 params room
+    Gpu_sim.create ~engine ~optimize:(not no_opt) ?shards ~fi_beta:0.1 ~n_branches:3
+      ?verify:(if verify then Some true else None)
+      ~sanitize params room
   in
   let cx, cy, cz = State.centre sim.Gpu_sim.state in
   State.add_impulse sim.Gpu_sim.state ~x:cx ~y:cy ~z:cz;
@@ -128,7 +133,13 @@ let cmd_simulate shape nx ny nz scheme steps backend engine domains shards no_op
   Printf.printf "\nfinal kinetic energy %.6g, dc offset %.6g, peak |u| %.4f\n" e
     (Energy.dc_offset sim.Gpu_sim.state)
     (Energy.max_abs sim.Gpu_sim.state.State.curr);
-  if show_stats then Fmt.pr "\n%a" Gpu_sim.pp_stats sim
+  if show_stats then Fmt.pr "\n%a" Gpu_sim.pp_stats sim;
+  if sanitize then begin
+    List.iter (fun s -> Fmt.pr "%a@." Vgpu.Sanitizer.pp s) (Gpu_sim.sanitizers sim);
+    match Gpu_sim.violations sim with
+    | Some c when Vgpu.Sanitizer.total c > 0 -> exit 1
+    | _ -> ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* racs experiments *)
@@ -147,7 +158,7 @@ let cmd_experiments which =
 (* ------------------------------------------------------------------ *)
 (* racs host-demo / emit-c *)
 
-let listing5_compiled () =
+let listing5_program () =
   let dims = Geometry.dims ~nx:64 ~ny:48 ~nz:40 in
   let room = Geometry.build ~n_materials:4 Geometry.Box dims in
   let tables = Material.tables ~n_branches:3 Material.defaults in
@@ -188,11 +199,15 @@ let listing5_compiled () =
     | "NM" -> Some (Array.length tables.Material.t_beta)
     | _ -> None
   in
+  (program, sizes)
+
+let listing5_compiled () =
+  let program, sizes = listing5_program () in
   Lift.Host.compile ~precision:Kernel_ast.Cast.Double ~sizes program
 
 (* Listing 5 extended to two virtual devices: per-shard kernel launches
    plus the halo exchange of the freshly written next ghost planes. *)
-let sharded_host_compiled () =
+let sharded_host_program () =
   let dims = Geometry.dims ~nx:64 ~ny:48 ~nz:40 in
   let room = Geometry.build ~n_materials:4 Geometry.Box dims in
   let plan = Shard.plan ~shards:2 room in
@@ -209,6 +224,10 @@ let sharded_host_compiled () =
     | "nB" -> Some sh0.Shard.n_b
     | _ -> None
   in
+  (prog, sizes)
+
+let sharded_host_compiled () =
+  let prog, sizes = sharded_host_program () in
   Lift.Host.compile ~precision:Kernel_ast.Cast.Double ~sizes prog
 
 let cmd_host_demo sharded =
@@ -224,6 +243,58 @@ let cmd_host_demo sharded =
 (* Emit a complete, compilable OpenCL .c program for the Listing 5
    pipeline (cc prog.c -lOpenCL). *)
 let cmd_emit_c () = print_string (Lift.Emit_c.host_program (listing5_compiled ()))
+
+(* ------------------------------------------------------------------ *)
+(* racs check: static race/bounds verdicts + host-plan lint *)
+
+let cmd_check shape nx ny nz precision =
+  let dims = Geometry.dims ~nx ~ny ~nz in
+  let n_materials = Array.length Material.defaults in
+  let room = Geometry.build ~n_materials shape dims in
+  let sim = Gpu_sim.create ~fi_beta:0.1 ~n_branches:3 Params.default room in
+  let env = Gpu_sim.check_env sim in
+  let unsafe = ref 0 and unproven = ref 0 in
+  let check_one origin variant (k : Kernel_ast.Cast.kernel) =
+    let r = Kernel_ast.Check.check env k in
+    Fmt.pr "== %s (%s, %s) ==@.%a@." k.Kernel_ast.Cast.name origin variant
+      Kernel_ast.Check.pp_report r;
+    if not (Kernel_ast.Check.ok r) then incr unsafe
+    else if not (Kernel_ast.Check.fully_proven r) then incr unproven
+  in
+  List.iter
+    (fun (origin, k) ->
+      check_one origin "raw" k;
+      let opt, _ = Kernel_ast.Opt.optimize k in
+      check_one origin "optimized" opt)
+    (all_kernels ~optimize:false precision);
+  (* host-plan lint: the paper's Listing 5 pipeline and the two-device
+     sharded step, plus two sharded time steps as a Multi plan *)
+  let lint_errors = ref 0 in
+  let lint label issues =
+    Fmt.pr "== lint: %s ==@." label;
+    if issues = [] then Fmt.pr "  clean@."
+    else List.iter (fun i -> Fmt.pr "  %a@." Lift.Lint.pp_issue i) issues;
+    lint_errors := !lint_errors + List.length (Lift.Lint.errors issues)
+  in
+  lint "paper Listing 5 host program"
+    (Lift.Lint.check_host (fst (listing5_program ())));
+  lint "Z-sharded two-device FI step"
+    (Lift.Lint.check_host (fst (sharded_host_program ())));
+  let splan = Shard.plan ~shards:2 room in
+  let k = Hand_kernels.volume ~precision in
+  let step : Vgpu.Multi.plan =
+    List.concat_map
+      (fun d ->
+        [ Vgpu.Multi.Dev (d, Vgpu.Runtime.Launch { kernel = k; args = []; global = [ 1 ] }) ])
+      [ 0; 1 ]
+    @ Shard.exchange_ops splan ~buffer:"next"
+    @ List.map (fun d -> Vgpu.Multi.Dev (d, Vgpu.Runtime.Swap ("curr", "next"))) [ 0; 1 ]
+  in
+  lint "sharded Multi plan, two steps with halo exchange"
+    (Lift.Lint.check_sharded (step @ step));
+  Fmt.pr "@.%d kernel report(s) unsafe, %d unproven (sanitizer-covered), %d lint error(s)@."
+    !unsafe !unproven !lint_errors;
+  if !unsafe > 0 || !lint_errors > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* racs tune: the paper's §VI protocol on any kernel/room/device *)
@@ -326,10 +397,24 @@ let simulate_cmd =
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"print per-kernel launch statistics")
   in
+  let sanitize =
+    Arg.(
+      value & flag
+      & info [ "sanitize" ]
+          ~doc:
+            "run on the shadow-memory checked interpreter (races, OOB, uninitialised \
+             reads); nonzero exit on any violation")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"statically verify every launched kernel first (fail fast on Unsafe)")
+  in
   Cmd.v (Cmd.info "simulate" ~doc:"Run an impulse-response simulation")
     Term.(
       const cmd_simulate $ shape $ nx $ ny $ nz $ scheme $ steps $ backend $ engine
-      $ domains $ shards $ no_opt_arg $ stats)
+      $ domains $ shards $ no_opt_arg $ stats $ sanitize $ verify)
 
 let experiments_cmd =
   let which = Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT") in
@@ -346,6 +431,18 @@ let host_demo_cmd =
   in
   Cmd.v (Cmd.info "host-demo" ~doc:"Show the compiled host program of paper Listing 5")
     Term.(const cmd_host_demo $ sharded)
+
+let check_cmd =
+  let shape = Arg.(value & opt shape_conv Geometry.Box & info [ "shape" ] ~doc:"box, dome or l-shape") in
+  let nx = Arg.(value & opt int 40 & info [ "nx" ]) in
+  let ny = Arg.(value & opt int 32 & info [ "ny" ]) in
+  let nz = Arg.(value & opt int 24 & info [ "nz" ]) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Static race/bounds verdicts for every kernel (raw + optimized) and host-plan \
+          lint; nonzero exit on Unsafe or lint errors")
+    Term.(const cmd_check $ shape $ nx $ ny $ nz $ precision_arg)
 
 let tune_cmd =
   let shape = Arg.(value & opt shape_conv Geometry.Box & info [ "shape" ] ~doc:"box, dome or l-shape") in
@@ -367,4 +464,5 @@ let () =
        (Cmd.group ~default
           (Cmd.info "racs" ~version:"1.0.0"
              ~doc:"Room acoustics simulations with complex boundary conditions via Lift-style code generation")
-          [ kernels_cmd; simulate_cmd; experiments_cmd; host_demo_cmd; emit_c_cmd; tune_cmd ]))
+          [ kernels_cmd; simulate_cmd; check_cmd; experiments_cmd; host_demo_cmd;
+            emit_c_cmd; tune_cmd ]))

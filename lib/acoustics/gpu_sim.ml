@@ -69,18 +69,19 @@ let runtime_engine : engine -> Vgpu.Runtime.engine = function
   | `Jit_parallel domains -> Vgpu.Runtime.Jit_parallel { domains }
 
 let create ?(engine = `Jit) ?(optimize = true) ?(fi_beta = 0.1)
-    ?(materials = Material.defaults) ?(n_branches = 3) ?shards ?(precision = Double) params
-    room =
+    ?(materials = Material.defaults) ?(n_branches = 3) ?shards ?(precision = Double) ?verify
+    ?(sanitize = false) params room =
   let re = runtime_engine engine in
   let backend =
     match shards with
-    | None -> Single (Vgpu.Runtime.create ~engine:re ~optimize ~precision ())
+    | None -> Single (Vgpu.Runtime.create ~engine:re ~optimize ~precision ?verify ~sanitize ())
     | Some n ->
         let plan = Shard.plan ~n_branches ~shards:n room in
         let devices = Shard.n_shards plan in
         Sharded
           {
-            multi = Vgpu.Multi.create ~engine:re ~optimize ~precision ~devices ();
+            multi =
+              Vgpu.Multi.create ~engine:re ~optimize ~precision ?verify ~sanitize ~devices ();
             plan;
             sstates = Shard.create_states plan;
             concurrent = (match engine with `Jit_parallel _ -> false | _ -> true);
@@ -288,6 +289,31 @@ let stats t =
   match t.backend with
   | Single rt -> Vgpu.Runtime.stats rt
   | Sharded s -> Vgpu.Multi.stats s.multi
+
+(* The live sanitizers, one per device (empty unless ~sanitize:true). *)
+let sanitizers t =
+  match t.backend with
+  | Single rt -> Option.to_list (Vgpu.Runtime.sanitizer rt)
+  | Sharded s ->
+      Array.to_list s.multi.Vgpu.Multi.devices
+      |> List.filter_map Vgpu.Runtime.sanitizer
+
+let violations t = (stats t).Vgpu.Runtime.s_violations
+
+(* Static-verification environment mirroring this simulation's argument
+   resolution: scalars resolve like [scalar_int], buffer extents are the
+   live arrays' lengths.  Lets [racs check] and tests run
+   [Kernel_ast.Check] against exactly the values a launch would see. *)
+let check_env t =
+  let param_value name =
+    match scalar_int t name with n -> Some n | exception Failure _ -> None
+  in
+  let buffer_elems name =
+    match buffer t name with
+    | b -> Some (Vgpu.Buffer.length b)
+    | exception Failure _ -> None
+  in
+  Kernel_ast.Check.env ~param_value ~buffer_elems ()
 
 let per_shard_stats t =
   match t.backend with

@@ -56,6 +56,8 @@ val create :
   ?n_branches:int ->
   ?shards:int ->
   ?precision:Kernel_ast.Cast.precision ->
+  ?verify:bool ->
+  ?sanitize:bool ->
   Params.t ->
   Geometry.room ->
   t
@@ -65,7 +67,20 @@ val create :
     underlying runtimes: launched kernels pass through the
     {!module:Kernel_ast.Opt} pipeline before dispatch.  [precision]
     (default [Double]) sets the transfer-accounting element width of the
-    underlying runtimes. *)
+    underlying runtimes.  [verify] and [sanitize] are forwarded to every
+    runtime: fail-fast static verification of each launch, and
+    shadow-memory checked execution (see {!Vgpu.Runtime.create}). *)
+
+val check_env : t -> Kernel_ast.Check.env
+(** Static-verification environment mirroring this simulation's argument
+    resolution (scalars as {!launch} would pass them, buffer extents
+    from the live arrays). *)
+
+val sanitizers : t -> Vgpu.Sanitizer.t list
+(** One sanitizer per device when created with [~sanitize:true]. *)
+
+val violations : t -> Vgpu.Sanitizer.counts option
+(** Aggregate dynamic-violation counts ([Some] iff sanitizing). *)
 
 val n_shards : t -> int
 (** 1 on a single device, the (clamped) slab count when sharded. *)

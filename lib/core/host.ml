@@ -80,6 +80,10 @@ type compiled_host = {
   kernels : Codegen.compiled list;
   source : string; (* OpenCL-style host pseudo-C *)
   result : denot;
+  buffer_elems : (string * int) list;
+      (* extent of every buffer the plan touches, as resolved at compile
+         time — inputs, kernel outputs and temporaries alike; consumed
+         by the emitted C skeleton and the host-plan lint *)
 }
 
 type st = {
@@ -87,6 +91,7 @@ type st = {
   mutable lines : string list;        (* reversed *)
   mutable kernels : Codegen.compiled list;
   mutable fresh : int;
+  mutable elems : (string * int) list; (* buffer extents, reversed *)
   sizes : string -> int option;
   precision : Cast.precision;
   venv : (int, denot) Hashtbl.t;
@@ -94,6 +99,9 @@ type st = {
 
 let push_op st op = st.ops <- op :: st.ops
 let push_line st fmt = Printf.ksprintf (fun s -> st.lines <- s :: st.lines) fmt
+
+let note_elems st name n =
+  if not (List.mem_assoc name st.elems) then st.elems <- (name, n) :: st.elems
 
 let fresh st base =
   st.fresh <- st.fresh + 1;
@@ -136,7 +144,12 @@ let rec compile_hexpr st (e : hexpr) : denot =
       | Some d -> d
       | None ->
           if Ty.is_scalar p.Ast.p_ty then err "host: scalar inputs must be H_int/H_real"
-          else D_buf (p.Ast.p_name, p.Ast.p_ty))
+          else begin
+            (match elems_of_ty st p.Ast.p_ty with
+            | n -> note_elems st p.Ast.p_name n
+            | exception Host_error _ -> ());
+            D_buf (p.Ast.p_name, p.Ast.p_ty)
+          end)
   | H_int n -> D_int n
   | H_real r -> D_real r
   | H_to_gpu e -> (
@@ -209,8 +222,13 @@ and compile_kernel_call st ~k_name ~f ~args ~out_override : denot =
           let elems = elems_of_ty st c.Codegen.result_ty in
           push_op st
             (Vgpu.Runtime.Alloc { name; ty = cast_ty_of c.Codegen.result_ty; elems });
+          note_elems st name elems;
           push_line st "cl_mem %s = clCreateBuffer(ctx, CL_MEM_READ_WRITE, %d);" name elems
-        end;
+        end
+        else (
+          match elems_of_ty st c.Codegen.result_ty with
+          | elems -> note_elems st name elems
+          | exception Host_error _ -> ());
         [ (out, D_buf (name, c.Codegen.result_ty)) ]
   in
   let temp_bindings =
@@ -219,6 +237,7 @@ and compile_kernel_call st ~k_name ~f ~args ~out_override : denot =
         let name = fresh st "tmp" in
         let elems = elems_of_ty st ty in
         push_op st (Vgpu.Runtime.Alloc { name; ty = cast_ty_of ty; elems });
+        note_elems st name elems;
         (tname, D_buf (name, ty)))
       c.Codegen.temp_params
   in
@@ -271,6 +290,7 @@ let compile ?(precision = Cast.Double) ~sizes (e : hexpr) : compiled_host =
       lines = [];
       kernels = [];
       fresh = 0;
+      elems = [];
       sizes;
       precision;
       venv = Hashtbl.create 8;
@@ -282,6 +302,7 @@ let compile ?(precision = Cast.Double) ~sizes (e : hexpr) : compiled_host =
     kernels = List.rev st.kernels;
     source = String.concat "\n" (List.rev st.lines) ^ "\n";
     result;
+    buffer_elems = List.rev st.elems;
   }
 
 (* Execute a compiled host program on a runtime whose buffer table

@@ -51,6 +51,11 @@ type compiled_host = {
   kernels : Codegen.compiled list;
   source : string;  (** OpenCL-style host pseudo-C *)
   result : denot;
+  buffer_elems : (string * int) list;
+      (** extent of every buffer the plan touches, as resolved at
+          compile time — inputs, kernel outputs and temporaries;
+          consumed by {!Emit_c.host_program} to size host allocations
+          and by {!Lint} *)
 }
 
 val compile :

@@ -1,0 +1,236 @@
+(* Host-plan lint: static well-formedness checks on host programs,
+   before (and independent of) compilation.
+
+   Three families of diagnostics:
+
+   - data movement on a single device ([check_host], over [Host.hexpr]):
+     kernel/copy operands that were never transferred with ToGPU
+     (use-before-ToGPU), and ToGPU transfers whose buffer is never
+     consumed afterwards (dead transfer);
+   - kernel calls ([check_host]): argument arity against the Lift
+     lambda, and scalar/buffer kind mismatches per parameter;
+   - sharded plans ([check_sharded], over [Vgpu.Multi.plan]): a Z-cut
+     stepped again without a halo exchange between the adjacent devices
+     in the previous step — the bug class the paper's ghost-plane
+     protocol exists to prevent. *)
+
+type severity =
+  | Error
+  | Warning
+
+type issue = {
+  severity : severity;
+  code : string;  (* stable machine-readable tag *)
+  message : string;
+}
+
+let issue severity code fmt = Printf.ksprintf (fun message -> { severity; code; message }) fmt
+let errors issues = List.filter (fun i -> i.severity = Error) issues
+
+let pp_issue ppf i =
+  Fmt.pf ppf "%s [%s] %s"
+    (match i.severity with Error -> "error:" | Warning -> "warning:")
+    i.code i.message
+
+(* -- Single-device host programs -------------------------------------- *)
+
+(* Approximate denotation of a host expression, mirroring
+   [Host.compile_hexpr] without generating code. *)
+type hkind =
+  | K_scalar
+  | K_buf of string
+  | K_out  (* a kernel's freshly allocated (device-resident) output *)
+  | K_tuple
+
+type hstate = {
+  mutable issues : issue list;  (* reversed *)
+  on_device : (string, unit) Hashtbl.t;
+  pending_to_gpu : (string, unit) Hashtbl.t;  (* transferred, not yet consumed *)
+  venv : (int, hkind) Hashtbl.t;
+}
+
+let report st i = st.issues <- i :: st.issues
+
+let consume st name =
+  Hashtbl.remove st.pending_to_gpu name;
+  Hashtbl.mem st.on_device name
+
+let require_on_device st ~what name =
+  if not (consume st name) then
+    report st
+      (issue Error "use-before-togpu" "%s uses buffer %s before any ToGPU transfer" what name)
+
+let rec lint_hexpr st (e : Host.hexpr) : hkind =
+  match e with
+  | H_int _ | H_real _ -> K_scalar
+  | H_input p -> (
+      match Hashtbl.find_opt st.venv p.Ast.p_id with
+      | Some k -> k
+      | None -> if Ty.is_scalar p.Ast.p_ty then K_scalar else K_buf p.Ast.p_name)
+  | H_to_gpu e -> (
+      match lint_hexpr st e with
+      | K_buf name ->
+          if Hashtbl.mem st.pending_to_gpu name then
+            report st
+              (issue Warning "dead-transfer" "buffer %s is transferred to the GPU twice with no use in between" name);
+          Hashtbl.replace st.on_device name ();
+          Hashtbl.replace st.pending_to_gpu name ();
+          K_buf name
+      | k -> k)
+  | H_to_host e -> (
+      match lint_hexpr st e with
+      | K_buf name ->
+          if not (Hashtbl.mem st.on_device name) then
+            report st
+              (issue Warning "dead-transfer" "buffer %s is read back without ever living on the GPU" name);
+          K_buf name
+      | k -> k)
+  | H_let (p, v, b) ->
+      let k = lint_hexpr st v in
+      Hashtbl.replace st.venv p.Ast.p_id k;
+      lint_hexpr st b
+  | H_tuple es ->
+      List.iter (fun e -> ignore (lint_hexpr st e)) es;
+      K_tuple
+  | H_copy { src; dst; _ } -> (
+      let sk = lint_hexpr st src in
+      let dk = lint_hexpr st dst in
+      (match sk with
+      | K_buf name -> require_on_device st ~what:"a device copy" name
+      | K_out -> ()
+      | K_scalar | K_tuple ->
+          report st (issue Error "kind-mismatch" "copy source is not a buffer"));
+      (match dk with
+      | K_buf name -> require_on_device st ~what:"a device copy" name
+      | K_out -> ()
+      | K_scalar | K_tuple ->
+          report st (issue Error "kind-mismatch" "copy destination is not a buffer"));
+      dk)
+  | H_write_to (t, v) -> (
+      let tk = lint_hexpr st t in
+      (match tk with
+      | K_buf name -> require_on_device st ~what:"WriteTo" name
+      | K_out -> ()
+      | K_scalar | K_tuple ->
+          report st (issue Error "kind-mismatch" "WriteTo target is not a buffer"));
+      let _ = lint_hexpr st v in
+      match tk with K_buf _ | K_out -> tk | _ -> K_out)
+  | H_kernel { k_name; f; args } ->
+      let params = f.Ast.l_params in
+      if List.length args <> List.length params then begin
+        report st
+          (issue Error "arity-mismatch" "kernel %s expects %d arguments, got %d" k_name
+             (List.length params) (List.length args));
+        List.iter (fun a -> ignore (lint_hexpr st a)) args
+      end
+      else
+        List.iter2
+          (fun (p : Ast.param) a ->
+            let k = lint_hexpr st a in
+            let want_scalar = Ty.is_scalar p.Ast.p_ty in
+            match (k, want_scalar) with
+            | K_scalar, true -> ()
+            | (K_buf _ | K_out), false -> (
+                match k with
+                | K_buf name ->
+                    require_on_device st ~what:(Printf.sprintf "kernel %s" k_name) name
+                | _ -> ())
+            | K_scalar, false ->
+                report st
+                  (issue Error "kind-mismatch" "kernel %s: scalar passed for buffer parameter %s"
+                     k_name p.Ast.p_name)
+            | (K_buf _ | K_out), true ->
+                report st
+                  (issue Error "kind-mismatch" "kernel %s: buffer passed for scalar parameter %s"
+                     k_name p.Ast.p_name)
+            | K_tuple, _ ->
+                report st
+                  (issue Error "kind-mismatch" "kernel %s: tuple passed for parameter %s" k_name
+                     p.Ast.p_name))
+          params args;
+      K_out
+
+let check_host (e : Host.hexpr) : issue list =
+  let st =
+    {
+      issues = [];
+      on_device = Hashtbl.create 8;
+      pending_to_gpu = Hashtbl.create 8;
+      venv = Hashtbl.create 8;
+    }
+  in
+  ignore (lint_hexpr st e);
+  Hashtbl.iter
+    (fun name () ->
+      report st
+        (issue Warning "dead-transfer" "buffer %s is transferred to the GPU but never used" name))
+    st.pending_to_gpu;
+  List.rev st.issues
+
+(* -- Sharded multi-device plans --------------------------------------- *)
+
+(* A sharded time step ends with the per-device buffer rotation (Swap
+   ops).  Between two consecutive steps that both launch kernels on
+   devices i and i+1, the freshly written ghost planes must have been
+   exchanged across that Z-cut — otherwise step k+1 consumes stale halo
+   data.  We segment the plan at Swap boundaries and check every
+   adjacent launching pair for an exchange in the earlier segment. *)
+let check_sharded (plan : Vgpu.Multi.plan) : issue list =
+  (* split into segments: a run of non-Swap ops terminated by Swaps *)
+  let segments = ref [] and current = ref [] and saw_swap = ref false in
+  let flush () =
+    if !current <> [] || !saw_swap then begin
+      segments := List.rev !current :: !segments;
+      current := [];
+      saw_swap := false
+    end
+  in
+  List.iter
+    (fun (op : Vgpu.Multi.op) ->
+      match op with
+      | Vgpu.Multi.Dev (_, Vgpu.Runtime.Swap _) -> saw_swap := true
+      | op ->
+          if !saw_swap then flush ();
+          current := op :: !current)
+    plan;
+  flush ();
+  let segments = List.rev !segments in
+  let launching seg =
+    List.filter_map
+      (function Vgpu.Multi.Dev (i, Vgpu.Runtime.Launch _) -> Some i | _ -> None)
+      seg
+    |> List.sort_uniq compare
+  in
+  let exchanged_pairs seg =
+    List.filter_map
+      (function
+        | Vgpu.Multi.Exchange { src_dev; dst_dev; _ } ->
+            Some (min src_dev dst_dev, max src_dev dst_dev)
+        | _ -> None)
+      seg
+    |> List.sort_uniq compare
+  in
+  let issues = ref [] in
+  let rec walk = function
+    | seg :: (next :: _ as rest) ->
+        let l1 = launching seg and l2 = launching next in
+        let ex = exchanged_pairs seg in
+        List.iter
+          (fun i ->
+            let pair = (i, i + 1) in
+            if
+              List.mem i l1 && List.mem (i + 1) l1 && List.mem i l2
+              && List.mem (i + 1) l2
+              && not (List.mem pair ex)
+            then
+              issues :=
+                issue Error "missing-halo-exchange"
+                  "devices %d and %d step again without a halo exchange across their Z-cut" i
+                  (i + 1)
+                :: !issues)
+          l1;
+        walk rest
+    | _ -> []
+  in
+  ignore (walk segments);
+  List.rev !issues

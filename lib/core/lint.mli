@@ -1,0 +1,39 @@
+(** Host-plan lint: static well-formedness checks on host programs and
+    sharded multi-device plans, before (and independent of) compilation.
+
+    {!check_host} walks a {!Host.hexpr} mirroring the compiler's
+    evaluation order and reports:
+    - {b use-before-ToGPU} (error): a kernel argument, copy endpoint or
+      WriteTo target buffer that was never transferred to the device;
+    - {b dead transfers} (warning): ToGPU whose buffer is never consumed
+      afterwards, double transfers with no use in between, ToHost of a
+      buffer that never lived on the device;
+    - {b arity/kind mismatches} (error): kernel calls checked against
+      the Lift lambda's parameters — wrong argument count, scalar where
+      a buffer is expected and vice versa.
+
+    {!check_sharded} checks a {!Vgpu.Multi.plan} for halo-exchange
+    coverage: a Z-cut whose two devices launch in consecutive steps
+    (segments separated by the buffer-rotation [Swap]s) with no
+    [Exchange] across the cut in the earlier step is reported as an
+    error — step k+1 would consume stale ghost planes. *)
+
+type severity =
+  | Error
+  | Warning
+
+type issue = {
+  severity : severity;
+  code : string;  (** stable machine-readable tag *)
+  message : string;
+}
+
+val check_host : Host.hexpr -> issue list
+(** Issues in program order (dead-transfer warnings last). *)
+
+val check_sharded : Vgpu.Multi.plan -> issue list
+
+val errors : issue list -> issue list
+(** The [Error]-severity subset. *)
+
+val pp_issue : Format.formatter -> issue -> unit

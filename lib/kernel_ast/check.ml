@@ -1,0 +1,921 @@
+(* Static race/bounds verifier over kernel ASTs.
+
+   Two analyses run over one abstract traversal of the kernel body:
+
+   - every integer expression is abstracted to an interval (from NDRange
+     extents, scalar-parameter values and loop ranges) and, when
+     possible, a symbolic affine form [base + sum coeff_i * var_i] whose
+     variables are [get_global_id] dimensions and loop counters;
+   - every load/store records its abstracted index against the accessed
+     buffer.
+
+   Race freedom of a buffer's stores is then an injectivity question on
+   the affine forms: if the combined form over (gid dims + loop
+   counters) is injective on its box — proved by a mixed-radix stride
+   argument — no two distinct work-items can write the same cell.
+   Bounds safety is interval containment in [0, extent).
+
+   [Unsafe] is deliberately harder to earn than [Unproven]: a candidate
+   violation is only reported as [Unsafe] after a concrete partial
+   evaluator (loads opaque, guards must evaluate) re-executes the
+   kernel for the candidate work-items and reproduces the collision or
+   out-of-bounds access.  Everything the analysis cannot decide — in
+   particular the indirect [next[bidx[i]]] scatters of the boundary
+   kernels — is [Unproven] and covered at runtime by the shadow-memory
+   sanitizer. *)
+
+open Cast
+module SMap = Map.Make (String)
+
+(* -- Intervals ------------------------------------------------------- *)
+
+type itv = { lo : int option; hi : int option }
+
+let top_itv = { lo = None; hi = None }
+let point n = { lo = Some n; hi = Some n }
+let bool_itv = { lo = Some 0; hi = Some 1 }
+
+let map2_opt f a b = match (a, b) with Some x, Some y -> Some (f x y) | _ -> None
+
+let itv_add a b = { lo = map2_opt ( + ) a.lo b.lo; hi = map2_opt ( + ) a.hi b.hi }
+let itv_neg a = { lo = Option.map (fun h -> -h) a.hi; hi = Option.map (fun l -> -l) a.lo }
+let itv_sub a b = itv_add a (itv_neg b)
+
+let itv_mul a b =
+  match (a.lo, a.hi, b.lo, b.hi) with
+  | Some al, Some ah, Some bl, Some bh ->
+      let ps = [ al * bl; al * bh; ah * bl; ah * bh ] in
+      { lo = Some (List.fold_left min max_int ps); hi = Some (List.fold_left max min_int ps) }
+  | _ -> top_itv
+
+(* Truncating division by a positive constant, non-negative operand. *)
+let itv_div_pos a c =
+  match a.lo with
+  | Some l when l >= 0 -> { lo = Some (l / c); hi = Option.map (fun h -> h / c) a.hi }
+  | _ -> top_itv
+
+let itv_join a b =
+  {
+    lo = map2_opt min a.lo b.lo;
+    hi = map2_opt max a.hi b.hi;
+  }
+
+let itv_within a ~lo ~hi =
+  match (a.lo, a.hi) with Some l, Some h -> l >= lo && h <= hi | _ -> false
+
+let pp_itv ppf a =
+  let s = function Some n -> string_of_int n | None -> "?" in
+  Fmt.pf ppf "[%s, %s]" (s a.lo) (s a.hi)
+
+(* -- Affine forms ---------------------------------------------------- *)
+
+type term =
+  | Tgid of int
+  | Tloop of int  (* unique id per syntactic loop *)
+
+(* [coeffs] sorted by term, all coefficients non-zero. *)
+type aff = { base : int; coeffs : (term * int) list }
+
+let aff_const n = { base = n; coeffs = [] }
+let aff_of_term t = { base = 0; coeffs = [ (t, 1) ] }
+
+let aff_add a b =
+  let rec merge xs ys =
+    match (xs, ys) with
+    | [], r | r, [] -> r
+    | (tx, cx) :: xs', (ty, cy) :: ys' ->
+        if tx = ty then
+          let c = cx + cy in
+          if c = 0 then merge xs' ys' else (tx, c) :: merge xs' ys'
+        else if compare tx ty < 0 then (tx, cx) :: merge xs' ys
+        else (ty, cy) :: merge xs ys'
+  in
+  { base = a.base + b.base; coeffs = merge a.coeffs b.coeffs }
+
+let aff_scale k a =
+  if k = 0 then aff_const 0
+  else { base = k * a.base; coeffs = List.map (fun (t, c) -> (t, k * c)) a.coeffs }
+
+let aff_neg a = aff_scale (-1) a
+let aff_sub a b = aff_add a (aff_neg b)
+
+(* -- Abstract values -------------------------------------------------- *)
+
+type absval = {
+  v_itv : itv;
+  v_aff : aff option;
+  v_tainted : bool;  (* depends on data loaded from memory *)
+}
+
+let top = { v_itv = top_itv; v_aff = None; v_tainted = false }
+let taint v = { v with v_tainted = true }
+
+let known n = { v_itv = point n; v_aff = Some (aff_const n); v_tainted = false }
+
+let join a b =
+  {
+    v_itv = itv_join a.v_itv b.v_itv;
+    v_aff = (match (a.v_aff, b.v_aff) with Some x, Some y when x = y -> Some x | _ -> None);
+    v_tainted = a.v_tainted || b.v_tainted;
+  }
+
+(* -- Public report types ---------------------------------------------- *)
+
+type witness = {
+  w_buf : string;
+  w_index : int;
+  w_gids : (int * int * int) list;
+  w_detail : string;
+}
+
+type verdict =
+  | Safe
+  | Unsafe of witness
+  | Unproven of string
+
+type buf_report = {
+  b_name : string;
+  b_kind : [ `Global | `Private ];
+  b_elems : int option;
+  b_race : verdict;
+  b_bounds : verdict;
+}
+
+type report = {
+  r_kernel : string;
+  r_global : int option array;
+  r_bufs : buf_report list;
+}
+
+type env = {
+  param_value : string -> int option;
+  buffer_elems : string -> int option;
+  global : int list option;
+}
+
+let env ?(param_value = fun _ -> None) ?(buffer_elems = fun _ -> None) ?global () =
+  { param_value; buffer_elems; global }
+
+(* -- Analysis state --------------------------------------------------- *)
+
+type access = { ac_store : bool; ac_v : absval }
+
+type cenv = {
+  e : env;
+  gsize : int option array;  (* 3 dims; missing dims are 1 *)
+  global_bufs : (string, unit) Hashtbl.t;
+  private_arrs : (string, int) Hashtbl.t;
+  accesses : (string, access list ref) Hashtbl.t;
+  loop_ranges : (int, itv) Hashtbl.t;
+  mutable nloops : int;
+  mutable locals : absval SMap.t;
+}
+
+let record cenv buf ~store v =
+  match Hashtbl.find_opt cenv.accesses buf with
+  | Some r -> r := { ac_store = store; ac_v = v } :: !r
+  | None ->
+      (* a name that is neither a global buffer nor a declared private
+         array: malformed kernel; the interpreter reports it *)
+      ()
+
+(* Constant evaluation of size expressions through the parameter
+   environment (mirrors [Analysis.eval_const]). *)
+let rec const_eval (e : env) expr =
+  match Cast.simplify expr with
+  | Int_lit n -> Some n
+  | Var v -> e.param_value v
+  | Binop (op, a, b) -> (
+      match (const_eval e a, const_eval e b) with
+      | Some x, Some y -> (
+          match op with
+          | Add -> Some (x + y)
+          | Sub -> Some (x - y)
+          | Mul -> Some (x * y)
+          | Div when y <> 0 -> Some (x / y)
+          | Mod when y <> 0 -> Some (x mod y)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* -- Abstract evaluation ---------------------------------------------- *)
+
+let rec eval cenv (expr : expr) : absval =
+  match expr with
+  | Int_lit n -> known n
+  | Real_lit _ -> top
+  | Global_id d ->
+      let itv =
+        if d < 3 then
+          match cenv.gsize.(d) with
+          | Some n -> { lo = Some 0; hi = Some (n - 1) }
+          | None -> { lo = Some 0; hi = None }
+        else top_itv
+      in
+      { v_itv = itv; v_aff = Some (aff_of_term (Tgid d)); v_tainted = false }
+  | Global_size d -> (
+      match if d < 3 then cenv.gsize.(d) else None with
+      | Some n -> known n
+      | None -> { top with v_itv = { lo = Some 1; hi = None } })
+  | Var v -> (
+      match SMap.find_opt v cenv.locals with
+      | Some av -> av
+      | None -> ( match cenv.e.param_value v with Some n -> known n | None -> top))
+  | Load (b, i) ->
+      let iv = eval cenv i in
+      record cenv b ~store:false iv;
+      taint top
+  | Unop (op, a) -> (
+      let av = eval cenv a in
+      match op with
+      | Neg ->
+          {
+            v_itv = itv_neg av.v_itv;
+            v_aff = Option.map aff_neg av.v_aff;
+            v_tainted = av.v_tainted;
+          }
+      | Not -> { v_itv = bool_itv; v_aff = None; v_tainted = av.v_tainted }
+      | To_real | To_int -> { top with v_tainted = av.v_tainted })
+  | Ternary (c, a, b) ->
+      let cv = eval cenv c in
+      let av = eval cenv a and bv = eval cenv b in
+      { (join av bv) with v_tainted = cv.v_tainted || av.v_tainted || bv.v_tainted }
+  | Call (_, args) ->
+      let tainted = List.exists (fun a -> (eval cenv a).v_tainted) args in
+      { top with v_tainted = tainted }
+  | Binop (op, a, b) -> (
+      let av = eval cenv a and bv = eval cenv b in
+      let tainted = av.v_tainted || bv.v_tainted in
+      let with_t v = { v with v_tainted = tainted } in
+      match op with
+      | Add ->
+          with_t
+            {
+              v_itv = itv_add av.v_itv bv.v_itv;
+              v_aff = map2_opt aff_add av.v_aff bv.v_aff;
+              v_tainted = false;
+            }
+      | Sub ->
+          with_t
+            {
+              v_itv = itv_sub av.v_itv bv.v_itv;
+              v_aff = map2_opt aff_sub av.v_aff bv.v_aff;
+              v_tainted = false;
+            }
+      | Mul ->
+          let aff =
+            match (av.v_aff, bv.v_aff) with
+            | Some { base = k; coeffs = [] }, Some f | Some f, Some { base = k; coeffs = [] }
+              ->
+                Some (aff_scale k f)
+            | _ -> None
+          in
+          with_t { v_itv = itv_mul av.v_itv bv.v_itv; v_aff = aff; v_tainted = false }
+      | Div -> (
+          match bv.v_aff with
+          | Some { base = c; coeffs = [] } when c > 0 ->
+              with_t { top with v_itv = itv_div_pos av.v_itv c }
+          | _ -> with_t top)
+      | Mod -> (
+          match bv.v_aff with
+          | Some { base = c; coeffs = [] } when c > 0 -> (
+              match av.v_itv.lo with
+              | Some l when l >= 0 ->
+                  with_t { top with v_itv = { lo = Some 0; hi = Some (c - 1) } }
+              | _ -> with_t { top with v_itv = { lo = Some (-(c - 1)); hi = Some (c - 1) } })
+          | _ -> with_t top)
+      | Shr -> (
+          match bv.v_aff with
+          | Some { base = k; coeffs = [] } when k >= 0 && k < 62 ->
+              with_t { top with v_itv = itv_div_pos av.v_itv (1 lsl k) }
+          | _ -> with_t top)
+      | BAnd -> (
+          let mask v =
+            match v.v_aff with Some { base = m; coeffs = [] } when m >= 0 -> Some m | _ -> None
+          in
+          match (mask av, mask bv) with
+          | Some m, _ | _, Some m ->
+              with_t { top with v_itv = { lo = Some 0; hi = Some m } }
+          | None, None -> with_t top)
+      | Eq | Ne | Lt | Le | Gt | Ge | And | Or ->
+          with_t { top with v_itv = bool_itv })
+
+(* Variables assigned anywhere in a statement list (loop-body widening). *)
+let rec assigned_vars acc = function
+  | [] -> acc
+  | Assign (v, _) :: tl -> assigned_vars (v :: acc) tl
+  | If (_, t, f) :: tl -> assigned_vars (assigned_vars (assigned_vars acc t) f) tl
+  | For l :: tl -> assigned_vars (assigned_vars (l.var :: acc) l.body) tl
+  | _ :: tl -> assigned_vars acc tl
+
+let rec scan cenv (s : stmt) =
+  match s with
+  | Comment _ -> ()
+  | Decl_arr (_, v, n) ->
+      Hashtbl.replace cenv.private_arrs v n;
+      if not (Hashtbl.mem cenv.accesses v) then Hashtbl.replace cenv.accesses v (ref [])
+  | Decl (ty, v, init) ->
+      let av =
+        match (ty, init) with
+        | _, Some e -> eval cenv e
+        | Int, None -> known 0
+        | Real, None -> top
+      in
+      cenv.locals <- SMap.add v av cenv.locals
+  | Assign (v, e) -> cenv.locals <- SMap.add v (eval cenv e) cenv.locals
+  | Store (b, i, e) ->
+      let iv = eval cenv i in
+      let _ = eval cenv e in
+      record cenv b ~store:true iv
+  | If (c, t, f) ->
+      let _ = eval cenv c in
+      let saved = cenv.locals in
+      List.iter (scan cenv) t;
+      let after_t = cenv.locals in
+      cenv.locals <- saved;
+      List.iter (scan cenv) f;
+      let after_f = cenv.locals in
+      (* join the branch environments *)
+      cenv.locals <-
+        SMap.merge
+          (fun _ a b ->
+            match (a, b) with Some x, Some y -> Some (join x y) | _ -> Some top)
+          after_t after_f
+  | For l ->
+      let init_v = eval cenv l.init in
+      let bound_v = eval cenv l.bound in
+      let _ = eval cenv l.step in
+      let id = cenv.nloops in
+      cenv.nloops <- id + 1;
+      let range =
+        {
+          lo = init_v.v_itv.lo;
+          hi = Option.map (fun h -> h - 1) bound_v.v_itv.hi;
+        }
+      in
+      Hashtbl.replace cenv.loop_ranges id
+        (if init_v.v_tainted || bound_v.v_tainted then top_itv else range);
+      (* widen every variable assigned in the body before analysing it,
+         so the single abstract pass is sound for all iterations *)
+      List.iter
+        (fun v -> cenv.locals <- SMap.add v top cenv.locals)
+        (assigned_vars [] l.body);
+      cenv.locals <-
+        SMap.add l.var
+          { v_itv = range; v_aff = Some (aff_of_term (Tloop id)); v_tainted = false }
+          cenv.locals;
+      List.iter (scan cenv) l.body
+
+(* -- Concrete partial evaluation (witness confirmation) --------------- *)
+
+(* Re-execute the kernel for one concrete work-item with loads opaque:
+   scalar parameters resolve through the environment, private arrays
+   hold concrete values, global loads return Unknown.  Every global
+   access with a computable index is recorded.  [Bail] aborts witness
+   confirmation whenever control flow or a tracked index depends on an
+   unknown value — the result is only ever used to *confirm* a
+   violation, so bailing out is sound (the verdict stays [Unproven]). *)
+
+exception Bail
+
+type cval =
+  | Ki of int
+  | Kr of float
+  | Kunknown
+
+type caccess = { c_buf : string; c_idx : int; c_store : bool }
+
+let builtin_c (f : builtin) (args : float list) =
+  match (f, args) with
+  | Sqrt, [ x ] -> sqrt x
+  | Fabs, [ x ] -> Float.abs x
+  | Exp, [ x ] -> exp x
+  | Log, [ x ] -> log x
+  | Sin, [ x ] -> sin x
+  | Cos, [ x ] -> cos x
+  | Floor, [ x ] -> Float.floor x
+  | Fmin, [ x; y ] -> Float.min x y
+  | Fmax, [ x; y ] -> Float.max x y
+  | _ -> raise Bail
+
+type crun = {
+  ce : env;
+  cgsize : int array;
+  cgid : int array;
+  scalars : (string, cval) Hashtbl.t;
+  arrays : (string, cval array) Hashtbl.t;
+  cglobals : (string, unit) Hashtbl.t;
+  mutable recorded : caccess list;
+  mutable budget : int;
+}
+
+let as_int_c = function Ki i -> Some i | Kr r -> Some (int_of_float r) | Kunknown -> None
+let as_real_c = function Kr r -> Some r | Ki i -> Some (float_of_int i) | Kunknown -> None
+
+let rec ceval r (expr : expr) : cval =
+  match expr with
+  | Int_lit n -> Ki n
+  | Real_lit x -> Kr x
+  | Global_id d -> Ki r.cgid.(d)
+  | Global_size d -> Ki r.cgsize.(d)
+  | Var v -> (
+      match Hashtbl.find_opt r.scalars v with
+      | Some c -> c
+      | None -> ( match r.ce.param_value v with Some n -> Ki n | None -> Kunknown))
+  | Load (b, i) -> (
+      let idx = as_int_c (ceval r i) in
+      match Hashtbl.find_opt r.arrays b with
+      | Some a -> (
+          match idx with
+          | Some k when k >= 0 && k < Array.length a -> a.(k)
+          | Some k ->
+              r.recorded <- { c_buf = b; c_idx = k; c_store = false } :: r.recorded;
+              Kunknown
+          | None -> raise Bail)
+      | None ->
+          (if Hashtbl.mem r.cglobals b then
+             match idx with
+             | Some k -> r.recorded <- { c_buf = b; c_idx = k; c_store = false } :: r.recorded
+             | None -> raise Bail);
+          Kunknown)
+  | Unop (op, a) -> (
+      let v = ceval r a in
+      match (op, v) with
+      | _, Kunknown -> Kunknown
+      | Neg, Ki i -> Ki (-i)
+      | Neg, Kr x -> Kr (-.x)
+      | Not, _ -> ( match as_int_c v with Some i -> Ki (if i = 0 then 1 else 0) | None -> Kunknown)
+      | To_real, _ -> ( match as_real_c v with Some x -> Kr x | None -> Kunknown)
+      | To_int, _ -> ( match as_int_c v with Some i -> Ki i | None -> Kunknown))
+  | Ternary (c, a, b) -> (
+      match as_int_c (ceval r c) with
+      | Some 0 -> ceval r b
+      | Some _ -> ceval r a
+      | None -> raise Bail)
+  | Call (f, args) -> (
+      let vs = List.map (fun a -> as_real_c (ceval r a)) args in
+      if List.exists Option.is_none vs then Kunknown
+      else Kr (builtin_c f (List.map Option.get vs)))
+  | Binop (op, a, b) -> cbinop op (ceval r a) (ceval r b)
+
+and cbinop op va vb =
+  let arith fi fr =
+    match (va, vb) with
+    | Ki x, Ki y -> Ki (fi x y)
+    | Kunknown, _ | _, Kunknown -> Kunknown
+    | _ -> (
+        match (as_real_c va, as_real_c vb) with
+        | Some x, Some y -> Kr (fr x y)
+        | _ -> Kunknown)
+  in
+  let compare cmp =
+    match (as_real_c va, as_real_c vb) with
+    | Some x, Some y -> Ki (if cmp (Stdlib.compare x y) 0 then 1 else 0)
+    | _ -> Kunknown
+  in
+  match op with
+  | Add -> arith ( + ) ( +. )
+  | Sub -> arith ( - ) ( -. )
+  | Mul -> arith ( * ) ( *. )
+  | Div -> ( match vb with Ki 0 -> Kunknown | _ -> arith ( / ) ( /. ))
+  | Mod -> ( match vb with Ki 0 -> Kunknown | _ -> arith (fun x y -> x mod y) Float.rem)
+  | Eq -> compare ( = )
+  | Ne -> compare ( <> )
+  | Lt -> compare ( < )
+  | Le -> compare ( <= )
+  | Gt -> compare ( > )
+  | Ge -> compare ( >= )
+  | And -> (
+      match (as_int_c va, as_int_c vb) with
+      | Some 0, _ | _, Some 0 -> Ki 0
+      | Some _, Some _ -> Ki 1
+      | _ -> Kunknown)
+  | Or -> (
+      match (as_int_c va, as_int_c vb) with
+      | Some x, Some y when x = 0 && y = 0 -> Ki 0
+      | Some x, _ when x <> 0 -> Ki 1
+      | _, Some y when y <> 0 -> Ki 1
+      | _ -> Kunknown)
+  | Shr -> ( match (va, vb) with Ki x, Ki y -> Ki (x asr y) | _ -> Kunknown)
+  | BAnd -> ( match (va, vb) with Ki x, Ki y -> Ki (x land y) | _ -> Kunknown)
+
+let rec cexec r (s : stmt) =
+  match s with
+  | Comment _ -> ()
+  | Decl (ty, v, init) ->
+      let value =
+        match init with
+        | Some e -> ceval r e
+        | None -> ( match ty with Int -> Ki 0 | Real -> Kr 0.)
+      in
+      Hashtbl.replace r.scalars v value
+  | Decl_arr (ty, v, n) ->
+      Hashtbl.replace r.arrays v
+        (Array.make n (match ty with Int -> Ki 0 | Real -> Kr 0.))
+  | Assign (v, e) -> Hashtbl.replace r.scalars v (ceval r e)
+  | Store (b, i, e) -> (
+      let idx = as_int_c (ceval r i) in
+      let v = ceval r e in
+      match Hashtbl.find_opt r.arrays b with
+      | Some a -> (
+          match idx with
+          | Some k when k >= 0 && k < Array.length a -> a.(k) <- v
+          | Some k -> r.recorded <- { c_buf = b; c_idx = k; c_store = true } :: r.recorded
+          | None -> raise Bail)
+      | None -> (
+          if Hashtbl.mem r.cglobals b then
+            match idx with
+            | Some k -> r.recorded <- { c_buf = b; c_idx = k; c_store = true } :: r.recorded
+            | None -> raise Bail))
+  | If (c, t, f) -> (
+      match as_int_c (ceval r c) with
+      | Some 0 -> List.iter (cexec r) f
+      | Some _ -> List.iter (cexec r) t
+      | None -> raise Bail)
+  | For l ->
+      let get e = match as_int_c (ceval r e) with Some n -> n | None -> raise Bail in
+      let i = ref (get l.init) in
+      Hashtbl.replace r.scalars l.var (Ki !i);
+      while !i < get l.bound do
+        r.budget <- r.budget - 1;
+        if r.budget <= 0 then raise Bail;
+        Hashtbl.replace r.scalars l.var (Ki !i);
+        List.iter (cexec r) l.body;
+        i := !i + get l.step
+      done
+
+(* Run [k]'s body for one work-item; [None] when the execution depends
+   on unknown data. *)
+let crun_workitem e (k : kernel) ~gsize ~gid : caccess list option =
+  let r =
+    {
+      ce = e;
+      cgsize = gsize;
+      cgid = gid;
+      scalars = Hashtbl.create 16;
+      arrays = Hashtbl.create 4;
+      cglobals = Hashtbl.create 8;
+      recorded = [];
+      budget = 4096;
+    }
+  in
+  List.iter (fun p -> if p.p_kind = Global_buf then Hashtbl.replace r.cglobals p.p_name ()) k.params;
+  match List.iter (cexec r) k.body with
+  | () -> Some (List.rev r.recorded)
+  | exception Bail -> None
+
+(* -- Race analysis ---------------------------------------------------- *)
+
+type dim = { d_coeff : int; d_extent : int; d_gid : int option }
+(* one injectivity dimension: |coefficient|, index range (max - min),
+   and the gid dimension it came from (None for loop counters) *)
+
+let confirm_race e k ~gsize buf (g1 : int array) (g2 : int array) : witness option =
+  match (crun_workitem e k ~gsize ~gid:g1, crun_workitem e k ~gsize ~gid:g2) with
+  | Some a1, Some a2 ->
+      let stores l = List.filter_map (fun a -> if a.c_store && a.c_buf = buf then Some a.c_idx else None) l in
+      let s1 = stores a1 and s2 = stores a2 in
+      let common = List.filter (fun i -> List.mem i s2) s1 in
+      (match common with
+      | idx :: _ ->
+          let t a = (a.(0), a.(1), a.(2)) in
+          Some
+            {
+              w_buf = buf;
+              w_index = idx;
+              w_gids = [ t g1; t g2 ];
+              w_detail =
+                Printf.sprintf "work-items %s and %s both store %s[%d]"
+                  (Printf.sprintf "(%d,%d,%d)" g1.(0) g1.(1) g1.(2))
+                  (Printf.sprintf "(%d,%d,%d)" g2.(0) g2.(1) g2.(2))
+                  buf idx;
+            }
+      | [] -> None)
+  | _ -> None
+
+(* Candidate work-item pairs worth testing for a collision on [form]:
+   pairs differing only in a gid dimension the form ignores, plus a
+   greedy attempt at realising one coefficient as a combination of
+   lower-significance gid coefficients. *)
+let candidate_pairs ~gsize (form : aff) =
+  let unit d = Array.init 3 (fun i -> if i = d then 1 else 0) in
+  let zeros = Array.make 3 0 in
+  let coeff d = Option.value ~default:0 (List.assoc_opt (Tgid d) form.coeffs) in
+  let active d = gsize.(d) > 1 in
+  let ignored =
+    List.filter_map
+      (fun d -> if active d && coeff d = 0 then Some (zeros, unit d) else None)
+      [ 0; 1; 2 ]
+  in
+  let greedy =
+    (* realise coeff(k) = sum over lower dims: gid pair (unit k, delta) *)
+    List.filter_map
+      (fun kd ->
+        let ck = coeff kd in
+        if not (active kd) || ck = 0 then None
+        else
+          let lower =
+            List.filter (fun d -> d <> kd && active d && coeff d <> 0) [ 0; 1; 2 ]
+            |> List.sort (fun a b -> compare (abs (coeff b)) (abs (coeff a)))
+          in
+          let delta = Array.make 3 0 in
+          let target = ref (abs ck) in
+          List.iter
+            (fun d ->
+              let c = abs (coeff d) in
+              let steps = min (!target / c) (gsize.(d) - 1) in
+              delta.(d) <- steps;
+              target := !target - (steps * c))
+            lower;
+          if !target = 0 && Array.exists (fun x -> x > 0) delta then Some (unit kd, delta)
+          else None)
+      [ 0; 1; 2 ]
+  in
+  ignored @ greedy
+
+let race_verdict cenv e (k : kernel) buf (stores : absval list) : verdict =
+  if stores = [] then Safe
+  else if List.exists (fun s -> s.v_tainted) stores then
+    Unproven "store index depends on loaded data (indirect scatter)"
+  else if List.exists (fun s -> s.v_aff = None) stores then
+    Unproven "store index is not affine in work-item ids"
+  else
+    let forms = List.sort_uniq compare (List.map (fun s -> Option.get s.v_aff) stores) in
+    (* Several store forms sharing the same gid/loop coefficients and
+       uniformly spaced bases (the shape loop unrolling produces from a
+       single [b*MB+i] store) merge into one form plus a pseudo loop
+       dimension ranging over the bases: injectivity over the combined
+       box is stronger than race-freedom, which only needs distinct
+       work-items to stay disjoint. *)
+    let merged =
+      match forms with
+      | [] | [ _ ] -> None
+      | f0 :: rest when List.for_all (fun f -> f.coeffs = f0.coeffs) rest ->
+          let bases = List.map (fun f -> f.base) forms |> List.sort compare in
+          let spacings =
+            List.map2 (fun a b -> b - a)
+              (List.filteri (fun i _ -> i < List.length bases - 1) bases)
+              (List.tl bases)
+          in
+          (match spacings with
+          | s :: _ when s > 0 && List.for_all (( = ) s) spacings ->
+              Some (f0, [ { d_coeff = s; d_extent = List.length bases - 1; d_gid = None } ])
+          | _ -> None)
+      | _ -> None
+    in
+    let single =
+      match (forms, merged) with
+      | [ form ], _ -> Some (form, [])
+      | _, Some (form, extra) -> Some (form, extra)
+      | _ -> None
+    in
+    match single with
+    | None -> Unproven "multiple distinct store index shapes"
+    | Some (form, extra_dims) -> (
+        match cenv.gsize with
+        | gs when Array.exists (fun d -> d = None) gs ->
+            ignore gs;
+            Unproven "NDRange extent not statically known"
+        | _ ->
+            let gsize = Array.map (fun d -> Option.get d) cenv.gsize in
+            let coeff d = Option.value ~default:0 (List.assoc_opt (Tgid d) form.coeffs) in
+            (* every dimension of the combined (gid + loop) box *)
+            let dims_exn () =
+              let gid_dims =
+                List.filter_map
+                  (fun d ->
+                    if gsize.(d) > 1 then
+                      Some { d_coeff = abs (coeff d); d_extent = gsize.(d) - 1; d_gid = Some d }
+                    else None)
+                  [ 0; 1; 2 ]
+              in
+              let loop_dims =
+                List.filter_map
+                  (fun (t, c) ->
+                    match t with
+                    | Tgid _ -> None
+                    | Tloop id -> (
+                        match Hashtbl.find_opt cenv.loop_ranges id with
+                        | Some { lo = Some l; hi = Some h } ->
+                            Some { d_coeff = abs c; d_extent = max 0 (h - l); d_gid = None }
+                        | _ -> raise Exit))
+                  form.coeffs
+              in
+              gid_dims @ loop_dims @ extra_dims
+            in
+            (match dims_exn () with
+            | exception Exit -> Unproven "loop range not statically known"
+            | dims ->
+                let zero_gid = List.find_opt (fun d -> d.d_gid <> None && d.d_coeff = 0) dims in
+                let radix_ok =
+                  List.sort (fun a b -> compare a.d_coeff b.d_coeff) dims
+                  |> List.fold_left
+                       (fun acc d ->
+                         match acc with
+                         | None -> None
+                         | Some reach ->
+                             if d.d_coeff <= reach then None
+                             else Some (reach + (d.d_coeff * d.d_extent)))
+                       (Some 0)
+                  |> Option.is_some
+                in
+                if zero_gid = None && radix_ok then Safe
+                else
+                  (* candidate collision: only claim Unsafe when a pair of
+                     work-items is concretely confirmed to collide *)
+                  let pairs = candidate_pairs ~gsize form in
+                  let rec try_pairs = function
+                    | [] ->
+                        Unproven
+                          (if zero_gid <> None then
+                             "store index ignores an active NDRange dimension \
+                              (collision not concretely confirmed)"
+                           else "store index strides may collide across work-items")
+                    | (g1, g2) :: rest -> (
+                        match confirm_race e k ~gsize buf g1 g2 with
+                        | Some w -> Unsafe w
+                        | None -> try_pairs rest)
+                  in
+                  try_pairs pairs))
+
+(* -- Bounds analysis -------------------------------------------------- *)
+
+(* The gid that drives an affine index to its maximum (resp. minimum). *)
+let extremal_gid ~gsize (form : aff) ~maximise =
+  Array.init 3 (fun d ->
+      match List.assoc_opt (Tgid d) form.coeffs with
+      | Some c when (c > 0) = maximise && gsize.(d) > 0 -> gsize.(d) - 1
+      | _ -> 0)
+
+let confirm_oob e k ~gsize buf ~elems (gid : int array) : witness option =
+  match crun_workitem e k ~gsize ~gid with
+  | None -> None
+  | Some accs -> (
+      match
+        List.find_opt (fun a -> a.c_buf = buf && (a.c_idx < 0 || a.c_idx >= elems)) accs
+      with
+      | Some a ->
+          Some
+            {
+              w_buf = buf;
+              w_index = a.c_idx;
+              w_gids = [ (gid.(0), gid.(1), gid.(2)) ];
+              w_detail =
+                Printf.sprintf "work-item (%d,%d,%d) accesses %s[%d], extent %d" gid.(0)
+                  gid.(1) gid.(2) buf a.c_idx elems;
+            }
+      | None -> None)
+
+let bounds_verdict cenv e (k : kernel) buf ~elems (accs : access list) : verdict =
+  match elems with
+  | None -> if accs = [] then Safe else Unproven "buffer extent not known"
+  | Some n ->
+      let bad =
+        List.filter (fun a -> not (itv_within a.ac_v.v_itv ~lo:0 ~hi:(n - 1))) accs
+      in
+      if bad = [] then Safe
+      else if Array.exists (fun d -> d = None) cenv.gsize then
+        Unproven "NDRange extent not statically known"
+      else
+        let gsize = Array.map (fun d -> Option.get d) cenv.gsize in
+        (* try to concretely realise a violation at the work-items that
+           extremise some affine out-of-range index *)
+        let candidates =
+          List.concat_map
+            (fun a ->
+              match a.ac_v.v_aff with
+              | Some f ->
+                  [ extremal_gid ~gsize f ~maximise:true; extremal_gid ~gsize f ~maximise:false ]
+              | None -> [])
+            bad
+          @ [ Array.make 3 0 ]
+        in
+        let rec try_gids = function
+          | [] ->
+              let a = List.hd bad in
+              Unproven
+                (if a.ac_v.v_tainted then
+                   "index depends on loaded data; extent not statically checkable"
+                 else
+                   Fmt.str "index interval %a not contained in [0, %d)" pp_itv a.ac_v.v_itv n)
+          | gid :: rest -> (
+              match confirm_oob e k ~gsize buf ~elems:n gid with
+              | Some w -> Unsafe w
+              | None -> try_gids rest)
+        in
+        try_gids candidates
+
+(* -- Driver ----------------------------------------------------------- *)
+
+let resolve_gsize (e : env) (k : kernel) =
+  let gs = Array.make 3 (Some 1) in
+  (match e.global with
+  | Some l -> List.iteri (fun d n -> if d < 3 then gs.(d) <- Some n) l
+  | None ->
+      List.iteri (fun d expr -> if d < 3 then gs.(d) <- const_eval e expr) k.global_size);
+  gs
+
+let analyse (e : env) (k : kernel) =
+  let cenv =
+    {
+      e;
+      gsize = resolve_gsize e k;
+      global_bufs = Hashtbl.create 8;
+      private_arrs = Hashtbl.create 4;
+      accesses = Hashtbl.create 16;
+      loop_ranges = Hashtbl.create 4;
+      nloops = 0;
+      locals = SMap.empty;
+    }
+  in
+  List.iter
+    (fun p ->
+      if p.p_kind = Global_buf then begin
+        Hashtbl.replace cenv.global_bufs p.p_name ();
+        Hashtbl.replace cenv.accesses p.p_name (ref [])
+      end)
+    k.params;
+  List.iter (scan cenv) k.body;
+  cenv
+
+let check (e : env) (k : kernel) : report =
+  let cenv = analyse e k in
+  let buf_names =
+    Hashtbl.fold (fun n _ acc -> n :: acc) cenv.accesses [] |> List.sort compare
+  in
+  let bufs =
+    List.map
+      (fun name ->
+        let accs = List.rev !(Hashtbl.find cenv.accesses name) in
+        let is_global = Hashtbl.mem cenv.global_bufs name in
+        let elems =
+          if is_global then e.buffer_elems name else Hashtbl.find_opt cenv.private_arrs name
+        in
+        let stores = List.filter_map (fun a -> if a.ac_store then Some a.ac_v else None) accs in
+        let race =
+          if is_global then race_verdict cenv e k name stores
+          else Safe (* private arrays are per-work-item: no cross-item races *)
+        in
+        {
+          b_name = name;
+          b_kind = (if is_global then `Global else `Private);
+          b_elems = elems;
+          b_race = race;
+          b_bounds = bounds_verdict cenv e k name ~elems accs;
+        })
+      buf_names
+  in
+  { r_kernel = k.name; r_global = cenv.gsize; r_bufs = bufs }
+
+let ok r =
+  List.for_all
+    (fun b ->
+      (match b.b_race with Unsafe _ -> false | _ -> true)
+      && match b.b_bounds with Unsafe _ -> false | _ -> true)
+    r.r_bufs
+
+let fully_proven r =
+  List.for_all (fun b -> b.b_race = Safe && b.b_bounds = Safe) r.r_bufs
+
+let unsafe_bufs r =
+  List.filter
+    (fun b ->
+      (match b.b_race with Unsafe _ -> true | _ -> false)
+      || match b.b_bounds with Unsafe _ -> true | _ -> false)
+    r.r_bufs
+
+let required_extents (e : env) (k : kernel) : (string * int) list =
+  let cenv = analyse e k in
+  Hashtbl.fold
+    (fun name accs acc ->
+      if not (Hashtbl.mem cenv.global_bufs name) then acc
+      else
+        let his = List.map (fun a -> a.ac_v.v_itv.hi) !accs in
+        if his = [] || List.exists Option.is_none his then acc
+        else
+          let hi = List.fold_left (fun m h -> max m (Option.get h)) 0 his in
+          (name, hi + 1) :: acc)
+    cenv.accesses []
+  |> List.sort compare
+
+(* -- Printing --------------------------------------------------------- *)
+
+let pp_verdict ppf = function
+  | Safe -> Fmt.string ppf "safe"
+  | Unproven reason -> Fmt.pf ppf "unproven (%s)" reason
+  | Unsafe w -> Fmt.pf ppf "UNSAFE: %s" w.w_detail
+
+let pp_report ppf (r : report) =
+  let gs =
+    String.concat "x"
+      (Array.to_list
+         (Array.map (function Some n -> string_of_int n | None -> "?") r.r_global))
+  in
+  Fmt.pf ppf "kernel %s (NDRange %s)@." r.r_kernel gs;
+  List.iter
+    (fun b ->
+      Fmt.pf ppf "  %-10s %-7s %-12s race: %a@.  %-10s %-7s %-12s bounds: %a@." b.b_name
+        (match b.b_kind with `Global -> "global" | `Private -> "private")
+        (match b.b_elems with Some n -> Printf.sprintf "[%d]" n | None -> "[?]")
+        pp_verdict b.b_race "" "" "" pp_verdict b.b_bounds)
+    r.r_bufs

@@ -8,11 +8,36 @@
    Work-items run sequentially in row-major NDRange order.  The kernels in
    this project never communicate through local memory, so sequential
    execution is observationally equivalent to any parallel schedule as
-   long as distinct work-items write distinct locations — which the
-   generated kernels guarantee (each boundary point is updated by exactly
-   one work-item). *)
+   long as distinct work-items write distinct locations.  That claim is
+   checked rather than assumed: [Kernel_ast.Check] proves it statically
+   where it can, and the [hook] below lets [Sanitizer] observe every
+   memory access to verify the rest at runtime. *)
 
 open Kernel_ast.Cast
+
+exception
+  Exec_error of {
+    e_kernel : string;
+    e_gid : int * int * int;
+    e_context : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Exec_error { e_kernel; e_gid = x, y, z; e_context } ->
+        Some
+          (Printf.sprintf "Exec_error(kernel %s, work-item (%d,%d,%d): %s)" e_kernel x y z
+             e_context)
+    | _ -> None)
+
+type access_hook = {
+  on_load : name:string -> buf:Buffer.t option -> len:int -> idx:int -> bool;
+  on_store : name:string -> buf:Buffer.t option -> len:int -> idx:int -> bool;
+}
+(* [buf] is the global buffer being accessed ([None] for private
+   arrays); [len] its extent.  Returning [false] suppresses the access:
+   the store is skipped, the load yields zero.  The current work-item is
+   whatever the hook installer last observed via [set_gid]. *)
 
 type value =
   | Vi of int
@@ -32,12 +57,22 @@ type env = {
   gid : int array;
   gsize : int array;
   precision : precision;
+  kernel : string;
+  hook : access_hook option;
 }
+
+let error env fmt =
+  Printf.ksprintf
+    (fun e_context ->
+      raise
+        (Exec_error
+           { e_kernel = env.kernel; e_gid = (env.gid.(0), env.gid.(1), env.gid.(2)); e_context }))
+    fmt
 
 let lookup env name =
   match Hashtbl.find_opt env.cells name with
   | Some c -> c
-  | None -> failwith (Printf.sprintf "vgpu interpreter: unbound name %s" name)
+  | None -> error env "unbound name %s" name
 
 let store_round env v = match env.precision with Single -> Buffer.round32 v | Double -> v
 
@@ -54,6 +89,12 @@ let builtin_eval (f : builtin) (args : float list) =
   | Fmax, [ x; y ] -> Float.max x y
   | _ -> failwith "vgpu interpreter: bad builtin arity"
 
+let allow_load env ~name ~buf ~len ~idx =
+  match env.hook with None -> true | Some h -> h.on_load ~name ~buf ~len ~idx
+
+let allow_store env ~name ~buf ~len ~idx =
+  match env.hook with None -> true | Some h -> h.on_store ~name ~buf ~len ~idx
+
 let rec eval env (e : expr) : value =
   match e with
   | Int_lit n -> Vi n
@@ -63,18 +104,23 @@ let rec eval env (e : expr) : value =
   | Var v -> (
       match lookup env v with
       | Scalar r -> !r
-      | Arr_int _ | Arr_real _ | Global _ ->
-          failwith (Printf.sprintf "vgpu interpreter: %s used as scalar" v))
+      | Arr_int _ | Arr_real _ | Global _ -> error env "%s used as scalar" v)
   | Load (b, i) -> (
       let idx = as_int (eval env i) in
       match lookup env b with
-      | Global buf -> (
-          match Buffer.ty buf with
-          | Real -> Vr (Buffer.get_real buf idx)
-          | Int -> Vi (Buffer.get_int buf idx))
-      | Arr_int a -> Vi a.(idx)
-      | Arr_real a -> Vr a.(idx)
-      | Scalar _ -> failwith (Printf.sprintf "vgpu interpreter: %s used as array" b))
+      | Global buf ->
+          if allow_load env ~name:b ~buf:(Some buf) ~len:(Buffer.length buf) ~idx then
+            match Buffer.ty buf with
+            | Real -> Vr (Buffer.get_real buf idx)
+            | Int -> Vi (Buffer.get_int buf idx)
+          else Vi 0
+      | Arr_int a ->
+          if allow_load env ~name:b ~buf:None ~len:(Array.length a) ~idx then Vi a.(idx)
+          else Vi 0
+      | Arr_real a ->
+          if allow_load env ~name:b ~buf:None ~len:(Array.length a) ~idx then Vr a.(idx)
+          else Vr 0.
+      | Scalar _ -> error env "%s used as array" b)
   | Unop (op, a) -> (
       let v = eval env a in
       match op with
@@ -128,18 +174,22 @@ let rec exec_stmt env (s : stmt) =
   | Assign (v, e) -> (
       match lookup env v with
       | Scalar r -> r := eval env e
-      | _ -> failwith (Printf.sprintf "vgpu interpreter: assign to non-scalar %s" v))
+      | _ -> error env "assign to non-scalar %s" v)
   | Store (b, i, e) -> (
       let idx = as_int (eval env i) in
       let v = eval env e in
       match lookup env b with
-      | Global buf -> (
-          match Buffer.ty buf with
-          | Real -> Buffer.set_real buf idx (store_round env (as_real v))
-          | Int -> Buffer.set_int buf idx (as_int v))
-      | Arr_int a -> a.(idx) <- as_int v
-      | Arr_real a -> a.(idx) <- as_real v
-      | Scalar _ -> failwith (Printf.sprintf "vgpu interpreter: store to scalar %s" b))
+      | Global buf ->
+          if allow_store env ~name:b ~buf:(Some buf) ~len:(Buffer.length buf) ~idx then (
+            match Buffer.ty buf with
+            | Real -> Buffer.set_real buf idx (store_round env (as_real v))
+            | Int -> Buffer.set_int buf idx (as_int v))
+      | Arr_int a ->
+          if allow_store env ~name:b ~buf:None ~len:(Array.length a) ~idx then a.(idx) <- as_int v
+      | Arr_real a ->
+          if allow_store env ~name:b ~buf:None ~len:(Array.length a) ~idx then
+            a.(idx) <- as_real v
+      | Scalar _ -> error env "store to scalar %s" b)
   | If (c, t, f) ->
       if as_int (eval env c) <> 0 then List.iter (exec_stmt env) t
       else List.iter (exec_stmt env) f
@@ -157,7 +207,7 @@ let rec exec_stmt env (s : stmt) =
 
 (* Launch [k] over [global] work items (per dimension, row-major).
    [args] are matched positionally against [k.params]. *)
-let launch (k : kernel) ~(args : Args.t list) ~(global : int list) =
+let launch ?hook ?on_workitem (k : kernel) ~(args : Args.t list) ~(global : int list) =
   if List.length args <> List.length k.params then
     invalid_arg
       (Printf.sprintf "vgpu: kernel %s expects %d args, got %d" k.name
@@ -177,14 +227,21 @@ let launch (k : kernel) ~(args : Args.t list) ~(global : int list) =
       | Global_buf, (Int_arg _ | Real_arg _) ->
           invalid_arg (Printf.sprintf "vgpu: %s: scalar passed for buffer %s" k.name p.p_name))
     k.params args;
-  let env = { cells; gid; gsize; precision = k.precision } in
+  let env = { cells; gid; gsize; precision = k.precision; kernel = k.name; hook } in
   for z = 0 to gsize.(2) - 1 do
     for y = 0 to gsize.(1) - 1 do
       for x = 0 to gsize.(0) - 1 do
         gid.(0) <- x;
         gid.(1) <- y;
         gid.(2) <- z;
-        List.iter (exec_stmt env) k.body
+        (match on_workitem with Some f -> f (x, y, z) | None -> ());
+        try List.iter (exec_stmt env) k.body with
+        | Failure msg ->
+            raise (Exec_error { e_kernel = k.name; e_gid = (x, y, z); e_context = msg })
+        | Invalid_argument msg ->
+            raise
+              (Exec_error
+                 { e_kernel = k.name; e_gid = (x, y, z); e_context = "invalid access: " ^ msg })
       done
     done
   done

@@ -4,19 +4,49 @@
     one work-item at a time (row-major order).  The kernels in this
     project never communicate through local memory, so sequential
     execution is observationally equivalent to any parallel schedule as
-    long as distinct work-items write distinct locations — which the
-    generated kernels guarantee.
+    long as distinct work-items write distinct locations.  That claim is
+    machine-checked rather than assumed: {!module:Kernel_ast.Check}
+    proves it statically per kernel, and {!module:Sanitizer} verifies it
+    dynamically through the access hook below.
 
     This is the slow, obviously-correct engine used to cross-validate
     the JIT and the Lift code generator; benchmarks use {!module:Jit}. *)
 
+exception
+  Exec_error of {
+    e_kernel : string;  (** kernel being executed *)
+    e_gid : int * int * int;  (** work-item that faulted *)
+    e_context : string;  (** what went wrong *)
+  }
+(** Structured interpreter fault: unbound names, scalar/array kind
+    confusion, out-of-range accesses.  Carries enough context to report
+    "kernel K, work-item (x,y,z): ..." without re-deriving it. *)
+
+type access_hook = {
+  on_load : name:string -> buf:Buffer.t option -> len:int -> idx:int -> bool;
+  on_store : name:string -> buf:Buffer.t option -> len:int -> idx:int -> bool;
+}
+(** Observer for every memory access the interpreter performs.  [buf] is
+    the global buffer ([None] for work-item-private arrays), [len] its
+    extent.  Returning [false] suppresses the access — the store is
+    skipped and the load yields zero — which lets the sanitizer survive
+    out-of-bounds accesses long enough to report them all. *)
+
 val builtin_eval : Kernel_ast.Cast.builtin -> float list -> float
 (** Evaluate a math builtin (shared with the Lift IR interpreter). *)
 
-val launch : Kernel_ast.Cast.kernel -> args:Args.t list -> global:int list -> unit
+val launch :
+  ?hook:access_hook ->
+  ?on_workitem:(int * int * int -> unit) ->
+  Kernel_ast.Cast.kernel ->
+  args:Args.t list ->
+  global:int list ->
+  unit
 (** Run the kernel over [global] work-items per dimension.  [args] are
     matched positionally against the kernel's parameters; buffer
-    arguments are mutated in place.
+    arguments are mutated in place.  [on_workitem] fires before each
+    work-item starts (the sanitizer uses it to attribute accesses).
 
     @raise Invalid_argument on arity or argument-kind mismatch.
-    @raise Failure on unbound names (malformed kernels). *)
+    @raise Exec_error on faults inside a work-item (unbound names,
+    kind confusion, out-of-range accesses when no hook intercepts). *)

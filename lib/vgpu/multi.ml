@@ -16,9 +16,13 @@
 type t = { devices : Runtime.t array }
 
 let create ?(engine = Runtime.Jit) ?(optimize = true) ?(precision = Kernel_ast.Cast.Double)
-    ~devices () =
+    ?verify ?(sanitize = false) ~devices () =
   if devices < 1 then invalid_arg "Vgpu.Multi.create: need at least one device";
-  { devices = Array.init devices (fun _ -> Runtime.create ~engine ~optimize ~precision ()) }
+  {
+    devices =
+      Array.init devices (fun _ ->
+          Runtime.create ~engine ~optimize ~precision ?verify ~sanitize ());
+  }
 
 let n_devices t = Array.length t.devices
 
@@ -49,6 +53,11 @@ let run_op t = function
       let sdev = device t src_dev and ddev = device t dst_dev in
       let sb = Runtime.buffer sdev src and db = Runtime.buffer ddev dst in
       Runtime.blit_buffers ~src:sb ~src_off ~dst:db ~dst_off ~elems;
+      (* the destination device's sanitizer sees the halo cells as
+         defined once the exchange lands *)
+      (match Runtime.sanitizer ddev with
+      | Some s -> Sanitizer.note_blit s db ~off:dst_off ~len:elems
+      | None -> ());
       Runtime.account_d2d sdev (Runtime.slice_bytes ~precision:sdev.Runtime.precision sb elems)
 
 let run t (plan : plan) = List.iter (run_op t) plan
@@ -64,6 +73,7 @@ let per_device_stats t =
 let stats t : Runtime.stats =
   let merged : (string, Runtime.kernel_stats) Hashtbl.t = Hashtbl.create 8 in
   let launches = ref 0 and h2d = ref 0 and d2h = ref 0 and d2d = ref 0 in
+  let violations = ref None in
   Array.iter
     (fun d ->
       let s = Runtime.stats d in
@@ -71,6 +81,10 @@ let stats t : Runtime.stats =
       h2d := !h2d + s.Runtime.s_h2d_bytes;
       d2h := !d2h + s.Runtime.s_d2h_bytes;
       d2d := !d2d + s.Runtime.s_d2d_bytes;
+      (match (s.Runtime.s_violations, !violations) with
+      | Some c, Some acc -> violations := Some (Sanitizer.add_counts acc c)
+      | Some c, None -> violations := Some c
+      | None, _ -> ());
       List.iter
         (fun (name, (k : Runtime.kernel_stats)) ->
           match Hashtbl.find_opt merged name with
@@ -103,6 +117,7 @@ let stats t : Runtime.stats =
     s_h2d_bytes = !h2d;
     s_d2h_bytes = !d2h;
     s_d2d_bytes = !d2d;
+    s_violations = !violations;
     per_kernel;
   }
 

@@ -13,11 +13,15 @@ val create :
   ?engine:Runtime.engine ->
   ?optimize:bool ->
   ?precision:Kernel_ast.Cast.precision ->
+  ?verify:bool ->
+  ?sanitize:bool ->
   devices:int ->
   unit ->
   t
-(** [optimize] (default [true]) is forwarded to every device's
-    {!Runtime.create}.
+(** [optimize] (default [true]), [verify] and [sanitize] are forwarded
+    to every device's {!Runtime.create}; each device gets its own
+    sanitizer (its shadow state follows its own buffers, with halo
+    exchanges marking destination cells defined).
     @raise Invalid_argument if [devices < 1]. *)
 
 val n_devices : t -> int

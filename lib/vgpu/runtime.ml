@@ -42,37 +42,69 @@ type kernel_stats = {
   mutable k_opt : Opt.report option;  (* optimizer report, when it ran *)
 }
 
+(* Signature of a launch for the verification cache: the static verdict
+   depends only on the kernel, the NDRange and the resolved arguments
+   through their values (scalars) and extents (buffers). *)
+type launch_sig = {
+  sig_global : int list;
+  sig_args : [ `B of int | `I of int | `R ] list;
+}
+
+exception Unsafe_kernel of Check.report
+
+let () =
+  Printexc.register_printer (function
+    | Unsafe_kernel r -> Some (Fmt.str "Unsafe_kernel:@.%a" Check.pp_report r)
+    | _ -> None)
+
 type t = {
   buffers : (string, Buffer.t) Hashtbl.t;
   jit_cache : (string, Jit.compiled list) Hashtbl.t;
   opt_cache : (string, (Cast.kernel * Cast.kernel * Opt.report) list) Hashtbl.t;
       (* raw kernel -> optimized kernel + report, keyed like jit_cache *)
+  check_cache : (string, (Cast.kernel * launch_sig) list) Hashtbl.t;
+      (* launches already proven race/bounds-clean (no Unsafe verdict) *)
   kstats : (string, kernel_stats) Hashtbl.t;
   engine : engine;
   optimize : bool;  (* run the Opt pipeline on kernels before dispatch *)
   precision : Cast.precision;  (* element width of real transfers *)
+  verify : bool;  (* fail-fast static check of every dispatched kernel *)
+  sanitizer : Sanitizer.t option;  (* shadow-memory checked execution *)
   mutable launches : int;
   mutable h2d_bytes : int;
   mutable d2h_bytes : int;
   mutable d2d_bytes : int;  (* device-to-device copies: halo exchanges *)
 }
 
-let create ?(engine = Jit) ?(optimize = true) ?(precision = Cast.Double) () =
+let verify_from_env () =
+  match Sys.getenv_opt "RACS_VERIFY" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false
+
+let create ?(engine = Jit) ?(optimize = true) ?(precision = Cast.Double) ?verify
+    ?(sanitize = false) () =
   {
     buffers = Hashtbl.create 16;
     jit_cache = Hashtbl.create 8;
     opt_cache = Hashtbl.create 8;
+    check_cache = Hashtbl.create 8;
     kstats = Hashtbl.create 8;
     engine;
     optimize;
     precision;
+    verify = (match verify with Some v -> v | None -> verify_from_env ());
+    sanitizer = (if sanitize then Some (Sanitizer.create ()) else None);
     launches = 0;
     h2d_bytes = 0;
     d2h_bytes = 0;
     d2d_bytes = 0;
   }
 
-let bind t name buf = Hashtbl.replace t.buffers name buf
+let sanitizer t = t.sanitizer
+
+let bind t name buf =
+  Hashtbl.replace t.buffers name buf;
+  match t.sanitizer with Some s -> Sanitizer.note_host_write s buf | None -> ()
 
 let buffer t name =
   match Hashtbl.find_opt t.buffers name with
@@ -146,6 +178,56 @@ let optimized t (kernel : Cast.kernel) =
       Hashtbl.replace t.opt_cache kernel.name ((kernel, opt, report) :: cached);
       (opt, report)
 
+(* Fail-fast static verification of a launch: race/bounds-check the
+   kernel exactly as dispatched (post-optimizer, resolved arguments).
+   Clean verdicts are cached by (kernel, NDRange, argument signature);
+   an [Unsafe] verdict aborts the launch. *)
+let verify_launch t (kernel : Cast.kernel) ~(args : Args.t list) ~global =
+  let lsig =
+    {
+      sig_global = global;
+      sig_args =
+        List.map
+          (function
+            | Args.Buf b -> `B (Buffer.length b)
+            | Args.Int_arg i -> `I i
+            | Args.Real_arg _ -> `R)
+          args;
+    }
+  in
+  let cached = Option.value ~default:[] (Hashtbl.find_opt t.check_cache kernel.name) in
+  let hit =
+    match List.find_opt (fun (k, s) -> k == kernel && s = lsig) cached with
+    | Some _ as c -> c
+    | None -> List.find_opt (fun (k, s) -> k = kernel && s = lsig) cached
+  in
+  match hit with
+  | Some _ -> ()
+  | None ->
+      let assoc =
+        try List.combine kernel.params args with Invalid_argument _ -> []
+      in
+      let param_value name =
+        List.find_map
+          (fun ((p : Cast.param), a) ->
+            match a with
+            | Args.Int_arg i when p.p_name = name -> Some i
+            | _ -> None)
+          assoc
+      in
+      let buffer_elems name =
+        List.find_map
+          (fun ((p : Cast.param), a) ->
+            match a with
+            | Args.Buf b when p.p_name = name -> Some (Buffer.length b)
+            | _ -> None)
+          assoc
+      in
+      let env = Check.env ~param_value ~buffer_elems ~global () in
+      let report = Check.check env kernel in
+      if not (Check.ok report) then raise (Unsafe_kernel report);
+      Hashtbl.replace t.check_cache kernel.name ((kernel, lsig) :: cached)
+
 let kstat t name =
   match Hashtbl.find_opt t.kstats name with
   | Some s -> s
@@ -170,7 +252,11 @@ let run_op t = function
       bind t b ba
   | Alloc { name; ty; elems } -> (
       match Hashtbl.find_opt t.buffers name with
-      | None -> bind t name (Buffer.create ty elems)
+      | None ->
+          let b = Buffer.create ty elems in
+          Hashtbl.replace t.buffers name b;
+          (* fresh device memory: contents undefined until written *)
+          (match t.sanitizer with Some s -> Sanitizer.note_alloc s b | None -> ())
       | Some b ->
           (* Reusing a binding is the normal pattern across time steps,
              but only if it matches the plan's allocation exactly —
@@ -185,6 +271,9 @@ let run_op t = function
   | Copy_buffer { src; src_off; dst; dst_off; elems } ->
       let sb = buffer t src and db = buffer t dst in
       blit_buffers ~src:sb ~src_off ~dst:db ~dst_off ~elems;
+      (match t.sanitizer with
+      | Some s -> Sanitizer.note_blit s db ~off:dst_off ~len:elems
+      | None -> ());
       account_d2d t (slice_bytes ~precision:t.precision sb elems)
   | Copy_to_gpu name ->
       t.h2d_bytes <- t.h2d_bytes + transfer_bytes ~precision:t.precision (buffer t name)
@@ -206,12 +295,19 @@ let run_op t = function
             | Args.Int_arg _ | Args.Real_arg _ -> acc)
           0 args
       in
+      if t.verify then verify_launch t kernel ~args ~global;
       let t0 = Unix.gettimeofday () in
-      (match t.engine with
-      | Interp -> Exec.launch kernel ~args ~global
-      | Jit -> Jit.launch (jit_compiled t kernel) ~args ~global
-      | Jit_parallel { domains } ->
-          Pool.launch ~domains (jit_compiled t kernel) ~args ~global);
+      (match t.sanitizer with
+      | Some s ->
+          (* checked execution needs the interpreter's access hooks, so
+             the sanitizer overrides the configured engine *)
+          Sanitizer.launch s kernel ~args ~global
+      | None -> (
+          match t.engine with
+          | Interp -> Exec.launch kernel ~args ~global
+          | Jit -> Jit.launch (jit_compiled t kernel) ~args ~global
+          | Jit_parallel { domains } ->
+              Pool.launch ~domains (jit_compiled t kernel) ~args ~global));
       let dt = Unix.gettimeofday () -. t0 in
       let s = kstat t kernel.name in
       (match report with Some _ -> s.k_opt <- report | None -> ());
@@ -230,6 +326,7 @@ type stats = {
   s_h2d_bytes : int;
   s_d2h_bytes : int;
   s_d2d_bytes : int;  (* halo-exchange / device-copy bytes *)
+  s_violations : Sanitizer.counts option;  (* Some iff sanitizing *)
   per_kernel : (string * kernel_stats) list;  (* sorted by kernel name *)
 }
 
@@ -243,6 +340,7 @@ let stats t =
     s_h2d_bytes = t.h2d_bytes;
     s_d2h_bytes = t.d2h_bytes;
     s_d2d_bytes = t.d2d_bytes;
+    s_violations = Option.map Sanitizer.counts t.sanitizer;
     per_kernel;
   }
 
@@ -256,6 +354,9 @@ let reset_stats t =
 let pp_stats ppf (s : stats) =
   Fmt.pf ppf "launches %d, h2d %d B, d2h %d B, d2d %d B@." s.s_launches s.s_h2d_bytes
     s.s_d2h_bytes s.s_d2d_bytes;
+  (match s.s_violations with
+  | Some c -> Fmt.pf ppf "sanitizer: %d violation(s) (%a)@." (Sanitizer.total c) Sanitizer.pp_counts c
+  | None -> ());
   Fmt.pf ppf "%-28s %8s %10s %10s %10s %10s %12s@." "kernel" "launches" "total ms"
     "min ms" "mean ms" "max ms" "MB bound";
   List.iter

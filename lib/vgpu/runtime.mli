@@ -32,6 +32,19 @@ type engine =
       (** JIT with the NDRange partitioned over [domains] OCaml domains
           from {!Pool.global} *)
 
+type launch_sig = {
+  sig_global : int list;
+  sig_args : [ `B of int | `I of int | `R ] list;
+}
+(** Verification-cache key: the static verdict of a launch depends only
+    on the kernel, the NDRange, and the arguments through scalar values
+    and buffer extents. *)
+
+exception Unsafe_kernel of Kernel_ast.Check.report
+(** Raised at dispatch (when verification is on) if
+    {!module:Kernel_ast.Check} refutes race-freedom or bounds-safety of
+    the kernel as launched; the report carries the concrete witness. *)
+
 type kernel_stats = {
   mutable k_launches : int;
   mutable total_s : float;
@@ -53,6 +66,8 @@ type t = {
     Hashtbl.t;
       (** raw kernel -> (optimized kernel, report), keyed like
           [jit_cache] so each distinct raw kernel is optimized once *)
+  check_cache : (string, (Kernel_ast.Cast.kernel * launch_sig) list) Hashtbl.t;
+      (** launches already statically verified clean (no [Unsafe]) *)
   kstats : (string, kernel_stats) Hashtbl.t;
   engine : engine;
   optimize : bool;
@@ -61,6 +76,13 @@ type t = {
           interpretation *)
   precision : Kernel_ast.Cast.precision;
       (** element width used for real-buffer transfer accounting *)
+  verify : bool;
+      (** statically race/bounds-check every dispatched kernel
+          ({!module:Kernel_ast.Check}) and raise {!Unsafe_kernel} on a
+          refuted one *)
+  sanitizer : Sanitizer.t option;
+      (** when present, launches run under the shadow-memory sanitizer
+          (forcing the reference interpreter regardless of [engine]) *)
   mutable launches : int;
   mutable h2d_bytes : int;
   mutable d2h_bytes : int;
@@ -68,13 +90,28 @@ type t = {
 }
 
 val create :
-  ?engine:engine -> ?optimize:bool -> ?precision:Kernel_ast.Cast.precision -> unit -> t
+  ?engine:engine ->
+  ?optimize:bool ->
+  ?precision:Kernel_ast.Cast.precision ->
+  ?verify:bool ->
+  ?sanitize:bool ->
+  unit ->
+  t
 (** [precision] (default [Double]) sets how many bytes a real element
     counts for in the transfer statistics: 4 in single precision, 8 in
     double, matching the paper's traffic model.  [optimize] (default
     [true]) runs the {!module:Kernel_ast.Opt} pass pipeline on each
     distinct kernel before dispatch; the per-kernel report appears in
-    {!stats}. *)
+    {!stats}.
+
+    [verify] gates fail-fast static verification of every launch
+    (default: on iff the [RACS_VERIFY] environment variable is set to
+    [1]/[true]/[yes]/[on]).  [sanitize] (default [false]) runs every
+    launch under {!module:Sanitizer} via the reference interpreter,
+    overriding [engine]; violation counts appear in {!stats}. *)
+
+val sanitizer : t -> Sanitizer.t option
+(** The runtime's sanitizer, when created with [~sanitize:true]. *)
 
 val bind : t -> string -> Buffer.t -> unit
 (** Bind an input buffer by name before running a plan. *)
@@ -110,6 +147,8 @@ type stats = {
   s_h2d_bytes : int;
   s_d2h_bytes : int;
   s_d2d_bytes : int;  (** halo-exchange / device-copy bytes *)
+  s_violations : Sanitizer.counts option;
+      (** dynamic violation counts; [Some] iff the runtime sanitizes *)
   per_kernel : (string * kernel_stats) list;  (** sorted by kernel name *)
 }
 

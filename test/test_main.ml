@@ -15,6 +15,7 @@ let () =
       ("parallel engines", Test_parallel.suite);
       ("sharding", Test_shard.suite);
       ("analysis", Test_analysis.suite);
+      ("check & sanitize", Test_check.suite);
       ("perf model", Test_perf_model.suite);
       ("material", Test_material.suite);
       ("geometry", Test_geometry.suite);
