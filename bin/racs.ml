@@ -66,8 +66,8 @@ let cmd_kernels precision no_opt =
 (* ------------------------------------------------------------------ *)
 (* racs simulate *)
 
-let cmd_simulate shape nx ny nz scheme steps backend engine domains shards no_opt show_stats
-    sanitize verify =
+let cmd_simulate shape nx ny nz scheme steps backend engine domains shards overlap
+    no_overlap no_opt show_stats sanitize verify =
   let params = Params.default in
   let dims = Geometry.dims ~nx ~ny ~nz in
   let n_materials = Array.length Material.defaults in
@@ -107,8 +107,18 @@ let cmd_simulate shape nx ny nz scheme steps backend engine domains shards no_op
     | `Jit_parallel -> `Jit_parallel domains
   in
   let shards = if shards > 0 then Some shards else None in
+  let schedule : Gpu_sim.schedule option =
+    match (overlap, no_overlap) with
+    | true, true ->
+        Fmt.epr "racs: --overlap and --no-overlap are mutually exclusive@.";
+        exit 2
+    | true, false -> Some `Overlap
+    | false, true -> Some `Seq
+    | false, false -> None
+  in
   let sim =
-    Gpu_sim.create ~engine ~optimize:(not no_opt) ?shards ~fi_beta:0.1 ~n_branches:3
+    Gpu_sim.create ~engine ~optimize:(not no_opt) ?shards ?schedule ~fi_beta:0.1
+      ~n_branches:3
       ?verify:(if verify then Some true else None)
       ~sanitize params room
   in
@@ -126,7 +136,12 @@ let cmd_simulate shape nx ny nz scheme steps backend engine domains shards no_op
     | `Jit_parallel d -> Printf.sprintf "jit-parallel[%d]" d)
     (match shards with
     | None -> ""
-    | Some _ -> Printf.sprintf ", %d Z-shards" (Gpu_sim.n_shards sim));
+    | Some _ ->
+        Printf.sprintf ", %d Z-shards%s" (Gpu_sim.n_shards sim)
+          (match Gpu_sim.schedule sim with
+          | Some `Overlap -> ", overlapped async queues"
+          | Some `Seq -> ", sequential schedule"
+          | _ -> ""));
   Printf.printf "receiver at (%d,%d,%d); first samples:\n " rx cy cz;
   Array.iteri (fun i v -> if i < 12 then Printf.printf " %+.5f" v) response;
   let e = Energy.kinetic_energy sim.Gpu_sim.state in
@@ -207,14 +222,14 @@ let listing5_compiled () =
 
 (* Listing 5 extended to two virtual devices: per-shard kernel launches
    plus the halo exchange of the freshly written next ghost planes. *)
-let sharded_host_program () =
+let sharded_host_program ?overlap () =
   let dims = Geometry.dims ~nx:64 ~ny:48 ~nz:40 in
   let room = Geometry.build ~n_materials:4 Geometry.Box dims in
   let plan = Shard.plan ~shards:2 room in
   let sh0 = plan.Shard.shards.(0) in
   let params = Params.default in
   let prog =
-    Lift_acoustics.Programs.sharded_fi_step_host ~nx:dims.Geometry.nx
+    Lift_acoustics.Programs.sharded_fi_step_host ?overlap ~nx:dims.Geometry.nx
       ~ny:dims.Geometry.ny
       ~slab_planes:(sh0.Shard.z1 - sh0.Shard.z0)
       ~l:(Params.l params) ~l2:(Params.l2 params) ~beta:0.1 ()
@@ -280,18 +295,44 @@ let cmd_check shape nx ny nz precision =
     (Lift.Lint.check_host (fst (listing5_program ())));
   lint "Z-sharded two-device FI step"
     (Lift.Lint.check_host (fst (sharded_host_program ())));
-  let splan = Shard.plan ~shards:2 room in
-  let k = Hand_kernels.volume ~precision in
-  let step : Vgpu.Multi.plan =
-    List.concat_map
-      (fun d ->
-        [ Vgpu.Multi.Dev (d, Vgpu.Runtime.Launch { kernel = k; args = []; global = [ 1 ] }) ])
-      [ 0; 1 ]
-    @ Shard.exchange_ops splan ~buffer:"next"
-    @ List.map (fun d -> Vgpu.Multi.Dev (d, Vgpu.Runtime.Swap ("curr", "next"))) [ 0; 1 ]
+  lint "Z-sharded two-device FI step, event-annotated (overlap)"
+    (Lift.Lint.check_host (fst (sharded_host_program ~overlap:true ())));
+  (* sequential and overlapped multi-device plans for all three schemes *)
+  let betas = (Material.tables ~n_branches:3 Material.defaults).Material.t_beta in
+  let scheme_kernels = function
+    | `Fi -> [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fi ~precision ]
+    | `Fi_mm ->
+        [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fi_mm ~precision ~betas ]
+    | `Fd_mm ->
+        [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fd_mm ~precision ~mb:3 ]
   in
-  lint "sharded Multi plan, two steps with halo exchange"
-    (Lift.Lint.check_sharded (step @ step));
+  let splan = Shard.plan ~shards:2 room in
+  List.iter
+    (fun (label, scheme) ->
+      let kernels = scheme_kernels scheme in
+      let step : Vgpu.Multi.plan =
+        List.concat_map
+          (fun d ->
+            List.map
+              (fun k ->
+                Vgpu.Multi.Dev
+                  (d, Vgpu.Runtime.Launch { kernel = k; args = []; global = [ 1 ] }))
+              kernels)
+          [ 0; 1 ]
+        @ Shard.exchange_ops splan ~buffer:"next"
+        @ List.map (fun d -> Vgpu.Multi.Dev (d, Vgpu.Runtime.Swap ("curr", "next"))) [ 0; 1 ]
+      in
+      lint
+        (Printf.sprintf "sharded Multi plan, two %s steps with halo exchange" label)
+        (Lift.Lint.check_sharded (step @ step));
+      let ssim =
+        Gpu_sim.create ~engine:`Jit ~shards:3 ~schedule:`Seq ~fi_beta:0.1 ~n_branches:3
+          ~precision Params.default room
+      in
+      lint
+        (Printf.sprintf "overlapped async plan, two %s steps" label)
+        (Lift.Lint.check_async (Gpu_sim.overlap_plan ssim kernels ~steps:2)))
+    [ ("fi", `Fi); ("fi-mm", `Fi_mm); ("fd-mm", `Fd_mm) ];
   Fmt.pr "@.%d kernel report(s) unsafe, %d unproven (sanitizer-covered), %d lint error(s)@."
     !unsafe !unproven !lint_errors;
   if !unsafe > 0 || !lint_errors > 0 then exit 1
@@ -394,6 +435,21 @@ let simulate_cmd =
       & info [ "shards" ]
           ~doc:"Z-shard the grid over this many virtual devices (0 = single device)")
   in
+  let overlap =
+    Arg.(
+      value & flag
+      & info [ "overlap" ]
+          ~doc:
+            "sharded runs: per-device async command queues with interior/frontier split \
+             — halo exchanges overlap interior compute and steps pipeline (bit-identical \
+             results; falls back to the sequential schedule under --sanitize)")
+  in
+  let no_overlap =
+    Arg.(
+      value & flag
+      & info [ "no-overlap" ]
+          ~doc:"sharded runs: force the strictly sequential per-device schedule")
+  in
   let stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"print per-kernel launch statistics")
   in
@@ -414,7 +470,7 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Run an impulse-response simulation")
     Term.(
       const cmd_simulate $ shape $ nx $ ny $ nz $ scheme $ steps $ backend $ engine
-      $ domains $ shards $ no_opt_arg $ stats $ sanitize $ verify)
+      $ domains $ shards $ overlap $ no_overlap $ no_opt_arg $ stats $ sanitize $ verify)
 
 let experiments_cmd =
   let which = Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT") in

@@ -43,14 +43,35 @@ type engine =
   | `Jit  (** sequential JIT *)
   | `Jit_parallel of int  (** JIT over this many OCaml domains *) ]
 
+(* How a sharded step is scheduled:
+   - [`Seq]: devices run strictly one after another on the host thread;
+   - [`Concurrent]: devices step through the domain pool (wall-clock
+     parallel), still with a per-step barrier at the halo exchange;
+   - [`Overlap]: per-device {!Vgpu.Queue} command queues with event
+     dependencies — the volume kernel splits into interior + frontier
+     launches so halo exchanges overlap interior compute, and steps
+     pipeline (no per-step barrier; draining happens on [sync]/[read]/
+     stats access).  All three are bit-for-bit identical. *)
+type schedule = [ `Seq | `Concurrent | `Overlap ]
+
 type backend =
   | Single of Vgpu.Runtime.t
   | Sharded of {
       multi : Vgpu.Multi.t;
       plan : Shard.plan;
       sstates : Shard.shard_state array;
-      concurrent : bool;  (* step the shards through the domain pool *)
+      schedule : schedule;
       mutable scattered : bool;  (* state has been distributed to the shards *)
+      mutable ov_eid : int;  (* next fresh overlap event id *)
+      mutable ov_inc : (int option * int option) array;
+          (* per device: events of the previous step's exchanges into its
+             (bottom, top) ghost plane — the frontier launches' waits *)
+      mutable ov_imports : (int * Vgpu.Queue.event) list;
+          (* events exported by the last submit, imported by the next *)
+      mutable ov_fired : int list;  (* fired ids for deterministic replay *)
+      mutable ranged :
+        (Kernel_ast.Cast.kernel * Kernel_ast.Cast.kernel) list;
+          (* cache: volume kernel -> its goff ranged-launch variant *)
     }
 
 type t = {
@@ -69,8 +90,8 @@ let runtime_engine : engine -> Vgpu.Runtime.engine = function
   | `Jit_parallel domains -> Vgpu.Runtime.Jit_parallel { domains }
 
 let create ?(engine = `Jit) ?(optimize = true) ?(fi_beta = 0.1)
-    ?(materials = Material.defaults) ?(n_branches = 3) ?shards ?(precision = Double) ?verify
-    ?(sanitize = false) params room =
+    ?(materials = Material.defaults) ?(n_branches = 3) ?shards ?schedule ?(precision = Double)
+    ?verify ?(sanitize = false) params room =
   let re = runtime_engine engine in
   let backend =
     match shards with
@@ -78,14 +99,32 @@ let create ?(engine = `Jit) ?(optimize = true) ?(fi_beta = 0.1)
     | Some n ->
         let plan = Shard.plan ~n_branches ~shards:n room in
         let devices = Shard.n_shards plan in
+        let schedule =
+          match schedule with
+          | Some `Overlap when sanitize ->
+              (* checked execution needs deterministic scheduling
+                 (Multi.submit_async refuses sanitizers); fall back to
+                 the sequential schedule, which sanitizes fine *)
+              `Seq
+          | Some s -> s
+          | None -> (
+              (* legacy default: concurrent, except under [`Jit_parallel]
+                 whose launches already occupy the pool exclusively *)
+              match engine with `Jit_parallel _ -> `Seq | _ -> `Concurrent)
+        in
         Sharded
           {
             multi =
               Vgpu.Multi.create ~engine:re ~optimize ~precision ?verify ~sanitize ~devices ();
             plan;
             sstates = Shard.create_states plan;
-            concurrent = (match engine with `Jit_parallel _ -> false | _ -> true);
+            schedule;
             scattered = false;
+            ov_eid = 0;
+            ov_inc = Array.make devices (None, None);
+            ov_imports = [];
+            ov_fired = [];
+            ranged = [];
           }
   in
   {
@@ -217,6 +256,160 @@ let launch_shard t s i (k : kernel) =
         ~int_scalar:(scalar_int_shard t sh) ~real_scalar:(scalar_real t)
         ~buf:(buffer_shard t sh ss) k
 
+(* -- Overlapped scheduling ------------------------------------------ *)
+
+(* A kernel is splittable into interior/frontier ranges when it sweeps
+   the full local grid: the volume kernels launch over [Var "N"].  The
+   boundary kernels ([Var "nB"]) touch owned points only, so plain FIFO
+   order behind the volume launches already orders them correctly. *)
+let splittable (k : kernel) =
+  match k.global_size with [ Var "N" ] -> true | _ -> false
+
+(* Drain this simulation's device queues (no-op when none were used);
+   every host-side observation of sharded state goes through here. *)
+let drain t =
+  match t.backend with
+  | Single _ -> ()
+  | Sharded s -> Vgpu.Multi.finish_async s.multi
+
+(* Build the async ops of one overlapped time step.
+
+   Per device, in queue order: the interior range of each splittable
+   kernel first (no waits — it starts immediately), then the thin
+   frontier ranges, each waiting on the event of the previous step's
+   exchange into the ghost plane its stencil reads, then the unsplit
+   boundary kernels (FIFO order after the volume parts is exactly the
+   sequential kernel order).  After all launches, the halo exchanges of
+   this step run on their source device's queue — FIFO puts them after
+   the frontier (and boundary) writes they copy — and each signals a
+   fresh event that becomes the matching frontier wait of the next
+   step.  [eid] supplies fresh event ids; [incs] carries each device's
+   (bottom, top) incoming-exchange events across steps and is updated in
+   place.  Buffer params are (re)bound as a side effect, as in the
+   sequential path. *)
+let overlap_step_ops t ~(eid : int ref) ~(incs : (int option * int option) array) kernels :
+    Vgpu.Multi.async_plan =
+  match t.backend with
+  | Single _ -> invalid_arg "gpu_sim: overlap_step_ops on a single-device backend"
+  | Sharded s ->
+      let fresh () =
+        let e = !eid in
+        incr eid;
+        e
+      in
+      let ranged k =
+        match List.find_opt (fun (src, _) -> src == k) s.ranged with
+        | Some (_, r) -> r
+        | None ->
+            let r = Kernel_ast.Cast.offset_global_id k in
+            s.ranged <- (k, r) :: s.ranged;
+            r
+      in
+      let n = Shard.n_shards s.plan in
+      let ops = ref [] in
+      let push op = ops := op :: !ops in
+      for i = 0 to n - 1 do
+        let sh = s.plan.Shard.shards.(i) and ss = s.sstates.(i) in
+        let rt = Vgpu.Multi.device s.multi i in
+        List.iter
+          (fun k ->
+            if splittable k then begin
+              let rk = ranged k in
+              List.iter
+                (fun (kind, off, count) ->
+                  let int_scalar name =
+                    if name = "goff" then off else scalar_int_shard t sh name
+                  in
+                  let args =
+                    args_into rt ~int_scalar ~real_scalar:(scalar_real t)
+                      ~buf:(buffer_shard t sh ss) rk
+                  in
+                  let waits =
+                    match kind with
+                    | Shard.Interior -> []
+                    | Shard.Frontier_lo -> Option.to_list (fst incs.(i))
+                    | Shard.Frontier_hi -> Option.to_list (snd incs.(i))
+                    | Shard.Frontier_both ->
+                        Option.to_list (fst incs.(i)) @ Option.to_list (snd incs.(i))
+                  in
+                  push
+                    {
+                      Vgpu.Multi.a_op =
+                        Vgpu.Multi.Dev
+                          (i, Vgpu.Runtime.Launch { kernel = rk; args; global = [ count ] });
+                      a_waits = waits;
+                      a_signal = None;
+                    })
+                (Shard.split_ranges sh)
+            end
+            else begin
+              let int_scalar = scalar_int_shard t sh in
+              let args =
+                args_into rt ~int_scalar ~real_scalar:(scalar_real t)
+                  ~buf:(buffer_shard t sh ss) k
+              in
+              let global = global_size ~int_scalar k in
+              push
+                {
+                  Vgpu.Multi.a_op =
+                    Vgpu.Multi.Dev (i, Vgpu.Runtime.Launch { kernel = k; args; global });
+                  a_waits = [];
+                  a_signal = None;
+                }
+            end)
+          kernels
+      done;
+      let next_incs = Array.make n (None, None) in
+      for c = 0 to n - 2 do
+        let lo = s.plan.Shard.shards.(c) and hi = s.plan.Shard.shards.(c + 1) in
+        let e_up = fresh () and e_dn = fresh () in
+        push
+          {
+            Vgpu.Multi.a_op =
+              Vgpu.Multi.Exchange
+                {
+                  src_dev = lo.Shard.index;
+                  src = "next";
+                  src_off = (lo.Shard.planes - 2) * lo.Shard.plane;
+                  dst_dev = hi.Shard.index;
+                  dst = "next";
+                  dst_off = 0;
+                  elems = lo.Shard.plane;
+                };
+            a_waits = [];
+            a_signal = Some e_up;
+          };
+        push
+          {
+            Vgpu.Multi.a_op =
+              Vgpu.Multi.Exchange
+                {
+                  src_dev = hi.Shard.index;
+                  src = "next";
+                  src_off = hi.Shard.plane;
+                  dst_dev = lo.Shard.index;
+                  dst = "next";
+                  dst_off = (lo.Shard.planes - 1) * lo.Shard.plane;
+                  elems = lo.Shard.plane;
+                };
+            a_waits = [];
+            a_signal = Some e_dn;
+          };
+        next_incs.(c + 1) <- (Some e_up, snd next_incs.(c + 1));
+        next_incs.(c) <- (fst next_incs.(c), Some e_dn)
+      done;
+      Array.blit next_incs 0 incs 0 n;
+      List.rev !ops
+
+let count_launches (ops : Vgpu.Multi.async_plan) =
+  List.length
+    (List.filter
+       (fun (o : Vgpu.Multi.async_op) ->
+         match o.Vgpu.Multi.a_op with
+         | Vgpu.Multi.Dev (_, Vgpu.Runtime.Launch _) -> true
+         | _ -> false)
+       ops)
+
 (* Distribute the global state to the shards on first use, so impulses
    added through [State.add_impulse] before the first step are seen. *)
 let ensure_scattered t =
@@ -236,6 +429,7 @@ let launch t (k : kernel) =
       launch_on rt ~int_scalar:(scalar_int t) ~real_scalar:(scalar_real t)
         ~buf:(buffer t) k
   | Sharded _ ->
+      drain t;
       ensure_scattered t;
       let n = n_shards t in
       for i = 0 to n - 1 do
@@ -244,7 +438,9 @@ let launch t (k : kernel) =
       t.launches <- t.launches + n
 
 (* One time step: run each kernel in order, then rotate the buffers.
-   Sharded: kernels per shard (concurrently when the engine allows),
+   Sharded: kernels per shard ([`Concurrent]: through the domain pool;
+   [`Overlap]: submitted to the per-device command queues without a
+   per-step barrier, steps pipelining through the event graph),
    halo-exchange the freshly written [next] planes, rotate each shard. *)
 let step t (kernels : kernel list) =
   match t.backend with
@@ -254,29 +450,100 @@ let step t (kernels : kernel list) =
   | Sharded s ->
       ensure_scattered t;
       let n = Shard.n_shards s.plan in
-      let run_shard i = List.iter (launch_shard t t.backend i) kernels in
-      if s.concurrent && n > 1 then Vgpu.Pool.run Vgpu.Pool.global ~n run_shard
-      else
-        for i = 0 to n - 1 do
-          run_shard i
-        done;
-      t.launches <- t.launches + (n * List.length kernels);
-      Array.iteri
-        (fun i (ss : Shard.shard_state) ->
-          Vgpu.Multi.bind s.multi i "next" (Vgpu.Buffer.F ss.Shard.next))
-        s.sstates;
-      Vgpu.Multi.run s.multi (Shard.exchange_ops s.plan ~buffer:"next");
+      (match s.schedule with
+      | `Overlap ->
+          let eid = ref s.ov_eid in
+          let ops = overlap_step_ops t ~eid ~incs:s.ov_inc kernels in
+          s.ov_eid <- !eid;
+          (* only the latest exchange events are ever waited on, so the
+             fresh exports replace the previous step's imports *)
+          s.ov_imports <- Vgpu.Multi.submit_async ~imports:s.ov_imports s.multi ops;
+          t.launches <- t.launches + count_launches ops
+      | (`Seq | `Concurrent) as sched ->
+          let run_shard i = List.iter (launch_shard t t.backend i) kernels in
+          if sched = `Concurrent && n > 1 then Vgpu.Pool.run Vgpu.Pool.global ~n run_shard
+          else
+            for i = 0 to n - 1 do
+              run_shard i
+            done;
+          t.launches <- t.launches + (n * List.length kernels);
+          Array.iteri
+            (fun i (ss : Shard.shard_state) ->
+              Vgpu.Multi.bind s.multi i "next" (Vgpu.Buffer.F ss.Shard.next))
+            s.sstates;
+          Vgpu.Multi.run s.multi (Shard.exchange_ops s.plan ~buffer:"next"));
+      (* host-side rotation is safe while commands are still queued:
+         every queued op resolved its buffers at submission *)
       Array.iter Shard.rotate_state s.sstates
+
+(* One overlapped time step replayed deterministically on the calling
+   domain: the same event graph as [`Overlap], executed in the legal
+   queue interleaving chosen by [pick] (see
+   {!Vgpu.Multi.run_async_with}).  Works with sanitizers; independent of
+   the simulation's configured schedule (do not mix with [`Overlap]
+   steps on the same simulation). *)
+let step_overlap_with ?pick t (kernels : kernel list) =
+  match t.backend with
+  | Single _ -> invalid_arg "gpu_sim: step_overlap_with needs a sharded backend"
+  | Sharded s ->
+      ensure_scattered t;
+      let eid = ref s.ov_eid in
+      let ops = overlap_step_ops t ~eid ~incs:s.ov_inc kernels in
+      s.ov_eid <- !eid;
+      Vgpu.Multi.run_async_with ~imports:s.ov_fired ?pick s.multi ops;
+      s.ov_fired <-
+        List.filter_map (fun (o : Vgpu.Multi.async_op) -> o.Vgpu.Multi.a_signal) ops
+        @ s.ov_fired;
+      t.launches <- t.launches + count_launches ops;
+      Array.iter Shard.rotate_state s.sstates
+
+(* The async plan of [steps] overlapped time steps, for static analysis
+   ({!Lift.Lint.check_async} via [racs check]).  Buffer rotation appears
+   as explicit per-device [Swap] pairs so a linter can track buffer
+   identities across steps; the runtime path instead rotates host-side.
+   Does not consume the simulation's event-id state (ids start at 0), so
+   build it on a dedicated simulation rather than mid-run. *)
+let overlap_plan t (kernels : kernel list) ~steps : Vgpu.Multi.async_plan =
+  match t.backend with
+  | Single _ -> invalid_arg "gpu_sim: overlap_plan needs a sharded backend"
+  | Sharded s ->
+      let n = Shard.n_shards s.plan in
+      let eid = ref 0 and incs = Array.make n (None, None) in
+      let acc = ref [] in
+      for _ = 1 to steps do
+        let ops = overlap_step_ops t ~eid ~incs kernels in
+        let rot =
+          List.concat_map
+            (fun i ->
+              [
+                {
+                  Vgpu.Multi.a_op = Vgpu.Multi.Dev (i, Vgpu.Runtime.Swap ("prev", "curr"));
+                  a_waits = [];
+                  a_signal = None;
+                };
+                {
+                  Vgpu.Multi.a_op = Vgpu.Multi.Dev (i, Vgpu.Runtime.Swap ("curr", "next"));
+                  a_waits = [];
+                  a_signal = None;
+                };
+              ])
+            (List.init n Fun.id)
+        in
+        acc := !acc @ ops @ rot
+      done;
+      !acc
 
 (* Copy the sharded slabs back into the global [state] arrays (no-op on
    a single device, where [state] is live). *)
 let sync t =
+  drain t;
   match t.backend with
   | Single _ -> ()
   | Sharded s -> if s.scattered then Shard.gather s.plan s.sstates t.state
 
 (* Read the current field at a grid point, wherever it lives. *)
 let read t ~x ~y ~z =
+  drain t;
   match t.backend with
   | Sharded s when s.scattered ->
       let sh = Shard.owner s.plan ~z in
@@ -286,6 +553,7 @@ let read t ~x ~y ~z =
   | Single _ | Sharded _ -> State.read t.state ~x ~y ~z
 
 let stats t =
+  drain t;
   match t.backend with
   | Single rt -> Vgpu.Runtime.stats rt
   | Sharded s -> Vgpu.Multi.stats s.multi
@@ -316,14 +584,45 @@ let check_env t =
   Kernel_ast.Check.env ~param_value ~buffer_elems ()
 
 let per_shard_stats t =
+  drain t;
   match t.backend with
   | Single rt -> [ (0, Vgpu.Runtime.stats rt) ]
   | Sharded s -> Vgpu.Multi.per_device_stats s.multi
 
 let pp_stats ppf t =
+  drain t;
   match t.backend with
   | Single rt -> Vgpu.Runtime.pp_stats ppf (Vgpu.Runtime.stats rt)
   | Sharded s -> Vgpu.Multi.pp_stats ppf s.multi
+
+(* Drain, then zero the launch/transfer counters and re-align the queue
+   clocks, so a measurement interval starts clean. *)
+let reset_stats t =
+  drain t;
+  match t.backend with
+  | Single rt -> Vgpu.Runtime.reset_stats rt
+  | Sharded s -> Vgpu.Multi.reset_stats s.multi
+
+(* Sharded schedule of this simulation, if sharded. *)
+let schedule t =
+  match t.backend with Single _ -> None | Sharded s -> Some s.schedule
+
+(* Virtual critical path (ns) across this simulation's device queues:
+   the longest per-queue virtual clock after draining.  0 on a single
+   device or when the overlapped schedule was never used. *)
+let overlap_vclock_ns t =
+  drain t;
+  match t.backend with
+  | Single _ -> 0.
+  | Sharded s -> Vgpu.Multi.async_vclock s.multi
+
+(* Aggregate queue statistics (busy vs critical path vs overlap saved);
+   [None] on a single device. *)
+let overlap_stats t =
+  drain t;
+  match t.backend with
+  | Single _ -> None
+  | Sharded s -> Some (Vgpu.Multi.overlap_stats s.multi)
 
 (* Run [steps] steps recording the field at the receiver after each. *)
 let run t (kernels : kernel list) ~steps ~receiver:(rx, ry, rz) =

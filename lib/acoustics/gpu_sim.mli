@@ -25,17 +25,40 @@ type engine =
   | `Jit  (** sequential JIT *)
   | `Jit_parallel of int  (** JIT over this many OCaml domains *) ]
 
+(** How a sharded step is scheduled:
+
+    - [`Seq]: devices run strictly one after another on the host thread;
+    - [`Concurrent]: devices step through {!Vgpu.Pool.global}
+      (wall-clock parallel) with a per-step barrier at the halo
+      exchange;
+    - [`Overlap]: per-device {!Vgpu.Queue} command queues with event
+      dependencies — each volume kernel splits into an interior launch
+      plus thin frontier launches ({!Shard.split_ranges}) so the halo
+      exchanges overlap interior compute, and steps pipeline with no
+      per-step barrier (queues drain on {!sync}/{!read}/stats access).
+
+    All three schedules are bit-for-bit identical. *)
+type schedule = [ `Seq | `Concurrent | `Overlap ]
+
 type backend =
   | Single of Vgpu.Runtime.t  (** one device holding the global arrays *)
   | Sharded of {
       multi : Vgpu.Multi.t;
       plan : Shard.plan;
       sstates : Shard.shard_state array;
-      concurrent : bool;
-          (** step the shards through {!Vgpu.Pool.global}; disabled under
-              [`Jit_parallel], whose launches already occupy the pool *)
+      schedule : schedule;
       mutable scattered : bool;
           (** the global state has been distributed to the shards *)
+      mutable ov_eid : int;  (** next fresh overlap event id *)
+      mutable ov_inc : (int option * int option) array;
+          (** per device: the previous step's exchange events into its
+              (bottom, top) ghost plane *)
+      mutable ov_imports : (int * Vgpu.Queue.event) list;
+          (** events exported by the last async submit *)
+      mutable ov_fired : int list;
+          (** fired event ids for deterministic replay *)
+      mutable ranged : (Kernel_ast.Cast.kernel * Kernel_ast.Cast.kernel) list;
+          (** cache: volume kernel -> its ranged-launch variant *)
     }
 
 type t = {
@@ -55,6 +78,7 @@ val create :
   ?materials:Material.t array ->
   ?n_branches:int ->
   ?shards:int ->
+  ?schedule:schedule ->
   ?precision:Kernel_ast.Cast.precision ->
   ?verify:bool ->
   ?sanitize:bool ->
@@ -63,7 +87,12 @@ val create :
   t
 (** [shards] selects the sharded backend ([~shards:1] exercises the
     sharded machinery on a single slab; omitting it keeps the original
-    single-device path).  [optimize] (default [true]) is forwarded to the
+    single-device path).  [schedule] picks the sharded step schedule;
+    the default is [`Concurrent], except under [`Jit_parallel] (whose
+    launches already occupy the pool) where it is [`Seq].  [`Overlap]
+    with [~sanitize:true] falls back to [`Seq] — checked execution needs
+    deterministic scheduling (use {!step_overlap_with} to sanitize an
+    overlapped interleaving).  [optimize] (default [true]) is forwarded to the
     underlying runtimes: launched kernels pass through the
     {!module:Kernel_ast.Opt} pipeline before dispatch.  [precision]
     (default [Double]) sets the transfer-accounting element width of the
@@ -103,9 +132,52 @@ val pp_stats : Format.formatter -> t -> unit
 
 val step : t -> Kernel_ast.Cast.kernel list -> unit
 (** One time step: run the kernels in order, then rotate the buffers.
-    Sharded: kernels per shard (concurrent when the engine allows), halo
-    exchange of the freshly written [next] ghost planes, local
-    rotations. *)
+    Sharded: kernels per shard (per the configured {!type:schedule}),
+    halo exchange of the freshly written [next] ghost planes, local
+    rotations.  Under [`Overlap] the step is submitted asynchronously
+    and may still be in flight when [step] returns; any host-side
+    observation ({!sync}, {!read}, {!stats}, ...) drains the queues
+    first. *)
+
+val drain : t -> unit
+(** Wait for all queued async work (no-op on a single device or when the
+    overlapped schedule was never used).
+    @raise e the first queued command's exception, if any failed. *)
+
+val step_overlap_with :
+  ?pick:(int -> int) -> t -> Kernel_ast.Cast.kernel list -> unit
+(** One overlapped time step replayed deterministically on the calling
+    domain: the same event graph as [`Overlap], executed in the legal
+    queue interleaving chosen by [pick] (see
+    {!Vgpu.Multi.run_async_with}); works under [~sanitize:true].  Do not
+    mix with [`Overlap] steps on the same simulation. *)
+
+val overlap_plan :
+  t -> Kernel_ast.Cast.kernel list -> steps:int -> Vgpu.Multi.async_plan
+(** The async plan of [steps] overlapped time steps, for static analysis
+    ({!Lift.Lint.check_async} via [racs check]).  Buffer rotation
+    appears as explicit per-device [Swap] pairs so the linter can track
+    buffer identities across steps.  Event ids start at 0: build on a
+    dedicated simulation, not mid-run.
+    @raise Invalid_argument on a single-device backend. *)
+
+val reset_stats : t -> unit
+(** Drain, then zero the launch/transfer counters and re-align the
+    device queues' virtual clocks, so a measurement interval starts
+    clean. *)
+
+val schedule : t -> schedule option
+(** The sharded schedule in effect ([None] on a single device). *)
+
+val overlap_vclock_ns : t -> float
+(** Drains, then returns the virtual critical path in ns across this
+    simulation's device queues — the longest per-queue virtual clock
+    (see {!Vgpu.Queue}).  [0.] on a single device or when the overlapped
+    schedule was never used. *)
+
+val overlap_stats : t -> Vgpu.Multi.overlap_stats option
+(** Drains, then returns aggregate queue statistics (total busy time vs
+    critical path and the overlap saving); [None] on a single device. *)
 
 val sync : t -> unit
 (** Gather the sharded slabs back into [state] (no-op on a single

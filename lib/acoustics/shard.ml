@@ -179,6 +179,39 @@ let gather p (sstates : shard_state array) (st : State.t) =
       gather_bstate p s ~src:ss.vel_next ~dst:st.State.vel_next)
     p.shards
 
+(* -- Interior/frontier decomposition -------------------------------- *)
+
+type range_kind =
+  | Interior  (* owned planes not adjacent to a ghost plane *)
+  | Frontier_lo  (* first owned plane: stencil reads the bottom ghost *)
+  | Frontier_hi  (* last owned plane: stencil reads the top ghost *)
+  | Frontier_both  (* single owned plane adjacent to both ghosts *)
+
+(* Cut a shard's flat local index range into the launches of the
+   overlapped schedule: one (possibly empty) interior range covering
+   owned planes whose stencils touch no ghost data, plus thin frontier
+   ranges (one plane each) whose stencils read a ghost plane and must
+   therefore wait on the previous step's halo exchange.  Offsets and
+   counts are in elements of the local slab; the ghost planes themselves
+   (local planes 0 and planes-1) are in no range — their [nbrs] entries
+   are zero, so the sequential volume kernel only ever writes zeros
+   there, and those cells are either rewritten by the exchange (interior
+   cuts) or scattered as zero and never touched again (grid edges),
+   which keeps the split bit-identical to the full-range launch. *)
+let split_ranges (s : shard) : (range_kind * int * int) list =
+  let owned = s.z1 - s.z0 in
+  if owned <= 1 then [ (Frontier_both, s.plane, s.plane) ]
+  else if owned = 2 then
+    [ (Frontier_lo, s.plane, s.plane); (Frontier_hi, 2 * s.plane, s.plane) ]
+  else
+    (* interior first: it carries no event wait, so an in-order queue
+       starts it immediately while the frontiers wait on the halo *)
+    [
+      (Interior, 2 * s.plane, (owned - 2) * s.plane);
+      (Frontier_lo, s.plane, s.plane);
+      (Frontier_hi, (s.planes - 2) * s.plane, s.plane);
+    ]
+
 (* Halo exchange over buffer [name]: across each interior cut, the lower
    shard's top owned plane refreshes the upper shard's bottom ghost, and
    the upper shard's bottom owned plane refreshes the lower shard's top

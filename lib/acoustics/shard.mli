@@ -76,6 +76,23 @@ val gather : plan -> shard_state array -> State.t -> unit
 val scatter_slab : shard -> src:float array -> dst:float array -> unit
 val gather_slab : shard -> src:float array -> dst:float array -> unit
 
+(** {2 Interior/frontier decomposition} *)
+
+type range_kind =
+  | Interior  (** owned planes not adjacent to a ghost plane *)
+  | Frontier_lo  (** first owned plane: stencil reads the bottom ghost *)
+  | Frontier_hi  (** last owned plane: stencil reads the top ghost *)
+  | Frontier_both  (** single owned plane adjacent to both ghosts *)
+
+val split_ranges : shard -> (range_kind * int * int) list
+(** Cut the shard's flat local index range into the launches of the
+    overlapped schedule: [(kind, offset, count)] in elements, interior
+    range (when the shard owns ≥ 3 planes) first.  Ghost planes are in
+    no range — the sequential volume kernel only writes zeros there
+    (ghost [nbrs] are zero) and the halo exchange or the scattered zeros
+    supply those cells, so the split is bit-identical to the full-range
+    launch. *)
+
 val exchange_ops : plan -> buffer:string -> Vgpu.Multi.plan
 (** The halo exchange over [buffer]: across each interior cut, the lower
     shard's top owned plane refreshes the upper shard's bottom ghost and

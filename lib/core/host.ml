@@ -32,6 +32,12 @@ type hexpr =
   | H_copy of { src : hexpr; src_off : int; dst : hexpr; dst_off : int; elems : int }
       (* device-to-device sub-buffer copy (clEnqueueCopyBuffer): the
          ghost-slab transfer of the sharded backend *)
+  | H_event of string * hexpr
+      (* the last enqueue compiled from the inner expression signals the
+         named cl_event *)
+  | H_wait of string list * hexpr
+      (* the first enqueue compiled from the inner expression carries
+         the named events as its wait list *)
 
 let input p = H_input p
 let to_gpu e = H_to_gpu e
@@ -41,6 +47,9 @@ let write_to t v = H_write_to (t, v)
 
 let copy ~src ~src_off ~dst ~dst_off ~elems =
   H_copy { src; src_off; dst; dst_off; elems }
+
+let event name e = H_event (name, e)
+let wait names e = H_wait (names, e)
 
 (* One halo exchange across a Z cut between the [lo] slab (owning planes
    below the cut, [lo_planes] local planes including its two ghosts) and
@@ -84,6 +93,10 @@ type compiled_host = {
       (* extent of every buffer the plan touches, as resolved at compile
          time — inputs, kernel outputs and temporaries alike; consumed
          by the emitted C skeleton and the host-plan lint *)
+  op_events : (int * string) list;
+      (* plan index -> cl_event the op signals (H_event annotations) *)
+  op_waits : (int * string list) list;
+      (* plan index -> cl_events the op waits on (H_wait annotations) *)
 }
 
 type st = {
@@ -92,12 +105,22 @@ type st = {
   mutable kernels : Codegen.compiled list;
   mutable fresh : int;
   mutable elems : (string * int) list; (* buffer extents, reversed *)
+  mutable op_events : (int * string) list;   (* reversed *)
+  mutable op_waits : (int * string list) list;  (* reversed *)
+  mutable pending_waits : string list;
+      (* H_wait annotations to attach to the next pushed op *)
   sizes : string -> int option;
   precision : Cast.precision;
   venv : (int, denot) Hashtbl.t;
 }
 
-let push_op st op = st.ops <- op :: st.ops
+let push_op st op =
+  (match st.pending_waits with
+  | [] -> ()
+  | waits ->
+      st.op_waits <- (List.length st.ops, waits) :: st.op_waits;
+      st.pending_waits <- []);
+  st.ops <- op :: st.ops
 let push_line st fmt = Printf.ksprintf (fun s -> st.lines <- s :: st.lines) fmt
 
 let note_elems st name n =
@@ -197,6 +220,26 @@ let rec compile_hexpr st (e : hexpr) : denot =
           dt
       | _ -> err "host: WriteTo target is not a buffer")
   | H_kernel { k_name; f; args } -> compile_kernel_call st ~k_name ~f ~args ~out_override:None
+  | H_event (name, e) ->
+      let before = List.length st.ops in
+      let d = compile_hexpr st e in
+      if List.length st.ops = before then
+        err "host: Event(%s) wraps an expression that enqueues nothing" name;
+      if List.exists (fun (_, n) -> n = name) st.op_events then
+        err "host: event %s signaled twice" name;
+      (* annotate the most recently enqueued op *)
+      st.op_events <- (List.length st.ops - 1, name) :: st.op_events;
+      push_line st "/* previous enqueue signals ev_%s */" name;
+      d
+  | H_wait (names, e) ->
+      let before = List.length st.ops in
+      st.pending_waits <- st.pending_waits @ names;
+      push_line st "/* next enqueue waits on: %s */"
+        (String.concat ", " (List.map (( ^ ) "ev_") names));
+      let d = compile_hexpr st e in
+      if List.length st.ops = before then
+        err "host: Wait wraps an expression that enqueues nothing";
+      d
 
 and compile_kernel_call st ~k_name ~f ~args ~out_override : denot =
   let c = Codegen.compile_kernel ~name:k_name ~precision:st.precision f in
@@ -291,6 +334,9 @@ let compile ?(precision = Cast.Double) ~sizes (e : hexpr) : compiled_host =
       kernels = [];
       fresh = 0;
       elems = [];
+      op_events = [];
+      op_waits = [];
+      pending_waits = [];
       sizes;
       precision;
       venv = Hashtbl.create 8;
@@ -303,6 +349,8 @@ let compile ?(precision = Cast.Double) ~sizes (e : hexpr) : compiled_host =
     source = String.concat "\n" (List.rev st.lines) ^ "\n";
     result;
     buffer_elems = List.rev st.elems;
+    op_events = List.rev st.op_events;
+    op_waits = List.rev st.op_waits;
   }
 
 (* Execute a compiled host program on a runtime whose buffer table

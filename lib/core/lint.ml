@@ -46,6 +46,7 @@ type hstate = {
   mutable issues : issue list;  (* reversed *)
   on_device : (string, unit) Hashtbl.t;
   pending_to_gpu : (string, unit) Hashtbl.t;  (* transferred, not yet consumed *)
+  signaled : (string, unit) Hashtbl.t;  (* events signaled so far *)
   venv : (int, hkind) Hashtbl.t;
 }
 
@@ -115,6 +116,21 @@ let rec lint_hexpr st (e : Host.hexpr) : hkind =
           report st (issue Error "kind-mismatch" "WriteTo target is not a buffer"));
       let _ = lint_hexpr st v in
       match tk with K_buf _ | K_out -> tk | _ -> K_out)
+  | H_event (name, e) ->
+      let k = lint_hexpr st e in
+      if Hashtbl.mem st.signaled name then
+        report st (issue Error "duplicate-event" "event %s is signaled twice" name)
+      else Hashtbl.replace st.signaled name ();
+      k
+  | H_wait (names, e) ->
+      List.iter
+        (fun n ->
+          if not (Hashtbl.mem st.signaled n) then
+            report st
+              (issue Error "wait-unsignaled"
+                 "wait on event %s, which no earlier enqueue signals" n))
+        names;
+      lint_hexpr st e
   | H_kernel { k_name; f; args } ->
       let params = f.Ast.l_params in
       if List.length args <> List.length params then begin
@@ -156,6 +172,7 @@ let check_host (e : Host.hexpr) : issue list =
       issues = [];
       on_device = Hashtbl.create 8;
       pending_to_gpu = Hashtbl.create 8;
+      signaled = Hashtbl.create 8;
       venv = Hashtbl.create 8;
     }
   in
@@ -233,4 +250,170 @@ let check_sharded (plan : Vgpu.Multi.plan) : issue list =
     | _ -> []
   in
   ignore (walk segments);
+  List.rev !issues
+
+(* -- Asynchronous (overlapped) multi-device plans --------------------- *)
+
+(* Event-ordered async plans drop the per-step barrier of [check_sharded]'s
+   world: ordering is per-queue FIFO plus explicit signal->wait edges.
+   The checks:
+
+   - wait/signal well-formedness: a wait must name an imported event or
+     one signaled by an earlier op; an event may be signaled once;
+   - halo-producer ordering: an Exchange must happen after some earlier
+     launch on its source device that references the source buffer (the
+     plane it copies must already be written);
+   - halo-consumer ordering: among the *later* launches on the
+     destination device that reference the exchanged buffer, at least
+     one must be ordered after the exchange — the frontier launch whose
+     wait the overlapped schedule exists to carry.  No ordered consumer
+     means the next step can read a stale ghost plane: exactly the race
+     a dropped [a_waits] introduces.  (Interior launches are legitimately
+     concurrent with the exchange, so the rule demands one ordered
+     consumer, not all.)
+
+   Buffer identities are tracked through per-device [Swap] rotation
+   markers (see [Gpu_sim.overlap_plan]), so "the exchanged buffer" stays
+   meaningful across time steps.  Happens-before is computed on whole
+   ops: FIFO chains ops sharing a queue (an Exchange queues on its
+   source device), signal->wait edges bridge queues. *)
+let check_async ?(imports = []) (plan : Vgpu.Multi.async_plan) : issue list =
+  let ops = Array.of_list plan in
+  let n = Array.length ops in
+  let queue_of (o : Vgpu.Multi.async_op) =
+    match o.Vgpu.Multi.a_op with
+    | Vgpu.Multi.Dev (i, _) -> i
+    | Vgpu.Multi.Exchange { src_dev; _ } -> src_dev
+  in
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  (* signal/wait well-formedness *)
+  let signal_idx : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (o : Vgpu.Multi.async_op) ->
+      match o.Vgpu.Multi.a_signal with
+      | Some e ->
+          if Hashtbl.mem signal_idx e then
+            add (issue Error "duplicate-event" "async op %d: event %d is signaled twice" i e)
+          else Hashtbl.replace signal_idx e i
+      | None -> ())
+    ops;
+  Array.iteri
+    (fun i (o : Vgpu.Multi.async_op) ->
+      List.iter
+        (fun e ->
+          if not (List.mem e imports) then
+            match Hashtbl.find_opt signal_idx e with
+            | Some j when j < i -> ()
+            | _ ->
+                add
+                  (issue Error "wait-unsignaled"
+                     "async op %d waits on event %d, which no earlier op signals (and is not imported)"
+                     i e))
+        o.Vgpu.Multi.a_waits)
+    ops;
+  (* buffer identity through rotation Swaps: per (device, name) -> the
+     physical buffer currently bound to that name *)
+  let phys : (int * string, string) Hashtbl.t = Hashtbl.create 64 in
+  let resolve d name = Option.value ~default:name (Hashtbl.find_opt phys (d, name)) in
+  (* per-op resolved references, in plan order *)
+  let launch_refs = Array.make n None in (* (device, phys names) for launches *)
+  let exch = Array.make n None in (* (src_dev, src_phys, dst_dev, dst_phys) *)
+  Array.iteri
+    (fun i (o : Vgpu.Multi.async_op) ->
+      match o.Vgpu.Multi.a_op with
+      | Vgpu.Multi.Dev (d, Vgpu.Runtime.Swap (a, b)) ->
+          let pa = resolve d a and pb = resolve d b in
+          Hashtbl.replace phys (d, a) pb;
+          Hashtbl.replace phys (d, b) pa
+      | Vgpu.Multi.Dev (d, Vgpu.Runtime.Launch { kernel; args; _ }) ->
+          let names =
+            List.filter_map
+              (function Vgpu.Runtime.A_buf b -> Some (resolve d b) | _ -> None)
+              args
+          in
+          ignore kernel;
+          launch_refs.(i) <- Some (d, names)
+      | Vgpu.Multi.Dev (_, _) -> ()
+      | Vgpu.Multi.Exchange { src_dev; src; dst_dev; dst; _ } ->
+          exch.(i) <- Some (src_dev, resolve src_dev src, dst_dev, resolve dst_dev dst))
+    ops;
+  (* happens-before: successor edges are next-op-on-same-queue (FIFO) and
+     signal->wait; [reach from] marks every op ordered after [from] *)
+  let next_on_queue = Array.make n (-1) in
+  let last : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iteri
+    (fun i o ->
+      let q = queue_of o in
+      (match Hashtbl.find_opt last q with
+      | Some j -> next_on_queue.(j) <- i
+      | None -> ());
+      Hashtbl.replace last q i)
+    ops;
+  let waiters : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (o : Vgpu.Multi.async_op) ->
+      List.iter
+        (fun e ->
+          Hashtbl.replace waiters e (i :: Option.value ~default:[] (Hashtbl.find_opt waiters e)))
+        o.Vgpu.Multi.a_waits)
+    ops;
+  let reach from =
+    let seen = Array.make n false in
+    let rec go i =
+      if i >= 0 && i < n && not seen.(i) then begin
+        seen.(i) <- true;
+        go next_on_queue.(i);
+        match ops.(i).Vgpu.Multi.a_signal with
+        | Some e -> List.iter go (Option.value ~default:[] (Hashtbl.find_opt waiters e))
+        | None -> ()
+      end
+    in
+    (* successors of [from] only, not [from] itself *)
+    (match ops.(from).Vgpu.Multi.a_signal with
+    | Some e -> List.iter go (Option.value ~default:[] (Hashtbl.find_opt waiters e))
+    | None -> ());
+    go next_on_queue.(from);
+    seen
+  in
+  Array.iteri
+    (fun x o ->
+      match exch.(x) with
+      | None -> ()
+      | Some (src_dev, src_phys, dst_dev, dst_phys) ->
+          ignore o;
+          let after = reach x in
+          (* producer: some earlier src-device launch touching the source
+             buffer must be ordered before the exchange *)
+          let producers = ref [] and ordered_producer = ref false in
+          for l = 0 to x - 1 do
+            match launch_refs.(l) with
+            | Some (d, names) when d = src_dev && List.mem src_phys names ->
+                producers := l :: !producers;
+                (* hb(l, x): x reachable from l *)
+                if (reach l).(x) then ordered_producer := true
+            | _ -> ()
+          done;
+          if !producers <> [] && not !ordered_producer then
+            add
+              (issue Error "unordered-halo-producer"
+                 "async op %d: exchange of %s from device %d is not ordered after any launch writing it"
+                 x src_phys src_dev);
+          (* consumer: among later dst-device launches touching the
+             exchanged buffer, at least one must wait (transitively) on
+             the exchange *)
+          let consumers = ref [] and ordered_consumer = ref false in
+          for l = x + 1 to n - 1 do
+            match launch_refs.(l) with
+            | Some (d, names) when d = dst_dev && List.mem dst_phys names ->
+                consumers := l :: !consumers;
+                if after.(l) then ordered_consumer := true
+            | _ -> ()
+          done;
+          if !consumers <> [] && not !ordered_consumer then
+            add
+              (issue Error "unordered-halo-consumer"
+                 "async op %d: exchange of %s into device %d has no later launch ordered after it — a dropped frontier wait would read a stale ghost plane"
+                 x dst_phys dst_dev))
+    ops;
   List.rev !issues

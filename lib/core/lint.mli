@@ -16,7 +16,11 @@
     coverage: a Z-cut whose two devices launch in consecutive steps
     (segments separated by the buffer-rotation [Swap]s) with no
     [Exchange] across the cut in the earlier step is reported as an
-    error — step k+1 would consume stale ghost planes. *)
+    error — step k+1 would consume stale ghost planes.
+
+    {!check_async} extends the discipline to event-ordered async plans
+    (the overlapped schedule), where per-queue FIFO order plus explicit
+    signal→wait edges must cover the halo hazards a barrier used to. *)
 
 type severity =
   | Error
@@ -32,6 +36,24 @@ val check_host : Host.hexpr -> issue list
 (** Issues in program order (dead-transfer warnings last). *)
 
 val check_sharded : Vgpu.Multi.plan -> issue list
+
+val check_async : ?imports:int list -> Vgpu.Multi.async_plan -> issue list
+(** Overlap-aware checks on an event-ordered async plan, where ordering
+    is per-queue FIFO plus explicit signal→wait edges:
+    - {b wait-unsignaled} / {b duplicate-event} (error): a wait naming
+      an event no earlier op signals (and that is not in [imports]), or
+      an event signaled twice;
+    - {b unordered-halo-producer} (error): an [Exchange] not ordered
+      after any source-device launch that references the source buffer;
+    - {b unordered-halo-consumer} (error): an [Exchange] with later
+      destination-device launches referencing the exchanged buffer but
+      none ordered after it — the race a dropped frontier wait
+      introduces.  Interior launches are legitimately concurrent with
+      the exchange, so one ordered consumer suffices.
+
+    Buffer identities are tracked through per-device [Swap] rotation
+    markers (see {!Acoustics.Gpu_sim.overlap_plan} — the runtime path
+    rotates host-side instead). *)
 
 val errors : issue list -> issue list
 (** The [Error]-severity subset. *)

@@ -259,3 +259,51 @@ let simplify_kernel k =
     body = List.map simplify_stmt k.body;
     global_size = List.map simplify k.global_size;
   }
+
+(* Ranged-launch variant of a 1-D kernel: append a scalar int parameter
+   (default ["goff"]) and rewrite every [get_global_id(0)] to
+   [get_global_id(0) + goff], so launching [count] work-items with
+   [goff = lo] covers exactly the flat index range [lo, lo + count).
+   This is how the sharded backend cuts a volume kernel into an interior
+   launch plus thin frontier launches without touching its body logic.
+   The variant must be launched with an explicit NDRange ([count]); its
+   [global_size] field is a placeholder variable that no scalar
+   resolves, so accidentally launching it full-range fails loudly. *)
+let offset_global_id ?(param_name = "goff") (k : kernel) =
+  if List.exists (fun p -> p.p_name = param_name) k.params then
+    invalid_arg
+      (Printf.sprintf "Cast.offset_global_id: kernel %s already has a parameter %s" k.name
+         param_name);
+  let rec rw e =
+    match e with
+    | Global_id 0 -> Binop (Add, Global_id 0, Var param_name)
+    | Int_lit _ | Real_lit _ | Var _ | Global_id _ | Global_size _ -> e
+    | Load (b, i) -> Load (b, rw i)
+    | Binop (op, a, b) -> Binop (op, rw a, rw b)
+    | Unop (op, a) -> Unop (op, rw a)
+    | Ternary (c, a, b) -> Ternary (rw c, rw a, rw b)
+    | Call (f, args) -> Call (f, List.map rw args)
+  in
+  let rec rws s =
+    match s with
+    | Decl (t, v, e) -> Decl (t, v, Option.map rw e)
+    | Decl_arr _ | Comment _ -> s
+    | Assign (v, e) -> Assign (v, rw e)
+    | Store (b, i, e) -> Store (b, rw i, rw e)
+    | If (c, t, f) -> If (rw c, List.map rws t, List.map rws f)
+    | For l ->
+        For
+          {
+            l with
+            init = rw l.init;
+            bound = rw l.bound;
+            step = rw l.step;
+            body = List.map rws l.body;
+          }
+  in
+  {
+    k with
+    params = k.params @ [ param ~kind:Scalar_param param_name Int ];
+    body = List.map rws k.body;
+    global_size = [ Var (param_name ^ "_range") ];
+  }

@@ -150,3 +150,13 @@ val is_nonneg : expr -> bool
 val simplify : expr -> expr
 val simplify_stmt : stmt -> stmt
 val simplify_kernel : kernel -> kernel
+
+val offset_global_id : ?param_name:string -> kernel -> kernel
+(** Ranged-launch variant of a 1-D kernel: appends a scalar int
+    parameter (default ["goff"]) and rewrites every [get_global_id(0)]
+    to [get_global_id(0) + goff], so launching [count] work-items with
+    [goff = lo] covers exactly the flat index range [lo, lo + count) —
+    the interior/frontier decomposition of the sharded backend.  The
+    variant must be launched with an explicit NDRange; its [global_size]
+    is a deliberately unresolvable placeholder.
+    @raise Invalid_argument if the kernel already has such a parameter. *)

@@ -294,6 +294,14 @@ let fresh namer prefix =
 
 let unroll_limit = 8
 
+(* Unrolling multiplies the body: past this many spliced AST nodes the
+   register pressure and interpretation cost of the flattened body
+   outweigh the saved loop overhead, so the loop is kept.  The FD-MM
+   per-branch ODE loops (small bodies, <= [unroll_limit] trips) stay
+   well inside the budget; the gate exists for large-bodied loops where
+   unrolling used to be a measurable regression. *)
+let unroll_budget = 512
+
 (* Copy a loop body for one unrolled iteration: substitute the loop
    variable by its literal value and alpha-rename every name the body
    declares, so the spliced copies stay a valid C block (and distinct
@@ -350,6 +358,8 @@ let unroll_kernel namer (k : kernel) =
         | Int_lit i0, Int_lit b, Int_lit st
           when st > 0
                && max 0 ((b - i0 + st - 1) / st) <= unroll_limit
+               && max 0 ((b - i0 + st - 1) / st) * body_nodes l.body
+                  <= unroll_budget
                && (not (StrSet.mem l.var (body_mods StrSet.empty l.body)))
                && not (StrSet.mem l.var (body_decls StrSet.empty l.body)) ->
             let trips = max 0 ((b - i0 + st - 1) / st) in
@@ -631,9 +641,9 @@ let count_strength_reduced (k : kernel) =
   List.iter (iter_stmt_exprs fe) k.body;
   !n
 
-let optimize (k : kernel) : kernel * report =
-  let nodes_before = kernel_nodes k in
-  let k = Cast.simplify_kernel k in
+let optimize (k0 : kernel) : kernel * report =
+  let nodes_before = kernel_nodes k0 in
+  let k = Cast.simplify_kernel k0 in
   let namer = namer_of_kernel k in
   let k, unrolled = unroll_kernel namer k in
   (* re-fold: unrolling turns loop indices into literals ([0 * nB]...) *)
@@ -642,6 +652,16 @@ let optimize (k : kernel) : kernel * report =
   let k, licm_hoisted = licm_kernel namer k in
   let k = Cast.simplify_kernel k in
   let k, dead_removed = dce_kernel k in
+  (* a no-op pipeline returns the input kernel *physically*, so callers
+     keying caches on physical identity (JIT cache, ranged-launch
+     variants) share entries between the raw and "optimized" kernel *)
+  let k =
+    if
+      unrolled = 0 && cse_fired = 0 && licm_hoisted = 0 && dead_removed = 0
+      && k = k0
+    then k0
+    else k
+  in
   ( k,
     {
       nodes_before;

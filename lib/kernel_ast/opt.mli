@@ -28,7 +28,12 @@ type report = {
 val optimize : Cast.kernel -> Cast.kernel * report
 (** [optimize k] runs the full pass pipeline and returns the optimized
     kernel together with a per-kernel report.  Idempotent in effect:
-    re-optimizing an optimized kernel is safe (and a near no-op). *)
+    re-optimizing an optimized kernel is safe (and a near no-op).  When
+    no pass changes the kernel, the input is returned {e physically}
+    ([==]), so caches keyed on physical identity are shared between the
+    raw and optimized kernel.  Unrolling is gated on the spliced body
+    size ([trips * body nodes]) as well as the trip count, so
+    large-bodied loops are left rolled. *)
 
 val kernel_nodes : Cast.kernel -> int
 (** Total AST node count of a kernel (body plus NDRange expressions);

@@ -443,7 +443,8 @@ let compile ?(name = "lift_kernel") ?(optimize = true) ~precision (prog : Ast.la
    equal — a symmetric split of an even-Nz box — so both shards share
    the size variables N (slab-local points, ghosts included) and nB
    (per-slab boundary points). *)
-let sharded_fi_step_host ~nx ~ny ~slab_planes ~l ~l2 ~beta () : Host.hexpr =
+let sharded_fi_step_host ?(overlap = false) ~nx ~ny ~slab_planes ~l ~l2 ~beta () :
+    Host.hexpr =
   let open Host in
   let p name ty = Ast.named_param name ty in
   let plane = nx * ny in
@@ -480,12 +481,34 @@ let sharded_fi_step_host ~nx ~ny ~slab_planes ~l ~l2 ~beta () : Host.hexpr =
       next )
   in
   let step0, next0 = shard 0 and step1, next1 = shard 1 in
-  H_tuple
-    [
-      step0;
-      step1;
-      halo_exchange ~plane ~lo:(input next0) ~lo_planes:(slab_planes + 2)
-        ~hi:(input next1);
-      to_host (input next0);
-      to_host (input next1);
-    ]
+  if not overlap then
+    H_tuple
+      [
+        step0;
+        step1;
+        halo_exchange ~plane ~lo:(input next0) ~lo_planes:(slab_planes + 2)
+          ~hi:(input next1);
+        to_host (input next0);
+        to_host (input next1);
+      ]
+  else
+    (* Event-annotated variant for out-of-order queues: each halo copy
+       signals a cl_event and the read-back of a slab waits on the copy
+       into *its* ghost plane — the explicit edges that replace the
+       in-order queue's implicit ordering (the overlapped schedule of
+       [Acoustics.Gpu_sim]).  Same data movement, same results. *)
+    H_tuple
+      [
+        step0;
+        step1;
+        event "halo_up"
+          (copy ~src:(input next0)
+             ~src_off:(slab_planes * plane)
+             ~dst:(input next1) ~dst_off:0 ~elems:plane);
+        event "halo_dn"
+          (copy ~src:(input next1) ~src_off:plane ~dst:(input next0)
+             ~dst_off:((slab_planes + 1) * plane)
+             ~elems:plane);
+        wait [ "halo_dn" ] (to_host (input next0));
+        wait [ "halo_up" ] (to_host (input next1));
+      ]

@@ -79,6 +79,7 @@ val compile :
     optimizes at dispatch time. *)
 
 val sharded_fi_step_host :
+  ?overlap:bool ->
   nx:int ->
   ny:int ->
   slab_planes:int ->
@@ -93,4 +94,11 @@ val sharded_fi_step_host :
     [next] ghost planes across the cut, then read-back.  The two slabs
     are equal ([slab_planes] owned planes each, one ghost plane on each
     side), so both shards resolve the same size variables:
-    N = (slab_planes + 2) * nx * ny and nB = per-slab boundary count. *)
+    N = (slab_planes + 2) * nx * ny and nB = per-slab boundary count.
+
+    [overlap] (default [false]) emits the event-annotated variant for
+    out-of-order queues: each halo copy signals a [cl_event]
+    ({!Host.event}) and each slab's read-back waits on the copy into its
+    ghost plane ({!Host.wait}) — the explicit edges that replace the
+    in-order queue's implicit ordering.  Same data movement, same
+    results. *)

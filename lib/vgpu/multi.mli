@@ -49,7 +49,83 @@ type plan = op list
 val run_op : t -> op -> unit
 val run : t -> plan -> unit
 
+(** {2 Asynchronous execution}
+
+    An async plan tags each op with explicit event dependencies: ops run
+    on their device's {!Queue} ([Exchange] on the {e source} device's
+    queue), so per-queue FIFO order plus the signal→wait edges is the
+    complete happens-before relation.  Buffer names are resolved at
+    submission (the clSetKernelArg moment), so host-side rebinding
+    between time steps never races a queued op.  Host-only ops
+    ([Alloc], [Swap]) execute during submission itself. *)
+
+type async_op = {
+  a_op : op;
+  a_waits : int list;  (** event ids that must fire before the op runs *)
+  a_signal : int option;  (** event id fired when the op retires *)
+}
+
+type async_plan = async_op list
+
+val default_link_gb_s : float
+(** Modeled cross-device link bandwidth used to price [Exchange]
+    commands on the virtual timeline (matches
+    {!Acoustics.Perf_model.predict_sharded}'s default). *)
+
+val submit_async :
+  ?imports:(int * Queue.event) list ->
+  ?link_gb_s:float ->
+  t ->
+  async_plan ->
+  (int * Queue.event) list
+(** Enqueue the plan on the per-device queues and return immediately.
+    The result maps each event id the plan signals to its
+    {!Queue.event}, for [imports] of a later submission (cross-step
+    dependencies under pipelining).  Waits must reference imported or
+    earlier-signaled ids.
+    @raise Invalid_argument if any device sanitizes — checked execution
+    needs deterministic scheduling; use {!run_async_with}.
+    @raise Failure on a wait on an unknown event or a duplicate signal. *)
+
+val finish_async : t -> unit
+(** Drain every device queue; re-raise the first command failure after
+    all queues have drained. *)
+
+val run_async :
+  ?imports:(int * Queue.event) list ->
+  ?link_gb_s:float ->
+  t ->
+  async_plan ->
+  (int * Queue.event) list
+(** [submit_async] then [finish_async]. *)
+
+val async_vclock : t -> float
+(** Critical path of everything retired so far: the maximum virtual
+    clock (ns) across this instance's device queues.  Monotonic —
+    measure an interval as a delta. *)
+
+val run_async_with : ?imports:int list -> ?pick:(int -> int) -> t -> async_plan -> unit
+(** Deterministic single-threaded replay: same buffer resolution as
+    {!submit_async}, but commands run on the calling domain in an order
+    chosen by [pick] (index into the ready queue heads, taken modulo
+    their count) — every [pick] is a legal queue interleaving, which is
+    the qcheck handle on the bit-identity invariant.  Sanitizers are
+    allowed.  [imports] lists event ids assumed already fired.
+    @raise Failure on deadlock (a wait that can never fire). *)
+
 (** {2 Aggregated observability} *)
+
+val queue_stats : t -> (int * Queue.stats) list
+(** Stats of the spawned queues among this instance's device indices. *)
+
+type overlap_stats = {
+  o_busy_ns : float;  (** sum of command durations across queues *)
+  o_span_ns : float;  (** critical path: max per-queue vclock span since reset *)
+  o_saved_ns : float;  (** [busy - span]: time hidden by overlap *)
+  o_queues : (int * Queue.stats) list;
+}
+
+val overlap_stats : t -> overlap_stats
 
 val per_device_stats : t -> (int * Runtime.stats) list
 

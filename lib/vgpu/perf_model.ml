@@ -181,6 +181,42 @@ let predict_sharded ?(link_gb_s = 12.) (device : Device.t) (kernel : Cast.kernel
   let halo_s = float_of_int halo_bytes /. (link_gb_s *. 1e9) in
   compute_s +. halo_s
 
+(* Predicted per-step time under the overlapped schedule: the volume
+   kernel splits into an interior launch plus thin frontier launches, so
+   the halo transfer runs concurrently with the interior compute.  The
+   per-step critical path is the frontier work (which must wait for the
+   previous halo) plus the longer of interior compute and halo
+   transfer.  At shards = 1 there is no halo and no split, so the
+   prediction coincides with [predict]. *)
+let predict_overlapped ?(link_gb_s = 12.) (device : Device.t) (kernel : Cast.kernel)
+    (w : workload) ~plane_elems ~shards =
+  let shards = max 1 shards in
+  if shards = 1 then predict device kernel w
+  else begin
+    let per_shard =
+      { w with active_points = w.active_points /. float_of_int shards }
+    in
+    (* one frontier plane per ghost-adjacent face (two per interior shard) *)
+    let frontier_points =
+      Float.min per_shard.active_points (2. *. float_of_int plane_elems)
+    in
+    let interior_s =
+      predict device kernel
+        {
+          per_shard with
+          active_points = Float.max 0. (per_shard.active_points -. frontier_points);
+        }
+    in
+    let frontier_s =
+      predict device kernel { per_shard with active_points = frontier_points }
+    in
+    let halo_bytes =
+      halo_bytes_per_step ~precision:kernel.Cast.precision ~plane_elems ~shards
+    in
+    let halo_s = float_of_int halo_bytes /. (link_gb_s *. 1e9) in
+    frontier_s +. Float.max interior_s halo_s
+  end
+
 let pp_breakdown ppf b =
   Fmt.pf ppf "bytes/pt=%.1f flops/pt=%.0f mem=%.3fms flop=%.3fms total=%.3fms"
     b.bytes_per_point b.flops_per_point (b.mem_time_s *. 1e3) (b.flop_time_s *. 1e3)

@@ -89,4 +89,20 @@ val predict_sharded :
     planes crossing the inter-device link ([link_gb_s], default a
     PCIe-3-class 12 GB/s). *)
 
+val predict_overlapped :
+  ?link_gb_s:float ->
+  Device.t ->
+  Kernel_ast.Cast.kernel ->
+  workload ->
+  plane_elems:int ->
+  shards:int ->
+  float
+(** Predicted per-step time under the overlapped (split
+    interior/frontier) schedule: the frontier work — which must wait on
+    the previous step's halo exchange — plus the longer of interior
+    compute and halo transfer, the critical path of the per-device
+    command queues.  Coincides with {!predict} at [shards = 1]; never
+    exceeds {!predict_sharded} by more than the second launch
+    overhead. *)
+
 val pp_breakdown : Format.formatter -> breakdown -> unit

@@ -161,10 +161,26 @@ let launch ?(pool = global) ~domains (c : Jit.compiled) ~(args : Args.t list)
     let rt0 = Jit.bind c ~args ~global in
     let dim = outer_dim global in
     let extent = List.nth global dim in
-    let chunks = min domains extent in
-    if chunks <= 1 then Jit.run_range c rt0 ~dim ~lo:0 ~hi:extent
-    else
-      run pool ~n:chunks (fun i ->
+    let workers = min domains extent in
+    if workers <= 1 then Jit.run_range c rt0 ~dim ~lo:0 ~hi:extent
+    else begin
+      (* Chunked self-scheduling: more chunks than workers and an
+         atomic claim counter, so skewed work — boundary kernels with
+         few points, uneven plane splits — load-balances instead of
+         waiting on the slowest even share.  Chunks are contiguous
+         ranges over disjointly-written work-items, so every claim
+         order is bit-identical to the sequential schedule. *)
+      let chunks = min extent (workers * 4) in
+      let next = Atomic.make 0 in
+      run pool ~n:workers (fun i ->
           let rt = if i = 0 then rt0 else Jit.clone_rt c rt0 in
-          Jit.run_range c rt ~dim ~lo:(i * extent / chunks) ~hi:((i + 1) * extent / chunks))
+          let rec drain () =
+            let k = Atomic.fetch_and_add next 1 in
+            if k < chunks then begin
+              Jit.run_range c rt ~dim ~lo:(k * extent / chunks) ~hi:((k + 1) * extent / chunks);
+              drain ()
+            end
+          in
+          drain ())
+    end
   end

@@ -1,0 +1,91 @@
+(** Asynchronous per-device command queues with explicit events.
+
+    A {!t} is an in-order command queue draining on its own OCaml
+    domain — the shape of an OpenCL per-device command queue.  Commands
+    carry explicit {!event} dependencies, so cross-queue ordering is
+    exactly the signal→wait edges plus per-queue FIFO order.
+
+    Timing is virtual: each queue advances a nanosecond clock by every
+    command's duration (measured wall time, or a modeled [c_vcost] for
+    priced commands such as halo exchanges), and a command starts no
+    earlier than the [ready_at] stamps of its waits.  A process-wide
+    execution lock serialises command bodies so measured durations are
+    clean; results depend only on the event order, which is unchanged.
+    The overlapped cost of a schedule is the critical path —
+    [max over queues of vclock] — versus the sequential sum. *)
+
+type event = {
+  ev_id : int;
+  mutable fired : bool;
+  mutable ready_at : float;  (** virtual ns when the signaling command retired *)
+  em : Mutex.t;
+  ecv : Condition.t;
+}
+
+type cmd = {
+  c_label : string;
+  c_waits : event list;  (** must all have fired before the command starts *)
+  c_signal : event option;  (** fired when the command retires, error or not *)
+  c_vcost : float option;  (** virtual ns; [None] = measured wall time *)
+  c_run : unit -> unit;
+}
+
+type stats = {
+  q_vclock : float;  (** virtual ns at which the queue's last command retired *)
+  q_vspan_ns : float;  (** vclock advance since the last {!reset_stats} *)
+  q_busy_ns : float;  (** sum of command durations since reset *)
+  q_enqueued : int;  (** commands accepted since reset *)
+  q_depth_hw : int;  (** high-water mark of simultaneously pending commands *)
+}
+
+type t
+
+val fresh_event : unit -> event
+(** A new unfired event with a process-unique [ev_id]. *)
+
+val create : unit -> t
+(** Spawn a queue with its own worker domain. *)
+
+val enqueue : t -> cmd -> unit
+(** Append a command; returns immediately.  Waits must reference only
+    events created by earlier submissions (the dependence graph is then
+    acyclic by construction).  After a command fails, later commands on
+    the same queue are skipped but still advance the clock and fire
+    their events, so no cross-queue waiter deadlocks; the first failure
+    is re-raised by {!finish}.
+    @raise Invalid_argument on a queue that was shut down. *)
+
+val finish : t -> unit
+(** Block until the queue is empty; re-raise the first command failure
+    recorded since the previous [finish], if any. *)
+
+val vclock : t -> float
+(** Current virtual clock (ns).  Monotonic; measure intervals as deltas. *)
+
+val align : t -> at:float -> unit
+(** Advance the virtual clock to [at] (never backwards).  Lets a caller
+    owning several queues re-align their timelines before a measurement
+    interval, so cross-queue skew left by earlier work doesn't distort
+    the critical path.  Only meaningful on a drained queue. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+(** Reset counters; the virtual clock keeps running. *)
+
+val shutdown : t -> unit
+(** Stop the worker after the queued commands drain and join its domain. *)
+
+(** {2 Process-wide registry}
+
+    Queues are shared by device index across every {!Multi} instance in
+    the process — domains are heavyweight and capped — grown on demand
+    and shut down from [at_exit]. *)
+
+val global : int -> t
+(** The shared queue for device index [i], spawning up to [i+1] queues. *)
+
+val global_opt : int -> t option
+(** The shared queue for device [i] if one was ever spawned; never
+    spawns (safe for stats queries). *)
+
+val shutdown_all : unit -> unit

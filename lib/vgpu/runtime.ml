@@ -245,6 +245,49 @@ let kstat t name =
       Hashtbl.replace t.kstats name s;
       s
 
+(* Dispatch a launch whose arguments are already resolved to buffers and
+   scalars.  This is the whole Launch arm of [run_op] minus the name
+   lookup: the async queue layer ([Multi.submit_async]) resolves names
+   at submission time — the clSetKernelArg moment — so worker domains
+   never touch the buffer table and host-side rebinding between steps
+   cannot race a queued launch. *)
+let launch_resolved t kernel ~(args : Args.t list) ~global =
+  t.launches <- t.launches + 1;
+  let kernel, report =
+    if t.optimize then
+      let opt, report = optimized t kernel in
+      (opt, Some report)
+    else (kernel, None)
+  in
+  let bytes =
+    List.fold_left
+      (fun acc -> function
+        | Args.Buf b -> acc + transfer_bytes ~precision:kernel.Cast.precision b
+        | Args.Int_arg _ | Args.Real_arg _ -> acc)
+      0 args
+  in
+  if t.verify then verify_launch t kernel ~args ~global;
+  let t0 = Unix.gettimeofday () in
+  (match t.sanitizer with
+  | Some s ->
+      (* checked execution needs the interpreter's access hooks, so the
+         sanitizer overrides the configured engine *)
+      Sanitizer.launch s kernel ~args ~global
+  | None -> (
+      match t.engine with
+      | Interp -> Exec.launch kernel ~args ~global
+      | Jit -> Jit.launch (jit_compiled t kernel) ~args ~global
+      | Jit_parallel { domains } ->
+          Pool.launch ~domains (jit_compiled t kernel) ~args ~global));
+  let dt = Unix.gettimeofday () -. t0 in
+  let s = kstat t kernel.Cast.name in
+  (match report with Some _ -> s.k_opt <- report | None -> ());
+  s.k_launches <- s.k_launches + 1;
+  s.total_s <- s.total_s +. dt;
+  s.min_s <- Float.min s.min_s dt;
+  s.max_s <- Float.max s.max_s dt;
+  s.arg_bytes <- s.arg_bytes + bytes
+
 let run_op t = function
   | Swap (a, b) ->
       let ba = buffer t a and bb = buffer t b in
@@ -280,42 +323,7 @@ let run_op t = function
   | Copy_to_host name ->
       t.d2h_bytes <- t.d2h_bytes + transfer_bytes ~precision:t.precision (buffer t name)
   | Launch { kernel; args; global } ->
-      t.launches <- t.launches + 1;
-      let kernel, report =
-        if t.optimize then
-          let opt, report = optimized t kernel in
-          (opt, Some report)
-        else (kernel, None)
-      in
-      let args = List.map (resolve_arg t) args in
-      let bytes =
-        List.fold_left
-          (fun acc -> function
-            | Args.Buf b -> acc + transfer_bytes ~precision:kernel.precision b
-            | Args.Int_arg _ | Args.Real_arg _ -> acc)
-          0 args
-      in
-      if t.verify then verify_launch t kernel ~args ~global;
-      let t0 = Unix.gettimeofday () in
-      (match t.sanitizer with
-      | Some s ->
-          (* checked execution needs the interpreter's access hooks, so
-             the sanitizer overrides the configured engine *)
-          Sanitizer.launch s kernel ~args ~global
-      | None -> (
-          match t.engine with
-          | Interp -> Exec.launch kernel ~args ~global
-          | Jit -> Jit.launch (jit_compiled t kernel) ~args ~global
-          | Jit_parallel { domains } ->
-              Pool.launch ~domains (jit_compiled t kernel) ~args ~global));
-      let dt = Unix.gettimeofday () -. t0 in
-      let s = kstat t kernel.name in
-      (match report with Some _ -> s.k_opt <- report | None -> ());
-      s.k_launches <- s.k_launches + 1;
-      s.total_s <- s.total_s +. dt;
-      s.min_s <- Float.min s.min_s dt;
-      s.max_s <- Float.max s.max_s dt;
-      s.arg_bytes <- s.arg_bytes + bytes
+      launch_resolved t kernel ~args:(List.map (resolve_arg t) args) ~global
 
 let run t (plan : plan) = List.iter (run_op t) plan
 

@@ -134,6 +134,16 @@ val account_d2d : t -> int -> unit
 (** Charge [bytes] to the device-to-device transfer counter (used by
     {!module:Multi} for cross-device exchanges). *)
 
+val resolve_arg : t -> arg -> Args.t
+(** Resolve one launch argument against the buffer table now — the
+    clSetKernelArg moment.  @raise Failure on an unbound buffer name. *)
+
+val launch_resolved : t -> Kernel_ast.Cast.kernel -> args:Args.t list -> global:int list -> unit
+(** Dispatch a launch whose arguments were already resolved with
+    {!resolve_arg}.  Used by the async queue layer so worker domains
+    never read the buffer table (host-side rebinding between steps can
+    then proceed while launches are still queued). *)
+
 val run_op : t -> op -> unit
 (** @raise Failure if an [Alloc] reuses a binding whose element count or
     type differs from the plan's allocation. *)

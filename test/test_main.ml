@@ -14,6 +14,7 @@ let () =
       ("optimizer", Test_opt.suite);
       ("parallel engines", Test_parallel.suite);
       ("sharding", Test_shard.suite);
+      ("overlap", Test_overlap.suite);
       ("analysis", Test_analysis.suite);
       ("check & sanitize", Test_check.suite);
       ("perf model", Test_perf_model.suite);
