@@ -640,8 +640,132 @@ let run_sanitizer_overhead () =
   Printf.printf "%-24s %15.0f  (%.1fx)\n" "sanitized interpreter" (checked *. 1e9)
     (checked /. plain)
 
+
+(* Native compiled backend vs the closure JIT: the same full time step
+   (volume + boundary) rendered to C, compiled with the system compiler
+   and dlopened, for every scheme.  Bit-identity against the JIT grid is
+   asserted per row, and the content-addressed binary cache is exercised
+   cold (fresh cache directory: every kernel compiles) then warm (memo
+   dropped: every kernel loads from disk without a cc run). *)
+let run_native_bench ~json_file ~smoke () =
+  Printf.printf "\n== Native compiled backend: ns/step, jit vs cc+dlopen ==\n";
+  let dims =
+    if smoke then Geometry.dims ~nx:16 ~ny:12 ~nz:10 else Geometry.dims ~nx:32 ~ny:28 ~nz:24
+  in
+  let steps = if smoke then 4 else 20 in
+  (* a fresh cache directory makes the cold run genuinely cold *)
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "racs-native-bench-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir cache_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Vgpu.Native.set_cache_dir cache_dir;
+  Vgpu.Native.reset_memo ();
+  Vgpu.Native.reset_counters ();
+  let kernels_of scheme =
+    match scheme with
+    | `Fi -> [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fi ~precision ]
+    | `Fi_mm -> [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fi_mm ~precision ~betas ]
+    | `Fd_mm -> [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fd_mm ~precision ~mb:3 ]
+  in
+  let make engine =
+    let room = Geometry.build ~n_materials:4 Geometry.Box dims in
+    let sim = Gpu_sim.create ~engine ~precision ~fi_beta:0.1 ~n_branches:3 params room in
+    let cx, cy, cz = State.centre sim.Gpu_sim.state in
+    State.add_impulse sim.Gpu_sim.state ~x:cx ~y:cy ~z:cz;
+    sim
+  in
+  let advance sim kernels n =
+    for _ = 1 to n do
+      Gpu_sim.step sim kernels
+    done
+  in
+  let bits_equal a b =
+    Array.for_all2
+      (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+      a b
+  in
+  let time engine kernels =
+    let sim = make engine in
+    advance sim kernels 1;
+    (* warm-up: optimize + compile *)
+    let t0 = Unix.gettimeofday () in
+    advance sim kernels steps;
+    ((Unix.gettimeofday () -. t0) /. float_of_int steps, sim)
+  in
+  Printf.printf "room %dx%dx%d box, double precision, %d steps (cc: %s %s)\n" dims.Geometry.nx
+    dims.Geometry.ny dims.Geometry.nz steps (Vgpu.Native.cc ()) (Vgpu.Native.flags ());
+  Printf.printf "%-10s %15s %15s %9s %6s\n" "workload" "jit ns/step" "native ns/step"
+    "speedup" "ident";
+  let rows =
+    List.map
+      (fun (name, scheme) ->
+        let kernels = kernels_of scheme in
+        let t_jit, jit_sim = time `Jit kernels in
+        let t_nat, nat_sim = time `Native kernels in
+        let ident =
+          bits_equal jit_sim.Gpu_sim.state.State.curr nat_sim.Gpu_sim.state.State.curr
+        in
+        let speedup = t_jit /. t_nat in
+        Printf.printf "%-10s %15.0f %15.0f %8.2fx %6b\n" name (t_jit *. 1e9) (t_nat *. 1e9)
+          speedup ident;
+        (name, t_jit *. 1e9, t_nat *. 1e9, speedup, ident))
+      [ ("fi", `Fi); ("fi-mm", `Fi_mm); ("fd-mm", `Fd_mm) ]
+  in
+  (* cold-then-warm cache behaviour: the timing runs above compiled each
+     distinct kernel exactly once (cold); dropping the in-process memo
+     and re-creating the simulations must hit the disk cache with zero
+     further cc runs (warm) *)
+  let cold = Vgpu.Native.counters () in
+  Vgpu.Native.reset_memo ();
+  Vgpu.Native.reset_counters ();
+  List.iter
+    (fun (_, scheme) ->
+      let sim = make `Native in
+      advance sim (kernels_of scheme) 1)
+    [ ("fi", `Fi); ("fi-mm", `Fi_mm); ("fd-mm", `Fd_mm) ];
+  let warm = Vgpu.Native.counters () in
+  let pp_counters label (c : Vgpu.Native.counters) =
+    Printf.printf "%s cache: %d compile(s), %d disk hit(s), %d memo hit(s)\n" label
+      c.Vgpu.Native.c_compiles c.Vgpu.Native.c_disk_hits c.Vgpu.Native.c_memo_hits
+  in
+  pp_counters "cold" cold;
+  pp_counters "warm" warm;
+  if warm.Vgpu.Native.c_compiles > 0 then
+    Printf.printf "WARNING: warm cache run recompiled %d kernel(s)\n"
+      warm.Vgpu.Native.c_compiles;
+  (match json_file with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      Printf.fprintf oc "{\n  \"bench\": \"native_vs_jit\",\n";
+      Printf.fprintf oc "  \"room\": { \"nx\": %d, \"ny\": %d, \"nz\": %d },\n"
+        dims.Geometry.nx dims.Geometry.ny dims.Geometry.nz;
+      Printf.fprintf oc "  \"precision\": \"double\",\n  \"steps\": %d,\n" steps;
+      Printf.fprintf oc "  \"cc\": %S,\n  \"cflags\": %S,\n" (Vgpu.Native.cc ())
+        (Vgpu.Native.flags ());
+      Printf.fprintf oc "  \"results\": [\n";
+      List.iteri
+        (fun i (name, jit_ns, nat_ns, speedup, ident) ->
+          Printf.fprintf oc
+            "    { \"workload\": %S, \"ns_per_step_jit\": %.0f, \"ns_per_step_native\": \
+             %.0f, \"speedup\": %.3f, \"bit_identical\": %b }%s\n"
+            name jit_ns nat_ns speedup ident
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      let pp_json_counters (c : Vgpu.Native.counters) =
+        Printf.sprintf "{ \"compiles\": %d, \"disk_hits\": %d, \"memo_hits\": %d }"
+          c.Vgpu.Native.c_compiles c.Vgpu.Native.c_disk_hits c.Vgpu.Native.c_memo_hits
+      in
+      Printf.fprintf oc "  ],\n  \"cache\": { \"cold\": %s, \"warm\": %s }\n}\n"
+        (pp_json_counters cold) (pp_json_counters warm);
+      close_out oc;
+      Printf.printf "wrote %s\n" file);
+  rows
+
 let () =
-  let json_file = ref None and overlap_json = ref None and smoke = ref false in
+  let json_file = ref None and overlap_json = ref None and native_json = ref None
+  and smoke = ref false and native_only = ref false in
   let rec parse = function
     | [] -> ()
     | "--json" :: file :: rest ->
@@ -650,20 +774,30 @@ let () =
     | "--overlap-json" :: file :: rest ->
         overlap_json := Some file;
         parse rest
+    | "--native-json" :: file :: rest ->
+        native_json := Some file;
+        parse rest
+    | "--native-only" :: rest ->
+        native_only := true;
+        parse rest
     | "--smoke" :: rest ->
         smoke := true;
         parse rest
     | arg :: _ ->
         Printf.eprintf
-          "unknown argument %s (expected --json FILE, --overlap-json FILE and/or --smoke)\n"
+          "unknown argument %s (expected --json FILE, --overlap-json FILE, --native-json \
+           FILE, --native-only and/or --smoke)\n"
           arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !smoke then begin
+  if !native_only then
+    ignore (run_native_bench ~json_file:!native_json ~smoke:!smoke ())
+  else if !smoke then begin
     (* CI smoke: tiny rooms, opt-trajectory + overlapped-queue sections. *)
     let opt_rows = run_opt_trajectory ~json_file:!json_file ~smoke:true () in
-    run_overlap_bench ~json_file:!overlap_json ~opt_rows ~smoke:true ()
+    run_overlap_bench ~json_file:!overlap_json ~opt_rows ~smoke:true ();
+    ignore (run_native_bench ~json_file:!native_json ~smoke:true ())
   end
   else begin
     print_endline "Room acoustics with complex boundary conditions: paper reproduction";
@@ -679,5 +813,6 @@ let () =
     run_tuning_table ();
     run_sanitizer_overhead ();
     let opt_rows = run_opt_trajectory ~json_file:!json_file ~smoke:false () in
-    run_overlap_bench ~json_file:!overlap_json ~opt_rows ~smoke:false ()
+    run_overlap_bench ~json_file:!overlap_json ~opt_rows ~smoke:false ();
+    ignore (run_native_bench ~json_file:!native_json ~smoke:false ())
   end

@@ -105,6 +105,7 @@ let cmd_simulate shape nx ny nz scheme steps backend engine domains shards overl
     | `Interp -> `Interp
     | `Jit -> `Jit
     | `Jit_parallel -> `Jit_parallel domains
+    | `Native -> `Native
   in
   let shards = if shards > 0 then Some shards else None in
   let schedule : Gpu_sim.schedule option =
@@ -133,7 +134,8 @@ let cmd_simulate shape nx ny nz scheme steps backend engine domains shards overl
     (match engine with
     | `Interp -> "interp"
     | `Jit -> "jit"
-    | `Jit_parallel d -> Printf.sprintf "jit-parallel[%d]" d)
+    | `Jit_parallel d -> Printf.sprintf "jit-parallel[%d]" d
+    | `Native -> "native")
     (match shards with
     | None -> ""
     | Some _ ->
@@ -262,7 +264,7 @@ let cmd_emit_c () = print_string (Lift.Emit_c.host_program (listing5_compiled ()
 (* ------------------------------------------------------------------ *)
 (* racs check: static race/bounds verdicts + host-plan lint *)
 
-let cmd_check shape nx ny nz precision =
+let cmd_check shape nx ny nz precision engine =
   let dims = Geometry.dims ~nx ~ny ~nz in
   let n_materials = Array.length Material.defaults in
   let room = Geometry.build ~n_materials shape dims in
@@ -282,6 +284,28 @@ let cmd_check shape nx ny nz precision =
       let opt, _ = Kernel_ast.Opt.optimize k in
       check_one origin "optimized" opt)
     (all_kernels ~optimize:false precision);
+  (* --engine native: also push every kernel (raw + optimized) through
+     the C renderer, the system C compiler and dlopen, so the gate
+     covers the compiled path, not just the static verdicts *)
+  let native_failures = ref 0 in
+  (if engine = `Native then
+     let compile_one origin variant (k : Kernel_ast.Cast.kernel) =
+       match Vgpu.Native.compile k with
+       | (_ : Vgpu.Native.compiled) ->
+           Fmt.pr "== native: %s (%s, %s) ==@.  compiled and loaded (key %s)@."
+             k.Kernel_ast.Cast.name origin variant
+             (String.sub (Vgpu.Native.cache_key k) 0 12)
+       | exception Failure msg ->
+           incr native_failures;
+           Fmt.pr "== native: %s (%s, %s) ==@.  FAILED: %s@." k.Kernel_ast.Cast.name
+             origin variant msg
+     in
+     List.iter
+       (fun (origin, k) ->
+         compile_one origin "raw" k;
+         let opt, _ = Kernel_ast.Opt.optimize k in
+         compile_one origin "optimized" opt)
+       (all_kernels ~optimize:false precision));
   (* host-plan lint: the paper's Listing 5 pipeline and the two-device
      sharded step, plus two sharded time steps as a Multi plan *)
   let lint_errors = ref 0 in
@@ -333,9 +357,12 @@ let cmd_check shape nx ny nz precision =
         (Printf.sprintf "overlapped async plan, two %s steps" label)
         (Lift.Lint.check_async (Gpu_sim.overlap_plan ssim kernels ~steps:2)))
     [ ("fi", `Fi); ("fi-mm", `Fi_mm); ("fd-mm", `Fd_mm) ];
-  Fmt.pr "@.%d kernel report(s) unsafe, %d unproven (sanitizer-covered), %d lint error(s)@."
-    !unsafe !unproven !lint_errors;
-  if !unsafe > 0 || !lint_errors > 0 then exit 1
+  Fmt.pr
+    "@.%d kernel report(s) unsafe, %d unproven (sanitizer-covered), %d lint error(s)%s@."
+    !unsafe !unproven !lint_errors
+    (if engine = `Native then Printf.sprintf ", %d native compile failure(s)" !native_failures
+     else "");
+  if !unsafe > 0 || !lint_errors > 0 || !native_failures > 0 then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* racs tune: the paper's §VI protocol on any kernel/room/device *)
@@ -410,18 +437,20 @@ let simulate_cmd =
         | "interp" -> Ok `Interp
         | "jit" -> Ok `Jit
         | "jit-parallel" -> Ok `Jit_parallel
+        | "native" -> Ok `Native
         | s -> Error (`Msg (Printf.sprintf "unknown engine %s" s))),
         fun ppf e ->
           Fmt.string ppf
             (match e with
             | `Interp -> "interp"
             | `Jit -> "jit"
-            | `Jit_parallel -> "jit-parallel") )
+            | `Jit_parallel -> "jit-parallel"
+            | `Native -> "native") )
   in
   let engine =
     Arg.(
       value & opt engine_conv `Jit
-      & info [ "engine" ] ~doc:"virtual-GPU engine: interp, jit or jit-parallel")
+      & info [ "engine" ] ~doc:"virtual-GPU engine: interp, jit, jit-parallel or native")
   in
   let domains =
     Arg.(
@@ -493,12 +522,26 @@ let check_cmd =
   let nx = Arg.(value & opt int 40 & info [ "nx" ]) in
   let ny = Arg.(value & opt int 32 & info [ "ny" ]) in
   let nz = Arg.(value & opt int 24 & info [ "nz" ]) in
+  let engine_conv =
+    Arg.conv
+      ( (function
+        | "interp" -> Ok `Interp
+        | "native" -> Ok `Native
+        | s -> Error (`Msg (Printf.sprintf "unknown check engine %s (interp | native)" s))),
+        fun ppf e -> Fmt.string ppf (match e with `Interp -> "interp" | `Native -> "native") )
+  in
+  let engine =
+    Arg.(
+      value & opt engine_conv `Interp
+      & info [ "engine" ]
+          ~doc:"with native, also compile every kernel through the C backend (cc + dlopen)")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Static race/bounds verdicts for every kernel (raw + optimized) and host-plan \
           lint; nonzero exit on Unsafe or lint errors")
-    Term.(const cmd_check $ shape $ nx $ ny $ nz $ precision_arg)
+    Term.(const cmd_check $ shape $ nx $ ny $ nz $ precision_arg $ engine)
 
 let tune_cmd =
   let shape = Arg.(value & opt shape_conv Geometry.Box & info [ "shape" ] ~doc:"box, dome or l-shape") in

@@ -41,7 +41,8 @@ open Kernel_ast.Cast
 type engine =
   [ `Interp  (** reference interpreter *)
   | `Jit  (** sequential JIT *)
-  | `Jit_parallel of int  (** JIT over this many OCaml domains *) ]
+  | `Jit_parallel of int  (** JIT over this many OCaml domains *)
+  | `Native  (** compiled-C backend, loaded via [dlopen] *) ]
 
 (* How a sharded step is scheduled:
    - [`Seq]: devices run strictly one after another on the host thread;
@@ -88,6 +89,7 @@ let runtime_engine : engine -> Vgpu.Runtime.engine = function
   | `Interp -> Vgpu.Runtime.Interp
   | `Jit -> Vgpu.Runtime.Jit
   | `Jit_parallel domains -> Vgpu.Runtime.Jit_parallel { domains }
+  | `Native -> Vgpu.Runtime.Native
 
 let create ?(engine = `Jit) ?(optimize = true) ?(fi_beta = 0.1)
     ?(materials = Material.defaults) ?(n_branches = 3) ?shards ?schedule ?(precision = Double)

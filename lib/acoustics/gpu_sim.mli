@@ -23,7 +23,8 @@
 type engine =
   [ `Interp  (** reference interpreter *)
   | `Jit  (** sequential JIT *)
-  | `Jit_parallel of int  (** JIT over this many OCaml domains *) ]
+  | `Jit_parallel of int  (** JIT over this many OCaml domains *)
+  | `Native  (** compiled-C backend, loaded via [dlopen] *) ]
 
 (** How a sharded step is scheduled:
 

@@ -1,0 +1,459 @@
+(* Portable-C rendering of kernel ASTs for the native compiled backend.
+
+   Where [Print] emits the OpenCL C *artifact* (the paper's listings),
+   this module emits a kernel as a self-contained C99 translation unit
+   that the system C compiler turns into a shared object ([Vgpu.Native]
+   compiles, caches and dlopens it).  The rendering is semantics-exact
+   against the reference interpreter and the closure JIT:
+
+   - all real arithmetic is IEEE double ([Vgpu.Buffer] stores doubles
+     even for single-precision kernels); single precision rounds on
+     store to a global real buffer, exactly like [Exec]/[Jit];
+   - ints are [int64_t] (OCaml's 63-bit ints embed exactly); [/], [%],
+     [>>] and real->int casts truncate the same way on both sides;
+   - real [Mod] is C [fmod] (= OCaml [Float.rem]); [Fmin]/[Fmax] are
+     emitted as helpers replicating OCaml's [Float.min]/[Float.max]
+     branch-for-branch (NaN propagation, [-0. < +0.]), not C's
+     [fmin]/[fmax] whose NaN behaviour differs;
+   - wherever the engines truncate a real to an int ([as_int]), the
+     emitted C carries an explicit [(int64_t)] cast — C truthiness of a
+     bare double would otherwise diverge from truncate-then-test;
+   - [&&]/[||] short-circuit like the JIT (the interpreter evaluates
+     both operands; observably identical on verified kernels).
+
+   The fixed entry ABI (see {!entry_symbol}) receives the kernel's
+   parameters split by kind — real buffers as [double*], int buffers as
+   [int64_t*], scalars in two flat arrays — plus the NDRange sizes.
+   The work-item loops live inside the entry, row-major z/y/x exactly
+   like [Exec.launch]/[Jit.run_range]. *)
+
+open Cast
+
+let entry_symbol = "racs_kernel_entry"
+
+(* How each parameter maps onto the entry ABI, in parameter order.
+   Mirrors [Jit.compile]'s binding construction: slot indices count per
+   category in order of appearance.  The host launcher uses this to
+   marshal [Args.t] values, with the same scalar coercions as
+   [Jit.bind] (real arg to int param truncates, int arg to real param
+   widens). *)
+type binding =
+  | Arg_fbuf of int  (** real buffer -> [fb[slot]] *)
+  | Arg_ibuf of int  (** int buffer -> [ib[slot]] *)
+  | Arg_iscalar of int  (** int scalar -> [isc[slot]] *)
+  | Arg_rscalar of int  (** real scalar -> [fsc[slot]] *)
+
+let bindings (k : kernel) : binding list =
+  let nf = ref 0 and ni = ref 0 and nis = ref 0 and nrs = ref 0 in
+  List.map
+    (fun p ->
+      let next r =
+        let s = !r in
+        incr r;
+        s
+      in
+      match (p.p_kind, p.p_ty) with
+      | Global_buf, Real -> Arg_fbuf (next nf)
+      | Global_buf, Int -> Arg_ibuf (next ni)
+      | Scalar_param, Int -> Arg_iscalar (next nis)
+      | Scalar_param, Real -> Arg_rscalar (next nrs))
+    k.params
+
+(* Identifier hygiene: kernel names come from the code generator and are
+   already C identifiers, but they must not collide with C keywords or
+   with the renderer's own [rk_]-prefixed temporaries and ABI names. *)
+let c_reserved =
+  [
+    "auto"; "break"; "case"; "char"; "const"; "continue"; "default"; "do";
+    "double"; "else"; "enum"; "extern"; "float"; "for"; "goto"; "if";
+    "inline"; "int"; "long"; "register"; "restrict"; "return"; "short";
+    "signed"; "sizeof"; "static"; "struct"; "switch"; "typedef"; "union";
+    "unsigned"; "void"; "volatile"; "while"; "fb"; "ib"; "isc"; "fsc";
+    "gsz"; "memset"; "fmod"; "sqrt"; "fabs"; "exp"; "log"; "sin"; "cos";
+    "floor"; "signbit";
+  ]
+
+let mangle name =
+  if List.mem name c_reserved then name ^ "_"
+  else if String.length name >= 3 && String.sub name 0 3 = "rk_" then name ^ "_"
+  else name
+
+type slot =
+  | S_scalar of ty
+  | S_gbuf of ty  (* global buffer parameter *)
+  | S_parr of ty * int  (* private (work-item local) array *)
+
+type env = {
+  slots : (string, slot) Hashtbl.t;
+  mutable locals : (string * slot) list;  (* body-declared, reversed scan order *)
+}
+
+let declare env name s =
+  if not (Hashtbl.mem env.slots name) then begin
+    Hashtbl.replace env.slots name s;
+    env.locals <- (name, s) :: env.locals
+  end
+
+let build_env (k : kernel) =
+  let env = { slots = Hashtbl.create 32; locals = [] } in
+  List.iter
+    (fun p ->
+      match p.p_kind with
+      | Global_buf -> Hashtbl.replace env.slots p.p_name (S_gbuf p.p_ty)
+      | Scalar_param -> Hashtbl.replace env.slots p.p_name (S_scalar p.p_ty))
+    k.params;
+  let rec scan = function
+    | Decl (t, v, _) -> declare env v (S_scalar t)
+    | Decl_arr (t, v, n) -> declare env v (S_parr (t, n))
+    | If (_, a, b) ->
+        List.iter scan a;
+        List.iter scan b
+    | For l ->
+        declare env l.var (S_scalar Int);
+        List.iter scan l.body
+    | Assign _ | Store _ | Comment _ -> ()
+  in
+  List.iter scan k.body;
+  env.locals <- List.rev env.locals;
+  env
+
+(* Expression typing, mirroring [Jit.type_of] exactly: C promotion
+   rules, builtin calls are real, comparisons and logic are int. *)
+let rec type_of env (e : expr) : ty =
+  match e with
+  | Int_lit _ | Global_id _ | Global_size _ -> Int
+  | Real_lit _ -> Real
+  | Var v -> (
+      match Hashtbl.find_opt env.slots v with
+      | Some (S_scalar t) -> t
+      | Some _ -> failwith (Printf.sprintf "native_c: %s is not a scalar" v)
+      | None -> failwith (Printf.sprintf "native_c: unbound variable %s" v))
+  | Load (b, _) -> (
+      match Hashtbl.find_opt env.slots b with
+      | Some (S_gbuf t | S_parr (t, _)) -> t
+      | Some _ -> failwith (Printf.sprintf "native_c: %s is not an array" b)
+      | None -> failwith (Printf.sprintf "native_c: unbound buffer %s" b))
+  | Unop (To_real, _) -> Real
+  | Unop ((To_int | Not), _) -> Int
+  | Unop (Neg, a) -> type_of env a
+  | Ternary (_, a, b) -> (
+      match (type_of env a, type_of env b) with Int, Int -> Int | _ -> Real)
+  | Call (_, _) -> Real
+  | Binop ((Add | Sub | Mul | Div | Mod), a, b) -> (
+      match (type_of env a, type_of env b) with Int, Int -> Int | _ -> Real)
+  | Binop (_, _, _) -> Int
+
+(* C precedence levels, as in [Print]. *)
+let binop_prec = function
+  | Mul | Div | Mod -> 10
+  | Add | Sub -> 9
+  | Shr -> 8
+  | Lt | Le | Gt | Ge -> 7
+  | Eq | Ne -> 6
+  | BAnd -> 5
+  | And -> 4
+  | Or -> 3
+
+let builtin_name = function
+  | Sqrt -> "sqrt"
+  | Fabs -> "fabs"
+  | Exp -> "exp"
+  | Log -> "log"
+  | Sin -> "sin"
+  | Cos -> "cos"
+  | Floor -> "floor"
+  | Fmin -> "rk_fmin"  (* OCaml Float.min semantics, see preamble *)
+  | Fmax -> "rk_fmax"
+
+let real_lit_c r =
+  if Float.is_nan r then "(0.0/0.0)"
+  else if r = Float.infinity then "(1.0/0.0)"
+  else if r = Float.neg_infinity then "(-1.0/0.0)"
+  else
+    let s = Printf.sprintf "%.17g" r in
+    if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+
+(* Emit [e] as a C expression of its own type into [buf], parenthesised
+   for an enclosing precedence [prec].  [as_int] is the one coercion
+   point: an explicit truncating cast where the engines truncate.
+   Int-in-real position needs nothing — C's implicit int64->double
+   promotion is the engines' exact widening. *)
+let rec emit env buf ~prec (e : expr) =
+  let add = Buffer.add_string buf in
+  match e with
+  | Int_lit n ->
+      add (if n < 0 then Printf.sprintf "(%dLL)" n else Printf.sprintf "%dLL" n)
+  | Real_lit r -> add (real_lit_c r)
+  | Var v -> add (mangle v)
+  | Global_id d -> add (Printf.sprintf "rk_g%d" d)
+  | Global_size d -> add (Printf.sprintf "rk_gs%d" d)
+  | Load (b, i) ->
+      add (mangle b);
+      add "[";
+      as_int env buf i;
+      add "]"
+  | Call (f, args) ->
+      add (builtin_name f);
+      add "(";
+      List.iteri
+        (fun i a ->
+          if i > 0 then add ", ";
+          as_real env buf a)
+        args;
+      add ")"
+  | Unop (Neg, a) ->
+      add "(-";
+      emit env buf ~prec:11 a;
+      add ")"
+  | Unop (Not, a) ->
+      (* !x on the truncated int, as in the engines *)
+      add "(!";
+      as_int_atom env buf a;
+      add ")"
+  | Unop (To_real, a) ->
+      add "(double)(";
+      emit env buf ~prec:0 a;
+      add ")"
+  | Unop (To_int, a) ->
+      (* the JIT routes To_int through as_real first; keep the exact
+         widen-then-truncate round-trip *)
+      add "(int64_t)(double)(";
+      emit env buf ~prec:0 a;
+      add ")"
+  | Ternary (c, a, b) ->
+      if prec > 1 then add "(";
+      as_int_atom env buf c;
+      add " ? ";
+      emit env buf ~prec:2 a;
+      add " : ";
+      emit env buf ~prec:1 b;
+      if prec > 1 then add ")"
+  | Binop (Mod, a, b) when type_of env e = Real ->
+      add "fmod(";
+      as_real env buf a;
+      add ", ";
+      as_real env buf b;
+      add ")"
+  | Binop (((And | Or) as op), a, b) ->
+      let p = binop_prec op in
+      if prec > p then add "(";
+      as_int_atom env buf a;
+      add (if op = And then " && " else " || ");
+      as_int_atom env buf b;
+      if prec > p then add ")"
+  | Binop (((Shr | BAnd) as op), a, b) ->
+      let p = binop_prec op in
+      if prec > p then add "(";
+      as_int_prec env buf ~prec:p a;
+      add (if op = Shr then " >> " else " & ");
+      as_int_prec env buf ~prec:(p + 1) b;
+      if prec > p then add ")"
+  | Binop (((Eq | Ne | Lt | Le | Gt | Ge) as op), a, b) ->
+      (* mixed comparisons promote the int side to double, exactly the
+         engines' [as_real]-both-sides path *)
+      let p = binop_prec op in
+      if prec > p then add "(";
+      emit env buf ~prec:p a;
+      add
+        (match op with
+        | Eq -> " == "
+        | Ne -> " != "
+        | Lt -> " < "
+        | Le -> " <= "
+        | Gt -> " > "
+        | _ -> " >= ");
+      emit env buf ~prec:(p + 1) b;
+      if prec > p then add ")"
+  | Binop (op, a, b) ->
+      (* arithmetic: both-int stays int64, otherwise C promotes the int
+         side to double — the engines' exact widening *)
+      let p = binop_prec op in
+      if prec > p then add "(";
+      emit env buf ~prec:p a;
+      add
+        (match op with
+        | Add -> " + "
+        | Sub -> " - "
+        | Mul -> " * "
+        | Div -> " / "
+        | Mod -> " % "
+        | _ -> assert false);
+      emit env buf ~prec:(p + 1) b;
+      if prec > p then add ")"
+
+(* [e] in an int context: emit directly when int-typed, else the
+   engines' truncation as an explicit cast (a cast is self-delimiting,
+   so [prec] variants only matter for the int-typed path). *)
+and as_int env buf e = as_int_prec env buf ~prec:0 e
+
+and as_int_prec env buf ~prec e =
+  if type_of env e = Int then emit env buf ~prec e
+  else begin
+    Buffer.add_string buf "(int64_t)(";
+    emit env buf ~prec:0 e;
+    Buffer.add_string buf ")"
+  end
+
+and as_int_atom env buf e = as_int_prec env buf ~prec:11 e
+
+and as_real env buf e = emit env buf ~prec:0 e
+
+let expr_c env e =
+  let buf = Buffer.create 64 in
+  emit env buf ~prec:0 e;
+  Buffer.contents buf
+
+let as_int_c env e =
+  let buf = Buffer.create 64 in
+  as_int env buf e;
+  Buffer.contents buf
+
+let c_ty = function Int -> "int64_t" | Real -> "double"
+
+let comment_c c =
+  (* keep comments but never let them terminate early *)
+  let buf = Buffer.create (String.length c + 8) in
+  String.iteri
+    (fun i ch ->
+      if ch = '/' && i > 0 && c.[i - 1] = '*' then Buffer.add_string buf " /"
+      else Buffer.add_char buf ch)
+    c;
+  Buffer.contents buf
+
+(* Statement emission.  All declarations are hoisted to entry scope
+   (built from [env.locals]); the statement stream only assigns.  A
+   [Decl] with no initializer zeroes its variable like the reference
+   interpreter; [Decl_arr] re-zeroes per evaluation (fresh per
+   work-item in the interpreter). *)
+let rec emit_stmt env buf ~indent ~round_store (s : stmt) =
+  let pad = String.make indent ' ' in
+  let add = Buffer.add_string buf in
+  match s with
+  | Comment c -> add (Printf.sprintf "%s/* %s */\n" pad (comment_c c))
+  | Decl (t, v, init) ->
+      let rhs =
+        match (t, init) with
+        | Int, None -> "0"
+        | Real, None -> "0.0"
+        | Int, Some e -> as_int_c env e
+        | Real, Some e -> expr_c env e
+      in
+      add (Printf.sprintf "%s%s = %s;\n" pad (mangle v) rhs)
+  | Decl_arr (_, v, _) ->
+      add (Printf.sprintf "%smemset(%s, 0, sizeof(%s));\n" pad (mangle v) (mangle v))
+  | Assign (v, e) ->
+      let rhs =
+        match Hashtbl.find_opt env.slots v with
+        | Some (S_scalar Int) -> as_int_c env e
+        | Some (S_scalar Real) -> expr_c env e
+        | _ -> failwith (Printf.sprintf "native_c: assign to unbound %s" v)
+      in
+      add (Printf.sprintf "%s%s = %s;\n" pad (mangle v) rhs)
+  | Store (b, i, e) ->
+      let idx = as_int_c env i in
+      let rhs =
+        match Hashtbl.find_opt env.slots b with
+        | Some (S_gbuf Int | S_parr (Int, _)) -> as_int_c env e
+        | Some (S_gbuf Real) when round_store ->
+            (* single precision: round on store to a global real buffer,
+               always through double first so an int value takes the
+               same widen-then-round path as [Jit]'s float_of_int +
+               round32 *)
+            Printf.sprintf "(double)(float)(double)(%s)" (expr_c env e)
+        | Some (S_gbuf Real | S_parr (Real, _)) -> expr_c env e
+        | _ -> failwith (Printf.sprintf "native_c: store to unbound %s" b)
+      in
+      add (Printf.sprintf "%s%s[%s] = %s;\n" pad (mangle b) idx rhs)
+  | If (c, t, f) ->
+      add (Printf.sprintf "%sif (%s) {\n" pad (as_int_c env c));
+      List.iter (emit_stmt env buf ~indent:(indent + 2) ~round_store) t;
+      if f <> [] then begin
+        add (Printf.sprintf "%s} else {\n" pad);
+        List.iter (emit_stmt env buf ~indent:(indent + 2) ~round_store) f
+      end;
+      add (Printf.sprintf "%s}\n" pad)
+  | For l ->
+      (* Replicates [Jit]'s loop structure literally: a hidden iterator
+         advances by [step] evaluated after the body; the loop variable
+         is the entry-scope register, assigned at the top of each
+         iteration; [bound] is re-evaluated per iteration before that
+         assignment. *)
+      let it = Printf.sprintf "rk_it_%s" (mangle l.var) in
+      add (Printf.sprintf "%s{\n" pad);
+      add (Printf.sprintf "%s  int64_t %s = %s;\n" pad it (as_int_c env l.init));
+      add (Printf.sprintf "%s  while (%s < (%s)) {\n" pad it (as_int_c env l.bound));
+      add (Printf.sprintf "%s    %s = %s;\n" pad (mangle l.var) it);
+      List.iter (emit_stmt env buf ~indent:(indent + 4) ~round_store) l.body;
+      add (Printf.sprintf "%s    %s += %s;\n" pad it (as_int_c env l.step));
+      add (Printf.sprintf "%s  }\n" pad);
+      add (Printf.sprintf "%s}\n" pad)
+
+let preamble =
+  "#include <stdint.h>\n#include <math.h>\n#include <string.h>\n\n\
+   #if defined(_WIN32)\n\
+   #  define RK_EXPORT __declspec(dllexport)\n\
+   #else\n\
+   #  define RK_EXPORT __attribute__((visibility(\"default\")))\n\
+   #endif\n\n\
+   /* OCaml Float.min / Float.max semantics: NaN in either operand\n\
+   \ * propagates, and -0.0 orders below +0.0.  C fmin/fmax differ\n\
+   \ * (they prefer the non-NaN operand), so they are not used. */\n\
+   static inline double rk_fmin(double x, double y) {\n\
+   \  if (y > x || (!signbit(y) && signbit(x))) return (y != y) ? y : x;\n\
+   \  return (x != x) ? x : y;\n\
+   }\n\
+   static inline double rk_fmax(double x, double y) {\n\
+   \  if (y < x || (signbit(y) && !signbit(x))) return (y != y) ? y : x;\n\
+   \  return (x != x) ? x : y;\n\
+   }\n"
+
+let kernel_source (k : kernel) : string =
+  let env = build_env k in
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add
+    (Printf.sprintf "/* kernel %s (%s precision) — generated by the racs native backend */\n"
+       k.name
+       (match k.precision with Single -> "single" | Double -> "double"));
+  add preamble;
+  add "\n";
+  add
+    (Printf.sprintf
+       "RK_EXPORT void %s(double **fb, int64_t **ib, const int64_t *isc,\n\
+       \                  const double *fsc, const int64_t *gsz)\n{\n"
+       entry_symbol);
+  add "  (void)fb; (void)ib; (void)isc; (void)fsc;\n";
+  (* parameter prologue, in [bindings] order *)
+  List.iter2
+    (fun p b ->
+      let n = mangle p.p_name in
+      match b with
+      | Arg_fbuf s -> add (Printf.sprintf "  double * restrict %s = fb[%d];\n" n s)
+      | Arg_ibuf s -> add (Printf.sprintf "  int64_t * restrict %s = ib[%d];\n" n s)
+      | Arg_iscalar s -> add (Printf.sprintf "  int64_t %s = isc[%d];\n" n s)
+      | Arg_rscalar s -> add (Printf.sprintf "  double %s = fsc[%d];\n" n s))
+    k.params (bindings k);
+  add "  const int64_t rk_gs0 = gsz[0];\n";
+  add "  const int64_t rk_gs1 = gsz[1];\n";
+  add "  const int64_t rk_gs2 = gsz[2];\n";
+  add "  (void)rk_gs0; (void)rk_gs1; (void)rk_gs2;\n";
+  (* hoisted entry-scope locals, zero-initialised like fresh registers *)
+  List.iter
+    (fun (v, s) ->
+      match s with
+      | S_scalar t ->
+          add
+            (Printf.sprintf "  %s %s = %s;\n" (c_ty t) (mangle v)
+               (match t with Int -> "0" | Real -> "0.0"))
+      | S_parr (t, n) -> add (Printf.sprintf "  %s %s[%d] = {0};\n" (c_ty t) (mangle v) n)
+      | S_gbuf _ -> assert false)
+    env.locals;
+  (* the NDRange loop nest: row-major z/y/x like Exec.launch/Jit.run_range *)
+  add "  for (int64_t rk_g2 = 0; rk_g2 < rk_gs2; rk_g2++)\n";
+  add "  for (int64_t rk_g1 = 0; rk_g1 < rk_gs1; rk_g1++)\n";
+  add "  for (int64_t rk_g0 = 0; rk_g0 < rk_gs0; rk_g0++)\n";
+  add "  {\n";
+  let round_store = k.precision = Single in
+  List.iter (emit_stmt env buf ~indent:4 ~round_store) k.body;
+  add "  }\n}\n";
+  Buffer.contents buf

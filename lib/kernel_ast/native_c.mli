@@ -1,0 +1,39 @@
+(** Portable-C rendering of kernel ASTs for the native compiled backend.
+
+    Renders a {!Cast.kernel} as a self-contained C99 translation unit
+    exporting a single entry point ({!entry_symbol}) that runs the full
+    NDRange.  The rendering is semantics-exact against the reference
+    interpreter ([Vgpu.Exec]) and the closure JIT ([Vgpu.Jit]): IEEE
+    double arithmetic, [int64_t] integers with truncating division,
+    [fmod] for real [Mod], OCaml-faithful [Fmin]/[Fmax] helpers, and
+    single-precision rounding on stores to global real buffers.
+    [Vgpu.Native] compiles the source with the system C compiler and
+    dispatches launches through it. *)
+
+val entry_symbol : string
+(** Name of the exported entry:
+    [void racs_kernel_entry(double **fb, int64_t **ib,
+                            const int64_t *isc, const double *fsc,
+                            const int64_t *gsz)]
+    — real buffers, int buffers, int scalars, real scalars (each indexed
+    by the slots of {!bindings}), and the three NDRange sizes (missing
+    dimensions padded with 1). *)
+
+type binding =
+  | Arg_fbuf of int  (** real buffer -> [fb[slot]] *)
+  | Arg_ibuf of int  (** int buffer -> [ib[slot]] *)
+  | Arg_iscalar of int  (** int scalar -> [isc[slot]] *)
+  | Arg_rscalar of int  (** real scalar -> [fsc[slot]] *)
+
+val bindings : Cast.kernel -> binding list
+(** ABI slot of each parameter, in parameter order; slot indices count
+    per category in order of appearance, mirroring the JIT's binding
+    construction.  The launcher must apply the JIT's scalar coercions
+    when marshalling arguments (real argument to int parameter
+    truncates, int argument to real parameter widens). *)
+
+val kernel_source : Cast.kernel -> string
+(** The complete translation unit.  Deterministic: equal kernels render
+    to equal strings, so the source digest can key a binary cache.
+    @raise Failure on an unbound identifier (the kernel would not
+    interpret or JIT either). *)

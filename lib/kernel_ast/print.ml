@@ -15,7 +15,7 @@ let binop_symbol = function
   | Sub -> "-"
   | Mul -> "*"
   | Div -> "/"
-  | Mod -> "%"
+  | Mod -> "%" (* int-typed only: real Mod prints as fmod(a, b), see expr_prec *)
   | Eq -> "=="
   | Ne -> "!="
   | Lt -> "<"
@@ -49,8 +49,32 @@ let binop_prec = function
   | And -> 4
   | Or -> 3
 
-let rec expr_prec ?(precision = Double) ~prec buf e =
-  let expr_prec ~prec buf e = expr_prec ~precision ~prec buf e in
+(* Static type of an expression under a name-typing oracle, following C
+   promotion rules like the engines ([Jit.type_of]).  Names the oracle
+   does not know default to [Int] — the pre-existing behaviour of the
+   untyped printer; [kernel_to_string] supplies a complete oracle built
+   from the kernel's parameters and declarations, so kernel-level
+   printing is always fully typed. *)
+let rec expr_ty tyenv e =
+  match e with
+  | Int_lit _ | Global_id _ | Global_size _ -> Int
+  | Real_lit _ -> Real
+  | Var v -> Option.value (tyenv v) ~default:Int
+  | Load (b, _) -> Option.value (tyenv b) ~default:Int
+  | Unop (To_real, _) -> Real
+  | Unop ((To_int | Not), _) -> Int
+  | Unop (Neg, a) -> expr_ty tyenv a
+  | Ternary (_, a, b) -> (
+      match (expr_ty tyenv a, expr_ty tyenv b) with Int, Int -> Int | _ -> Real)
+  | Call (_, _) -> Real
+  | Binop ((Add | Sub | Mul | Div | Mod), a, b) -> (
+      match (expr_ty tyenv a, expr_ty tyenv b) with Int, Int -> Int | _ -> Real)
+  | Binop (_, _, _) -> Int
+
+let no_tyenv : string -> ty option = fun _ -> None
+
+let rec expr_prec ?(precision = Double) ?(tyenv = no_tyenv) ~prec buf e =
+  let expr_prec ~prec buf e = expr_prec ~precision ~tyenv ~prec buf e in
   let open Buffer in
   match e with
   | Int_lit n ->
@@ -104,6 +128,14 @@ let rec expr_prec ?(precision = Double) ~prec buf e =
       add_string buf " : ";
       expr_prec ~prec:1 buf b;
       if prec > 1 then add_char buf ')'
+  | Binop (Mod, a, b) when expr_ty tyenv e = Real ->
+      (* C's % is integer-only; real modulo is the fmod builtin (which
+         the interpreter and JIT compute as Float.rem = fmod) *)
+      add_string buf "fmod(";
+      expr_prec ~prec:0 buf a;
+      add_string buf ", ";
+      expr_prec ~prec:0 buf b;
+      add_char buf ')'
   | Binop (op, a, b) ->
       let p = binop_prec op in
       if prec > p then add_char buf '(';
@@ -114,13 +146,31 @@ let rec expr_prec ?(precision = Double) ~prec buf e =
       expr_prec ~prec:(p + 1) buf b;
       if prec > p then add_char buf ')'
 
-let expr_to_string ?(precision = Double) e =
+let expr_to_string ?(precision = Double) ?(tyenv = no_tyenv) e =
   let buf = Buffer.create 64 in
-  expr_prec ~precision ~prec:0 buf e;
+  expr_prec ~precision ~tyenv ~prec:0 buf e;
   Buffer.contents buf
 
-let rec stmt ~precision ~indent buf s =
-  let expr_to_string e = expr_to_string ~precision e in
+(* Name-typing oracle for a whole kernel: parameters plus every
+   declaration in the body (scalars, private arrays, loop variables). *)
+let kernel_tyenv (k : kernel) : string -> ty option =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun p -> Hashtbl.replace tbl p.p_name p.p_ty) k.params;
+  let rec scan = function
+    | Decl (t, v, _) | Decl_arr (t, v, _) -> Hashtbl.replace tbl v t
+    | If (_, a, b) ->
+        List.iter scan a;
+        List.iter scan b
+    | For l ->
+        Hashtbl.replace tbl l.var Int;
+        List.iter scan l.body
+    | Assign _ | Store _ | Comment _ -> ()
+  in
+  List.iter scan k.body;
+  Hashtbl.find_opt tbl
+
+let rec stmt ~precision ~tyenv ~indent buf s =
+  let expr_to_string e = expr_to_string ~precision ~tyenv e in
   let pad = String.make indent ' ' in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (pad ^ s ^ "\n")) fmt in
   match s with
@@ -132,18 +182,18 @@ let rec stmt ~precision ~indent buf s =
   | Store (b, i, e) -> line "%s[%s] = %s;" b (expr_to_string i) (expr_to_string e)
   | If (c, t, []) ->
       line "if (%s) {" (expr_to_string c);
-      List.iter (stmt ~precision ~indent:(indent + 2) buf) t;
+      List.iter (stmt ~precision ~tyenv ~indent:(indent + 2) buf) t;
       line "}"
   | If (c, t, f) ->
       line "if (%s) {" (expr_to_string c);
-      List.iter (stmt ~precision ~indent:(indent + 2) buf) t;
+      List.iter (stmt ~precision ~tyenv ~indent:(indent + 2) buf) t;
       line "} else {";
-      List.iter (stmt ~precision ~indent:(indent + 2) buf) f;
+      List.iter (stmt ~precision ~tyenv ~indent:(indent + 2) buf) f;
       line "}"
   | For l ->
       line "for (int %s = %s; %s < %s; %s = %s + %s) {" l.var (expr_to_string l.init)
         l.var (expr_to_string l.bound) l.var l.var (expr_to_string l.step);
-      List.iter (stmt ~precision ~indent:(indent + 2) buf) l.body;
+      List.iter (stmt ~precision ~tyenv ~indent:(indent + 2) buf) l.body;
       line "}"
 
 let kernel_param ~precision p =
@@ -156,9 +206,10 @@ let kernel_param ~precision p =
    kernel. *)
 let kernel_to_string (k : kernel) =
   let buf = Buffer.create 1024 in
+  let tyenv = kernel_tyenv k in
   let params = List.map (kernel_param ~precision:k.precision) k.params in
   Buffer.add_string buf
     (Printf.sprintf "__kernel void %s(%s) {\n" k.name (String.concat ", " params));
-  List.iter (stmt ~precision:k.precision ~indent:2 buf) k.body;
+  List.iter (stmt ~precision:k.precision ~tyenv ~indent:2 buf) k.body;
   Buffer.add_string buf "}\n";
   Buffer.contents buf

@@ -9,8 +9,16 @@ val ty_name : Cast.precision -> Cast.ty -> string
 
 val builtin_name : Cast.builtin -> string
 
-val expr_to_string : ?precision:Cast.precision -> Cast.expr -> string
-(** Render one expression (default precision: double). *)
+val expr_to_string :
+  ?precision:Cast.precision -> ?tyenv:(string -> Cast.ty option) -> Cast.expr -> string
+(** Render one expression (default precision: double).  [tyenv] types
+    free names so real-typed [Mod] prints as [fmod(a, b)] — C's [%] is
+    integer-only; without an oracle unknown names default to int. *)
+
+val kernel_tyenv : Cast.kernel -> string -> Cast.ty option
+(** Name-typing oracle for a kernel: parameters plus every declaration
+    in the body (used by {!kernel_to_string}; exposed for callers that
+    print expressions of a known kernel). *)
 
 val kernel_to_string : Cast.kernel -> string
 (** Render a kernel as a self-contained [__kernel] function. *)

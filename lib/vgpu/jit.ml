@@ -289,7 +289,11 @@ let rec compile_stmt cenv ~round_store (s : stmt) : rt -> unit =
   | Decl (ty, v, init) -> (
       let slot = scalar_slot cenv v ty in
       match (slot, init) with
-      | _, None -> fun _ -> ()
+      (* an uninitialised declaration zeroes its register, like the
+         reference interpreter's fresh cell — a register reused across
+         work-items must not leak the previous work-item's value *)
+      | Int_reg s, None -> fun rt -> rt.ir.(s) <- 0
+      | Real_reg s, None -> fun rt -> rt.fr.(s) <- 0.
       | Int_reg s, Some e ->
           let f = as_int cenv e in
           fun rt -> rt.ir.(s) <- f rt
@@ -297,9 +301,13 @@ let rec compile_stmt cenv ~round_store (s : stmt) : rt -> unit =
           let f = as_real cenv e in
           fun rt -> rt.fr.(s) <- f rt
       | _ -> assert false)
-  | Decl_arr (ty, v, n) ->
-      ignore (parr_slot cenv v ty n);
-      fun _ -> ()
+  | Decl_arr (ty, v, n) -> (
+      (* fresh zeroed array per evaluation in the interpreter; the JIT
+         reuses one allocation per rt, so re-zero it here *)
+      match parr_slot cenv v ty n with
+      | Int_parr (s, len) -> fun rt -> Array.fill rt.iarr.(s) 0 len 0
+      | Real_parr (s, len) -> fun rt -> Array.fill rt.farr.(s) 0 len 0.
+      | _ -> assert false)
   | Assign (v, e) -> (
       match Hashtbl.find_opt cenv.slots v with
       | Some (Int_reg s) ->

@@ -294,6 +294,21 @@ let stats t : Runtime.stats =
   let merged : (string, Runtime.kernel_stats) Hashtbl.t = Hashtbl.create 8 in
   let launches = ref 0 and h2d = ref 0 and d2h = ref 0 and d2d = ref 0 in
   let violations = ref None in
+  let caches = ref [] in
+  (* sum per-cache counters across devices, label by label; every device
+     reports the same labels in the same order, so the first device's
+     list is the template *)
+  let merge_caches per_device =
+    if !caches = [] then caches := per_device
+    else
+      caches :=
+        List.map
+          (fun (label, acc) ->
+            match List.assoc_opt label per_device with
+            | Some c -> (label, Kcache.add_counters acc c)
+            | None -> (label, acc))
+          !caches
+  in
   Array.iter
     (fun d ->
       let s = Runtime.stats d in
@@ -305,6 +320,7 @@ let stats t : Runtime.stats =
       | Some c, Some acc -> violations := Some (Sanitizer.add_counts acc c)
       | Some c, None -> violations := Some c
       | None, _ -> ());
+      merge_caches s.Runtime.s_caches;
       List.iter
         (fun (name, (k : Runtime.kernel_stats)) ->
           match Hashtbl.find_opt merged name with
@@ -338,6 +354,7 @@ let stats t : Runtime.stats =
     s_d2h_bytes = !d2h;
     s_d2d_bytes = !d2d;
     s_violations = !violations;
+    s_caches = !caches;
     per_kernel;
   }
 

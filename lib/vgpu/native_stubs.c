@@ -1,0 +1,127 @@
+/* C stubs for the native compiled backend.
+ *
+ * Two concerns live here: a thin dlopen/dlsym/dlclose wrapper (handles
+ * travel as nativeint), and the launch trampoline that hands OCaml
+ * buffers to a compiled kernel entry.
+ *
+ * The trampoline performs no OCaml allocation between reading the
+ * packet and returning, so the GC cannot run on this domain and no
+ * block can move while the kernel holds raw pointers into the heap:
+ * float arrays are passed in place (an OCaml float array is a flat
+ * double vector), int arrays are untagged into malloc'd int64 scratch
+ * and retagged afterwards.  The domain keeps the runtime lock for the
+ * whole launch; a concurrent domain requesting a stop-the-world
+ * collection simply waits until the kernel returns (launches are the
+ * unit of work of the whole simulator, same granularity as a JIT
+ * launch).
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+
+#include <dlfcn.h>
+#include <stdint.h>
+#include <stdlib.h>
+
+CAMLprim value racs_native_dlopen(value vpath)
+{
+  CAMLparam1(vpath);
+  void *h;
+  (void)dlerror();
+  h = dlopen(String_val(vpath), RTLD_NOW | RTLD_LOCAL);
+  if (h == NULL) {
+    const char *err = dlerror();
+    caml_failwith(err != NULL ? err : "dlopen failed");
+  }
+  CAMLreturn(caml_copy_nativeint((intnat)h));
+}
+
+CAMLprim value racs_native_dlsym(value vh, value vname)
+{
+  CAMLparam2(vh, vname);
+  void *fn;
+  (void)dlerror();
+  fn = dlsym((void *)Nativeint_val(vh), String_val(vname));
+  if (fn == NULL) {
+    const char *err = dlerror();
+    caml_failwith(err != NULL ? err : "dlsym failed");
+  }
+  CAMLreturn(caml_copy_nativeint((intnat)fn));
+}
+
+CAMLprim value racs_native_dlclose(value vh)
+{
+  (void)dlclose((void *)Nativeint_val(vh));
+  return Val_unit;
+}
+
+/* Must match Native_c.entry_symbol's signature. */
+typedef void (*racs_kernel_fn)(double **fb, int64_t **ib,
+                               const int64_t *isc, const double *fsc,
+                               const int64_t *gsz);
+
+#define RACS_MAX_SLOTS 64
+
+/* value layout of Native.packet — field order is the record's
+ * declaration order: fn, fb, ib, isc, fsc, gsz. */
+CAMLprim value racs_native_launch(value vpk)
+{
+  value vfn = Field(vpk, 0);
+  value vfb = Field(vpk, 1);
+  value vib = Field(vpk, 2);
+  value visc = Field(vpk, 3);
+  value vfsc = Field(vpk, 4);
+  value vgsz = Field(vpk, 5);
+
+  racs_kernel_fn fn = (racs_kernel_fn)Nativeint_val(vfn);
+
+  mlsize_t nfb = Wosize_val(vfb);
+  mlsize_t nib = Wosize_val(vib);
+  mlsize_t nisc = Wosize_val(visc);
+  mlsize_t i, k;
+
+  double *fb[RACS_MAX_SLOTS];
+  int64_t *ib[RACS_MAX_SLOTS];
+  int64_t isc[RACS_MAX_SLOTS];
+  int64_t gsz[3];
+
+  if (nfb > RACS_MAX_SLOTS || nib > RACS_MAX_SLOTS || nisc > RACS_MAX_SLOTS)
+    caml_invalid_argument("racs_native_launch: too many kernel parameters");
+  if (Wosize_val(vgsz) != 3)
+    caml_invalid_argument("racs_native_launch: gsz must have 3 entries");
+
+  for (i = 0; i < nfb; i++)
+    fb[i] = (double *)Field(vfb, i); /* float array: flat double vector */
+
+  /* int arrays are tagged; untag into 64-bit scratch */
+  int64_t *iscratch[RACS_MAX_SLOTS];
+  for (i = 0; i < nib; i++) {
+    value arr = Field(vib, i);
+    mlsize_t len = Wosize_val(arr);
+    int64_t *s = (int64_t *)malloc((len == 0 ? 1 : len) * sizeof(int64_t));
+    if (s == NULL) {
+      for (k = 0; k < i; k++) free(iscratch[k]);
+      caml_failwith("racs_native_launch: out of memory");
+    }
+    for (k = 0; k < len; k++) s[k] = (int64_t)Long_val(Field(arr, k));
+    iscratch[i] = s;
+    ib[i] = s;
+  }
+
+  for (i = 0; i < nisc; i++) isc[i] = (int64_t)Long_val(Field(visc, i));
+  for (i = 0; i < 3; i++) gsz[i] = (int64_t)Long_val(Field(vgsz, i));
+
+  fn(fb, ib, isc, (const double *)vfsc, gsz);
+
+  /* write back int buffers (immediates: no write barrier needed) */
+  for (i = 0; i < nib; i++) {
+    value arr = Field(vib, i);
+    mlsize_t len = Wosize_val(arr);
+    for (k = 0; k < len; k++) Field(arr, k) = Val_long((intnat)iscratch[i][k]);
+    free(iscratch[i]);
+  }
+
+  return Val_unit;
+}

@@ -32,6 +32,7 @@ type engine =
   | Interp
   | Jit
   | Jit_parallel of { domains : int }
+  | Native
 
 type kernel_stats = {
   mutable k_launches : int;
@@ -59,11 +60,18 @@ let () =
 
 type t = {
   buffers : (string, Buffer.t) Hashtbl.t;
-  jit_cache : (string, Jit.compiled list) Hashtbl.t;
-  opt_cache : (string, (Cast.kernel * Cast.kernel * Opt.report) list) Hashtbl.t;
-      (* raw kernel -> optimized kernel + report, keyed like jit_cache *)
-  check_cache : (string, (Cast.kernel * launch_sig) list) Hashtbl.t;
-      (* launches already proven race/bounds-clean (no Unsafe verdict) *)
+  jit_cache : Jit.compiled Kcache.t;  (* structural digest -> JIT code *)
+  opt_cache : (Cast.kernel * Opt.report) Kcache.t;
+      (* raw-kernel digest -> optimized kernel + report *)
+  check_cache : unit Kcache.t;
+      (* (kernel, launch signature) digests already proven race/bounds-clean *)
+  native_cache : Native.compiled Kcache.t;
+      (* structural digest -> loaded native binary (backed by the
+         process-wide memo and the on-disk binary cache in [Native]) *)
+  mutable digest_memo : (Cast.kernel * string) list;
+      (* physical-equality memo of structural digests: launches reuse
+         the same kernel value every step, so the Marshal+MD5 runs once
+         per distinct value, not once per launch *)
   kstats : (string, kernel_stats) Hashtbl.t;
   engine : engine;
   optimize : bool;  (* run the Opt pipeline on kernels before dispatch *)
@@ -82,12 +90,14 @@ let verify_from_env () =
   | _ -> false
 
 let create ?(engine = Jit) ?(optimize = true) ?(precision = Cast.Double) ?verify
-    ?(sanitize = false) () =
+    ?(sanitize = false) ?cache_capacity () =
   {
     buffers = Hashtbl.create 16;
-    jit_cache = Hashtbl.create 8;
-    opt_cache = Hashtbl.create 8;
-    check_cache = Hashtbl.create 8;
+    jit_cache = Kcache.create ?capacity:cache_capacity "jit";
+    opt_cache = Kcache.create ?capacity:cache_capacity "opt";
+    check_cache = Kcache.create ?capacity:cache_capacity "check";
+    native_cache = Kcache.create ?capacity:cache_capacity "native";
+    digest_memo = [];
     kstats = Hashtbl.create 8;
     engine;
     optimize;
@@ -144,39 +154,41 @@ let account_d2d t bytes = t.d2d_bytes <- t.d2d_bytes + bytes
 
 let ty_label = function Cast.Int -> "int" | Cast.Real -> "real"
 
-(* Find (or compile and cache) the JIT code for [kernel].  The cache is
-   keyed by name but keeps every distinct kernel value seen under that
-   name, so two kernels sharing a name do not evict each other on every
-   launch; lookup tries physical equality first, then structural. *)
-let jit_compiled t (kernel : Cast.kernel) =
-  let cached = Option.value ~default:[] (Hashtbl.find_opt t.jit_cache kernel.name) in
-  let hit =
-    match List.find_opt (fun c -> c.Jit.kernel == kernel) cached with
-    | Some _ as c -> c
-    | None -> List.find_opt (fun c -> c.Jit.kernel = kernel) cached
-  in
-  match hit with
-  | Some c -> c
+(* Structural digest of a kernel, memoized by physical equality: the
+   simulation relaunches the same kernel values step after step, so the
+   Marshal+MD5 runs once per distinct value.  The memo is a short
+   assq list, truncated so adversarial kernel streams cannot grow it. *)
+let max_digest_memo = 32
+
+let kernel_digest t (kernel : Cast.kernel) =
+  match List.assq_opt kernel t.digest_memo with
+  | Some d -> d
   | None ->
-      let c = Jit.compile kernel in
-      Hashtbl.replace t.jit_cache kernel.name (c :: cached);
-      c
+      let d = Digest.to_hex (Digest.string (Marshal.to_string kernel [])) in
+      let memo = t.digest_memo in
+      let memo =
+        if List.length memo >= max_digest_memo then List.filteri (fun i _ -> i < max_digest_memo - 1) memo
+        else memo
+      in
+      t.digest_memo <- (kernel, d) :: memo;
+      d
+
+(* Find (or compile and cache) the JIT code for [kernel], keyed by
+   structural digest: kernels sharing a name never collide, lookups
+   stay O(1), and the LRU bound caps memory under unbounded kernel
+   streams. *)
+let jit_compiled t (kernel : Cast.kernel) =
+  Kcache.find_or_add t.jit_cache (kernel_digest t kernel) (fun () -> Jit.compile kernel)
+
+(* Find (or load/compile and cache) the native binary for [kernel]. *)
+let native_compiled t (kernel : Cast.kernel) =
+  Kcache.find_or_add t.native_cache (kernel_digest t kernel) (fun () ->
+      Native.compile kernel)
 
 (* Find (or run and cache) the optimizer output for [kernel], keyed like
    the JIT cache so each distinct raw kernel is optimized exactly once. *)
 let optimized t (kernel : Cast.kernel) =
-  let cached = Option.value ~default:[] (Hashtbl.find_opt t.opt_cache kernel.name) in
-  let hit =
-    match List.find_opt (fun (raw, _, _) -> raw == kernel) cached with
-    | Some _ as c -> c
-    | None -> List.find_opt (fun (raw, _, _) -> raw = kernel) cached
-  in
-  match hit with
-  | Some (_, opt, report) -> (opt, report)
-  | None ->
-      let opt, report = Opt.optimize kernel in
-      Hashtbl.replace t.opt_cache kernel.name ((kernel, opt, report) :: cached);
-      (opt, report)
+  Kcache.find_or_add t.opt_cache (kernel_digest t kernel) (fun () -> Opt.optimize kernel)
 
 (* Fail-fast static verification of a launch: race/bounds-check the
    kernel exactly as dispatched (post-optimizer, resolved arguments).
@@ -195,15 +207,8 @@ let verify_launch t (kernel : Cast.kernel) ~(args : Args.t list) ~global =
           args;
     }
   in
-  let cached = Option.value ~default:[] (Hashtbl.find_opt t.check_cache kernel.name) in
-  let hit =
-    match List.find_opt (fun (k, s) -> k == kernel && s = lsig) cached with
-    | Some _ as c -> c
-    | None -> List.find_opt (fun (k, s) -> k = kernel && s = lsig) cached
-  in
-  match hit with
-  | Some _ -> ()
-  | None ->
+  let key = kernel_digest t kernel ^ Digest.to_hex (Digest.string (Marshal.to_string lsig [])) in
+  Kcache.find_or_add t.check_cache key (fun () ->
       let assoc =
         try List.combine kernel.params args with Invalid_argument _ -> []
       in
@@ -225,8 +230,7 @@ let verify_launch t (kernel : Cast.kernel) ~(args : Args.t list) ~global =
       in
       let env = Check.env ~param_value ~buffer_elems ~global () in
       let report = Check.check env kernel in
-      if not (Check.ok report) then raise (Unsafe_kernel report);
-      Hashtbl.replace t.check_cache kernel.name ((kernel, lsig) :: cached)
+      if not (Check.ok report) then raise (Unsafe_kernel report))
 
 let kstat t name =
   match Hashtbl.find_opt t.kstats name with
@@ -278,7 +282,8 @@ let launch_resolved t kernel ~(args : Args.t list) ~global =
       | Interp -> Exec.launch kernel ~args ~global
       | Jit -> Jit.launch (jit_compiled t kernel) ~args ~global
       | Jit_parallel { domains } ->
-          Pool.launch ~domains (jit_compiled t kernel) ~args ~global));
+          Pool.launch ~domains (jit_compiled t kernel) ~args ~global
+      | Native -> Native.launch (native_compiled t kernel) ~args ~global));
   let dt = Unix.gettimeofday () -. t0 in
   let s = kstat t kernel.Cast.name in
   (match report with Some _ -> s.k_opt <- report | None -> ());
@@ -335,8 +340,18 @@ type stats = {
   s_d2h_bytes : int;
   s_d2d_bytes : int;  (* halo-exchange / device-copy bytes *)
   s_violations : Sanitizer.counts option;  (* Some iff sanitizing *)
+  s_caches : (string * Kcache.counters) list;
+      (* per-cache hit/miss/eviction counters: jit, opt, check, native *)
   per_kernel : (string * kernel_stats) list;  (* sorted by kernel name *)
 }
+
+let cache_counters t =
+  [
+    ("jit", Kcache.counters t.jit_cache);
+    ("opt", Kcache.counters t.opt_cache);
+    ("check", Kcache.counters t.check_cache);
+    ("native", Kcache.counters t.native_cache);
+  ]
 
 let stats t =
   let per_kernel =
@@ -349,11 +364,16 @@ let stats t =
     s_d2h_bytes = t.d2h_bytes;
     s_d2d_bytes = t.d2d_bytes;
     s_violations = Option.map Sanitizer.counts t.sanitizer;
+    s_caches = cache_counters t;
     per_kernel;
   }
 
 let reset_stats t =
   Hashtbl.reset t.kstats;
+  Kcache.reset_counters t.jit_cache;
+  Kcache.reset_counters t.opt_cache;
+  Kcache.reset_counters t.check_cache;
+  Kcache.reset_counters t.native_cache;
   t.launches <- 0;
   t.h2d_bytes <- 0;
   t.d2h_bytes <- 0;
@@ -365,6 +385,11 @@ let pp_stats ppf (s : stats) =
   (match s.s_violations with
   | Some c -> Fmt.pf ppf "sanitizer: %d violation(s) (%a)@." (Sanitizer.total c) Sanitizer.pp_counts c
   | None -> ());
+  List.iter
+    (fun (label, c) ->
+      if c.Kcache.c_hits + c.Kcache.c_misses + c.Kcache.c_evictions + c.Kcache.c_entries > 0
+      then Fmt.pf ppf "cache %-6s %a@." label Kcache.pp_counters c)
+    s.s_caches;
   Fmt.pf ppf "%-28s %8s %10s %10s %10s %10s %12s@." "kernel" "launches" "total ms"
     "min ms" "mean ms" "max ms" "MB bound";
   List.iter

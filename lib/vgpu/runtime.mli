@@ -31,6 +31,11 @@ type engine =
   | Jit_parallel of { domains : int }
       (** JIT with the NDRange partitioned over [domains] OCaml domains
           from {!Pool.global} *)
+  | Native
+      (** kernels rendered to C ({!module:Kernel_ast.Native_c}),
+          compiled with the system C compiler and loaded via [dlopen]
+          ({!module:Native}); binaries come from a content-addressed
+          on-disk cache *)
 
 type launch_sig = {
   sig_global : int list;
@@ -60,14 +65,19 @@ type kernel_stats = {
 
 type t = {
   buffers : (string, Buffer.t) Hashtbl.t;
-  jit_cache : (string, Jit.compiled list) Hashtbl.t;
-  opt_cache :
-    (string, (Kernel_ast.Cast.kernel * Kernel_ast.Cast.kernel * Kernel_ast.Opt.report) list)
-    Hashtbl.t;
-      (** raw kernel -> (optimized kernel, report), keyed like
-          [jit_cache] so each distinct raw kernel is optimized once *)
-  check_cache : (string, (Kernel_ast.Cast.kernel * launch_sig) list) Hashtbl.t;
-      (** launches already statically verified clean (no [Unsafe]) *)
+  jit_cache : Jit.compiled Kcache.t;
+      (** structural digest -> JIT code; bounded, LRU-evicted *)
+  opt_cache : (Kernel_ast.Cast.kernel * Kernel_ast.Opt.report) Kcache.t;
+      (** raw-kernel digest -> (optimized kernel, report), so each
+          distinct raw kernel is optimized once *)
+  check_cache : unit Kcache.t;
+      (** (kernel, launch signature) digests already statically verified
+          clean (no [Unsafe]) *)
+  native_cache : Native.compiled Kcache.t;
+      (** structural digest -> loaded native binary (backed by the
+          process-wide memo and on-disk binary cache in {!module:Native}) *)
+  mutable digest_memo : (Kernel_ast.Cast.kernel * string) list;
+      (** physical-equality memo of structural kernel digests *)
   kstats : (string, kernel_stats) Hashtbl.t;
   engine : engine;
   optimize : bool;
@@ -95,6 +105,7 @@ val create :
   ?precision:Kernel_ast.Cast.precision ->
   ?verify:bool ->
   ?sanitize:bool ->
+  ?cache_capacity:int ->
   unit ->
   t
 (** [precision] (default [Double]) sets how many bytes a real element
@@ -108,7 +119,9 @@ val create :
     (default: on iff the [RACS_VERIFY] environment variable is set to
     [1]/[true]/[yes]/[on]).  [sanitize] (default [false]) runs every
     launch under {!module:Sanitizer} via the reference interpreter,
-    overriding [engine]; violation counts appear in {!stats}. *)
+    overriding [engine]; violation counts appear in {!stats}.
+    [cache_capacity] bounds each of the runtime's kernel caches
+    (default {!Kcache.default_capacity}). *)
 
 val sanitizer : t -> Sanitizer.t option
 (** The runtime's sanitizer, when created with [~sanitize:true]. *)
@@ -159,6 +172,9 @@ type stats = {
   s_d2d_bytes : int;  (** halo-exchange / device-copy bytes *)
   s_violations : Sanitizer.counts option;
       (** dynamic violation counts; [Some] iff the runtime sanitizes *)
+  s_caches : (string * Kcache.counters) list;
+      (** per-cache hit/miss/eviction counters, labelled [jit], [opt],
+          [check], [native] *)
   per_kernel : (string * kernel_stats) list;  (** sorted by kernel name *)
 }
 
@@ -168,5 +184,7 @@ val stats : t -> stats
     max) / buffer bytes bound. *)
 
 val reset_stats : t -> unit
+(** Zero all counters, including the per-cache hit/miss/eviction
+    counters; cached entries themselves are kept. *)
 
 val pp_stats : Format.formatter -> stats -> unit

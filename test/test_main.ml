@@ -25,5 +25,6 @@ let () =
       ("host", Test_host.suite);
       ("em extension", Test_em.suite);
       ("runtime & printing", Test_runtime_print.suite);
+      ("native backend", Test_native.suite);
       ("audio", Test_audio.suite);
     ]

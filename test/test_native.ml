@@ -1,0 +1,460 @@
+(* Native compiled-C backend: differential validation and cache tests.
+
+   Kernel-level: a synthetic kernel exercising every AST feature (loops,
+   conditionals, private arrays, builtins, real/int Mod, logic, shifts,
+   single-precision store rounding) runs through interp, JIT and the
+   native backend on identical inputs; every output buffer must match
+   bit-for-bit.  A qcheck property pins integer Div/Mod and real Mod
+   semantics over signed operands across the three engines (C truncates
+   toward zero, like OCaml; real Mod is fmod = Float.rem).
+
+   Cache: compiles populate a content-addressed disk cache (atomic
+   install); a warm run loads without recompiling, a corrupted entry is
+   recompiled over rather than trusted, and optimization that changes
+   the kernel changes the cache key. *)
+
+open Kernel_ast.Cast
+
+(* Every test in this file runs against a scratch cache directory, not
+   the user's real one. *)
+let scratch_cache =
+  lazy
+    (let dir =
+       Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "racs-native-test-%d" (Unix.getpid ()))
+     in
+     Vgpu.Native.set_cache_dir dir;
+     dir)
+
+let use_scratch_cache () = ignore (Lazy.force scratch_cache)
+
+(* -- Kernel-level differential --------------------------------------- *)
+
+let n = 64
+
+let torture_kernel ~precision =
+  let g = Var "g" in
+  {
+    name = "native_torture";
+    precision;
+    params =
+      [
+        param "out" Real;
+        param "src" Real;
+        param "iout" Int;
+        param "isrc" Int;
+        param ~kind:Scalar_param "alpha" Real;
+        param ~kind:Scalar_param "shift" Int;
+      ];
+    global_size = [ Int_lit n ];
+    body =
+      [
+        Decl (Int, "g", Some (Global_id 0));
+        Decl (Real, "acc", None);
+        Decl_arr (Real, "scratch", 4);
+        Decl_arr (Int, "iscr", 3);
+        Store ("scratch", Int_lit 0, Load ("src", g));
+        Store ("scratch", Int_lit 1, Call (Fabs, [ Load ("src", g) ]) +: Real_lit 1.5);
+        Store
+          ("scratch", Int_lit 2, Call (Sin, [ Load ("src", g) ]) *: Call (Cos, [ Var "alpha" ]));
+        Store ("scratch", Int_lit 3, Call (Sqrt, [ Load ("scratch", Int_lit 1) ]));
+        Store ("iscr", Int_lit 0, Load ("isrc", g));
+        Store ("iscr", Int_lit 1, Load ("iscr", Int_lit 0) %: Int_lit 7);
+        Store ("iscr", Int_lit 2, Load ("iscr", Int_lit 0) /: Int_lit 3);
+        for_ "i" ~from:(Int_lit 0) ~below:(Int_lit 4)
+          [ Assign ("acc", Var "acc" +: (Load ("scratch", Var "i") *: Var "alpha")) ];
+        If
+          ( g %: Int_lit 2 =: Int_lit 0,
+            [ Assign ("acc", Var "acc" +: Call (Fmin, [ Load ("src", g); Real_lit 0.25 ])) ],
+            [
+              Assign ("acc", Var "acc" -: Call (Fmax, [ Load ("src", g); Real_lit (-0.25) ]));
+            ] );
+        Assign ("acc", Var "acc" +: Unop (To_real, Load ("iscr", Int_lit 1)));
+        Assign ("acc", Binop (Mod, Var "acc", Real_lit 1.75));
+        Assign
+          ( "acc",
+            Var "acc"
+            +: Call (Exp, [ Call (Log, [ Call (Fabs, [ Load ("src", g) ]) +: Real_lit 1.0 ]) ])
+          );
+        Assign ("acc", Ternary (Load ("src", g) <: Real_lit 0.0, Unop (Neg, Var "acc"), Var "acc"));
+        Assign ("acc", Var "acc" +: (Unop (To_real, Global_size 0) *: Real_lit 0.001));
+        Assign ("acc", Var "acc" +: Call (Floor, [ Load ("src", g) ]));
+        Store ("out", g, (Var "acc" *: Var "alpha") +: Load ("src", g));
+        Store
+          ( "iout",
+            g,
+            Load ("iscr", Int_lit 1)
+            +: (Load ("iscr", Int_lit 2) *: Var "shift")
+            +: Ternary ((g >: Int_lit 2) &&: (g <: Int_lit 60), Int_lit 1, Int_lit 0)
+            +: Unop (Not, g =: Int_lit 5)
+            +: Binop (Shr, g, Int_lit 1)
+            +: Binop (BAnd, g, Int_lit 3)
+            +: Ternary ((g =: Int_lit 0) ||: (g =: Int_lit 63), Int_lit 10, Int_lit 0)
+            +: Unop (To_int, Var "acc") );
+      ];
+  }
+
+let torture_args () =
+  let src = Array.init n (fun i -> ((float_of_int i *. 0.7) -. 20.) *. 1.1) in
+  let isrc = Array.init n (fun i -> (i * 13 mod 37) - 18) in
+  let out = Array.make n 0. and iout = Array.make n 0 in
+  let args =
+    Vgpu.Args.
+      [
+        Buf (Vgpu.Buffer.F out);
+        Buf (Vgpu.Buffer.F src);
+        Buf (Vgpu.Buffer.I iout);
+        Buf (Vgpu.Buffer.I isrc);
+        Real_arg 0.9;
+        Int_arg 3;
+      ]
+  in
+  (out, iout, args)
+
+let engines =
+  [
+    ("interp", fun k args global -> Vgpu.Exec.launch k ~args ~global);
+    ("jit", fun k args global -> Vgpu.Jit.launch (Vgpu.Jit.compile k) ~args ~global);
+    ("native", fun k args global -> Vgpu.Native.launch (Vgpu.Native.compile k) ~args ~global);
+  ]
+
+let test_torture_differential () =
+  use_scratch_cache ();
+  List.iter
+    (fun (precision, plabel) ->
+      List.iter
+        (fun optimize ->
+          let k = torture_kernel ~precision in
+          let k = if optimize then fst (Kernel_ast.Opt.optimize k) else k in
+          let results =
+            List.map
+              (fun (label, run) ->
+                let out, iout, args = torture_args () in
+                run k args [ n ];
+                (label, out, iout))
+              engines
+          in
+          match results with
+          | (ref_label, ref_out, ref_iout) :: rest ->
+              List.iter
+                (fun (label, out, iout) ->
+                  let msg what =
+                    Printf.sprintf "torture %s opt=%b: %s vs %s %s" plabel optimize label
+                      ref_label what
+                  in
+                  Test_util.check_bits (msg "out") ref_out out;
+                  Alcotest.(check (array int)) (msg "iout") ref_iout iout)
+                rest
+          | [] -> assert false)
+        [ false; true ])
+    [ (Double, "double"); (Single, "single") ]
+
+(* -- Signed Div/Mod semantics across engines ------------------------- *)
+
+let moddiv_kernel =
+  {
+    name = "native_moddiv";
+    precision = Double;
+    params =
+      [
+        param "iout" Int;
+        param "out" Real;
+        param ~kind:Scalar_param "a" Int;
+        param ~kind:Scalar_param "b" Int;
+        param ~kind:Scalar_param "x" Real;
+        param ~kind:Scalar_param "y" Real;
+      ];
+    global_size = [ Int_lit 1 ];
+    body =
+      [
+        Store ("iout", Int_lit 0, Var "a" /: Var "b");
+        Store ("iout", Int_lit 1, Var "a" %: Var "b");
+        Store ("out", Int_lit 0, Binop (Mod, Var "x", Var "y"));
+      ];
+  }
+
+let qcheck_signed_moddiv =
+  QCheck.Test.make ~name:"signed Div/Mod agree across interp/jit/native" ~count:200
+    QCheck.(
+      quad (int_range (-1000) 1000)
+        (int_range (-50) 50)
+        (float_range (-100.) 100.)
+        (float_range (-10.) 10.))
+    (fun (a, b, x, y) ->
+      use_scratch_cache ();
+      let b = if b = 0 then 1 else b in
+      let y = if y = 0. then 0.5 else y in
+      let runs =
+        List.map
+          (fun (label, run) ->
+            let iout = Array.make 2 0 and out = Array.make 1 0. in
+            let args =
+              Vgpu.Args.
+                [
+                  Buf (Vgpu.Buffer.I iout);
+                  Buf (Vgpu.Buffer.F out);
+                  Int_arg a;
+                  Int_arg b;
+                  Real_arg x;
+                  Real_arg y;
+                ]
+            in
+            run moddiv_kernel args [ 1 ];
+            (label, iout, out))
+          engines
+      in
+      List.for_all
+        (fun (_, iout, out) ->
+          (* pinned semantics: truncation toward zero, fmod = Float.rem *)
+          iout.(0) = a / b
+          && iout.(1) = a mod b
+          && Int64.equal (Int64.bits_of_float out.(0))
+               (Int64.bits_of_float (Float.rem x y)))
+        runs)
+
+(* -- Binary cache behaviour ------------------------------------------ *)
+
+let uniq = ref 0
+
+let unique_kernel () =
+  incr uniq;
+  {
+    name = Printf.sprintf "native_uniq_%d" !uniq;
+    precision = Double;
+    params = [ param "out" Real ];
+    global_size = [ Int_lit 8 ];
+    body =
+      [
+        Store
+          ( "out",
+            Global_id 0,
+            Unop (To_real, Global_id 0) *: Real_lit (0.5 +. float_of_int !uniq) );
+      ];
+  }
+
+let launch_and_read c =
+  let out = Array.make 8 0. in
+  Vgpu.Native.launch c ~args:[ Vgpu.Args.Buf (Vgpu.Buffer.F out) ] ~global:[ 8 ];
+  out
+
+let expected_of k =
+  let out = Array.make 8 0. in
+  Vgpu.Exec.launch k ~args:[ Vgpu.Args.Buf (Vgpu.Buffer.F out) ] ~global:[ 8 ];
+  out
+
+let test_cold_then_warm () =
+  use_scratch_cache ();
+  let k = unique_kernel () in
+  Vgpu.Native.reset_counters ();
+  let c1 = Vgpu.Native.compile k in
+  let cold = Vgpu.Native.counters () in
+  Alcotest.(check int) "cold run compiles" 1 cold.Vgpu.Native.c_compiles;
+  Test_util.check_bits "cold result" (expected_of k) (launch_and_read c1);
+  (* warm from disk: drop the in-process memo so the .so must be found *)
+  Vgpu.Native.reset_memo ();
+  Vgpu.Native.reset_counters ();
+  let c2 = Vgpu.Native.compile k in
+  let warm = Vgpu.Native.counters () in
+  Alcotest.(check int) "warm run does not compile" 0 warm.Vgpu.Native.c_compiles;
+  Alcotest.(check int) "warm run hits disk" 1 warm.Vgpu.Native.c_disk_hits;
+  Test_util.check_bits "warm result" (expected_of k) (launch_and_read c2);
+  (* warm from memo: no disk access at all *)
+  Vgpu.Native.reset_counters ();
+  let c3 = Vgpu.Native.compile k in
+  let memo = Vgpu.Native.counters () in
+  Alcotest.(check int) "memo run does not compile" 0 memo.Vgpu.Native.c_compiles;
+  Alcotest.(check int) "memo run does not touch disk" 0 memo.Vgpu.Native.c_disk_hits;
+  Alcotest.(check int) "memo run hits memo" 1 memo.Vgpu.Native.c_memo_hits;
+  Test_util.check_bits "memo result" (expected_of k) (launch_and_read c3)
+
+let test_corrupt_entry_recompiled () =
+  use_scratch_cache ();
+  let k = unique_kernel () in
+  let c1 = Vgpu.Native.compile k in
+  Test_util.check_bits "pre-corruption result" (expected_of k) (launch_and_read c1);
+  (* clobber the cached object, then force a cold in-process path *)
+  let so =
+    Filename.concat (Vgpu.Native.cache_dir ()) (Vgpu.Native.cache_key k ^ ".so")
+  in
+  Alcotest.(check bool) "cache entry exists" true (Sys.file_exists so);
+  (* replace, not truncate in place: [c1]'s mapping of the old inode
+     must stay valid, as it would under the atomic-rename install *)
+  Sys.remove so;
+  let oc = open_out_bin so in
+  output_string oc "this is not a shared object";
+  close_out oc;
+  Vgpu.Native.reset_memo ();
+  Vgpu.Native.reset_counters ();
+  let c2 = Vgpu.Native.compile k in
+  let counters = Vgpu.Native.counters () in
+  Alcotest.(check int) "corrupt entry forces a recompile" 1 counters.Vgpu.Native.c_compiles;
+  Test_util.check_bits "post-corruption result" (expected_of k) (launch_and_read c2);
+  (* and the rebuilt entry is trusted again *)
+  Vgpu.Native.reset_memo ();
+  Vgpu.Native.reset_counters ();
+  ignore (Vgpu.Native.compile k);
+  Alcotest.(check int)
+    "rebuilt entry loads from disk" 1
+    (Vgpu.Native.counters ()).Vgpu.Native.c_disk_hits
+
+let test_opt_changes_cache_key () =
+  use_scratch_cache ();
+  (* Div by a power of two under a non-negativity proof: the optimizer
+     strength-reduces it to a shift, so the optimized kernel must map to
+     a different binary. *)
+  let k =
+    {
+      name = "native_opt_key";
+      precision = Double;
+      params = [ param "iout" Int ];
+      global_size = [ Int_lit 8 ];
+      body = [ Store ("iout", Global_id 0, Global_id 0 /: Int_lit 4) ];
+    }
+  in
+  let opt, _ = Kernel_ast.Opt.optimize k in
+  Alcotest.(check bool) "optimizer changed the kernel" true (k <> opt);
+  Alcotest.(check bool)
+    "cache keys differ for raw vs optimized" true
+    (Vgpu.Native.cache_key k <> Vgpu.Native.cache_key opt);
+  (* same kernel, same toolchain: key is stable *)
+  Alcotest.(check string)
+    "cache key is deterministic" (Vgpu.Native.cache_key k) (Vgpu.Native.cache_key k)
+
+
+(* -- Simulation-level differential: the acceptance criterion ---------- *)
+
+(* FI / FI-MM / FD-MM for 10 steps, both precisions, opt off and on,
+   native vs the single-device interpreter and JIT and vs native across
+   1-4 Z-shards: every state array bit-for-bit identical (mirrors the
+   sharded-backend cross-validation in test_shard.ml). *)
+let test_sim_differential () =
+  use_scratch_cache ();
+  let open Acoustics in
+  let params = Params.default in
+  let dims = Geometry.dims ~nx:14 ~ny:12 ~nz:10 in
+  let steps = 10 in
+  let betas = (Material.tables ~n_branches:3 Material.defaults).Material.t_beta in
+  let kernels_of scheme precision =
+    match scheme with
+    | `Fi -> [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fi ~precision ]
+    | `Fi_mm ->
+        [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fi_mm ~precision ~betas ]
+    | `Fd_mm ->
+        [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fd_mm ~precision ~mb:3 ]
+  in
+  let run ?shards ~engine ~optimize ~kernels () =
+    let room = Geometry.build ~n_materials:4 Geometry.Box dims in
+    let sim = Gpu_sim.create ~engine ~optimize ?shards ~fi_beta:0.2 ~n_branches:3 params room in
+    let cx, cy, cz = State.centre sim.Gpu_sim.state in
+    State.add_impulse sim.Gpu_sim.state ~x:cx ~y:cy ~z:cz;
+    for _ = 1 to steps do
+      Gpu_sim.step sim kernels
+    done;
+    Gpu_sim.sync sim;
+    sim.Gpu_sim.state
+  in
+  let check_state msg (a : State.t) (b : State.t) =
+    Test_util.check_bits (msg ^ " curr") a.State.curr b.State.curr;
+    Test_util.check_bits (msg ^ " prev") a.State.prev b.State.prev;
+    Test_util.check_bits (msg ^ " g1") a.State.g1 b.State.g1;
+    Test_util.check_bits (msg ^ " vel") a.State.vel_prev b.State.vel_prev
+  in
+  List.iter
+    (fun (scheme_label, scheme) ->
+      List.iter
+        (fun precision ->
+          List.iter
+            (fun optimize ->
+              let kernels = kernels_of scheme precision in
+              let label shards ref_label =
+                Printf.sprintf "%s %s opt=%b native%s vs %s" scheme_label
+                  (match precision with Single -> "single" | Double -> "double")
+                  optimize
+                  (if shards = 0 then "" else Printf.sprintf " shards=%d" shards)
+                  ref_label
+              in
+              let native = run ~engine:`Native ~optimize ~kernels () in
+              List.iter
+                (fun (ref_label, engine) ->
+                  check_state (label 0 ref_label) (run ~engine ~optimize ~kernels ()) native)
+                [ ("interp", `Interp); ("jit", `Jit) ];
+              List.iter
+                (fun shards ->
+                  check_state (label shards "single-device native")
+                    (run ~shards ~engine:`Native ~optimize ~kernels ())
+                    native)
+                [ 2; 3; 4 ])
+            [ false; true ])
+        [ Double; Single ])
+    [ ("fi", `Fi); ("fi-mm", `Fi_mm); ("fd-mm", `Fd_mm) ]
+
+(* Runtime-level cache counters: repeated launches of the same kernels
+   hit the bounded digest-keyed caches; reset_stats zeroes the counters
+   but keeps the entries hot. *)
+let test_runtime_cache_counters () =
+  use_scratch_cache ();
+  let open Acoustics in
+  let dims = Geometry.dims ~nx:10 ~ny:8 ~nz:6 in
+  let room = Geometry.build ~n_materials:4 Geometry.Box dims in
+  let kernels =
+    [ Hand_kernels.volume ~precision:Double;
+      Hand_kernels.boundary_fi ~precision:Double ]
+  in
+  let sim = Gpu_sim.create ~engine:`Native ~fi_beta:0.2 ~n_branches:3 Params.default room in
+  for _ = 1 to 5 do
+    Gpu_sim.step sim kernels
+  done;
+  let s = Gpu_sim.stats sim in
+  let counters label =
+    match List.assoc_opt label s.Vgpu.Runtime.s_caches with
+    | Some c -> c
+    | None -> Alcotest.failf "no %s cache counters in stats" label
+  in
+  List.iter
+    (fun label ->
+      let c = counters label in
+      Alcotest.(check int) (label ^ " misses = distinct kernels") 2 c.Vgpu.Kcache.c_misses;
+      Alcotest.(check int) (label ^ " entries") 2 c.Vgpu.Kcache.c_entries;
+      Alcotest.(check int) (label ^ " hits = remaining launches") 8 c.Vgpu.Kcache.c_hits)
+    [ "opt"; "native" ];
+  Gpu_sim.reset_stats sim;
+  Gpu_sim.step sim kernels;
+  let s = Gpu_sim.stats sim in
+  let c = List.assoc "native" s.Vgpu.Runtime.s_caches in
+  Alcotest.(check int) "after reset: no misses (entries kept)" 0 c.Vgpu.Kcache.c_misses;
+  Alcotest.(check int) "after reset: every launch hits" 2 c.Vgpu.Kcache.c_hits
+
+(* LRU eviction: a capacity-2 cache fed three distinct kernels in an
+   a b c a pattern evicts and recompiles the stale entry. *)
+let test_lru_eviction () =
+  let cache = Vgpu.Kcache.create ~capacity:2 "t" in
+  let calls = ref [] in
+  let get k =
+    Vgpu.Kcache.find_or_add cache k (fun () ->
+        calls := k :: !calls;
+        k)
+  in
+  List.iter (fun k -> ignore (get k)) [ "a"; "b"; "a"; "c"; "a"; "b" ];
+  (* a,b fill; a touches; c evicts b (LRU); a hits; b recomputes evicting c *)
+  Alcotest.(check (list string)) "computed in order" [ "a"; "b"; "c"; "b" ] (List.rev !calls);
+  let c = Vgpu.Kcache.counters cache in
+  Alcotest.(check int) "hits" 2 c.Vgpu.Kcache.c_hits;
+  Alcotest.(check int) "misses" 4 c.Vgpu.Kcache.c_misses;
+  Alcotest.(check int) "evictions" 2 c.Vgpu.Kcache.c_evictions;
+  Alcotest.(check int) "entries" 2 c.Vgpu.Kcache.c_entries
+
+let suite =
+  [
+    Alcotest.test_case "torture kernel bit-identical across engines" `Quick
+      test_torture_differential;
+    QCheck_alcotest.to_alcotest qcheck_signed_moddiv;
+    Alcotest.test_case "cold compile, warm disk hit, memo hit" `Quick test_cold_then_warm;
+    Alcotest.test_case "corrupted cache entry is recompiled" `Quick
+      test_corrupt_entry_recompiled;
+    Alcotest.test_case "optimization changes the cache key" `Quick
+      test_opt_changes_cache_key;
+    Alcotest.test_case "simulation bit-identical: schemes x precisions x shards" `Quick
+      test_sim_differential;
+    Alcotest.test_case "runtime cache counters in stats" `Quick test_runtime_cache_counters;
+    Alcotest.test_case "LRU eviction at capacity" `Quick test_lru_eviction;
+  ]

@@ -252,7 +252,9 @@ let test_simplify_examples () =
 
 (* The standalone C emitter: structural invariants on the Listing 5
    program (the syntax was also checked against a compiler). *)
-let test_emit_c () =
+(* The FI-MM pipeline as a compiled host program (shared by the
+   structural and the compile-the-artifact tests below). *)
+let emit_c_compiled () =
   let dims = Acoustics.Geometry.dims ~nx:12 ~ny:10 ~nz:8 in
   let room = Acoustics.Geometry.build ~n_materials:4 Acoustics.Geometry.Box dims in
   let tables = Acoustics.Material.tables ~n_branches:3 Acoustics.Material.defaults in
@@ -279,7 +281,10 @@ let test_emit_c () =
     | "NM" -> Some (Array.length tables.Acoustics.Material.t_beta)
     | _ -> None
   in
-  let compiled = Lift.Host.compile ~sizes program in
+  Lift.Host.compile ~sizes program
+
+let test_emit_c () =
+  let compiled = emit_c_compiled () in
   let c = Lift.Emit_c.host_program compiled in
   List.iter
     (fun needle ->
@@ -347,6 +352,105 @@ let test_harness_agreement () =
   let agree, total, _ = agreement rows in
   Alcotest.(check (pair int int)) "disagrees" (0, 1) (agree, total)
 
+
+(* The emitted host program must be real, compilable C: render the
+   Listing 5 pipeline, pair it with a stub <CL/cl.h> carrying the exact
+   OpenCL 1.2 signatures it calls, and push it through the system C
+   compiler in syntax-only mode.  Also pins emission determinism:
+   buffers are declared in name order, so the same plan renders
+   byte-identical C. *)
+let cl_stub_header =
+  {header|#ifndef RACS_CL_STUB_H
+#define RACS_CL_STUB_H
+#include <stddef.h>
+typedef int cl_int;
+typedef unsigned int cl_uint;
+typedef unsigned long cl_ulong;
+typedef float cl_float;
+typedef double cl_double;
+typedef cl_uint cl_bool;
+typedef cl_ulong cl_bitfield;
+typedef cl_bitfield cl_device_type;
+typedef cl_bitfield cl_command_queue_properties;
+typedef cl_bitfield cl_mem_flags;
+typedef cl_uint cl_profiling_info;
+typedef struct _cl_platform_id *cl_platform_id;
+typedef struct _cl_device_id *cl_device_id;
+typedef struct _cl_context *cl_context;
+typedef struct _cl_command_queue *cl_command_queue;
+typedef struct _cl_program *cl_program;
+typedef struct _cl_kernel *cl_kernel;
+typedef struct _cl_mem *cl_mem;
+typedef struct _cl_event *cl_event;
+#define CL_SUCCESS 0
+#define CL_TRUE 1
+#define CL_DEVICE_TYPE_GPU (1 << 2)
+#define CL_QUEUE_PROFILING_ENABLE (1 << 1)
+#define CL_MEM_READ_WRITE (1 << 0)
+#define CL_PROFILING_COMMAND_START 0x1282
+#define CL_PROFILING_COMMAND_END 0x1283
+cl_int clGetPlatformIDs(cl_uint, cl_platform_id *, cl_uint *);
+cl_int clGetDeviceIDs(cl_platform_id, cl_device_type, cl_uint, cl_device_id *, cl_uint *);
+cl_context clCreateContext(const void *, cl_uint, const cl_device_id *,
+                           void (*)(const char *, const void *, size_t, void *), void *,
+                           cl_int *);
+cl_command_queue clCreateCommandQueue(cl_context, cl_device_id, cl_command_queue_properties,
+                                      cl_int *);
+cl_program clCreateProgramWithSource(cl_context, cl_uint, const char **, const size_t *,
+                                     cl_int *);
+cl_int clBuildProgram(cl_program, cl_uint, const cl_device_id *, const char *,
+                      void (*)(cl_program, void *), void *);
+cl_kernel clCreateKernel(cl_program, const char *, cl_int *);
+cl_mem clCreateBuffer(cl_context, cl_mem_flags, size_t, void *, cl_int *);
+cl_int clSetKernelArg(cl_kernel, cl_uint, size_t, const void *);
+cl_int clEnqueueWriteBuffer(cl_command_queue, cl_mem, cl_bool, size_t, size_t, const void *,
+                            cl_uint, const cl_event *, cl_event *);
+cl_int clEnqueueReadBuffer(cl_command_queue, cl_mem, cl_bool, size_t, size_t, void *, cl_uint,
+                           const cl_event *, cl_event *);
+cl_int clEnqueueCopyBuffer(cl_command_queue, cl_mem, cl_mem, size_t, size_t, size_t, cl_uint,
+                           const cl_event *, cl_event *);
+cl_int clEnqueueNDRangeKernel(cl_command_queue, cl_kernel, cl_uint, const size_t *,
+                              const size_t *, const size_t *, cl_uint, const cl_event *,
+                              cl_event *);
+cl_int clWaitForEvents(cl_uint, const cl_event *);
+cl_int clGetEventProfilingInfo(cl_event, cl_profiling_info, size_t, void *, size_t *);
+#endif
+|header}
+
+let test_emit_c_compiles () =
+  let compiled = emit_c_compiled () in
+  let c = Lift.Emit_c.host_program compiled in
+  (* determinism: a second render is byte-identical *)
+  Alcotest.(check string) "deterministic emission" c (Lift.Emit_c.host_program compiled);
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "racs-emit-c-%d" (Unix.getpid ()))
+  in
+  List.iter
+    (fun d -> try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    [ dir; Filename.concat dir "CL" ];
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  in
+  write (Filename.concat dir "CL/cl.h") cl_stub_header;
+  let prog = Filename.concat dir "prog.c" in
+  write prog c;
+  let log = Filename.concat dir "cc.log" in
+  let cmd =
+    Printf.sprintf "cc -std=c99 -fsyntax-only -I %s %s 2> %s" (Filename.quote dir)
+      (Filename.quote prog) (Filename.quote log)
+  in
+  let rc = Sys.command cmd in
+  if rc <> 0 then begin
+    let ic = open_in log in
+    let n = in_channel_length ic in
+    let err = really_input_string ic n in
+    close_in ic;
+    Alcotest.failf "emitted host C does not compile (exit %d):\n%s" rc err
+  end
+
 let suite =
   [
     Alcotest.test_case "runtime plan execution" `Quick test_runtime_plan;
@@ -358,6 +462,7 @@ let suite =
     Alcotest.test_case "OpenCL printer" `Quick test_printer;
     Alcotest.test_case "expression simplifier" `Quick test_simplify_examples;
     Alcotest.test_case "standalone C emitter" `Quick test_emit_c;
+    Alcotest.test_case "emitted host C compiles (stub OpenCL)" `Quick test_emit_c_compiles;
     Alcotest.test_case "host error handling" `Quick test_host_errors;
     Alcotest.test_case "harness agreement metric" `Quick test_harness_agreement;
   ]
