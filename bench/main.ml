@@ -763,9 +763,107 @@ let run_native_bench ~json_file ~smoke () =
       Printf.printf "wrote %s\n" file);
   rows
 
+(* -- Work-group tier: the 2.5D-tiled volume kernel vs the flat one --- *)
+
+(* Per scheme (volume + FI / FI-MM / FD-MM boundary), step the same
+   simulation with the flat volume kernel and with the tiled one on the
+   native engine, check the final fields stay bit-identical, and put the
+   measured step-time ratio next to the perf model's prediction for the
+   two kernels (the model's third roofline arm prices the __local
+   traffic; on a model GPU the tile pays for itself, on the host CPU
+   running the fissioned loop nest it usually does not — the ratio of
+   ratios is the point of the section). *)
+let run_tiled_bench ~json_file ~smoke () =
+  Printf.printf "\n== Work-group tier: 2.5D-tiled vs flat volume kernel (native) ==\n";
+  let dims =
+    if smoke then Geometry.dims ~nx:16 ~ny:12 ~nz:10 else Geometry.dims ~nx:48 ~ny:40 ~nz:32
+  in
+  let steps = if smoke then 4 else 20 in
+  let tw, th = (8, 8) in
+  let flat_vol = Hand_kernels.volume ~precision in
+  let tiled_vol = Lift_acoustics.Programs.tiled_volume ~precision ~tile:(tw, th) () in
+  let kernels_of scheme vol =
+    match scheme with
+    | `Fi -> [ vol; Hand_kernels.boundary_fi ~precision ]
+    | `Fi_mm -> [ vol; Hand_kernels.boundary_fi_mm ~precision ~betas ]
+    | `Fd_mm -> [ vol; Hand_kernels.boundary_fd_mm ~precision ~mb:3 ]
+  in
+  let time kernels =
+    let room = Geometry.build ~n_materials:4 Geometry.Box dims in
+    let sim = Gpu_sim.create ~engine:`Native ~precision ~fi_beta:0.1 ~n_branches:3 params room in
+    let cx, cy, cz = State.centre sim.Gpu_sim.state in
+    State.add_impulse sim.Gpu_sim.state ~x:cx ~y:cy ~z:cz;
+    Gpu_sim.step sim kernels;
+    (* warm-up: optimize + compile *)
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to steps do
+      Gpu_sim.step sim kernels
+    done;
+    ((Unix.gettimeofday () -. t0) /. float_of_int steps, sim)
+  in
+  let bits_equal a b =
+    Array.for_all2
+      (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+      a b
+  in
+  (* what the analytic model expects for the volume kernel alone *)
+  let device = Vgpu.Device.gtx780 in
+  let w = Harness.Workloads.workload Harness.Workloads.Volume Geometry.Box dims in
+  let pred_flat = Vgpu.Perf_model.predict device flat_vol w in
+  let pred_tiled = Vgpu.Perf_model.predict device tiled_vol w in
+  let predicted_ratio = pred_tiled /. pred_flat in
+  Printf.printf "room %dx%dx%d box, double precision, tile %dx%d, %d steps\n" dims.Geometry.nx
+    dims.Geometry.ny dims.Geometry.nz tw th steps;
+  Printf.printf "model (%s): volume %.3fms, tiled %.3fms, ratio %.2f\n" device.Vgpu.Device.name
+    (pred_flat *. 1e3) (pred_tiled *. 1e3) predicted_ratio;
+  Printf.printf "%-10s %15s %15s %9s %6s\n" "workload" "flat ns/step" "tiled ns/step" "ratio"
+    "ident";
+  let rows =
+    List.map
+      (fun (name, scheme) ->
+        let t_flat, flat_sim = time (kernels_of scheme flat_vol) in
+        let t_tiled, tiled_sim = time (kernels_of scheme tiled_vol) in
+        let ident =
+          bits_equal flat_sim.Gpu_sim.state.State.curr tiled_sim.Gpu_sim.state.State.curr
+        in
+        let ratio = t_tiled /. t_flat in
+        Printf.printf "%-10s %15.0f %15.0f %8.2fx %6b\n" name (t_flat *. 1e9) (t_tiled *. 1e9)
+          ratio ident;
+        (name, t_flat *. 1e9, t_tiled *. 1e9, ratio, ident))
+      [ ("fi", `Fi); ("fi-mm", `Fi_mm); ("fd-mm", `Fd_mm) ]
+  in
+  (match json_file with
+  | None -> ()
+  | Some file ->
+      let oc = open_out file in
+      Printf.fprintf oc "{\n  \"bench\": \"tiled_vs_flat\",\n";
+      Printf.fprintf oc "  \"room\": { \"nx\": %d, \"ny\": %d, \"nz\": %d },\n" dims.Geometry.nx
+        dims.Geometry.ny dims.Geometry.nz;
+      Printf.fprintf oc "  \"tile\": { \"w\": %d, \"h\": %d },\n" tw th;
+      Printf.fprintf oc "  \"precision\": \"double\",\n  \"steps\": %d,\n  \"engine\": \"native\",\n"
+        steps;
+      Printf.fprintf oc
+        "  \"model\": { \"device\": %S, \"flat_s\": %.9g, \"tiled_s\": %.9g, \
+         \"predicted_ratio_tiled_over_flat\": %.4f },\n"
+        device.Vgpu.Device.name pred_flat pred_tiled predicted_ratio;
+      Printf.fprintf oc "  \"results\": [\n";
+      List.iteri
+        (fun i (name, flat_ns, tiled_ns, ratio, ident) ->
+          Printf.fprintf oc
+            "    { \"workload\": %S, \"ns_per_step_flat\": %.0f, \"ns_per_step_tiled\": %.0f, \
+             \"measured_ratio_tiled_over_flat\": %.4f, \"bit_identical\": %b }%s\n"
+            name flat_ns tiled_ns ratio ident
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" file);
+  rows
+
 let () =
   let json_file = ref None and overlap_json = ref None and native_json = ref None
-  and smoke = ref false and native_only = ref false in
+  and tiled_json = ref None and smoke = ref false and native_only = ref false
+  and tiled_only = ref false in
   let rec parse = function
     | [] -> ()
     | "--json" :: file :: rest ->
@@ -777,8 +875,14 @@ let () =
     | "--native-json" :: file :: rest ->
         native_json := Some file;
         parse rest
+    | "--tiled-json" :: file :: rest ->
+        tiled_json := Some file;
+        parse rest
     | "--native-only" :: rest ->
         native_only := true;
+        parse rest
+    | "--tiled-only" :: rest ->
+        tiled_only := true;
         parse rest
     | "--smoke" :: rest ->
         smoke := true;
@@ -786,18 +890,21 @@ let () =
     | arg :: _ ->
         Printf.eprintf
           "unknown argument %s (expected --json FILE, --overlap-json FILE, --native-json \
-           FILE, --native-only and/or --smoke)\n"
+           FILE, --tiled-json FILE, --native-only, --tiled-only and/or --smoke)\n"
           arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !native_only then
     ignore (run_native_bench ~json_file:!native_json ~smoke:!smoke ())
+  else if !tiled_only then
+    ignore (run_tiled_bench ~json_file:!tiled_json ~smoke:!smoke ())
   else if !smoke then begin
     (* CI smoke: tiny rooms, opt-trajectory + overlapped-queue sections. *)
     let opt_rows = run_opt_trajectory ~json_file:!json_file ~smoke:true () in
     run_overlap_bench ~json_file:!overlap_json ~opt_rows ~smoke:true ();
-    ignore (run_native_bench ~json_file:!native_json ~smoke:true ())
+    ignore (run_native_bench ~json_file:!native_json ~smoke:true ());
+    ignore (run_tiled_bench ~json_file:!tiled_json ~smoke:true ())
   end
   else begin
     print_endline "Room acoustics with complex boundary conditions: paper reproduction";
@@ -814,5 +921,6 @@ let () =
     run_sanitizer_overhead ();
     let opt_rows = run_opt_trajectory ~json_file:!json_file ~smoke:false () in
     run_overlap_bench ~json_file:!overlap_json ~opt_rows ~smoke:false ();
-    ignore (run_native_bench ~json_file:!native_json ~smoke:false ())
+    ignore (run_native_bench ~json_file:!native_json ~smoke:false ());
+    ignore (run_tiled_bench ~json_file:!tiled_json ~smoke:false ())
   end

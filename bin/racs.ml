@@ -53,6 +53,8 @@ let all_kernels ~optimize precision =
     ("lift-generated", lift "lift_boundary_fd_mm" (Lift_acoustics.Programs.boundary_fd_mm ~mb:3 ()));
     ("lift-generated (slide3/pad3 composition)",
       lift "lift_fused_fi_3d" (Lift_acoustics.Programs.fused_fi_3d ()));
+    ("work-group tier (2.5D tiled)",
+      Lift_acoustics.Programs.tiled_volume ~precision ~tile:(8, 8) ());
   ]
 
 let cmd_kernels precision no_opt =
@@ -66,8 +68,17 @@ let cmd_kernels precision no_opt =
 (* ------------------------------------------------------------------ *)
 (* racs simulate *)
 
+(* "--tile WxH" parser: the work-group tile of the 2.5D volume kernel. *)
+let parse_tile s =
+  match String.split_on_char 'x' (String.lowercase_ascii s) with
+  | [ w; h ] -> (
+      match (int_of_string_opt w, int_of_string_opt h) with
+      | Some w, Some h when w > 0 && h > 0 -> Some (w, h)
+      | _ -> None)
+  | _ -> None
+
 let cmd_simulate shape nx ny nz scheme steps backend engine domains shards overlap
-    no_overlap no_opt show_stats sanitize verify =
+    no_overlap no_opt show_stats sanitize verify tile =
   let params = Params.default in
   let dims = Geometry.dims ~nx ~ny ~nz in
   let n_materials = Array.length Material.defaults in
@@ -99,6 +110,20 @@ let cmd_simulate shape nx ny nz scheme steps backend engine domains shards overl
         [ lift "volume" (Lift_acoustics.Programs.volume ());
           lift "boundary_fd_mm" (Lift_acoustics.Programs.boundary_fd_mm ~mb:3 ()) ]
     | s, _ -> failwith (Printf.sprintf "unknown scheme %s (fi | fi-mm | fd-mm)" s)
+  in
+  (* --tile WxH: swap the flat volume kernel for the 2.5D work-group
+     tiled one (bit-identical results, local-memory execution tier) *)
+  let kernels =
+    match tile with
+    | None -> kernels
+    | Some spec -> (
+        match parse_tile spec with
+        | None ->
+            Fmt.epr "racs: --tile expects WxH with positive integers, got %s@." spec;
+            exit 2
+        | Some (tw, th) ->
+            Lift_acoustics.Programs.tiled_volume ~precision ~tile:(tw, th) ()
+            :: List.tl kernels)
   in
   let engine : Gpu_sim.engine =
     match engine with
@@ -136,14 +161,15 @@ let cmd_simulate shape nx ny nz scheme steps backend engine domains shards overl
     | `Jit -> "jit"
     | `Jit_parallel d -> Printf.sprintf "jit-parallel[%d]" d
     | `Native -> "native")
-    (match shards with
-    | None -> ""
-    | Some _ ->
-        Printf.sprintf ", %d Z-shards%s" (Gpu_sim.n_shards sim)
-          (match Gpu_sim.schedule sim with
-          | Some `Overlap -> ", overlapped async queues"
-          | Some `Seq -> ", sequential schedule"
-          | _ -> ""));
+    ((match shards with
+     | None -> ""
+     | Some _ ->
+         Printf.sprintf ", %d Z-shards%s" (Gpu_sim.n_shards sim)
+           (match Gpu_sim.schedule sim with
+           | Some `Overlap -> ", overlapped async queues"
+           | Some `Seq -> ", sequential schedule"
+           | _ -> ""))
+    ^ match tile with None -> "" | Some t -> Printf.sprintf ", tiled volume %s" t);
   Printf.printf "receiver at (%d,%d,%d); first samples:\n " rx cy cz;
   Array.iteri (fun i v -> if i < 12 then Printf.printf " %+.5f" v) response;
   let e = Energy.kinetic_energy sim.Gpu_sim.state in
@@ -306,6 +332,43 @@ let cmd_check shape nx ny nz precision engine =
          let opt, _ = Kernel_ast.Opt.optimize k in
          compile_one origin "optimized" opt)
        (all_kernels ~optimize:false precision));
+  (* work-group tier gate: the tiled volume kernel, raw and optimized,
+     must reproduce the flat kernel bit-for-bit on every engine.  Static
+     verdicts cannot prove cross-engine agreement, so this runs a short
+     simulation per (engine, variant) on a small dome and compares
+     buffers exactly. *)
+  let tiled_failures = ref 0 in
+  (let small = Geometry.build ~n_materials (Geometry.Dome : Geometry.shape)
+       (Geometry.dims ~nx:11 ~ny:9 ~nz:8) in
+   let flat = [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fi ~precision ] in
+   let tiled = Lift_acoustics.Programs.tiled_volume ~precision ~tile:(4, 4) () in
+   let run ~engine ~optimize kernels =
+     let sim = Gpu_sim.create ~engine ~optimize ~fi_beta:0.1 ~precision Params.default small in
+     let cx, cy, cz = State.centre sim.Gpu_sim.state in
+     State.add_impulse sim.Gpu_sim.state ~x:cx ~y:cy ~z:cz;
+     for _ = 1 to 8 do
+       Gpu_sim.step sim kernels
+     done;
+     Gpu_sim.sync sim;
+     sim.Gpu_sim.state.State.curr
+   in
+   let reference = run ~engine:`Interp ~optimize:true flat in
+   List.iter
+     (fun (ename, eng) ->
+       List.iter
+         (fun (vname, optimize) ->
+           let got = run ~engine:eng ~optimize [ tiled; Hand_kernels.boundary_fi ~precision ] in
+           let ok =
+             Array.for_all2
+               (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
+               reference got
+           in
+           Fmt.pr "== tiled volume vs flat: %s, %s ==@.  %s@." ename vname
+             (if ok then "bit-identical" else "MISMATCH");
+           if not ok then incr tiled_failures)
+         [ ("raw", false); ("optimized", true) ])
+     [ ("interp", `Interp); ("jit", `Jit); ("jit-parallel", `Jit_parallel 3);
+       ("native", `Native) ]);
   (* host-plan lint: the paper's Listing 5 pipeline and the two-device
      sharded step, plus two sharded time steps as a Multi plan *)
   let lint_errors = ref 0 in
@@ -358,11 +421,13 @@ let cmd_check shape nx ny nz precision engine =
         (Lift.Lint.check_async (Gpu_sim.overlap_plan ssim kernels ~steps:2)))
     [ ("fi", `Fi); ("fi-mm", `Fi_mm); ("fd-mm", `Fd_mm) ];
   Fmt.pr
-    "@.%d kernel report(s) unsafe, %d unproven (sanitizer-covered), %d lint error(s)%s@."
-    !unsafe !unproven !lint_errors
+    "@.%d kernel report(s) unsafe, %d unproven (sanitizer-covered), %d lint error(s), %d \
+     tiled conformance failure(s)%s@."
+    !unsafe !unproven !lint_errors !tiled_failures
     (if engine = `Native then Printf.sprintf ", %d native compile failure(s)" !native_failures
      else "");
-  if !unsafe > 0 || !lint_errors > 0 || !native_failures > 0 then exit 1
+  if !unsafe > 0 || !lint_errors > 0 || !native_failures > 0 || !tiled_failures > 0 then
+    exit 1
 
 (* ------------------------------------------------------------------ *)
 (* racs tune: the paper's §VI protocol on any kernel/room/device *)
@@ -496,10 +561,20 @@ let simulate_cmd =
       & info [ "verify" ]
           ~doc:"statically verify every launched kernel first (fail fast on Unsafe)")
   in
+  let tile =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tile" ] ~docv:"WxH"
+          ~doc:
+            "run the volume kernel through the work-group execution tier: a 2.5D-tiled \
+             stencil staging WxH tiles of curr in local memory (bit-identical results)")
+  in
   Cmd.v (Cmd.info "simulate" ~doc:"Run an impulse-response simulation")
     Term.(
       const cmd_simulate $ shape $ nx $ ny $ nz $ scheme $ steps $ backend $ engine
-      $ domains $ shards $ overlap $ no_overlap $ no_opt_arg $ stats $ sanitize $ verify)
+      $ domains $ shards $ overlap $ no_overlap $ no_opt_arg $ stats $ sanitize $ verify
+      $ tile)
 
 let experiments_cmd =
   let which = Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT") in

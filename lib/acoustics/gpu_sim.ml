@@ -233,15 +233,26 @@ let args_into rt ~int_scalar ~real_scalar ~buf (k : kernel) =
     k.params
 
 (* Resolve the kernel's symbolic global size against a scalar
-   environment. *)
+   environment.  Tiled kernels round their NDRange up to the work-group
+   size with [((Nx + tw - 1) / tw) * tw]-shaped expressions, so the
+   evaluator handles constant integer arithmetic, not just bare names. *)
 let global_size ~int_scalar (k : kernel) =
-  List.map
-    (fun e ->
-      match e with
-      | Int_lit n -> n
-      | Var name -> int_scalar name
-      | _ -> failwith "gpu_sim: unsupported global size expression")
-    k.global_size
+  let rec ev e =
+    match e with
+    | Int_lit n -> n
+    | Var name -> int_scalar name
+    | Binop (op, a, b) -> (
+        let a = ev a and b = ev b in
+        match op with
+        | Add -> a + b
+        | Sub -> a - b
+        | Mul -> a * b
+        | Div -> a / b
+        | Mod -> a mod b
+        | _ -> failwith "gpu_sim: unsupported global size expression")
+    | _ -> failwith "gpu_sim: unsupported global size expression"
+  in
+  List.map ev k.global_size
 
 let launch_on rt ~int_scalar ~real_scalar ~buf (k : kernel) =
   let args = args_into rt ~int_scalar ~real_scalar ~buf k in
@@ -351,11 +362,22 @@ let overlap_step_ops t ~(eid : int ref) ~(incs : (int option * int option) array
                   ~buf:(buffer_shard t sh ss) k
               in
               let global = global_size ~int_scalar k in
+              (* A non-splittable volume kernel (e.g. the 2.5D-tiled
+                 stencil, whose NDRange is a padded 2D launch) reads the
+                 [curr] ghost planes without a frontier launch before it
+                 on this queue, so it must carry the previous step's
+                 incoming-exchange waits itself.  Boundary kernels have
+                 no [curr] parameter and keep FIFO ordering. *)
+              let waits =
+                if List.exists (fun p -> p.p_name = "curr") k.params then
+                  Option.to_list (fst incs.(i)) @ Option.to_list (snd incs.(i))
+                else []
+              in
               push
                 {
                   Vgpu.Multi.a_op =
                     Vgpu.Multi.Dev (i, Vgpu.Runtime.Launch { kernel = k; args; global });
-                  a_waits = [];
+                  a_waits = waits;
                   a_signal = None;
                 }
             end)

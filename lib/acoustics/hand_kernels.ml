@@ -63,6 +63,7 @@ let fused_fi ~precision =
         param ~kind:Scalar_param "beta" Real;
       ];
     global_size = [ Var "Nx"; Var "Ny"; Var "Nz" ];
+    local_size = [];
     body =
       [
         Decl (Int, "x", Some (Global_id 0));
@@ -132,6 +133,7 @@ let volume ~precision =
         param ~kind:Scalar_param "l2" Real;
       ];
     global_size = [ Var "N" ];
+    local_size = [];
     body =
       [
         Decl (Int, "idx", Some (Global_id 0));
@@ -174,6 +176,7 @@ let boundary_fi ~precision =
         param ~kind:Scalar_param "beta" Real;
       ];
     global_size = [ Var "nB" ];
+    local_size = [];
     body =
       [
         Decl (Int, "i", Some (Global_id 0));
@@ -218,6 +221,7 @@ let boundary_fi_mm ~precision ~(betas : float array) =
         param ~kind:Scalar_param "l" Real;
       ];
     global_size = [ Var "nB" ];
+    local_size = [];
     body =
       [ Decl_arr (Real, "beta_p", n_mat) ]
       @ init_beta
@@ -299,6 +303,7 @@ let boundary_fd_mm ~precision ~mb =
         param ~kind:Scalar_param "l" Real;
       ];
     global_size = [ Var "nB" ];
+    local_size = [];
     body =
       [
         Decl_arr (Real, "tg1", mb);

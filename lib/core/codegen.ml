@@ -542,7 +542,7 @@ let compile_kernel ?(name = "kernel") ~precision (f : Ast.lam) : compiled =
             | None -> Cast.Int_lit 1)
   in
   let kernel =
-    Cast.simplify_kernel { Cast.name; precision; params; body; global_size }
+    Cast.simplify_kernel { Cast.name; precision; params; body; global_size; local_size = [] }
   in
   {
     kernel;

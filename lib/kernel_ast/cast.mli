@@ -66,14 +66,24 @@ type expr =
   | Call of builtin * expr list
   | Global_id of int    (** [get_global_id(d)] *)
   | Global_size of int  (** [get_global_size(d)] *)
+  | Group_id of int     (** [get_group_id(d)] *)
+  | Local_id of int     (** [get_local_id(d)] *)
+  | Local_size of int   (** [get_local_size(d)] *)
 
 type stmt =
   | Decl of ty * string * expr option
   | Decl_arr of ty * string * int  (** private array of static length *)
+  | Decl_local of ty * string * int
+      (** work-group local array of static length; must appear at the
+          top level of the body before any use, and is zeroed once per
+          work-group *)
   | Assign of string * expr
   | Store of string * expr * expr  (** [name[idx] = value] *)
   | If of expr * stmt list * stmt list
   | For of for_loop
+  | Barrier
+      (** work-group barrier (local memory fence): every work-item of a
+          group must reach the same dynamic barrier instance *)
   | Comment of string
 
 and for_loop = {
@@ -102,6 +112,13 @@ type kernel = {
   global_size : expr list;
       (** NDRange extent per dimension, as expressions over scalar
           parameters; may have fewer than 3 entries. *)
+  local_size : int list;
+      (** Work-group size per dimension, as static ints.  [[]] selects
+          the flat execution model (no groups, no local memory, barriers
+          are no-ops, [Group_id d = Global_id d] and [Local_id d = 0]);
+          when non-empty, every launch dimension must be divisible by
+          the corresponding entry (missing trailing dimensions default
+          to 1). *)
 }
 
 (** {1 Construction helpers} *)
@@ -131,6 +148,24 @@ val for_ : string -> from:expr -> below:expr -> ?step:expr -> stmt list -> stmt
 (** [param ?kind name ty] builds a kernel parameter (a global buffer by
     default). *)
 val param : ?kind:param_kind -> string -> ty -> param
+
+(** {1 Work-group geometry} *)
+
+val grouped : kernel -> bool
+(** [local_size <> []]: the kernel uses the work-group execution tier. *)
+
+val local3 : kernel -> int array
+(** Work-group size padded to 3 dimensions (1 for missing entries).
+    @raise Invalid_argument on more than 3 dims or a non-positive
+    entry. *)
+
+val group_counts : kernel -> global:int array -> int array
+(** Per-dimension work-group counts for a padded 3-wide launch size.
+    @raise Invalid_argument when a launch dimension is not divisible by
+    the work-group size. *)
+
+val contains_barrier : stmt list -> bool
+(** Whether any statement (at any depth) is a [Barrier]. *)
 
 (** {1 Simplification}
 

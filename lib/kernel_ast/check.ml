@@ -71,6 +71,8 @@ let pp_itv ppf a =
 
 type term =
   | Tgid of int
+  | Tlid of int  (* get_local_id(d), grouped kernels only *)
+  | Tgrp of int  (* get_group_id(d), grouped kernels only *)
   | Tloop of int  (* unique id per syntactic loop *)
 
 (* [coeffs] sorted by term, all coefficients non-zero. *)
@@ -135,7 +137,7 @@ type verdict =
 
 type buf_report = {
   b_name : string;
-  b_kind : [ `Global | `Private ];
+  b_kind : [ `Global | `Private | `Local ];
   b_elems : int option;
   b_race : verdict;
   b_bounds : verdict;
@@ -145,6 +147,9 @@ type report = {
   r_kernel : string;
   r_global : int option array;
   r_bufs : buf_report list;
+  r_barrier : verdict;
+      (* barrier-divergence freedom: [Safe] when every barrier is under
+         work-group-uniform control flow only *)
 }
 
 type env = {
@@ -158,22 +163,31 @@ let env ?(param_value = fun _ -> None) ?(buffer_elems = fun _ -> None) ?global (
 
 (* -- Analysis state --------------------------------------------------- *)
 
-type access = { ac_store : bool; ac_v : absval }
+type access = { ac_store : bool; ac_v : absval; ac_phase : int }
+(* [ac_phase] is the number of [Barrier] statements the abstract scan
+   passed before this access: local-memory races are analysed per
+   barrier-delimited phase. *)
 
 type cenv = {
   e : env;
   gsize : int option array;  (* 3 dims; missing dims are 1 *)
+  l3 : int array;  (* work-group size, [|1;1;1|] for flat kernels *)
+  is_grouped : bool;
   global_bufs : (string, unit) Hashtbl.t;
   private_arrs : (string, int) Hashtbl.t;
+  local_arrs : (string, int) Hashtbl.t;
   accesses : (string, access list ref) Hashtbl.t;
   loop_ranges : (int, itv) Hashtbl.t;
   mutable nloops : int;
   mutable locals : absval SMap.t;
+  mutable phase : int;
+  mutable divergent_barrier : bool;
+      (* a barrier was scanned under work-item-varying control flow *)
 }
 
 let record cenv buf ~store v =
   match Hashtbl.find_opt cenv.accesses buf with
-  | Some r -> r := { ac_store = store; ac_v = v } :: !r
+  | Some r -> r := { ac_store = store; ac_v = v; ac_phase = cenv.phase } :: !r
   | None ->
       (* a name that is neither a global buffer nor a declared private
          array: malformed kernel; the interpreter reports it *)
@@ -217,6 +231,29 @@ let rec eval cenv (expr : expr) : absval =
       match if d < 3 then cenv.gsize.(d) else None with
       | Some n -> known n
       | None -> { top with v_itv = { lo = Some 1; hi = None } })
+  | Group_id d ->
+      if not cenv.is_grouped then
+        (* flat model: get_group_id(d) = get_global_id(d) *)
+        eval cenv (Global_id d)
+      else
+        let itv =
+          if d < 3 then
+            match cenv.gsize.(d) with
+            | Some n -> { lo = Some 0; hi = Some ((n / cenv.l3.(d)) - 1) }
+            | None -> { lo = Some 0; hi = None }
+          else top_itv
+        in
+        { v_itv = itv; v_aff = Some (aff_of_term (Tgrp d)); v_tainted = false }
+  | Local_id d ->
+      if not cenv.is_grouped then known 0
+      else if d < 3 then
+        {
+          v_itv = { lo = Some 0; hi = Some (cenv.l3.(d) - 1) };
+          v_aff = Some (aff_of_term (Tlid d));
+          v_tainted = false;
+        }
+      else known 0
+  | Local_size d -> known (if d < 3 then cenv.l3.(d) else 1)
   | Var v -> (
       match SMap.find_opt v cenv.locals with
       | Some av -> av
@@ -308,9 +345,28 @@ let rec assigned_vars acc = function
   | For l :: tl -> assigned_vars (assigned_vars (l.var :: acc) l.body) tl
   | _ :: tl -> assigned_vars acc tl
 
-let rec scan cenv (s : stmt) =
+(* Whether an abstract value can differ between two work-items of the
+   same group: its affine form mentions a gid/lid term, or the value is
+   unknown / data-dependent.  Uniform values (constants, scalar
+   parameters, group ids, loop counters of uniform loops) are the only
+   ones under which a barrier is legal. *)
+let wi_varying (av : absval) =
+  av.v_tainted
+  ||
+  match av.v_aff with
+  | None -> true
+  | Some f ->
+      List.exists (fun (t, _) -> match t with Tgid _ | Tlid _ -> true | _ -> false) f.coeffs
+
+let rec scan cenv ~varying (s : stmt) =
   match s with
   | Comment _ -> ()
+  | Barrier ->
+      if cenv.is_grouped && varying then cenv.divergent_barrier <- true;
+      cenv.phase <- cenv.phase + 1
+  | Decl_local (_, v, n) ->
+      Hashtbl.replace cenv.local_arrs v n;
+      if not (Hashtbl.mem cenv.accesses v) then Hashtbl.replace cenv.accesses v (ref [])
   | Decl_arr (_, v, n) ->
       Hashtbl.replace cenv.private_arrs v n;
       if not (Hashtbl.mem cenv.accesses v) then Hashtbl.replace cenv.accesses v (ref [])
@@ -328,12 +384,13 @@ let rec scan cenv (s : stmt) =
       let _ = eval cenv e in
       record cenv b ~store:true iv
   | If (c, t, f) ->
-      let _ = eval cenv c in
+      let cv = eval cenv c in
+      let varying = varying || wi_varying cv in
       let saved = cenv.locals in
-      List.iter (scan cenv) t;
+      List.iter (scan cenv ~varying) t;
       let after_t = cenv.locals in
       cenv.locals <- saved;
-      List.iter (scan cenv) f;
+      List.iter (scan cenv ~varying) f;
       let after_f = cenv.locals in
       (* join the branch environments *)
       cenv.locals <-
@@ -344,7 +401,7 @@ let rec scan cenv (s : stmt) =
   | For l ->
       let init_v = eval cenv l.init in
       let bound_v = eval cenv l.bound in
-      let _ = eval cenv l.step in
+      let step_v = eval cenv l.step in
       let id = cenv.nloops in
       cenv.nloops <- id + 1;
       let range =
@@ -364,7 +421,12 @@ let rec scan cenv (s : stmt) =
         SMap.add l.var
           { v_itv = range; v_aff = Some (aff_of_term (Tloop id)); v_tainted = false }
           cenv.locals;
-      List.iter (scan cenv) l.body
+      (* a loop whose trip count can differ per work-item makes every
+         barrier in its body divergent *)
+      let varying =
+        varying || wi_varying init_v || wi_varying bound_v || wi_varying step_v
+      in
+      List.iter (scan cenv ~varying) l.body
 
 (* -- Concrete partial evaluation (witness confirmation) --------------- *)
 
@@ -383,7 +445,7 @@ type cval =
   | Kr of float
   | Kunknown
 
-type caccess = { c_buf : string; c_idx : int; c_store : bool }
+type caccess = { c_buf : string; c_idx : int; c_store : bool; c_phase : int }
 
 let builtin_c (f : builtin) (args : float list) =
   match (f, args) with
@@ -402,10 +464,13 @@ type crun = {
   ce : env;
   cgsize : int array;
   cgid : int array;
+  cl3 : int array;  (* work-group size (1s for flat kernels) *)
   scalars : (string, cval) Hashtbl.t;
   arrays : (string, cval array) Hashtbl.t;
   cglobals : (string, unit) Hashtbl.t;
+  clocal_arrs : (string, unit) Hashtbl.t;
   mutable recorded : caccess list;
+  mutable cbarriers : int;  (* barriers executed: divergence evidence *)
   mutable budget : int;
 }
 
@@ -418,6 +483,9 @@ let rec ceval r (expr : expr) : cval =
   | Real_lit x -> Kr x
   | Global_id d -> Ki r.cgid.(d)
   | Global_size d -> Ki r.cgsize.(d)
+  | Group_id d -> Ki (r.cgid.(d) / r.cl3.(d))
+  | Local_id d -> Ki (r.cgid.(d) mod r.cl3.(d))
+  | Local_size d -> Ki r.cl3.(d)
   | Var v -> (
       match Hashtbl.find_opt r.scalars v with
       | Some c -> c
@@ -429,13 +497,17 @@ let rec ceval r (expr : expr) : cval =
           match idx with
           | Some k when k >= 0 && k < Array.length a -> a.(k)
           | Some k ->
-              r.recorded <- { c_buf = b; c_idx = k; c_store = false } :: r.recorded;
+              r.recorded <-
+                { c_buf = b; c_idx = k; c_store = false; c_phase = r.cbarriers } :: r.recorded;
               Kunknown
           | None -> raise Bail)
       | None ->
-          (if Hashtbl.mem r.cglobals b then
+          (if Hashtbl.mem r.cglobals b || Hashtbl.mem r.clocal_arrs b then
              match idx with
-             | Some k -> r.recorded <- { c_buf = b; c_idx = k; c_store = false } :: r.recorded
+             | Some k ->
+                 r.recorded <-
+                   { c_buf = b; c_idx = k; c_store = false; c_phase = r.cbarriers }
+                   :: r.recorded
              | None -> raise Bail);
           Kunknown)
   | Unop (op, a) -> (
@@ -502,6 +574,12 @@ and cbinop op va vb =
 let rec cexec r (s : stmt) =
   match s with
   | Comment _ -> ()
+  | Barrier -> r.cbarriers <- r.cbarriers + 1
+  | Decl_local (_, v, _) ->
+      (* local memory is shared across work-items, so a per-work-item
+         concrete array would be unsound: keep it opaque and record
+         every access with its barrier phase instead *)
+      Hashtbl.replace r.clocal_arrs v ()
   | Decl (ty, v, init) ->
       let value =
         match init with
@@ -520,12 +598,16 @@ let rec cexec r (s : stmt) =
       | Some a -> (
           match idx with
           | Some k when k >= 0 && k < Array.length a -> a.(k) <- v
-          | Some k -> r.recorded <- { c_buf = b; c_idx = k; c_store = true } :: r.recorded
+          | Some k ->
+              r.recorded <-
+                { c_buf = b; c_idx = k; c_store = true; c_phase = r.cbarriers } :: r.recorded
           | None -> raise Bail)
       | None -> (
-          if Hashtbl.mem r.cglobals b then
+          if Hashtbl.mem r.cglobals b || Hashtbl.mem r.clocal_arrs b then
             match idx with
-            | Some k -> r.recorded <- { c_buf = b; c_idx = k; c_store = true } :: r.recorded
+            | Some k ->
+                r.recorded <-
+                  { c_buf = b; c_idx = k; c_store = true; c_phase = r.cbarriers } :: r.recorded
             | None -> raise Bail))
   | If (c, t, f) -> (
       match as_int_c (ceval r c) with
@@ -545,23 +627,27 @@ let rec cexec r (s : stmt) =
       done
 
 (* Run [k]'s body for one work-item; [None] when the execution depends
-   on unknown data. *)
-let crun_workitem e (k : kernel) ~gsize ~gid : caccess list option =
+   on unknown data.  Returns the recorded accesses and the number of
+   barriers the work-item executed (divergence evidence). *)
+let crun_workitem e (k : kernel) ~gsize ~gid : (caccess list * int) option =
   let r =
     {
       ce = e;
       cgsize = gsize;
       cgid = gid;
+      cl3 = local3 k;
       scalars = Hashtbl.create 16;
       arrays = Hashtbl.create 4;
       cglobals = Hashtbl.create 8;
+      clocal_arrs = Hashtbl.create 4;
       recorded = [];
+      cbarriers = 0;
       budget = 4096;
     }
   in
   List.iter (fun p -> if p.p_kind = Global_buf then Hashtbl.replace r.cglobals p.p_name ()) k.params;
   match List.iter (cexec r) k.body with
-  | () -> Some (List.rev r.recorded)
+  | () -> Some (List.rev r.recorded, r.cbarriers)
   | exception Bail -> None
 
 (* -- Race analysis ---------------------------------------------------- *)
@@ -570,14 +656,27 @@ type dim = { d_coeff : int; d_extent : int; d_gid : int option }
 (* one injectivity dimension: |coefficient|, index range (max - min),
    and the gid dimension it came from (None for loop counters) *)
 
-let confirm_race e k ~gsize buf (g1 : int array) (g2 : int array) : witness option =
+(* For a local buffer two stores only conflict within the same
+   barrier-delimited phase (the barrier orders the phases), so the
+   collision must also match on phase. *)
+let confirm_race ?(local = false) e k ~gsize buf (g1 : int array) (g2 : int array) :
+    witness option =
   match (crun_workitem e k ~gsize ~gid:g1, crun_workitem e k ~gsize ~gid:g2) with
-  | Some a1, Some a2 ->
-      let stores l = List.filter_map (fun a -> if a.c_store && a.c_buf = buf then Some a.c_idx else None) l in
+  | Some (a1, _), Some (a2, _) ->
+      let stores l =
+        List.filter_map
+          (fun a -> if a.c_store && a.c_buf = buf then Some (a.c_idx, a.c_phase) else None)
+          l
+      in
       let s1 = stores a1 and s2 = stores a2 in
-      let common = List.filter (fun i -> List.mem i s2) s1 in
+      let common =
+        List.filter
+          (fun (i, ph) ->
+            List.exists (fun (j, ph') -> j = i && ((not local) || ph = ph')) s2)
+          s1
+      in
       (match common with
-      | idx :: _ ->
+      | (idx, _) :: _ ->
           let t a = (a.(0), a.(1), a.(2)) in
           Some
             {
@@ -585,10 +684,11 @@ let confirm_race e k ~gsize buf (g1 : int array) (g2 : int array) : witness opti
               w_index = idx;
               w_gids = [ t g1; t g2 ];
               w_detail =
-                Printf.sprintf "work-items %s and %s both store %s[%d]"
+                Printf.sprintf "work-items %s and %s both store %s[%d]%s"
                   (Printf.sprintf "(%d,%d,%d)" g1.(0) g1.(1) g1.(2))
                   (Printf.sprintf "(%d,%d,%d)" g2.(0) g2.(1) g2.(2))
-                  buf idx;
+                  buf idx
+                  (if local then " in the same barrier phase" else "");
             }
       | [] -> None)
   | _ -> None
@@ -597,14 +697,25 @@ let confirm_race e k ~gsize buf (g1 : int array) (g2 : int array) : witness opti
    pairs differing only in a gid dimension the form ignores, plus a
    greedy attempt at realising one coefficient as a combination of
    lower-significance gid coefficients. *)
-let candidate_pairs ~gsize (form : aff) =
+let candidate_pairs ~gsize ?(l3 = [| 1; 1; 1 |]) (form : aff) =
   let unit d = Array.init 3 (fun i -> if i = d then 1 else 0) in
+  let scaled d k = Array.init 3 (fun i -> if i = d then k else 0) in
   let zeros = Array.make 3 0 in
   let coeff d = Option.value ~default:0 (List.assoc_opt (Tgid d) form.coeffs) in
   let active d = gsize.(d) > 1 in
   let ignored =
     List.filter_map
       (fun d -> if active d && coeff d = 0 then Some (zeros, unit d) else None)
+      [ 0; 1; 2 ]
+  in
+  (* grouped kernels: same local id, adjacent group — catches stores
+     addressed by local id only, which collide across groups *)
+  let cross_group =
+    List.filter_map
+      (fun d ->
+        if active d && l3.(d) > 1 && gsize.(d) > l3.(d) then
+          Some (zeros, scaled d l3.(d))
+        else None)
       [ 0; 1; 2 ]
   in
   let greedy =
@@ -631,7 +742,7 @@ let candidate_pairs ~gsize (form : aff) =
           else None)
       [ 0; 1; 2 ]
   in
-  ignored @ greedy
+  ignored @ cross_group @ greedy
 
 let race_verdict cenv e (k : kernel) buf (stores : absval list) : verdict =
   if stores = [] then Safe
@@ -678,22 +789,50 @@ let race_verdict cenv e (k : kernel) buf (stores : absval list) : verdict =
             Unproven "NDRange extent not statically known"
         | _ ->
             let gsize = Array.map (fun d -> Option.get d) cenv.gsize in
-            let coeff d = Option.value ~default:0 (List.assoc_opt (Tgid d) form.coeffs) in
-            (* every dimension of the combined (gid + loop) box *)
+            let cf t = Option.value ~default:0 (List.assoc_opt t form.coeffs) in
+            let coeff d = cf (Tgid d) in
+            (* every dimension of the combined (gid/group/lid + loop)
+               box.  Injectivity over the product box is sound even
+               though gid = grp*L + lid correlates the components: the
+               box over-approximates the set of executions, so proving
+               injectivity there is only harder. *)
             let dims_exn () =
+              let l3 = cenv.l3 in
               let gid_dims =
-                List.filter_map
+                List.concat_map
                   (fun d ->
-                    if gsize.(d) > 1 then
-                      Some { d_coeff = abs (coeff d); d_extent = gsize.(d) - 1; d_gid = Some d }
-                    else None)
+                    if gsize.(d) <= 1 then []
+                    else
+                      let cg = coeff d and cgr = cf (Tgrp d) and cl = cf (Tlid d) in
+                      let groups = gsize.(d) / l3.(d) in
+                      let covered =
+                        cg <> 0 || ((cgr <> 0 || groups <= 1) && (cl <> 0 || l3.(d) <= 1))
+                      in
+                      if not covered then
+                        (* an active NDRange dimension the index ignores:
+                           keep a zero-coefficient marker so the radix
+                           argument fails and the candidate path runs *)
+                        [ { d_coeff = 0; d_extent = gsize.(d) - 1; d_gid = Some d } ]
+                      else
+                        List.concat
+                          [
+                            (if cg <> 0 then
+                               [ { d_coeff = abs cg; d_extent = gsize.(d) - 1; d_gid = Some d } ]
+                             else []);
+                            (if cgr <> 0 then
+                               [ { d_coeff = abs cgr; d_extent = groups - 1; d_gid = None } ]
+                             else []);
+                            (if cl <> 0 then
+                               [ { d_coeff = abs cl; d_extent = l3.(d) - 1; d_gid = None } ]
+                             else []);
+                          ])
                   [ 0; 1; 2 ]
               in
               let loop_dims =
                 List.filter_map
                   (fun (t, c) ->
                     match t with
-                    | Tgid _ -> None
+                    | Tgid _ | Tgrp _ | Tlid _ -> None
                     | Tloop id -> (
                         match Hashtbl.find_opt cenv.loop_ranges id with
                         | Some { lo = Some l; hi = Some h } ->
@@ -723,7 +862,7 @@ let race_verdict cenv e (k : kernel) buf (stores : absval list) : verdict =
                 else
                   (* candidate collision: only claim Unsafe when a pair of
                      work-items is concretely confirmed to collide *)
-                  let pairs = candidate_pairs ~gsize form in
+                  let pairs = candidate_pairs ~gsize ~l3:cenv.l3 form in
                   let rec try_pairs = function
                     | [] ->
                         Unproven
@@ -738,6 +877,198 @@ let race_verdict cenv e (k : kernel) buf (stores : absval list) : verdict =
                   in
                   try_pairs pairs))
 
+(* -- Local-memory race analysis --------------------------------------- *)
+
+(* Race freedom of a work-group-local array: within one barrier-delimited
+   phase, no two work-items of the same group may store to the same slot.
+   The injectivity argument runs over the local-id box only (group ids
+   are uniform within a group and drop out; a [Tgid] coefficient varies
+   across exactly the [l3] window within a group).  The static phase is
+   an approximation — barriers inside loops delimit phases dynamically —
+   so everything undecided stays [Unproven] for the runtime sanitizer. *)
+let local_race_verdict cenv e (k : kernel) buf (stores : (absval * int) list) : verdict =
+  if not cenv.is_grouped then Safe (* flat model: Decl_local is private *)
+  else if stores = [] then Safe
+  else
+    let l3 = cenv.l3 in
+    let confirm () =
+      match cenv.gsize with
+      | gs when Array.exists (fun d -> d = None) gs -> None
+      | _ ->
+          let gsize = Array.map (fun d -> Option.get d) cenv.gsize in
+          let pairs =
+            List.filter_map
+              (fun d ->
+                if l3.(d) > 1 && gsize.(d) > 1 then
+                  Some
+                    ( Array.make 3 0,
+                      Array.init 3 (fun i -> if i = d then 1 else 0) )
+                else None)
+              [ 0; 1; 2 ]
+          in
+          List.find_map
+            (fun (g1, g2) -> confirm_race ~local:true e k ~gsize buf g1 g2)
+            pairs
+    in
+    if List.exists (fun (s, _) -> s.v_tainted) stores then
+      match confirm () with
+      | Some w -> Unsafe w
+      | None -> Unproven "local store index depends on loaded data"
+    else if List.exists (fun (s, _) -> s.v_aff = None) stores then
+      match confirm () with
+      | Some w -> Unsafe w
+      | None -> Unproven "local store index is not affine in work-item ids"
+    else
+      let phases =
+        List.sort_uniq compare (List.map snd stores)
+      in
+      let phase_verdict ph =
+        let forms =
+          List.filter_map
+            (fun (s, p) -> if p = ph then Some (Option.get s.v_aff) else None)
+            stores
+          |> List.sort_uniq compare
+        in
+        match forms with
+        | [] | [ _ ] -> (
+            match forms with
+            | [ form ] ->
+                let cf t = Option.value ~default:0 (List.assoc_opt t form.coeffs) in
+                let dims_exn () =
+                  let lid_dims =
+                    List.concat_map
+                      (fun d ->
+                        if l3.(d) <= 1 then []
+                        else
+                          let cl = cf (Tlid d) and cg = cf (Tgid d) in
+                          if cl = 0 && cg = 0 then
+                            (* every work-item along this local dimension
+                               hits the same slot *)
+                            [ { d_coeff = 0; d_extent = l3.(d) - 1; d_gid = Some d } ]
+                          else
+                            List.concat
+                              [
+                                (if cl <> 0 then
+                                   [ { d_coeff = abs cl; d_extent = l3.(d) - 1; d_gid = None } ]
+                                 else []);
+                                (if cg <> 0 then
+                                   [ { d_coeff = abs cg; d_extent = l3.(d) - 1; d_gid = None } ]
+                                 else []);
+                              ])
+                      [ 0; 1; 2 ]
+                  in
+                  let loop_dims =
+                    List.filter_map
+                      (fun (t, c) ->
+                        match t with
+                        | Tgid _ | Tgrp _ | Tlid _ -> None
+                        | Tloop id -> (
+                            match Hashtbl.find_opt cenv.loop_ranges id with
+                            | Some { lo = Some l; hi = Some h } ->
+                                Some { d_coeff = abs c; d_extent = max 0 (h - l); d_gid = None }
+                            | _ -> raise Exit))
+                      form.coeffs
+                  in
+                  lid_dims @ loop_dims
+                in
+                (match dims_exn () with
+                | exception Exit -> Unproven "loop range not statically known"
+                | dims ->
+                    let uncovered = List.exists (fun d -> d.d_coeff = 0) dims in
+                    let radix_ok =
+                      List.sort (fun a b -> compare a.d_coeff b.d_coeff) dims
+                      |> List.fold_left
+                           (fun acc d ->
+                             match acc with
+                             | None -> None
+                             | Some reach ->
+                                 if d.d_coeff <= reach then None
+                                 else Some (reach + (d.d_coeff * d.d_extent)))
+                           (Some 0)
+                      |> Option.is_some
+                    in
+                    if (not uncovered) && radix_ok then Safe
+                    else
+                      match confirm () with
+                      | Some w -> Unsafe w
+                      | None ->
+                          Unproven
+                            "local store strides may collide across work-items of a group")
+            | _ -> Safe)
+        | _ -> (
+            (* several distinct store shapes in one phase: the guarded
+               cooperative-load idiom; only claim Unsafe on concrete
+               confirmation *)
+            match confirm () with
+            | Some w -> Unsafe w
+            | None -> Unproven "multiple local store index shapes in one barrier phase")
+      in
+      let rec worst = function
+        | [] -> Safe
+        | ph :: rest -> (
+            match phase_verdict ph with
+            | Safe -> worst rest
+            | Unsafe w -> Unsafe w
+            | Unproven r -> (
+                match worst rest with Unsafe w -> Unsafe w | _ -> Unproven r))
+      in
+      worst phases
+
+(* -- Barrier-divergence analysis --------------------------------------- *)
+
+(* A barrier under work-item-varying control flow is only reported
+   [Unsafe] when two concrete work-items of the same group are shown to
+   execute different barrier counts. *)
+let barrier_verdict cenv e (k : kernel) : verdict =
+  if not (cenv.is_grouped && Cast.contains_barrier k.body) then Safe
+  else if not cenv.divergent_barrier then Safe
+  else
+    let unconfirmed =
+      Unproven "barrier under work-item-varying control flow (divergence not confirmed)"
+    in
+    match cenv.gsize with
+    | gs when Array.exists (fun d -> d = None) gs -> unconfirmed
+    | _ ->
+        let gsize = Array.map (fun d -> Option.get d) cenv.gsize in
+        let l3 = cenv.l3 in
+        let zeros = Array.make 3 0 in
+        let candidates =
+          List.concat_map
+            (fun d ->
+              if l3.(d) > 1 && gsize.(d) > 1 then
+                [
+                  Array.init 3 (fun i -> if i = d then 1 else 0);
+                  Array.init 3 (fun i -> if i = d then min (l3.(d) - 1) (gsize.(d) - 1) else 0);
+                ]
+              else [])
+            [ 0; 1; 2 ]
+        in
+        let base = crun_workitem e k ~gsize ~gid:zeros in
+        let diverges gid =
+          match (base, crun_workitem e k ~gsize ~gid) with
+          | Some (_, b0), Some (_, b1) when b0 <> b1 -> Some (b0, b1)
+          | _ -> None
+        in
+        let rec go = function
+          | [] -> unconfirmed
+          | gid :: rest -> (
+              match diverges gid with
+              | Some (b0, b1) ->
+                  Unsafe
+                    {
+                      w_buf = "(barrier)";
+                      w_index = b1 - b0;
+                      w_gids = [ (0, 0, 0); (gid.(0), gid.(1), gid.(2)) ];
+                      w_detail =
+                        Printf.sprintf
+                          "work-items (0,0,0) and (%d,%d,%d) of the same group execute %d \
+                           and %d barriers"
+                          gid.(0) gid.(1) gid.(2) b0 b1;
+                    }
+              | None -> go rest)
+        in
+        go candidates
+
 (* -- Bounds analysis -------------------------------------------------- *)
 
 (* The gid that drives an affine index to its maximum (resp. minimum). *)
@@ -750,7 +1081,7 @@ let extremal_gid ~gsize (form : aff) ~maximise =
 let confirm_oob e k ~gsize buf ~elems (gid : int array) : witness option =
   match crun_workitem e k ~gsize ~gid with
   | None -> None
-  | Some accs -> (
+  | Some (accs, _) -> (
       match
         List.find_opt (fun a -> a.c_buf = buf && (a.c_idx < 0 || a.c_idx >= elems)) accs
       with
@@ -820,12 +1151,17 @@ let analyse (e : env) (k : kernel) =
     {
       e;
       gsize = resolve_gsize e k;
+      l3 = local3 k;
+      is_grouped = grouped k;
       global_bufs = Hashtbl.create 8;
       private_arrs = Hashtbl.create 4;
+      local_arrs = Hashtbl.create 4;
       accesses = Hashtbl.create 16;
       loop_ranges = Hashtbl.create 4;
       nloops = 0;
       locals = SMap.empty;
+      phase = 0;
+      divergent_barrier = false;
     }
   in
   List.iter
@@ -835,7 +1171,7 @@ let analyse (e : env) (k : kernel) =
         Hashtbl.replace cenv.accesses p.p_name (ref [])
       end)
     k.params;
-  List.iter (scan cenv) k.body;
+  List.iter (scan cenv ~varying:false) k.body;
   cenv
 
 let check (e : env) (k : kernel) : report =
@@ -848,34 +1184,48 @@ let check (e : env) (k : kernel) : report =
       (fun name ->
         let accs = List.rev !(Hashtbl.find cenv.accesses name) in
         let is_global = Hashtbl.mem cenv.global_bufs name in
+        let is_local = Hashtbl.mem cenv.local_arrs name in
         let elems =
-          if is_global then e.buffer_elems name else Hashtbl.find_opt cenv.private_arrs name
+          if is_global then e.buffer_elems name
+          else if is_local then Hashtbl.find_opt cenv.local_arrs name
+          else Hashtbl.find_opt cenv.private_arrs name
         in
         let stores = List.filter_map (fun a -> if a.ac_store then Some a.ac_v else None) accs in
         let race =
           if is_global then race_verdict cenv e k name stores
+          else if is_local then
+            local_race_verdict cenv e k name
+              (List.filter_map
+                 (fun a -> if a.ac_store then Some (a.ac_v, a.ac_phase) else None)
+                 accs)
           else Safe (* private arrays are per-work-item: no cross-item races *)
         in
         {
           b_name = name;
-          b_kind = (if is_global then `Global else `Private);
+          b_kind = (if is_global then `Global else if is_local then `Local else `Private);
           b_elems = elems;
           b_race = race;
           b_bounds = bounds_verdict cenv e k name ~elems accs;
         })
       buf_names
   in
-  { r_kernel = k.name; r_global = cenv.gsize; r_bufs = bufs }
+  {
+    r_kernel = k.name;
+    r_global = cenv.gsize;
+    r_bufs = bufs;
+    r_barrier = barrier_verdict cenv e k;
+  }
 
 let ok r =
-  List.for_all
-    (fun b ->
-      (match b.b_race with Unsafe _ -> false | _ -> true)
-      && match b.b_bounds with Unsafe _ -> false | _ -> true)
-    r.r_bufs
+  (match r.r_barrier with Unsafe _ -> false | _ -> true)
+  && List.for_all
+       (fun b ->
+         (match b.b_race with Unsafe _ -> false | _ -> true)
+         && match b.b_bounds with Unsafe _ -> false | _ -> true)
+       r.r_bufs
 
 let fully_proven r =
-  List.for_all (fun b -> b.b_race = Safe && b.b_bounds = Safe) r.r_bufs
+  r.r_barrier = Safe && List.for_all (fun b -> b.b_race = Safe && b.b_bounds = Safe) r.r_bufs
 
 let unsafe_bufs r =
   List.filter
@@ -912,10 +1262,13 @@ let pp_report ppf (r : report) =
          (Array.map (function Some n -> string_of_int n | None -> "?") r.r_global))
   in
   Fmt.pf ppf "kernel %s (NDRange %s)@." r.r_kernel gs;
+  (match r.r_barrier with
+  | Safe -> ()
+  | v -> Fmt.pf ppf "  barrier divergence: %a@." pp_verdict v);
   List.iter
     (fun b ->
       Fmt.pf ppf "  %-10s %-7s %-12s race: %a@.  %-10s %-7s %-12s bounds: %a@." b.b_name
-        (match b.b_kind with `Global -> "global" | `Private -> "private")
+        (match b.b_kind with `Global -> "global" | `Private -> "private" | `Local -> "local")
         (match b.b_elems with Some n -> Printf.sprintf "[%d]" n | None -> "[?]")
         pp_verdict b.b_race "" "" "" pp_verdict b.b_bounds)
     r.r_bufs

@@ -40,9 +40,11 @@ type verdict =
     bounds safety of all its accesses. *)
 type buf_report = {
   b_name : string;
-  b_kind : [ `Global | `Private ];
+  b_kind : [ `Global | `Private | `Local ];
   b_elems : int option;  (** declared extent, when known *)
   b_race : verdict;
+      (** for [`Local] buffers: no two work-items of a group store the
+          same slot within one barrier-delimited phase *)
   b_bounds : verdict;
 }
 
@@ -50,6 +52,11 @@ type report = {
   r_kernel : string;
   r_global : int option array;  (** resolved NDRange (3 dims) *)
   r_bufs : buf_report list;  (** sorted by buffer name *)
+  r_barrier : verdict;
+      (** barrier-divergence freedom: [Safe] when every barrier of a
+          grouped kernel sits under work-group-uniform control flow;
+          [Unsafe] carries two work-items of one group with different
+          concrete barrier counts *)
 }
 
 (** Checking environment: resolves scalar parameters and buffer extents

@@ -17,6 +17,11 @@
      hand-written kernel (coefficients in private memory) faster than the
      LIFT kernel (coefficients passed as a buffer) on the NVIDIA parts in
      double precision, as reported in §VII-B1;
+   - [local_bw_ratio]: on-chip local-memory (LDS / shared memory)
+     bandwidth as a multiple of DRAM bandwidth.  GCN's LDS is banked
+     per-CU and roughly an order of magnitude above DRAM; Kepler's
+     shared memory is closer to 4-5x.  Tiled kernels that stage a plane
+     in [__local] trade DRAM traffic for traffic in this faster tier;
    - [launch_overhead_s]: fixed per-kernel cost as seen by the OpenCL
      profiling API (the paper's timing method), i.e. scheduling and
      drain, not host-side queueing. *)
@@ -33,6 +38,7 @@ type t = {
   dp_ratio : float;
   mem_efficiency : float;
   l2_speedup : float;
+  local_bw_ratio : float;
   launch_overhead_s : float;
 }
 
@@ -45,6 +51,7 @@ let gtx780 =
     dp_ratio = 1. /. 24.;
     mem_efficiency = 0.75;
     l2_speedup = 3.0;
+    local_bw_ratio = 4.5;
     launch_overhead_s = 1.5e-6;
   }
 
@@ -57,6 +64,7 @@ let amd7970 =
     dp_ratio = 1. /. 4.;
     mem_efficiency = 0.72;
     l2_speedup = 3.0;
+    local_bw_ratio = 12.0;
     launch_overhead_s = 2e-6;
   }
 
@@ -69,6 +77,7 @@ let titan_black =
     dp_ratio = 1. /. 3.;
     mem_efficiency = 0.75;
     l2_speedup = 3.0;
+    local_bw_ratio = 5.0;
     launch_overhead_s = 1.5e-6;
   }
 
@@ -81,6 +90,7 @@ let radeon_r9 =
     dp_ratio = 1. /. 8.;
     mem_efficiency = 0.72;
     l2_speedup = 3.0;
+    local_bw_ratio = 12.0;
     launch_overhead_s = 2e-6;
   }
 

@@ -19,6 +19,9 @@ type t = {
   l2_speedup : float;
       (** bandwidth multiplier for cache-resident buffers on parts whose
           global loads bypass L1 (Kepler); on GCN such reloads are free *)
+  local_bw_ratio : float;
+      (** on-chip local-memory (LDS / shared) bandwidth as a multiple of
+          DRAM bandwidth; the tier tiled kernels trade DRAM traffic into *)
   launch_overhead_s : float;
       (** fixed per-kernel cost as seen by the OpenCL profiling API *)
 }

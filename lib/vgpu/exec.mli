@@ -38,6 +38,8 @@ val builtin_eval : Kernel_ast.Cast.builtin -> float list -> float
 val launch :
   ?hook:access_hook ->
   ?on_workitem:(int * int * int -> unit) ->
+  ?on_group:(int * int * int -> unit) ->
+  ?on_barrier:(unit -> unit) ->
   Kernel_ast.Cast.kernel ->
   args:Args.t list ->
   global:int list ->
@@ -45,8 +47,17 @@ val launch :
 (** Run the kernel over [global] work-items per dimension.  [args] are
     matched positionally against the kernel's parameters; buffer
     arguments are mutated in place.  [on_workitem] fires before each
-    work-item starts (the sanitizer uses it to attribute accesses).
+    work-item starts — and, for grouped kernels, before each resume
+    after a barrier (the sanitizer uses it to attribute accesses).
 
-    @raise Invalid_argument on arity or argument-kind mismatch.
-    @raise Exec_error on faults inside a work-item (unbound names,
-    kind confusion, out-of-range accesses when no hook intercepts). *)
+    Grouped kernels (non-empty [local_size]) execute one work-group at
+    a time, work-items as fibers synchronised at barriers and resumed
+    in local-id order; [on_group] fires when a group starts (its local
+    arrays are fresh and zeroed), [on_barrier] when a whole group
+    releases a barrier.
+
+    @raise Invalid_argument on arity, argument-kind, or NDRange /
+    work-group-size divisibility mismatch.
+    @raise Exec_error on faults inside a work-item (unbound names, kind
+    confusion, out-of-range accesses when no hook intercepts, barrier
+    divergence within a work-group). *)

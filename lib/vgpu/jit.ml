@@ -17,41 +17,64 @@ open Kernel_ast.Cast
 type rt = {
   gid : int array;
   gsize : int array;
+  lid : int array;             (* local id within the work-group *)
+  wg : int array;              (* work-group id *)
   ir : int array;              (* int registers *)
   fr : float array;            (* real registers *)
   iarr : int array array;      (* private int arrays *)
   farr : float array array;    (* private real arrays *)
+  mutable ilarr : int array array;   (* group-shared local int arrays *)
+  mutable flarr : float array array; (* group-shared local real arrays *)
   mutable ibuf : int array array;   (* global int buffers, by slot *)
   mutable fbuf : float array array; (* global real buffers, by slot *)
 }
+
+(* Work-group synchronisation: [Barrier] in a grouped kernel performs
+   this effect; the group scheduler in [run_group_range] suspends the
+   work-item fiber until the whole group has arrived. *)
+type _ Effect.t += Barrier_hit : unit Effect.t
 
 type slot =
   | Int_reg of int
   | Real_reg of int
   | Int_parr of int * int   (* slot, length *)
   | Real_parr of int * int
+  | Int_larr of int * int   (* group-shared local array: slot, length *)
+  | Real_larr of int * int
   | Int_gbuf of int
   | Real_gbuf of int
 
 type cenv = {
   slots : (string, slot) Hashtbl.t;
+  cgrouped : bool;
+  cl3 : int array;
   mutable n_ir : int;
   mutable n_fr : int;
   mutable n_iarr : int;
   mutable n_farr : int;
   mutable parr_lens_i : int list; (* reversed *)
   mutable parr_lens_f : int list;
+  mutable n_ilarr : int;
+  mutable n_flarr : int;
+  mutable larr_lens_i : int list; (* reversed *)
+  mutable larr_lens_f : int list;
 }
 
-let fresh_cenv () =
+let fresh_cenv (k : kernel) =
   {
     slots = Hashtbl.create 32;
+    cgrouped = grouped k;
+    cl3 = local3 k;
     n_ir = 0;
     n_fr = 0;
     n_iarr = 0;
     n_farr = 0;
     parr_lens_i = [];
     parr_lens_f = [];
+    n_ilarr = 0;
+    n_flarr = 0;
+    larr_lens_i = [];
+    larr_lens_f = [];
   }
 
 let scalar_slot cenv name (ty : ty) =
@@ -95,14 +118,39 @@ let parr_slot cenv name (ty : ty) len =
       Hashtbl.replace cenv.slots name s;
       s
 
+let larr_slot cenv name (ty : ty) len =
+  match Hashtbl.find_opt cenv.slots name with
+  | Some ((Int_larr _ | Real_larr _) as s) -> s
+  | Some _ -> failwith (Printf.sprintf "jit: %s redeclared as local array" name)
+  | None ->
+      let s =
+        match ty with
+        | Int ->
+            let s = Int_larr (cenv.n_ilarr, len) in
+            cenv.n_ilarr <- cenv.n_ilarr + 1;
+            cenv.larr_lens_i <- len :: cenv.larr_lens_i;
+            s
+        | Real ->
+            let s = Real_larr (cenv.n_flarr, len) in
+            cenv.n_flarr <- cenv.n_flarr + 1;
+            cenv.larr_lens_f <- len :: cenv.larr_lens_f;
+            s
+      in
+      Hashtbl.replace cenv.slots name s;
+      s
+
 (* Pre-scan: declare every local so that type queries during expression
    compilation always succeed (C requires declaration before use, and the
    code generator respects that, but the pre-scan keeps the compiler
    single-pass per expression). *)
 let rec scan_stmt cenv = function
-  | Comment _ | Assign _ | Store _ -> ()
+  | Comment _ | Assign _ | Store _ | Barrier -> ()
   | Decl (ty, v, _) -> ignore (scalar_slot cenv v ty)
   | Decl_arr (ty, v, n) -> ignore (parr_slot cenv v ty n)
+  | Decl_local (ty, v, n) ->
+      (* flat model: a local array of a singleton group is private *)
+      if cenv.cgrouped then ignore (larr_slot cenv v ty n)
+      else ignore (parr_slot cenv v ty n)
   | If (_, t, f) ->
       List.iter (scan_stmt cenv) t;
       List.iter (scan_stmt cenv) f
@@ -112,7 +160,8 @@ let rec scan_stmt cenv = function
 
 let type_of cenv (e : expr) : ty =
   let rec go = function
-    | Int_lit _ | Global_id _ | Global_size _ -> Int
+    | Int_lit _ | Global_id _ | Global_size _ | Group_id _ | Local_id _ | Local_size _ ->
+        Int
     | Real_lit _ -> Real
     | Var v -> (
         match Hashtbl.find_opt cenv.slots v with
@@ -122,8 +171,8 @@ let type_of cenv (e : expr) : ty =
         | None -> failwith (Printf.sprintf "jit: unbound variable %s" v))
     | Load (b, _) -> (
         match Hashtbl.find_opt cenv.slots b with
-        | Some (Int_gbuf _ | Int_parr _) -> Int
-        | Some (Real_gbuf _ | Real_parr _) -> Real
+        | Some (Int_gbuf _ | Int_parr _ | Int_larr _) -> Int
+        | Some (Real_gbuf _ | Real_parr _ | Real_larr _) -> Real
         | Some _ -> failwith (Printf.sprintf "jit: %s is not an array" b)
         | None -> failwith (Printf.sprintf "jit: unbound buffer %s" b))
     | Unop (To_real, _) -> Real
@@ -163,6 +212,13 @@ and compile_int cenv (e : expr) : rt -> int =
   | Real_lit _ -> failwith "jit: real literal in int context"
   | Global_id d -> fun rt -> rt.gid.(d)
   | Global_size d -> fun rt -> rt.gsize.(d)
+  | Group_id d ->
+      (* flat model: every work-item is its own singleton group *)
+      if cenv.cgrouped then fun rt -> rt.wg.(d) else fun rt -> rt.gid.(d)
+  | Local_id d -> if cenv.cgrouped then fun rt -> rt.lid.(d) else fun _ -> 0
+  | Local_size d ->
+      let n = if cenv.cgrouped && d < 3 then cenv.cl3.(d) else 1 in
+      fun _ -> n
   | Var v -> (
       match Hashtbl.find cenv.slots v with
       | Int_reg s -> fun rt -> rt.ir.(s)
@@ -172,6 +228,7 @@ and compile_int cenv (e : expr) : rt -> int =
       match Hashtbl.find cenv.slots b with
       | Int_gbuf s -> fun rt -> rt.ibuf.(s).(fi rt)
       | Int_parr (s, _) -> fun rt -> rt.iarr.(s).(fi rt)
+      | Int_larr (s, _) -> fun rt -> rt.ilarr.(s).(fi rt)
       | _ -> failwith (Printf.sprintf "jit: %s not an int array" b))
   | Unop (Neg, a) ->
       let fa = compile_int cenv a in
@@ -248,6 +305,7 @@ and compile_real cenv (e : expr) : rt -> float =
       match Hashtbl.find cenv.slots b with
       | Real_gbuf s -> fun rt -> rt.fbuf.(s).(fi rt)
       | Real_parr (s, _) -> fun rt -> rt.farr.(s).(fi rt)
+      | Real_larr (s, _) -> fun rt -> rt.flarr.(s).(fi rt)
       | _ -> failwith (Printf.sprintf "jit: %s not a real array" b))
   | Unop (Neg, a) ->
       let fa = compile_real cenv a in
@@ -280,7 +338,8 @@ and compile_real cenv (e : expr) : rt -> float =
       | Div -> fun rt -> fa rt /. fb rt
       | Mod -> fun rt -> Float.rem (fa rt) (fb rt) (* C fmod *)
       | _ -> failwith "jit: non-arithmetic real binop")
-  | Int_lit _ | Global_id _ | Global_size _ | Unop ((Not | To_int), _) ->
+  | Int_lit _ | Global_id _ | Global_size _ | Group_id _ | Local_id _ | Local_size _
+  | Unop ((Not | To_int), _) ->
       failwith "jit: int expression in real context"
 
 let rec compile_stmt cenv ~round_store (s : stmt) : rt -> unit =
@@ -308,6 +367,18 @@ let rec compile_stmt cenv ~round_store (s : stmt) : rt -> unit =
       | Int_parr (s, len) -> fun rt -> Array.fill rt.iarr.(s) 0 len 0
       | Real_parr (s, len) -> fun rt -> Array.fill rt.farr.(s) 0 len 0.
       | _ -> assert false)
+  | Decl_local (ty, v, n) -> (
+      if cenv.cgrouped then
+        (* allocated and zeroed once per group by the group scheduler *)
+        fun _ -> ()
+      else
+        match parr_slot cenv v ty n with
+        | Int_parr (s, len) -> fun rt -> Array.fill rt.iarr.(s) 0 len 0
+        | Real_parr (s, len) -> fun rt -> Array.fill rt.farr.(s) 0 len 0.
+        | _ -> assert false)
+  | Barrier ->
+      if cenv.cgrouped then fun _ -> Effect.perform Barrier_hit
+      else fun _ -> () (* flat model: singleton groups need no sync *)
   | Assign (v, e) -> (
       match Hashtbl.find_opt cenv.slots v with
       | Some (Int_reg s) ->
@@ -333,6 +404,13 @@ let rec compile_stmt cenv ~round_store (s : stmt) : rt -> unit =
       | Some (Real_parr (s, _)) ->
           let f = as_real cenv e in
           fun rt -> rt.farr.(s).(fi rt) <- f rt
+      | Some (Int_larr (s, _)) ->
+          let f = as_int cenv e in
+          fun rt -> rt.ilarr.(s).(fi rt) <- f rt
+      | Some (Real_larr (s, _)) ->
+          (* local arrays hold full doubles at either precision *)
+          let f = as_real cenv e in
+          fun rt -> rt.flarr.(s).(fi rt) <- f rt
       | _ -> failwith (Printf.sprintf "jit: store to unbound %s" b))
   | If (c, t, f) ->
       let fc = as_int cenv c in
@@ -380,7 +458,7 @@ type compiled = {
 
 (* Compile a kernel once; the result can be launched many times. *)
 let compile (k : kernel) : compiled =
-  let cenv = fresh_cenv () in
+  let cenv = fresh_cenv k in
   let n_ibuf = ref 0 and n_fbuf = ref 0 in
   let bindings =
     List.map
@@ -411,14 +489,20 @@ let compile (k : kernel) : compiled =
   let body = compile_body cenv ~round_store k.body in
   let parr_i = Array.of_list (List.rev cenv.parr_lens_i) in
   let parr_f = Array.of_list (List.rev cenv.parr_lens_f) in
+  let larr_i = Array.of_list (List.rev cenv.larr_lens_i) in
+  let larr_f = Array.of_list (List.rev cenv.larr_lens_f) in
   let make_rt () =
     {
       gid = Array.make 3 0;
       gsize = Array.make 3 1;
+      lid = Array.make 3 0;
+      wg = Array.make 3 0;
       ir = Array.make (max 1 cenv.n_ir) 0;
       fr = Array.make (max 1 cenv.n_fr) 0.;
       iarr = Array.map (fun n -> Array.make n 0) parr_i;
       farr = Array.map (fun n -> Array.make n 0.) parr_f;
+      ilarr = Array.map (fun n -> Array.make n 0) larr_i;
+      flarr = Array.map (fun n -> Array.make n 0.) larr_f;
       ibuf = [||];
       fbuf = [||];
     }
@@ -484,7 +568,101 @@ let run_range (c : compiled) (rt : rt) ~dim ~lo ~hi =
     done
   done
 
+(* {2 Work-group execution}
+
+   Grouped kernels run one work-group at a time.  Each work-item of the
+   group gets its own rt (private registers and scratch), all sharing
+   the global buffers and one set of group-local arrays; barriers
+   suspend work-item fibers until the whole group arrives, then resume
+   them in local-id order — the same schedule as [Exec]. *)
+
+type wi_state =
+  | Wi_done
+  | Wi_barrier of (unit, wi_state) Effect.Deep.continuation
+
+let step_fiber (f : unit -> unit) : wi_state =
+  Effect.Deep.match_with f ()
+    {
+      retc = (fun () -> Wi_done);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Barrier_hit ->
+              Some (fun (kont : (a, wi_state) Effect.Deep.continuation) -> Wi_barrier kont)
+          | _ -> None);
+    }
+
+(* Number of work-groups of a grouped kernel's launch; validates that
+   the NDRange divides by the work-group size. *)
+let group_count (c : compiled) ~(global : int list) =
+  let gsize = Array.make 3 1 in
+  List.iteri (fun d n -> gsize.(d) <- n) global;
+  let g = group_counts c.kernel ~global:gsize in
+  g.(0) * g.(1) * g.(2)
+
+(* One rt per work-item of a group (lane 0 is [rt0]), group-local
+   arrays shared across the group. *)
+let group_rts (c : compiled) (rt0 : rt) : rt array =
+  let l = local3 c.kernel in
+  let nwi = l.(0) * l.(1) * l.(2) in
+  Array.init nwi (fun lid ->
+      if lid = 0 then rt0
+      else begin
+        let rt = clone_rt c rt0 in
+        rt.ilarr <- rt0.ilarr;
+        rt.flarr <- rt0.flarr;
+        rt
+      end)
+
+(* Run work-groups with linear indices [lo, hi) (row-major z/y/x group
+   order) on one set of per-work-item rts. *)
+let run_group_range (c : compiled) (rts : rt array) ~lo ~hi =
+  let l = local3 c.kernel in
+  let groups = group_counts c.kernel ~global:rts.(0).gsize in
+  let l0 = l.(0) and l1 = l.(1) in
+  let shared_i = rts.(0).ilarr and shared_f = rts.(0).flarr in
+  for g = lo to hi - 1 do
+    let wx = g mod groups.(0) in
+    let wy = g / groups.(0) mod groups.(1) in
+    let wz = g / (groups.(0) * groups.(1)) in
+    Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) shared_i;
+    Array.iter (fun a -> Array.fill a 0 (Array.length a) 0.) shared_f;
+    Array.iteri
+      (fun lid rt ->
+        let lx = lid mod l0 and ly = lid / l0 mod l1 and lz = lid / (l0 * l1) in
+        rt.lid.(0) <- lx;
+        rt.lid.(1) <- ly;
+        rt.lid.(2) <- lz;
+        rt.wg.(0) <- wx;
+        rt.wg.(1) <- wy;
+        rt.wg.(2) <- wz;
+        rt.gid.(0) <- (wx * l0) + lx;
+        rt.gid.(1) <- (wy * l1) + ly;
+        rt.gid.(2) <- (wz * l.(2)) + lz)
+      rts;
+    let states = Array.map (fun rt -> step_fiber (fun () -> c.body rt)) rts in
+    let all p = Array.for_all p states in
+    let finished = ref (all (fun s -> s = Wi_done)) in
+    while not !finished do
+      if not (all (fun s -> s <> Wi_done)) then
+        failwith
+          (Printf.sprintf
+             "jit: kernel %s: barrier divergence in work-group (%d,%d,%d)" c.kernel.name
+             wx wy wz);
+      Array.iteri
+        (fun i s ->
+          match s with
+          | Wi_barrier kont -> states.(i) <- Effect.Deep.continue kont ()
+          | Wi_done -> assert false)
+        states;
+      finished := all (fun s -> s = Wi_done)
+    done
+  done
+
 (* Launch a compiled kernel over the full NDRange, sequentially. *)
 let launch (c : compiled) ~(args : Args.t list) ~(global : int list) =
   let rt = bind c ~args ~global in
-  run_range c rt ~dim:2 ~lo:0 ~hi:rt.gsize.(2)
+  if grouped c.kernel then
+    run_group_range c (group_rts c rt) ~lo:0 ~hi:(group_count c ~global)
+  else run_range c rt ~dim:2 ~lo:0 ~hi:rt.gsize.(2)

@@ -53,4 +53,27 @@ val clone_rt : compiled -> rt -> rt
 
 val run_range : compiled -> rt -> dim:int -> lo:int -> hi:int -> unit
 (** Run the kernel body with NDRange dimension [dim] restricted to
-    [lo, hi) (half-open); other dimensions run in full. *)
+    [lo, hi) (half-open); other dimensions run in full.  Flat kernels
+    only — grouped kernels partition over {!run_group_range}. *)
+
+(** {2 Work-group execution}
+
+    Grouped kernels (non-empty [local_size]) run one work-group at a
+    time: every work-item is a fiber, barriers suspend it until the
+    whole group arrives, and the group resumes in local-id order — the
+    same schedule as [Exec].  Work-groups are independent, so parallel
+    engines partition the linear group range. *)
+
+val group_count : compiled -> global:int list -> int
+(** Number of work-groups in a launch over [global].
+    @raise Invalid_argument when the NDRange does not divide by the
+    kernel's work-group size. *)
+
+val group_rts : compiled -> rt -> rt array
+(** One rt per work-item of a group (lane 0 is the argument), sharing
+    global buffers and one set of group-local arrays. *)
+
+val run_group_range : compiled -> rt array -> lo:int -> hi:int -> unit
+(** Run work-groups with linear indices [lo, hi) (row-major z/y/x group
+    order).  Group-local arrays are re-zeroed per group.
+    @raise Failure on barrier divergence within a work-group. *)

@@ -279,4 +279,7 @@ let launch (c : compiled) ~(args : Args.t list) ~(global : int list) =
     c.bindings args;
   let gsz = [| 1; 1; 1 |] in
   List.iteri (fun d n -> gsz.(d) <- n) global;
+  (* the compiled group loops truncate-divide the NDRange, so reject a
+     non-dividing launch here like the other engines *)
+  if Cast.grouped c.kernel then ignore (Cast.group_counts c.kernel ~global:gsz);
   launch_packet { pk_fn = c.fn; pk_fb = fb; pk_ib = ib; pk_isc = isc; pk_fsc = fsc; pk_gsz = gsz }

@@ -47,11 +47,17 @@ type breakdown = {
       (** effective traffic of the optimized AST, which is what the
           runtime dispatches *)
   flops_per_point : float;  (** flops of the optimized AST *)
+  local_bytes_per_point : float;
+      (** traffic in the on-chip [__local] tier (LDS / shared memory);
+          priced at [Device.local_bw_ratio] times DRAM bandwidth, so a
+          tiled kernel that stages planes locally prices differently
+          from the flat kernel it replaces *)
   raw_bytes_per_point : float;
       (** same traffic measure on the unoptimized AST, for comparison *)
   raw_flops_per_point : float;  (** flops of the unoptimized AST *)
   mem_time_s : float;
   flop_time_s : float;
+  local_time_s : float;  (** time under the local-memory roofline arm *)
   launch_s : float;
   total_s : float;
 }

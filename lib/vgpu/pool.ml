@@ -153,10 +153,37 @@ let outer_dim (global_size : int list) =
 
 (* Launch a compiled kernel over [global] work-items using up to
    [domains] domains from [pool] (default: the process-wide pool). *)
+(* Grouped kernels partition over the linear work-group range instead
+   of an NDRange dimension: a work-group synchronises internally at
+   barriers, so it must never be split across domains.  Chunks are
+   whole groups; groups are independent, so any claim order is
+   bit-identical to the sequential schedule. *)
+let launch_grouped ~pool ~workers (c : Jit.compiled) rt0 ~total =
+  let chunks = min total (workers * 4) in
+  let next = Atomic.make 0 in
+  run pool ~n:workers (fun i ->
+      let rt = if i = 0 then rt0 else Jit.clone_rt c rt0 in
+      let rts = Jit.group_rts c rt in
+      let rec drain () =
+        let k = Atomic.fetch_and_add next 1 in
+        if k < chunks then begin
+          Jit.run_group_range c rts ~lo:(k * total / chunks) ~hi:((k + 1) * total / chunks);
+          drain ()
+        end
+      in
+      drain ())
+
 let launch ?(pool = global) ~domains (c : Jit.compiled) ~(args : Args.t list)
     ~(global : int list) =
   let domains = max 1 domains in
   if domains = 1 then Jit.launch c ~args ~global
+  else if Kernel_ast.Cast.grouped c.kernel then begin
+    let total = Jit.group_count c ~global in
+    let workers = min domains total in
+    let rt0 = Jit.bind c ~args ~global in
+    if workers <= 1 then Jit.run_group_range c (Jit.group_rts c rt0) ~lo:0 ~hi:total
+    else launch_grouped ~pool ~workers c rt0 ~total
+  end
   else begin
     let rt0 = Jit.bind c ~args ~global in
     let dim = outer_dim global in

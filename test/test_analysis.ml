@@ -94,6 +94,7 @@ let test_loop_scaling () =
       precision = Double;
       params = [ param "a" Real; param ~kind:Scalar_param "n" Int ];
       global_size = [ Int_lit 1 ];
+      local_size = [];
       body =
         [
           for_ "i" ~from:(Int_lit 0) ~below:(Int_lit 5)

@@ -107,6 +107,7 @@ let racy_kernel =
     body = [ Store ("out", Global_id 0, Real_lit 1.0) ];
     precision = Double;
     global_size = [ Var "n"; Int_lit 4 ];
+    local_size = [];
   }
 
 let racy_env =
@@ -172,6 +173,7 @@ let off_by_one =
     body = [ Store ("out", Global_id 0 +: int_lit 1, Real_lit 2.0) ];
     precision = Double;
     global_size = [ Var "n" ];
+    local_size = [];
   }
 
 let test_off_by_one_both_legs () =
@@ -204,6 +206,7 @@ let test_exec_error_structure () =
       body = [ Store ("out", Global_id 0, Var "nope") ];
       precision = Double;
       global_size = [ Int_lit 2 ];
+      local_size = [];
     }
   in
   match Vgpu.Exec.launch bad ~args:[ Vgpu.Args.Buf (Vgpu.Buffer.F (Array.make 2 0.)) ] ~global:[ 2 ] with
@@ -242,6 +245,7 @@ let qcheck_static_safe_is_dynamically_clean =
           body = [ Store ("out", idx, Real_lit 1.0) ];
           precision = Double;
           global_size = [ Int_lit gx; Int_lit gy ];
+          local_size = [];
         }
       in
       let env = Check.env ~buffer_elems:(function "out" -> Some elems | _ -> None) () in

@@ -104,6 +104,7 @@ let gen_kernel : kernel QCheck.Gen.t =
     precision = Double;
     params = [ param "a" Real; param "out" Real; param "idx" Int ];
     global_size = [ Int_lit n_elems ];
+    local_size = [];
     body = Decl (Int, "gid", Some (Global_id 0)) :: body;
   }
 
@@ -154,6 +155,7 @@ let test_loop_and_private_array () =
       precision = Double;
       params = [ param "out" Real; param ~kind:Scalar_param "n" Int ];
       global_size = [ Int_lit 1 ];
+      local_size = [];
       body =
         [
           Decl_arr (Real, "tmp", 4);
@@ -183,6 +185,7 @@ let test_scalar_args_and_3d () =
       precision = Double;
       params = [ param "out" Real; param ~kind:Scalar_param "scale" Real ];
       global_size = [ Int_lit 2; Int_lit 3; Int_lit 2 ];
+      local_size = [];
       body =
         [
           Decl
@@ -205,7 +208,7 @@ let test_scalar_args_and_3d () =
 
 let test_arity_mismatch () =
   let k =
-    { name = "k"; precision = Double; params = [ param "a" Real ]; global_size = [ Int_lit 1 ]; body = [] }
+    { name = "k"; precision = Double; params = [ param "a" Real ]; global_size = [ Int_lit 1 ]; local_size = []; body = [] }
   in
   (match Vgpu.Jit.launch (Vgpu.Jit.compile k) ~args:[] ~global:[ 1 ] with
   | exception Invalid_argument _ -> ()
@@ -227,6 +230,7 @@ let test_real_mod_semantics () =
       precision = Double;
       params = [ param "out" Real ];
       global_size = [ Int_lit 1 ];
+      local_size = [];
       body =
         [ Store ("out", Int_lit 0,
                  (if ty = Real then Binop (Mod, lit a, lit b)
@@ -262,6 +266,7 @@ let test_single_precision_store_rounding () =
       precision;
       params = [ param "out" Real ];
       global_size = [ Int_lit 1 ];
+      local_size = [];
       body = [ Store ("out", Int_lit 0, Binop (Div, Real_lit 1., Real_lit 3.)) ];
     }
   in

@@ -26,5 +26,6 @@ let () =
       ("em extension", Test_em.suite);
       ("runtime & printing", Test_runtime_print.suite);
       ("native backend", Test_native.suite);
+      ("engine conformance", Engine_conformance.suite);
       ("audio", Test_audio.suite);
     ]

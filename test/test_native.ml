@@ -47,6 +47,7 @@ let torture_kernel ~precision =
         param ~kind:Scalar_param "shift" Int;
       ];
     global_size = [ Int_lit n ];
+    local_size = [];
     body =
       [
         Decl (Int, "g", Some (Global_id 0));
@@ -165,6 +166,7 @@ let moddiv_kernel =
         param ~kind:Scalar_param "y" Real;
       ];
     global_size = [ Int_lit 1 ];
+    local_size = [];
     body =
       [
         Store ("iout", Int_lit 0, Var "a" /: Var "b");
@@ -223,6 +225,7 @@ let unique_kernel () =
     precision = Double;
     params = [ param "out" Real ];
     global_size = [ Int_lit 8 ];
+    local_size = [];
     body =
       [
         Store
@@ -308,6 +311,7 @@ let test_opt_changes_cache_key () =
       precision = Double;
       params = [ param "iout" Int ];
       global_size = [ Int_lit 8 ];
+      local_size = [];
       body = [ Store ("iout", Global_id 0, Global_id 0 /: Int_lit 4) ];
     }
   in

@@ -62,6 +62,7 @@ let test_unroll_constant_trip () =
       precision = Double;
       params = [ param "out" Real ];
       global_size = [ Int_lit 1 ];
+      local_size = [];
       body =
         [
           Decl (Real, "acc", Some (Real_lit 0.));
@@ -96,6 +97,7 @@ let test_licm_hoists_invariant () =
       precision = Double;
       params = [ param "out" Real; param ~kind:Scalar_param "s" Real; param ~kind:Scalar_param "n" Int ];
       global_size = [ Int_lit 1 ];
+      local_size = [];
       body =
         [
           for_ "i" ~from:(Int_lit 0) ~below:(Var "n")
@@ -158,6 +160,7 @@ let test_strength_reduction_runtime () =
       precision = Double;
       params = [ param "out" Real ];
       global_size = [ Int_lit n ];
+      local_size = [];
       body;
     }
   in
@@ -196,6 +199,7 @@ let test_dce_removes_chains () =
       precision = Double;
       params = [ param "out" Real ];
       global_size = [ Int_lit 1 ];
+      local_size = [];
       body =
         [
           Decl (Real, "a", Some (Real_lit 1.5));

@@ -168,6 +168,7 @@ let probe_kernel =
     body = [ Store ("out", Global_id 0, Load ("dst", Global_id 0)) ];
     precision = Double;
     global_size = [ Var "n" ];
+    local_size = [];
   }
 
 let exchange_probe_plan ~waits : Vgpu.Multi.async_plan =

@@ -76,7 +76,7 @@ let rec disjoint_stmt (s : stmt) =
   | Store ("out", _, e) -> Store ("out", Var "gid", e)
   | If (c, t, f) -> If (c, List.map disjoint_stmt t, List.map disjoint_stmt f)
   | For l -> For { l with body = List.map disjoint_stmt l.body }
-  | Comment _ | Assign _ | Store _ | Decl _ | Decl_arr _ -> s
+  | Comment _ | Assign _ | Store _ | Decl _ | Decl_arr _ | Decl_local _ | Barrier -> s
 
 let arb_disjoint_kernel =
   QCheck.map
@@ -121,6 +121,7 @@ let test_partition_covers_ndrange () =
       precision = Double;
       params = [ param "out" Real ];
       global_size = [ Int_lit 4; Int_lit 3; Int_lit 5 ];
+      local_size = [];
       body =
         [
           Decl

@@ -9,6 +9,7 @@ let double_kernel =
     precision = Double;
     params = [ param "a" Real; param ~kind:Scalar_param "k" Real; param ~kind:Scalar_param "n" Int ];
     global_size = [ Var "n" ];
+    local_size = [];
     body =
       [
         Decl (Int, "i", Some (Global_id 0));
@@ -238,6 +239,58 @@ let test_printer () =
   let e2 = Cast.(Binop (Add, Var "a", Binop (Mul, Var "b", Var "c"))) in
   Alcotest.(check string) "no parens" "a + b * c" (Print.expr_to_string e2)
 
+(* The work-group tier through both renderers: the OpenCL printer must
+   produce the portable grouped-kernel surface (reqd_work_group_size,
+   __local declarations, barrier fences, the id builtin family) and the
+   native C emitter the POCL-style fissioned lowering (per-group loop
+   nest, widened per-work-item scalars, barrier segments as separate
+   local-id loops, a uniform while for the barrier-carrying z loop). *)
+let test_tiled_kernel_goldens () =
+  let k =
+    Lift_acoustics.Programs.tiled_volume ~precision:Cast.Double ~tile:(4, 2) ()
+  in
+  let ocl = Print.kernel_to_string k in
+  List.iter
+    (fun needle ->
+      if not (Test_util.contains ocl needle) then
+        Alcotest.failf "OpenCL for tiled kernel missing %S in:\n%s" needle ocl)
+    [
+      "__attribute__((reqd_work_group_size(4, 2, 1)))";
+      "__kernel void volume_tiled_4x2";
+      "__local double tile[24];";
+      "barrier(CLK_LOCAL_MEM_FENCE);";
+      "get_local_id(0)";
+      "get_local_id(1)";
+      "tile[(get_local_id(1) + 1) * 6 + (get_local_id(0) + 1)] = curr[";
+      "for (int z = 0; z < Nz; z = z + 1) {";
+    ];
+  let c = Native_c.kernel_source k in
+  List.iter
+    (fun needle ->
+      if not (Test_util.contains c needle) then
+        Alcotest.failf "native C for tiled kernel missing %S in:\n%s" needle c)
+    [
+      (* the local tile is one plain per-group array, cleared per group *)
+      "double tile[24];";
+      "memset(tile, 0, sizeof(tile));";
+      (* per-work-item registers are widened over the group *)
+      "double cb[8] = {0};";
+      "cb[rk_l] = ";
+      (* the group loop nest and the flattened local id *)
+      "for (int64_t rk_wg0 = 0; rk_wg0 < rk_gs0 / 4LL; rk_wg0++)";
+      "for (int64_t rk_l0 = 0; rk_l0 < 4LL; rk_l0++)";
+      "const int64_t rk_l = (rk_l2 * 2LL + rk_l1) * 4LL + rk_l0;";
+      (* the barrier-carrying z loop becomes a uniform while *)
+      "int64_t rk_it_z = 0LL;";
+      "while (rk_it_z < (Nz)) {";
+      "rk_it_z += 1LL;";
+    ];
+  (* no barrier survives as a statement: fission consumed them all *)
+  Alcotest.(check bool) "no barrier() call in C" false (Test_util.contains c "barrier(");
+  (* braces balance, as for the host emitter *)
+  let count s ch = String.fold_left (fun acc c -> if c = ch then acc + 1 else acc) 0 s in
+  Alcotest.(check int) "balanced braces" (count c '{') (count c '}')
+
 let test_simplify_examples () =
   let open Cast in
   let s e = Print.expr_to_string (simplify e) in
@@ -460,6 +513,7 @@ let suite =
     Alcotest.test_case "multi-device plans and stats merging" `Quick test_multi_devices;
     Alcotest.test_case "per-kernel launch stats" `Quick test_launch_stats;
     Alcotest.test_case "OpenCL printer" `Quick test_printer;
+    Alcotest.test_case "tiled kernel: OpenCL and native C goldens" `Quick test_tiled_kernel_goldens;
     Alcotest.test_case "expression simplifier" `Quick test_simplify_examples;
     Alcotest.test_case "standalone C emitter" `Quick test_emit_c;
     Alcotest.test_case "emitted host C compiles (stub OpenCL)" `Quick test_emit_c_compiles;
