@@ -78,7 +78,7 @@ let parse_tile s =
   | _ -> None
 
 let cmd_simulate shape nx ny nz scheme steps backend engine domains shards overlap
-    no_overlap no_opt show_stats sanitize verify tile =
+    no_overlap no_opt show_stats sanitize verify tile tuned =
   let params = Params.default in
   let dims = Geometry.dims ~nx ~ny ~nz in
   let n_materials = Array.length Material.defaults in
@@ -142,9 +142,43 @@ let cmd_simulate shape nx ny nz scheme steps backend engine domains shards overl
     | false, true -> Some `Seq
     | false, false -> None
   in
+  (* --tuned: run the plan the autotuner picked for this workload.  A
+     warm plan cache answers with zero measurements; a cold one runs the
+     search first.  The plan overrides --backend/--tile/--shards. *)
+  let tuned_plan =
+    if not tuned then None
+    else begin
+      let key =
+        Harness.Autotune.key ~engine ~precision ~n_branches:3 ~scheme ~shape ~dims
+      in
+      let plan =
+        match Harness.Plan_cache.find key with
+        | Some e -> e.Harness.Plan_cache.e_plan
+        | None ->
+            Fmt.epr "racs: no cached plan, tuning first (racs tune caches it)...@.";
+            (Harness.Autotune.tune ~engine ~precision ~scheme ~shape ~dims ())
+              .Harness.Autotune.r_entry
+              .Harness.Plan_cache.e_plan
+      in
+      Printf.printf "tuned plan: %s\n" (Harness.Autotune.plan_label plan);
+      Some plan
+    end
+  in
+  let kernels, shards, schedule, unroll_budget =
+    match tuned_plan with
+    | None -> (kernels, shards, schedule, None)
+    | Some p ->
+        ( Harness.Autotune.plan_kernels ~precision ~n_branches:3 ~scheme p,
+          (if p.Harness.Plan_cache.pl_shards > 1 then Some p.Harness.Plan_cache.pl_shards
+           else None),
+          (if p.Harness.Plan_cache.pl_shards > 1 then
+             Some (p.Harness.Plan_cache.pl_schedule :> Gpu_sim.schedule)
+           else None),
+          p.Harness.Plan_cache.pl_unroll )
+  in
   let sim =
-    Gpu_sim.create ~engine ~optimize:(not no_opt) ?shards ?schedule ~fi_beta:0.1
-      ~n_branches:3
+    Gpu_sim.create ~engine ~optimize:(not no_opt) ?unroll_budget ?shards ?schedule
+      ~fi_beta:0.1 ~n_branches:3
       ?verify:(if verify then Some true else None)
       ~sanitize params room
   in
@@ -430,9 +464,10 @@ let cmd_check shape nx ny nz precision engine =
     exit 1
 
 (* ------------------------------------------------------------------ *)
-(* racs tune: the paper's §VI protocol on any kernel/room/device *)
+(* racs tune: the measured autotuner (and, with --model, the paper's
+   §VI model-only work-group sweep it grew out of) *)
 
-let cmd_tune shape scheme =
+let cmd_tune_model shape scheme =
   let precision = Kernel_ast.Cast.Double in
   let betas = (Material.tables ~n_branches:3 Material.defaults).Material.t_beta in
   let kernel, kind =
@@ -443,14 +478,8 @@ let cmd_tune shape scheme =
     | "volume" -> (Hand_kernels.volume ~precision, Harness.Workloads.Volume)
     | s -> failwith (Printf.sprintf "unknown scheme %s (fi | volume | fi-mm | fd-mm)" s)
   in
-  Printf.printf "work-group tuning, %s kernel, %s rooms (model)
-
-" scheme
+  Printf.printf "work-group tuning, %s kernel, %s rooms (model)\n\n" scheme
     (Geometry.shape_label shape);
-  Printf.printf "%-12s %-6s" "device" "size";
-  List.iter (fun ls -> Printf.printf " %9s" (Printf.sprintf "ws=%d" ls)) Harness.Tuner.candidate_sizes;
-  Printf.printf " %6s
-" "best";
   List.iter
     (fun device ->
       List.iter
@@ -458,11 +487,139 @@ let cmd_tune shape scheme =
           let w = Harness.Workloads.workload kind shape dims in
           let r = Harness.Tuner.tune ~device kernel w in
           Printf.printf "%-12s %-6s" device.Vgpu.Device.name (Geometry.size_label dims);
-          List.iter (fun (_, t) -> Printf.printf " %8.3fms" (t *. 1e3)) r.Harness.Tuner.sweep;
-          Printf.printf " %6d
-" r.Harness.Tuner.best_size)
+          List.iter
+            (fun (ls, t) -> Printf.printf "  ws=%d:%.3fms" ls (t *. 1e3))
+            r.Harness.Tuner.sweep;
+          Printf.printf "  best=%d\n" r.Harness.Tuner.best_size)
         Geometry.paper_sizes)
     Vgpu.Device.all
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let tune_result_json (r : Harness.Autotune.result) =
+  let b = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let plan_json (pl : Harness.Plan_cache.plan) =
+    Printf.sprintf
+      "{ \"label\": \"%s\", \"tile\": %s, \"variant\": [%s], \"local\": %d, \
+       \"unroll\": %s, \"shards\": %d, \"schedule\": \"%s\" }"
+      (json_escape (Harness.Autotune.plan_label pl))
+      (match pl.Harness.Plan_cache.pl_tile with
+      | None -> "null"
+      | Some (w, h) -> Printf.sprintf "[%d, %d]" w h)
+      (String.concat ", "
+         (List.map
+            (fun rname -> Printf.sprintf "\"%s\"" (json_escape rname))
+            pl.Harness.Plan_cache.pl_variant))
+      pl.Harness.Plan_cache.pl_local
+      (match pl.Harness.Plan_cache.pl_unroll with
+      | None -> "null"
+      | Some n -> string_of_int n)
+      pl.Harness.Plan_cache.pl_shards
+      (match pl.Harness.Plan_cache.pl_schedule with
+      | `Seq -> "seq"
+      | `Concurrent -> "concurrent"
+      | `Overlap -> "overlap")
+  in
+  let k = r.Harness.Autotune.r_key in
+  let x, y, z = k.Harness.Plan_cache.k_dims in
+  let e = r.Harness.Autotune.r_entry in
+  p "{\n";
+  p "  \"bench\": \"autotune\",\n";
+  p "  \"key\": { \"scheme\": %S, \"shape\": %S, \"dims\": [%d, %d, %d], \
+     \"precision\": %S, \"device\": %S, \"engine\": %S, \"digest\": %S },\n"
+    k.Harness.Plan_cache.k_scheme k.Harness.Plan_cache.k_shape x y z
+    k.Harness.Plan_cache.k_precision k.Harness.Plan_cache.k_device
+    k.Harness.Plan_cache.k_engine k.Harness.Plan_cache.k_digest;
+  p "  \"from_cache\": %b,\n" r.Harness.Autotune.r_from_cache;
+  p "  \"candidates\": %d,\n" r.Harness.Autotune.r_candidates;
+  p "  \"measurements\": %d,\n" r.Harness.Autotune.r_measurements;
+  p "  \"winner\": %s,\n" (plan_json e.Harness.Plan_cache.e_plan);
+  p "  \"winner_predicted_ns\": %.0f,\n" (e.Harness.Plan_cache.e_predicted_s *. 1e9);
+  p "  \"winner_measured_ns\": %.0f,\n" (e.Harness.Plan_cache.e_measured_s *. 1e9);
+  p "  \"default_measured_ns\": %.0f,\n" (e.Harness.Plan_cache.e_default_s *. 1e9);
+  p "  \"samples\": %d,\n" e.Harness.Plan_cache.e_samples;
+  p "  \"evaluated\": [\n";
+  let n = List.length r.Harness.Autotune.r_evaluated in
+  List.iteri
+    (fun i (m : Harness.Autotune.measured) ->
+      p
+        "    { \"plan\": %s, \"predicted_ns\": %.0f, \"measured_ns\": %.0f, \
+         \"bit_identical\": %b }%s\n"
+        (plan_json m.Harness.Autotune.m_plan)
+        (m.Harness.Autotune.m_predicted_s *. 1e9)
+        (m.Harness.Autotune.m_measured_s *. 1e9)
+        m.Harness.Autotune.m_identical
+        (if i = n - 1 then "" else ","))
+    r.Harness.Autotune.r_evaluated;
+  p "  ]\n}\n";
+  Buffer.contents b
+
+let cmd_tune shape scheme nx ny nz engine domains json smoke no_cache model
+    max_shards topk repeats steps warmup tune_domains explore_depth =
+  if model then cmd_tune_model shape scheme
+  else begin
+    let engine : Harness.Autotune.engine =
+      match engine with
+      | `Interp -> `Interp
+      | `Jit -> `Jit
+      | `Jit_parallel -> `Jit_parallel domains
+      | `Native -> `Native
+    in
+    (* --smoke: a small room and short measurement intervals — enough to
+       exercise the full pipeline (and warm the cache) in CI seconds *)
+    let dims, topk, repeats, steps, warmup, explore_depth =
+      if smoke then (Geometry.dims ~nx:16 ~ny:12 ~nz:10, 4, 2, 4, 1, 1)
+      else (Geometry.dims ~nx ~ny ~nz, topk, repeats, steps, warmup, explore_depth)
+    in
+    let r =
+      Harness.Autotune.tune ~engine ~topk ~warmup ~repeats ~steps ~max_shards
+        ~domains:tune_domains ~use_cache:(not no_cache) ~explore_depth ~scheme
+        ~shape ~dims ()
+    in
+    if json then print_string (tune_result_json r)
+    else begin
+      let e = r.Harness.Autotune.r_entry in
+      Printf.printf
+        "autotune: %s %s %dx%dx%d (%s engine): %d candidates, %d pruned in, %d measured%s\n"
+        scheme (Geometry.shape_label shape) dims.Geometry.nx dims.Geometry.ny
+        dims.Geometry.nz
+        (Harness.Autotune.engine_label engine)
+        r.Harness.Autotune.r_candidates
+        (List.length r.Harness.Autotune.r_evaluated)
+        r.Harness.Autotune.r_measurements
+        (if r.Harness.Autotune.r_from_cache then " (warm plan cache)" else "");
+      if r.Harness.Autotune.r_evaluated <> [] then begin
+        Printf.printf "%-44s %14s %14s %6s\n" "plan" "predicted ns" "measured ns" "ident";
+        List.iter
+          (fun (m : Harness.Autotune.measured) ->
+            Printf.printf "%-44s %14.0f %14.0f %6b\n"
+              (Harness.Autotune.plan_label m.Harness.Autotune.m_plan)
+              (m.Harness.Autotune.m_predicted_s *. 1e9)
+              (m.Harness.Autotune.m_measured_s *. 1e9)
+              m.Harness.Autotune.m_identical)
+          r.Harness.Autotune.r_evaluated
+      end;
+      Printf.printf "winner: %s\n"
+        (Harness.Autotune.plan_label e.Harness.Plan_cache.e_plan);
+      Printf.printf
+        "  measured %.0f ns/step vs default %.0f ns/step (%.2fx), predicted %.0f ns/step\n"
+        (e.Harness.Plan_cache.e_measured_s *. 1e9)
+        (e.Harness.Plan_cache.e_default_s *. 1e9)
+        (e.Harness.Plan_cache.e_measured_s /. e.Harness.Plan_cache.e_default_s)
+        (e.Harness.Plan_cache.e_predicted_s *. 1e9);
+      if not no_cache then
+        Printf.printf "plan cache: %s\n" (Harness.Plan_cache.cache_dir ())
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 
@@ -570,11 +727,20 @@ let simulate_cmd =
             "run the volume kernel through the work-group execution tier: a 2.5D-tiled \
              stencil staging WxH tiles of curr in local memory (bit-identical results)")
   in
+  let tuned =
+    Arg.(
+      value & flag
+      & info [ "tuned" ]
+          ~doc:
+            "run the autotuner's cached best plan for this workload (kernel form, \
+             unroll budget, shards, schedule — overrides --backend/--tile/--shards); \
+             tunes first if the plan cache is cold")
+  in
   Cmd.v (Cmd.info "simulate" ~doc:"Run an impulse-response simulation")
     Term.(
       const cmd_simulate $ shape $ nx $ ny $ nz $ scheme $ steps $ backend $ engine
       $ domains $ shards $ overlap $ no_overlap $ no_opt_arg $ stats $ sanitize $ verify
-      $ tile)
+      $ tile $ tuned)
 
 let experiments_cmd =
   let which = Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT") in
@@ -620,10 +786,90 @@ let check_cmd =
 
 let tune_cmd =
   let shape = Arg.(value & opt shape_conv Geometry.Box & info [ "shape" ] ~doc:"box, dome or l-shape") in
-  let scheme = Arg.(value & opt string "fd-mm" & info [ "scheme" ] ~doc:"fi | volume | fi-mm | fd-mm") in
+  let scheme = Arg.(value & opt string "fd-mm" & info [ "scheme" ] ~doc:"fi | fi-mm | fd-mm (--model also: volume)") in
+  let nx = Arg.(value & opt int 24 & info [ "nx" ]) in
+  let ny = Arg.(value & opt int 20 & info [ "ny" ]) in
+  let nz = Arg.(value & opt int 16 & info [ "nz" ]) in
+  let engine_conv =
+    Arg.conv
+      ( (function
+        | "interp" -> Ok `Interp
+        | "jit" -> Ok `Jit
+        | "jit-parallel" -> Ok `Jit_parallel
+        | "native" -> Ok `Native
+        | s -> Error (`Msg (Printf.sprintf "unknown engine %s" s))),
+        fun ppf e ->
+          Fmt.string ppf
+            (match e with
+            | `Interp -> "interp"
+            | `Jit -> "jit"
+            | `Jit_parallel -> "jit-parallel"
+            | `Native -> "native") )
+  in
+  let engine =
+    Arg.(
+      value & opt engine_conv `Native
+      & info [ "engine" ] ~doc:"engine to measure on: interp, jit, jit-parallel or native")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt int (Domain.recommended_domain_count ())
+      & info [ "domains" ] ~doc:"domains for --engine jit-parallel")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"machine-readable JSON on stdout") in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"small room, short measurement intervals — the CI configuration")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"bypass the plan cache: always search, never persist")
+  in
+  let model =
+    Arg.(
+      value & flag
+      & info [ "model" ]
+          ~doc:
+            "model-only work-group sweep per paper device and room (the paper §VI \
+             protocol; no measurement, no cache)")
+  in
+  let max_shards =
+    Arg.(value & opt int 2 & info [ "max-shards" ] ~doc:"largest shard count to consider")
+  in
+  let topk =
+    Arg.(value & opt int 8 & info [ "topk" ] ~doc:"candidates surviving the model pruning")
+  in
+  let repeats =
+    Arg.(value & opt int 5 & info [ "repeats" ] ~doc:"timed intervals per candidate (median)")
+  in
+  let steps = Arg.(value & opt int 20 & info [ "steps" ] ~doc:"simulation steps per interval") in
+  let warmup = Arg.(value & opt int 2 & info [ "warmup" ] ~doc:"untimed warmup steps") in
+  let tune_domains =
+    Arg.(
+      value & opt int 1
+      & info [ "tune-domains" ]
+          ~doc:"measure candidates in parallel over this many OCaml domains")
+  in
+  let explore_depth =
+    Arg.(
+      value & opt int 2
+      & info [ "explore-depth" ]
+          ~doc:"rewrite-exploration depth for variant candidates (0 disables)")
+  in
   Cmd.v
-    (Cmd.info "tune" ~doc:"Sweep work-group sizes per device and room (paper §VI protocol)")
-    Term.(const cmd_tune $ shape $ scheme)
+    (Cmd.info "tune"
+       ~doc:
+         "Measured autotuning over kernel form x unroll budget x work-group size x \
+          shards x schedule, with a persistent best-plan cache (racs simulate --tuned \
+          replays the winner)")
+    Term.(
+      const cmd_tune $ shape $ scheme $ nx $ ny $ nz $ engine $ domains $ json $ smoke
+      $ no_cache $ model $ max_shards $ topk $ repeats $ steps $ warmup $ tune_domains
+      $ explore_depth)
 
 let emit_c_cmd =
   Cmd.v

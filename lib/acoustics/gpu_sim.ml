@@ -91,13 +91,16 @@ let runtime_engine : engine -> Vgpu.Runtime.engine = function
   | `Jit_parallel domains -> Vgpu.Runtime.Jit_parallel { domains }
   | `Native -> Vgpu.Runtime.Native
 
-let create ?(engine = `Jit) ?(optimize = true) ?(fi_beta = 0.1)
+let create ?(engine = `Jit) ?(optimize = true) ?unroll_budget ?(fi_beta = 0.1)
     ?(materials = Material.defaults) ?(n_branches = 3) ?shards ?schedule ?(precision = Double)
     ?verify ?(sanitize = false) params room =
   let re = runtime_engine engine in
   let backend =
     match shards with
-    | None -> Single (Vgpu.Runtime.create ~engine:re ~optimize ~precision ?verify ~sanitize ())
+    | None ->
+        Single
+          (Vgpu.Runtime.create ~engine:re ~optimize ?unroll_budget ~precision
+             ?verify ~sanitize ())
     | Some n ->
         let plan = Shard.plan ~n_branches ~shards:n room in
         let devices = Shard.n_shards plan in
@@ -117,7 +120,8 @@ let create ?(engine = `Jit) ?(optimize = true) ?(fi_beta = 0.1)
         Sharded
           {
             multi =
-              Vgpu.Multi.create ~engine:re ~optimize ~precision ?verify ~sanitize ~devices ();
+              Vgpu.Multi.create ~engine:re ~optimize ?unroll_budget ~precision
+                ?verify ~sanitize ~devices ();
             plan;
             sstates = Shard.create_states plan;
             schedule;

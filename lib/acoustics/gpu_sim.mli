@@ -75,6 +75,7 @@ type t = {
 val create :
   ?engine:engine ->
   ?optimize:bool ->
+  ?unroll_budget:int ->
   ?fi_beta:float ->
   ?materials:Material.t array ->
   ?n_branches:int ->

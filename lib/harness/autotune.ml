@@ -1,0 +1,514 @@
+(* Measured rewrite-space autotuner.
+
+   [Tuner] sweeps one knob through the performance model; this module
+   searches the full configuration space the runtime actually exposes —
+
+     volume-kernel form (flat | 2.5D tile | Explore rewrite variant)
+     x Opt unroll budget x work-group size x shard count x schedule
+
+   — and decides by *measurement*, because BENCH_PR7 showed the model
+   picking the wrong side of a 1.6-2x measured regression (the tiled
+   kernel on the native engine).  The pipeline:
+
+     1. enumerate plans from [Lift.Explore] variants + runtime knobs;
+     2. prune to a top-k frontier with [Perf_model] predictions,
+        corrected by any persisted calibration factors;
+     3. measure the survivors on the requested engine with
+        warmup/repeat/median timing (in parallel across OCaml domains on
+        request — each candidate owns its virtual devices, so
+        measurements only contend for host cores);
+     4. persist the measured-best plan in [Plan_cache] so a warm rerun
+        (or [racs simulate --tuned]) needs zero measurements;
+     5. feed measured-vs-predicted ratios back into the calibration
+        table, sharpening later pruning.
+
+   Every measured candidate runs the same step count from the same
+   impulse, and its final field must be bit-identical to the default
+   plan's — a candidate that diverges is reported but can never win, so
+   a cached plan never changes simulation results. *)
+
+open Acoustics
+
+type engine = [ `Interp | `Jit | `Jit_parallel of int | `Native ]
+
+type measured = {
+  m_plan : Plan_cache.plan;
+  m_predicted_s : float;  (* calibrated model time per step *)
+  m_measured_s : float;  (* median measured time per step *)
+  m_identical : bool;  (* output bit-identical to the default plan *)
+}
+
+type result = {
+  r_key : Plan_cache.key;
+  r_entry : Plan_cache.entry;  (* the winning plan and its numbers *)
+  r_evaluated : measured list;  (* every candidate measured, eval order *)
+  r_candidates : int;  (* plans enumerated before model pruning *)
+  r_measurements : int;  (* candidates actually measured (0 = warm cache) *)
+  r_from_cache : bool;
+}
+
+(* -- Labels ----------------------------------------------------------- *)
+
+let engine_label : engine -> string = function
+  | `Interp -> "interp"
+  | `Jit -> "jit"
+  | `Jit_parallel n -> Printf.sprintf "jit-parallel-%d" n
+  | `Native -> "native"
+
+let precision_label = function
+  | Kernel_ast.Cast.Single -> "single"
+  | Kernel_ast.Cast.Double -> "double"
+
+let plan_label (p : Plan_cache.plan) =
+  let vol =
+    match (p.pl_tile, p.pl_variant) with
+    | Some (w, h), _ -> Printf.sprintf "tile%dx%d" w h
+    | None, [] -> "flat"
+    | None, trace -> "rw:" ^ String.concat "," trace
+  in
+  Printf.sprintf "%s ls=%d unroll=%s shards=%d/%s" vol p.pl_local
+    (match p.pl_unroll with None -> "default" | Some n -> string_of_int n)
+    p.pl_shards
+    (match p.pl_schedule with
+    | `Seq -> "seq"
+    | `Concurrent -> "concurrent"
+    | `Overlap -> "overlap")
+
+(* -- Kernel construction ---------------------------------------------- *)
+
+let betas n_branches =
+  (Material.tables ~n_branches Material.defaults).Material.t_beta
+
+(* The volume kernel a plan runs.  A rewrite-variant plan replays its
+   rule trace over the Lift volume program ([Explore.replay] is exact),
+   lowers and compiles it — named distinctly so calibration and stats
+   never conflate it with the hand-written kernel. *)
+let volume_kernel ~precision (p : Plan_cache.plan) =
+  match (p.pl_tile, p.pl_variant) with
+  | Some tile, _ -> Lift_acoustics.Programs.tiled_volume ~precision ~tile ()
+  | None, [] -> Hand_kernels.volume ~precision
+  | None, trace ->
+      let prog = Lift.Explore.replay ~trace (Lift_acoustics.Programs.volume ()) in
+      let lowered = Lift.Rewrite.lower_outer_map_to_glb prog in
+      (Lift.Codegen.compile_kernel ~name:"volume_rw" ~precision lowered)
+        .Lift.Codegen.kernel
+
+let boundary_kernel ~precision ~n_branches scheme =
+  match scheme with
+  | "fi" -> (Hand_kernels.boundary_fi ~precision, Workloads.Boundary 0)
+  | "fi-mm" ->
+      ( Hand_kernels.boundary_fi_mm ~precision ~betas:(betas n_branches),
+        Workloads.Boundary 0 )
+  | "fd-mm" ->
+      (Hand_kernels.boundary_fd_mm ~precision ~mb:n_branches, Workloads.Boundary n_branches)
+  | s -> invalid_arg (Printf.sprintf "Autotune: unknown scheme %S (fi | fi-mm | fd-mm)" s)
+
+let plan_kernels ~precision ~n_branches ~scheme (p : Plan_cache.plan) =
+  [ volume_kernel ~precision p; fst (boundary_kernel ~precision ~n_branches scheme) ]
+
+(* -- Cache key --------------------------------------------------------- *)
+
+(* The digest covers the code of every kernel form the search can pick,
+   so any codegen change invalidates persisted plans. *)
+let code_digest ~precision ~n_branches ~scheme =
+  let prints =
+    List.map Kernel_ast.Print.kernel_to_string
+      [
+        Hand_kernels.volume ~precision;
+        fst (boundary_kernel ~precision ~n_branches scheme);
+        Lift_acoustics.Programs.tiled_volume ~precision ~tile:(8, 8) ();
+      ]
+  in
+  (* alpha-insensitive: [Programs.volume]'s parameter names come from a
+     process-global gensym, so a printed AST would hash differently
+     depending on what compiled earlier in the process *)
+  let lift_src = Lift.Explore.key (Lift_acoustics.Programs.volume ()) in
+  Digest.to_hex (Digest.string (String.concat "\x00" ("racs-autotune-v1" :: lift_src :: prints)))
+
+let key ~(engine : engine) ~precision ~n_branches ~scheme ~shape
+    ~(dims : Geometry.dims) : Plan_cache.key =
+  {
+    Plan_cache.k_scheme = scheme;
+    k_shape = Geometry.shape_label shape;
+    k_dims = (dims.Geometry.nx, dims.Geometry.ny, dims.Geometry.nz);
+    k_precision = precision_label precision;
+    k_device = Vgpu.Device.host.Vgpu.Device.name;
+    k_engine = engine_label engine;
+    k_digest = code_digest ~precision ~n_branches ~scheme;
+  }
+
+(* -- Enumeration ------------------------------------------------------- *)
+
+(* Budgets bracketing Opt's default (512): 0 disables unrolling, 16384
+   unrolls everything in these kernels.  Both change the generated code,
+   which is what a measured win on a CPU host comes from. *)
+let default_unrolls = [ None; Some 0; Some 16384 ]
+let default_tiles = [ (4, 4); (8, 8); (16, 8) ]
+
+(* Every plan in the search space.  Work-group size is not a separate
+   axis: the virtual engines' wall clock is insensitive to it for
+   ungrouped kernels (and a tile fixes it), so each volume form gets the
+   model-best size from [Tuner]'s sweep — the work-group dimension is
+   searched, just inside the model. *)
+let enumerate ~device ~precision ~shape ~(dims : Geometry.dims) ~max_shards
+    ~explore_depth ~tiles () =
+  let wv = Workloads.workload Workloads.Volume shape dims in
+  let tiles =
+    List.filter
+      (fun (w, h) -> w * h <= 256 && w <= dims.Geometry.nx && h <= dims.Geometry.ny)
+      tiles
+  in
+  let variants =
+    if explore_depth <= 0 then []
+    else
+      Lift.Explore.frontier ~depth:explore_depth ~k:3 ~precision ~device
+        ~workload:wv
+        (Lift_acoustics.Programs.volume ())
+      |> List.filter_map (fun (r : Lift.Explore.ranked) ->
+             match r.Lift.Explore.r_variant.Lift.Explore.v_trace with
+             | [] -> None  (* the unrewritten program is the baseline *)
+             | trace -> Some trace)
+  in
+  let volume_forms =
+    ((None : (int * int) option), ([] : string list))
+    :: List.map (fun t -> (Some t, [])) tiles
+    @ List.map (fun tr -> (None, tr)) variants
+  in
+  let local_of tile variant =
+    match tile with
+    | Some (w, h) -> w * h
+    | None ->
+        let k =
+          volume_kernel ~precision
+            { Plan_cache.default_plan with pl_tile = tile; pl_variant = variant }
+        in
+        (Tuner.tune ~device k wv).Tuner.best_size
+  in
+  let schedules =
+    (1, `Seq)
+    :: (if max_shards >= 2 then
+          List.init (max_shards - 1) (fun i -> (i + 2, `Concurrent)) @ [ (2, `Overlap) ]
+        else [])
+  in
+  List.concat_map
+    (fun (tile, variant) ->
+      let local = local_of tile variant in
+      List.concat_map
+        (fun unroll ->
+          List.filter_map
+            (fun (shards, schedule) ->
+              (* the overlapped schedule range-splits the volume kernel
+                 into interior/frontier launches — a transformation of
+                 the flat 1D NDRange; a 2D tiled kernel under it is not
+                 bit-identical (the identity guard would reject it
+                 anyway, so don't spend measurements on it) *)
+              if tile <> None && schedule = `Overlap then None
+              else
+                Some
+                  {
+                    Plan_cache.pl_tile = tile;
+                    pl_variant = variant;
+                    pl_local = local;
+                    pl_unroll = unroll;
+                    pl_shards = shards;
+                    pl_schedule = schedule;
+                  })
+            schedules)
+        default_unrolls)
+    volume_forms
+
+(* -- Prediction -------------------------------------------------------- *)
+
+(* Calibrated per-step prediction of a plan: volume + boundary kernel,
+   each scaled by its (device, kernel) correction factor.  Sharded plans
+   price through [predict_sharded]/[predict_overlapped] (whole-plan
+   shapes the model already knows); the boundary kernel shards without a
+   halo of its own. *)
+let predict_plan ~device ~calibration ~precision ~n_branches ~scheme ~shape
+    ~(dims : Geometry.dims) (p : Plan_cache.plan) =
+  let vol = volume_kernel ~precision p in
+  let bnd, bkind = boundary_kernel ~precision ~n_branches scheme in
+  let wv =
+    { (Workloads.workload Workloads.Volume shape dims) with
+      Vgpu.Perf_model.local_size = p.pl_local }
+  in
+  let wb =
+    { (Workloads.workload bkind shape dims) with Vgpu.Perf_model.local_size = p.pl_local }
+  in
+  let factor (k : Kernel_ast.Cast.kernel) =
+    Vgpu.Perf_model.Calibration.factor calibration
+      ~device:device.Vgpu.Device.name ~kernel_name:k.Kernel_ast.Cast.name
+  in
+  let plane_elems = dims.Geometry.nx * dims.Geometry.ny in
+  let base k w ~plane_elems =
+    if p.pl_shards = 1 then
+      Vgpu.Perf_model.predict ?unroll_budget:p.pl_unroll device k w
+    else
+      match p.pl_schedule with
+      | `Overlap ->
+          Vgpu.Perf_model.predict_overlapped device k w ~plane_elems
+            ~shards:p.pl_shards
+      | `Seq | `Concurrent ->
+          Vgpu.Perf_model.predict_sharded device k w ~plane_elems ~shards:p.pl_shards
+  in
+  (base vol wv ~plane_elems *. factor vol) +. (base bnd wb ~plane_elems:0 *. factor bnd)
+
+(* -- Measurement ------------------------------------------------------- *)
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> invalid_arg "Autotune.median: empty"
+  | sorted -> List.nth sorted (List.length sorted / 2)
+
+let sim_of_plan ~engine ~precision ~n_branches ~params ~room (p : Plan_cache.plan) =
+  let shards = if p.pl_shards > 1 then Some p.pl_shards else None in
+  let schedule = if p.pl_shards > 1 then Some (p.pl_schedule :> Gpu_sim.schedule) else None in
+  Gpu_sim.create ~engine ?unroll_budget:p.pl_unroll ?shards ?schedule ~fi_beta:0.1
+    ~n_branches ~precision params room
+
+(* Measure one plan: same impulse, [warmup] untimed steps (compiles and
+   caches), then [repeats] timed intervals of [steps] steps each —
+   median per-step time.  Returns the final field's bit pattern (every
+   candidate runs the same total step count, so bit-identical plans end
+   bit-identical) and each kernel's measured mean launch time for
+   calibration. *)
+let measure_plan ~clock ~engine ~precision ~n_branches ~scheme ~params ~room
+    ~warmup ~repeats ~steps (p : Plan_cache.plan) =
+  let kernels = plan_kernels ~precision ~n_branches ~scheme p in
+  let sim = sim_of_plan ~engine ~precision ~n_branches ~params ~room p in
+  let cx, cy, cz = State.centre sim.Gpu_sim.state in
+  State.add_impulse sim.Gpu_sim.state ~x:cx ~y:cy ~z:cz;
+  for _ = 1 to warmup do
+    Gpu_sim.step sim kernels
+  done;
+  Gpu_sim.reset_stats sim (* drains queued work; the interval starts clean *);
+  let times =
+    List.init repeats (fun _ ->
+        let t0 = clock () in
+        for _ = 1 to steps do
+          Gpu_sim.step sim kernels
+        done;
+        (* [step] only submits under the overlapped schedule — drain
+           inside the interval, or async plans get credited submission
+           cost while their compute lands outside the timer *)
+        Gpu_sim.drain sim;
+        (clock () -. t0) /. float_of_int steps)
+  in
+  Gpu_sim.sync sim;
+  let bits = Array.map Int64.bits_of_float sim.Gpu_sim.state.State.curr in
+  let per_kernel =
+    List.filter_map
+      (fun (name, (ks : Vgpu.Runtime.kernel_stats)) ->
+        if ks.Vgpu.Runtime.k_launches > 0 then
+          Some (name, ks.Vgpu.Runtime.total_s /. float_of_int ks.Vgpu.Runtime.k_launches)
+        else None)
+      (Gpu_sim.stats sim).Vgpu.Runtime.per_kernel
+  in
+  (median times, bits, per_kernel)
+
+(* Run measurements, optionally fanned out over extra domains.  Each
+   candidate simulation owns its virtual devices; shared process state
+   (the JIT pool, the native binary memo) is lock-protected, so domains
+   only contend for host cores.  Results keep candidate order; a
+   candidate whose measurement raises is dropped ([None]). *)
+let measure_all ~domains measure (candidates : 'a list) =
+  let arr = Array.of_list candidates in
+  let out = Array.make (Array.length arr) None in
+  let safely c = match measure c with r -> Some r | exception _ -> None in
+  if domains <= 1 then Array.iteri (fun i c -> out.(i) <- safely c) arr
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < Array.length arr then begin
+          out.(i) <- safely arr.(i);
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned =
+      List.init (min (domains - 1) (max 0 (Array.length arr - 1))) (fun _ ->
+          Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned
+  end;
+  Array.to_list out
+
+(* -- The tuner --------------------------------------------------------- *)
+
+let tune ?(engine : engine = `Native) ?(precision = Kernel_ast.Cast.Double)
+    ?(device = Vgpu.Device.host) ?(n_branches = 3) ?(topk = 8) ?(warmup = 2)
+    ?(repeats = 5) ?(steps = 20) ?(max_shards = 2) ?(domains = 1) ?clock
+    ?(use_cache = true) ?(explore_depth = 2) ?tiles ~scheme ~shape ~dims () :
+    result =
+  let key = key ~engine ~precision ~n_branches ~scheme ~shape ~dims in
+  let cached = if use_cache then Plan_cache.find key else None in
+  match cached with
+  | Some entry ->
+      {
+        r_key = key;
+        r_entry = entry;
+        r_evaluated = [];
+        r_candidates = 0;
+        r_measurements = 0;
+        r_from_cache = true;
+      }
+  | None ->
+      let clk = Option.value clock ~default:Unix.gettimeofday in
+      (* inject the clock into the runtimes' launch timing too, so the
+         per-kernel calibration observations share the timer *)
+      (match clock with Some c -> Vgpu.Runtime.set_clock c | None -> ());
+      Fun.protect
+        ~finally:(fun () ->
+          match clock with Some _ -> Vgpu.Runtime.reset_clock () | None -> ())
+        (fun () ->
+          let calibration =
+            if use_cache then Plan_cache.load_calibration ()
+            else Vgpu.Perf_model.Calibration.create ()
+          in
+          let tiles = Option.value tiles ~default:default_tiles in
+          let plans =
+            enumerate ~device ~precision ~shape ~dims ~max_shards ~explore_depth
+              ~tiles ()
+          in
+          let predicted =
+            List.map
+              (fun p ->
+                ( p,
+                  predict_plan ~device ~calibration ~precision ~n_branches ~scheme
+                    ~shape ~dims p ))
+              plans
+          in
+          (* model pruning: keep the k most promising plans, plus the
+             whole flat unsharded unroll axis — that axis changes the
+             generated code while the model cannot rank budgets under
+             sharding, and it contains the default plan, the baseline
+             every winner must beat *)
+          let is_axis (p : Plan_cache.plan) =
+            p.pl_tile = None && p.pl_variant = [] && p.pl_shards = 1
+          in
+          let is_default (p : Plan_cache.plan) = is_axis p && p.pl_unroll = None in
+          let frontier =
+            List.filteri
+              (fun i _ -> i < topk)
+              (List.stable_sort (fun (_, a) (_, b) -> compare a b) predicted)
+          in
+          let frontier =
+            frontier
+            @ List.filter
+                (fun (p, _) ->
+                  is_axis p && not (List.exists (fun (q, _) -> q = p) frontier))
+                predicted
+          in
+          let params = Params.default in
+          let n_materials = Array.length Material.defaults in
+          let room = Geometry.build ~n_materials shape dims in
+          let measure (p, pred) =
+            let m, bits, per_kernel =
+              measure_plan ~clock:clk ~engine ~precision ~n_branches ~scheme
+                ~params ~room ~warmup ~repeats ~steps p
+            in
+            (p, pred, m, bits, per_kernel)
+          in
+          let measured_raw =
+            List.filter_map Fun.id (measure_all ~domains measure frontier)
+          in
+          let default_row =
+            match List.find_opt (fun (p, _, _, _, _) -> is_default p) measured_raw with
+            | Some r -> r
+            | None -> failwith "Autotune: default plan failed to measure"
+          in
+          let _, _, default_s, default_bits, _ = default_row in
+          let evaluated =
+            List.map
+              (fun (p, pred, m, bits, _) ->
+                {
+                  m_plan = p;
+                  m_predicted_s = pred;
+                  m_measured_s = m;
+                  m_identical = bits = default_bits;
+                })
+              measured_raw
+          in
+          (* measured re-ranking: fastest bit-identical candidate wins;
+             ties break on predicted time, then evaluation order *)
+          let winner =
+            List.fold_left
+              (fun acc m ->
+                if not m.m_identical then acc
+                else
+                  match acc with
+                  | None -> Some m
+                  | Some b ->
+                      if
+                        m.m_measured_s < b.m_measured_s
+                        || (m.m_measured_s = b.m_measured_s
+                           && m.m_predicted_s < b.m_predicted_s)
+                      then Some m
+                      else acc)
+              None evaluated
+          in
+          let winner = Option.get winner (* the default row is identical *) in
+          let entry =
+            {
+              Plan_cache.e_plan = winner.m_plan;
+              e_predicted_s = winner.m_predicted_s;
+              e_measured_s = winner.m_measured_s;
+              e_default_s = default_s;
+              e_samples = repeats;
+            }
+          in
+          (* feed measured kernel times back into the correction table *)
+          List.iter
+            (fun (p, _, _, _, per_kernel) ->
+              let wv =
+                { (Workloads.workload Workloads.Volume shape dims) with
+                  Vgpu.Perf_model.local_size = p.Plan_cache.pl_local }
+              in
+              let _, bkind = boundary_kernel ~precision ~n_branches scheme in
+              let wb =
+                { (Workloads.workload bkind shape dims) with
+                  Vgpu.Perf_model.local_size = p.Plan_cache.pl_local }
+              in
+              List.iter
+                (fun (name, mean_s) ->
+                  let k = volume_kernel ~precision p in
+                  let predicted_s =
+                    if k.Kernel_ast.Cast.name = name then
+                      Vgpu.Perf_model.predict ?unroll_budget:p.Plan_cache.pl_unroll
+                        device k
+                        { wv with
+                          Vgpu.Perf_model.active_points =
+                            wv.Vgpu.Perf_model.active_points
+                            /. float_of_int p.Plan_cache.pl_shards }
+                    else
+                      let b, _ = boundary_kernel ~precision ~n_branches scheme in
+                      if b.Kernel_ast.Cast.name = name then
+                        Vgpu.Perf_model.predict
+                          ?unroll_budget:p.Plan_cache.pl_unroll device b
+                          { wb with
+                            Vgpu.Perf_model.active_points =
+                              wb.Vgpu.Perf_model.active_points
+                              /. float_of_int p.Plan_cache.pl_shards }
+                      else 0.
+                  in
+                  Vgpu.Perf_model.Calibration.observe calibration
+                    ~device:device.Vgpu.Device.name ~kernel_name:name
+                    ~predicted_s ~measured_s:mean_s)
+                per_kernel)
+            measured_raw;
+          if use_cache then begin
+            Plan_cache.store key entry;
+            Plan_cache.save_calibration calibration
+          end;
+          {
+            r_key = key;
+            r_entry = entry;
+            r_evaluated = evaluated;
+            r_candidates = List.length plans;
+            r_measurements = List.length measured_raw;
+            r_from_cache = false;
+          })

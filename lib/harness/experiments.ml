@@ -226,7 +226,10 @@ let table3 () =
       (fun (d : Vgpu.Device.t) ->
         [
           d.name;
-          (match d.vendor with Vgpu.Device.Nvidia -> "NVIDIA" | Amd -> "AMD");
+          (match d.vendor with
+          | Vgpu.Device.Nvidia -> "NVIDIA"
+          | Amd -> "AMD"
+          | Host -> "CPU");
           Printf.sprintf "%.0f" d.mem_bw_gb_s;
           Printf.sprintf "%.0f" d.sp_gflops;
           Printf.sprintf "%.0f" (d.sp_gflops *. d.dp_ratio);

@@ -5,7 +5,20 @@
    (kernel, workload, device) cell is evaluated at every candidate
    work-group size and the fastest configuration is reported. *)
 
-let candidate_sizes = [ 32; 64; 128; 256 ]
+(* The power-of-two ladder the paper sweeps, extended downwards so small
+   launches still have admissible candidates. *)
+let ladder = [ 8; 16; 32; 64; 128; 256 ]
+
+(* Candidate work-group sizes for a launch of [points] work-items: the
+   ladder clipped to sizes no larger than the launch itself, so a
+   degenerate room does not sweep groups that could never fill — a
+   256-wide group over a 60-point boundary is all tail.  Never empty:
+   the smallest rung survives even when the launch is smaller still. *)
+let candidate_sizes ~points =
+  let p = int_of_float (Float.max 1. (Float.ceil points)) in
+  match List.filter (fun ls -> ls <= p) ladder with
+  | [] -> [ List.hd ladder ]
+  | sizes -> sizes
 
 type result = {
   best_size : int;
@@ -19,7 +32,7 @@ let tune ~(device : Vgpu.Device.t) (kernel : Kernel_ast.Cast.kernel)
     List.map
       (fun ls ->
         (ls, Vgpu.Perf_model.predict device kernel { w with Vgpu.Perf_model.local_size = ls }))
-      candidate_sizes
+      (candidate_sizes ~points:w.Vgpu.Perf_model.active_points)
   in
   let best_size, best_time_s =
     List.fold_left

@@ -1,8 +1,15 @@
 (** Work-group size tuning, emulating the paper's protocol (§VI: "All
     benchmarks have been hand-tuned by workgroup size and the best
-    result is reported"). *)
+    result is reported").
 
-val candidate_sizes : int list
+    This is the model-only sweep over one knob; the measured search over
+    the full configuration space lives in {!Autotune}. *)
+
+val candidate_sizes : points:float -> int list
+(** Admissible work-group sizes for a launch of [points] work-items: the
+    power-of-two ladder (8..256) clipped to sizes the launch can fill at
+    least once.  Never empty — the smallest rung survives for degenerate
+    launches. *)
 
 type result = {
   best_size : int;
@@ -12,6 +19,8 @@ type result = {
 
 val tune :
   device:Vgpu.Device.t -> Kernel_ast.Cast.kernel -> Vgpu.Perf_model.workload -> result
+(** Sweep [candidate_sizes ~points:w.active_points] through the
+    performance model and report the fastest. *)
 
 val tuned_time :
   device:Vgpu.Device.t -> Kernel_ast.Cast.kernel -> Vgpu.Perf_model.workload -> float

@@ -356,7 +356,7 @@ let rec subst_stmt ren sub s =
 (* Fully unroll loops with literal init/bound/step and at most
    [unroll_limit] iterations (the FD-MM per-branch ODE loops), innermost
    first.  Skipped when the body assigns or shadows the loop variable. *)
-let unroll_kernel namer (k : kernel) =
+let unroll_kernel ?(budget = unroll_budget) namer (k : kernel) =
   let count = ref 0 in
   let rec un_body body = List.concat_map un_stmt body
   and un_stmt s =
@@ -370,7 +370,7 @@ let unroll_kernel namer (k : kernel) =
                && (not (contains_barrier l.body))
                && max 0 ((b - i0 + st - 1) / st) <= unroll_limit
                && max 0 ((b - i0 + st - 1) / st) * body_nodes l.body
-                  <= unroll_budget
+                  <= budget
                && (not (StrSet.mem l.var (body_mods StrSet.empty l.body)))
                && not (StrSet.mem l.var (body_decls StrSet.empty l.body)) ->
             let trips = max 0 ((b - i0 + st - 1) / st) in
@@ -662,11 +662,11 @@ let count_strength_reduced (k : kernel) =
   List.iter (iter_stmt_exprs fe) k.body;
   !n
 
-let optimize (k0 : kernel) : kernel * report =
+let optimize ?unroll_budget:budget (k0 : kernel) : kernel * report =
   let nodes_before = kernel_nodes k0 in
   let k = Cast.simplify_kernel k0 in
   let namer = namer_of_kernel k in
-  let k, unrolled = unroll_kernel namer k in
+  let k, unrolled = unroll_kernel ?budget namer k in
   (* re-fold: unrolling turns loop indices into literals ([0 * nB]...) *)
   let k = if unrolled > 0 then Cast.simplify_kernel k else k in
   let k, cse_fired = cse_kernel namer k in

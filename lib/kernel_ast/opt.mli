@@ -25,7 +25,7 @@ type report = {
   dead_removed : int;  (** dead declarations and assignments deleted *)
 }
 
-val optimize : Cast.kernel -> Cast.kernel * report
+val optimize : ?unroll_budget:int -> Cast.kernel -> Cast.kernel * report
 (** [optimize k] runs the full pass pipeline and returns the optimized
     kernel together with a per-kernel report.  Idempotent in effect:
     re-optimizing an optimized kernel is safe (and a near no-op).  When
@@ -33,7 +33,9 @@ val optimize : Cast.kernel -> Cast.kernel * report
     ([==]), so caches keyed on physical identity are shared between the
     raw and optimized kernel.  Unrolling is gated on the spliced body
     size ([trips * body nodes]) as well as the trip count, so
-    large-bodied loops are left rolled. *)
+    large-bodied loops are left rolled.  [unroll_budget] overrides the
+    default spliced-node gate (512): [0] disables unrolling entirely, a
+    large value unrolls aggressively — the autotuner sweeps this knob. *)
 
 val kernel_nodes : Cast.kernel -> int
 (** Total AST node count of a kernel (body plus NDRange expressions);

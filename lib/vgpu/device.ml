@@ -29,6 +29,7 @@
 type vendor =
   | Nvidia
   | Amd
+  | Host
 
 type t = {
   name : string;
@@ -94,7 +95,36 @@ let radeon_r9 =
     launch_overhead_s = 2e-6;
   }
 
-(* In the order used throughout the paper's evaluation section. *)
+(* The machine the native (compiled-C) engine actually runs on: a CPU.
+   Not one of the paper's platforms — it exists so measured native times
+   are compared against a prediction with CPU cost structure.  The
+   decisive difference from the GPUs is the local tier: a CPU has no
+   dedicated on-chip local memory, so [__local] staging is ordinary
+   cached traffic through the same memory pipeline: the model *adds* the
+   local term to the memory term for [Host] instead of treating it as an
+   independent roofline arm, and [local_bw_ratio] is a modest
+   L2-resident-tile multiplier rather than a GPU LDS one.  This is what
+   BENCH_PR7 exposed: pricing the tiled kernel's staging at GTX780's
+   4.5x-DRAM shared-memory tier predicted tiling as a ~3% win, while the
+   fissioned native loop nest measures 1.6-2x *slower* than flat; with
+   this device the predicted tiled/flat ratio is ~1.8, inside the
+   measured band. *)
+let host =
+  {
+    name = "Host";
+    vendor = Host;
+    mem_bw_gb_s = 20.;
+    sp_gflops = 50.;
+    dp_ratio = 0.5;
+    mem_efficiency = 0.6;
+    l2_speedup = 3.0;
+    local_bw_ratio = 1.8;
+    launch_overhead_s = 5e-7;
+  }
+
+(* In the order used throughout the paper's evaluation section.  [host]
+   is deliberately not in this list: experiments sweeping the paper's
+   platforms should not pick up the CPU. *)
 let all = [ amd7970; gtx780; radeon_r9; titan_black ]
 
 let peak_flops t (precision : Kernel_ast.Cast.precision) =
@@ -102,4 +132,4 @@ let peak_flops t (precision : Kernel_ast.Cast.precision) =
   | Single -> t.sp_gflops *. 1e9
   | Double -> t.sp_gflops *. t.dp_ratio *. 1e9
 
-let find name = List.find_opt (fun d -> d.name = name) all
+let find name = List.find_opt (fun d -> d.name = name) (all @ [ host ])

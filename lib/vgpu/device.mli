@@ -8,6 +8,7 @@
 type vendor =
   | Nvidia
   | Amd
+  | Host  (** the CPU the native engine compiles for *)
 
 type t = {
   name : string;
@@ -31,8 +32,16 @@ val amd7970 : t
 val titan_black : t
 val radeon_r9 : t
 
+val host : t
+(** The CPU the native (compiled-C) engine runs on.  Its [__local] tier
+    is ordinary cached memory (L2-class [local_bw_ratio]): the model
+    adds local-staging traffic to the memory term instead of pricing it
+    as a faster independent tier, which is why tiled kernels correctly
+    predict {e slower} than flat on the native engine (the BENCH_PR7
+    sign error).  Not included in {!all}. *)
+
 val all : t list
-(** The four platforms, in the paper's order. *)
+(** The four platforms, in the paper's order ([host] excluded). *)
 
 val peak_flops : t -> Kernel_ast.Cast.precision -> float
 (** Peak arithmetic throughput in flop/s at a precision. *)

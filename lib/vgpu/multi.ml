@@ -15,13 +15,14 @@
 
 type t = { devices : Runtime.t array }
 
-let create ?(engine = Runtime.Jit) ?(optimize = true) ?(precision = Kernel_ast.Cast.Double)
-    ?verify ?(sanitize = false) ~devices () =
+let create ?(engine = Runtime.Jit) ?(optimize = true) ?unroll_budget
+    ?(precision = Kernel_ast.Cast.Double) ?verify ?(sanitize = false) ~devices () =
   if devices < 1 then invalid_arg "Vgpu.Multi.create: need at least one device";
   {
     devices =
       Array.init devices (fun _ ->
-          Runtime.create ~engine ~optimize ~precision ?verify ~sanitize ());
+          Runtime.create ~engine ~optimize ?unroll_budget ~precision ?verify
+            ~sanitize ());
   }
 
 let n_devices t = Array.length t.devices

@@ -12,6 +12,7 @@ type t = { devices : Runtime.t array }
 val create :
   ?engine:Runtime.engine ->
   ?optimize:bool ->
+  ?unroll_budget:int ->
   ?precision:Kernel_ast.Cast.precision ->
   ?verify:bool ->
   ?sanitize:bool ->

@@ -88,9 +88,10 @@ let buffer_bytes (device : Device.t) ~(precision : Cast.precision) ~(w : workloa
     match List.assoc_opt name w.buffer_elems with Some n -> n | None -> max_int
   in
   if elems <= cache_resident_elems then
-    (* Cache-resident coefficient table. *)
+    (* Cache-resident coefficient table: free in GCN's scalar K$ and in
+       a CPU's L1; an L2-bandwidth cost on Kepler. *)
     match device.vendor with
-    | Amd -> 0.
+    | Amd | Host -> 0.
     | Nvidia -> (a.loads +. a.stores) *. elem_bytes /. device.l2_speedup
   else if a.indirect then
     (* Gather/scatter through boundary indices: consecutive work-items
@@ -138,28 +139,43 @@ let point_costs (device : Device.t) (kernel : Cast.kernel) (w : workload) =
    kernels before dispatch, so that is the code whose operations actually
    execute — while the raw counts are kept alongside so the model's view
    of what optimization saved is inspectable. *)
-let predict_breakdown (device : Device.t) (kernel : Cast.kernel) (w : workload) : breakdown =
+let predict_breakdown ?unroll_budget (device : Device.t) (kernel : Cast.kernel)
+    (w : workload) : breakdown =
   let raw_bytes_per_point, raw_flops_per_point, _ = point_costs device kernel w in
-  let opt_kernel, _ = Opt.optimize kernel in
+  let opt_kernel, _ = Opt.optimize ?unroll_budget kernel in
   let bytes_per_point, flops_per_point, local_bytes_per_point =
     point_costs device opt_kernel w
   in
-  let geff = group_efficiency w ~flops:flops_per_point in
+  (* an empty launch costs just its overhead — [group_efficiency] is 0
+     at 0 points and the time terms would otherwise divide 0 by 0 *)
+  let geff =
+    if w.active_points <= 0. then 1. else group_efficiency w ~flops:flops_per_point
+  in
   let bw = device.mem_bw_gb_s *. 1e9 *. device.mem_efficiency *. geff in
   let mem_time_s = bytes_per_point *. w.active_points /. bw in
   let flop_time_s =
     flops_per_point *. w.active_points
     /. (Device.peak_flops device kernel.precision *. geff)
   in
-  (* The local tier does not contend with DRAM, so it is a third
-     roofline arm rather than an addition to the memory term.  No
+  (* On a GPU the local tier does not contend with DRAM, so it is a
+     third roofline arm rather than an addition to the memory term.  No
      [mem_efficiency] derate: bank conflicts aside, on-chip SRAM runs
-     at its rated width. *)
+     at its rated width.  On the [Host] CPU there is no such tier:
+     [__local] staging is ordinary cached traffic through the same
+     memory pipeline, so the local term *adds* to the memory term — the
+     pricing that gives "tiled slower than flat" its correct sign on
+     the native engine (BENCH_PR7). *)
   let local_time_s =
     local_bytes_per_point *. w.active_points
     /. (device.mem_bw_gb_s *. 1e9 *. device.local_bw_ratio *. geff)
   in
   let launch_s = device.launch_overhead_s in
+  let total_s =
+    match device.vendor with
+    | Device.Host -> launch_s +. Float.max (mem_time_s +. local_time_s) flop_time_s
+    | Device.Nvidia | Device.Amd ->
+        launch_s +. Float.max (Float.max mem_time_s flop_time_s) local_time_s
+  in
   {
     bytes_per_point;
     flops_per_point;
@@ -170,10 +186,65 @@ let predict_breakdown (device : Device.t) (kernel : Cast.kernel) (w : workload) 
     flop_time_s;
     local_time_s;
     launch_s;
-    total_s = launch_s +. Float.max (Float.max mem_time_s flop_time_s) local_time_s;
+    total_s;
   }
 
-let predict device kernel w = (predict_breakdown device kernel w).total_s
+let predict ?unroll_budget device kernel w =
+  (predict_breakdown ?unroll_budget device kernel w).total_s
+
+(* -- Measured-time calibration -------------------------------------- *)
+
+(* Per-(device, kernel) multiplicative correction factors learned from
+   measurements: the autotuner records measured/predicted ratios and the
+   model applies their geometric mean to later predictions, so pruning
+   sharpens as measurements accumulate.  The geometric mean is the right
+   average for a multiplicative error and is insensitive to the order
+   observations arrive in. *)
+module Calibration = struct
+  type entry = { mutable log_sum : float; mutable samples : int }
+  type t = (string, entry) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+  let key ~device ~kernel_name = device ^ "/" ^ kernel_name
+
+  let observe (t : t) ~device ~kernel_name ~predicted_s ~measured_s =
+    if predicted_s > 0. && measured_s > 0. then begin
+      let k = key ~device ~kernel_name in
+      let e =
+        match Hashtbl.find_opt t k with
+        | Some e -> e
+        | None ->
+            let e = { log_sum = 0.; samples = 0 } in
+            Hashtbl.replace t k e;
+            e
+      in
+      e.log_sum <- e.log_sum +. Float.log (measured_s /. predicted_s);
+      e.samples <- e.samples + 1
+    end
+
+  let factor (t : t) ~device ~kernel_name =
+    match Hashtbl.find_opt t (key ~device ~kernel_name) with
+    | Some e when e.samples > 0 -> Float.exp (e.log_sum /. float_of_int e.samples)
+    | _ -> 1.0
+
+  (* Direct entry load, for restoring a persisted correction table. *)
+  let set (t : t) ~device ~kernel_name ~log_sum ~samples =
+    Hashtbl.replace t (key ~device ~kernel_name) { log_sum; samples }
+
+  let entries (t : t) =
+    Hashtbl.fold (fun k e acc -> (k, e.log_sum, e.samples) :: acc) t []
+    |> List.sort compare
+end
+
+let predict_calibrated ?unroll_budget ?calibration (device : Device.t)
+    (kernel : Cast.kernel) (w : workload) =
+  let t = predict ?unroll_budget device kernel w in
+  match calibration with
+  | None -> t
+  | Some c ->
+      t
+      *. Calibration.factor c ~device:device.Device.name
+           ~kernel_name:kernel.Cast.name
 
 (* Throughput in the paper's metric: millions of grid-point updates per
    second (shown as gigaelements/s in the figures when divided by 1000). *)

@@ -62,14 +62,60 @@ type breakdown = {
   total_s : float;
 }
 
-val predict_breakdown : Device.t -> Kernel_ast.Cast.kernel -> workload -> breakdown
+val predict_breakdown :
+  ?unroll_budget:int -> Device.t -> Kernel_ast.Cast.kernel -> workload -> breakdown
 (** Predictions are computed from the kernel as the runtime executes it —
     after the {!module:Kernel_ast.Opt} pipeline — with the raw AST's
     counts exposed alongside in [raw_bytes_per_point] /
-    [raw_flops_per_point]. *)
+    [raw_flops_per_point].  [unroll_budget] mirrors the runtime's
+    optimizer knob so a prediction prices the same code the configured
+    runtime would dispatch.
 
-val predict : Device.t -> Kernel_ast.Cast.kernel -> workload -> float
+    On {!Device.host} (vendor [Host]) the [__local] term is added to the
+    memory term instead of forming an independent roofline arm: a CPU
+    has no on-chip local tier, so staging traffic contends with the
+    stream. *)
+
+val predict : ?unroll_budget:int -> Device.t -> Kernel_ast.Cast.kernel -> workload -> float
 (** Predicted runtime of one launch, in seconds. *)
+
+(** Per-(device, kernel) multiplicative corrections learned from
+    measurements: the autotuner feeds measured/predicted ratios in via
+    {!Calibration.observe} and later predictions are scaled by the
+    geometric mean of the observed ratios.  Persisted across runs by
+    {!Harness.Plan_cache}. *)
+module Calibration : sig
+  type t
+
+  val create : unit -> t
+
+  val observe :
+    t -> device:string -> kernel_name:string -> predicted_s:float -> measured_s:float -> unit
+  (** Record one measurement against its prediction.  Non-positive times
+      are ignored. *)
+
+  val factor : t -> device:string -> kernel_name:string -> float
+  (** Geometric-mean [measured/predicted] ratio for the pair, [1.0] when
+      nothing has been observed. *)
+
+  val set : t -> device:string -> kernel_name:string -> log_sum:float -> samples:int -> unit
+  (** Restore a persisted entry verbatim. *)
+
+  val entries : t -> (string * float * int) list
+  (** All entries as [("device/kernel", log_sum, samples)], sorted — the
+      persistence format's source of truth. *)
+end
+
+val predict_calibrated :
+  ?unroll_budget:int ->
+  ?calibration:Calibration.t ->
+  Device.t ->
+  Kernel_ast.Cast.kernel ->
+  workload ->
+  float
+(** {!predict} scaled by the calibration factor for
+    [(device.name, kernel.name)]; identical to {!predict} when no
+    calibration is supplied or the pair has no observations. *)
 
 val updates_per_second : points:float -> time_s:float -> float
 (** The paper's throughput metric (§VI). *)

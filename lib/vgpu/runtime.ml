@@ -75,6 +75,7 @@ type t = {
   kstats : (string, kernel_stats) Hashtbl.t;
   engine : engine;
   optimize : bool;  (* run the Opt pipeline on kernels before dispatch *)
+  unroll_budget : int option;  (* Opt unroll gate override (autotuner knob) *)
   precision : Cast.precision;  (* element width of real transfers *)
   verify : bool;  (* fail-fast static check of every dispatched kernel *)
   sanitizer : Sanitizer.t option;  (* shadow-memory checked execution *)
@@ -84,13 +85,22 @@ type t = {
   mutable d2d_bytes : int;  (* device-to-device copies: halo exchanges *)
 }
 
+(* Wall-clock source for per-launch timing.  Swappable so the autotuner
+   tests can inject a deterministic fake timer; everything that reads
+   launch durations (kernel stats, measured tuning) sees the same
+   clock. *)
+let clock : (unit -> float) ref = ref Unix.gettimeofday
+let set_clock f = clock := f
+let reset_clock () = clock := Unix.gettimeofday
+let now () = !clock ()
+
 let verify_from_env () =
   match Sys.getenv_opt "RACS_VERIFY" with
   | Some ("1" | "true" | "yes" | "on") -> true
   | _ -> false
 
-let create ?(engine = Jit) ?(optimize = true) ?(precision = Cast.Double) ?verify
-    ?(sanitize = false) ?cache_capacity () =
+let create ?(engine = Jit) ?(optimize = true) ?unroll_budget
+    ?(precision = Cast.Double) ?verify ?(sanitize = false) ?cache_capacity () =
   {
     buffers = Hashtbl.create 16;
     jit_cache = Kcache.create ?capacity:cache_capacity "jit";
@@ -101,6 +111,7 @@ let create ?(engine = Jit) ?(optimize = true) ?(precision = Cast.Double) ?verify
     kstats = Hashtbl.create 8;
     engine;
     optimize;
+    unroll_budget;
     precision;
     verify = (match verify with Some v -> v | None -> verify_from_env ());
     sanitizer = (if sanitize then Some (Sanitizer.create ()) else None);
@@ -188,7 +199,8 @@ let native_compiled t (kernel : Cast.kernel) =
 (* Find (or run and cache) the optimizer output for [kernel], keyed like
    the JIT cache so each distinct raw kernel is optimized exactly once. *)
 let optimized t (kernel : Cast.kernel) =
-  Kcache.find_or_add t.opt_cache (kernel_digest t kernel) (fun () -> Opt.optimize kernel)
+  Kcache.find_or_add t.opt_cache (kernel_digest t kernel) (fun () ->
+      Opt.optimize ?unroll_budget:t.unroll_budget kernel)
 
 (* Fail-fast static verification of a launch: race/bounds-check the
    kernel exactly as dispatched (post-optimizer, resolved arguments).
@@ -271,7 +283,7 @@ let launch_resolved t kernel ~(args : Args.t list) ~global =
       0 args
   in
   if t.verify then verify_launch t kernel ~args ~global;
-  let t0 = Unix.gettimeofday () in
+  let t0 = now () in
   (match t.sanitizer with
   | Some s ->
       (* checked execution needs the interpreter's access hooks, so the
@@ -284,7 +296,7 @@ let launch_resolved t kernel ~(args : Args.t list) ~global =
       | Jit_parallel { domains } ->
           Pool.launch ~domains (jit_compiled t kernel) ~args ~global
       | Native -> Native.launch (native_compiled t kernel) ~args ~global));
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = now () -. t0 in
   let s = kstat t kernel.Cast.name in
   (match report with Some _ -> s.k_opt <- report | None -> ());
   s.k_launches <- s.k_launches + 1;

@@ -84,6 +84,8 @@ type t = {
       (** when set (the default), launched kernels pass through the
           {!module:Kernel_ast.Opt} pipeline before JIT compilation or
           interpretation *)
+  unroll_budget : int option;
+      (** optimizer unroll-gate override; [None] keeps the default *)
   precision : Kernel_ast.Cast.precision;
       (** element width used for real-buffer transfer accounting *)
   verify : bool;
@@ -102,6 +104,7 @@ type t = {
 val create :
   ?engine:engine ->
   ?optimize:bool ->
+  ?unroll_budget:int ->
   ?precision:Kernel_ast.Cast.precision ->
   ?verify:bool ->
   ?sanitize:bool ->
@@ -113,7 +116,9 @@ val create :
     double, matching the paper's traffic model.  [optimize] (default
     [true]) runs the {!module:Kernel_ast.Opt} pass pipeline on each
     distinct kernel before dispatch; the per-kernel report appears in
-    {!stats}.
+    {!stats}.  [unroll_budget] overrides the optimizer's unroll gate for
+    every kernel this runtime optimizes (the autotuner's knob); the
+    default keeps {!Kernel_ast.Opt}'s built-in budget.
 
     [verify] gates fail-fast static verification of every launch
     (default: on iff the [RACS_VERIFY] environment variable is set to
@@ -188,3 +193,11 @@ val reset_stats : t -> unit
     counters; cached entries themselves are kept. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+val set_clock : (unit -> float) -> unit
+(** Replace the wall-clock source used to time kernel launches
+    (process-wide).  The autotuner's determinism tests inject a fake
+    timer here; production code never needs it. *)
+
+val reset_clock : unit -> unit
+(** Restore {!set_clock} to [Unix.gettimeofday]. *)

@@ -26,6 +26,7 @@ let () =
       ("em extension", Test_em.suite);
       ("runtime & printing", Test_runtime_print.suite);
       ("native backend", Test_native.suite);
+      ("autotune", Test_autotune.suite);
       ("engine conformance", Engine_conformance.suite);
       ("audio", Test_audio.suite);
     ]

@@ -216,10 +216,12 @@ let test_tuner () =
   let k = Hand_kernels.boundary_fd_mm ~precision:Kernel_ast.Cast.Double ~mb:3 in
   let w = boundary_workload () in
   let r = Harness.Tuner.tune ~device:Vgpu.Device.gtx780 k w in
+  let candidates =
+    Harness.Tuner.candidate_sizes ~points:w.Vgpu.Perf_model.active_points
+  in
   Alcotest.(check bool) "best size is a candidate" true
-    (List.mem r.Harness.Tuner.best_size Harness.Tuner.candidate_sizes);
-  Alcotest.(check int) "sweep covers all candidates"
-    (List.length Harness.Tuner.candidate_sizes)
+    (List.mem r.Harness.Tuner.best_size candidates);
+  Alcotest.(check int) "sweep covers all candidates" (List.length candidates)
     (List.length r.Harness.Tuner.sweep);
   List.iter
     (fun (_, t) -> Alcotest.(check bool) "best is minimal" true (t >= r.Harness.Tuner.best_time_s))
