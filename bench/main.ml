@@ -501,7 +501,7 @@ let run_overlap_bench ~json_file ~opt_rows ~smoke () =
             let halo_s =
               float_of_int
                 (steps
-                * Vgpu.Perf_model.halo_bytes_per_step ~precision ~plane_elems:plane ~shards)
+                * Vgpu.Perf_model.halo_bytes_per_step ~radius:1 ~precision ~plane_elems:plane ~shards)
               /. 12e9
             in
             let seq_ns = (kernel_s +. halo_s) /. float_of_int steps *. 1e9 in

@@ -324,19 +324,61 @@ let cmd_emit_c () = print_string (Lift.Emit_c.host_program (listing5_compiled ()
 (* ------------------------------------------------------------------ *)
 (* racs check: static race/bounds verdicts + host-plan lint *)
 
-let cmd_check shape nx ny nz precision engine =
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let cmd_check shape nx ny nz precision engine json =
   let dims = Geometry.dims ~nx ~ny ~nz in
   let n_materials = Array.length Material.defaults in
   let room = Geometry.build ~n_materials shape dims in
   let sim = Gpu_sim.create ~fi_beta:0.1 ~n_branches:3 Params.default room in
   let env = Gpu_sim.check_env sim in
+  (* under --json, the human-readable stream is suppressed and every
+     diagnostic is collected as a machine-readable issue instead *)
+  let out : 'a. ('a, Format.formatter, unit) format -> 'a =
+   fun fmt ->
+    if json then Format.ifprintf Format.std_formatter fmt
+    else Format.fprintf Format.std_formatter fmt
+  in
+  let jissues = ref [] in
+  let jadd ~scope ~target ~severity ~code message =
+    jissues := (scope, target, severity, code, message) :: !jissues
+  in
+  let jfps = ref [] in
+  let strides = [| 1; nx; nx * ny |] in
   let unsafe = ref 0 and unproven = ref 0 in
   let check_one origin variant (k : Kernel_ast.Cast.kernel) =
     let r = Kernel_ast.Check.check env k in
-    Fmt.pr "== %s (%s, %s) ==@.%a@." k.Kernel_ast.Cast.name origin variant
-      Kernel_ast.Check.pp_report r;
-    if not (Kernel_ast.Check.ok r) then incr unsafe
-    else if not (Kernel_ast.Check.fully_proven r) then incr unproven
+    let fp = Kernel_ast.Footprint.infer ~strides env k in
+    out "== %s (%s, %s) ==@.%a@.%a@." k.Kernel_ast.Cast.name origin variant
+      Kernel_ast.Check.pp_report r Kernel_ast.Footprint.pp fp;
+    jfps := (k.Kernel_ast.Cast.name, origin, variant, fp) :: !jfps;
+    let target = Printf.sprintf "%s (%s, %s)" k.Kernel_ast.Cast.name origin variant in
+    if not (Kernel_ast.Check.ok r) then begin
+      incr unsafe;
+      let bufs =
+        String.concat ", "
+          (List.map
+             (fun (b : Kernel_ast.Check.buf_report) -> b.Kernel_ast.Check.b_name)
+             (Kernel_ast.Check.unsafe_bufs r))
+      in
+      jadd ~scope:"kernel" ~target ~severity:"error" ~code:"static-unsafe"
+        (Printf.sprintf "static verifier found an Unsafe verdict (buffers: %s)" bufs)
+    end
+    else if not (Kernel_ast.Check.fully_proven r) then begin
+      incr unproven;
+      jadd ~scope:"kernel" ~target ~severity:"warning" ~code:"static-unproven"
+        "some verdicts are Unproven (covered by the runtime sanitizer)"
+    end
   in
   List.iter
     (fun (origin, k) ->
@@ -352,12 +394,15 @@ let cmd_check shape nx ny nz precision engine =
      let compile_one origin variant (k : Kernel_ast.Cast.kernel) =
        match Vgpu.Native.compile k with
        | (_ : Vgpu.Native.compiled) ->
-           Fmt.pr "== native: %s (%s, %s) ==@.  compiled and loaded (key %s)@."
+           out "== native: %s (%s, %s) ==@.  compiled and loaded (key %s)@."
              k.Kernel_ast.Cast.name origin variant
              (String.sub (Vgpu.Native.cache_key k) 0 12)
        | exception Failure msg ->
            incr native_failures;
-           Fmt.pr "== native: %s (%s, %s) ==@.  FAILED: %s@." k.Kernel_ast.Cast.name
+           jadd ~scope:"kernel"
+             ~target:(Printf.sprintf "%s (%s, %s)" k.Kernel_ast.Cast.name origin variant)
+             ~severity:"error" ~code:"native-compile-failed" msg;
+           out "== native: %s (%s, %s) ==@.  FAILED: %s@." k.Kernel_ast.Cast.name
              origin variant msg
      in
      List.iter
@@ -397,69 +442,145 @@ let cmd_check shape nx ny nz precision engine =
                (fun a b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b))
                reference got
            in
-           Fmt.pr "== tiled volume vs flat: %s, %s ==@.  %s@." ename vname
+           out "== tiled volume vs flat: %s, %s ==@.  %s@." ename vname
              (if ok then "bit-identical" else "MISMATCH");
-           if not ok then incr tiled_failures)
+           if not ok then begin
+             incr tiled_failures;
+             jadd ~scope:"kernel"
+               ~target:(Printf.sprintf "tiled_volume (%s, %s)" ename vname)
+               ~severity:"error" ~code:"tiled-mismatch"
+               "tiled volume kernel does not reproduce the flat kernel bit-for-bit"
+           end)
          [ ("raw", false); ("optimized", true) ])
      [ ("interp", `Interp); ("jit", `Jit); ("jit-parallel", `Jit_parallel 3);
        ("native", `Native) ]);
-  (* host-plan lint: the paper's Listing 5 pipeline and the two-device
-     sharded step, plus two sharded time steps as a Multi plan *)
+  (* host-plan lint (structure) and whole-plan dataflow verification
+     (footprint-driven): the paper's host programs, plus the real
+     sequential and overlapped multi-device plans of every scheme at 1-4
+     shards, checked against the slab geometry they launch over *)
   let lint_errors = ref 0 in
-  let lint label issues =
-    Fmt.pr "== lint: %s ==@." label;
-    if issues = [] then Fmt.pr "  clean@."
-    else List.iter (fun i -> Fmt.pr "  %a@." Lift.Lint.pp_issue i) issues;
+  let lint ?(scope = "plan") label issues =
+    out "== lint: %s ==@." label;
+    if issues = [] then out "  clean@."
+    else List.iter (fun i -> out "  %a@." Lift.Lint.pp_issue i) issues;
+    List.iter
+      (fun (i : Lift.Lint.issue) ->
+        jadd ~scope ~target:label
+          ~severity:
+            (match i.Lift.Lint.severity with
+            | Lift.Lint.Error -> "error"
+            | Lift.Lint.Warning -> "warning")
+          ~code:i.Lift.Lint.code i.Lift.Lint.message)
+      issues;
     lint_errors := !lint_errors + List.length (Lift.Lint.errors issues)
   in
-  lint "paper Listing 5 host program"
+  lint ~scope:"host" "paper Listing 5 host program"
     (Lift.Lint.check_host (fst (listing5_program ())));
-  lint "Z-sharded two-device FI step"
+  lint ~scope:"host" "Z-sharded two-device FI step"
     (Lift.Lint.check_host (fst (sharded_host_program ())));
-  lint "Z-sharded two-device FI step, event-annotated (overlap)"
+  lint ~scope:"host" "Z-sharded two-device FI step, event-annotated (overlap)"
     (Lift.Lint.check_host (fst (sharded_host_program ~overlap:true ())));
-  (* sequential and overlapped multi-device plans for all three schemes *)
   let betas = (Material.tables ~n_branches:3 Material.defaults).Material.t_beta in
-  let scheme_kernels = function
-    | `Fi -> [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fi ~precision ]
-    | `Fi_mm ->
-        [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fi_mm ~precision ~betas ]
-    | `Fd_mm ->
-        [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fd_mm ~precision ~mb:3 ]
+  let plan_schemes =
+    [
+      ("fi", [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fi ~precision ]);
+      ("fi-mm",
+       [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fi_mm ~precision ~betas ]);
+      ("fd-mm",
+       [ Hand_kernels.volume ~precision; Hand_kernels.boundary_fd_mm ~precision ~mb:3 ]);
+      ("tiled fi",
+       [ Lift_acoustics.Programs.tiled_volume ~precision ~tile:(8, 8) ();
+         Hand_kernels.boundary_fi ~precision ]);
+    ]
   in
-  let splan = Shard.plan ~shards:2 room in
   List.iter
-    (fun (label, scheme) ->
-      let kernels = scheme_kernels scheme in
-      let step : Vgpu.Multi.plan =
-        List.concat_map
-          (fun d ->
-            List.map
-              (fun k ->
-                Vgpu.Multi.Dev
-                  (d, Vgpu.Runtime.Launch { kernel = k; args = []; global = [ 1 ] }))
-              kernels)
-          [ 0; 1 ]
-        @ Shard.exchange_ops splan ~buffer:"next"
-        @ List.map (fun d -> Vgpu.Multi.Dev (d, Vgpu.Runtime.Swap ("curr", "next"))) [ 0; 1 ]
-      in
-      lint
-        (Printf.sprintf "sharded Multi plan, two %s steps with halo exchange" label)
-        (Lift.Lint.check_sharded (step @ step));
-      let ssim =
-        Gpu_sim.create ~engine:`Jit ~shards:3 ~schedule:`Seq ~fi_beta:0.1 ~n_branches:3
-          ~precision Params.default room
-      in
-      lint
-        (Printf.sprintf "overlapped async plan, two %s steps" label)
-        (Lift.Lint.check_async (Gpu_sim.overlap_plan ssim kernels ~steps:2)))
-    [ ("fi", `Fi); ("fi-mm", `Fi_mm); ("fd-mm", `Fd_mm) ];
-  Fmt.pr
+    (fun (label, kernels) ->
+      List.iter
+        (fun shards ->
+          let mk () =
+            Gpu_sim.create ~engine:`Jit ~shards ~schedule:`Seq ~fi_beta:0.1 ~n_branches:3
+              ~precision Params.default room
+          in
+          let ssim = mk () in
+          let snx, sny, planes = Gpu_sim.slab_geometry ssim in
+          let slab = { Lift.Lint.sl_nx = snx; sl_ny = sny; sl_planes = planes } in
+          let plan = Gpu_sim.step_plan ssim kernels ~steps:2 in
+          lint
+            (Printf.sprintf "sync %s plan, %d shard(s), structure" label shards)
+            (Lift.Lint.check_sharded plan);
+          lint
+            (Printf.sprintf "sync %s plan, %d shard(s), halo dataflow" label shards)
+            (Lift.Lint.verify_plan slab plan);
+          let aplan = Gpu_sim.overlap_plan (mk ()) kernels ~steps:2 in
+          lint
+            (Printf.sprintf "async %s plan, %d shard(s), structure" label shards)
+            (Lift.Lint.check_async aplan);
+          lint
+            (Printf.sprintf "async %s plan, %d shard(s), halo dataflow" label shards)
+            (Lift.Lint.verify_async slab aplan))
+        [ 1; 2; 3; 4 ])
+    plan_schemes;
+  out
     "@.%d kernel report(s) unsafe, %d unproven (sanitizer-covered), %d lint error(s), %d \
      tiled conformance failure(s)%s@."
     !unsafe !unproven !lint_errors !tiled_failures
     (if engine = `Native then Printf.sprintf ", %d native compile failure(s)" !native_failures
      else "");
+  if json then begin
+    let b = Buffer.create 8192 in
+    let p fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    p "{\n  \"issues\": [";
+    List.iteri
+      (fun idx (scope, target, severity, code, msg) ->
+        p "%s\n    { \"scope\": \"%s\", \"target\": \"%s\", \"severity\": \"%s\", \
+           \"code\": \"%s\", \"message\": \"%s\" }"
+          (if idx = 0 then "" else ",")
+          (json_escape scope) (json_escape target) severity (json_escape code)
+          (json_escape msg))
+      (List.rev !jissues);
+    p "\n  ],\n  \"footprints\": [";
+    let axes_json = function
+      | None -> "null"
+      | Some axes ->
+          "["
+          ^ String.concat ", "
+              (Array.to_list
+                 (Array.map
+                    (fun (a : Kernel_ast.Footprint.axis) ->
+                      Printf.sprintf "[%d, %d]" a.Kernel_ast.Footprint.ax_lo
+                        a.Kernel_ast.Footprint.ax_hi)
+                    axes))
+          ^ "]"
+    in
+    List.iteri
+      (fun idx (kname, origin, variant, (fp : Kernel_ast.Footprint.t)) ->
+        let bufs =
+          String.concat ", "
+            (List.map
+               (fun (fb : Kernel_ast.Footprint.buf) ->
+                 Printf.sprintf
+                   "{ \"name\": \"%s\", \"read\": %s, \"write\": %s, \"exact\": %b }"
+                   (json_escape fb.Kernel_ast.Footprint.fb_name)
+                   (axes_json (Kernel_ast.Footprint.read_rel fp fb.Kernel_ast.Footprint.fb_name))
+                   (axes_json (Kernel_ast.Footprint.write_rel fp fb.Kernel_ast.Footprint.fb_name))
+                   fb.Kernel_ast.Footprint.fb_exact)
+               fp.Kernel_ast.Footprint.fp_bufs)
+        in
+        p "%s\n    { \"kernel\": \"%s\", \"origin\": \"%s\", \"variant\": \"%s\", \
+           \"anchor\": %s, \"bufs\": [%s] }"
+          (if idx = 0 then "" else ",")
+          (json_escape kname) (json_escape origin) (json_escape variant)
+          (match fp.Kernel_ast.Footprint.fp_anchor with
+          | None -> "null"
+          | Some a -> Printf.sprintf "\"%s\"" (json_escape a))
+          bufs)
+      (List.rev !jfps);
+    p
+      "\n  ],\n  \"summary\": { \"unsafe\": %d, \"unproven\": %d, \"lint_errors\": %d, \
+       \"tiled_failures\": %d, \"native_failures\": %d }\n}\n"
+      !unsafe !unproven !lint_errors !tiled_failures !native_failures;
+    print_string (Buffer.contents b)
+  end;
   if !unsafe > 0 || !lint_errors > 0 || !native_failures > 0 || !tiled_failures > 0 then
     exit 1
 
@@ -493,16 +614,6 @@ let cmd_tune_model shape scheme =
           Printf.printf "  best=%d\n" r.Harness.Tuner.best_size)
         Geometry.paper_sizes)
     Vgpu.Device.all
-
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
 
 let tune_result_json (r : Harness.Autotune.result) =
   let b = Buffer.create 1024 in
@@ -777,12 +888,23 @@ let check_cmd =
       & info [ "engine" ]
           ~doc:"with native, also compile every kernel through the C backend (cc + dlopen)")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "machine-readable JSON on stdout: every diagnostic as an issue object \
+             (scope, target, severity, code, message) plus per-kernel footprints; \
+             nonzero exit on error-severity issues")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Static race/bounds verdicts for every kernel (raw + optimized) and host-plan \
-          lint; nonzero exit on Unsafe or lint errors")
-    Term.(const cmd_check $ shape $ nx $ ny $ nz $ precision_arg $ engine)
+         "Static race/bounds verdicts and stencil footprints for every kernel (raw + \
+          optimized + tiled), host-plan lint, and footprint-driven halo/dataflow \
+          verification of the 1-4-shard sync and async plans; nonzero exit on Unsafe or \
+          lint errors")
+    Term.(const cmd_check $ shape $ nx $ ny $ nz $ precision_arg $ engine $ json)
 
 let tune_cmd =
   let shape = Arg.(value & opt shape_conv Geometry.Box & info [ "shape" ] ~doc:"box, dome or l-shape") in

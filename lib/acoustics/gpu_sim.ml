@@ -561,6 +561,52 @@ let overlap_plan t (kernels : kernel list) ~steps : Vgpu.Multi.async_plan =
       done;
       !acc
 
+(* The synchronous Multi.plan of [steps] sequential sharded time steps,
+   mirroring what [step] executes under [`Seq]/[`Concurrent]: per-device
+   launches with resolved args, the halo exchange of [next], and the
+   buffer rotation as explicit per-device [Swap] pairs (the runtime path
+   rotates host-side).  For static analysis ([Lift.Lint.verify_plan] via
+   [racs check]). *)
+let step_plan t (kernels : kernel list) ~steps : Vgpu.Multi.plan =
+  match t.backend with
+  | Single _ -> invalid_arg "gpu_sim: step_plan needs a sharded backend"
+  | Sharded s ->
+      let n = Shard.n_shards s.plan in
+      let acc = ref [] in
+      let push op = acc := op :: !acc in
+      for _ = 1 to steps do
+        for i = 0 to n - 1 do
+          let sh = s.plan.Shard.shards.(i) and ss = s.sstates.(i) in
+          let rt = Vgpu.Multi.device s.multi i in
+          let int_scalar = scalar_int_shard t sh in
+          List.iter
+            (fun k ->
+              let args =
+                args_into rt ~int_scalar ~real_scalar:(scalar_real t)
+                  ~buf:(buffer_shard t sh ss) k
+              in
+              let global = global_size ~int_scalar k in
+              push (Vgpu.Multi.Dev (i, Vgpu.Runtime.Launch { kernel = k; args; global })))
+            kernels
+        done;
+        List.iter push (Shard.exchange_ops s.plan ~buffer:"next");
+        for i = 0 to n - 1 do
+          push (Vgpu.Multi.Dev (i, Vgpu.Runtime.Swap ("prev", "curr")));
+          push (Vgpu.Multi.Dev (i, Vgpu.Runtime.Swap ("curr", "next")))
+        done
+      done;
+      List.rev !acc
+
+(* Slab geometry of the sharded backend, for the flow verifier. *)
+let slab_geometry t =
+  match t.backend with
+  | Single _ -> invalid_arg "gpu_sim: slab_geometry needs a sharded backend"
+  | Sharded s ->
+      let d = t.state.room.Geometry.dims in
+      ( d.Geometry.nx,
+        d.Geometry.ny,
+        Array.map (fun (sh : Shard.shard) -> sh.Shard.planes) s.plan.Shard.shards )
+
 (* Copy the sharded slabs back into the global [state] arrays (no-op on
    a single device, where [state] is live). *)
 let sync t =

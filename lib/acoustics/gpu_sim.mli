@@ -163,6 +163,21 @@ val overlap_plan :
     dedicated simulation, not mid-run.
     @raise Invalid_argument on a single-device backend. *)
 
+val step_plan :
+  t -> Kernel_ast.Cast.kernel list -> steps:int -> Vgpu.Multi.plan
+(** The synchronous plan of [steps] sequential sharded time steps,
+    mirroring what {!step} executes under [`Seq]/[`Concurrent]:
+    per-device launches with resolved arguments, the halo exchange of
+    [next], and the buffer rotation as explicit per-device [Swap] pairs.
+    For static analysis ({!Lift.Lint.verify_plan} via [racs check]).
+    @raise Invalid_argument on a single-device backend. *)
+
+val slab_geometry : t -> int * int * int array
+(** [(nx, ny, planes)] of the sharded backend: the XY plane dimensions
+    and each device's slab depth in planes, ghost planes included — the
+    geometry {!Lift.Lint.verify_plan} interprets plans against.
+    @raise Invalid_argument on a single-device backend. *)
+
 val reset_stats : t -> unit
 (** Drain, then zero the launch/transfer counters and re-align the
     device queues' virtual clocks, so a measurement interval starts

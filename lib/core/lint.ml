@@ -277,14 +277,78 @@ let check_sharded (plan : Vgpu.Multi.plan) : issue list =
    meaningful across time steps.  Happens-before is computed on whole
    ops: FIFO chains ops sharing a queue (an Exchange queues on its
    source device), signal->wait edges bridge queues. *)
-let check_async ?(imports = []) (plan : Vgpu.Multi.async_plan) : issue list =
-  let ops = Array.of_list plan in
+
+(* Event ids are allocated monotonically across submissions
+   ([Gpu_sim.overlap_plan] keeps numbering across steps), so the waits a
+   plan can legitimately import from earlier submissions are exactly the
+   waited ids below everything the plan itself signals. *)
+let default_imports (plan : Vgpu.Multi.async_plan) =
+  let min_signaled =
+    List.fold_left
+      (fun acc (o : Vgpu.Multi.async_op) ->
+        match o.Vgpu.Multi.a_signal with Some e -> min acc e | None -> acc)
+      max_int plan
+  in
+  List.concat_map
+    (fun (o : Vgpu.Multi.async_op) ->
+      List.filter (fun e -> e < min_signaled) o.Vgpu.Multi.a_waits)
+    plan
+  |> List.sort_uniq compare
+
+(* FIFO + signal->wait order of an async plan: [reach i] marks every op
+   strictly ordered after op [i] (memoized per source op). *)
+let async_order (ops : Vgpu.Multi.async_op array) =
   let n = Array.length ops in
   let queue_of (o : Vgpu.Multi.async_op) =
     match o.Vgpu.Multi.a_op with
     | Vgpu.Multi.Dev (i, _) -> i
     | Vgpu.Multi.Exchange { src_dev; _ } -> src_dev
   in
+  let next_on_queue = Array.make n (-1) in
+  let last : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iteri
+    (fun i o ->
+      let q = queue_of o in
+      (match Hashtbl.find_opt last q with
+      | Some j -> next_on_queue.(j) <- i
+      | None -> ());
+      Hashtbl.replace last q i)
+    ops;
+  let waiters : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (o : Vgpu.Multi.async_op) ->
+      List.iter
+        (fun e ->
+          Hashtbl.replace waiters e (i :: Option.value ~default:[] (Hashtbl.find_opt waiters e)))
+        o.Vgpu.Multi.a_waits)
+    ops;
+  let memo : (int, bool array) Hashtbl.t = Hashtbl.create 64 in
+  fun from ->
+    match Hashtbl.find_opt memo from with
+    | Some seen -> seen
+    | None ->
+        let seen = Array.make n false in
+        let rec go i =
+          if i >= 0 && i < n && not seen.(i) then begin
+            seen.(i) <- true;
+            go next_on_queue.(i);
+            match ops.(i).Vgpu.Multi.a_signal with
+            | Some e -> List.iter go (Option.value ~default:[] (Hashtbl.find_opt waiters e))
+            | None -> ()
+          end
+        in
+        (* successors of [from] only, not [from] itself *)
+        (match ops.(from).Vgpu.Multi.a_signal with
+        | Some e -> List.iter go (Option.value ~default:[] (Hashtbl.find_opt waiters e))
+        | None -> ());
+        go next_on_queue.(from);
+        Hashtbl.replace memo from seen;
+        seen
+
+let check_async ?imports (plan : Vgpu.Multi.async_plan) : issue list =
+  let imports = match imports with Some l -> l | None -> default_imports plan in
+  let ops = Array.of_list plan in
+  let n = Array.length ops in
   let issues = ref [] in
   let add i = issues := i :: !issues in
   (* signal/wait well-formedness *)
@@ -340,42 +404,7 @@ let check_async ?(imports = []) (plan : Vgpu.Multi.async_plan) : issue list =
     ops;
   (* happens-before: successor edges are next-op-on-same-queue (FIFO) and
      signal->wait; [reach from] marks every op ordered after [from] *)
-  let next_on_queue = Array.make n (-1) in
-  let last : (int, int) Hashtbl.t = Hashtbl.create 8 in
-  Array.iteri
-    (fun i o ->
-      let q = queue_of o in
-      (match Hashtbl.find_opt last q with
-      | Some j -> next_on_queue.(j) <- i
-      | None -> ());
-      Hashtbl.replace last q i)
-    ops;
-  let waiters : (int, int list) Hashtbl.t = Hashtbl.create 64 in
-  Array.iteri
-    (fun i (o : Vgpu.Multi.async_op) ->
-      List.iter
-        (fun e ->
-          Hashtbl.replace waiters e (i :: Option.value ~default:[] (Hashtbl.find_opt waiters e)))
-        o.Vgpu.Multi.a_waits)
-    ops;
-  let reach from =
-    let seen = Array.make n false in
-    let rec go i =
-      if i >= 0 && i < n && not seen.(i) then begin
-        seen.(i) <- true;
-        go next_on_queue.(i);
-        match ops.(i).Vgpu.Multi.a_signal with
-        | Some e -> List.iter go (Option.value ~default:[] (Hashtbl.find_opt waiters e))
-        | None -> ()
-      end
-    in
-    (* successors of [from] only, not [from] itself *)
-    (match ops.(from).Vgpu.Multi.a_signal with
-    | Some e -> List.iter go (Option.value ~default:[] (Hashtbl.find_opt waiters e))
-    | None -> ());
-    go next_on_queue.(from);
-    seen
-  in
+  let reach = async_order ops in
   Array.iteri
     (fun x o ->
       match exch.(x) with
@@ -417,3 +446,356 @@ let check_async ?(imports = []) (plan : Vgpu.Multi.async_plan) : issue list =
                  x dst_phys dst_dev))
     ops;
   List.rev !issues
+
+(* -- Whole-plan dataflow verification (footprint-driven) --------------- *)
+
+(* The checks above are structural: they prove ordering between named
+   ops.  The flow verifier below is semantic: it walks a plan's launches
+   with the statically inferred stencil footprint of each kernel
+   ([Kernel_ast.Footprint]) and proves, per ghost plane, that
+
+   - every halo exchange is at least as wide as the consuming kernel's
+     inferred read radius (halo-too-narrow);
+   - no launch reads a ghost plane whose source frontier was rewritten
+     after the exchange that filled it (stale-halo), or whose planes the
+     device itself overwrote after the fill (clobbered-halo);
+   - in async plans, a ghost-reading launch is happens-before-ordered
+     after the exchange that filled the ghost (unordered-ghost-read) —
+     the precise form of the dropped-frontier-wait race;
+   - no kernel reads a buffer that was allocated in the plan but never
+     written or uploaded (uninit-read).
+
+   Kernel footprints come straight from the launch ops: a [Launch]
+   carries its kernel AST and resolved arguments, which give the
+   parameter environment (concrete [goff]/[count] for interior/frontier
+   range launches) under which [Footprint.infer] runs.  Plane ranges are
+   derived from the inferred absolute linear index interval, clamped to
+   the device's slab, so flat 1D, 3D and padded 2.5D-tiled launches are
+   all classified by the same arithmetic. *)
+
+type slab = {
+  sl_nx : int;
+  sl_ny : int;
+  sl_planes : int array;  (* planes per device, ghost planes included *)
+}
+
+type ghost = {
+  g_op : int;  (* index of the filling exchange; -1 = host-seeded *)
+  g_width : int;  (* planes the fill covered *)
+  g_src : int * string;  (* source device, physical buffer *)
+  g_src_lo : int;
+  g_src_hi : int;  (* source plane range backing the ghost *)
+}
+
+type flow = {
+  fslab : slab;
+  plane : int;
+  ndev : int;
+  fissues : issue list ref;
+  fphys : (int * string, string) Hashtbl.t;
+  fwrites : (int * string, (int * int * int) list ref) Hashtbl.t;
+      (* (device, phys) -> (op index, plane lo, plane hi) writes *)
+  fghosts : (int * string * [ `Lo | `Hi ], ghost) Hashtbl.t;
+  funinit : (int * string, unit) Hashtbl.t;
+  fwarned : (string, unit) Hashtbl.t;
+  fhalo : (string, unit) Hashtbl.t;
+      (* buffer names under the halo protocol: exchange endpoints and
+         their closure under the Swap rotation.  Ghost-plane checks
+         apply only to these — other buffers (boundary tables, branch
+         state) are replicated or shard-local, not slab-shaped. *)
+}
+
+let make_flow (slab : slab) =
+  {
+    fslab = slab;
+    plane = slab.sl_nx * slab.sl_ny;
+    ndev = Array.length slab.sl_planes;
+    fissues = ref [];
+    fphys = Hashtbl.create 16;
+    fwrites = Hashtbl.create 16;
+    fghosts = Hashtbl.create 16;
+    funinit = Hashtbl.create 8;
+    fwarned = Hashtbl.create 8;
+    fhalo = Hashtbl.create 8;
+  }
+
+(* Seed [fhalo] with the exchange endpoints, closed under Swap pairs. *)
+let fl_seed_halo fl (raw_ops : Vgpu.Multi.op list) =
+  let swaps = ref [] in
+  List.iter
+    (fun (op : Vgpu.Multi.op) ->
+      match op with
+      | Vgpu.Multi.Exchange { src; dst; _ } ->
+          Hashtbl.replace fl.fhalo src ();
+          Hashtbl.replace fl.fhalo dst ()
+      | Vgpu.Multi.Dev (_, Vgpu.Runtime.Swap (a, b)) -> swaps := (a, b) :: !swaps
+      | Vgpu.Multi.Dev _ -> ())
+    raw_ops;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (a, b) ->
+        let ma = Hashtbl.mem fl.fhalo a and mb = Hashtbl.mem fl.fhalo b in
+        if ma <> mb then begin
+          Hashtbl.replace fl.fhalo a ();
+          Hashtbl.replace fl.fhalo b ();
+          changed := true
+        end)
+      !swaps
+  done
+
+let fl_add fl i = fl.fissues := i :: !(fl.fissues)
+
+let fl_warn_once fl key i =
+  if not (Hashtbl.mem fl.fwarned key) then begin
+    Hashtbl.replace fl.fwarned key ();
+    fl_add fl i
+  end
+
+let fl_resolve fl d name = Option.value ~default:name (Hashtbl.find_opt fl.fphys (d, name))
+
+let fl_writes fl d p =
+  match Hashtbl.find_opt fl.fwrites (d, p) with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace fl.fwrites (d, p) r;
+      r
+
+(* Ghost state defaults to host-seeded: the simulation scatters state
+   with coherent one-plane ghosts before the first step. *)
+let fl_ghost fl d p side =
+  match Hashtbl.find_opt fl.fghosts (d, p, side) with
+  | Some g -> g
+  | None ->
+      let g =
+        match side with
+        | `Lo ->
+            let sp = fl.fslab.sl_planes.(d - 1) - 2 in
+            { g_op = -1; g_width = 1; g_src = (d - 1, p); g_src_lo = sp; g_src_hi = sp }
+        | `Hi -> { g_op = -1; g_width = 1; g_src = (d + 1, p); g_src_lo = 1; g_src_hi = 1 }
+      in
+      Hashtbl.replace fl.fghosts (d, p, side) g;
+      g
+
+let floor_div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+(* Plane range touched by a linear index interval, clamped to the
+   device's slab (padded NDRanges overshoot; their guards keep execution
+   inside). *)
+let z_range fl d (lin : Kernel_ast.Domain.itv) =
+  match (lin.Kernel_ast.Domain.lo, lin.Kernel_ast.Domain.hi) with
+  | Some lo, Some hi ->
+      Some
+        ( max 0 (floor_div lo fl.plane),
+          min (fl.fslab.sl_planes.(d) - 1) (floor_div hi fl.plane) )
+  | _ -> None
+
+(* Parameter environment and role->runtime-buffer binding of a launch. *)
+let launch_env (k : Kernel_ast.Cast.kernel) (args : Vgpu.Runtime.arg list) ~global =
+  let scalars : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let roles = ref [] in
+  (try
+     List.iter2
+       (fun (p : Kernel_ast.Cast.param) (a : Vgpu.Runtime.arg) ->
+         match (p.Kernel_ast.Cast.p_kind, a) with
+         | Kernel_ast.Cast.Scalar_param, Vgpu.Runtime.A_int n ->
+             Hashtbl.replace scalars p.Kernel_ast.Cast.p_name n
+         | Kernel_ast.Cast.Global_buf, Vgpu.Runtime.A_buf rn ->
+             roles := (p.Kernel_ast.Cast.p_name, rn) :: !roles
+         | _ -> ())
+       k.Kernel_ast.Cast.params args
+   with Invalid_argument _ -> ());
+  ( Kernel_ast.Check.env ~param_value:(fun v -> Hashtbl.find_opt scalars v) ~global (),
+    List.rev !roles )
+
+let flow_launch fl ~async ~hb i d (kernel : Kernel_ast.Cast.kernel) args global =
+  let open Kernel_ast in
+  let env, roles = launch_env kernel args ~global in
+  (* degenerate slabs (nx or ny of 1) collapse the axis strides; fall
+     back to the linear layout — axis extents are lost but absolute
+     intervals (and so the uninit/ghost z-ranges) survive *)
+  let strides =
+    if fl.fslab.sl_nx > 1 && fl.fslab.sl_ny > 1 then [| 1; fl.fslab.sl_nx; fl.plane |]
+    else [| 1 |]
+  in
+  let fp = Footprint.infer ~strides env kernel in
+  let planes_d = fl.fslab.sl_planes.(d) in
+  List.iter
+    (fun (role, rn) ->
+      let p = fl_resolve fl d rn in
+      match Footprint.find fp role with
+      | None -> ()
+      | Some fb ->
+          if fb.Footprint.fb_read.Footprint.s_sites > 0 then begin
+            if Hashtbl.mem fl.funinit (d, p) then
+              fl_add fl
+                (issue Error "uninit-read"
+                   "op %d: kernel %s reads %s (device %d), which is allocated but never written or uploaded"
+                   i kernel.Cast.name p d);
+            if Hashtbl.mem fl.fhalo rn || Hashtbl.mem fl.fhalo p then
+            match
+              ( Footprint.read_radius fp role,
+                z_range fl d fb.Footprint.fb_read.Footprint.s_lin )
+            with
+            | Some radius, Some (zl, zh) ->
+                let check_side side =
+                  let side_name = match side with `Lo -> "low" | `Hi -> "high" in
+                  let g = fl_ghost fl d p side in
+                  if g.g_width < radius then begin
+                    let fill =
+                      if g.g_op >= 0 then
+                        Printf.sprintf "the exchange at op %d filled only %d" g.g_op g.g_width
+                      else Printf.sprintf "the host-seeded ghost holds only %d" g.g_width
+                    in
+                    fl_add fl
+                      (issue Error "halo-too-narrow"
+                         "op %d: kernel %s on device %d reads %d plane(s) of %s across the %s z-cut, but %s — widen the exchange to %d plane(s)"
+                         i kernel.Cast.name d radius p side_name fill radius)
+                  end;
+                  let sd, sp = g.g_src in
+                  if
+                    List.exists
+                      (fun (wop, wl, wh) ->
+                        wop > g.g_op && wop < i && wl <= g.g_src_hi && wh >= g.g_src_lo)
+                      !(fl_writes fl sd sp)
+                  then
+                    fl_add fl
+                      (issue Error "stale-halo"
+                         "op %d: kernel %s reads the %s ghost of %s on device %d, but device %d rewrote the source frontier after the exchange that filled it"
+                         i kernel.Cast.name side_name p d sd);
+                  let glo, ghi =
+                    match side with
+                    | `Lo -> (0, max 0 (g.g_width - 1))
+                    | `Hi -> (planes_d - max 1 g.g_width, planes_d - 1)
+                  in
+                  if
+                    List.exists
+                      (fun (wop, wl, wh) -> wop > g.g_op && wop < i && wl <= ghi && wh >= glo)
+                      !(fl_writes fl d p)
+                  then
+                    fl_add fl
+                      (issue Error "clobbered-halo"
+                         "op %d: kernel %s reads the %s ghost of %s on device %d, which a launch on the same device overwrote after the exchange"
+                         i kernel.Cast.name side_name p d);
+                  if async && g.g_op >= 0 && not (hb g.g_op i) then
+                    fl_add fl
+                      (issue Error "unordered-ghost-read"
+                         "op %d: kernel %s reads the %s ghost of %s on device %d but is not ordered after the exchange at op %d that fills it — a dropped frontier wait"
+                         i kernel.Cast.name side_name p d g.g_op)
+                in
+                if zl <= 0 && d > 0 then check_side `Lo;
+                if zh >= planes_d - 1 && d < fl.ndev - 1 then check_side `Hi
+            | _ ->
+                if fl.ndev > 1 then
+                  fl_warn_once fl
+                    (kernel.Cast.name ^ "/" ^ role)
+                    (issue Warning "halo-unverified"
+                       "kernel %s: reads of %s are data-dependent; halo coverage is left to the runtime sanitizer"
+                       kernel.Cast.name role)
+          end;
+          if fb.Footprint.fb_write.Footprint.s_sites > 0 then begin
+            Hashtbl.remove fl.funinit (d, p);
+            let zl, zh =
+              match z_range fl d fb.Footprint.fb_write.Footprint.s_lin with
+              | Some r -> r
+              | None -> (0, planes_d - 1)
+            in
+            let r = fl_writes fl d p in
+            r := (i, zl, zh) :: !r
+          end)
+    roles
+
+let flow_exchange fl i ~src_dev ~src ~src_off ~dst_dev ~dst ~dst_off ~elems =
+  let sp = fl_resolve fl src_dev src and dp = fl_resolve fl dst_dev dst in
+  if Hashtbl.mem fl.funinit (src_dev, sp) then
+    fl_add fl
+      (issue Error "uninit-read" "op %d: exchange reads %s on device %d before it is written" i
+         sp src_dev);
+  if elems mod fl.plane <> 0 then
+    fl_add fl
+      (issue Warning "exchange-partial-plane"
+         "op %d: exchange of %d elems is not a whole number of %d-element planes" i elems
+         fl.plane);
+  let w = elems / fl.plane in
+  let planes_dst = fl.fslab.sl_planes.(dst_dev) in
+  let side =
+    if dst_off = 0 then Some `Lo
+    else if dst_off >= (planes_dst - max w 1) * fl.plane then Some `Hi
+    else None
+  in
+  match side with
+  | Some side ->
+      let expect_src = match side with `Lo -> dst_dev - 1 | `Hi -> dst_dev + 1 in
+      if src_dev <> expect_src then
+        fl_add fl
+          (issue Error "exchange-wrong-source"
+             "op %d: %s ghost of device %d filled from device %d, expected neighbour %d" i
+             (match side with `Lo -> "low" | `Hi -> "high")
+             dst_dev src_dev expect_src)
+      else
+        let src_lo = src_off / fl.plane in
+        Hashtbl.replace fl.fghosts (dst_dev, dp, side)
+          { g_op = i; g_width = w; g_src = (src_dev, sp); g_src_lo = src_lo;
+            g_src_hi = src_lo + max w 1 - 1 }
+  | None ->
+      (* a general inter-device copy: a plain write into the target *)
+      let r = fl_writes fl dst_dev dp in
+      r := (i, dst_off / fl.plane, (dst_off + max 0 (elems - 1)) / fl.plane) :: !r
+
+let flow_dev_op fl ~async ~hb i d (op : Vgpu.Runtime.op) =
+  match op with
+  | Vgpu.Runtime.Swap (a, b) ->
+      let pa = fl_resolve fl d a and pb = fl_resolve fl d b in
+      Hashtbl.replace fl.fphys (d, a) pb;
+      Hashtbl.replace fl.fphys (d, b) pa
+  | Vgpu.Runtime.Alloc { name; _ } -> Hashtbl.replace fl.funinit (d, fl_resolve fl d name) ()
+  | Vgpu.Runtime.Copy_to_gpu name -> Hashtbl.remove fl.funinit (d, fl_resolve fl d name)
+  | Vgpu.Runtime.Copy_to_host name ->
+      let p = fl_resolve fl d name in
+      if Hashtbl.mem fl.funinit (d, p) then
+        fl_add fl
+          (issue Error "uninit-read"
+             "op %d: readback of %s on device %d before it is written" i p d)
+  | Vgpu.Runtime.Copy_buffer { src; dst; dst_off; elems; _ } ->
+      let sp = fl_resolve fl d src and dp = fl_resolve fl d dst in
+      if Hashtbl.mem fl.funinit (d, sp) then
+        fl_add fl
+          (issue Error "uninit-read"
+             "op %d: device copy reads %s on device %d before it is written" i sp d);
+      Hashtbl.remove fl.funinit (d, dp);
+      let r = fl_writes fl d dp in
+      r := (i, dst_off / fl.plane, (dst_off + max 0 (elems - 1)) / fl.plane) :: !r
+  | Vgpu.Runtime.Launch { kernel; args; global } ->
+      flow_launch fl ~async ~hb i d kernel args global
+
+let verify_plan (slab : slab) (plan : Vgpu.Multi.plan) : issue list =
+  let fl = make_flow slab in
+  fl_seed_halo fl plan;
+  (* [Multi.run] executes ops in list order: submission order is
+     execution order, so happens-before is the total order *)
+  let hb a b = a < b in
+  List.iteri
+    (fun i (op : Vgpu.Multi.op) ->
+      match op with
+      | Vgpu.Multi.Dev (d, rop) -> flow_dev_op fl ~async:false ~hb i d rop
+      | Vgpu.Multi.Exchange { src_dev; src; src_off; dst_dev; dst; dst_off; elems } ->
+          flow_exchange fl i ~src_dev ~src ~src_off ~dst_dev ~dst ~dst_off ~elems)
+    plan;
+  List.rev !(fl.fissues)
+
+let verify_async (slab : slab) (plan : Vgpu.Multi.async_plan) : issue list =
+  let fl = make_flow slab in
+  fl_seed_halo fl (List.map (fun (o : Vgpu.Multi.async_op) -> o.Vgpu.Multi.a_op) plan);
+  let ops = Array.of_list plan in
+  let reach = async_order ops in
+  let hb a b = (reach a).(b) in
+  List.iteri
+    (fun i (o : Vgpu.Multi.async_op) ->
+      match o.Vgpu.Multi.a_op with
+      | Vgpu.Multi.Dev (d, rop) -> flow_dev_op fl ~async:true ~hb i d rop
+      | Vgpu.Multi.Exchange { src_dev; src; src_off; dst_dev; dst; dst_off; elems } ->
+          flow_exchange fl i ~src_dev ~src ~src_off ~dst_dev ~dst ~dst_off ~elems)
+    plan;
+  List.rev !(fl.fissues)

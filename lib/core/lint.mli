@@ -20,7 +20,13 @@
 
     {!check_async} extends the discipline to event-ordered async plans
     (the overlapped schedule), where per-queue FIFO order plus explicit
-    signal→wait edges must cover the halo hazards a barrier used to. *)
+    signal→wait edges must cover the halo hazards a barrier used to.
+
+    {!verify_plan} / {!verify_async} go beyond structure: they run the
+    static stencil-footprint inference ({!Kernel_ast.Footprint}) on
+    every launch and prove per ghost plane that exchanges are wide
+    enough, fresh enough, and ordered before the launches that consume
+    them. *)
 
 type severity =
   | Error
@@ -42,7 +48,9 @@ val check_async : ?imports:int list -> Vgpu.Multi.async_plan -> issue list
     is per-queue FIFO plus explicit signal→wait edges:
     - {b wait-unsignaled} / {b duplicate-event} (error): a wait naming
       an event no earlier op signals (and that is not in [imports]), or
-      an event signaled twice;
+      an event signaled twice.  [imports] defaults to the events waited
+      on before any op signals them — the carried-over signals of a
+      preceding plan segment (e.g. the previous time step's tail);
     - {b unordered-halo-producer} (error): an [Exchange] not ordered
       after any source-device launch that references the source buffer;
     - {b unordered-halo-consumer} (error): an [Exchange] with later
@@ -54,6 +62,57 @@ val check_async : ?imports:int list -> Vgpu.Multi.async_plan -> issue list
     Buffer identities are tracked through per-device [Swap] rotation
     markers (see {!Acoustics.Gpu_sim.overlap_plan} — the runtime path
     rotates host-side instead). *)
+
+(* -- Footprint-driven dataflow verification --------------------------- *)
+
+type slab = {
+  sl_nx : int;
+  sl_ny : int;
+  sl_planes : int array;
+      (** Z-planes per device, {e including} the ghost planes — the
+          allocated slab depth ([Vgpu.Shard.slab.planes]). *)
+}
+(** Slab geometry of a Z-cut sharded run, against which plane ranges of
+    launches and exchange offsets are interpreted. *)
+
+val verify_plan : slab -> Vgpu.Multi.plan -> issue list
+(** Symbolic dataflow verification of a synchronous sharded plan.  Every
+    [Launch] is analysed with {!Kernel_ast.Footprint.infer} under the
+    environment its resolved arguments define; reads reaching a ghost
+    plane of the device's slab are checked against the exchange that
+    last filled that ghost:
+    - {b halo-too-narrow} (error): the kernel's inferred read radius
+      (planes) exceeds the width the filling exchange covered — the
+      acceptance-defeating case being a width-0 exchange against a
+      radius-1 stencil;
+    - {b stale-halo} (error): the source device rewrote the frontier
+      planes backing the ghost after the exchange copied them;
+    - {b clobbered-halo} (error): the reading device itself overwrote
+      its ghost planes after the fill;
+    - {b uninit-read} (error): a launch, readback, copy or exchange
+      consumes a buffer that an [Alloc] created but nothing wrote or
+      uploaded;
+    - {b exchange-wrong-source} (error): a ghost filled from a device
+      that is not the neighbour across that cut;
+    - {b halo-unverified} (warning, once per kernel/buffer): reads are
+      data-dependent (indirect), so ghost coverage cannot be proven
+      statically and is left to the runtime sanitizer;
+    - {b exchange-partial-plane} (warning): an exchange that is not a
+      whole number of XY planes.
+
+    Buffers not mentioned in the plan are assumed host-seeded with
+    coherent one-plane ghosts (the scatter performed by
+    {!Acoustics.Gpu_sim} before stepping). *)
+
+val verify_async : slab -> Vgpu.Multi.async_plan -> issue list
+(** {!verify_plan}'s checks with happens-before from per-queue FIFO
+    order plus signal→wait edges, plus
+    - {b unordered-ghost-read} (error): a launch reads a ghost plane but
+      is not ordered after the exchange that fills it — the precise race
+      a dropped frontier wait introduces.
+
+    Flow checks only; run {!check_async} as well for event
+    well-formedness. *)
 
 val errors : issue list -> issue list
 (** The [Error]-severity subset. *)

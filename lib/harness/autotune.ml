@@ -244,12 +244,23 @@ let predict_plan ~device ~calibration ~precision ~n_branches ~scheme ~shape
     if p.pl_shards = 1 then
       Vgpu.Perf_model.predict ?unroll_budget:p.pl_unroll device k w
     else
+      (* halo width from the kernel's inferred stencil footprint, not the
+         protocol constant — the workload omits the grid dims (they would
+         skew the per-point loop counts), so supply them here *)
+      let radius =
+        Vgpu.Perf_model.stencil_radius k
+          { w with
+            Vgpu.Perf_model.param_values =
+              ("Nx", dims.Geometry.nx) :: ("Ny", dims.Geometry.ny)
+              :: w.Vgpu.Perf_model.param_values }
+      in
       match p.pl_schedule with
       | `Overlap ->
-          Vgpu.Perf_model.predict_overlapped device k w ~plane_elems
+          Vgpu.Perf_model.predict_overlapped device k w ~radius ~plane_elems
             ~shards:p.pl_shards
       | `Seq | `Concurrent ->
-          Vgpu.Perf_model.predict_sharded device k w ~plane_elems ~shards:p.pl_shards
+          Vgpu.Perf_model.predict_sharded device k w ~radius ~plane_elems
+            ~shards:p.pl_shards
   in
   (base vol wv ~plane_elems *. factor vol) +. (base bnd wb ~plane_elems:0 *. factor bnd)
 

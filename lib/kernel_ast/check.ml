@@ -25,101 +25,8 @@
    sanitizer. *)
 
 open Cast
+open Domain
 module SMap = Map.Make (String)
-
-(* -- Intervals ------------------------------------------------------- *)
-
-type itv = { lo : int option; hi : int option }
-
-let top_itv = { lo = None; hi = None }
-let point n = { lo = Some n; hi = Some n }
-let bool_itv = { lo = Some 0; hi = Some 1 }
-
-let map2_opt f a b = match (a, b) with Some x, Some y -> Some (f x y) | _ -> None
-
-let itv_add a b = { lo = map2_opt ( + ) a.lo b.lo; hi = map2_opt ( + ) a.hi b.hi }
-let itv_neg a = { lo = Option.map (fun h -> -h) a.hi; hi = Option.map (fun l -> -l) a.lo }
-let itv_sub a b = itv_add a (itv_neg b)
-
-let itv_mul a b =
-  match (a.lo, a.hi, b.lo, b.hi) with
-  | Some al, Some ah, Some bl, Some bh ->
-      let ps = [ al * bl; al * bh; ah * bl; ah * bh ] in
-      { lo = Some (List.fold_left min max_int ps); hi = Some (List.fold_left max min_int ps) }
-  | _ -> top_itv
-
-(* Truncating division by a positive constant, non-negative operand. *)
-let itv_div_pos a c =
-  match a.lo with
-  | Some l when l >= 0 -> { lo = Some (l / c); hi = Option.map (fun h -> h / c) a.hi }
-  | _ -> top_itv
-
-let itv_join a b =
-  {
-    lo = map2_opt min a.lo b.lo;
-    hi = map2_opt max a.hi b.hi;
-  }
-
-let itv_within a ~lo ~hi =
-  match (a.lo, a.hi) with Some l, Some h -> l >= lo && h <= hi | _ -> false
-
-let pp_itv ppf a =
-  let s = function Some n -> string_of_int n | None -> "?" in
-  Fmt.pf ppf "[%s, %s]" (s a.lo) (s a.hi)
-
-(* -- Affine forms ---------------------------------------------------- *)
-
-type term =
-  | Tgid of int
-  | Tlid of int  (* get_local_id(d), grouped kernels only *)
-  | Tgrp of int  (* get_group_id(d), grouped kernels only *)
-  | Tloop of int  (* unique id per syntactic loop *)
-
-(* [coeffs] sorted by term, all coefficients non-zero. *)
-type aff = { base : int; coeffs : (term * int) list }
-
-let aff_const n = { base = n; coeffs = [] }
-let aff_of_term t = { base = 0; coeffs = [ (t, 1) ] }
-
-let aff_add a b =
-  let rec merge xs ys =
-    match (xs, ys) with
-    | [], r | r, [] -> r
-    | (tx, cx) :: xs', (ty, cy) :: ys' ->
-        if tx = ty then
-          let c = cx + cy in
-          if c = 0 then merge xs' ys' else (tx, c) :: merge xs' ys'
-        else if compare tx ty < 0 then (tx, cx) :: merge xs' ys
-        else (ty, cy) :: merge xs ys'
-  in
-  { base = a.base + b.base; coeffs = merge a.coeffs b.coeffs }
-
-let aff_scale k a =
-  if k = 0 then aff_const 0
-  else { base = k * a.base; coeffs = List.map (fun (t, c) -> (t, k * c)) a.coeffs }
-
-let aff_neg a = aff_scale (-1) a
-let aff_sub a b = aff_add a (aff_neg b)
-
-(* -- Abstract values -------------------------------------------------- *)
-
-type absval = {
-  v_itv : itv;
-  v_aff : aff option;
-  v_tainted : bool;  (* depends on data loaded from memory *)
-}
-
-let top = { v_itv = top_itv; v_aff = None; v_tainted = false }
-let taint v = { v with v_tainted = true }
-
-let known n = { v_itv = point n; v_aff = Some (aff_const n); v_tainted = false }
-
-let join a b =
-  {
-    v_itv = itv_join a.v_itv b.v_itv;
-    v_aff = (match (a.v_aff, b.v_aff) with Some x, Some y when x = y -> Some x | _ -> None);
-    v_tainted = a.v_tainted || b.v_tainted;
-  }
 
 (* -- Public report types ---------------------------------------------- *)
 
@@ -257,7 +164,15 @@ let rec eval cenv (expr : expr) : absval =
   | Var v -> (
       match SMap.find_opt v cenv.locals with
       | Some av -> av
-      | None -> ( match cenv.e.param_value v with Some n -> known n | None -> top))
+      | None -> (
+          match cenv.e.param_value v with
+          | Some n -> known n
+          | None ->
+              (* an unresolved scalar parameter: value unknown but
+                 launch-uniform, so keep it symbolic — it cancels in
+                 footprint differences and drops out of cross-work-item
+                 injectivity arguments *)
+              { v_itv = top_itv; v_aff = Some (aff_of_term (Tparam v)); v_tainted = false }))
   | Load (b, i) ->
       let iv = eval cenv i in
       record cenv b ~store:false iv;
@@ -833,6 +748,10 @@ let race_verdict cenv e (k : kernel) buf (stores : absval list) : verdict =
                   (fun (t, c) ->
                     match t with
                     | Tgid _ | Tgrp _ | Tlid _ -> None
+                    | Tparam _ ->
+                        (* launch-uniform: the same value for every
+                           work-item, irrelevant to injectivity *)
+                        None
                     | Tloop id -> (
                         match Hashtbl.find_opt cenv.loop_ranges id with
                         | Some { lo = Some l; hi = Some h } ->
@@ -962,6 +881,10 @@ let local_race_verdict cenv e (k : kernel) buf (stores : (absval * int) list) : 
                       (fun (t, c) ->
                         match t with
                         | Tgid _ | Tgrp _ | Tlid _ -> None
+                    | Tparam _ ->
+                        (* launch-uniform: the same value for every
+                           work-item, irrelevant to injectivity *)
+                        None
                         | Tloop id -> (
                             match Hashtbl.find_opt cenv.loop_ranges id with
                             | Some { lo = Some l; hi = Some h } ->

@@ -252,26 +252,52 @@ let updates_per_second ~points ~time_s = points /. time_s
 
 (* -- Z-sharded execution -------------------------------------------- *)
 
+(* Halo radius in planes, inferred from the kernel's static stencil
+   footprint under the workload's parameter environment: the widest
+   per-buffer read radius along the highest-stride axis.  A pointwise
+   kernel (radius 0) predicts zero halo traffic; kernels whose reads are
+   data-dependent (no inferable radius on any buffer) fall back to the
+   one-plane protocol radius. *)
+let stencil_radius (kernel : Cast.kernel) (w : workload) =
+  let param_value n = List.assoc_opt n w.param_values in
+  let buffer_elems n = List.assoc_opt n w.buffer_elems in
+  match (param_value "Nx", param_value "Ny") with
+  | Some nx, Some ny when nx > 0 && ny > 0 -> (
+      let env = Kernel_ast.Check.env ~param_value ~buffer_elems () in
+      match Kernel_ast.Footprint.infer ~strides:[| 1; nx; nx * ny |] env kernel with
+      | fp ->
+          let radius = ref None in
+          List.iter
+            (fun (fb : Kernel_ast.Footprint.buf) ->
+              match Kernel_ast.Footprint.read_radius fp fb.Kernel_ast.Footprint.fb_name with
+              | Some r -> radius := Some (max r (Option.value ~default:0 !radius))
+              | None -> ())
+            fp.Kernel_ast.Footprint.fp_bufs;
+          Option.value ~default:1 !radius
+      | exception _ -> 1)
+  | _ -> 1
+
 (* Bytes crossing device boundaries per time step when the grid is cut
    into [shards] slabs along Z: each of the shards-1 interior cuts swaps
-   one XY plane in each direction. *)
-let halo_bytes_per_step ~(precision : Cast.precision) ~plane_elems ~shards =
+   [radius] XY planes in each direction. *)
+let halo_bytes_per_step ~radius ~(precision : Cast.precision) ~plane_elems ~shards =
   let elem = match precision with Cast.Single -> 4 | Cast.Double -> 8 in
-  2 * (max 0 (shards - 1)) * plane_elems * elem
+  2 * (max 0 (shards - 1)) * radius * plane_elems * elem
 
 (* Predicted per-step kernel time under Z-sharding: the slabs run
    concurrently (each ~1/shards of the points, but still paying the full
    launch overhead), then the halo planes cross the inter-device link.
    [link_gb_s] defaults to a PCIe-3-class 12 GB/s. *)
-let predict_sharded ?(link_gb_s = 12.) (device : Device.t) (kernel : Cast.kernel)
+let predict_sharded ?(link_gb_s = 12.) ?radius (device : Device.t) (kernel : Cast.kernel)
     (w : workload) ~plane_elems ~shards =
   let shards = max 1 shards in
+  let radius = match radius with Some r -> r | None -> stencil_radius kernel w in
   let per_shard =
     { w with active_points = w.active_points /. float_of_int shards }
   in
   let compute_s = predict device kernel per_shard in
   let halo_bytes =
-    halo_bytes_per_step ~precision:kernel.Cast.precision ~plane_elems ~shards
+    halo_bytes_per_step ~radius ~precision:kernel.Cast.precision ~plane_elems ~shards
   in
   let halo_s = float_of_int halo_bytes /. (link_gb_s *. 1e9) in
   compute_s +. halo_s
@@ -283,17 +309,19 @@ let predict_sharded ?(link_gb_s = 12.) (device : Device.t) (kernel : Cast.kernel
    previous halo) plus the longer of interior compute and halo
    transfer.  At shards = 1 there is no halo and no split, so the
    prediction coincides with [predict]. *)
-let predict_overlapped ?(link_gb_s = 12.) (device : Device.t) (kernel : Cast.kernel)
+let predict_overlapped ?(link_gb_s = 12.) ?radius (device : Device.t) (kernel : Cast.kernel)
     (w : workload) ~plane_elems ~shards =
   let shards = max 1 shards in
+  let radius = match radius with Some r -> r | None -> stencil_radius kernel w in
   if shards = 1 then predict device kernel w
   else begin
     let per_shard =
       { w with active_points = w.active_points /. float_of_int shards }
     in
-    (* one frontier plane per ghost-adjacent face (two per interior shard) *)
+    (* [radius] frontier planes per ghost-adjacent face (two faces per
+       interior shard) *)
     let frontier_points =
-      Float.min per_shard.active_points (2. *. float_of_int plane_elems)
+      Float.min per_shard.active_points (2. *. float_of_int (radius * plane_elems))
     in
     let interior_s =
       predict device kernel
@@ -306,7 +334,7 @@ let predict_overlapped ?(link_gb_s = 12.) (device : Device.t) (kernel : Cast.ker
       predict device kernel { per_shard with active_points = frontier_points }
     in
     let halo_bytes =
-      halo_bytes_per_step ~precision:kernel.Cast.precision ~plane_elems ~shards
+      halo_bytes_per_step ~radius ~precision:kernel.Cast.precision ~plane_elems ~shards
     in
     let halo_s = float_of_int halo_bytes /. (link_gb_s *. 1e9) in
     frontier_s +. Float.max interior_s halo_s

@@ -122,14 +122,27 @@ val updates_per_second : points:float -> time_s:float -> float
 
 (** {2 Z-sharded execution} *)
 
+val stencil_radius : Kernel_ast.Cast.kernel -> workload -> int
+(** Halo radius in planes, inferred from the kernel's static stencil
+    footprint ({!Kernel_ast.Footprint}) under the workload's parameter
+    environment (needs ["Nx"] and ["Ny"] in [param_values] to form the
+    axis strides): the widest inferable per-buffer read radius along the
+    highest-stride axis.  A pointwise kernel gets 0; kernels whose reads
+    are all data-dependent fall back to the protocol's one plane. *)
+
 val halo_bytes_per_step :
-  precision:Kernel_ast.Cast.precision -> plane_elems:int -> shards:int -> int
+  radius:int ->
+  precision:Kernel_ast.Cast.precision ->
+  plane_elems:int ->
+  shards:int ->
+  int
 (** Bytes crossing device boundaries per time step when the grid is cut
-    into [shards] slabs along Z: each interior cut swaps one XY plane of
-    [plane_elems] elements in each direction. *)
+    into [shards] slabs along Z: each interior cut swaps [radius]
+    XY planes of [plane_elems] elements in each direction. *)
 
 val predict_sharded :
   ?link_gb_s:float ->
+  ?radius:int ->
   Device.t ->
   Kernel_ast.Cast.kernel ->
   workload ->
@@ -139,10 +152,12 @@ val predict_sharded :
 (** Predicted per-step time under Z-sharding: slabs run concurrently
     (each [1/shards] of the points, full launch overhead) plus the halo
     planes crossing the inter-device link ([link_gb_s], default a
-    PCIe-3-class 12 GB/s). *)
+    PCIe-3-class 12 GB/s).  [radius] defaults to {!stencil_radius} — the
+    halo-byte term comes from the inferred footprint, not a constant. *)
 
 val predict_overlapped :
   ?link_gb_s:float ->
+  ?radius:int ->
   Device.t ->
   Kernel_ast.Cast.kernel ->
   workload ->

@@ -97,6 +97,13 @@ type t = {
   mutable local_lens : (string * int) list;  (* __local arrays of the running kernel *)
   locals : (string, lshadow) Hashtbl.t;  (* shadows for the current group *)
   mutable phase : int;  (* barrier phase within the current group *)
+  extents : (string, extent) Hashtbl.t;
+      (* per global-buffer argument name, observed linear index ranges *)
+}
+
+and extent = {
+  mutable e_load : (int * int) option;  (* inclusive [min,max] of loads *)
+  mutable e_store : (int * int) option;  (* inclusive [min,max] of stores *)
 }
 
 let create ?(max_kept = 64) () =
@@ -112,7 +119,26 @@ let create ?(max_kept = 64) () =
     local_lens = [];
     locals = Hashtbl.create 4;
     phase = 0;
+    extents = Hashtbl.create 8;
   }
+
+(* Observed-extent recording happens before the bounds check: a sound
+   static footprint must cover every *attempted* access, including the
+   out-of-bounds ones the sanitizer suppresses. *)
+let record_extent t name idx ~store =
+  let e =
+    match Hashtbl.find_opt t.extents name with
+    | Some e -> e
+    | None ->
+        let e = { e_load = None; e_store = None } in
+        Hashtbl.replace t.extents name e;
+        e
+  in
+  let widen = function
+    | None -> Some (idx, idx)
+    | Some (lo, hi) -> Some (min lo idx, max hi idx)
+  in
+  if store then e.e_store <- widen e.e_store else e.e_load <- widen e.e_load
 
 let fresh_shadow ~len ~host_init =
   {
@@ -179,6 +205,7 @@ let report t ~buf ~idx kind =
   end
 
 let on_store t ~name ~buf ~len ~idx =
+  if buf <> None then record_extent t name idx ~store:true;
   if idx < 0 || idx >= len then begin
     report t ~buf:name ~idx Oob_store;
     false
@@ -211,6 +238,7 @@ let on_store t ~name ~buf ~len ~idx =
   end
 
 let on_load t ~name ~buf ~len ~idx =
+  if buf <> None then record_extent t name idx ~store:false;
   if idx < 0 || idx >= len then begin
     report t ~buf:name ~idx Oob_load;
     false
@@ -248,6 +276,10 @@ let hook t : Exec.access_hook =
 
 let counts t = t.counts
 let violations t = List.rev t.kept
+
+let access_extents t =
+  Hashtbl.fold (fun name e acc -> (name, e.e_load, e.e_store) :: acc) t.extents []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
 (* [__local] declarations of a kernel body (recursively). *)
 let local_lens_of (k : Kernel_ast.Cast.kernel) =

@@ -100,6 +100,15 @@ val counts : t -> counts
 val violations : t -> violation list
 (** In detection order, capped at [max_kept]. *)
 
+val access_extents : t -> (string * (int * int) option * (int * int) option) list
+(** Per global-buffer argument name (sorted), the inclusive [(min, max)]
+    linear-index interval of observed loads and of observed stores,
+    accumulated across every launch this sanitizer has followed; [None]
+    when no access of that direction occurred.  Out-of-bounds attempts
+    are included — a sound static footprint ({!Kernel_ast.Footprint})
+    must cover them too — which makes this the dynamic ground truth the
+    footprint property tests compare against. *)
+
 val pp_violation : Format.formatter -> violation -> unit
 val pp_counts : Format.formatter -> counts -> unit
 

@@ -17,6 +17,7 @@ let () =
       ("overlap", Test_overlap.suite);
       ("analysis", Test_analysis.suite);
       ("check & sanitize", Test_check.suite);
+      ("footprint & plan verify", Test_footprint.suite);
       ("perf model", Test_perf_model.suite);
       ("material", Test_material.suite);
       ("geometry", Test_geometry.suite);

@@ -238,13 +238,13 @@ let test_sharded_prediction () =
   (* a ~216^3 grid: plane_elems consistent with 1e7 active points *)
   let plane = 216 * 216 in
   Alcotest.(check int) "no halo on one shard" 0
-    (halo_bytes_per_step ~precision:Kernel_ast.Cast.Double ~plane_elems:plane ~shards:1);
+    (halo_bytes_per_step ~radius:1 ~precision:Kernel_ast.Cast.Double ~plane_elems:plane ~shards:1);
   Alcotest.(check int) "double halo, 4 shards"
     (2 * 3 * plane * 8)
-    (halo_bytes_per_step ~precision:Kernel_ast.Cast.Double ~plane_elems:plane ~shards:4);
+    (halo_bytes_per_step ~radius:1 ~precision:Kernel_ast.Cast.Double ~plane_elems:plane ~shards:4);
   Alcotest.(check int) "single halo, 4 shards"
     (2 * 3 * plane * 4)
-    (halo_bytes_per_step ~precision:Kernel_ast.Cast.Single ~plane_elems:plane ~shards:4);
+    (halo_bytes_per_step ~radius:1 ~precision:Kernel_ast.Cast.Single ~plane_elems:plane ~shards:4);
   let k = Hand_kernels.volume ~precision:Kernel_ast.Cast.Double in
   let n = 10_000_000 in
   let w =

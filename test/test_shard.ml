@@ -185,7 +185,7 @@ let qcheck_exchange_round_trip =
 
 let halo_steps_bytes ~precision ~shards =
   let plane = dims.Geometry.nx * dims.Geometry.ny in
-  steps * Vgpu.Perf_model.halo_bytes_per_step ~precision ~plane_elems:plane ~shards
+  steps * Vgpu.Perf_model.halo_bytes_per_step ~radius:1 ~precision ~plane_elems:plane ~shards
 
 let test_stats_scale_with_shards () =
   let shards = 3 in
