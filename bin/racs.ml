@@ -77,7 +77,7 @@ let parse_tile s =
       | _ -> None)
   | _ -> None
 
-let cmd_simulate shape nx ny nz scheme steps backend engine domains shards overlap
+let cmd_simulate shape nx ny nz scheme steps backend engine domains shards tblock overlap
     no_overlap no_opt show_stats sanitize verify tile tuned =
   let params = Params.default in
   let dims = Geometry.dims ~nx ~ny ~nz in
@@ -133,6 +133,14 @@ let cmd_simulate shape nx ny nz scheme steps backend engine domains shards overl
     | `Native -> `Native
   in
   let shards = if shards > 0 then Some shards else None in
+  if tblock < 1 then begin
+    Fmt.epr "racs: --tblock expects a positive depth, got %d@." tblock;
+    exit 2
+  end;
+  if tblock > 1 && shards = None && not tuned then begin
+    Fmt.epr "racs: --tblock amortises the halo exchange, which needs --shards N (N > 1)@.";
+    exit 2
+  end;
   let schedule : Gpu_sim.schedule option =
     match (overlap, no_overlap) with
     | true, true ->
@@ -164,9 +172,9 @@ let cmd_simulate shape nx ny nz scheme steps backend engine domains shards overl
       Some plan
     end
   in
-  let kernels, shards, schedule, unroll_budget =
+  let kernels, shards, schedule, unroll_budget, tblock =
     match tuned_plan with
-    | None -> (kernels, shards, schedule, None)
+    | None -> (kernels, shards, schedule, None, tblock)
     | Some p ->
         ( Harness.Autotune.plan_kernels ~precision ~n_branches:3 ~scheme p,
           (if p.Harness.Plan_cache.pl_shards > 1 then Some p.Harness.Plan_cache.pl_shards
@@ -174,10 +182,12 @@ let cmd_simulate shape nx ny nz scheme steps backend engine domains shards overl
           (if p.Harness.Plan_cache.pl_shards > 1 then
              Some (p.Harness.Plan_cache.pl_schedule :> Gpu_sim.schedule)
            else None),
-          p.Harness.Plan_cache.pl_unroll )
+          p.Harness.Plan_cache.pl_unroll,
+          p.Harness.Plan_cache.pl_tblock )
   in
   let sim =
     Gpu_sim.create ~engine ~optimize:(not no_opt) ?unroll_budget ?shards ?schedule
+      ?tblock:(if tblock > 1 && shards <> None then Some tblock else None)
       ~fi_beta:0.1 ~n_branches:3
       ?verify:(if verify then Some true else None)
       ~sanitize params room
@@ -198,11 +208,14 @@ let cmd_simulate shape nx ny nz scheme steps backend engine domains shards overl
     ((match shards with
      | None -> ""
      | Some _ ->
-         Printf.sprintf ", %d Z-shards%s" (Gpu_sim.n_shards sim)
+         Printf.sprintf ", %d Z-shards%s%s" (Gpu_sim.n_shards sim)
            (match Gpu_sim.schedule sim with
            | Some `Overlap -> ", overlapped async queues"
            | Some `Seq -> ", sequential schedule"
-           | _ -> ""))
+           | _ -> "")
+           (if Gpu_sim.tblock sim > 1 then
+              Printf.sprintf ", temporal blocks T=%d" (Gpu_sim.tblock sim)
+            else ""))
     ^ match tile with None -> "" | Some t -> Printf.sprintf ", tiled volume %s" t);
   Printf.printf "receiver at (%d,%d,%d); first samples:\n " rx cy cz;
   Array.iteri (fun i v -> if i < 12 then Printf.printf " %+.5f" v) response;
@@ -210,7 +223,19 @@ let cmd_simulate shape nx ny nz scheme steps backend engine domains shards overl
   Printf.printf "\nfinal kinetic energy %.6g, dc offset %.6g, peak |u| %.4f\n" e
     (Energy.dc_offset sim.Gpu_sim.state)
     (Energy.max_abs sim.Gpu_sim.state.State.curr);
-  if show_stats then Fmt.pr "\n%a" Gpu_sim.pp_stats sim;
+  if show_stats then begin
+    Fmt.pr "\n%a" Gpu_sim.pp_stats sim;
+    (* the temporal-blocking tradeoff, observable at runtime: what one
+       step costs in exchange rounds, deep-halo bytes and redundantly
+       recomputed frontier points under the configured block depth *)
+    match Gpu_sim.blocked_stats sim kernels with
+    | None -> ()
+    | Some bs ->
+        Fmt.pr "temporal blocking: T=%d, %.2f exchange op(s)/step, %.1f halo bytes/step, \
+                %d redundant frontier point(s)/step@."
+          bs.Gpu_sim.bs_tblock bs.Gpu_sim.bs_exchanges_per_step
+          bs.Gpu_sim.bs_halo_bytes_per_step bs.Gpu_sim.bs_redundant_points
+  end;
   if sanitize then begin
     List.iter (fun s -> Fmt.pr "%a@." Vgpu.Sanitizer.pp s) (Gpu_sim.sanitizers sim);
     match Gpu_sim.violations sim with
@@ -520,6 +545,37 @@ let cmd_check shape nx ny nz precision engine json =
             (Lift.Lint.verify_async slab aplan))
         [ 1; 2; 3; 4 ])
     plan_schemes;
+  (* temporally-blocked cadences: depth-T ghost zones exchanged once per
+     block, verified under the footprint dataflow checker at ~halo:T
+     (sync and overlapped), plus the fused T-step kernel's plan *)
+  let state_bufs = [ "g1"; "v1" ] in
+  List.iter
+    (fun (label, kernels_of_t) ->
+      List.iter
+        (fun (shards, tblock) ->
+          let mk () =
+            Gpu_sim.create ~engine:`Jit ~shards ~schedule:`Seq ~tblock ~fi_beta:0.1
+              ~n_branches:3 ~precision Params.default room
+          in
+          let ssim = mk () in
+          let t = Gpu_sim.tblock ssim in
+          let kernels = kernels_of_t t in
+          let snx, sny, planes = Gpu_sim.slab_geometry ssim in
+          let slab = { Lift.Lint.sl_nx = snx; sl_ny = sny; sl_planes = planes } in
+          lint
+            (Printf.sprintf "blocked sync %s plan, %d shard(s), T=%d, halo dataflow" label
+               shards t)
+            (Lift.Lint.verify_plan ~halo:t ~state_bufs slab
+               (Gpu_sim.step_plan ssim kernels ~steps:(2 * t)));
+          lint
+            (Printf.sprintf "blocked async %s plan, %d shard(s), T=%d, halo dataflow" label
+               shards t)
+            (Lift.Lint.verify_async ~halo:t ~state_bufs slab
+               (Gpu_sim.overlap_plan (mk ()) kernels ~steps:(2 * t))))
+        [ (2, 2); (3, 3) ])
+    (List.map (fun (label, kernels) -> (label, fun _ -> kernels)) plan_schemes
+    @ [ ("fused fi",
+         fun t -> [ Lift_acoustics.Programs.blocked_volume ~precision ~tblock:t () ]) ]);
   out
     "@.%d kernel report(s) unsafe, %d unproven (sanitizer-covered), %d lint error(s), %d \
      tiled conformance failure(s)%s@."
@@ -621,7 +677,7 @@ let tune_result_json (r : Harness.Autotune.result) =
   let plan_json (pl : Harness.Plan_cache.plan) =
     Printf.sprintf
       "{ \"label\": \"%s\", \"tile\": %s, \"variant\": [%s], \"local\": %d, \
-       \"unroll\": %s, \"shards\": %d, \"schedule\": \"%s\" }"
+       \"unroll\": %s, \"shards\": %d, \"schedule\": \"%s\", \"tblock\": %d }"
       (json_escape (Harness.Autotune.plan_label pl))
       (match pl.Harness.Plan_cache.pl_tile with
       | None -> "null"
@@ -639,6 +695,7 @@ let tune_result_json (r : Harness.Autotune.result) =
       | `Seq -> "seq"
       | `Concurrent -> "concurrent"
       | `Overlap -> "overlap")
+      pl.Harness.Plan_cache.pl_tblock
   in
   let k = r.Harness.Autotune.r_key in
   let x, y, z = k.Harness.Plan_cache.k_dims in
@@ -797,6 +854,15 @@ let simulate_cmd =
       & info [ "shards" ]
           ~doc:"Z-shard the grid over this many virtual devices (0 = single device)")
   in
+  let tblock =
+    Arg.(
+      value & opt int 1
+      & info [ "tblock" ] ~docv:"T"
+          ~doc:
+            "sharded runs: temporal block depth — allocate depth-T ghost zones, \
+             recompute frontier planes redundantly, and exchange halos once per T steps \
+             instead of every step (bit-identical results; clamped to the thinnest slab)")
+  in
   let overlap =
     Arg.(
       value & flag
@@ -850,8 +916,8 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Run an impulse-response simulation")
     Term.(
       const cmd_simulate $ shape $ nx $ ny $ nz $ scheme $ steps $ backend $ engine
-      $ domains $ shards $ overlap $ no_overlap $ no_opt_arg $ stats $ sanitize $ verify
-      $ tile $ tuned)
+      $ domains $ shards $ tblock $ overlap $ no_overlap $ no_opt_arg $ stats $ sanitize
+      $ verify $ tile $ tuned)
 
 let experiments_cmd =
   let which = Arg.(value & pos 0 string "all" & info [] ~docv:"EXPERIMENT") in

@@ -62,11 +62,13 @@ type backend =
       plan : Shard.plan;
       sstates : Shard.shard_state array;
       schedule : schedule;
+      tblock : int;  (* temporal block depth T = the shards' halo *)
+      mutable bpos : int;  (* position within the current block, 0..T-1 *)
       mutable scattered : bool;  (* state has been distributed to the shards *)
       mutable ov_eid : int;  (* next fresh overlap event id *)
-      mutable ov_inc : (int option * int option) array;
-          (* per device: events of the previous step's exchanges into its
-             (bottom, top) ghost plane — the frontier launches' waits *)
+      mutable ov_inc : (int list * int list) array;
+          (* per device: events of the previous block's exchanges into its
+             (bottom, top) ghost zone — the block-start launches' waits *)
       mutable ov_imports : (int * Vgpu.Queue.event) list;
           (* events exported by the last submit, imported by the next *)
       mutable ov_fired : int list;  (* fired ids for deterministic replay *)
@@ -81,6 +83,8 @@ type t = {
   tables : Material.tables;
   fi_beta : float;  (* single-material admittance for the FI kernels *)
   engine : engine;
+  precision : Kernel_ast.Cast.precision;
+  req_tblock : int;  (* requested temporal block depth *)
   backend : backend;
   mutable launches : int;
 }
@@ -93,7 +97,7 @@ let runtime_engine : engine -> Vgpu.Runtime.engine = function
 
 let create ?(engine = `Jit) ?(optimize = true) ?unroll_budget ?(fi_beta = 0.1)
     ?(materials = Material.defaults) ?(n_branches = 3) ?shards ?schedule ?(precision = Double)
-    ?verify ?(sanitize = false) params room =
+    ?(tblock = 1) ?verify ?(sanitize = false) params room =
   let re = runtime_engine engine in
   let backend =
     match shards with
@@ -102,7 +106,7 @@ let create ?(engine = `Jit) ?(optimize = true) ?unroll_budget ?(fi_beta = 0.1)
           (Vgpu.Runtime.create ~engine:re ~optimize ?unroll_budget ~precision
              ?verify ~sanitize ())
     | Some n ->
-        let plan = Shard.plan ~n_branches ~shards:n room in
+        let plan = Shard.plan ~n_branches ~halo:tblock ~shards:n room in
         let devices = Shard.n_shards plan in
         let schedule =
           match schedule with
@@ -125,9 +129,13 @@ let create ?(engine = `Jit) ?(optimize = true) ?unroll_budget ?(fi_beta = 0.1)
             plan;
             sstates = Shard.create_states plan;
             schedule;
+            (* effective block depth: Shard.plan clamps the halo to the
+               thinnest slab, so re-read it from the shards *)
+            tblock = plan.Shard.shards.(0).Shard.halo;
+            bpos = 0;
             scattered = false;
             ov_eid = 0;
-            ov_inc = Array.make devices (None, None);
+            ov_inc = Array.make devices ([], []);
             ov_imports = [];
             ov_fired = [];
             ranged = [];
@@ -139,9 +147,17 @@ let create ?(engine = `Jit) ?(optimize = true) ?unroll_budget ?(fi_beta = 0.1)
     tables = Material.tables ~n_branches materials;
     fi_beta;
     engine;
+    precision;
+    req_tblock = max 1 tblock;
     backend;
     launches = 0;
   }
+
+(* Effective temporal block depth: the requested [tblock] clamped by the
+   thinnest slab when sharded (the requested value on a single device,
+   where no halo constrains it). *)
+let tblock t =
+  match t.backend with Single _ -> t.req_tblock | Sharded s -> s.tblock
 
 let n_shards t =
   match t.backend with Single _ -> 1 | Sharded s -> Shard.n_shards s.plan
@@ -196,6 +212,7 @@ let buffer t name : Vgpu.Buffer.t =
       | "prev" -> Vgpu.Buffer.F st.prev
       | "curr" -> Vgpu.Buffer.F st.curr
       | "next" -> Vgpu.Buffer.F st.next
+      | "next2" -> Vgpu.Buffer.F st.next2
       | "nbrs" -> Vgpu.Buffer.I room.Geometry.nbrs
       | "bidx" -> Vgpu.Buffer.I room.Geometry.boundary_indices
       | "material" -> Vgpu.Buffer.I room.Geometry.material
@@ -215,6 +232,7 @@ let buffer_shard t (sh : Shard.shard) (ss : Shard.shard_state) name : Vgpu.Buffe
       | "prev" -> Vgpu.Buffer.F ss.Shard.prev
       | "curr" -> Vgpu.Buffer.F ss.Shard.curr
       | "next" -> Vgpu.Buffer.F ss.Shard.next
+      | "next2" -> Vgpu.Buffer.F ss.Shard.next2
       | "nbrs" -> Vgpu.Buffer.I sh.Shard.nbrs
       | "bidx" -> Vgpu.Buffer.I sh.Shard.bidx
       | "material" -> Vgpu.Buffer.I sh.Shard.material
@@ -282,6 +300,58 @@ let launch_shard t s i (k : kernel) =
 let splittable (k : kernel) =
   match k.global_size with [ Var "N" ] -> true | _ -> false
 
+(* A fused T-step kernel advances the leapfrog [depth] generations in
+   one launch (writing u(t+T) to [next] and u(t+T-1) to [next2]); the
+   depth is encoded in the name by {!Programs.blocked_volume}'s
+   [blocked…_t<T>] convention. *)
+let fused_kernel_depth (k : kernel) =
+  let n = k.name in
+  if String.length n >= 7 && String.sub n 0 7 = "blocked" then
+    match String.rindex_opt n '_' with
+    | Some i when i + 1 < String.length n && n.[i + 1] = 't' -> (
+        match int_of_string_opt (String.sub n (i + 2) (String.length n - i - 2)) with
+        | Some d when d >= 1 -> Some d
+        | _ -> None)
+    | _ -> None
+  else None
+
+(* The fused depth of a kernel sequence: the depth of its fused volume
+   kernel, if any.  [None] for the per-step kernel sequences. *)
+let fused_depth (kernels : kernel list) =
+  List.fold_left
+    (fun acc k -> match fused_kernel_depth k with Some d -> Some d | None -> acc)
+    None kernels
+
+(* Does the kernel sequence carry persistent per-boundary-point branch
+   state (the FD-MM scheme)?  If so, a block boundary must also refresh
+   the ghost slices of [g1]/[v1]: a ghost boundary point at depth d only
+   maintains its state to generation T-d locally. *)
+let uses_branch_state (kernels : kernel list) =
+  List.exists
+    (fun (k : kernel) -> List.exists (fun p -> p.p_name = "g1") k.params)
+    kernels
+
+(* The exchanges of one block boundary: the freshly written [next] at
+   full depth T (it becomes [curr], whose ghosts the next block reads to
+   depth T); the previous generation ([curr], or [next2] for fused
+   kernels) at depth T-1 (it becomes [prev], read at radius 0 by writes
+   of validity up to T-1) — skipped for T ≤ 2 on the per-step cadence,
+   where the redundant in-block recompute already left it valid to depth
+   1 locally (fused kernels exchange [next2] from T = 2 up: their single
+   launch confers no recomputed ghost validity the flow verifier could
+   credit); and the ghost branch-state slices for schemes that carry
+   them.  At T = 1 this reduces to exactly the original per-step [next]
+   exchange. *)
+let block_exchange_plan (p : Shard.plan) ~tblock ~fused ~has_state : Vgpu.Multi.plan =
+  Shard.exchange_ops ~depth:tblock p ~buffer:"next"
+  @ (if (if fused then tblock > 1 else tblock > 2) then
+       Shard.exchange_ops ~depth:(tblock - 1) p
+         ~buffer:(if fused then "next2" else "curr")
+     else [])
+  @ (if has_state && tblock > 1 then
+       Shard.state_exchange_ops p ~buffer:"g1" @ Shard.state_exchange_ops p ~buffer:"v1"
+     else [])
+
 (* Drain this simulation's device queues (no-op when none were used);
    every host-side observation of sharded state goes through here. *)
 let drain t =
@@ -289,23 +359,31 @@ let drain t =
   | Single _ -> ()
   | Sharded s -> Vgpu.Multi.finish_async s.multi
 
-(* Build the async ops of one overlapped time step.
+(* Build the async ops of one overlapped time step at block position
+   [bpos] (0..T-1).
 
-   Per device, in queue order: the interior range of each splittable
-   kernel first (no waits — it starts immediately), then the thin
-   frontier ranges, each waiting on the event of the previous step's
-   exchange into the ghost plane its stencil reads, then the unsplit
-   boundary kernels (FIFO order after the volume parts is exactly the
-   sequential kernel order).  After all launches, the halo exchanges of
-   this step run on their source device's queue — FIFO puts them after
-   the frontier (and boundary) writes they copy — and each signals a
-   fresh event that becomes the matching frontier wait of the next
-   step.  [eid] supplies fresh event ids; [incs] carries each device's
-   (bottom, top) incoming-exchange events across steps and is updated in
-   place.  Buffer params are (re)bound as a side effect, as in the
-   sequential path. *)
-let overlap_step_ops t ~(eid : int ref) ~(incs : (int option * int option) array) kernels :
-    Vgpu.Multi.async_plan =
+   Block start (bpos = 0) — per device, in queue order: the interior
+   range of each splittable kernel first (no waits — it starts
+   immediately), then the halo-deep frontier ranges, each waiting on the
+   events of the previous block's exchanges into the ghost zone its
+   stencil reads, then the unsplit boundary kernels (FIFO order after
+   the volume parts is exactly the sequential kernel order; at T ≥ 2
+   they carry both sides' waits themselves, since they read exchanged
+   ghost branch state).  Mid-block steps (0 < bpos < T-1) launch
+   full-range with no waits: per-queue FIFO already orders them after
+   the same device's previous step, and they touch no freshly exchanged
+   data.  At a block end (bpos = T-1, or every step for fused kernels)
+   the block's halo exchanges run on their source device's queue — FIFO
+   puts them after the source's writes — each waiting on the
+   *destination* device's last in-block launch when T ≥ 2 (those
+   launches redundantly write the very ghost planes the exchange
+   overwrites), and each signalling a fresh event that becomes a
+   block-start wait of the next block.  [eid] supplies fresh event ids;
+   [incs] carries each device's (bottom, top) incoming-exchange events
+   across steps and is updated in place.  Buffer params are (re)bound as
+   a side effect, as in the sequential path. *)
+let overlap_step_ops t ~(eid : int ref) ~(incs : (int list * int list) array)
+    ~(bpos : int) kernels : Vgpu.Multi.async_plan =
   match t.backend with
   | Single _ -> invalid_arg "gpu_sim: overlap_step_ops on a single-device backend"
   | Sharded s ->
@@ -323,14 +401,23 @@ let overlap_step_ops t ~(eid : int ref) ~(incs : (int option * int option) array
             r
       in
       let n = Shard.n_shards s.plan in
+      let tb = s.tblock in
+      let fused = fused_depth kernels <> None in
+      let block_start = bpos = 0 in
+      let block_end = fused || bpos = tb - 1 in
       let ops = ref [] in
       let push op = ops := op :: !ops in
+      (* at a deep block end, the last launch of each device signals so
+         the incoming exchanges can anti-depend on its ghost writes *)
+      let last_sig = Array.make n None in
       for i = 0 to n - 1 do
         let sh = s.plan.Shard.shards.(i) and ss = s.sstates.(i) in
         let rt = Vgpu.Multi.device s.multi i in
+        let dev_ops = ref [] in
+        let pushd op = dev_ops := op :: !dev_ops in
         List.iter
           (fun k ->
-            if splittable k then begin
+            if block_start && splittable k then begin
               let rk = ranged k in
               List.iter
                 (fun (kind, off, count) ->
@@ -344,12 +431,11 @@ let overlap_step_ops t ~(eid : int ref) ~(incs : (int option * int option) array
                   let waits =
                     match kind with
                     | Shard.Interior -> []
-                    | Shard.Frontier_lo -> Option.to_list (fst incs.(i))
-                    | Shard.Frontier_hi -> Option.to_list (snd incs.(i))
-                    | Shard.Frontier_both ->
-                        Option.to_list (fst incs.(i)) @ Option.to_list (snd incs.(i))
+                    | Shard.Frontier_lo -> fst incs.(i)
+                    | Shard.Frontier_hi -> snd incs.(i)
+                    | Shard.Frontier_both -> fst incs.(i) @ snd incs.(i)
                   in
-                  push
+                  pushd
                     {
                       Vgpu.Multi.a_op =
                         Vgpu.Multi.Dev
@@ -366,18 +452,22 @@ let overlap_step_ops t ~(eid : int ref) ~(incs : (int option * int option) array
                   ~buf:(buffer_shard t sh ss) k
               in
               let global = global_size ~int_scalar k in
-              (* A non-splittable volume kernel (e.g. the 2.5D-tiled
-                 stencil, whose NDRange is a padded 2D launch) reads the
+              (* At a block start, a non-splittable volume kernel (the
+                 2.5D-tiled stencil, or a fused T-step kernel) reads the
                  [curr] ghost planes without a frontier launch before it
-                 on this queue, so it must carry the previous step's
-                 incoming-exchange waits itself.  Boundary kernels have
-                 no [curr] parameter and keep FIFO ordering. *)
+                 on this queue, so it carries the incoming-exchange waits
+                 itself; at T ≥ 2 the boundary kernels read exchanged
+                 ghost branch state and carry them too.  Mid-block
+                 launches wait on nothing — FIFO order suffices. *)
               let waits =
-                if List.exists (fun p -> p.p_name = "curr") k.params then
-                  Option.to_list (fst incs.(i)) @ Option.to_list (snd incs.(i))
+                if
+                  block_start
+                  && (tb > 1 || fused
+                     || List.exists (fun p -> p.p_name = "curr") k.params)
+                then fst incs.(i) @ snd incs.(i)
                 else []
               in
-              push
+              pushd
                 {
                   Vgpu.Multi.a_op =
                     Vgpu.Multi.Dev (i, Vgpu.Runtime.Launch { kernel = k; args; global });
@@ -385,47 +475,50 @@ let overlap_step_ops t ~(eid : int ref) ~(incs : (int option * int option) array
                   a_signal = None;
                 }
             end)
-          kernels
+          kernels;
+        let dl =
+          if block_end && tb > 1 && n > 1 then
+            match !dev_ops with
+            | last :: rest_rev ->
+                let e = fresh () in
+                last_sig.(i) <- Some e;
+                List.rev ({ last with Vgpu.Multi.a_signal = Some e } :: rest_rev)
+            | [] -> []
+          else List.rev !dev_ops
+        in
+        List.iter push dl
       done;
-      let next_incs = Array.make n (None, None) in
-      for c = 0 to n - 2 do
-        let lo = s.plan.Shard.shards.(c) and hi = s.plan.Shard.shards.(c + 1) in
-        let e_up = fresh () and e_dn = fresh () in
-        push
-          {
-            Vgpu.Multi.a_op =
-              Vgpu.Multi.Exchange
-                {
-                  src_dev = lo.Shard.index;
-                  src = "next";
-                  src_off = (lo.Shard.planes - 2) * lo.Shard.plane;
-                  dst_dev = hi.Shard.index;
-                  dst = "next";
-                  dst_off = 0;
-                  elems = lo.Shard.plane;
-                };
-            a_waits = [];
-            a_signal = Some e_up;
-          };
-        push
-          {
-            Vgpu.Multi.a_op =
-              Vgpu.Multi.Exchange
-                {
-                  src_dev = hi.Shard.index;
-                  src = "next";
-                  src_off = hi.Shard.plane;
-                  dst_dev = lo.Shard.index;
-                  dst = "next";
-                  dst_off = (lo.Shard.planes - 1) * lo.Shard.plane;
-                  elems = lo.Shard.plane;
-                };
-            a_waits = [];
-            a_signal = Some e_dn;
-          };
-        next_incs.(c + 1) <- (Some e_up, snd next_incs.(c + 1));
-        next_incs.(c) <- (fst next_incs.(c), Some e_dn)
-      done;
+      let next_incs = Array.make n ([], []) in
+      if block_end then
+        List.iter
+          (fun op ->
+            match op with
+            | Vgpu.Multi.Exchange { dst_dev = j; dst; dst_off; _ } ->
+                let ev = fresh () in
+                push
+                  {
+                    Vgpu.Multi.a_op = op;
+                    a_waits = Option.to_list last_sig.(j);
+                    a_signal = Some ev;
+                  };
+                let dsh = s.plan.Shard.shards.(j) in
+                let lo, hi = next_incs.(j) in
+                (* grid-buffer exchanges land on one side of the slab;
+                   branch-state slices order both sides conservatively *)
+                let side =
+                  match dst with
+                  | "next" | "next2" | "curr" | "prev" ->
+                      if dst_off < dsh.Shard.halo * dsh.Shard.plane then `Lo else `Hi
+                  | _ -> `Both
+                in
+                next_incs.(j) <-
+                  (match side with
+                  | `Lo -> (lo @ [ ev ], hi)
+                  | `Hi -> (lo, hi @ [ ev ])
+                  | `Both -> (lo @ [ ev ], hi @ [ ev ]))
+            | _ -> ())
+          (block_exchange_plan s.plan ~tblock:tb ~fused
+             ~has_state:(uses_branch_state kernels));
       Array.blit next_incs 0 incs 0 n;
       List.rev !ops
 
@@ -465,23 +558,41 @@ let launch t (k : kernel) =
       done;
       t.launches <- t.launches + n
 
+(* A fused kernel's depth must match the shards' halo depth: the block
+   exchange sources [depth] owned planes and fills [depth] ghosts. *)
+let check_fused_depth s kernels =
+  match (s, fused_depth kernels) with
+  | Sharded sh, Some d when d <> sh.tblock ->
+      invalid_arg
+        (Printf.sprintf
+           "gpu_sim: fused kernel depth %d needs ~tblock:%d (shards have halo %d)" d d
+           sh.tblock)
+  | _ -> ()
+
 (* One time step: run each kernel in order, then rotate the buffers.
    Sharded: kernels per shard ([`Concurrent]: through the domain pool;
    [`Overlap]: submitted to the per-device command queues without a
-   per-step barrier, steps pipelining through the event graph),
-   halo-exchange the freshly written [next] planes, rotate each shard. *)
+   per-step barrier, steps pipelining through the event graph); at a
+   block boundary (every step at T = 1), halo-exchange the deep ghost
+   zones; rotate each shard every step.  A fused T-step kernel advances
+   T generations per call: every call is a whole block, and the rotation
+   is the four-buffer fused rotation. *)
 let step t (kernels : kernel list) =
   match t.backend with
   | Single _ ->
       List.iter (launch t) kernels;
-      State.rotate t.state
+      if fused_depth kernels <> None then State.rotate_fused t.state
+      else State.rotate t.state
   | Sharded s ->
+      check_fused_depth t.backend kernels;
       ensure_scattered t;
       let n = Shard.n_shards s.plan in
+      let fused = fused_depth kernels <> None in
+      let block_end = fused || s.bpos = s.tblock - 1 in
       (match s.schedule with
       | `Overlap ->
           let eid = ref s.ov_eid in
-          let ops = overlap_step_ops t ~eid ~incs:s.ov_inc kernels in
+          let ops = overlap_step_ops t ~eid ~incs:s.ov_inc ~bpos:s.bpos kernels in
           s.ov_eid <- !eid;
           (* only the latest exchange events are ever waited on, so the
              fresh exports replace the previous step's imports *)
@@ -495,14 +606,24 @@ let step t (kernels : kernel list) =
               run_shard i
             done;
           t.launches <- t.launches + (n * List.length kernels);
-          Array.iteri
-            (fun i (ss : Shard.shard_state) ->
-              Vgpu.Multi.bind s.multi i "next" (Vgpu.Buffer.F ss.Shard.next))
-            s.sstates;
-          Vgpu.Multi.run s.multi (Shard.exchange_ops s.plan ~buffer:"next"));
+          if block_end then begin
+            Array.iteri
+              (fun i (ss : Shard.shard_state) ->
+                Vgpu.Multi.bind s.multi i "next" (Vgpu.Buffer.F ss.Shard.next);
+                Vgpu.Multi.bind s.multi i "next2" (Vgpu.Buffer.F ss.Shard.next2);
+                Vgpu.Multi.bind s.multi i "curr" (Vgpu.Buffer.F ss.Shard.curr);
+                Vgpu.Multi.bind s.multi i "g1" (Vgpu.Buffer.F ss.Shard.g1);
+                Vgpu.Multi.bind s.multi i "v1" (Vgpu.Buffer.F ss.Shard.vel_next))
+              s.sstates;
+            Vgpu.Multi.run s.multi
+              (block_exchange_plan s.plan ~tblock:s.tblock ~fused
+                 ~has_state:(uses_branch_state kernels))
+          end);
       (* host-side rotation is safe while commands are still queued:
          every queued op resolved its buffers at submission *)
-      Array.iter Shard.rotate_state s.sstates
+      if fused then Array.iter Shard.rotate_state_fused s.sstates
+      else Array.iter Shard.rotate_state s.sstates;
+      s.bpos <- (if fused then 0 else (s.bpos + 1) mod s.tblock)
 
 (* One overlapped time step replayed deterministically on the calling
    domain: the same event graph as [`Overlap], executed in the legal
@@ -514,16 +635,20 @@ let step_overlap_with ?pick t (kernels : kernel list) =
   match t.backend with
   | Single _ -> invalid_arg "gpu_sim: step_overlap_with needs a sharded backend"
   | Sharded s ->
+      check_fused_depth t.backend kernels;
       ensure_scattered t;
+      let fused = fused_depth kernels <> None in
       let eid = ref s.ov_eid in
-      let ops = overlap_step_ops t ~eid ~incs:s.ov_inc kernels in
+      let ops = overlap_step_ops t ~eid ~incs:s.ov_inc ~bpos:s.bpos kernels in
       s.ov_eid <- !eid;
       Vgpu.Multi.run_async_with ~imports:s.ov_fired ?pick s.multi ops;
       s.ov_fired <-
         List.filter_map (fun (o : Vgpu.Multi.async_op) -> o.Vgpu.Multi.a_signal) ops
         @ s.ov_fired;
       t.launches <- t.launches + count_launches ops;
-      Array.iter Shard.rotate_state s.sstates
+      if fused then Array.iter Shard.rotate_state_fused s.sstates
+      else Array.iter Shard.rotate_state s.sstates;
+      s.bpos <- (if fused then 0 else (s.bpos + 1) mod s.tblock)
 
 (* The async plan of [steps] overlapped time steps, for static analysis
    ({!Lift.Lint.check_async} via [racs check]).  Buffer rotation appears
@@ -535,26 +660,33 @@ let overlap_plan t (kernels : kernel list) ~steps : Vgpu.Multi.async_plan =
   match t.backend with
   | Single _ -> invalid_arg "gpu_sim: overlap_plan needs a sharded backend"
   | Sharded s ->
+      check_fused_depth t.backend kernels;
       let n = Shard.n_shards s.plan in
-      let eid = ref 0 and incs = Array.make n (None, None) in
+      let fused = fused_depth kernels <> None in
+      let eid = ref 0 and incs = Array.make n ([], []) in
       let acc = ref [] in
-      for _ = 1 to steps do
-        let ops = overlap_step_ops t ~eid ~incs kernels in
+      let aswap i (a, b) =
+        {
+          Vgpu.Multi.a_op = Vgpu.Multi.Dev (i, Vgpu.Runtime.Swap (a, b));
+          a_waits = [];
+          a_signal = None;
+        }
+      in
+      for st = 0 to steps - 1 do
+        let bpos = if fused then 0 else st mod s.tblock in
+        let ops = overlap_step_ops t ~eid ~incs ~bpos kernels in
         let rot =
           List.concat_map
             (fun i ->
-              [
-                {
-                  Vgpu.Multi.a_op = Vgpu.Multi.Dev (i, Vgpu.Runtime.Swap ("prev", "curr"));
-                  a_waits = [];
-                  a_signal = None;
-                };
-                {
-                  Vgpu.Multi.a_op = Vgpu.Multi.Dev (i, Vgpu.Runtime.Swap ("curr", "next"));
-                  a_waits = [];
-                  a_signal = None;
-                };
-              ])
+              if fused then
+                (* prev <- next2, curr <- next, recycling the two stale
+                   grids as the new write targets *)
+                [
+                  aswap i ("prev", "next2");
+                  aswap i ("curr", "next");
+                  aswap i ("next", "next2");
+                ]
+              else [ aswap i ("prev", "curr"); aswap i ("curr", "next") ])
             (List.init n Fun.id)
         in
         acc := !acc @ ops @ rot
@@ -571,10 +703,12 @@ let step_plan t (kernels : kernel list) ~steps : Vgpu.Multi.plan =
   match t.backend with
   | Single _ -> invalid_arg "gpu_sim: step_plan needs a sharded backend"
   | Sharded s ->
+      check_fused_depth t.backend kernels;
       let n = Shard.n_shards s.plan in
+      let fused = fused_depth kernels <> None in
       let acc = ref [] in
       let push op = acc := op :: !acc in
-      for _ = 1 to steps do
+      for st = 0 to steps - 1 do
         for i = 0 to n - 1 do
           let sh = s.plan.Shard.shards.(i) and ss = s.sstates.(i) in
           let rt = Vgpu.Multi.device s.multi i in
@@ -589,10 +723,20 @@ let step_plan t (kernels : kernel list) ~steps : Vgpu.Multi.plan =
               push (Vgpu.Multi.Dev (i, Vgpu.Runtime.Launch { kernel = k; args; global })))
             kernels
         done;
-        List.iter push (Shard.exchange_ops s.plan ~buffer:"next");
+        if fused || st mod s.tblock = s.tblock - 1 then
+          List.iter push
+            (block_exchange_plan s.plan ~tblock:s.tblock ~fused
+               ~has_state:(uses_branch_state kernels));
         for i = 0 to n - 1 do
-          push (Vgpu.Multi.Dev (i, Vgpu.Runtime.Swap ("prev", "curr")));
-          push (Vgpu.Multi.Dev (i, Vgpu.Runtime.Swap ("curr", "next")))
+          if fused then begin
+            push (Vgpu.Multi.Dev (i, Vgpu.Runtime.Swap ("prev", "next2")));
+            push (Vgpu.Multi.Dev (i, Vgpu.Runtime.Swap ("curr", "next")));
+            push (Vgpu.Multi.Dev (i, Vgpu.Runtime.Swap ("next", "next2")))
+          end
+          else begin
+            push (Vgpu.Multi.Dev (i, Vgpu.Runtime.Swap ("prev", "curr")));
+            push (Vgpu.Multi.Dev (i, Vgpu.Runtime.Swap ("curr", "next")))
+          end
         done
       done;
       List.rev !acc
@@ -622,7 +766,7 @@ let read t ~x ~y ~z =
   | Sharded s when s.scattered ->
       let sh = Shard.owner s.plan ~z in
       let ss = s.sstates.(sh.Shard.index) in
-      ss.Shard.curr.(((z - sh.Shard.z0 + 1) * sh.Shard.plane)
+      ss.Shard.curr.(((z - sh.Shard.z0 + sh.Shard.halo) * sh.Shard.plane)
                      + (y * t.state.room.Geometry.dims.Geometry.nx) + x)
   | Single _ | Sharded _ -> State.read t.state ~x ~y ~z
 
@@ -697,6 +841,59 @@ let overlap_stats t =
   match t.backend with
   | Single _ -> None
   | Sharded s -> Some (Vgpu.Multi.overlap_stats s.multi)
+
+(* Static per-step cost profile of the temporal-blocking tradeoff. *)
+type blocked_stats = {
+  bs_tblock : int;  (* effective block depth T *)
+  bs_exchanges_per_step : float;  (* d2d copy ops per time step *)
+  bs_halo_bytes_per_step : float;  (* d2d bytes per time step *)
+  bs_redundant_points : int;
+      (* ghost points with real geometry, recomputed redundantly on
+         every in-block step across all shards *)
+}
+
+let blocked_stats t (kernels : kernel list) =
+  match t.backend with
+  | Single _ -> None
+  | Sharded s ->
+      let fused = fused_depth kernels <> None in
+      let exs =
+        block_exchange_plan s.plan ~tblock:s.tblock ~fused
+          ~has_state:(uses_branch_state kernels)
+      in
+      let elem = match t.precision with Double -> 8 | Single -> 4 in
+      let bytes =
+        List.fold_left
+          (fun acc op ->
+            match op with
+            | Vgpu.Multi.Exchange { elems; _ } -> acc + (elems * elem)
+            | _ -> acc)
+          0 exs
+      in
+      let redundant = ref 0 in
+      Array.iter
+        (fun (sh : Shard.shard) ->
+          let h = sh.Shard.halo in
+          let count_plane p =
+            for q = p * sh.Shard.plane to ((p + 1) * sh.Shard.plane) - 1 do
+              if sh.Shard.nbrs.(q) > 0 then incr redundant
+            done
+          in
+          for p = 1 to h - 1 do
+            count_plane p
+          done;
+          for p = sh.Shard.planes - h to sh.Shard.planes - 2 do
+            if p > h - 1 then count_plane p
+          done)
+        s.plan.Shard.shards;
+      let tb = float_of_int s.tblock in
+      Some
+        {
+          bs_tblock = s.tblock;
+          bs_exchanges_per_step = float_of_int (List.length exs) /. tb;
+          bs_halo_bytes_per_step = float_of_int bytes /. tb;
+          bs_redundant_points = !redundant;
+        }
 
 (* Run [steps] steps recording the field at the receiver after each. *)
 let run t (kernels : kernel list) ~steps ~receiver:(rx, ry, rz) =

@@ -48,12 +48,14 @@ type backend =
       plan : Shard.plan;
       sstates : Shard.shard_state array;
       schedule : schedule;
+      tblock : int;  (** temporal block depth T = the shards' halo *)
+      mutable bpos : int;  (** position within the current block, 0..T-1 *)
       mutable scattered : bool;
           (** the global state has been distributed to the shards *)
       mutable ov_eid : int;  (** next fresh overlap event id *)
-      mutable ov_inc : (int option * int option) array;
-          (** per device: the previous step's exchange events into its
-              (bottom, top) ghost plane *)
+      mutable ov_inc : (int list * int list) array;
+          (** per device: the previous block's exchange events into its
+              (bottom, top) ghost zone *)
       mutable ov_imports : (int * Vgpu.Queue.event) list;
           (** events exported by the last async submit *)
       mutable ov_fired : int list;
@@ -68,6 +70,8 @@ type t = {
   tables : Material.tables;
   fi_beta : float;  (** single-material admittance for the FI kernels *)
   engine : engine;
+  precision : Kernel_ast.Cast.precision;
+  req_tblock : int;  (** requested temporal block depth *)
   backend : backend;
   mutable launches : int;
 }
@@ -82,6 +86,7 @@ val create :
   ?shards:int ->
   ?schedule:schedule ->
   ?precision:Kernel_ast.Cast.precision ->
+  ?tblock:int ->
   ?verify:bool ->
   ?sanitize:bool ->
   Params.t ->
@@ -98,9 +103,18 @@ val create :
     underlying runtimes: launched kernels pass through the
     {!module:Kernel_ast.Opt} pipeline before dispatch.  [precision]
     (default [Double]) sets the transfer-accounting element width of the
-    underlying runtimes.  [verify] and [sanitize] are forwarded to every
-    runtime: fail-fast static verification of each launch, and
-    shadow-memory checked execution (see {!Vgpu.Runtime.create}). *)
+    underlying runtimes.  [tblock] (default 1) is the temporal block
+    depth T: sharded runs allocate depth-T ghost zones, recompute the
+    inner T-1 ghost planes redundantly each step, and exchange halos
+    once per block of T steps instead of every step — bit-identical to
+    T = 1 (clamped to the thinnest slab; see {!tblock} for the effective
+    value).  [verify] and [sanitize] are forwarded to every runtime:
+    fail-fast static verification of each launch, and shadow-memory
+    checked execution (see {!Vgpu.Runtime.create}). *)
+
+val tblock : t -> int
+(** The effective temporal block depth: the requested [tblock] clamped
+    by the thinnest slab when sharded. *)
 
 val check_env : t -> Kernel_ast.Check.env
 (** Static-verification environment mirroring this simulation's argument
@@ -134,12 +148,24 @@ val pp_stats : Format.formatter -> t -> unit
 
 val step : t -> Kernel_ast.Cast.kernel list -> unit
 (** One time step: run the kernels in order, then rotate the buffers.
-    Sharded: kernels per shard (per the configured {!type:schedule}),
-    halo exchange of the freshly written [next] ghost planes, local
-    rotations.  Under [`Overlap] the step is submitted asynchronously
-    and may still be in flight when [step] returns; any host-side
-    observation ({!sync}, {!read}, {!stats}, ...) drains the queues
-    first. *)
+    Sharded: kernels per shard (per the configured {!type:schedule});
+    at a block boundary — every step when [tblock] is 1 — the deep halo
+    exchange of the freshly written ghost zones ([next] at depth T,
+    [curr] at depth T-1 when T > 2, plus the ghost branch-state slices
+    for FD-MM);
+    local rotations every step.  A kernel list containing a fused
+    T-step kernel ({!Programs.blocked_volume} naming convention)
+    advances T generations per call: every call is a whole block and
+    the rotation is the four-buffer fused one.  Under [`Overlap] the
+    step is submitted asynchronously and may still be in flight when
+    [step] returns; any host-side observation ({!sync}, {!read},
+    {!stats}, ...) drains the queues first.
+    @raise Invalid_argument if a fused kernel's depth differs from the
+    shards' halo depth. *)
+
+val fused_depth : Kernel_ast.Cast.kernel list -> int option
+(** The fused depth of a kernel sequence (from the [blocked…_t<T>] name
+    convention); [None] for per-step kernel sequences. *)
 
 val drain : t -> unit
 (** Wait for all queued async work (no-op on a single device or when the
@@ -195,6 +221,21 @@ val overlap_vclock_ns : t -> float
 val overlap_stats : t -> Vgpu.Multi.overlap_stats option
 (** Drains, then returns aggregate queue statistics (total busy time vs
     critical path and the overlap saving); [None] on a single device. *)
+
+(** Static per-step cost profile of the temporal-blocking tradeoff. *)
+type blocked_stats = {
+  bs_tblock : int;  (** effective block depth T *)
+  bs_exchanges_per_step : float;  (** d2d copy ops per time step *)
+  bs_halo_bytes_per_step : float;  (** d2d bytes per time step *)
+  bs_redundant_points : int;
+      (** ghost points with real geometry, recomputed redundantly on
+          every in-block step, summed across shards *)
+}
+
+val blocked_stats : t -> Kernel_ast.Cast.kernel list -> blocked_stats option
+(** The temporal-blocking cost profile of this simulation's block
+    exchange plan for the given kernel sequence; [None] on a single
+    device. *)
 
 val sync : t -> unit
 (** Gather the sharded slabs back into [state] (no-op on a single

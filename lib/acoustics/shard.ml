@@ -38,14 +38,22 @@ type shard = {
   z0 : int;  (* first owned global plane *)
   z1 : int;  (* one past the last owned global plane *)
   plane : int;  (* nx * ny *)
-  planes : int;  (* z1 - z0 + 2: owned planes plus two ghosts *)
-  base : int;  (* global linear index of local index 0, i.e. (z0-1)*plane *)
+  halo : int;  (* ghost planes per side (the temporal block depth T) *)
+  planes : int;  (* z1 - z0 + 2*halo: owned planes plus the ghosts *)
+  base : int;  (* global linear index of local index 0, i.e. (z0-halo)*plane *)
   local_n : int;  (* planes * plane *)
-  nbrs : int array;  (* local neighbour counts, ghost planes zeroed *)
+  nbrs : int array;
+  (* local neighbour counts: real values on local planes [1, planes-2]
+     (owned planes plus the halo-1 ghost planes the blocked schedule
+     recomputes redundantly), zero on the two extreme planes and
+     outside the grid — the [nbr > 0] guard then keeps every stencil
+     read in bounds *)
   bidx : int array;  (* boundary indices re-based to local coordinates *)
   material : int array;  (* material ids of this shard's boundary points *)
   b_off : int;  (* offset of this shard's range in the global boundary array *)
-  n_b : int;  (* boundary points owned by this shard *)
+  n_b : int;  (* boundary points in this shard's extended (owned + ghost) range *)
+  b_own0 : int;  (* offset of the first owned boundary point within [bidx] *)
+  b_ownn : int;  (* boundary points actually owned by this shard *)
 }
 
 type plan = {
@@ -63,26 +71,61 @@ let lower_bound (a : int array) v =
   done;
   !lo
 
-let make_shard (room : Geometry.room) index (sl : slab) =
+let make_shard ?(halo = 1) (room : Geometry.room) index (sl : slab) =
   let z0 = sl.z0 and z1 = sl.z1 in
-  let { Geometry.nx; ny; _ } = room.Geometry.dims in
+  let { Geometry.nx; ny; nz } = room.Geometry.dims in
   let plane = nx * ny in
-  let planes = z1 - z0 + 2 in
-  let base = (z0 - 1) * plane in
+  let planes = z1 - z0 + (2 * halo) in
+  let base = (z0 - halo) * plane in
   let local_n = planes * plane in
   let nbrs = Array.make local_n 0 in
-  Array.blit room.Geometry.nbrs (z0 * plane) nbrs plane ((z1 - z0) * plane);
+  (* real neighbour counts on every local plane except the two extreme
+     ones, clamped to the grid: the halo-1 inner ghost planes carry real
+     geometry so the blocked schedule can recompute them redundantly *)
+  for p = 1 to planes - 2 do
+    let z = z0 - halo + p in
+    if z >= 0 && z < nz then
+      Array.blit room.Geometry.nbrs (z * plane) nbrs (p * plane) plane
+  done;
   let gb = room.Geometry.boundary_indices in
-  let b_off = lower_bound gb (z0 * plane) in
-  let b_end = lower_bound gb (z1 * plane) in
+  (* boundary range extended by the halo-1 redundantly recomputed ghost
+     planes on each side (empty extension at halo = 1) *)
+  let ze_lo = max 0 (z0 - (halo - 1)) and ze_hi = min nz (z1 + (halo - 1)) in
+  let b_off = lower_bound gb (ze_lo * plane) in
+  let b_end = lower_bound gb (ze_hi * plane) in
   let n_b = b_end - b_off in
+  let b_own0 = lower_bound gb (z0 * plane) - b_off in
+  let b_ownn = lower_bound gb (z1 * plane) - lower_bound gb (z0 * plane) in
   let bidx = Array.init n_b (fun i -> gb.(b_off + i) - base) in
   let material = Array.sub room.Geometry.material b_off n_b in
-  { index; z0; z1; plane; planes; base; local_n; nbrs; bidx; material; b_off; n_b }
+  {
+    index;
+    z0;
+    z1;
+    plane;
+    halo;
+    planes;
+    base;
+    local_n;
+    nbrs;
+    bidx;
+    material;
+    b_off;
+    n_b;
+    b_own0;
+    b_ownn;
+  }
 
-let plan ?(n_branches = 0) ~shards room =
+let plan ?(n_branches = 0) ?(halo = 1) ~shards room =
   let slabs = partition ~nz:room.Geometry.dims.Geometry.nz ~shards in
-  { room; n_branches; shards = Array.mapi (make_shard room) slabs }
+  (* the halo exchange sources [halo] owned planes and the redundant
+     recompute reaches halo-1 planes past the cut, so the depth is
+     capped by the thinnest slab *)
+  let min_owned =
+    Array.fold_left (fun acc (sl : slab) -> min acc (sl.z1 - sl.z0)) max_int slabs
+  in
+  let halo = max 1 (min halo min_owned) in
+  { room; n_branches; shards = Array.mapi (make_shard ~halo room) slabs }
 
 let n_shards p = Array.length p.shards
 
@@ -98,6 +141,7 @@ type shard_state = {
   mutable prev : float array;
   mutable curr : float array;
   mutable next : float array;
+  mutable next2 : float array;  (* u at t+T-1, written by fused kernels *)
   mutable g1 : float array;
   mutable vel_prev : float array;  (* v2 *)
   mutable vel_next : float array;  (* v1 *)
@@ -110,6 +154,7 @@ let create_state p (s : shard) =
     prev = grid ();
     curr = grid ();
     next = grid ();
+    next2 = grid ();
     g1 = bstate ();
     vel_prev = bstate ();
     vel_next = bstate ();
@@ -127,19 +172,28 @@ let rotate_state ss =
   ss.vel_prev <- ss.vel_next;
   ss.vel_next <- old_vel
 
+(* Mirror of [State.rotate_fused]: a fused T-step launch wrote u(t+T)
+   into [next] and u(t+T-1) into [next2]. *)
+let rotate_state_fused ss =
+  let old_prev = ss.prev and old_curr = ss.curr in
+  ss.prev <- ss.next2;
+  ss.curr <- ss.next;
+  ss.next <- old_prev;
+  ss.next2 <- old_curr
+
 (* Global grid -> shard-local slab, plane by plane: owned and interior
    ghost planes copy from the global array, out-of-grid ghosts zero. *)
 let scatter_slab (s : shard) ~(src : float array) ~(dst : float array) =
   let nz = Array.length src / s.plane in
   for p = 0 to s.planes - 1 do
-    let z = s.z0 - 1 + p in
+    let z = s.z0 - s.halo + p in
     if z < 0 || z >= nz then Array.fill dst (p * s.plane) s.plane 0.
     else Array.blit src (z * s.plane) dst (p * s.plane) s.plane
   done
 
 (* Shard-local slab -> global grid: owned planes only. *)
 let gather_slab (s : shard) ~(src : float array) ~(dst : float array) =
-  Array.blit src s.plane dst (s.z0 * s.plane) ((s.z1 - s.z0) * s.plane)
+  Array.blit src (s.halo * s.plane) dst (s.z0 * s.plane) ((s.z1 - s.z0) * s.plane)
 
 (* Branch-major boundary state: global ci = b*nB_global + (b_off + i)
    maps to local ci = b*n_b + i, one contiguous slice per branch. *)
@@ -149,10 +203,16 @@ let scatter_bstate p (s : shard) ~(src : float array) ~(dst : float array) =
     Array.blit src ((b * nb_global) + s.b_off) dst (b * s.n_b) s.n_b
   done
 
+(* Gather only the owned slice of each branch: the extended-range ghost
+   boundary points belong to (and are gathered from) the neighbour. *)
 let gather_bstate p (s : shard) ~(src : float array) ~(dst : float array) =
   let nb_global = Geometry.n_boundary p.room in
   for b = 0 to p.n_branches - 1 do
-    Array.blit src (b * s.n_b) dst ((b * nb_global) + s.b_off) s.n_b
+    Array.blit src
+      ((b * s.n_b) + s.b_own0)
+      dst
+      ((b * nb_global) + s.b_off + s.b_own0)
+      s.b_ownn
   done
 
 let scatter p (st : State.t) (sstates : shard_state array) =
@@ -162,6 +222,7 @@ let scatter p (st : State.t) (sstates : shard_state array) =
       scatter_slab s ~src:st.State.prev ~dst:ss.prev;
       scatter_slab s ~src:st.State.curr ~dst:ss.curr;
       scatter_slab s ~src:st.State.next ~dst:ss.next;
+      scatter_slab s ~src:st.State.next2 ~dst:ss.next2;
       scatter_bstate p s ~src:st.State.g1 ~dst:ss.g1;
       scatter_bstate p s ~src:st.State.vel_prev ~dst:ss.vel_prev;
       scatter_bstate p s ~src:st.State.vel_next ~dst:ss.vel_next)
@@ -174,6 +235,7 @@ let gather p (sstates : shard_state array) (st : State.t) =
       gather_slab s ~src:ss.prev ~dst:st.State.prev;
       gather_slab s ~src:ss.curr ~dst:st.State.curr;
       gather_slab s ~src:ss.next ~dst:st.State.next;
+      gather_slab s ~src:ss.next2 ~dst:st.State.next2;
       gather_bstate p s ~src:ss.g1 ~dst:st.State.g1;
       gather_bstate p s ~src:ss.vel_prev ~dst:st.State.vel_prev;
       gather_bstate p s ~src:ss.vel_next ~dst:st.State.vel_next)
@@ -199,48 +261,101 @@ type range_kind =
    cuts) or scattered as zero and never touched again (grid edges),
    which keeps the split bit-identical to the full-range launch. *)
 let split_ranges (s : shard) : (range_kind * int * int) list =
-  let owned = s.z1 - s.z0 in
-  if owned <= 1 then [ (Frontier_both, s.plane, s.plane) ]
+  let owned = s.z1 - s.z0 and h = s.halo in
+  if owned <= 1 then [ (Frontier_both, s.plane, (s.planes - 2) * s.plane) ]
   else if owned = 2 then
-    [ (Frontier_lo, s.plane, s.plane); (Frontier_hi, 2 * s.plane, s.plane) ]
+    [
+      (Frontier_lo, s.plane, h * s.plane);
+      (Frontier_hi, (h + 1) * s.plane, h * s.plane);
+    ]
   else
     (* interior first: it carries no event wait, so an in-order queue
        starts it immediately while the frontiers wait on the halo *)
     [
-      (Interior, 2 * s.plane, (owned - 2) * s.plane);
-      (Frontier_lo, s.plane, s.plane);
-      (Frontier_hi, (s.planes - 2) * s.plane, s.plane);
+      (Interior, (h + 1) * s.plane, (owned - 2) * s.plane);
+      (Frontier_lo, s.plane, h * s.plane);
+      (Frontier_hi, (s.planes - 1 - h) * s.plane, h * s.plane);
     ]
 
 (* Halo exchange over buffer [name]: across each interior cut, the lower
-   shard's top owned plane refreshes the upper shard's bottom ghost, and
-   the upper shard's bottom owned plane refreshes the lower shard's top
-   ghost. *)
-let exchange_ops p ~buffer : Vgpu.Multi.plan =
+   shard's top [depth] owned planes refresh the upper shard's bottom
+   ghost planes nearest the cut, and vice versa.  [depth] defaults to the
+   full halo; a shallower depth (e.g. halo-1 for the [curr] buffer at a
+   block boundary) fills only the [depth] ghost planes nearest the owned
+   region and leaves the farther ones stale on purpose. *)
+let exchange_ops ?depth p ~buffer : Vgpu.Multi.plan =
   let ops = ref [] in
   for i = Array.length p.shards - 2 downto 0 do
     let lo = p.shards.(i) and hi = p.shards.(i + 1) in
-    ops :=
-      Vgpu.Multi.Exchange
-        {
-          src_dev = lo.index;
-          src = buffer;
-          src_off = (lo.planes - 2) * lo.plane;
-          dst_dev = hi.index;
-          dst = buffer;
-          dst_off = 0;
-          elems = lo.plane;
-        }
-      :: Vgpu.Multi.Exchange
-           {
-             src_dev = hi.index;
-             src = buffer;
-             src_off = hi.plane;
-             dst_dev = lo.index;
-             dst = buffer;
-             dst_off = (lo.planes - 1) * lo.plane;
-             elems = lo.plane;
-           }
-      :: !ops
+    let h = lo.halo in
+    let d = match depth with None -> h | Some d -> max 0 (min d h) in
+    if d > 0 then
+      ops :=
+        Vgpu.Multi.Exchange
+          {
+            src_dev = lo.index;
+            src = buffer;
+            src_off = (lo.planes - h - d) * lo.plane;
+            dst_dev = hi.index;
+            dst = buffer;
+            dst_off = (h - d) * hi.plane;
+            elems = d * lo.plane;
+          }
+        :: Vgpu.Multi.Exchange
+             {
+               src_dev = hi.index;
+               src = buffer;
+               src_off = h * hi.plane;
+               dst_dev = lo.index;
+               dst = buffer;
+               dst_off = (lo.planes - h) * lo.plane;
+               elems = d * lo.plane;
+             }
+        :: !ops
+  done;
+  !ops
+
+(* Refresh the ghost (redundantly recomputed, non-owned) slices of the
+   branch-major boundary-state buffers across each interior cut.  A
+   shard's extended boundary range is [owned-prefix ghosts][owned]
+   [owned-suffix ghosts]; the prefix is owned by the lower neighbour and
+   the suffix by the upper one, so at a block boundary each ghost slice
+   is overwritten from its owner's (correct) copy.  Empty at halo = 1,
+   where the extended range equals the owned range. *)
+let state_exchange_ops p ~buffer : Vgpu.Multi.plan =
+  let ops = ref [] in
+  for i = Array.length p.shards - 2 downto 0 do
+    let lo = p.shards.(i) and hi = p.shards.(i + 1) in
+    for b = p.n_branches - 1 downto 0 do
+      (* hi's ghost prefix, sourced from lo's owned points *)
+      if hi.b_own0 > 0 then
+        ops :=
+          Vgpu.Multi.Exchange
+            {
+              src_dev = lo.index;
+              src = buffer;
+              src_off = (b * lo.n_b) + (hi.b_off - lo.b_off);
+              dst_dev = hi.index;
+              dst = buffer;
+              dst_off = b * hi.n_b;
+              elems = hi.b_own0;
+            }
+          :: !ops;
+      (* lo's ghost suffix, sourced from hi's owned points *)
+      let suffix = lo.n_b - lo.b_own0 - lo.b_ownn in
+      if suffix > 0 then
+        ops :=
+          Vgpu.Multi.Exchange
+            {
+              src_dev = hi.index;
+              src = buffer;
+              src_off = (b * hi.n_b) + hi.b_own0;
+              dst_dev = lo.index;
+              dst = buffer;
+              dst_off = (b * lo.n_b) + lo.b_own0 + lo.b_ownn;
+              elems = suffix;
+            }
+          :: !ops
+    done
   done;
   !ops

@@ -2,14 +2,17 @@
     devices.
 
     The grid is cut into contiguous slabs of whole XY planes; a shard
-    owns global planes [z0, z1) and holds (z1-z0)+2 local planes — the
-    owned planes plus one ghost plane each side.  Out-of-grid ghosts
-    stay zero (the grid-edge halo); interior ghosts are refreshed from
-    the neighbouring shard by a halo exchange after the kernels of each
-    time step.  Boundary data re-bases to shard-local coordinates at
-    plan time: the ascending global boundary-index array makes each
-    shard's boundary points one contiguous range, so the branch-major
-    FD state (ci = b*nB + i) re-bases per branch as contiguous slices.
+    owns global planes [z0, z1) and holds (z1-z0)+2*halo local planes —
+    the owned planes plus [halo] ghost planes each side, where [halo] is
+    the temporal block depth T.  Out-of-grid ghosts stay zero (the
+    grid-edge halo); interior ghosts are refreshed from the neighbouring
+    shard by a depth-[halo] exchange once per block of T steps, and the
+    halo-1 ghost planes nearest the owned region carry real geometry so
+    the in-block launches recompute them redundantly.  Boundary data
+    re-bases to shard-local coordinates at plan time: the ascending
+    global boundary-index array makes each shard's (halo-extended)
+    boundary range contiguous, so the branch-major FD state
+    (ci = b*nB + i) re-bases per branch as contiguous slices.
 
     Every owned point is computed by exactly one shard from inputs
     identical to the unsharded arrays, so sharded runs are bit-for-bit
@@ -26,14 +29,19 @@ type shard = {
   z0 : int;  (** first owned global plane *)
   z1 : int;  (** one past the last owned global plane *)
   plane : int;  (** nx * ny *)
-  planes : int;  (** z1 - z0 + 2: owned planes plus two ghosts *)
-  base : int;  (** global linear index of local index 0: (z0-1)*plane *)
+  halo : int;  (** ghost planes per side (the temporal block depth T) *)
+  planes : int;  (** z1 - z0 + 2*halo: owned planes plus the ghosts *)
+  base : int;  (** global linear index of local index 0: (z0-halo)*plane *)
   local_n : int;  (** planes * plane *)
-  nbrs : int array;  (** local neighbour counts, ghost planes zeroed *)
+  nbrs : int array;
+      (** local neighbour counts: real on local planes [1, planes-2],
+          zero on the two extreme planes and outside the grid *)
   bidx : int array;  (** boundary indices re-based to local coordinates *)
   material : int array;  (** material ids of this shard's boundary points *)
   b_off : int;  (** offset of this shard's range in the global boundary array *)
-  n_b : int;  (** boundary points owned by this shard *)
+  n_b : int;  (** boundary points in the extended (owned + ghost) range *)
+  b_own0 : int;  (** offset of the first owned boundary point within [bidx] *)
+  b_ownn : int;  (** boundary points actually owned by this shard *)
 }
 
 type plan = {
@@ -42,7 +50,9 @@ type plan = {
   shards : shard array;
 }
 
-val plan : ?n_branches:int -> shards:int -> Geometry.room -> plan
+val plan : ?n_branches:int -> ?halo:int -> shards:int -> Geometry.room -> plan
+(** [halo] (default 1) is the ghost depth per side — the temporal block
+    depth T — clamped to the thinnest slab's owned plane count. *)
 
 val n_shards : plan -> int
 
@@ -56,6 +66,8 @@ type shard_state = {
   mutable prev : float array;
   mutable curr : float array;
   mutable next : float array;
+  mutable next2 : float array;
+      (** u at t+T-1, written by fused T-step kernels *)
   mutable g1 : float array;
   mutable vel_prev : float array;  (** v2 *)
   mutable vel_next : float array;  (** v1 *)
@@ -66,12 +78,17 @@ val create_states : plan -> shard_state array
 val rotate_state : shard_state -> unit
 (** Mirror of {!State.rotate} on a shard's local arrays. *)
 
+val rotate_state_fused : shard_state -> unit
+(** Mirror of {!State.rotate_fused}: next becomes curr, next2 becomes
+    prev, the two stale grids recycle as write targets. *)
+
 val scatter : plan -> State.t -> shard_state array -> unit
 (** Distribute the global state to the shards (owned + ghost planes;
     branch state by contiguous per-branch slices). *)
 
 val gather : plan -> shard_state array -> State.t -> unit
-(** Re-assemble the global state from the shards' owned planes. *)
+(** Re-assemble the global state from the shards' owned planes and owned
+    boundary-state slices. *)
 
 val scatter_slab : shard -> src:float array -> dst:float array -> unit
 val gather_slab : shard -> src:float array -> dst:float array -> unit
@@ -79,21 +96,31 @@ val gather_slab : shard -> src:float array -> dst:float array -> unit
 (** {2 Interior/frontier decomposition} *)
 
 type range_kind =
-  | Interior  (** owned planes not adjacent to a ghost plane *)
-  | Frontier_lo  (** first owned plane: stencil reads the bottom ghost *)
-  | Frontier_hi  (** last owned plane: stencil reads the top ghost *)
-  | Frontier_both  (** single owned plane adjacent to both ghosts *)
+  | Interior  (** owned planes whose stencils touch no exchanged ghost *)
+  | Frontier_lo  (** planes whose stencils read the bottom ghost zone *)
+  | Frontier_hi  (** planes whose stencils read the top ghost zone *)
+  | Frontier_both  (** planes reading both ghost zones (thin shard) *)
 
 val split_ranges : shard -> (range_kind * int * int) list
 (** Cut the shard's flat local index range into the launches of the
     overlapped schedule: [(kind, offset, count)] in elements, interior
-    range (when the shard owns ≥ 3 planes) first.  Ghost planes are in
-    no range — the sequential volume kernel only writes zeros there
-    (ghost [nbrs] are zero) and the halo exchange or the scattered zeros
-    supply those cells, so the split is bit-identical to the full-range
-    launch. *)
+    range (when the shard owns ≥ 3 planes) first.  Frontier ranges are
+    [halo] planes deep — exactly the writes whose stencils read data the
+    previous block's exchange delivered.  The two extreme ghost planes
+    are in no range — their [nbrs] are zero, the kernels only write
+    zeros there, and the exchange or the scattered zeros supply those
+    cells, so the split is bit-identical to the full-range launch. *)
 
-val exchange_ops : plan -> buffer:string -> Vgpu.Multi.plan
+val exchange_ops : ?depth:int -> plan -> buffer:string -> Vgpu.Multi.plan
 (** The halo exchange over [buffer]: across each interior cut, the lower
-    shard's top owned plane refreshes the upper shard's bottom ghost and
-    vice versa. *)
+    shard's top [depth] owned planes refresh the upper shard's ghost
+    planes nearest the cut and vice versa.  [depth] defaults to the full
+    halo; a shallower depth leaves the farther ghost planes stale (used
+    for the [curr] buffer at a block boundary, which only needs depth
+    T-1 validity). *)
+
+val state_exchange_ops : plan -> buffer:string -> Vgpu.Multi.plan
+(** Refresh the ghost (non-owned) slices of a branch-major
+    boundary-state buffer from their owning neighbour across each
+    interior cut — per branch, contiguous prefix/suffix copies.  Empty
+    at halo = 1. *)

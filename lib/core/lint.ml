@@ -192,7 +192,12 @@ let check_host (e : Host.hexpr) : issue list =
    exchanged across that Z-cut — otherwise step k+1 consumes stale halo
    data.  We segment the plan at Swap boundaries and check every
    adjacent launching pair for an exchange in the earlier segment. *)
-let check_sharded (plan : Vgpu.Multi.plan) : issue list =
+(* [tblock] is the temporal block depth: with depth-T ghost zones a cut
+   legitimately goes T consecutive steps between exchanges, so the
+   missing-exchange error fires only when a pair of adjacent devices
+   launches in more than [tblock] consecutive segments with no exchange
+   across their cut. *)
+let check_sharded ?(tblock = 1) (plan : Vgpu.Multi.plan) : issue list =
   (* split into segments: a run of non-Swap ops terminated by Swaps *)
   let segments = ref [] and current = ref [] and saw_swap = ref false in
   let flush () =
@@ -228,28 +233,29 @@ let check_sharded (plan : Vgpu.Multi.plan) : issue list =
     |> List.sort_uniq compare
   in
   let issues = ref [] in
-  let rec walk = function
-    | seg :: (next :: _ as rest) ->
-        let l1 = launching seg and l2 = launching next in
-        let ex = exchanged_pairs seg in
-        List.iter
-          (fun i ->
-            let pair = (i, i + 1) in
-            if
-              List.mem i l1 && List.mem (i + 1) l1 && List.mem i l2
-              && List.mem (i + 1) l2
-              && not (List.mem pair ex)
-            then
+  (* per adjacent pair: launching segments since the last exchange *)
+  let since : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun seg ->
+      let l = launching seg in
+      let ex = exchanged_pairs seg in
+      List.iter
+        (fun i ->
+          if List.mem i l && List.mem (i + 1) l then begin
+            let n = Option.value ~default:0 (Hashtbl.find_opt since i) in
+            if n >= tblock then
               issues :=
                 issue Error "missing-halo-exchange"
                   "devices %d and %d step again without a halo exchange across their Z-cut" i
                   (i + 1)
-                :: !issues)
-          l1;
-        walk rest
-    | _ -> []
-  in
-  ignore (walk segments);
+                :: !issues;
+            Hashtbl.replace since i (n + 1)
+          end)
+        l;
+      (* an exchange covers the boundary to the next segment, whether or
+         not this segment launched *)
+      List.iter (fun (i, _) -> Hashtbl.replace since i 0) ex)
+    segments;
   List.rev !issues
 
 (* -- Asynchronous (overlapped) multi-device plans --------------------- *)
@@ -479,18 +485,32 @@ type slab = {
   sl_planes : int array;  (* planes per device, ghost planes included *)
 }
 
+(* A ghost zone's state carries *validity*, not just the fill width:
+   under temporal blocking the in-block launches legitimately rewrite
+   ghost planes from progressively staler inputs (redundant frontier
+   recompute), so the number of cut-adjacent planes still holding
+   correct data decays by the read radius at every recompute and is
+   restored only by the next deep exchange.  [g_valid] is that live
+   count; [g_fill] is the width of the originating exchange propagated
+   through the aging chain, so a too-shallow exchange can be diagnosed
+   with the width it *should* have had ([g_fill] + radius - [g_valid]). *)
 type ghost = {
-  g_op : int;  (* index of the filling exchange; -1 = host-seeded *)
-  g_width : int;  (* planes the fill covered *)
+  g_op : int;  (* index of the op that last determined the ghost; -1 = host-seeded *)
+  g_fill : int;  (* width of the originating exchange (diagnostic) *)
+  g_valid : int;  (* cut-adjacent planes currently holding correct data *)
+  g_clobbered : bool;  (* validity lost to a plain overwrite, not decay *)
+  g_exch : int;  (* originating exchange op, carried through the aging
+                    chain; -1 if no exchange backs this ghost's data *)
   g_src : int * string;  (* source device, physical buffer *)
   g_src_lo : int;
-  g_src_hi : int;  (* source plane range backing the ghost *)
+  g_src_hi : int;  (* source plane range backing the ghost; empty once recomputed locally *)
 }
 
 type flow = {
   fslab : slab;
   plane : int;
   ndev : int;
+  fhalo_w : int;  (* ghost planes per side (the temporal block depth T) *)
   fissues : issue list ref;
   fphys : (int * string, string) Hashtbl.t;
   fwrites : (int * string, (int * int * int) list ref) Hashtbl.t;
@@ -503,13 +523,19 @@ type flow = {
          their closure under the Swap rotation.  Ghost-plane checks
          apply only to these — other buffers (boundary tables, branch
          state) are replicated or shard-local, not slab-shaped. *)
+  fstate : (string, unit) Hashtbl.t;
+      (* branch-state buffers: exchanged at block boundaries but not
+         slab-shaped, so they are excluded from the ghost-plane model *)
 }
 
-let make_flow (slab : slab) =
+let make_flow ?(halo = 1) ?(state_bufs = []) (slab : slab) =
+  let fstate = Hashtbl.create 4 in
+  List.iter (fun b -> Hashtbl.replace fstate b ()) state_bufs;
   {
     fslab = slab;
     plane = slab.sl_nx * slab.sl_ny;
     ndev = Array.length slab.sl_planes;
+    fhalo_w = max 1 halo;
     fissues = ref [];
     fphys = Hashtbl.create 16;
     fwrites = Hashtbl.create 16;
@@ -517,6 +543,7 @@ let make_flow (slab : slab) =
     funinit = Hashtbl.create 8;
     fwarned = Hashtbl.create 8;
     fhalo = Hashtbl.create 8;
+    fstate;
   }
 
 (* Seed [fhalo] with the exchange endpoints, closed under Swap pairs. *)
@@ -526,8 +553,10 @@ let fl_seed_halo fl (raw_ops : Vgpu.Multi.op list) =
     (fun (op : Vgpu.Multi.op) ->
       match op with
       | Vgpu.Multi.Exchange { src; dst; _ } ->
-          Hashtbl.replace fl.fhalo src ();
-          Hashtbl.replace fl.fhalo dst ()
+          if not (Hashtbl.mem fl.fstate src || Hashtbl.mem fl.fstate dst) then begin
+            Hashtbl.replace fl.fhalo src ();
+            Hashtbl.replace fl.fhalo dst ()
+          end
       | Vgpu.Multi.Dev (_, Vgpu.Runtime.Swap (a, b)) -> swaps := (a, b) :: !swaps
       | Vgpu.Multi.Dev _ -> ())
     raw_ops;
@@ -564,20 +593,85 @@ let fl_writes fl d p =
       r
 
 (* Ghost state defaults to host-seeded: the simulation scatters state
-   with coherent one-plane ghosts before the first step. *)
+   with coherent depth-[halo] ghosts before the first step. *)
 let fl_ghost fl d p side =
   match Hashtbl.find_opt fl.fghosts (d, p, side) with
   | Some g -> g
   | None ->
+      let h = fl.fhalo_w in
       let g =
         match side with
         | `Lo ->
-            let sp = fl.fslab.sl_planes.(d - 1) - 2 in
-            { g_op = -1; g_width = 1; g_src = (d - 1, p); g_src_lo = sp; g_src_hi = sp }
-        | `Hi -> { g_op = -1; g_width = 1; g_src = (d + 1, p); g_src_lo = 1; g_src_hi = 1 }
+            let sp = fl.fslab.sl_planes.(d - 1) in
+            { g_op = -1; g_fill = h; g_valid = h; g_clobbered = false; g_exch = -1;
+              g_src = (d - 1, p); g_src_lo = sp - (2 * h); g_src_hi = sp - h - 1 }
+        | `Hi ->
+            { g_op = -1; g_fill = h; g_valid = h; g_clobbered = false; g_exch = -1;
+              g_src = (d + 1, p); g_src_lo = h; g_src_hi = (2 * h) - 1 }
       in
       Hashtbl.replace fl.fghosts (d, p, side) g;
       g
+
+(* Age (or clobber) one side's ghost of a written buffer.  The write
+   covers plane range [wrange] ([None] = data-dependent scatter that may
+   touch any site) and confers validity [c] on the planes it rewrites
+   (planes correct to depth < c from the cut); untouched planes keep the
+   old entry's correctness.  The new validity is the longest correct
+   prefix from the cut outward. *)
+let fl_age_side fl d p side ~op ~wrange ~c ~cf ~cexch ~clobbering =
+  let h = fl.fhalo_w in
+  let planes_d = fl.fslab.sl_planes.(d) in
+  let g_old = fl_ghost fl d p side in
+  let depth_of plane =
+    match side with `Lo -> h - 1 - plane | `Hi -> plane - (planes_d - h)
+  in
+  let dint =
+    match wrange with
+    | None -> Some (0, h - 1)
+    | Some (wl, wh) ->
+        let gl, gh =
+          match side with
+          | `Lo -> (max wl 0, min wh (h - 1))
+          | `Hi -> (max wl (planes_d - h), min wh (planes_d - 1))
+        in
+        if gl > gh then None
+        else
+          let a = depth_of gl and b = depth_of gh in
+          Some (min a b, max a b)
+  in
+  match dint with
+  | None -> ()  (* the write stays clear of this side's ghost zone *)
+  | Some (dlo, dhi) ->
+      let sparse = wrange = None in
+      let v = ref 0 and broke_on_write = ref false and stop = ref false in
+      for k = 0 to h - 1 do
+        if not !stop then begin
+          let written = dlo <= k && k <= dhi in
+          let ok =
+            if written then
+              if sparse then k < c && k < g_old.g_valid else k < c
+            else k < g_old.g_valid
+          in
+          if ok then incr v
+          else begin
+            stop := true;
+            broke_on_write := written && not (k < c)
+          end
+        end
+      done;
+      let fresh = !broke_on_write || not !stop in
+      let fill = if fresh then cf else g_old.g_fill in
+      Hashtbl.replace fl.fghosts (d, p, side)
+        {
+          g_op = op;
+          g_fill = fill;
+          g_exch = (if fresh then cexch else g_old.g_exch);
+          g_valid = !v;
+          g_clobbered = (if !broke_on_write then clobbering else g_old.g_clobbered);
+          g_src = (d, p);
+          g_src_lo = 1;
+          g_src_hi = 0;  (* locally recomputed: no remote frontier backs it *)
+        }
 
 let floor_div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
 
@@ -622,6 +716,15 @@ let flow_launch fl ~async ~hb i d (kernel : Kernel_ast.Cast.kernel) args global 
   in
   let fp = Footprint.infer ~strides env kernel in
   let planes_d = fl.fslab.sl_planes.(d) in
+  let h = fl.fhalo_w in
+  let side_exists = function `Lo -> d > 0 | `Hi -> d < fl.ndev - 1 in
+  let reaches side (zl, zh) =
+    match side with `Lo -> zl <= h - 1 | `Hi -> zh >= planes_d - h
+  in
+  (* Pass 1 over the roles: check every halo-protocol read against the
+     ghost validity as it stands *before* this launch, and collect the
+     read provenance (buffer, radius, range) the write pass ages with. *)
+  let halo_reads = ref [] in
   List.iter
     (fun (role, rn) ->
       let p = fl_resolve fl d rn in
@@ -634,76 +737,130 @@ let flow_launch fl ~async ~hb i d (kernel : Kernel_ast.Cast.kernel) args global 
                 (issue Error "uninit-read"
                    "op %d: kernel %s reads %s (device %d), which is allocated but never written or uploaded"
                    i kernel.Cast.name p d);
-            if Hashtbl.mem fl.fhalo rn || Hashtbl.mem fl.fhalo p then
-            match
-              ( Footprint.read_radius fp role,
-                z_range fl d fb.Footprint.fb_read.Footprint.s_lin )
-            with
-            | Some radius, Some (zl, zh) ->
-                let check_side side =
-                  let side_name = match side with `Lo -> "low" | `Hi -> "high" in
-                  let g = fl_ghost fl d p side in
-                  if g.g_width < radius then begin
-                    let fill =
-                      if g.g_op >= 0 then
-                        Printf.sprintf "the exchange at op %d filled only %d" g.g_op g.g_width
-                      else Printf.sprintf "the host-seeded ghost holds only %d" g.g_width
-                    in
-                    fl_add fl
-                      (issue Error "halo-too-narrow"
-                         "op %d: kernel %s on device %d reads %d plane(s) of %s across the %s z-cut, but %s — widen the exchange to %d plane(s)"
-                         i kernel.Cast.name d radius p side_name fill radius)
-                  end;
-                  let sd, sp = g.g_src in
-                  if
-                    List.exists
-                      (fun (wop, wl, wh) ->
-                        wop > g.g_op && wop < i && wl <= g.g_src_hi && wh >= g.g_src_lo)
-                      !(fl_writes fl sd sp)
-                  then
-                    fl_add fl
-                      (issue Error "stale-halo"
-                         "op %d: kernel %s reads the %s ghost of %s on device %d, but device %d rewrote the source frontier after the exchange that filled it"
-                         i kernel.Cast.name side_name p d sd);
-                  let glo, ghi =
-                    match side with
-                    | `Lo -> (0, max 0 (g.g_width - 1))
-                    | `Hi -> (planes_d - max 1 g.g_width, planes_d - 1)
+            if Hashtbl.mem fl.fhalo rn || Hashtbl.mem fl.fhalo p then begin
+              let radius = Footprint.read_radius fp role in
+              let zr = z_range fl d fb.Footprint.fb_read.Footprint.s_lin in
+              halo_reads := (role, p, radius, zr) :: !halo_reads;
+              match (radius, zr) with
+              | Some radius, Some zrange ->
+                  let check_side side =
+                    let side_name = match side with `Lo -> "low" | `Hi -> "high" in
+                    let g = fl_ghost fl d p side in
+                    let sd, sp = g.g_src in
+                    if
+                      g.g_src_hi >= g.g_src_lo
+                      && List.exists
+                           (fun (wop, wl, wh) ->
+                             wop > g.g_op && wop < i && wl <= g.g_src_hi
+                             && wh >= g.g_src_lo)
+                           !(fl_writes fl sd sp)
+                    then
+                      fl_add fl
+                        (issue Error "stale-halo"
+                           "op %d: kernel %s reads the %s ghost of %s on device %d, but device %d rewrote the source frontier after the exchange that filled it"
+                           i kernel.Cast.name side_name p d sd)
+                    else if g.g_valid < radius then
+                      if g.g_clobbered then
+                        fl_add fl
+                          (issue Error "clobbered-halo"
+                             "op %d: kernel %s reads the %s ghost of %s on device %d, which a launch on the same device overwrote after the exchange"
+                             i kernel.Cast.name side_name p d)
+                      else if
+                        (* validity ran out and no exchange ever backed this
+                           ghost's aging chain: if the neighbour meanwhile
+                           rewrote the frontier an exchange would have copied,
+                           the exchange is missing, not merely too shallow *)
+                        g.g_exch < 0
+                        &&
+                        let nd = match side with `Lo -> d - 1 | `Hi -> d + 1 in
+                        let fr_lo, fr_hi =
+                          match side with
+                          | `Lo ->
+                              let sp = fl.fslab.sl_planes.(nd) in
+                              (sp - (2 * h), sp - h - 1)
+                          | `Hi -> (h, (2 * h) - 1)
+                        in
+                        List.exists
+                          (fun (wop, wl, wh) -> wop < i && wl <= fr_hi && wh >= fr_lo)
+                          !(fl_writes fl nd p)
+                      then
+                        fl_add fl
+                          (issue Error "stale-halo"
+                             "op %d: kernel %s reads the %s ghost of %s on device %d, but device %d rewrote the source frontier after the exchange that filled it"
+                             i kernel.Cast.name side_name p d
+                             (match side with `Lo -> d - 1 | `Hi -> d + 1))
+                      else begin
+                        let fill =
+                          if g.g_op >= 0 then
+                            Printf.sprintf "the exchange at op %d filled only %d" g.g_op
+                              g.g_valid
+                          else
+                            Printf.sprintf "the host-seeded ghost holds only %d" g.g_valid
+                        in
+                        fl_add fl
+                          (issue Error "halo-too-narrow"
+                             "op %d: kernel %s on device %d reads %d plane(s) of %s across the %s z-cut, but %s — widen the exchange to %d plane(s)"
+                             i kernel.Cast.name d radius p side_name fill
+                             (g.g_fill + radius - g.g_valid))
+                      end;
+                    if async && g.g_op >= 0 && not (hb g.g_op i) then
+                      fl_add fl
+                        (issue Error "unordered-ghost-read"
+                           "op %d: kernel %s reads the %s ghost of %s on device %d but is not ordered after the exchange at op %d that fills it — a dropped frontier wait"
+                           i kernel.Cast.name side_name p d g.g_op)
                   in
-                  if
-                    List.exists
-                      (fun (wop, wl, wh) -> wop > g.g_op && wop < i && wl <= ghi && wh >= glo)
-                      !(fl_writes fl d p)
-                  then
-                    fl_add fl
-                      (issue Error "clobbered-halo"
-                         "op %d: kernel %s reads the %s ghost of %s on device %d, which a launch on the same device overwrote after the exchange"
-                         i kernel.Cast.name side_name p d);
-                  if async && g.g_op >= 0 && not (hb g.g_op i) then
-                    fl_add fl
-                      (issue Error "unordered-ghost-read"
-                         "op %d: kernel %s reads the %s ghost of %s on device %d but is not ordered after the exchange at op %d that fills it — a dropped frontier wait"
-                         i kernel.Cast.name side_name p d g.g_op)
-                in
-                if zl <= 0 && d > 0 then check_side `Lo;
-                if zh >= planes_d - 1 && d < fl.ndev - 1 then check_side `Hi
-            | _ ->
-                if fl.ndev > 1 then
-                  fl_warn_once fl
-                    (kernel.Cast.name ^ "/" ^ role)
-                    (issue Warning "halo-unverified"
-                       "kernel %s: reads of %s are data-dependent; halo coverage is left to the runtime sanitizer"
-                       kernel.Cast.name role)
-          end;
+                  if radius > 0 then begin
+                    if side_exists `Lo && reaches `Lo zrange then check_side `Lo;
+                    if side_exists `Hi && reaches `Hi zrange then check_side `Hi
+                  end
+              | _ ->
+                  if fl.ndev > 1 then
+                    fl_warn_once fl
+                      (kernel.Cast.name ^ "/" ^ role)
+                      (issue Warning "halo-unverified"
+                         "kernel %s: reads of %s are data-dependent; halo coverage is left to the runtime sanitizer"
+                         kernel.Cast.name role)
+            end
+          end)
+    roles;
+  (* Pass 2: writes.  A write into a ghost zone by a launch is the
+     in-block redundant recompute: the validity it confers is what its
+     deepest-decayed input supports (min over halo reads of validity
+     minus read radius); a launch reading no halo buffer writes
+     input-independent (fully valid) data. *)
+  let confer side =
+    List.fold_left
+      (fun (c, cf, ce) (_, bp, radius, zr) ->
+        let applies = match zr with Some r -> reaches side r | None -> true in
+        if not applies then (c, cf, ce)
+        else
+          let r = Option.value ~default:0 radius in
+          let g = fl_ghost fl d bp side in
+          let v = g.g_valid - r in
+          if v < c then (v, g.g_fill, g.g_exch) else (c, cf, ce))
+      (h, h, -1) !halo_reads
+  in
+  List.iter
+    (fun (role, rn) ->
+      let p = fl_resolve fl d rn in
+      match Footprint.find fp role with
+      | None -> ()
+      | Some fb ->
           if fb.Footprint.fb_write.Footprint.s_sites > 0 then begin
             Hashtbl.remove fl.funinit (d, p);
-            let zl, zh =
-              match z_range fl d fb.Footprint.fb_write.Footprint.s_lin with
-              | Some r -> r
-              | None -> (0, planes_d - 1)
-            in
+            let zr = z_range fl d fb.Footprint.fb_write.Footprint.s_lin in
+            let zl, zh = match zr with Some r -> r | None -> (0, planes_d - 1) in
             let r = fl_writes fl d p in
-            r := (i, zl, zh) :: !r
+            r := (i, zl, zh) :: !r;
+            if Hashtbl.mem fl.fhalo rn || Hashtbl.mem fl.fhalo p then
+              List.iter
+                (fun side ->
+                  if side_exists side then begin
+                    let c, cf, ce = confer side in
+                    fl_age_side fl d p side ~op:i ~wrange:zr ~c:(max 0 c) ~cf
+                      ~cexch:ce ~clobbering:false
+                  end)
+                [ `Lo; `Hi ]
           end)
     roles
 
@@ -713,36 +870,57 @@ let flow_exchange fl i ~src_dev ~src ~src_off ~dst_dev ~dst ~dst_off ~elems =
     fl_add fl
       (issue Error "uninit-read" "op %d: exchange reads %s on device %d before it is written" i
          sp src_dev);
-  if elems mod fl.plane <> 0 then
-    fl_add fl
-      (issue Warning "exchange-partial-plane"
-         "op %d: exchange of %d elems is not a whole number of %d-element planes" i elems
-         fl.plane);
-  let w = elems / fl.plane in
-  let planes_dst = fl.fslab.sl_planes.(dst_dev) in
-  let side =
-    if dst_off = 0 then Some `Lo
-    else if dst_off >= (planes_dst - max w 1) * fl.plane then Some `Hi
-    else None
-  in
-  match side with
-  | Some side ->
-      let expect_src = match side with `Lo -> dst_dev - 1 | `Hi -> dst_dev + 1 in
-      if src_dev <> expect_src then
-        fl_add fl
-          (issue Error "exchange-wrong-source"
-             "op %d: %s ghost of device %d filled from device %d, expected neighbour %d" i
-             (match side with `Lo -> "low" | `Hi -> "high")
-             dst_dev src_dev expect_src)
-      else
-        let src_lo = src_off / fl.plane in
-        Hashtbl.replace fl.fghosts (dst_dev, dp, side)
-          { g_op = i; g_width = w; g_src = (src_dev, sp); g_src_lo = src_lo;
-            g_src_hi = src_lo + max w 1 - 1 }
-  | None ->
-      (* a general inter-device copy: a plain write into the target *)
-      let r = fl_writes fl dst_dev dp in
-      r := (i, dst_off / fl.plane, (dst_off + max 0 (elems - 1)) / fl.plane) :: !r
+  if Hashtbl.mem fl.fstate src || Hashtbl.mem fl.fstate dst then
+    (* branch-state refresh: not slab-shaped, outside the ghost model *)
+    Hashtbl.remove fl.funinit (dst_dev, dp)
+  else begin
+    if elems mod fl.plane <> 0 then
+      fl_add fl
+        (issue Warning "exchange-partial-plane"
+           "op %d: exchange of %d elems is not a whole number of %d-element planes" i elems
+           fl.plane);
+    let h = fl.fhalo_w in
+    let w = elems / fl.plane in
+    let we = max w 1 in
+    let d0 = dst_off / fl.plane in
+    let planes_dst = fl.fslab.sl_planes.(dst_dev) in
+    (* A ghost fill must end at the cut-adjacent plane: [w] planes up to
+       depth 0.  A shallower-than-halo fill starts inside the ghost zone
+       ([d0] > 0 on the low side), which is why classification is by the
+       covered range, not by offset zero. *)
+    let side =
+      if d0 >= 0 && d0 + we - 1 = h - 1 then Some `Lo
+      else if d0 = planes_dst - h then Some `Hi
+      else None
+    in
+    match side with
+    | Some side ->
+        let expect_src = match side with `Lo -> dst_dev - 1 | `Hi -> dst_dev + 1 in
+        if src_dev <> expect_src then
+          fl_add fl
+            (issue Error "exchange-wrong-source"
+               "op %d: %s ghost of device %d filled from device %d, expected neighbour %d" i
+               (match side with `Lo -> "low" | `Hi -> "high")
+               dst_dev src_dev expect_src)
+        else
+          let src_lo = src_off / fl.plane in
+          Hashtbl.replace fl.fghosts (dst_dev, dp, side)
+            { g_op = i; g_fill = w; g_valid = w; g_clobbered = false; g_exch = i;
+              g_src = (src_dev, sp); g_src_lo = src_lo; g_src_hi = src_lo + we - 1 }
+    | None ->
+        (* a general inter-device copy: a plain write into the target *)
+        let wl = d0 and wh = (dst_off + max 0 (elems - 1)) / fl.plane in
+        let r = fl_writes fl dst_dev dp in
+        r := (i, wl, wh) :: !r;
+        if Hashtbl.mem fl.fhalo dst || Hashtbl.mem fl.fhalo dp then
+          List.iter
+            (fun side ->
+              let ok = match side with `Lo -> dst_dev > 0 | `Hi -> dst_dev < fl.ndev - 1 in
+              if ok then
+                fl_age_side fl dst_dev dp side ~op:i ~wrange:(Some (wl, wh)) ~c:0 ~cf:0
+                  ~cexch:(-1) ~clobbering:true)
+            [ `Lo; `Hi ]
+  end
 
 let flow_dev_op fl ~async ~hb i d (op : Vgpu.Runtime.op) =
   match op with
@@ -765,13 +943,22 @@ let flow_dev_op fl ~async ~hb i d (op : Vgpu.Runtime.op) =
           (issue Error "uninit-read"
              "op %d: device copy reads %s on device %d before it is written" i sp d);
       Hashtbl.remove fl.funinit (d, dp);
+      let wl = dst_off / fl.plane and wh = (dst_off + max 0 (elems - 1)) / fl.plane in
       let r = fl_writes fl d dp in
-      r := (i, dst_off / fl.plane, (dst_off + max 0 (elems - 1)) / fl.plane) :: !r
+      r := (i, wl, wh) :: !r;
+      if Hashtbl.mem fl.fhalo dst || Hashtbl.mem fl.fhalo dp then
+        List.iter
+          (fun side ->
+            let ok = match side with `Lo -> d > 0 | `Hi -> d < fl.ndev - 1 in
+            if ok then
+              fl_age_side fl d dp side ~op:i ~wrange:(Some (wl, wh)) ~c:0 ~cf:0
+                ~cexch:(-1) ~clobbering:true)
+          [ `Lo; `Hi ]
   | Vgpu.Runtime.Launch { kernel; args; global } ->
       flow_launch fl ~async ~hb i d kernel args global
 
-let verify_plan (slab : slab) (plan : Vgpu.Multi.plan) : issue list =
-  let fl = make_flow slab in
+let verify_plan ?halo ?state_bufs (slab : slab) (plan : Vgpu.Multi.plan) : issue list =
+  let fl = make_flow ?halo ?state_bufs slab in
   fl_seed_halo fl plan;
   (* [Multi.run] executes ops in list order: submission order is
      execution order, so happens-before is the total order *)
@@ -785,8 +972,8 @@ let verify_plan (slab : slab) (plan : Vgpu.Multi.plan) : issue list =
     plan;
   List.rev !(fl.fissues)
 
-let verify_async (slab : slab) (plan : Vgpu.Multi.async_plan) : issue list =
-  let fl = make_flow slab in
+let verify_async ?halo ?state_bufs (slab : slab) (plan : Vgpu.Multi.async_plan) : issue list =
+  let fl = make_flow ?halo ?state_bufs slab in
   fl_seed_halo fl (List.map (fun (o : Vgpu.Multi.async_op) -> o.Vgpu.Multi.a_op) plan);
   let ops = Array.of_list plan in
   let reach = async_order ops in

@@ -41,7 +41,10 @@ type issue = {
 val check_host : Host.hexpr -> issue list
 (** Issues in program order (dead-transfer warnings last). *)
 
-val check_sharded : Vgpu.Multi.plan -> issue list
+val check_sharded : ?tblock:int -> Vgpu.Multi.plan -> issue list
+(** [tblock] (default 1) is the temporal block depth: with depth-T ghost
+    zones a cut legitimately goes T consecutive steps between exchanges,
+    so the missing-exchange error fires only past that bound. *)
 
 val check_async : ?imports:int list -> Vgpu.Multi.async_plan -> issue list
 (** Overlap-aware checks on an event-ordered async plan, where ordering
@@ -75,16 +78,28 @@ type slab = {
 (** Slab geometry of a Z-cut sharded run, against which plane ranges of
     launches and exchange offsets are interpreted. *)
 
-val verify_plan : slab -> Vgpu.Multi.plan -> issue list
+val verify_plan :
+  ?halo:int -> ?state_bufs:string list -> slab -> Vgpu.Multi.plan -> issue list
 (** Symbolic dataflow verification of a synchronous sharded plan.  Every
     [Launch] is analysed with {!Kernel_ast.Footprint.infer} under the
     environment its resolved arguments define; reads reaching a ghost
-    plane of the device's slab are checked against the exchange that
-    last filled that ghost:
-    - {b halo-too-narrow} (error): the kernel's inferred read radius
-      (planes) exceeds the width the filling exchange covered — the
-      acceptance-defeating case being a width-0 exchange against a
-      radius-1 stencil;
+    plane of the device's slab are checked against the {e validity} of
+    that ghost.  [halo] (default 1) is the ghost depth per side — the
+    temporal block depth T.  Ghost validity starts at the fill width of
+    the exchange (or [halo] for host-seeded ghosts) and {e ages}: each
+    in-block launch that rewrites ghost planes (the redundant frontier
+    recompute of a temporally-blocked schedule) carries validity one
+    read-radius shallower than its most-decayed input, so a depth-T
+    exchange proves exactly T steps of re-launches and one plane too few
+    is caught at the step where validity runs out.  [state_bufs] names
+    branch-state buffers (exchanged at block boundaries but not
+    slab-shaped), which are excluded from the ghost-plane model.
+    - {b halo-too-narrow} (error): a kernel's inferred read radius
+      (planes) exceeds the ghost validity at that launch — the
+      acceptance-defeating cases being a width-0 exchange against a
+      radius-1 stencil, and a depth T-1 exchange driving a depth-T
+      block.  The diagnostic names the exchange width that would have
+      sufficed;
     - {b stale-halo} (error): the source device rewrote the frontier
       planes backing the ghost after the exchange copied them;
     - {b clobbered-halo} (error): the reading device itself overwrote
@@ -101,10 +116,11 @@ val verify_plan : slab -> Vgpu.Multi.plan -> issue list
       whole number of XY planes.
 
     Buffers not mentioned in the plan are assumed host-seeded with
-    coherent one-plane ghosts (the scatter performed by
+    coherent depth-[halo] ghosts (the scatter performed by
     {!Acoustics.Gpu_sim} before stepping). *)
 
-val verify_async : slab -> Vgpu.Multi.async_plan -> issue list
+val verify_async :
+  ?halo:int -> ?state_bufs:string list -> slab -> Vgpu.Multi.async_plan -> issue list
 (** {!verify_plan}'s checks with happens-before from per-queue FIFO
     order plus signal→wait edges, plus
     - {b unordered-ghost-read} (error): a launch reads a ghost plane but

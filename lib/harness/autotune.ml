@@ -66,13 +66,14 @@ let plan_label (p : Plan_cache.plan) =
     | None, [] -> "flat"
     | None, trace -> "rw:" ^ String.concat "," trace
   in
-  Printf.sprintf "%s ls=%d unroll=%s shards=%d/%s" vol p.pl_local
+  Printf.sprintf "%s ls=%d unroll=%s shards=%d/%s%s" vol p.pl_local
     (match p.pl_unroll with None -> "default" | Some n -> string_of_int n)
     p.pl_shards
     (match p.pl_schedule with
     | `Seq -> "seq"
     | `Concurrent -> "concurrent"
     | `Overlap -> "overlap")
+    (if p.pl_tblock > 1 then Printf.sprintf " T=%d" p.pl_tblock else "")
 
 (* -- Kernel construction ---------------------------------------------- *)
 
@@ -145,13 +146,18 @@ let key ~(engine : engine) ~precision ~n_branches ~scheme ~shape
 let default_unrolls = [ None; Some 0; Some 16384 ]
 let default_tiles = [ (4, 4); (8, 8); (16, 8) ]
 
+(* Temporal block depths searched on sharded plans (a single device has
+   no halo traffic to amortise); [Gpu_sim] clamps a depth the thinnest
+   slab cannot carry. *)
+let default_tblocks = [ 1; 2; 4 ]
+
 (* Every plan in the search space.  Work-group size is not a separate
    axis: the virtual engines' wall clock is insensitive to it for
    ungrouped kernels (and a tile fixes it), so each volume form gets the
    model-best size from [Tuner]'s sweep — the work-group dimension is
    searched, just inside the model. *)
 let enumerate ~device ~precision ~shape ~(dims : Geometry.dims) ~max_shards
-    ~explore_depth ~tiles () =
+    ~explore_depth ~tiles ?(tblocks = default_tblocks) () =
   let wv = Workloads.workload Workloads.Volume shape dims in
   let tiles =
     List.filter
@@ -184,10 +190,18 @@ let enumerate ~device ~precision ~shape ~(dims : Geometry.dims) ~max_shards
         in
         (Tuner.tune ~device k wv).Tuner.best_size
   in
+  let tblocks = List.sort_uniq compare (List.filter (fun t -> t >= 1) tblocks) in
+  let tblocks = if tblocks = [] then [ 1 ] else tblocks in
+  (* the time-block axis applies to sharded plans only: a single device
+     has no halo exchanges to amortise *)
   let schedules =
-    (1, `Seq)
+    (1, `Seq, 1)
     :: (if max_shards >= 2 then
-          List.init (max_shards - 1) (fun i -> (i + 2, `Concurrent)) @ [ (2, `Overlap) ]
+          List.concat_map
+            (fun tb ->
+              List.init (max_shards - 1) (fun i -> (i + 2, `Concurrent, tb))
+              @ [ (2, `Overlap, tb) ])
+            tblocks
         else [])
   in
   List.concat_map
@@ -196,7 +210,7 @@ let enumerate ~device ~precision ~shape ~(dims : Geometry.dims) ~max_shards
       List.concat_map
         (fun unroll ->
           List.filter_map
-            (fun (shards, schedule) ->
+            (fun (shards, schedule, tblock) ->
               (* the overlapped schedule range-splits the volume kernel
                  into interior/frontier launches — a transformation of
                  the flat 1D NDRange; a 2D tiled kernel under it is not
@@ -212,6 +226,7 @@ let enumerate ~device ~precision ~shape ~(dims : Geometry.dims) ~max_shards
                     pl_unroll = unroll;
                     pl_shards = shards;
                     pl_schedule = schedule;
+                    pl_tblock = tblock;
                   })
             schedules)
         default_unrolls)
@@ -254,13 +269,19 @@ let predict_plan ~device ~calibration ~precision ~n_branches ~scheme ~shape
               ("Nx", dims.Geometry.nx) :: ("Ny", dims.Geometry.ny)
               :: w.Vgpu.Perf_model.param_values }
       in
-      match p.pl_schedule with
-      | `Overlap ->
-          Vgpu.Perf_model.predict_overlapped device k w ~radius ~plane_elems
-            ~shards:p.pl_shards
-      | `Seq | `Concurrent ->
-          Vgpu.Perf_model.predict_sharded device k w ~radius ~plane_elems
-            ~shards:p.pl_shards
+      if p.pl_tblock > 1 then
+        (* blocked cadence: exchange rounds amortise over T against the
+           redundant ghost recompute, whatever the schedule *)
+        Vgpu.Perf_model.predict_blocked device k w ~radius ~plane_elems
+          ~shards:p.pl_shards ~tblock:p.pl_tblock
+      else
+        match p.pl_schedule with
+        | `Overlap ->
+            Vgpu.Perf_model.predict_overlapped device k w ~radius ~plane_elems
+              ~shards:p.pl_shards
+        | `Seq | `Concurrent ->
+            Vgpu.Perf_model.predict_sharded device k w ~radius ~plane_elems
+              ~shards:p.pl_shards
   in
   (base vol wv ~plane_elems *. factor vol) +. (base bnd wb ~plane_elems:0 *. factor bnd)
 
@@ -274,8 +295,9 @@ let median xs =
 let sim_of_plan ~engine ~precision ~n_branches ~params ~room (p : Plan_cache.plan) =
   let shards = if p.pl_shards > 1 then Some p.pl_shards else None in
   let schedule = if p.pl_shards > 1 then Some (p.pl_schedule :> Gpu_sim.schedule) else None in
-  Gpu_sim.create ~engine ?unroll_budget:p.pl_unroll ?shards ?schedule ~fi_beta:0.1
-    ~n_branches ~precision params room
+  let tblock = if p.pl_shards > 1 && p.pl_tblock > 1 then Some p.pl_tblock else None in
+  Gpu_sim.create ~engine ?unroll_budget:p.pl_unroll ?shards ?schedule ?tblock
+    ~fi_beta:0.1 ~n_branches ~precision params room
 
 (* Measure one plan: same impulse, [warmup] untimed steps (compiles and
    caches), then [repeats] timed intervals of [steps] steps each —
@@ -353,7 +375,7 @@ let measure_all ~domains measure (candidates : 'a list) =
 let tune ?(engine : engine = `Native) ?(precision = Kernel_ast.Cast.Double)
     ?(device = Vgpu.Device.host) ?(n_branches = 3) ?(topk = 8) ?(warmup = 2)
     ?(repeats = 5) ?(steps = 20) ?(max_shards = 2) ?(domains = 1) ?clock
-    ?(use_cache = true) ?(explore_depth = 2) ?tiles ~scheme ~shape ~dims () :
+    ?(use_cache = true) ?(explore_depth = 2) ?tiles ?tblocks ~scheme ~shape ~dims () :
     result =
   let key = key ~engine ~precision ~n_branches ~scheme ~shape ~dims in
   let cached = if use_cache then Plan_cache.find key else None in
@@ -383,7 +405,7 @@ let tune ?(engine : engine = `Native) ?(precision = Kernel_ast.Cast.Double)
           let tiles = Option.value tiles ~default:default_tiles in
           let plans =
             enumerate ~device ~precision ~shape ~dims ~max_shards ~explore_depth
-              ~tiles ()
+              ~tiles ?tblocks ()
           in
           let predicted =
             List.map

@@ -3,7 +3,7 @@
     Searches the full configuration space the runtime exposes — volume
     kernel form (flat, 2.5D tile, {!Lift.Explore} rewrite variant) x
     optimizer unroll budget x work-group size x shard count x overlap
-    schedule — by {e measurement}, with the performance model (corrected
+    schedule x temporal block depth — by {e measurement}, with the performance model (corrected
     by persisted calibration factors) pruning the space first.  The
     winning plan is persisted in {!Plan_cache}, so a warm rerun — or
     [racs simulate --tuned] — selects it with zero measurements.
@@ -51,6 +51,7 @@ val tune :
   ?use_cache:bool ->
   ?explore_depth:int ->
   ?tiles:(int * int) list ->
+  ?tblocks:int list ->
   scheme:string ->
   shape:Acoustics.Geometry.shape ->
   dims:Acoustics.Geometry.dims ->
@@ -63,7 +64,8 @@ val tune :
     [max_shards = 2], sequential measurement ([domains = 1] — pass more
     to fan candidates out over OCaml domains), plan cache and
     calibration persistence on ([use_cache]), rewrite exploration depth
-    [2] ([0] disables variant candidates).
+    [2] ([0] disables variant candidates), temporal block depths
+    [tblocks] (default {!default_tblocks}) searched on sharded plans.
 
     [clock] injects a timer (tests use a fake one — the search is then
     fully deterministic, including tie-breaks: {!List.stable_sort} and
@@ -105,6 +107,9 @@ val precision_label : Kernel_ast.Cast.precision -> string
 val default_unrolls : int option list
 val default_tiles : (int * int) list
 
+val default_tblocks : int list
+(** Temporal block depths searched on sharded plans: [[1; 2; 4]]. *)
+
 val enumerate :
   device:Vgpu.Device.t ->
   precision:Kernel_ast.Cast.precision ->
@@ -113,6 +118,7 @@ val enumerate :
   max_shards:int ->
   explore_depth:int ->
   tiles:(int * int) list ->
+  ?tblocks:int list ->
   unit ->
   Plan_cache.plan list
 (** The full candidate space before model pruning (exposed for tests and

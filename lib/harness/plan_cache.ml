@@ -13,7 +13,7 @@
    (measured/predicted correction factors per device x kernel), persisted
    with the same atomic rename. *)
 
-let magic = "racs-plan-v1"
+let magic = "racs-plan-v2"
 let calibration_magic = "racs-calibration-v1"
 
 type schedule = [ `Seq | `Concurrent | `Overlap ]
@@ -25,6 +25,7 @@ type plan = {
   pl_unroll : int option;  (* Opt unroll-budget override *)
   pl_shards : int;
   pl_schedule : schedule;
+  pl_tblock : int;  (* temporal block depth T, 1 = per-step exchanges *)
 }
 
 let default_plan =
@@ -35,6 +36,7 @@ let default_plan =
     pl_unroll = None;
     pl_shards = 1;
     pl_schedule = `Seq;
+    pl_tblock = 1;
   }
 
 type key = {
@@ -152,6 +154,7 @@ let render_entry (k : key) (e : entry) =
     (match e.e_plan.pl_unroll with None -> "default" | Some n -> string_of_int n);
   line "shards %d" e.e_plan.pl_shards;
   line "schedule %s" (string_of_schedule e.e_plan.pl_schedule);
+  line "tblock %d" e.e_plan.pl_tblock;
   line "predicted_ns %.0f" (e.e_predicted_s *. 1e9);
   line "measured_ns %.0f" (e.e_measured_s *. 1e9);
   line "default_ns %.0f" (e.e_default_s *. 1e9);
@@ -216,17 +219,21 @@ let parse_entry (k : key) (contents : string) : entry option =
         let schedule = Option.bind (f "schedule") schedule_of_string in
         (match
            ( tile, variant, int_f "local", unroll, int_f "shards", schedule,
-             float_f "predicted_ns", float_f "measured_ns", float_f "default_ns",
-             int_f "samples" )
+             int_f "tblock",
+             ( float_f "predicted_ns", float_f "measured_ns", float_f "default_ns",
+               int_f "samples" ) )
          with
         | ( Some pl_tile, Some pl_variant, Some pl_local, Some pl_unroll,
-            Some pl_shards, Some pl_schedule, Some pred, Some meas, Some dflt,
-            Some e_samples )
-          when pl_shards >= 1 && pl_local >= 1 ->
+            Some pl_shards, Some pl_schedule, Some pl_tblock,
+            (Some pred, Some meas, Some dflt, Some e_samples) )
+          when pl_shards >= 1 && pl_local >= 1 && pl_tblock >= 1 ->
             Some
               {
                 e_plan =
-                  { pl_tile; pl_variant; pl_local; pl_unroll; pl_shards; pl_schedule };
+                  {
+                    pl_tile; pl_variant; pl_local; pl_unroll; pl_shards;
+                    pl_schedule; pl_tblock;
+                  };
                 e_predicted_s = pred *. 1e-9;
                 e_measured_s = meas *. 1e-9;
                 e_default_s = dflt *. 1e-9;

@@ -23,6 +23,9 @@ type plan = {
   pl_unroll : int option;  (** optimizer unroll-budget override *)
   pl_shards : int;  (** Z-slab shard count (1 = single device) *)
   pl_schedule : schedule;
+  pl_tblock : int;
+      (** temporal block depth T: depth-T ghost zones, one halo-exchange
+          round per T steps; 1 = the per-step cadence *)
 }
 
 val default_plan : plan

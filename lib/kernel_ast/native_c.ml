@@ -199,7 +199,7 @@ let rec type_of env (e : expr) : ty =
       | Some (S_gbuf t | S_parr (t, _) | S_larr (t, _)) -> t
       | Some _ -> failwith (Printf.sprintf "native_c: %s is not an array" b)
       | None -> failwith (Printf.sprintf "native_c: unbound buffer %s" b))
-  | Unop (To_real, _) -> Real
+  | Unop ((To_real | Round), _) -> Real
   | Unop ((To_int | Not), _) -> Int
   | Unop (Neg, a) -> type_of env a
   | Ternary (_, a, b) -> (
@@ -293,6 +293,12 @@ let rec emit env buf ~prec (e : expr) =
       add ")"
   | Unop (To_real, a) ->
       add "(double)(";
+      emit env buf ~prec:0 a;
+      add ")"
+  | Unop (Round, a) ->
+      (* float32 store-rounding on a register value: narrow and widen
+         back, exactly what a round-trip through a float buffer does *)
+      add "(double)(float)(";
       emit env buf ~prec:0 a;
       add ")"
   | Unop (To_int, a) ->
@@ -620,7 +626,47 @@ let preamble =
    \  return (x != x) ? x : y;\n\
    }\n"
 
-let kernel_source (k : kernel) : string =
+(* {2 Write-set analysis for restrict emission}
+
+   Which global-buffer parameters does the kernel store to?  The
+   principled answer comes from [Footprint]'s provenance-carrying
+   abstract interpretation (its write side counts every static store
+   site, indirect scatters included); a plain syntactic walk over
+   [Store] targets is unioned in as a conservative floor so a footprint
+   blind spot can never demote a written buffer to read-only.  The
+   result licenses the C qualifiers below: [const] on read-only buffer
+   params unconditionally, and [restrict] only under the launcher's
+   no-aliased-bindings guarantee ([Vgpu.Native.launch] checks it per
+   launch and falls back to a [~noalias:false] compilation). *)
+
+let written_params (k : kernel) : string list =
+  let syntactic = Hashtbl.create 8 in
+  let rec stmt = function
+    | Store (n, _, _) -> Hashtbl.replace syntactic n ()
+    | If (_, t, f) ->
+        List.iter stmt t;
+        List.iter stmt f
+    | For l -> List.iter stmt l.body
+    | Decl _ | Decl_arr _ | Decl_local _ | Assign _ | Barrier | Comment _ -> ()
+  in
+  List.iter stmt k.body;
+  let fp_writes =
+    match Footprint.infer (Check.env ()) k with
+    | fp -> (
+        fun n ->
+          match Footprint.find fp n with
+          | Some b -> b.Footprint.fb_write.Footprint.s_sites > 0
+          | None -> false)
+    | exception _ -> fun _ -> false
+  in
+  List.filter_map
+    (fun p ->
+      if p.p_kind = Global_buf && (Hashtbl.mem syntactic p.p_name || fp_writes p.p_name) then
+        Some p.p_name
+      else None)
+    k.params
+
+let kernel_source ?(noalias = true) (k : kernel) : string =
   let env = build_env k in
   let buf = Buffer.create 4096 in
   let add = Buffer.add_string buf in
@@ -636,13 +682,26 @@ let kernel_source (k : kernel) : string =
        \                  const double *fsc, const int64_t *gsz)\n{\n"
        entry_symbol);
   add "  (void)fb; (void)ib; (void)isc; (void)fsc;\n";
-  (* parameter prologue, in [bindings] order *)
+  (* parameter prologue, in [bindings] order: read-only buffers (proven
+     by [written_params]) are [const]; [restrict] is emitted only when
+     the launcher vouches that no written buffer aliases another
+     binding *)
+  let written = written_params k in
+  let quals name =
+    let cst = if List.mem name written then "" else "const " in
+    let res = if noalias then " restrict" else "" in
+    (cst, res)
+  in
   List.iter2
     (fun p b ->
       let n = mangle p.p_name in
       match b with
-      | Arg_fbuf s -> add (Printf.sprintf "  double * restrict %s = fb[%d];\n" n s)
-      | Arg_ibuf s -> add (Printf.sprintf "  int64_t * restrict %s = ib[%d];\n" n s)
+      | Arg_fbuf s ->
+          let cst, res = quals p.p_name in
+          add (Printf.sprintf "  %sdouble *%s %s = fb[%d];\n" cst res n s)
+      | Arg_ibuf s ->
+          let cst, res = quals p.p_name in
+          add (Printf.sprintf "  %sint64_t *%s %s = ib[%d];\n" cst res n s)
       | Arg_iscalar s -> add (Printf.sprintf "  int64_t %s = isc[%d];\n" n s)
       | Arg_rscalar s -> add (Printf.sprintf "  double %s = fsc[%d];\n" n s))
     k.params (bindings k);

@@ -32,8 +32,26 @@ val bindings : Cast.kernel -> binding list
     when marshalling arguments (real argument to int parameter
     truncates, int argument to real parameter widens). *)
 
-val kernel_source : Cast.kernel -> string
+val written_params : Cast.kernel -> string list
+(** The global-buffer parameters the kernel stores to, in parameter
+    order — the write set behind the qualifier emission of
+    {!kernel_source}.  Proven by {!Footprint}'s abstract interpretation
+    (whose write side counts every static store site, indirect scatters
+    included), unioned with a syntactic walk over [Store] targets as a
+    conservative floor: a buffer is reported read-only only when both
+    analyses agree it is never written. *)
+
+val kernel_source : ?noalias:bool -> Cast.kernel -> string
 (** The complete translation unit.  Deterministic: equal kernels render
     to equal strings, so the source digest can key a binary cache.
+
+    Buffer parameters outside {!written_params} are emitted [const].
+    With [noalias] (the default) every buffer parameter is additionally
+    qualified [restrict] — licensed only when no buffer in
+    {!written_params} is bound to the same array as any other buffer
+    parameter.  [Vgpu.Native.launch] checks exactly that per launch and
+    re-renders with [~noalias:false] (a distinct cache entry) for the
+    rare aliased launch, so the fast path keeps the qualifier without
+    ever lying to the C compiler.
     @raise Failure on an unbound identifier (the kernel would not
     interpret or JIT either). *)

@@ -120,6 +120,8 @@ let reset_counters () =
 type compiled = {
   kernel : Cast.kernel;
   bindings : Native_c.binding list;
+  written : bool list;  (** per param: is it in [Native_c.written_params]? *)
+  noalias : bool;  (** source rendered with [restrict] qualifiers *)
   n_fb : int;
   n_ib : int;
   n_isc : int;
@@ -129,7 +131,7 @@ type compiled = {
   so_path : string;
 }
 
-let source = Native_c.kernel_source
+let source ?noalias k = Native_c.kernel_source ?noalias k
 
 let key_of_source src = Digest.to_hex (Digest.string (String.concat "\x00" [ "racs-native-v1"; cc (); flags (); src ]))
 
@@ -226,8 +228,8 @@ let count_bindings bs =
       | Arg_rscalar _ -> (f, i, is, rs + 1))
     (0, 0, 0, 0) bs
 
-let compile (k : Cast.kernel) : compiled =
-  let src = source k in
+let compile ?(noalias = true) (k : Cast.kernel) : compiled =
+  let src = source ~noalias k in
   let key = key_of_source src in
   Mutex.lock memo_mutex;
   match Hashtbl.find_opt memo key with
@@ -243,8 +245,12 @@ let compile (k : Cast.kernel) : compiled =
           let so_path, handle = compile_source ~key src in
           let fn = dl_sym handle Native_c.entry_symbol in
           let bindings = Native_c.bindings k in
+          let written_names = Native_c.written_params k in
+          let written = List.map (fun p -> List.mem p.Cast.p_name written_names) k.params in
           let n_fb, n_ib, n_isc, n_fsc = count_bindings bindings in
-          let c = { kernel = k; bindings; n_fb; n_ib; n_isc; n_fsc; fn; key; so_path } in
+          let c =
+            { kernel = k; bindings; written; noalias; n_fb; n_ib; n_isc; n_fsc; fn; key; so_path }
+          in
           Hashtbl.replace memo key c;
           Ok c
         with e -> Error e
@@ -254,11 +260,39 @@ let compile (k : Cast.kernel) : compiled =
 
 (* {2 Launch} *)
 
+(* The generated C marks buffer parameters [restrict], which is licensed
+   only when no written buffer (per [Native_c.written_params]) is bound
+   to the same array as any other buffer parameter.  Read-only buffers
+   may alias each other freely — C99 restrict only constrains objects
+   that are modified. *)
+let alias_hazard (c : compiled) (args : Args.t list) =
+  let bufs =
+    List.fold_left2
+      (fun acc w (a : Args.t) ->
+        match a with
+        | Buf (Buffer.F arr) -> (`F arr, w) :: acc
+        | Buf (Buffer.I arr) -> (`I arr, w) :: acc
+        | _ -> acc)
+      [] c.written args
+  in
+  let same a b =
+    match (a, b) with `F x, `F y -> x == y | `I x, `I y -> x == y | _ -> false
+  in
+  let rec go = function
+    | [] -> false
+    | (a, w) :: rest -> List.exists (fun (b, w') -> same a b && (w || w')) rest || go rest
+  in
+  go bufs
+
 let launch (c : compiled) ~(args : Args.t list) ~(global : int list) =
   if List.length args <> List.length c.kernel.params then
     invalid_arg
       (Printf.sprintf "vgpu native: kernel %s expects %d args, got %d" c.kernel.name
          (List.length c.kernel.params) (List.length args));
+  (* an aliased launch would break the restrict promise: dispatch the
+     no-restrict rendering of the same kernel instead (its own
+     content-addressed cache entry, compiled at most once) *)
+  let c = if c.noalias && alias_hazard c args then compile ~noalias:false c.kernel else c in
   let fb = Array.make (max 1 c.n_fb) [||] in
   let ib = Array.make (max 1 c.n_ib) [||] in
   let isc = Array.make (max 1 c.n_isc) 0 in

@@ -11,9 +11,10 @@
 
 type compiled
 
-val compile : Kernel_ast.Cast.kernel -> compiled
+val compile : ?noalias:bool -> Kernel_ast.Cast.kernel -> compiled
 (** Render, then load from the memo, the disk cache, or a fresh [cc]
-    run, in that order.
+    run, in that order.  [noalias] (default true) renders buffer
+    parameters [restrict], proven per launch — see {!launch}.
     @raise Failure if the C compiler is unavailable or rejects the
     generated source (the compiler's stderr is included). *)
 
@@ -21,9 +22,18 @@ val launch : compiled -> args:Args.t list -> global:int list -> unit
 (** Run the full NDRange ([global] padded to 3 dimensions with 1s).
     Scalar arguments coerce like [Jit.bind]: a real argument to an int
     parameter truncates, an int argument to a real parameter widens.
+
+    When the compiled object carries [restrict] qualifiers, the launch
+    first checks the binding for aliasing hazards: a buffer in
+    {!Kernel_ast.Native_c.written_params} bound to the same array as any
+    other buffer parameter.  A hazardous launch transparently dispatches
+    a [~noalias:false] compilation of the same kernel (its own cache
+    entry) so the restrict promise is never broken; alias-free launches
+    — every launch the simulation runtimes issue — keep the qualified
+    fast path.
     @raise Invalid_argument on an argument count or kind mismatch. *)
 
-val source : Kernel_ast.Cast.kernel -> string
+val source : ?noalias:bool -> Kernel_ast.Cast.kernel -> string
 (** The C translation unit [compile] builds (for inspection/tests). *)
 
 val cache_key : Kernel_ast.Cast.kernel -> string

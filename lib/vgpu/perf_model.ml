@@ -340,6 +340,47 @@ let predict_overlapped ?(link_gb_s = 12.) ?radius (device : Device.t) (kernel : 
     frontier_s +. Float.max interior_s halo_s
   end
 
+(* Predicted per-step time under temporal blocking at depth [tblock]:
+   the tradeoff the autotuner's time-block axis searches.  Per block of
+   T steps the cut exchanges once — so the per-round transfer latency
+   amortises to 1/T — at depth T*r for the new generation plus depth
+   (T-1)*r for the previous one (per-step cadence skips the latter up to
+   T = 2, where the in-block recompute leaves it valid; fused kernels
+   exchange it from T = 2 up), while every in-block launch redundantly
+   recomputes the decaying ghost planes: 2*(shards-1)*(T*r - 1) planes
+   of extra active points per step.  [kernel] is the per-step kernel
+   either way — the model prices work and traffic, which the fused form
+   reorganises but does not change.  At T = 1 this is [predict_sharded]
+   plus the round-latency term. *)
+let predict_blocked ?(link_gb_s = 12.) ?(link_latency_s = 10e-6) ?radius ?(fused = false)
+    (device : Device.t) (kernel : Cast.kernel) (w : workload) ~plane_elems ~shards
+    ~tblock =
+  let shards = max 1 shards and tblock = max 1 tblock in
+  let r = match radius with Some r -> r | None -> stencil_radius kernel w in
+  let h = tblock * r in
+  let cuts = max 0 (shards - 1) in
+  let redundant = 2 * cuts * max 0 (h - 1) * plane_elems in
+  let per_shard =
+    {
+      w with
+      active_points = (w.active_points /. float_of_int shards) +. float_of_int redundant;
+    }
+  in
+  let compute_s = predict device kernel per_shard in
+  let elem = match kernel.Cast.precision with Cast.Single -> 4 | Cast.Double -> 8 in
+  let prev_depth = if (if fused then tblock > 1 else tblock > 2) then h - r else 0 in
+  let planes_per_block = h + prev_depth in
+  let bytes_per_step =
+    2. *. float_of_int (cuts * planes_per_block * plane_elems * elem)
+    /. float_of_int tblock
+  in
+  let ops_per_round =
+    2. *. float_of_int cuts *. if prev_depth > 0 then 2. else 1.
+  in
+  let halo_s = bytes_per_step /. (link_gb_s *. 1e9) in
+  let latency_s = ops_per_round *. link_latency_s /. float_of_int tblock in
+  compute_s +. halo_s +. latency_s
+
 let pp_breakdown ppf b =
   Fmt.pf ppf "bytes/pt=%.1f flops/pt=%.0f mem=%.3fms flop=%.3fms total=%.3fms"
     b.bytes_per_point b.flops_per_point (b.mem_time_s *. 1e3) (b.flop_time_s *. 1e3)

@@ -44,6 +44,7 @@ let sample_entry () : PC.entry =
         pl_unroll = Some 16384;
         pl_shards = 3;
         pl_schedule = `Overlap;
+        pl_tblock = 2;
       };
     e_predicted_s = 1.25e-6;
     e_measured_s = 2.5e-6;
@@ -216,9 +217,13 @@ let run_plan ~scheme ~precision (plan : PC.plan) =
   let schedule =
     if plan.PC.pl_shards > 1 then Some (plan.PC.pl_schedule :> Gpu_sim.schedule) else None
   in
+  let tblock =
+    if plan.PC.pl_shards > 1 && plan.PC.pl_tblock > 1 then Some plan.PC.pl_tblock
+    else None
+  in
   let sim =
     Gpu_sim.create ~engine:`Jit ?unroll_budget:plan.PC.pl_unroll ?shards ?schedule
-      ~fi_beta:0.1 ~n_branches:3 ~precision Params.default room
+      ?tblock ~fi_beta:0.1 ~n_branches:3 ~precision Params.default room
   in
   let cx, cy, cz = State.centre sim.Gpu_sim.state in
   State.add_impulse sim.Gpu_sim.state ~x:cx ~y:cy ~z:cz;
@@ -235,6 +240,7 @@ let plan_gen : (string * Kernel_ast.Cast.precision * PC.plan) QCheck.Gen.t =
   let* tile = oneofl [ None; Some (4, 4); Some (8, 4) ] in
   let* unroll = oneofl [ None; Some 0; Some 16384 ] in
   let* shards = int_range 1 4 in
+  let* tblock = oneofl [ 1; 2; 3 ] in
   let* schedule =
     (* the overlapped schedule range-splits the flat volume kernel; the
        tiled kernel only runs seq/concurrent (Autotune.enumerate never
@@ -252,6 +258,7 @@ let plan_gen : (string * Kernel_ast.Cast.precision * PC.plan) QCheck.Gen.t =
         pl_unroll = unroll;
         pl_shards = shards;
         pl_schedule = schedule;
+        pl_tblock = tblock;
       } )
 
 let arb_plan =

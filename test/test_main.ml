@@ -15,6 +15,7 @@ let () =
       ("parallel engines", Test_parallel.suite);
       ("sharding", Test_shard.suite);
       ("overlap", Test_overlap.suite);
+      ("temporal blocking", Test_tblock.suite);
       ("analysis", Test_analysis.suite);
       ("check & sanitize", Test_check.suite);
       ("footprint & plan verify", Test_footprint.suite);

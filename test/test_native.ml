@@ -447,10 +447,95 @@ let test_lru_eviction () =
   Alcotest.(check int) "evictions" 2 c.Vgpu.Kcache.c_evictions;
   Alcotest.(check int) "entries" 2 c.Vgpu.Kcache.c_entries
 
+(* -- Restrict emission and the aliased-launch fallback ---------------- *)
+
+(* The write set behind the qualifiers: volume writes next only, the
+   boundary kernel's indirect scatters still count as writes. *)
+let test_written_params () =
+  let open Acoustics in
+  let w = Kernel_ast.Native_c.written_params (Hand_kernels.volume ~precision:Double) in
+  Alcotest.(check (list string)) "volume writes next" [ "next" ] w;
+  let wb = Kernel_ast.Native_c.written_params (Hand_kernels.boundary_fi ~precision:Double) in
+  Alcotest.(check bool) "boundary scatter counts as a write" true (List.mem "next" wb);
+  Alcotest.(check bool) "boundary index array is read-only" false (List.mem "bidx" wb);
+  let wf =
+    Kernel_ast.Native_c.written_params
+      (Lift_acoustics.Programs.blocked_volume ~precision:Double ~tblock:2 ())
+  in
+  Alcotest.(check (list string)) "fused kernel writes both generations" [ "next"; "next2" ] wf
+
+let test_restrict_qualifiers () =
+  let open Acoustics in
+  let src = Vgpu.Native.source (Hand_kernels.volume ~precision:Double) in
+  let has needle = Test_util.contains src needle in
+  Alcotest.(check bool) "read-only buffer is const restrict" true
+    (has "const double * restrict curr = ");
+  Alcotest.(check bool) "nbrs is const restrict" true
+    (has "const int64_t * restrict nbrs = ");
+  Alcotest.(check bool) "written buffer is restrict but not const" true
+    (has "  double * restrict next = ");
+  let plain = Vgpu.Native.source ~noalias:false (Hand_kernels.volume ~precision:Double) in
+  Alcotest.(check bool) "noalias:false drops restrict" false
+    (Test_util.contains plain "restrict");
+  Alcotest.(check bool) "noalias:false keeps const" true
+    (Test_util.contains plain "const double *")
+
+(* out[i] = in[i] * 2 launched with out == in: element-wise well-defined,
+   but a restrict-qualified binary is not licensed to run it.  The
+   launcher must detect the hazard and dispatch the no-restrict
+   rendering, producing the exact doubling. *)
+let test_aliased_launch_falls_back () =
+  use_scratch_cache ();
+  let k =
+    {
+      name = "native_alias_probe";
+      precision = Double;
+      params = [ param "dst" Real; param "src" Real ];
+      global_size = [ Int_lit 8 ];
+      local_size = [];
+      body = [ Store ("dst", Global_id 0, Load ("src", Global_id 0) *: Real_lit 2.0) ];
+    }
+  in
+  let c = Vgpu.Native.compile k in
+  Vgpu.Native.reset_counters ();
+  let buf = Array.init 8 float_of_int in
+  Vgpu.Native.launch c
+    ~args:[ Vgpu.Args.Buf (Vgpu.Buffer.F buf); Vgpu.Args.Buf (Vgpu.Buffer.F buf) ]
+    ~global:[ 8 ];
+  Alcotest.(check (array (float 0.))) "aliased launch doubles in place"
+    (Array.init 8 (fun i -> 2. *. float_of_int i))
+    buf;
+  let counters = Vgpu.Native.counters () in
+  Alcotest.(check int) "fallback compiled the no-restrict variant" 1
+    counters.Vgpu.Native.c_compiles;
+  (* distinct buffers keep the restrict fast path: no further compiles *)
+  Vgpu.Native.reset_counters ();
+  let a = Array.init 8 float_of_int and b = Array.make 8 0. in
+  Vgpu.Native.launch c
+    ~args:[ Vgpu.Args.Buf (Vgpu.Buffer.F b); Vgpu.Args.Buf (Vgpu.Buffer.F a) ]
+    ~global:[ 8 ];
+  Alcotest.(check (array (float 0.))) "disjoint launch unchanged"
+    (Array.init 8 (fun i -> 2. *. float_of_int i))
+    b;
+  let counters = Vgpu.Native.counters () in
+  Alcotest.(check int) "no recompilation on the fast path" 0 counters.Vgpu.Native.c_compiles;
+  (* a second aliased launch reuses the memoized fallback *)
+  Vgpu.Native.reset_counters ();
+  let buf2 = Array.init 8 float_of_int in
+  Vgpu.Native.launch c
+    ~args:[ Vgpu.Args.Buf (Vgpu.Buffer.F buf2); Vgpu.Args.Buf (Vgpu.Buffer.F buf2) ]
+    ~global:[ 8 ];
+  let counters = Vgpu.Native.counters () in
+  Alcotest.(check int) "memoized fallback, no third compile" 0 counters.Vgpu.Native.c_compiles
+
 let suite =
   [
     Alcotest.test_case "torture kernel bit-identical across engines" `Quick
       test_torture_differential;
+    Alcotest.test_case "written-params write-set analysis" `Quick test_written_params;
+    Alcotest.test_case "restrict/const qualifier emission" `Quick test_restrict_qualifiers;
+    Alcotest.test_case "aliased launch falls back to no-restrict" `Quick
+      test_aliased_launch_falls_back;
     QCheck_alcotest.to_alcotest qcheck_signed_moddiv;
     Alcotest.test_case "cold compile, warm disk hit, memo hit" `Quick test_cold_then_warm;
     Alcotest.test_case "corrupted cache entry is recompiled" `Quick
